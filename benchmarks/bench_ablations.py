@@ -1,0 +1,107 @@
+"""ABL — ablations of the Section 5.3 design choices.
+
+The paper leaves several implementation knobs open; each ablation runs
+the same workload with one knob flipped:
+
+* **NACK vs queue-at-owner** for synchronization requests that hit a
+  reserved line (footnote 2 offers both);
+* **bounded outstanding misses while reserved** — the paper's suggestion
+  for keeping the counter's drain time bounded;
+* **read-only-sync refinement on/off** (DEF2 vs DEF2-R) under a
+  spin-heavy barrier, Section 6's motivating case.
+"""
+
+from repro.analysis.comparison import compare_policies
+from repro.analysis.report import format_table
+from repro.memsys.config import NET_CACHE
+from repro.models.policies import Def2Policy, Def2RPolicy
+from repro.workloads.barrier import barrier_program
+from repro.workloads.locks import critical_section_program
+
+HIGH_LATENCY = NET_CACHE.with_overrides(network_base_latency=12, network_jitter=4)
+
+
+def _print(title, comparisons):
+    print(f"\n[ABL] {title}")
+    print(
+        format_table(
+            ["variant", "cycles", "stalls", "messages", "sync NACKs"],
+            [
+                [c.policy_name, c.mean_cycles, c.mean_stall_cycles,
+                 c.mean_messages, c.mean_sync_nacks]
+                for c in comparisons
+            ],
+        )
+    )
+
+
+class NackDef2(Def2Policy):
+    name = "DEF2/nack"
+
+
+class QueueDef2(Def2Policy):
+    name = "DEF2/queue"
+
+    def __init__(self):
+        super().__init__(nack_mode=False)
+
+
+class BoundedDef2(Def2Policy):
+    name = "DEF2/bound2"
+
+    def __init__(self):
+        super().__init__(miss_bound_while_reserved=2)
+
+
+def test_abl_nack_vs_queue(benchmark):
+    comparisons = benchmark.pedantic(
+        lambda: compare_policies(
+            program_factory=lambda: critical_section_program(
+                3, 2, private_writes=4
+            ),
+            policies=[NackDef2, QueueDef2],
+            config=HIGH_LATENCY,
+            runs=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print("reserved-line sync requests: NACK+retry vs queue-at-owner", comparisons)
+    assert all(c.completed_runs == c.runs for c in comparisons)
+    # Queue mode must eliminate NACK traffic entirely.
+    by_name = {c.policy_name: c for c in comparisons}
+    assert by_name["DEF2/queue"].mean_sync_nacks == 0
+
+
+def test_abl_miss_bound_while_reserved(benchmark):
+    comparisons = benchmark.pedantic(
+        lambda: compare_policies(
+            program_factory=lambda: critical_section_program(
+                2, 2, private_writes=8
+            ),
+            policies=[Def2Policy, BoundedDef2],
+            config=HIGH_LATENCY,
+            runs=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print("outstanding-miss bound while a line is reserved", comparisons)
+    assert all(c.completed_runs == c.runs for c in comparisons)
+
+
+def test_abl_read_only_sync_refinement(benchmark):
+    comparisons = benchmark.pedantic(
+        lambda: compare_policies(
+            program_factory=lambda: barrier_program(3),
+            policies=[Def2Policy, Def2RPolicy],
+            config=NET_CACHE,
+            runs=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print("barrier spinning: DEF2 vs DEF2-R (Section 6)", comparisons)
+    by_name = {c.policy_name: c for c in comparisons}
+    # The refinement lets Tests hit shared copies: less protocol traffic.
+    assert by_name["DEF2-R"].mean_messages < by_name["DEF2"].mean_messages

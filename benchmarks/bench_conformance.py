@@ -1,0 +1,40 @@
+"""CONF — the conformance grid: every machine x every policy.
+
+The capstone experiment: Definition 2 applied as an audit across the
+whole zoo.  Expected grid (asserted):
+
+* ``SC`` hardware appears SC on every machine;
+* ``DEF1``, ``DEF2``, ``DEF2-R`` are weakly ordered (violations only on
+  racy programs) wherever they apply;
+* ``RELAXED`` breaks the contract everywhere — it violates SC even for
+  the all-synchronization (DRF0) Dekker, because it ignores the labels.
+"""
+
+from repro.conformance import (
+    VERDICT_BROKEN,
+    VERDICT_NA,
+    VERDICT_SC,
+    VERDICT_WEAK,
+    run_conformance,
+)
+
+
+def test_conformance_grid(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_conformance(runs_per_test=25), rounds=1, iterations=1
+    )
+    print("\n[CONF] conformance grid (25 seeds per test)")
+    print(report.describe())
+
+    for cell in report.cells:
+        if cell.policy_name == "SC":
+            assert cell.verdict == VERDICT_SC, cell.config_name
+        elif cell.policy_name == "RELAXED":
+            assert cell.verdict == VERDICT_BROKEN, cell.config_name
+        elif cell.policy_name in ("DEF1", "DEF2", "DEF2-R"):
+            assert cell.verdict in (VERDICT_WEAK, VERDICT_SC, VERDICT_NA), (
+                cell.config_name,
+                cell.policy_name,
+                cell.violated_tests,
+            )
+        assert not cell.incomplete, (cell.config_name, cell.policy_name)

@@ -1,0 +1,85 @@
+"""DELAY — the Shasha-Snir comparator ([ShS88], paper Section 2.1).
+
+The software alternative the paper positions itself against: statically
+compute the minimal delay pairs that guarantee SC, enforce only those in
+hardware, and compare against blanket SC enforcement.  Benchmarked: the
+analysis itself and the enforced execution.
+"""
+
+from repro.analysis.report import format_table, ratio
+from repro.core.program import Program, ThreadBuilder
+from repro.delayset.analysis import delay_pairs, describe_delay_set, minimal_delay_pairs
+from repro.delayset.policy import delay_policy_factory
+from repro.memsys.config import NET_CACHE, NET_NOCACHE
+from repro.memsys.system import run_program
+from repro.models.policies import SCPolicy
+from repro.sc.verifier import SCVerifier
+
+
+def padded_dekker(padding: int = 6) -> Program:
+    """Dekker's conflict core surrounded by private traffic."""
+    t0 = ThreadBuilder("P0")
+    t1 = ThreadBuilder("P1")
+    for i in range(padding):
+        t0.store(f"p0_{i}", i + 1)
+        t1.store(f"p1_{i}", i + 1)
+    t0.store("x", 1).load("r1", "y")
+    t1.store("y", 1).load("r2", "x")
+    return Program([t0.build(), t1.build()], name="padded_dekker")
+
+
+def test_delay_analysis_cost(benchmark):
+    program = padded_dekker()
+    pairs = benchmark(lambda: delay_pairs(program))
+    print("\n[DELAY] " + describe_delay_set(pairs))
+    # Only the conflict core needs delays; private traffic stays free.
+    assert len(pairs) == 2
+
+
+def test_delay_minimal_analysis_cost(benchmark):
+    program = padded_dekker()
+    pairs = benchmark(lambda: minimal_delay_pairs(program))
+    assert pairs <= delay_pairs(program)
+
+
+def test_delay_enforcement_appears_sc(benchmark, verifier):
+    program = padded_dekker(padding=2)
+    sc_set = verifier.sc_result_set(program)
+    factory = delay_policy_factory(program)
+
+    def campaign():
+        outcomes = []
+        for seed in range(30):
+            run = run_program(program, factory(), NET_NOCACHE, seed=seed)
+            assert run.completed
+            outcomes.append(run.observable)
+        return outcomes
+
+    outcomes = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    assert all(o in sc_set for o in outcomes)
+    print(f"\n[DELAY] 30/30 delay-enforced runs appear SC")
+
+
+def test_delay_vs_blanket_sc_cost(benchmark):
+    program = padded_dekker()
+    config = NET_CACHE.with_overrides(network_base_latency=12, network_jitter=2)
+    factory = delay_policy_factory(program)
+
+    def measure():
+        delay_cycles = sum(
+            run_program(program, factory(), config, seed=s).cycles
+            for s in range(5)
+        )
+        sc_cycles = sum(
+            run_program(program, SCPolicy(), config, seed=s).cycles
+            for s in range(5)
+        )
+        return delay_cycles / 5, sc_cycles / 5
+
+    delay_mean, sc_mean = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        "\n[DELAY] mean cycles: delay-set "
+        f"{delay_mean:.0f} vs SC {sc_mean:.0f} "
+        f"(SC/delay = {ratio(sc_mean, delay_mean)})"
+    )
+    assert delay_mean < sc_mean

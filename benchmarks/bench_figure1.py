@@ -1,0 +1,70 @@
+"""FIG1 — Figure 1: SC violations across the four machine organizations.
+
+Regenerates the figure's content: on each quadrant of
+{bus, network} x {no caches, caches}, the Dekker-core litmus shows the
+forbidden (0, 0) outcome under relaxed hardware and never under
+SC-enforcing hardware.  The table printed per configuration is the
+outcome histogram with SC classification.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.litmus.catalog import fig1_dekker
+from repro.memsys.config import BUS_CACHE, BUS_NOCACHE, NET_CACHE, NET_NOCACHE
+from repro.models.policies import RelaxedPolicy, SCPolicy
+
+RUNS = 60
+
+#: (config, warm caches) — cache machines need resident lines (Figure 1's
+#: "both processors initially have X and Y in their caches").
+SETTINGS = [
+    (BUS_NOCACHE, False),
+    (NET_NOCACHE, False),
+    (BUS_CACHE, True),
+    (NET_CACHE, True),
+]
+
+
+@pytest.mark.parametrize("config,warm", SETTINGS, ids=lambda v: getattr(v, "name", str(v)))
+def test_fig1_relaxed_violates(benchmark, runner, config, warm):
+    test = fig1_dekker(warm=warm)
+
+    result = benchmark.pedantic(
+        lambda: runner.run(test, RelaxedPolicy, config, runs=RUNS),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [
+            test.describe_outcome(outcome),
+            count,
+            "VIOLATES SC" if outcome in result.sc_violations else "sc",
+        ]
+        for outcome, count in sorted(result.histogram.items())
+    ]
+    print(f"\n[FIG1] {config.name} / RELAXED (warm={warm}), {RUNS} runs")
+    print(format_table(["outcome", "count", "class"], rows))
+
+    assert result.completed_runs == RUNS
+    assert result.forbidden_seen > 0, "the Figure-1 violation must appear"
+
+
+@pytest.mark.parametrize("config,warm", SETTINGS, ids=lambda v: getattr(v, "name", str(v)))
+def test_fig1_sc_hardware_clean(benchmark, runner, config, warm):
+    test = fig1_dekker(warm=warm)
+
+    result = benchmark.pedantic(
+        lambda: runner.run(test, SCPolicy, config, runs=RUNS),
+        rounds=1,
+        iterations=1,
+    )
+
+    print(
+        f"\n[FIG1] {config.name} / SC (warm={warm}): outcomes="
+        f"{sorted(result.histogram)} — no violation"
+    )
+    assert result.completed_runs == RUNS
+    assert not result.violated_sc
+    assert result.forbidden_seen == 0

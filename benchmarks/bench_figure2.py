@@ -1,0 +1,51 @@
+"""FIG2 — Figure 2: the DRF0 example and counter-example.
+
+Regenerates the figure's verdicts: execution (a) obeys DRF0 (all
+conflicting accesses happens-before-ordered), execution (b) does not,
+with exactly the conflicting families the caption names (P0/P1 on x,
+P2/P4 on y).  The benchmarked quantity is the cost of the DRF0 check
+itself — happens-before construction plus conflicting-pair scanning —
+at figure scale and at program scale (Definition 3's quantification over
+all idealized executions).
+"""
+
+from repro.drf.drf0 import check_program
+from repro.drf.figure2 import figure2a_execution, figure2b_execution
+from repro.drf.races import find_races, format_race_report
+from repro.litmus.catalog import fig1_dekker_all_sync
+from repro.workloads.locks import critical_section_program
+
+
+def test_fig2a_obeys_drf0(benchmark):
+    races = benchmark(lambda: find_races(figure2a_execution()))
+    print("\n[FIG2a] " + format_race_report(races))
+    assert races == []
+
+
+def test_fig2b_violates_drf0(benchmark):
+    races = benchmark(lambda: find_races(figure2b_execution()))
+    print("\n[FIG2b] " + format_race_report(races))
+    assert races
+    assert {r.location for r in races} == {"x", "y"}
+    pairs = {frozenset((r.first.proc, r.second.proc)) for r in races}
+    assert frozenset((0, 1)) in pairs  # P0's accesses vs P1's write of x
+    assert frozenset((2, 4)) in pairs  # P2's and P4's writes of y
+
+
+def test_fig2_program_level_check_drf(benchmark):
+    """Definition 3 over all idealized executions of a DRF0 program."""
+    program = critical_section_program(2, 1)
+    report = benchmark.pedantic(
+        lambda: check_program(program), rounds=1, iterations=1
+    )
+    print(f"\n[FIG2] {report.describe()}")
+    assert report.obeys
+
+
+def test_fig2_program_level_check_all_sync(benchmark):
+    program = fig1_dekker_all_sync().program
+    report = benchmark.pedantic(
+        lambda: check_program(program), rounds=1, iterations=1
+    )
+    print(f"\n[FIG2] {report.describe()}")
+    assert report.obeys

@@ -1,0 +1,77 @@
+"""FIG3 — Figure 3: release-side stalls, DEF1 vs DEF2.
+
+Regenerates the figure's analysis as a latency sweep: under DEF1 the
+releaser (P0) stalls at the Unset until its data writes globally
+perform, and stalls its post-release accesses until the Unset globally
+performs — costs that grow with memory latency.  Under DEF2 the Unset
+only needs to commit, so P0's finish time stays nearly flat.  The
+acquirer (P1) waits under both ("P0 but not P1 gains an advantage").
+"""
+
+from repro.analysis.figure3 import analyze_release_stall, figure3_sweep
+from repro.analysis.report import format_table
+from repro.memsys.config import NET_CACHE
+from repro.models.policies import Def1Policy, Def2Policy
+
+LATENCIES = [4, 8, 16, 32, 64]
+
+
+def test_fig3_latency_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: figure3_sweep(latencies=LATENCIES, seeds=[1, 2, 3, 4]),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n[FIG3] release-overlap scenario, mean over 4 seeds")
+    print(
+        format_table(
+            [
+                "latency",
+                "DEF1 rel.stall",
+                "DEF2 rel.stall",
+                "DEF1 P0 done",
+                "DEF2 P0 done",
+                "DEF1 P1 done",
+                "DEF2 P1 done",
+            ],
+            [
+                [
+                    row.network_latency,
+                    row.def1_release_stall,
+                    row.def2_release_stall,
+                    row.def1_releaser_finish,
+                    row.def2_releaser_finish,
+                    row.def1_acquirer_finish,
+                    row.def2_acquirer_finish,
+                ]
+                for row in rows
+            ],
+        )
+    )
+
+    # The figure's shape: DEF1's release cost grows with latency and the
+    # releaser finishes later than under DEF2 at high latency.
+    stalls = [row.def1_release_stall for row in rows]
+    assert stalls == sorted(stalls)
+    high = rows[-1]
+    assert high.def2_releaser_finish < high.def1_releaser_finish
+    # The acquirer stalls under both.
+    assert high.def2_acquirer_finish > high.def2_releaser_finish
+
+
+def test_fig3_single_point_def1(benchmark):
+    report = benchmark(
+        lambda: analyze_release_stall(Def1Policy(), NET_CACHE, seed=7)
+    )
+    print(f"\n[FIG3] {report.describe()}")
+    assert report.completed
+    assert report.release_stall > 0  # DEF1 stalls P0 at the Unset
+
+
+def test_fig3_single_point_def2(benchmark):
+    report = benchmark(
+        lambda: analyze_release_stall(Def2Policy(), NET_CACHE, seed=7)
+    )
+    print(f"\n[FIG3] {report.describe()}")
+    assert report.completed

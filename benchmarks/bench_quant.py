@@ -1,0 +1,194 @@
+"""QUANT — the quantitative DEF1-vs-DEF2 study (Section 7's future work).
+
+Three workload families, each compared across SC / DEF1 / DEF2 (and
+DEF2-R where read-only sync matters):
+
+* release-heavy critical sections — DEF2's overlap of the release with
+  subsequent private accesses should win, and the gap should grow with
+  memory latency;
+* producer/consumer pipelines — same shape, communication-dominated;
+* Test-and-TestAndSet spinning — Section 6's pathology: plain DEF2
+  serializes the read-only Tests through exclusive ownership; DEF2-R
+  recovers by letting them hit shared copies.
+"""
+
+from repro.analysis.comparison import compare_policies, sweep
+from repro.analysis.report import format_table, ratio
+from repro.memsys.config import NET_CACHE
+from repro.models.policies import (
+    AllSyncPolicy,
+    Def1Policy,
+    Def2Policy,
+    Def2RPolicy,
+    RelaxedPolicy,
+    SCPolicy,
+)
+from repro.workloads.locks import critical_section_program
+from repro.workloads.producer_consumer import producer_consumer_program
+from repro.workloads.read_sharing import read_sharing_program
+
+HIGH_LATENCY = NET_CACHE.with_overrides(network_base_latency=16, network_jitter=4)
+
+
+def _print_comparison(title, comparisons):
+    print(f"\n[QUANT] {title}")
+    print(
+        format_table(
+            ["policy", "cycles", "stall cycles", "messages", "sync NACKs"],
+            [
+                [c.policy_name, c.mean_cycles, c.mean_stall_cycles,
+                 c.mean_messages, c.mean_sync_nacks]
+                for c in comparisons
+            ],
+        )
+    )
+
+
+def test_quant_critical_sections(benchmark):
+    comparisons = benchmark.pedantic(
+        lambda: compare_policies(
+            program_factory=lambda: critical_section_program(
+                2, 2, private_writes=6
+            ),
+            policies=[SCPolicy, Def1Policy, Def2Policy],
+            config=HIGH_LATENCY,
+            runs=5,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print_comparison("lock-protected increments + private post-release work", comparisons)
+    by_name = {c.policy_name: c for c in comparisons}
+    print(
+        f"  DEF1/DEF2 = {ratio(by_name['DEF1'].mean_cycles, by_name['DEF2'].mean_cycles)}, "
+        f"SC/DEF2 = {ratio(by_name['SC'].mean_cycles, by_name['DEF2'].mean_cycles)}"
+    )
+    assert by_name["DEF2"].mean_cycles < by_name["DEF1"].mean_cycles
+    assert by_name["DEF2"].mean_cycles < by_name["SC"].mean_cycles
+
+
+def test_quant_latency_sweep(benchmark):
+    """The DEF2 advantage grows with memory latency."""
+    points = benchmark.pedantic(
+        lambda: sweep(
+            parameter_values=[4, 12, 24],
+            program_for=lambda latency: (
+                lambda: critical_section_program(2, 2, private_writes=6)
+            ),
+            config_for=lambda latency: NET_CACHE.with_overrides(
+                network_base_latency=latency, network_jitter=4
+            ),
+            policies=[Def1Policy, Def2Policy],
+            runs=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [p.parameter, p.cycles_of("DEF1"), p.cycles_of("DEF2"),
+         ratio(p.cycles_of("DEF1"), p.cycles_of("DEF2"))]
+        for p in points
+    ]
+    print("\n[QUANT] latency sweep (critical sections)")
+    print(format_table(["latency", "DEF1 cycles", "DEF2 cycles", "DEF1/DEF2"], rows))
+    gaps = [p.cycles_of("DEF1") - p.cycles_of("DEF2") for p in points]
+    assert gaps[-1] > gaps[0]
+
+
+def test_quant_producer_consumer(benchmark):
+    comparisons = benchmark.pedantic(
+        lambda: compare_policies(
+            program_factory=lambda: producer_consumer_program(
+                items=4, rounds=2, post_release_work=8
+            ),
+            policies=[SCPolicy, Def1Policy, Def2Policy],
+            config=HIGH_LATENCY,
+            runs=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print_comparison("producer/consumer pipeline", comparisons)
+    by_name = {c.policy_name: c for c in comparisons}
+    assert by_name["DEF2"].mean_cycles <= by_name["SC"].mean_cycles
+
+
+def test_quant_lock_handoff_latency(benchmark):
+    """The acquirer-side metric behind Figure 3: mean release->acquire
+    hand-off latency of the critical-section lock, per policy.  Both
+    weak policies pay it ('P0 but not P1 gains an advantage'); it grows
+    with memory latency under both."""
+    from repro.analysis.handoff import mean_handoff_latency
+    from repro.memsys.system import run_program
+
+    config = NET_CACHE.with_overrides(network_base_latency=16, network_jitter=4)
+
+    def measure():
+        rows = []
+        for policy_factory in (Def1Policy, Def2Policy):
+            latencies = []
+            for seed in range(5):
+                run = run_program(
+                    critical_section_program(2, 2, private_writes=4),
+                    policy_factory(),
+                    config,
+                    seed=seed,
+                )
+                assert run.completed
+                latency = mean_handoff_latency(run.execution, "lock")
+                if latency is not None:
+                    latencies.append(latency)
+            rows.append(
+                [policy_factory().name,
+                 sum(latencies) / len(latencies) if latencies else 0.0]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\n[QUANT] lock hand-off latency (cycles, release->acquire)")
+    print(format_table(["policy", "mean handoff"], rows))
+    assert all(row[1] > 0 for row in rows)
+
+
+def test_quant_labels_vs_all_sync(benchmark):
+    """Section 3's claim quantified: hardware that must treat every
+    access as potential synchronization ([Lam86]) loses badly to
+    labelled DRF0 hardware on read-sharing workloads."""
+    comparisons = benchmark.pedantic(
+        lambda: compare_policies(
+            program_factory=lambda: read_sharing_program(3, 4, 3),
+            policies=[Def2Policy, Def2RPolicy, AllSyncPolicy],
+            config=NET_CACHE,
+            runs=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print_comparison("read sharing: DRF0 labels vs assume-all-sync", comparisons)
+    by_name = {c.policy_name: c for c in comparisons}
+    print(
+        f"  ALL-SYNC/DEF2 = "
+        f"{ratio(by_name['ALL-SYNC'].mean_cycles, by_name['DEF2'].mean_cycles)}"
+    )
+    assert by_name["DEF2"].mean_cycles < by_name["ALL-SYNC"].mean_cycles
+    assert by_name["DEF2-R"].mean_cycles < by_name["ALL-SYNC"].mean_cycles
+
+
+def test_quant_test_and_test_and_set(benchmark):
+    """Section 6's spinning pathology and its refinement."""
+    comparisons = benchmark.pedantic(
+        lambda: compare_policies(
+            program_factory=lambda: critical_section_program(
+                3, 2, local_work=8, use_test_test_and_set=True
+            ),
+            policies=[Def1Policy, Def2Policy, Def2RPolicy],
+            config=NET_CACHE,
+            runs=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print_comparison("Test-and-TestAndSet spinning (3 procs)", comparisons)
+    by_name = {c.policy_name: c for c in comparisons}
+    # The refinement must cut protocol traffic versus plain DEF2.
+    assert by_name["DEF2-R"].mean_messages < by_name["DEF2"].mean_messages

@@ -1,0 +1,53 @@
+"""SCALE — processor-count scaling of the DEF1/DEF2 comparison.
+
+Sweeps the number of contending processors on the critical-section
+workload.  Expected shape: all policies degrade with contention (the
+lock serializes), DEF2 keeps its release-overlap advantage over DEF1 at
+every width, and the advantage does not collapse as contention grows.
+"""
+
+from repro.analysis.comparison import sweep
+from repro.analysis.report import format_table, ratio
+from repro.memsys.config import NET_CACHE
+from repro.models.policies import Def1Policy, Def2Policy, SCPolicy
+from repro.workloads.locks import critical_section_program
+
+WIDTHS = [2, 3, 4, 6]
+
+
+def test_scale_processor_count(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep(
+            parameter_values=WIDTHS,
+            program_for=lambda procs: (
+                lambda: critical_section_program(procs, 2, private_writes=4)
+            ),
+            config_for=lambda procs: NET_CACHE.with_overrides(
+                network_base_latency=10, network_jitter=3
+            ),
+            policies=[SCPolicy, Def1Policy, Def2Policy],
+            runs=3,
+            max_cycles=5_000_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for point in points:
+        sc = point.cycles_of("SC")
+        d1 = point.cycles_of("DEF1")
+        d2 = point.cycles_of("DEF2")
+        rows.append([point.parameter, sc, d1, d2, ratio(d1, d2)])
+    print("\n[SCALE] critical sections, cycles vs processor count")
+    print(
+        format_table(
+            ["procs", "SC", "DEF1", "DEF2", "DEF1/DEF2"], rows
+        )
+    )
+    for point in points:
+        assert point.cycles_of("DEF2") < point.cycles_of("DEF1"), (
+            f"DEF2 lost its advantage at {point.parameter} processors"
+        )
+    # Work grows with width: each width's DEF2 cycles exceed the previous.
+    cycles = [p.cycles_of("DEF2") for p in points]
+    assert cycles == sorted(cycles)

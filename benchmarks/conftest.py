@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark/experiment suite.
+
+Every benchmark regenerates one of the paper's artifacts (Figure 1, 2,
+3, the Appendix theorems, or the quantitative study Section 7 calls
+for), asserts its qualitative *shape* (who wins, what is forbidden), and
+prints the rows an experiment log would record.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro.litmus.runner import LitmusRunner
+from repro.sc.verifier import SCVerifier
+
+
+@pytest.fixture(scope="session")
+def verifier():
+    return SCVerifier()
+
+
+@pytest.fixture(scope="session")
+def runner(verifier):
+    return LitmusRunner(verifier)

@@ -1,0 +1,52 @@
+"""Audit a machine zoo against the weak-ordering contract.
+
+Runs the conformance grid — every machine configuration against every
+ordering policy over the litmus catalog — then dissects one BROKEN cell
+with the race detectors: happens-before (exact per execution) and the
+Eraser lockset algorithm (schedule-insensitive).
+
+Run:  python examples/conformance_audit.py
+"""
+
+from repro.conformance import VERDICT_BROKEN, run_conformance
+from repro.drf import find_races
+from repro.drf.lockset import find_lockset_violations
+from repro.litmus import fig1_dekker
+from repro.sc.executor import run_schedule
+
+
+def main() -> None:
+    print("Running the conformance grid (this takes a few seconds)...\n")
+    report = run_conformance(runs_per_test=20)
+    print(report.describe())
+    print()
+
+    broken = [c for c in report.cells if c.verdict == VERDICT_BROKEN]
+    print(f"{len(broken)} cell(s) break the contract — all of them RELAXED,")
+    print("which ignores synchronization labels entirely. For example:")
+    cell = broken[0]
+    print(f"  {cell.policy_name} on {cell.config_name} violated SC on: "
+          f"{', '.join(cell.violated_tests)}")
+    print()
+
+    print("Why the racy Dekker is outside every contract — the detectors:")
+    program = fig1_dekker().program
+    execution = run_schedule(program, [0, 1, 0, 1])
+    print()
+    print("happens-before (exact, this execution):")
+    for race in find_races(execution):
+        print(f"  - {race.describe()}")
+    print()
+    print("Eraser lockset (schedule-insensitive; note its documented")
+    print("write-then-read false negative on pure Dekker — it needs a")
+    print("write in the Shared state to report):")
+    violations = find_lockset_violations(execution)
+    if violations:
+        for violation in violations:
+            print(f"  - {violation.describe()}")
+    else:
+        print("  (no lockset report for this shape — see docs/THEORY.md)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Debugging on weakly ordered hardware: catching a contract breach.
+
+Section 3 notes programmers may need to debug programs that "do not
+(yet) fully obey the synchronization model".  This example plays both
+sides of that story:
+
+1. a racy program runs on DEF2 hardware and produces a non-SC outcome;
+2. the Lemma-1 witness search *proves* the outcome has no sequentially
+   consistent explanation;
+3. the DRF0 checker pinpoints the races to fix;
+4. after adding synchronization, the same hardware honours the contract.
+
+Run:  python examples/debugging_weak_hardware.py
+"""
+
+from repro import Def2Policy, NET_CACHE, SCVerifier, check_program
+from repro.litmus import fig1_dekker, fig1_dekker_all_sync
+from repro.memsys import run_program
+from repro.sc.lemma1 import find_hb_witness
+
+
+def main() -> None:
+    verifier = SCVerifier()
+
+    # -- 1. observe a violation on weak hardware ------------------------
+    racy_test = fig1_dekker(warm=True)
+    program = racy_test.executable_program()
+    sc_set = verifier.sc_result_set(program)
+
+    violation = None
+    for seed in range(200):
+        run = run_program(program, Def2Policy(), NET_CACHE, seed=seed)
+        if run.completed and run.observable not in sc_set:
+            violation = run
+            break
+    assert violation is not None, "expected a violation on racy code"
+    print("Non-SC outcome observed on DEF2 hardware (seed "
+          f"{violation.seed}): {violation.observable.describe()}")
+
+    # -- 2. certify it has no SC explanation ----------------------------
+    witness = find_hb_witness(program, violation.execution)
+    print(f"Lemma-1 witness search: {'found' if witness else 'NO WITNESS'}")
+    assert witness is None
+
+    # -- 3. diagnose: the program breaks its side of the contract --------
+    print()
+    report = check_program(racy_test.program)
+    print(report.describe())
+
+    # -- 4. fix with synchronization and re-run --------------------------
+    print()
+    fixed_test = fig1_dekker_all_sync(warm=True)
+    fixed = fixed_test.executable_program()
+    fixed_sc = verifier.sc_result_set(fixed)
+    for seed in range(100):
+        run = run_program(fixed, Def2Policy(), NET_CACHE, seed=seed)
+        assert run.completed and run.observable in fixed_sc, seed
+    print("After labelling the accesses as synchronization (DRF0), 100/100")
+    print("runs on the same hardware appear sequentially consistent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Bounded model checking of the weak-ordering contract.
+
+Seed campaigns *sample* hardware timings; the systematic explorer
+*enumerates* them (all message schedules within a delay budget), so a
+clean sweep is an exhaustive bounded proof.  This example:
+
+1. exhaustively finds the Figure-1 violation on relaxed hardware,
+2. certifies DEF2 against the DRF0 Dekker over every schedule at
+   increasing budgets,
+3. does the same for a lock-protected critical section.
+
+Run:  python examples/model_checking.py
+"""
+
+from repro import (
+    Def2Policy,
+    RelaxedPolicy,
+    SCVerifier,
+    explore_program,
+    verify_weak_ordering,
+)
+from repro.litmus import fig1_dekker, fig1_dekker_all_sync
+from repro.workloads import critical_section_program
+
+
+def main() -> None:
+    verifier = SCVerifier()
+
+    print("=== Relaxed hardware vs the racy Dekker ===")
+    program = fig1_dekker(warm=True).executable_program()
+    sc_set = verifier.sc_result_set(program)
+    report = explore_program(program, RelaxedPolicy, max_delays=2)
+    print(report.describe())
+    violations = [o for o in report.observables if o not in sc_set]
+    print(f"-> {len(violations)} non-SC outcome(s) found by exhaustive "
+          f"bounded search\n")
+
+    print("=== DEF2 vs the DRF0 (all-sync) Dekker ===")
+    drf = fig1_dekker_all_sync(warm=True).executable_program()
+    drf_sc = verifier.sc_result_set(drf)
+    for budget in (1, 2, 3):
+        holds, rep = verify_weak_ordering(
+            drf, Def2Policy, drf_sc, max_delays=budget
+        )
+        print(f"budget {budget}: {rep.runs:5d} schedules, "
+              f"exhaustive={rep.exhausted}, contract holds: {holds}")
+        assert holds
+    print()
+
+    print("=== DEF2 vs a lock-protected critical section ===")
+    lock_prog = critical_section_program(2, 1)
+    lock_sc = verifier.sc_result_set(lock_prog)
+    holds, rep = verify_weak_ordering(lock_prog, Def2Policy, lock_sc,
+                                      max_delays=2)
+    print(f"budget 2: {rep.runs} schedules, contract holds: {holds}")
+    print()
+    print("Within these bounds, no schedule of the Section-5 implementation")
+    print("can make a DRF0 program observe a non-SC result — the Appendix B")
+    print("theorem, checked mechanically rather than sampled.")
+
+
+if __name__ == "__main__":
+    main()

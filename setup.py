@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, so ``pip install -e .`` must be able to fall back to
+the classic ``setup.py develop`` path.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,122 @@
+"""repro — a reproduction of "Weak Ordering - A New Definition"
+(Adve & Hill, ISCA 1988).
+
+The paper re-defines weak ordering as a contract: hardware is weakly
+ordered with respect to a synchronization model iff it appears
+sequentially consistent to all software that obeys the model
+(Definition 2), gives DRF0 as the example model (Definition 3), and
+presents a counter/reserve-bit hardware implementation that the old
+definition forbids (Section 5).
+
+This package makes every piece of that story executable:
+
+* :mod:`repro.core` — programs, memory operations, executions;
+* :mod:`repro.sc` — the idealized architecture, exhaustive SC
+  enumeration, the appears-SC verifier, Lemma 1;
+* :mod:`repro.hb` / :mod:`repro.drf` — happens-before, DRF0/DRF0-R,
+  race detection;
+* :mod:`repro.sim` / :mod:`repro.interconnect` /
+  :mod:`repro.coherence` / :mod:`repro.cpu` / :mod:`repro.memsys` —
+  the hardware simulator (buses, networks, directory coherence,
+  counters, reserve bits, write buffers);
+* :mod:`repro.models` — the ordering policies: RELAXED, SC, DEF1,
+  DEF2, DEF2-R;
+* :mod:`repro.litmus` / :mod:`repro.workloads` /
+  :mod:`repro.analysis` — litmus campaigns, workload generators, and
+  the Figure-3 / quantitative analyses.
+
+Quickstart::
+
+    from repro import (
+        LitmusRunner, fig1_dekker, RelaxedPolicy, SCPolicy, NET_CACHE,
+    )
+
+    runner = LitmusRunner()
+    print(runner.run(fig1_dekker(warm=True), RelaxedPolicy, NET_CACHE).describe())
+    print(runner.run(fig1_dekker(warm=True), SCPolicy, NET_CACHE).describe())
+"""
+
+from repro.core import (
+    Observable,
+    OpKind,
+    Program,
+    Thread,
+    ThreadBuilder,
+)
+from repro.delayset import DelayPolicy, delay_pairs, delay_policy_factory
+from repro.drf import DRF0, DRF0_R, check_program, find_races, obeys_drf0
+from repro.explore import explore_program, verify_weak_ordering
+from repro.litmus import (
+    LitmusRunner,
+    LitmusTest,
+    fig1_dekker,
+    parse_litmus,
+    standard_catalog,
+)
+from repro.memsys import (
+    BUS_CACHE,
+    BUS_CACHE_SNOOP,
+    BUS_NOCACHE,
+    FIGURE1_CONFIGS,
+    MachineConfig,
+    NET_CACHE,
+    NET_CACHE_VC,
+    NET_NOCACHE,
+    System,
+    run_program,
+)
+from repro.models import (
+    Def1Policy,
+    Def2Policy,
+    Def2RPolicy,
+    RP3FencePolicy,
+    RelaxedPolicy,
+    SCPolicy,
+    policy_by_name,
+)
+from repro.sc import SCVerifier, enumerate_executions, enumerate_results
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BUS_CACHE",
+    "BUS_CACHE_SNOOP",
+    "BUS_NOCACHE",
+    "DRF0",
+    "DRF0_R",
+    "Def1Policy",
+    "Def2Policy",
+    "Def2RPolicy",
+    "DelayPolicy",
+    "FIGURE1_CONFIGS",
+    "LitmusRunner",
+    "LitmusTest",
+    "MachineConfig",
+    "NET_CACHE",
+    "NET_CACHE_VC",
+    "NET_NOCACHE",
+    "Observable",
+    "OpKind",
+    "Program",
+    "RP3FencePolicy",
+    "RelaxedPolicy",
+    "SCPolicy",
+    "SCVerifier",
+    "System",
+    "Thread",
+    "ThreadBuilder",
+    "check_program",
+    "delay_pairs",
+    "delay_policy_factory",
+    "enumerate_executions",
+    "enumerate_results",
+    "explore_program",
+    "fig1_dekker",
+    "find_races",
+    "obeys_drf0",
+    "parse_litmus",
+    "policy_by_name",
+    "run_program",
+    "standard_catalog",
+    "verify_weak_ordering",
+]

@@ -1,0 +1,58 @@
+"""Analysis: Figure-3 stall attribution, policy comparisons, reporting."""
+
+from repro.analysis.comparison import (
+    PolicyComparison,
+    SweepPoint,
+    compare_policies,
+    sweep,
+)
+from repro.analysis.figure3 import (
+    Figure3Row,
+    ReleaseStallReport,
+    analyze_release_stall,
+    figure3_sweep,
+)
+from repro.analysis.handoff import (
+    Handoff,
+    handoff_summary,
+    lock_handoffs,
+    mean_handoff_latency,
+)
+from repro.analysis.invariants import (
+    check_no_thin_air,
+    check_per_location_read_order,
+    check_per_location_write_order,
+    check_rmw_atomicity,
+    check_trace,
+)
+from repro.analysis.report import format_table, ratio
+from repro.analysis.timeline import (
+    render_execution,
+    render_hardware_trace,
+    render_with_races,
+)
+
+__all__ = [
+    "Handoff",
+    "check_no_thin_air",
+    "handoff_summary",
+    "lock_handoffs",
+    "mean_handoff_latency",
+    "check_per_location_read_order",
+    "check_per_location_write_order",
+    "check_rmw_atomicity",
+    "check_trace",
+    "render_execution",
+    "render_hardware_trace",
+    "render_with_races",
+    "Figure3Row",
+    "PolicyComparison",
+    "ReleaseStallReport",
+    "SweepPoint",
+    "analyze_release_stall",
+    "compare_policies",
+    "figure3_sweep",
+    "format_table",
+    "ratio",
+    "sweep",
+]

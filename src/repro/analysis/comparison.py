@@ -1,0 +1,140 @@
+"""Quantitative policy comparison — the study Section 7 calls for.
+
+"A quantitative performance analysis comparing implementations for the
+old and new definitions of weak ordering would provide useful insight."
+:func:`compare_policies` runs one workload across a set of ordering
+policies (same seeds, same machine) and reports execution time, stall
+breakdowns, and protocol traffic; :func:`sweep` does it across a
+parameter axis for crossover hunting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.program import Program
+from repro.memsys.config import MachineConfig, NET_CACHE
+from repro.memsys.system import System
+from repro.models.base import OrderingPolicy
+from repro.sim.rng import seed_stream
+from repro.sim.stats import StallReason
+
+PolicyFactory = Callable[[], OrderingPolicy]
+
+
+@dataclass
+class PolicyComparison:
+    """Aggregated runs of one policy on one workload."""
+
+    policy_name: str
+    runs: int
+    completed_runs: int
+    mean_cycles: float
+    mean_stall_cycles: float
+    stall_by_reason: Dict[StallReason, float] = field(default_factory=dict)
+    mean_messages: float = 0.0
+    mean_sync_nacks: float = 0.0
+
+    def describe(self) -> str:
+        stalls = ", ".join(
+            f"{reason.value}={cycles:.0f}"
+            for reason, cycles in sorted(
+                self.stall_by_reason.items(), key=lambda kv: -kv[1]
+            )
+            if cycles >= 0.5
+        )
+        return (
+            f"{self.policy_name:8s} cycles={self.mean_cycles:8.1f} "
+            f"stalls={self.mean_stall_cycles:8.1f} msgs={self.mean_messages:7.1f}"
+            + (f"  [{stalls}]" if stalls else "")
+        )
+
+
+def compare_policies(
+    program_factory: Callable[[], Program],
+    policies: Sequence[PolicyFactory],
+    config: MachineConfig = NET_CACHE,
+    runs: int = 5,
+    base_seed: int = 99,
+    max_cycles: int = 2_000_000,
+) -> List[PolicyComparison]:
+    """Run the workload under each policy over the same seed stream."""
+    results: List[PolicyComparison] = []
+    seeds = list(seed_stream(base_seed, runs))
+    for make_policy in policies:
+        total_cycles = 0.0
+        total_stalls = 0.0
+        total_messages = 0.0
+        total_nacks = 0.0
+        by_reason: Dict[StallReason, float] = {}
+        completed = 0
+        name = make_policy().name
+        for seed in seeds:
+            system = System(program_factory(), make_policy(), config, seed=seed)
+            run = system.run(max_cycles=max_cycles)
+            if not run.completed:
+                continue
+            completed += 1
+            total_cycles += run.cycles
+            total_stalls += run.stats.stall_cycles()
+            total_messages += run.stats.count("interconnect.delivered")
+            total_nacks += run.stats.count("dir.sync_nacks")
+            for (proc, reason), cycles in run.stats.stall_breakdown().items():
+                by_reason[reason] = by_reason.get(reason, 0.0) + cycles
+        n = max(completed, 1)
+        results.append(
+            PolicyComparison(
+                policy_name=name,
+                runs=runs,
+                completed_runs=completed,
+                mean_cycles=total_cycles / n,
+                mean_stall_cycles=total_stalls / n,
+                stall_by_reason={r: c / n for r, c in by_reason.items()},
+                mean_messages=total_messages / n,
+                mean_sync_nacks=total_nacks / n,
+            )
+        )
+    return results
+
+
+@dataclass
+class SweepPoint:
+    """One axis value of a parameter sweep."""
+
+    parameter: int
+    comparisons: List[PolicyComparison]
+
+    def cycles_of(self, policy_name: str) -> Optional[float]:
+        for comparison in self.comparisons:
+            if comparison.policy_name == policy_name:
+                return comparison.mean_cycles
+        return None
+
+
+def sweep(
+    parameter_values: Iterable[int],
+    program_for: Callable[[int], Callable[[], Program]],
+    config_for: Callable[[int], MachineConfig],
+    policies: Sequence[PolicyFactory],
+    runs: int = 5,
+    base_seed: int = 99,
+    max_cycles: int = 2_000_000,
+) -> List[SweepPoint]:
+    """Compare policies at each parameter value.
+
+    ``program_for(v)`` returns a program factory for axis value ``v``;
+    ``config_for(v)`` the machine configuration (either may ignore ``v``).
+    """
+    points: List[SweepPoint] = []
+    for value in parameter_values:
+        comparisons = compare_policies(
+            program_factory=program_for(value),
+            policies=policies,
+            config=config_for(value),
+            runs=runs,
+            base_seed=base_seed,
+            max_cycles=max_cycles,
+        )
+        points.append(SweepPoint(parameter=value, comparisons=comparisons))
+    return points

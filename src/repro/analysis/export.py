@@ -1,0 +1,104 @@
+"""Exporting experiment results to CSV / JSON.
+
+Every result type in the library renders to plain rows so experiment
+logs can leave the process: litmus histograms, policy comparisons,
+Figure-3 sweeps, exploration reports and conformance grids.  The writers
+are deliberately dependency-free (``csv`` + ``json`` from the standard
+library).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.comparison import PolicyComparison, SweepPoint
+from repro.analysis.figure3 import Figure3Row
+from repro.litmus.runner import LitmusResult
+
+
+def litmus_rows(result: LitmusResult) -> List[Dict[str, Any]]:
+    """One row per observed outcome."""
+    rows = []
+    for outcome, count in sorted(result.histogram.items()):
+        rows.append(
+            {
+                "test": result.test.name,
+                "config": result.config_name,
+                "policy": result.policy_name,
+                "outcome": result.test.describe_outcome(outcome),
+                "count": count,
+                "violates_sc": outcome in result.sc_violations,
+                "is_forbidden": result.test.forbidden == outcome,
+            }
+        )
+    return rows
+
+
+def comparison_rows(comparisons: Sequence[PolicyComparison]) -> List[Dict[str, Any]]:
+    return [
+        {
+            "policy": c.policy_name,
+            "runs": c.runs,
+            "completed_runs": c.completed_runs,
+            "mean_cycles": round(c.mean_cycles, 2),
+            "mean_stall_cycles": round(c.mean_stall_cycles, 2),
+            "mean_messages": round(c.mean_messages, 2),
+            "mean_sync_nacks": round(c.mean_sync_nacks, 2),
+        }
+        for c in comparisons
+    ]
+
+
+def sweep_rows(points: Sequence[SweepPoint]) -> List[Dict[str, Any]]:
+    rows = []
+    for point in points:
+        for comparison in point.comparisons:
+            row = {"parameter": point.parameter}
+            row.update(comparison_rows([comparison])[0])
+            rows.append(row)
+    return rows
+
+
+def figure3_rows(rows_in: Sequence[Figure3Row]) -> List[Dict[str, Any]]:
+    return [
+        {
+            "network_latency": r.network_latency,
+            "def1_release_stall": r.def1_release_stall,
+            "def2_release_stall": r.def2_release_stall,
+            "def1_releaser_finish": r.def1_releaser_finish,
+            "def2_releaser_finish": r.def2_releaser_finish,
+            "def1_acquirer_finish": r.def1_acquirer_finish,
+            "def2_acquirer_finish": r.def2_acquirer_finish,
+        }
+        for r in rows_in
+    ]
+
+
+def to_csv(rows: Sequence[Dict[str, Any]]) -> str:
+    """Render dict-rows as CSV text (header from the first row's keys)."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def to_json(rows: Sequence[Dict[str, Any]]) -> str:
+    """Render dict-rows as a JSON array."""
+    return json.dumps(list(rows), indent=2, sort_keys=False)
+
+
+def write_csv(path, rows: Sequence[Dict[str, Any]]) -> None:
+    with open(path, "w", newline="") as handle:
+        handle.write(to_csv(rows))
+
+
+def write_json(path, rows: Sequence[Dict[str, Any]]) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_json(rows))

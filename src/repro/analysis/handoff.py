@@ -1,0 +1,78 @@
+"""Lock hand-off latency: the acquirer-side cost Figure 3 talks about.
+
+"P1's TestAndSet of s, however, will still be blocked until P0's write
+is globally performed, and Unset of s commits."  The observable form of
+that stall is the *hand-off latency*: the gap between a release
+committing (a synchronization write of 0 to the lock) and the next
+successful acquisition committing (a synchronization read-modify-write
+that read 0).  This module extracts hand-offs from a hardware run's
+commit-ordered trace, giving the per-lock metric the quantitative
+comparisons report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.execution import Execution
+from repro.core.operation import Location, MemoryOp, OpKind
+
+
+@dataclass(frozen=True)
+class Handoff:
+    """One release -> acquire transfer of a lock."""
+
+    lock: Location
+    release: MemoryOp
+    acquire: MemoryOp
+
+    @property
+    def latency(self) -> int:
+        return self.acquire.commit_time - self.release.commit_time
+
+    @property
+    def crosses_processors(self) -> bool:
+        return self.release.proc != self.acquire.proc
+
+
+def lock_handoffs(execution: Execution, lock: Location) -> List[Handoff]:
+    """All release->acquire hand-offs of ``lock`` in commit order.
+
+    A release is a synchronization write of 0; an acquisition is a
+    successful synchronization RMW (one that read 0).  Trace order is
+    commit order, so pairing is a linear scan.
+    """
+    handoffs: List[Handoff] = []
+    pending_release: Optional[MemoryOp] = None
+    for op in execution.ops:
+        if op.location != lock or not op.is_sync:
+            continue
+        if op.kind is OpKind.SYNC_WRITE and op.value_written == 0:
+            pending_release = op
+        elif op.kind is OpKind.SYNC_RMW and op.value_read == 0:
+            if pending_release is not None:
+                handoffs.append(
+                    Handoff(lock=lock, release=pending_release, acquire=op)
+                )
+                pending_release = None
+    return handoffs
+
+
+def mean_handoff_latency(
+    execution: Execution, lock: Location, cross_processor_only: bool = True
+) -> Optional[float]:
+    """Mean hand-off latency in cycles (None when no hand-off occurred)."""
+    handoffs = lock_handoffs(execution, lock)
+    if cross_processor_only:
+        handoffs = [h for h in handoffs if h.crosses_processors]
+    if not handoffs:
+        return None
+    return sum(h.latency for h in handoffs) / len(handoffs)
+
+
+def handoff_summary(
+    execution: Execution, locks: List[Location]
+) -> Dict[Location, Optional[float]]:
+    """Mean hand-off latency per lock."""
+    return {lock: mean_handoff_latency(execution, lock) for lock in locks}

@@ -1,0 +1,166 @@
+"""Trace invariants every correct memory system must keep.
+
+These are the sanity properties *below* any consistency model — they
+hold for RELAXED hardware as much as for SC, so violating one means the
+simulator (or a protocol change) is broken, not merely weak:
+
+* **no out-of-thin-air values** — every read returns the initial value
+  or the value of some write to the same location;
+* **per-location write order** — same-processor writes to one location
+  commit in program order (coherence's CoWW);
+* **per-location read order** — same-processor reads of one location
+  never observe values "going backwards" against the location's write
+  serialization (CoRR), checkable because conditions 2/3 of Section 5.1
+  make commit order the write serialization;
+* **rmw atomicity** — a read-modify-write's read component returns the
+  value its own write overwrote in the location's serialization.
+
+:func:`check_trace` runs them all over a hardware run's commit-ordered
+trace and returns human-readable violation strings (empty = clean).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.execution import Execution
+from repro.core.operation import Location, MemoryOp, OpKind, Value
+
+
+def check_no_thin_air(
+    execution: Execution, initial_memory: Optional[Mapping[Location, Value]] = None
+) -> List[str]:
+    """Every read value must come from a write (or the initial state)."""
+    initial_memory = initial_memory or {}
+    written: Dict[Location, set] = defaultdict(set)
+    for op in execution.ops:
+        if op.writes_memory and op.value_written is not None:
+            written[op.location].add(op.value_written)
+    violations = []
+    for op in execution.ops:
+        if not op.reads_memory or op.value_read is None:
+            continue
+        legal = written[op.location] | {initial_memory.get(op.location, 0)}
+        if op.value_read not in legal:
+            violations.append(
+                f"thin-air read: {op!r} returned {op.value_read}, never "
+                f"written to {op.location!r}"
+            )
+    return violations
+
+
+def check_per_location_write_order(execution: Execution) -> List[str]:
+    """Same-processor writes to one location commit in program order."""
+    last: Dict[tuple, MemoryOp] = {}
+    violations = []
+    for op in execution.ops:  # trace order = commit order
+        if not op.writes_memory:
+            continue
+        key = (op.proc, op.location)
+        prev = last.get(key)
+        if prev is not None and (prev.thread_pos, prev.occurrence) > (
+            op.thread_pos,
+            op.occurrence,
+        ):
+            violations.append(
+                f"CoWW violation on {op.location!r}: {prev!r} committed "
+                f"before {op!r} against program order"
+            )
+        last[key] = op
+    return violations
+
+
+def check_per_location_read_order(
+    execution: Execution, initial_memory: Optional[Mapping[Location, Value]] = None
+) -> List[str]:
+    """Reads of a location never observe the write serialization backwards.
+
+    The location's serialization is its commit-ordered write sequence;
+    each processor's successive reads of the location must return values
+    at non-decreasing positions of that sequence.
+    """
+    initial_memory = initial_memory or {}
+    #: per location: [(commit_time, value), ...] in commit order.
+    serialization: Dict[Location, List[tuple]] = defaultdict(list)
+    for op in execution.ops:
+        if op.writes_memory and op.value_written is not None:
+            serialization[op.location].append((op.commit_time, op.value_written))
+
+    def position(op: MemoryOp) -> Optional[int]:
+        """The most charitable serialization index for a read.
+
+        Duplicate written values make the sourcing write ambiguous; pick
+        the *latest* matching write that had committed by the read's
+        commit time (a read can never return a value that did not exist
+        yet).  With this maximal assignment a detected regression is a
+        genuine violation; some real violations may hide behind the
+        ambiguity, which is acceptable for a sanity checker.
+        """
+        best = None
+        for idx, (commit, value) in enumerate(serialization[op.location]):
+            if value != op.value_read:
+                continue
+            if (
+                commit is not None
+                and op.commit_time is not None
+                and commit > op.commit_time
+            ):
+                continue
+            best = idx
+        if best is None and op.value_read == initial_memory.get(op.location, 0):
+            return -1  # the initial value precedes every write
+        return best
+
+    last_pos: Dict[tuple, int] = {}
+    violations = []
+    for op in execution.ops:
+        if not op.reads_memory or op.value_read is None:
+            continue
+        pos = position(op)
+        if pos is None:
+            continue  # thin-air, reported by the other check
+        key = (op.proc, op.location)
+        prev = last_pos.get(key)
+        if prev is not None and pos < prev:
+            violations.append(
+                f"CoRR violation on {op.location!r}: P{op.proc} read "
+                f"{op.value_read} after already observing a newer write"
+            )
+        last_pos[key] = max(pos, prev) if prev is not None else pos
+    return violations
+
+
+def check_rmw_atomicity(execution: Execution) -> List[str]:
+    """A committed RMW's read value must immediately precede its write in
+    the location's commit-ordered write/value stream."""
+    by_location: Dict[Location, List[MemoryOp]] = defaultdict(list)
+    for op in execution.ops:
+        if op.writes_memory:
+            by_location[op.location].append(op)
+    violations = []
+    for loc, writes in by_location.items():
+        for idx, op in enumerate(writes):
+            if op.kind is not OpKind.SYNC_RMW or op.value_read is None:
+                continue
+            prev_value = writes[idx - 1].value_written if idx > 0 else None
+            if idx > 0 and op.value_read != prev_value:
+                violations.append(
+                    f"RMW atomicity violation on {loc!r}: {op!r} read "
+                    f"{op.value_read} but the preceding committed write "
+                    f"wrote {prev_value}"
+                )
+    return violations
+
+
+def check_trace(
+    execution: Execution,
+    initial_memory: Optional[Mapping[Location, Value]] = None,
+) -> List[str]:
+    """All invariants over one commit-ordered hardware trace."""
+    violations: List[str] = []
+    violations += check_no_thin_air(execution, initial_memory)
+    violations += check_per_location_write_order(execution)
+    violations += check_per_location_read_order(execution, initial_memory)
+    violations += check_rmw_atomicity(execution)
+    return violations

@@ -1,0 +1,33 @@
+"""Plain-text rendering of experiment outputs (benchmark tables)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)) for row in rows
+    ]
+    return "\n".join([line, rule, *body])
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def ratio(a: float, b: float) -> str:
+    """``a/b`` as a factor string, guarding zero denominators."""
+    if b == 0:
+        return "inf" if a > 0 else "1.00x"
+    return f"{a / b:.2f}x"

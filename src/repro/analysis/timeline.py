@@ -1,0 +1,106 @@
+"""Figure-2-style rendering of executions.
+
+The paper draws executions as one column per processor with time flowing
+downward; :func:`render_execution` reproduces that view for any
+:class:`~repro.core.execution.Execution`, and
+:func:`render_with_races` annotates the racing operations the DRF0
+checker found — the picture a debugging programmer wants next to the
+race report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.execution import Execution
+from repro.core.operation import MemoryOp, OpKind
+from repro.drf.races import Race
+
+_TAGS = {
+    OpKind.READ: "R",
+    OpKind.WRITE: "W",
+    OpKind.SYNC_READ: "Sr",
+    OpKind.SYNC_WRITE: "Sw",
+    OpKind.SYNC_RMW: "S*",
+}
+
+
+def _cell(op: MemoryOp, mark: bool) -> str:
+    tag = _TAGS[op.kind]
+    parts = [f"{tag}({op.location}"]
+    if op.value_read is not None:
+        parts.append(f"={op.value_read}")
+    if op.value_written is not None:
+        parts.append(f"<-{op.value_written}")
+    text = "".join(parts) + ")"
+    if mark:
+        text += " !"
+    return text
+
+
+def render_execution(
+    execution: Execution,
+    marked: Iterable[MemoryOp] = (),
+    include_hypothetical: bool = False,
+    time_column: bool = True,
+) -> str:
+    """One column per processor, trace order flowing downward.
+
+    ``marked`` operations get a trailing ``!`` (used for race
+    annotation).  Hypothetical (augmentation) operations are skipped
+    unless requested.
+    """
+    from repro.hb.augment import _is_reserved_location
+
+    marked_ids = {op.uid for op in marked}
+    ops = [
+        op
+        for op in execution.ops
+        if include_hypothetical
+        or (not op.is_hypothetical and not _is_reserved_location(op.location))
+    ]
+    procs = sorted({op.proc for op in ops})
+    headers = [f"P{proc}" for proc in procs]
+    col_of = {proc: idx for idx, proc in enumerate(procs)}
+
+    rows: List[List[str]] = []
+    for step, op in enumerate(ops):
+        row = [""] * len(procs)
+        row[col_of[op.proc]] = _cell(op, op.uid in marked_ids)
+        if time_column:
+            row.insert(0, str(step))
+        rows.append(row)
+    if time_column:
+        headers = ["t"] + headers
+
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    out.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        out.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(out)
+
+
+def render_with_races(execution: Execution, races: Sequence[Race]) -> str:
+    """The execution with every racing operation marked, plus a legend."""
+    racing = []
+    for race in races:
+        racing.append(race.first)
+        racing.append(race.second)
+    body = render_execution(execution, marked=racing)
+    if not races:
+        return body + "\n(no data races)"
+    legend = [f"  ! {race.describe()}" for race in races]
+    return body + "\n" + "\n".join(legend)
+
+
+def render_hardware_trace(execution: Execution) -> str:
+    """Commit-time-stamped flat listing of a hardware run's trace."""
+    lines = []
+    for op in execution.ops:
+        commit = op.commit_time if op.commit_time is not None else "?"
+        lines.append(f"  @{commit:>6} P{op.proc}  {_cell(op, False)}")
+    return "\n".join(lines) if lines else "  (no committed operations)"

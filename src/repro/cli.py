@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands:
+
+``litmus``    run a catalog or ``.litmus``-file test on a machine/policy
+              and print the classified outcome histogram;
+``drf``       check a litmus program against DRF0 (Definition 3);
+``explore``   systematic (delay-bounded) exploration of a test;
+``figure1``   regenerate the Figure-1 violation matrix;
+``figure3``   regenerate the Figure-3 release-stall sweep;
+``catalog``   list the built-in litmus tests;
+``delays``    print the Shasha-Snir delay set of a straight-line test.
+
+Examples::
+
+    python -m repro litmus fig1_dekker_warm --policy RELAXED --machine net_cache
+    python -m repro litmus my_test.litmus --policy DEF2 --runs 200
+    python -m repro drf fig1_dekker
+    python -m repro explore fig1_dekker_sync_warm --policy DEF2 --delays 3
+    python -m repro figure1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.figure3 import figure3_sweep
+from repro.analysis.report import format_table
+from repro.drf.drf0 import check_program
+from repro.explore.explorer import explore_program
+from repro.litmus.catalog import catalog_by_name, fig1_dekker
+from repro.litmus.parse import parse_litmus
+from repro.litmus.runner import LitmusRunner
+from repro.litmus.test import LitmusTest
+from repro.memsys.config import FIGURE1_CONFIGS, NET_CACHE, config_by_name
+from repro.models.policies import RelaxedPolicy, SCPolicy, policy_by_name
+from repro.sc.verifier import SCVerifier
+
+
+def _load_test(name_or_path: str, warm: bool = False) -> LitmusTest:
+    """A catalog entry by name, or a ``.litmus`` file by path."""
+    catalog = catalog_by_name()
+    if name_or_path in catalog:
+        return catalog[name_or_path]
+    path = Path(name_or_path)
+    if path.suffix == ".litmus" or path.exists():
+        return parse_litmus(path.read_text(), warm_caches=warm)
+    raise SystemExit(
+        f"error: {name_or_path!r} is neither a catalog test "
+        f"({', '.join(sorted(catalog))}) nor a .litmus file"
+    )
+
+
+def _cmd_litmus(args: argparse.Namespace) -> int:
+    test = _load_test(args.test, warm=args.warm)
+    runner = LitmusRunner()
+    config = config_by_name(args.machine)
+    result = runner.run(
+        test,
+        lambda: policy_by_name(args.policy),
+        config,
+        runs=args.runs,
+        base_seed=args.seed,
+    )
+    print(result.describe())
+    return 1 if result.violated_sc and args.expect_sc else 0
+
+
+def _cmd_drf(args: argparse.Namespace) -> int:
+    test = _load_test(args.test)
+    report = check_program(test.program, max_executions=args.max_executions)
+    print(report.describe())
+    return 0 if report.obeys else 1
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    test = _load_test(args.test, warm=args.warm)
+    program = test.executable_program()
+    report = explore_program(
+        program,
+        lambda: policy_by_name(args.policy),
+        max_delays=args.delays,
+        max_runs=args.max_runs,
+    )
+    print(report.describe())
+    verifier = SCVerifier()
+    sc_set = verifier.sc_result_set(program)
+    violations = [o for o in report.observables if o not in sc_set]
+    if violations:
+        print(f"\n{len(violations)} outcome(s) are NOT sequentially consistent:")
+        for outcome in violations:
+            print(f"  {outcome.describe()}")
+        return 1
+    print("\nall reachable outcomes are sequentially consistent "
+          f"(within delay bound {args.delays})")
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    runner = LitmusRunner()
+    rows = []
+    for config in FIGURE1_CONFIGS:
+        warm = config.has_caches
+        test = fig1_dekker(warm=warm)
+        for policy_factory in (RelaxedPolicy, SCPolicy):
+            result = runner.run(test, policy_factory, config, runs=args.runs)
+            rows.append(
+                [
+                    config.name,
+                    policy_factory().name,
+                    result.forbidden_seen,
+                    args.runs,
+                    "VIOLATES SC" if result.violated_sc else "appears SC",
+                ]
+            )
+    print(format_table(["machine", "policy", "(0,0) seen", "runs", "verdict"], rows))
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    rows = figure3_sweep(latencies=args.latencies, seeds=list(range(1, args.seeds + 1)))
+    print(
+        format_table(
+            ["latency", "DEF1 stall", "DEF2 stall", "DEF1 P0 done",
+             "DEF2 P0 done"],
+            [
+                [r.network_latency, r.def1_release_stall, r.def2_release_stall,
+                 r.def1_releaser_finish, r.def2_releaser_finish]
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    rows = [
+        [test.name, test.program.num_procs,
+         "warm" if test.warm_caches else "cold", test.description]
+        for test in catalog_by_name().values()
+    ]
+    rows.sort()
+    print(format_table(["name", "procs", "caches", "description"], rows))
+    return 0
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.conformance import VERDICT_BROKEN, run_conformance
+
+    report = run_conformance(runs_per_test=args.runs)
+    print(report.describe())
+    broken = [
+        cell
+        for cell in report.cells
+        if cell.verdict == VERDICT_BROKEN and cell.policy_name != "RELAXED"
+    ]
+    for cell in broken:
+        print(
+            f"\nCONTRACT BROKEN: {cell.policy_name} on {cell.config_name}: "
+            f"{', '.join(cell.violated_tests)}"
+        )
+    return 1 if broken else 0
+
+
+def _cmd_delays(args: argparse.Namespace) -> int:
+    from repro.delayset.analysis import delay_pairs, describe_delay_set
+
+    test = _load_test(args.test)
+    print(describe_delay_set(delay_pairs(test.program)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Weak Ordering - A New Definition (Adve & Hill): "
+        "litmus tests, DRF0 checking, and weakly ordered hardware simulation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    litmus = sub.add_parser("litmus", help="run a litmus campaign")
+    litmus.add_argument("test", help="catalog name or .litmus file")
+    litmus.add_argument("--policy", default="RELAXED")
+    litmus.add_argument("--machine", default="net_cache")
+    litmus.add_argument("--runs", type=int, default=100)
+    litmus.add_argument("--seed", type=int, default=12345)
+    litmus.add_argument("--warm", action="store_true",
+                        help="warm caches (for .litmus files)")
+    litmus.add_argument("--expect-sc", action="store_true",
+                        help="exit nonzero if any outcome violates SC")
+    litmus.set_defaults(func=_cmd_litmus)
+
+    drf = sub.add_parser("drf", help="check a program against DRF0")
+    drf.add_argument("test")
+    drf.add_argument("--max-executions", type=int, default=None)
+    drf.set_defaults(func=_cmd_drf)
+
+    explore = sub.add_parser("explore", help="systematic schedule exploration")
+    explore.add_argument("test")
+    explore.add_argument("--policy", default="DEF2")
+    explore.add_argument("--delays", type=int, default=2)
+    explore.add_argument("--max-runs", type=int, default=20_000)
+    explore.add_argument("--warm", action="store_true")
+    explore.set_defaults(func=_cmd_explore)
+
+    fig1 = sub.add_parser("figure1", help="regenerate the Figure-1 matrix")
+    fig1.add_argument("--runs", type=int, default=80)
+    fig1.set_defaults(func=_cmd_figure1)
+
+    fig3 = sub.add_parser("figure3", help="regenerate the Figure-3 sweep")
+    fig3.add_argument("--latencies", type=int, nargs="+",
+                      default=[4, 8, 16, 32, 64])
+    fig3.add_argument("--seeds", type=int, default=5)
+    fig3.set_defaults(func=_cmd_figure3)
+
+    catalog = sub.add_parser("catalog", help="list built-in litmus tests")
+    catalog.set_defaults(func=_cmd_catalog)
+
+    conformance = sub.add_parser(
+        "conformance", help="audit every (machine, policy) pair"
+    )
+    conformance.add_argument("--runs", type=int, default=30)
+    conformance.set_defaults(func=_cmd_conformance)
+
+    delays = sub.add_parser("delays", help="Shasha-Snir delay set of a test")
+    delays.add_argument("test")
+    delays.set_defaults(func=_cmd_delays)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Directory-based write-back invalidation coherence (Section 5.2/5.3)."""
+
+from repro.coherence.cache import Cache
+from repro.coherence.directory import (
+    DIRECTORY_ENDPOINT,
+    Directory,
+    DirectoryEntry,
+    EntryState,
+    cache_endpoint,
+)
+from repro.coherence.line import CacheLine, LineState
+from repro.coherence.protocol import (
+    DataS,
+    DataX,
+    GetS,
+    GetX,
+    Inval,
+    InvalAck,
+    MemAck,
+    Recall,
+    RecallAck,
+    RecallNack,
+    SyncNack,
+    WriteBack,
+    WriteBackAck,
+)
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "DIRECTORY_ENDPOINT",
+    "DataS",
+    "DataX",
+    "Directory",
+    "DirectoryEntry",
+    "EntryState",
+    "GetS",
+    "GetX",
+    "Inval",
+    "InvalAck",
+    "LineState",
+    "MemAck",
+    "Recall",
+    "RecallAck",
+    "RecallNack",
+    "SyncNack",
+    "WriteBack",
+    "WriteBackAck",
+    "cache_endpoint",
+]

@@ -1,0 +1,449 @@
+"""A processor cache implementing the Section 5.2/5.3 machinery.
+
+The cache realizes, literally, the example implementation of the paper:
+
+* write-back, invalidation-based, driven by the blocking directory in
+  :mod:`repro.coherence.directory`;
+* a write *commits* "only when it modifies the copy of the line in its
+  local cache" — i.e. on ``DataX`` receipt or on an exclusive hit;
+* the per-processor outstanding-access **counter** is incremented on
+  every miss and decremented on line receipt (read, or write to a line
+  that was exclusive elsewhere/unowned) or on the directory's ``MemAck``
+  for a write to a previously-shared line;
+* the **reserve bit** is set on the line of a committing synchronization
+  operation while the counter is positive, cleared when the counter
+  reads zero, and while set: (a) incoming recalls for the line are
+  stalled — NACKed back to the directory by default (footnote 2's
+  "negative ack" option) or queued locally (``nack_mode=False``), and
+  (b) the line is never chosen as an eviction victim.
+
+Capacity pressure that would require flushing a reserved line leaves the
+cache temporarily over capacity; the Definition-2 ordering policy stalls
+its processor until the counter drains, matching "a processor that
+requires such a flush is made to stall until its counter reads zero".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.coherence.directory import DIRECTORY_ENDPOINT, cache_endpoint
+from repro.coherence.line import CacheLine, LineState
+from repro.coherence.protocol import (
+    DataS,
+    DataX,
+    GetS,
+    GetX,
+    Inval,
+    InvalAck,
+    MemAck,
+    Recall,
+    RecallAck,
+    RecallNack,
+    SyncNack,
+    WriteBack,
+    WriteBackAck,
+)
+from repro.core.operation import Location, Value
+from repro.cpu.access import MemoryAccess
+from repro.cpu.counter import OutstandingCounter
+from repro.interconnect.base import Interconnect
+from repro.sim.engine import Component, Simulator
+from repro.sim.stats import Stats
+
+
+class Cache(Component):
+    """One processor's cache + coherence controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cache_id: int,
+        interconnect: Interconnect,
+        stats: Stats,
+        capacity: Optional[int] = None,
+        hit_latency: int = 1,
+        reserve_enabled: bool = False,
+        nack_mode: bool = True,
+    ) -> None:
+        super().__init__(sim, f"cache{cache_id}")
+        self.cache_id = cache_id
+        self.interconnect = interconnect
+        self.stats = stats
+        self.capacity = capacity
+        self.hit_latency = hit_latency
+        self.reserve_enabled = reserve_enabled
+        self.nack_mode = nack_mode
+
+        self.counter = OutstandingCounter()
+        self._lines: Dict[Location, CacheLine] = {}
+        #: One outstanding transaction per location (processor enforces
+        #: this; asserted here).  Entries persist until global perform.
+        self._outstanding: Dict[Location, MemoryAccess] = {}
+        #: Reads that hit a line whose producing write awaits MemAck;
+        #: their global perform is deferred to that ack.
+        self._gp_waiters: Dict[Location, List[MemoryAccess]] = {}
+        #: Dirty lines evicted but not yet acknowledged by the directory.
+        self._victims: Dict[Location, Value] = {}
+        #: Recalls stalled on reserved lines (queue mode only).
+        self._stalled_recalls: List[Recall] = []
+        #: Locations whose invalidation overtook the data response on a
+        #: separate invalidation network: the incoming line is used once
+        #: (value delivered) and not retained.
+        self._inval_while_outstanding: set = set()
+        self._use_clock = 0
+        #: Observers of incoming SyncNack (stall accounting).
+        self.on_sync_nack: List[Callable[[Location], None]] = []
+
+        interconnect.register(cache_endpoint(cache_id), self._on_message)
+        self.counter.when_zero(self._on_counter_zero_registered)
+
+    # ------------------------------------------------------------------
+    # Processor-facing API
+    # ------------------------------------------------------------------
+    def submit(self, access: MemoryAccess) -> None:
+        """Begin servicing ``access``; events fire on the access object.
+
+        A hit may target a line whose previous write still awaits its
+        MemAck (the access then rides that ack for global perform); a
+        *miss* to a location with an open transaction is a processor
+        protocol violation, asserted in the miss paths.
+        """
+        self.sim.schedule(self.hit_latency, lambda: self._start(access))
+
+    def line_state(self, location: Location) -> LineState:
+        line = self._lines.get(location)
+        return line.state if line else LineState.INVALID
+
+    def line_value(self, location: Location) -> Optional[Value]:
+        line = self._lines.get(location)
+        return line.value if line and line.valid else None
+
+    def is_reserved(self, location: Location) -> bool:
+        line = self._lines.get(location)
+        return bool(line and line.reserved)
+
+    def any_reserved(self) -> bool:
+        return any(line.reserved for line in self._lines.values())
+
+    @property
+    def over_capacity(self) -> bool:
+        """True when unevictable (reserved/unacked) lines exceed capacity."""
+        if self.capacity is None:
+            return False
+        return self._resident_count() > self.capacity
+
+    def dirty_lines(self) -> Dict[Location, Value]:
+        """Exclusive-line contents (for end-of-run memory reconstruction)."""
+        out = {
+            loc: line.value
+            for loc, line in self._lines.items()
+            if line.state is LineState.EXCLUSIVE
+        }
+        out.update(self._victims)
+        return out
+
+    # ------------------------------------------------------------------
+    # Access servicing
+    # ------------------------------------------------------------------
+    def _start(self, access: MemoryAccess) -> None:
+        line = self._lines.get(access.location)
+        if not access.needs_exclusive and not access.kind.writes_memory:
+            self._service_read(access, line)
+        else:
+            self._service_exclusive(access, line)
+
+    def _service_read(self, access: MemoryAccess, line: Optional[CacheLine]) -> None:
+        if line is not None and line.valid:
+            self.stats.bump("cache.read_hits")
+            self._touch(line)
+            access.deliver_value(line.value, self.sim.now)
+            access.mark_committed(self.sim.now)
+            if line.gp_pending:
+                # The hit returned a locally-committed value whose write
+                # has not globally performed; the read's own global
+                # perform is deferred to the MemAck (Section 5.1's
+                # definition of a globally performed read).
+                self._gp_waiters.setdefault(access.location, []).append(access)
+            else:
+                access.mark_globally_performed(self.sim.now)
+            return
+        self.stats.bump("cache.read_misses")
+        assert access.location not in self._outstanding, (
+            f"cache {self.cache_id}: miss on {access.location!r} while a "
+            "transaction is open (processor must serialize per location)"
+        )
+        if not access.kind.is_sync:
+            # In-flight *synchronization* misses never count — even the
+            # read-only syncs that the Section 6 refinement routes through
+            # GetS.  A read-only sync request can be stalled by a remote
+            # reserve bit; counting it would let two processors' reserve
+            # bits wait on each other's sync reads (deadlock).  Condition
+            # 5 loses nothing: condition 4 already forbids a later sync
+            # from committing before this one commits.
+            self.counter.increment()
+        self._outstanding[access.location] = access
+        self._send(GetS(access.location, self.cache_id))
+
+    def _service_exclusive(self, access: MemoryAccess, line: Optional[CacheLine]) -> None:
+        if line is not None and line.state is LineState.EXCLUSIVE:
+            self.stats.bump("cache.write_hits")
+            self._touch(line)
+            self._perform_on_line(access, line, gp_now=not line.gp_pending)
+            if line.gp_pending:
+                # A previous write on this line still awaits MemAck; this
+                # access's effects ride on the same ack.
+                self._gp_waiters.setdefault(access.location, []).append(access)
+            self._after_sync_commit(access, line)
+            return
+        self.stats.bump(
+            "cache.write_upgrades" if line and line.valid else "cache.write_misses"
+        )
+        assert access.location not in self._outstanding, (
+            f"cache {self.cache_id}: miss on {access.location!r} while a "
+            "transaction is open (processor must serialize per location)"
+        )
+        if not access.sync_protocol:
+            # Data misses are outstanding accesses from the moment they
+            # are sent.  A *synchronization* request, however, may be
+            # stalled remotely by a reserve bit (condition 5); counting
+            # it while in flight would let two processors' reserve bits
+            # wait on each other's sync misses — a deadlock the paper's
+            # liveness argument implicitly excludes.  The sync op is
+            # counted from commit to MemAck instead (see _on_data_x),
+            # which is all condition 5 needs: reserve bits protect the
+            # accesses *before* the sync, never the sync itself.
+            self.counter.increment()
+        self._outstanding[access.location] = access
+        self._send(GetX(access.location, self.cache_id, is_sync=access.sync_protocol))
+
+    def _perform_on_line(
+        self, access: MemoryAccess, line: CacheLine, gp_now: bool
+    ) -> None:
+        """Commit ``access`` against the exclusive local copy."""
+        old = line.value
+        if access.kind.reads_memory:
+            access.deliver_value(old, self.sim.now)
+        if access.kind.writes_memory:
+            assert access.compute_write is not None
+            new = access.compute_write(old)
+            line.value = new
+            access.value_written = new
+        access.mark_committed(self.sim.now)
+        if gp_now:
+            access.mark_globally_performed(self.sim.now)
+
+    def _after_sync_commit(self, access: MemoryAccess, line: CacheLine) -> None:
+        """Section 5.3: set the reserve bit if accesses are outstanding."""
+        if not (self.reserve_enabled and access.sync_protocol):
+            return
+        if self.counter.value > 0:
+            if not line.reserved:
+                line.reserved = True
+                self.stats.bump("cache.reserves_set")
+            self.counter.when_zero(self._clear_reserves)
+
+    def _clear_reserves(self) -> None:
+        """Counter reads zero: reset all reserve bits, service stalls."""
+        for line in self._lines.values():
+            line.reserved = False
+        stalled, self._stalled_recalls = self._stalled_recalls, []
+        for recall in stalled:
+            self._handle_recall(recall)
+        self._evict_down_to_capacity()
+
+    def _on_counter_zero_registered(self) -> None:
+        # Initial registration fires immediately (counter starts at 0);
+        # nothing to do, but keep the hook alive for later transitions.
+        pass
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def _send(self, payload: Any) -> None:
+        self.interconnect.send(
+            cache_endpoint(self.cache_id), DIRECTORY_ENDPOINT, payload
+        )
+
+    def _on_message(self, payload: Any, src: str) -> None:
+        if isinstance(payload, DataS):
+            self._on_data_s(payload)
+        elif isinstance(payload, DataX):
+            self._on_data_x(payload)
+        elif isinstance(payload, MemAck):
+            self._on_mem_ack(payload)
+        elif isinstance(payload, Inval):
+            self._on_inval(payload)
+        elif isinstance(payload, Recall):
+            self._handle_recall(payload)
+        elif isinstance(payload, SyncNack):
+            self._on_sync_nack(payload)
+        elif isinstance(payload, WriteBackAck):
+            self._victims.pop(payload.location, None)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cache cannot handle {payload!r}")
+
+    def _on_data_s(self, data: DataS) -> None:
+        access = self._outstanding.pop(data.location)
+        line = self._install(data.location, LineState.SHARED, data.value)
+        access.deliver_value(data.value, self.sim.now)
+        access.mark_committed(self.sim.now)
+        access.mark_globally_performed(self.sim.now)
+        if data.location in self._inval_while_outstanding:
+            # Use-once fill: an invalidation already consumed this copy.
+            self._inval_while_outstanding.discard(data.location)
+            self._lines.pop(data.location, None)
+        if not access.kind.is_sync:
+            self.counter.decrement()
+
+    def _on_data_x(self, data: DataX) -> None:
+        access = self._outstanding[data.location]
+        # A fresh exclusive grant supersedes any stale invalidation that
+        # targeted the previous copy.
+        self._inval_while_outstanding.discard(data.location)
+        line = self._install(data.location, LineState.EXCLUSIVE, data.value)
+        if data.pending_acks == 0:
+            # The line was unowned or recalled from a single owner: the
+            # write globally performs on receipt.
+            self._perform_on_line(access, line, gp_now=True)
+            del self._outstanding[data.location]
+            if not access.sync_protocol:
+                self.counter.decrement()
+            self._after_sync_commit(access, line)
+        else:
+            # Parallel-forwarding path: commit now, global perform at
+            # MemAck.  The access is outstanding from commit until the
+            # ack, which is what makes the reserve bit stick until the
+            # write is globally performed (conditions 3 and 5).
+            if access.sync_protocol:
+                self.counter.increment()
+            line.gp_pending = True
+            self._perform_on_line(access, line, gp_now=False)
+            self._after_sync_commit(access, line)
+
+    def _on_mem_ack(self, ack: MemAck) -> None:
+        access = self._outstanding.pop(ack.location)
+        line = self._lines.get(ack.location)
+        if line is not None:
+            line.gp_pending = False
+        access.mark_globally_performed(self.sim.now)
+        for waiter in self._gp_waiters.pop(ack.location, []):
+            waiter.mark_globally_performed(self.sim.now)
+        self.counter.decrement()
+
+    def _on_inval(self, inval: Inval) -> None:
+        line = self._lines.get(inval.location)
+        if line is not None and line.valid:
+            assert line.state is LineState.SHARED, (
+                f"Inval for {inval.location!r} hit an exclusive line"
+            )
+            del self._lines[inval.location]
+        elif inval.location in self._outstanding:
+            # On an invalidation virtual channel the Inval can overtake
+            # the DataS it logically follows (the directory granted our
+            # read, then processed the writer).  Mark the fill use-once:
+            # the value is still the legal pre-write value, but the line
+            # must not be retained as if it were current.
+            self._inval_while_outstanding.add(inval.location)
+        self._send(InvalAck(inval.location, self.cache_id))
+
+    def _handle_recall(self, recall: Recall) -> None:
+        line = self._lines.get(recall.location)
+        if line is not None and line.valid:
+            if line.reserved:
+                # Section 5.3 condition 5: the line is reserved; the
+                # request is stalled until the counter reads zero, or
+                # NACKed back for retry.
+                self.stats.bump("cache.recalls_stalled")
+                if self.nack_mode:
+                    self._send(RecallNack(recall.location, self.cache_id))
+                else:
+                    self._stalled_recalls.append(recall)
+                return
+            assert line.state is LineState.EXCLUSIVE and not line.gp_pending, (
+                f"recall for {recall.location!r} in state {line.state}"
+            )
+            value = line.value
+            if recall.downgrade:
+                line.state = LineState.SHARED
+            else:
+                del self._lines[recall.location]
+            self._send(
+                RecallAck(recall.location, value, self.cache_id, recall.downgrade)
+            )
+            return
+        if recall.location in self._victims:
+            # Our write-back is still in flight; answer from the victim
+            # buffer (the directory will discard the stale write-back).
+            value = self._victims[recall.location]
+            self._send(
+                RecallAck(recall.location, value, self.cache_id, recall.downgrade)
+            )
+            return
+        raise AssertionError(
+            f"cache {self.cache_id}: recall for absent line {recall.location!r}"
+        )
+
+    def _on_sync_nack(self, nack: SyncNack) -> None:
+        access = self._outstanding.get(nack.location)
+        if access is not None:
+            access.nacks += 1
+        self.stats.bump("cache.sync_nacks_received")
+        for observer in self.on_sync_nack:
+            observer(nack.location)
+
+    # ------------------------------------------------------------------
+    # Fill / eviction
+    # ------------------------------------------------------------------
+    def _install(self, location: Location, state: LineState, value: Value) -> CacheLine:
+        line = self._lines.get(location)
+        if line is None:
+            line = CacheLine(location=location, state=state, value=value)
+            self._lines[location] = line
+        else:
+            line.state = state
+            line.value = value
+        self._touch(line)
+        self._evict_down_to_capacity(exclude=location)
+        return line
+
+    def _touch(self, line: CacheLine) -> None:
+        self._use_clock += 1
+        line.last_use = self._use_clock
+
+    def _resident_count(self) -> int:
+        return sum(1 for line in self._lines.values() if line.valid)
+
+    def _evict_down_to_capacity(self, exclude: Optional[Location] = None) -> None:
+        if self.capacity is None:
+            return
+        while self._resident_count() > self.capacity:
+            victim = self._pick_victim(exclude)
+            if victim is None:
+                # Every line is reserved or mid-transaction: the paper's
+                # flush-stall case.  The processor-side policy observes
+                # ``over_capacity`` and stalls until the counter drains.
+                self.stats.bump("cache.flush_stalls")
+                return
+            self._evict(victim)
+
+    def _pick_victim(self, exclude: Optional[Location]) -> Optional[CacheLine]:
+        candidates = [
+            line
+            for loc, line in self._lines.items()
+            if line.valid
+            and not line.reserved
+            and not line.gp_pending
+            and loc != exclude
+            and loc not in self._outstanding
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda line: line.last_use)
+
+    def _evict(self, line: CacheLine) -> None:
+        self.stats.bump("cache.evictions")
+        if line.state is LineState.EXCLUSIVE:
+            self._victims[line.location] = line.value
+            self._send(WriteBack(line.location, line.value, self.cache_id))
+        del self._lines[line.location]

@@ -1,0 +1,49 @@
+"""Cache lines.
+
+One line holds one memory location (no false sharing; the paper reasons
+about "the line with the synchronization variable" as if they coincide).
+Each line carries the paper's *reserve bit* (Section 5.3): set when a
+synchronization operation commits on the line while the processor's
+outstanding-access counter is positive, cleared when the counter reads
+zero, and protected from flushes while set.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.operation import Location, Value
+
+
+class LineState(enum.Enum):
+    """MSI-style stable states of a cached line."""
+
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"  # owned, possibly dirty; memory may be stale
+
+
+@dataclass
+class CacheLine:
+    """A resident line and its bookkeeping bits."""
+
+    location: Location
+    state: LineState
+    value: Value
+    #: Section 5.3's reserve bit.
+    reserved: bool = False
+    #: True while a committed write on this line awaits its MemAck —
+    #: i.e. the local value is newer than what every other processor has
+    #: been guaranteed to observe.
+    gp_pending: bool = False
+    #: LRU timestamp maintained by the cache.
+    last_use: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return self.state is not LineState.INVALID
+
+    @property
+    def exclusive(self) -> bool:
+        return self.state is LineState.EXCLUSIVE

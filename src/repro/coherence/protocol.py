@@ -1,0 +1,151 @@
+"""Coherence protocol messages (Section 5.2).
+
+The paper assumes "a straightforward directory-based, write-back cache
+coherence protocol, similar to those discussed in [ASH88]", with one
+deliberate relaxation: on a write miss to a line shared by other caches,
+the directory *forwards the line to the requester in parallel* with
+sending the invalidations.  The requester may therefore write (commit)
+before the write is globally performed; global performance is signalled
+later by ``MemAck``, once the directory has collected every invalidation
+acknowledgement.
+
+Message direction conventions:
+
+* cache -> directory: :class:`GetS`, :class:`GetX`, :class:`InvalAck`,
+  :class:`RecallAck`, :class:`RecallNack`, :class:`WriteBack`
+* directory -> cache: :class:`DataS`, :class:`DataX`, :class:`Inval`,
+  :class:`MemAck`, :class:`Recall`, :class:`WriteBackAck`, :class:`SyncNack`
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.operation import Location, Value
+
+
+@dataclass(frozen=True)
+class GetS:
+    """Read miss: request a shared copy."""
+
+    location: Location
+    requester: int
+
+
+@dataclass(frozen=True)
+class GetX:
+    """Write/upgrade miss: request an exclusive copy.
+
+    ``is_sync`` marks synchronization accesses so owner caches can apply
+    the reserve-bit rule of Section 5.3 (condition 5).
+    """
+
+    location: Location
+    requester: int
+    is_sync: bool = False
+
+
+@dataclass(frozen=True)
+class DataS:
+    """Grant of a shared copy, carrying the (globally performed) value."""
+
+    location: Location
+    value: Value
+
+
+@dataclass(frozen=True)
+class DataX:
+    """Grant of an exclusive copy, possibly before invalidations finish.
+
+    ``pending_acks`` is the number of invalidations outstanding when the
+    line was forwarded: 0 means the write globally performs on receipt;
+    otherwise global performance is signalled by a later :class:`MemAck`.
+    """
+
+    location: Location
+    value: Value
+    pending_acks: int
+
+
+@dataclass(frozen=True)
+class Inval:
+    """Invalidate any local copy of the line and acknowledge."""
+
+    location: Location
+
+
+@dataclass(frozen=True)
+class InvalAck:
+    """A cache acknowledges an invalidation."""
+
+    location: Location
+    from_cache: int
+
+
+@dataclass(frozen=True)
+class MemAck:
+    """All invalidation acks collected: the requester's write is now
+    globally performed (paper: "the directory ... is required to send its
+    ack to the processor cache that issued the write")."""
+
+    location: Location
+
+
+@dataclass(frozen=True)
+class Recall:
+    """Directory asks the exclusive owner to give the line up.
+
+    ``downgrade`` is True for a read request (owner keeps a shared copy)
+    and False for a write request (owner invalidates).  ``for_sync``
+    propagates the requesting access's synchronization status for the
+    reserve-bit rule.
+    """
+
+    location: Location
+    downgrade: bool
+    for_sync: bool = False
+
+
+@dataclass(frozen=True)
+class RecallAck:
+    """Owner's reply to a recall, carrying the current line value."""
+
+    location: Location
+    value: Value
+    from_cache: int
+    downgraded: bool
+
+
+@dataclass(frozen=True)
+class RecallNack:
+    """Owner refuses a recall because the line is reserved (counter > 0).
+
+    Section 5.3, footnote 2: "a negative ack may be sent to the processor
+    that sent the request, asking it to try again"."""
+
+    location: Location
+    from_cache: int
+
+
+@dataclass(frozen=True)
+class SyncNack:
+    """Directory tells the requester its sync request was NACKed and will
+    be retried; purely informational (used for stall accounting)."""
+
+    location: Location
+
+
+@dataclass(frozen=True)
+class WriteBack:
+    """Eviction of a dirty (exclusive) line."""
+
+    location: Location
+    value: Value
+    from_cache: int
+
+
+@dataclass(frozen=True)
+class WriteBackAck:
+    """Directory accepted (or discarded as stale) a write-back."""
+
+    location: Location

@@ -1,0 +1,464 @@
+"""A snooping MSI protocol on the atomic bus.
+
+The paper's Section 2.1 recalls that single-bus cache-coherent systems
+(e.g. Rudolph & Segall's protocols [RuS84]) were the setting where
+coherence was first proven to give sequential consistency.  This module
+provides that substrate as an alternative to the directory protocol:
+
+* every miss becomes one **atomic bus transaction**; at the instant the
+  transaction is granted, every other cache snoops it — a dirty owner
+  supplies the line (and downgrades or invalidates), sharers of a
+  read-exclusive request invalidate — and memory answers otherwise;
+* because invalidations happen *at* the serialization instant, a write
+  is globally performed the moment its transaction completes: commit and
+  global perform coincide, so the commit-vs-gp gap that motivates the
+  paper's Section 5 machinery simply does not exist here.  (The Figure-1
+  bus+cache violation survives: a processor can still hit its stale
+  local copy before its own write's transaction reaches the bus.)
+
+The reserve-bit rule is still honoured for completeness: a *sync*
+transaction that snoops a reserved line at its owner is NACKed and
+retried, so condition 5 holds on this substrate too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.coherence.line import CacheLine, LineState
+from repro.core.operation import Location, Value
+from repro.cpu.access import MemoryAccess
+from repro.cpu.counter import OutstandingCounter
+from repro.interconnect.base import Interconnect
+from repro.sim.engine import Component, Simulator
+from repro.sim.stats import Stats
+
+SNOOP_ENDPOINT = "snoop"
+
+
+def snoop_cache_endpoint(cache_id: int) -> str:
+    return f"snoopcache:{cache_id}"
+
+
+@dataclass(frozen=True)
+class BusRd:
+    """Read miss: acquire a shared copy."""
+
+    location: Location
+    requester: int
+
+
+@dataclass(frozen=True)
+class BusRdX:
+    """Write/upgrade miss: acquire the only copy."""
+
+    location: Location
+    requester: int
+    is_sync: bool = False
+
+
+@dataclass(frozen=True)
+class BusWB:
+    """Write back a dirty line on eviction."""
+
+    location: Location
+    value: Value
+    requester: int
+
+
+@dataclass(frozen=True)
+class SnoopData:
+    """Transaction response: the line value, with grant kind."""
+
+    location: Location
+    value: Value
+    exclusive: bool
+
+
+@dataclass(frozen=True)
+class SnoopNack:
+    """The owner held the line reserved; retry later (condition 5)."""
+
+    location: Location
+
+
+@dataclass(frozen=True)
+class SnoopDone:
+    """The requester installed the granted line: the bus is released.
+
+    The bus is *atomic*, not split-transaction: a read/write transaction
+    holds it from grant until the data lands in the requester's cache,
+    so no other transaction can be granted into the window between the
+    snoops and the install (the race a split bus would need transient
+    states for)."""
+
+    location: Location
+
+
+class SnoopCoordinator(Component):
+    """The bus-side serialization point.
+
+    Receives transactions over the (serializing) bus; at receipt — the
+    atomic transaction instant — it snoops every cache synchronously and
+    replies to the requester through the bus.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interconnect: Interconnect,
+        stats: Stats,
+        initial_memory: Optional[Dict[Location, Value]] = None,
+        retry_delay: int = 8,
+    ) -> None:
+        super().__init__(sim, "snoop-coordinator")
+        self.interconnect = interconnect
+        self.stats = stats
+        self.retry_delay = retry_delay
+        self._memory: Dict[Location, Value] = dict(initial_memory or {})
+        self.caches: List["SnoopingCache"] = []
+        #: Atomic-bus serialization: a granted Rd/RdX holds the bus until
+        #: the requester's SnoopDone; later transactions queue here.
+        self._busy = False
+        self._waiting: List[Any] = []
+        interconnect.register(SNOOP_ENDPOINT, self._on_message)
+
+    def attach(self, cache: "SnoopingCache") -> None:
+        self.caches.append(cache)
+
+    def memory_value(self, location: Location) -> Value:
+        return self._memory.get(location, 0)
+
+    # ------------------------------------------------------------------
+    def _respond(self, cache_id: int, payload: Any) -> None:
+        self.interconnect.send(
+            SNOOP_ENDPOINT, snoop_cache_endpoint(cache_id), payload
+        )
+
+    def _on_message(self, payload: Any, src: str) -> None:
+        if isinstance(payload, SnoopDone):
+            self._busy = False
+            self._drain()
+            return
+        if self._busy and isinstance(payload, (BusRd, BusRdX, BusWB)):
+            self._waiting.append(payload)
+            self.stats.bump("snoop.queued")
+            return
+        self._dispatch(payload)
+
+    def _drain(self) -> None:
+        while self._waiting and not self._busy:
+            self._dispatch(self._waiting.pop(0))
+
+    def _dispatch(self, payload: Any) -> None:
+        if isinstance(payload, BusRd):
+            self._busy = True
+            self._handle_rd(payload)
+        elif isinstance(payload, BusRdX):
+            self._handle_rdx(payload)
+        elif isinstance(payload, BusWB):
+            # Snoop our own transaction at the grant instant: if another
+            # transaction took the line from the write-back buffer in the
+            # meantime, the write-back was cancelled and must not clobber
+            # the newer owner's data.
+            owner = next(
+                c for c in self.caches if c.cache_id == payload.requester
+            )
+            value = owner.consume_writeback(payload.location)
+            if value is not None:
+                self.stats.bump("snoop.writebacks")
+                self._memory[payload.location] = value
+            else:
+                self.stats.bump("snoop.cancelled_writebacks")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"snoop coordinator cannot handle {payload!r}")
+
+    def _handle_rd(self, txn: BusRd) -> None:
+        self.stats.bump("snoop.busrd")
+        value = self.memory_value(txn.location)
+        for cache in self.caches:
+            if cache.cache_id == txn.requester:
+                continue
+            supplied = cache.snoop_rd(txn.location)
+            if supplied is not None:
+                value = supplied
+                self._memory[txn.location] = supplied
+        self._respond(txn.requester, SnoopData(txn.location, value, exclusive=False))
+
+    def _handle_rdx(self, txn: BusRdX) -> None:
+        self.stats.bump("snoop.busrdx")
+        # First pass: the reserve check.  A reserved line refuses the
+        # sync transaction before anyone is invalidated.
+        for cache in self.caches:
+            if cache.cache_id == txn.requester:
+                continue
+            if cache.holds_reserved(txn.location):
+                self.stats.bump("snoop.nacks")
+                self._respond(txn.requester, SnoopNack(txn.location))
+
+                def retry(t=txn) -> None:
+                    self.interconnect.send(
+                        snoop_cache_endpoint(t.requester), SNOOP_ENDPOINT, t
+                    )
+
+                self.sim.schedule(self.retry_delay, retry)
+                return
+        self._busy = True
+        value = self.memory_value(txn.location)
+        for cache in self.caches:
+            if cache.cache_id == txn.requester:
+                continue
+            supplied = cache.snoop_rdx(txn.location)
+            if supplied is not None:
+                value = supplied
+        self._respond(txn.requester, SnoopData(txn.location, value, exclusive=True))
+
+
+class SnoopingCache(Component):
+    """A processor cache snooping the atomic bus.
+
+    Implements the same processor-facing port as the directory cache
+    (``submit``), so processors and policies are oblivious to which
+    substrate they run on.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cache_id: int,
+        interconnect: Interconnect,
+        coordinator: SnoopCoordinator,
+        stats: Stats,
+        capacity: Optional[int] = None,
+        hit_latency: int = 1,
+        reserve_enabled: bool = False,
+    ) -> None:
+        super().__init__(sim, f"snoopcache{cache_id}")
+        self.cache_id = cache_id
+        self.interconnect = interconnect
+        self.coordinator = coordinator
+        self.stats = stats
+        self.capacity = capacity
+        self.hit_latency = hit_latency
+        self.reserve_enabled = reserve_enabled
+
+        self.counter = OutstandingCounter()
+        self._lines: Dict[Location, CacheLine] = {}
+        self._outstanding: Dict[Location, MemoryAccess] = {}
+        #: Dirty lines awaiting their BusWB grant; snoopable, and
+        #: cancelled (set to None) when another transaction takes them.
+        self._victims: Dict[Location, Optional[Value]] = {}
+        self._use_clock = 0
+        interconnect.register(snoop_cache_endpoint(cache_id), self._on_message)
+        coordinator.attach(self)
+
+    # ------------------------------------------------------------------
+    # Processor-facing API (mirrors repro.coherence.cache.Cache)
+    # ------------------------------------------------------------------
+    def submit(self, access: MemoryAccess) -> None:
+        self.sim.schedule(self.hit_latency, lambda: self._start(access))
+
+    def line_state(self, location: Location) -> LineState:
+        line = self._lines.get(location)
+        return line.state if line else LineState.INVALID
+
+    def line_value(self, location: Location) -> Optional[Value]:
+        line = self._lines.get(location)
+        return line.value if line and line.valid else None
+
+    def is_reserved(self, location: Location) -> bool:
+        line = self._lines.get(location)
+        return bool(line and line.reserved)
+
+    def any_reserved(self) -> bool:
+        return any(line.reserved for line in self._lines.values())
+
+    @property
+    def over_capacity(self) -> bool:
+        if self.capacity is None:
+            return False
+        return sum(1 for l in self._lines.values() if l.valid) > self.capacity
+
+    def dirty_lines(self) -> Dict[Location, Value]:
+        out = {
+            loc: line.value
+            for loc, line in self._lines.items()
+            if line.state is LineState.EXCLUSIVE
+        }
+        for loc, value in self._victims.items():
+            if value is not None:
+                out[loc] = value
+        return out
+
+    # ------------------------------------------------------------------
+    # Snoop duties (called synchronously at the transaction instant)
+    # ------------------------------------------------------------------
+    def holds_reserved(self, location: Location) -> bool:
+        if not self.reserve_enabled:
+            return False
+        line = self._lines.get(location)
+        return bool(line and line.valid and line.reserved)
+
+    def snoop_rd(self, location: Location) -> Optional[Value]:
+        """Another cache reads: supply if dirty, downgrade to shared."""
+        line = self._lines.get(location)
+        if line is not None and line.valid:
+            if line.state is LineState.EXCLUSIVE:
+                line.state = LineState.SHARED
+                self.stats.bump("snoop.supplied")
+                return line.value
+            return None
+        # The dirty data may be parked in the write-back buffer.
+        value = self._victims.get(location)
+        if value is not None:
+            self.stats.bump("snoop.supplied_from_wb")
+            return value
+        return None
+
+    def snoop_rdx(self, location: Location) -> Optional[Value]:
+        """Another cache writes: supply if dirty, invalidate any copy."""
+        line = self._lines.get(location)
+        if line is not None and line.valid:
+            value = line.value if line.state is LineState.EXCLUSIVE else None
+            del self._lines[location]
+            self.stats.bump("snoop.invalidated")
+            return value
+        if self._victims.get(location) is not None:
+            # Hand the dirty data over and cancel our pending write-back:
+            # the requester is the owner now.
+            value = self._victims[location]
+            self._victims[location] = None
+            self.stats.bump("snoop.supplied_from_wb")
+            return value
+        return None
+
+    def consume_writeback(self, location: Location) -> Optional[Value]:
+        """Our BusWB was granted: pop the buffer entry (None = cancelled)."""
+        return self._victims.pop(location, None)
+
+    # ------------------------------------------------------------------
+    # Access servicing
+    # ------------------------------------------------------------------
+    def _start(self, access: MemoryAccess) -> None:
+        line = self._lines.get(access.location)
+        needs_exclusive = access.needs_exclusive or access.kind.writes_memory
+        if line is not None and line.valid and (
+            line.state is LineState.EXCLUSIVE or not needs_exclusive
+        ):
+            self._touch(line)
+            self.stats.bump("snoopcache.hits")
+            self._perform(access, line)
+            return
+        self.stats.bump("snoopcache.misses")
+        assert access.location not in self._outstanding, (
+            f"snooping cache {self.cache_id}: second miss on "
+            f"{access.location!r} while one is outstanding"
+        )
+        self.counter.increment()
+        self._outstanding[access.location] = access
+        if needs_exclusive:
+            txn = BusRdX(
+                access.location, self.cache_id, is_sync=access.sync_protocol
+            )
+        else:
+            txn = BusRd(access.location, self.cache_id)
+        self._send(txn)
+
+    def _perform(self, access: MemoryAccess, line: CacheLine) -> None:
+        """Commit against the local copy; on this substrate a hit on an
+        exclusive line (or any read hit) is globally performed at once."""
+        old = line.value
+        if access.kind.reads_memory:
+            access.deliver_value(old, self.sim.now)
+        if access.kind.writes_memory:
+            assert access.compute_write is not None
+            new = access.compute_write(old)
+            line.value = new
+            access.value_written = new
+        access.mark_committed(self.sim.now)
+        access.mark_globally_performed(self.sim.now)
+        self._after_sync_commit(access, line)
+
+    def _after_sync_commit(self, access: MemoryAccess, line: CacheLine) -> None:
+        if not (self.reserve_enabled and access.sync_protocol):
+            return
+        if self.counter.value > 0:
+            if not line.reserved:
+                line.reserved = True
+                self.stats.bump("snoopcache.reserves_set")
+            self.counter.when_zero(self._clear_reserves)
+
+    def _clear_reserves(self) -> None:
+        for line in self._lines.values():
+            line.reserved = False
+
+    # ------------------------------------------------------------------
+    # Bus responses
+    # ------------------------------------------------------------------
+    def _send(self, payload: Any) -> None:
+        self.interconnect.send(
+            snoop_cache_endpoint(self.cache_id), SNOOP_ENDPOINT, payload
+        )
+
+    def _on_message(self, payload: Any, src: str) -> None:
+        if isinstance(payload, SnoopData):
+            access = self._outstanding.pop(payload.location)
+            state = (
+                LineState.EXCLUSIVE if payload.exclusive else LineState.SHARED
+            )
+            line = self._install(payload.location, state, payload.value)
+            self.counter.decrement()
+            self._perform(access, line)
+            # Release the atomic bus: the transfer is complete.
+            self._send(SnoopDone(payload.location))
+        elif isinstance(payload, SnoopNack):
+            access = self._outstanding.get(payload.location)
+            if access is not None:
+                access.nacks += 1
+            self.stats.bump("snoopcache.nacks_received")
+            # The coordinator re-issues the transaction after its retry
+            # delay; nothing to do here.
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"snooping cache cannot handle {payload!r}")
+
+    # ------------------------------------------------------------------
+    # Fill / eviction
+    # ------------------------------------------------------------------
+    def _install(self, location: Location, state: LineState, value: Value) -> CacheLine:
+        line = self._lines.get(location)
+        if line is None:
+            line = CacheLine(location=location, state=state, value=value)
+            self._lines[location] = line
+        else:
+            line.state = state
+            line.value = value
+        self._touch(line)
+        self._evict_down_to_capacity(exclude=location)
+        return line
+
+    def _touch(self, line: CacheLine) -> None:
+        self._use_clock += 1
+        line.last_use = self._use_clock
+
+    def _evict_down_to_capacity(self, exclude: Optional[Location]) -> None:
+        if self.capacity is None:
+            return
+        while sum(1 for l in self._lines.values() if l.valid) > self.capacity:
+            candidates = [
+                line
+                for loc, line in self._lines.items()
+                if line.valid
+                and not line.reserved
+                and loc != exclude
+                and loc not in self._outstanding
+            ]
+            if not candidates:
+                self.stats.bump("snoopcache.flush_stalls")
+                return
+            victim = min(candidates, key=lambda l: l.last_use)
+            self.stats.bump("snoopcache.evictions")
+            if victim.state is LineState.EXCLUSIVE:
+                self._victims[victim.location] = victim.value
+                self._send(BusWB(victim.location, victim.value, self.cache_id))
+            del self._lines[victim.location]

@@ -1,0 +1,213 @@
+"""The conformance grid: which hardware keeps which promise.
+
+Definition 2 turns memory-model correctness into a checkable contract,
+so a whole machine zoo can be audited mechanically.  For every (machine
+configuration, ordering policy) pair, :func:`run_conformance` runs the
+litmus catalog and classifies the pair:
+
+* ``SC``             — no SC violation observed on *any* program;
+* ``WEAKLY-ORDERED`` — violations only on programs that violate the
+  policy's *own* synchronization model (the hardware kept Definition 2's
+  promise);
+* ``BROKEN``         — a model-conformant program produced a non-SC
+  outcome: the hardware breaks the weak-ordering contract.
+
+Each policy is judged against the model it contracts for (Definition 2
+is parametric): DEF2-R promises SC only to DRF0-R software, so its
+permitted violations include programs that are DRF0 but not DRF0-R —
+the all-synchronization Dekker on the invalidation-virtual-channel
+network is exactly such a case, and judging DEF2-R against plain DRF0
+would misreport it as broken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.litmus.catalog import standard_catalog
+from repro.litmus.runner import LitmusRunner
+from repro.litmus.test import LitmusTest
+from repro.memsys.config import (
+    BUS_CACHE,
+    BUS_CACHE_SNOOP,
+    BUS_NOCACHE,
+    MachineConfig,
+    NET_CACHE,
+    NET_CACHE_VC,
+    NET_NOCACHE,
+)
+from repro.memsys.system import ConfigurationError
+from repro.models.base import OrderingPolicy
+from repro.models.policies import (
+    Def1Policy,
+    Def2Policy,
+    Def2RPolicy,
+    RelaxedPolicy,
+    SCPolicy,
+)
+
+#: Conformance verdicts, strongest first.
+VERDICT_SC = "SC"
+VERDICT_WEAK = "WEAKLY-ORDERED"
+VERDICT_BROKEN = "BROKEN"
+VERDICT_NA = "n/a"
+
+
+@dataclass
+class CellResult:
+    """One (machine, policy) audit."""
+
+    config_name: str
+    policy_name: str
+    verdict: str
+    #: test name -> True if some outcome violated SC.
+    violations: Dict[str, bool] = field(default_factory=dict)
+    #: tests that failed to complete (livelock/timeout), if any.
+    incomplete: List[str] = field(default_factory=list)
+
+    @property
+    def violated_tests(self) -> List[str]:
+        return sorted(name for name, bad in self.violations.items() if bad)
+
+
+@dataclass
+class ConformanceReport:
+    """The full grid."""
+
+    cells: List[CellResult]
+    runs_per_test: int
+
+    def cell(self, config_name: str, policy_name: str) -> Optional[CellResult]:
+        for cell in self.cells:
+            if cell.config_name == config_name and cell.policy_name == policy_name:
+                return cell
+        return None
+
+    def to_rows(self) -> List[List[str]]:
+        configs = sorted({c.config_name for c in self.cells})
+        policies = []
+        for cell in self.cells:
+            if cell.policy_name not in policies:
+                policies.append(cell.policy_name)
+        rows = []
+        for policy in policies:
+            row = [policy]
+            for config in configs:
+                cell = self.cell(config, policy)
+                row.append(cell.verdict if cell else VERDICT_NA)
+            rows.append(row)
+        return rows
+
+    def headers(self) -> List[str]:
+        return ["policy"] + sorted({c.config_name for c in self.cells})
+
+    def describe(self) -> str:
+        from repro.analysis.report import format_table
+
+        return format_table(self.headers(), self.to_rows())
+
+
+DEFAULT_CONFIGS: Tuple[MachineConfig, ...] = (
+    BUS_NOCACHE,
+    NET_NOCACHE,
+    BUS_CACHE,
+    NET_CACHE,
+    NET_CACHE_VC,
+    BUS_CACHE_SNOOP,
+)
+
+DEFAULT_POLICIES: Tuple[Callable[[], OrderingPolicy], ...] = (
+    RelaxedPolicy,
+    SCPolicy,
+    Def1Policy,
+    Def2Policy,
+    Def2RPolicy,
+)
+
+
+def _conforms(test: LitmusTest, model, cache: Dict[tuple, bool]) -> bool:
+    """Does the program obey the policy's synchronization model?"""
+    from repro.drf.drf0 import check_program
+
+    key = (model.name, test.name)
+    if key not in cache:
+        cache[key] = check_program(
+            test.program, model, max_executions=5_000
+        ).obeys
+    return cache[key]
+
+
+def run_conformance(
+    configs: Sequence[MachineConfig] = DEFAULT_CONFIGS,
+    policies: Sequence[Callable[[], OrderingPolicy]] = DEFAULT_POLICIES,
+    tests: Optional[Sequence[LitmusTest]] = None,
+    runs_per_test: int = 30,
+    base_seed: int = 2024,
+    runner: Optional[LitmusRunner] = None,
+) -> ConformanceReport:
+    """Audit every (machine, policy) pair against the litmus battery."""
+    runner = runner or LitmusRunner()
+    tests = list(tests) if tests is not None else standard_catalog()
+    conformance_cache: Dict[tuple, bool] = {}
+
+    cells: List[CellResult] = []
+    for config in configs:
+        for policy_factory in policies:
+            policy_name = policy_factory().name
+            try:
+                cell = _audit_cell(
+                    runner, config, policy_factory, tests, runs_per_test,
+                    base_seed, conformance_cache,
+                )
+            except ConfigurationError:
+                cell = CellResult(
+                    config_name=config.name,
+                    policy_name=policy_name,
+                    verdict=VERDICT_NA,
+                )
+            cells.append(cell)
+    return ConformanceReport(cells=cells, runs_per_test=runs_per_test)
+
+
+def _audit_cell(
+    runner: LitmusRunner,
+    config: MachineConfig,
+    policy_factory: Callable[[], OrderingPolicy],
+    tests: Sequence[LitmusTest],
+    runs_per_test: int,
+    base_seed: int,
+    conformance_cache: Dict[tuple, bool],
+) -> CellResult:
+    violations: Dict[str, bool] = {}
+    incomplete: List[str] = []
+    broke_contract = False
+    any_violation = False
+    for test in tests:
+        result = runner.run(
+            test, policy_factory, config, runs=runs_per_test, base_seed=base_seed
+        )
+        if result.completed_runs < result.runs:
+            incomplete.append(test.name)
+        violated = result.violated_sc
+        violations[test.name] = violated
+        if violated:
+            any_violation = True
+            if _conforms(
+                test, policy_factory().synchronization_model(),
+                conformance_cache,
+            ):
+                broke_contract = True
+    if broke_contract:
+        verdict = VERDICT_BROKEN
+    elif any_violation:
+        verdict = VERDICT_WEAK
+    else:
+        verdict = VERDICT_SC
+    return CellResult(
+        config_name=config.name,
+        policy_name=policy_factory().name,
+        verdict=verdict,
+        violations=violations,
+        incomplete=incomplete,
+    )

@@ -1,0 +1,306 @@
+"""The instruction set of the reproduction's abstract processors.
+
+Programs in this library are small assembly-like thread bodies.  The set
+is deliberately minimal but complete enough to express every workload the
+paper discusses:
+
+* ordinary data accesses (``Load``/``Store``),
+* the three synchronization flavours of Section 6 — read-only
+  (``SyncLoad``, the paper's *Test*), write-only (``SyncStore``, the
+  paper's *Unset*/*Set*), and read-write (``TestAndSet``, ``Swap``,
+  ``FetchAndAdd``),
+* register arithmetic and control flow, so spin-locks, barriers and
+  bounded loops are expressible.
+
+Every synchronization instruction accesses exactly one memory location,
+as DRF0 condition (1) requires.  An instruction that swapped the values
+of *two* memory locations is intentionally inexpressible (Section 4
+forbids it as a DRF0 synchronization primitive).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.operation import Location, OpKind
+from repro.core.registers import Register, RegisterFile
+
+#: An operand is either a register name or an immediate integer.
+Operand = Union[Register, int]
+
+
+def operand_value(regs: RegisterFile, operand: Operand) -> int:
+    """Resolve an operand against a register file."""
+    if isinstance(operand, int):
+        return operand
+    return regs.read(operand)
+
+
+class Instruction:
+    """Base class for all instructions.  Purely a marker."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Memory instructions
+# ---------------------------------------------------------------------------
+
+
+class MemInstruction(Instruction):
+    """An instruction that performs exactly one memory operation.
+
+    Executors drive these through a uniform protocol:
+
+    * :attr:`kind` says whether the op reads, writes, or both, and whether
+      it is a synchronization operation.
+    * :meth:`compute_write` maps ``(registers, old_memory_value)`` to the
+      value stored — for plain stores the old value is ignored; for
+      read-modify-writes it is the atomically-read value.
+    * :attr:`dest` names the register receiving the read component's
+      value (``None`` for write-only ops).
+    """
+
+    __slots__ = ()
+
+    kind: OpKind
+    location: Location
+    dest: Optional[Register]
+
+    def compute_write(self, regs: RegisterFile, old_value: int) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Load(MemInstruction):
+    """Data read: ``dest <- mem[location]``."""
+
+    dest: Register
+    location: Location
+    kind = OpKind.READ
+
+    def compute_write(self, regs: RegisterFile, old_value: int) -> int:
+        raise TypeError("Load has no write component")
+
+
+@dataclass(frozen=True)
+class Store(MemInstruction):
+    """Data write: ``mem[location] <- src``."""
+
+    location: Location
+    src: Operand
+    kind = OpKind.WRITE
+    dest = None
+
+    def compute_write(self, regs: RegisterFile, old_value: int) -> int:
+        return operand_value(regs, self.src)
+
+
+@dataclass(frozen=True)
+class SyncLoad(MemInstruction):
+    """Read-only synchronization (the paper's *Test*)."""
+
+    dest: Register
+    location: Location
+    kind = OpKind.SYNC_READ
+
+    def compute_write(self, regs: RegisterFile, old_value: int) -> int:
+        raise TypeError("SyncLoad has no write component")
+
+
+@dataclass(frozen=True)
+class SyncStore(MemInstruction):
+    """Write-only synchronization (the paper's *Unset*/*Set*)."""
+
+    location: Location
+    src: Operand
+    kind = OpKind.SYNC_WRITE
+    dest = None
+
+    def compute_write(self, regs: RegisterFile, old_value: int) -> int:
+        return operand_value(regs, self.src)
+
+
+@dataclass(frozen=True)
+class TestAndSet(MemInstruction):
+    """Atomic read-write synchronization: ``dest <- mem; mem <- 1``."""
+
+    dest: Register
+    location: Location
+    kind = OpKind.SYNC_RMW
+
+    def compute_write(self, regs: RegisterFile, old_value: int) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Swap(MemInstruction):
+    """Atomic register-memory swap: ``dest <- mem; mem <- src``.
+
+    Still a single-location operation, hence a legal DRF0 primitive.
+    """
+
+    dest: Register
+    location: Location
+    src: Operand
+    kind = OpKind.SYNC_RMW
+
+    def compute_write(self, regs: RegisterFile, old_value: int) -> int:
+        return operand_value(regs, self.src)
+
+
+@dataclass(frozen=True)
+class FetchAndAdd(MemInstruction):
+    """Atomic fetch-and-add: ``dest <- mem; mem <- mem + src``."""
+
+    dest: Register
+    location: Location
+    src: Operand
+    kind = OpKind.SYNC_RMW
+
+    def compute_write(self, regs: RegisterFile, old_value: int) -> int:
+        return old_value + operand_value(regs, self.src)
+
+
+# ---------------------------------------------------------------------------
+# Register instructions
+# ---------------------------------------------------------------------------
+
+
+class RegInstruction(Instruction):
+    """An instruction touching only the local register file."""
+
+    __slots__ = ()
+
+    def apply(self, regs: RegisterFile) -> None:
+        raise NotImplementedError
+
+
+class BinOp(enum.Enum):
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+
+    def evaluate(self, a: int, b: int) -> int:
+        if self is BinOp.ADD:
+            return a + b
+        if self is BinOp.SUB:
+            return a - b
+        if self is BinOp.MUL:
+            return a * b
+        if self is BinOp.AND:
+            return a & b
+        if self is BinOp.OR:
+            return a | b
+        return a ^ b
+
+
+@dataclass(frozen=True)
+class Arith(RegInstruction):
+    """``dest <- a <op> b``."""
+
+    op: BinOp
+    dest: Register
+    a: Operand
+    b: Operand
+
+    def apply(self, regs: RegisterFile) -> None:
+        regs.write(
+            self.dest,
+            self.op.evaluate(operand_value(regs, self.a), operand_value(regs, self.b)),
+        )
+
+
+@dataclass(frozen=True)
+class Mov(RegInstruction):
+    """``dest <- src``."""
+
+    dest: Register
+    src: Operand
+
+    def apply(self, regs: RegisterFile) -> None:
+        regs.write(self.dest, operand_value(regs, self.src))
+
+
+@dataclass(frozen=True)
+class Nop(RegInstruction):
+    """Consumes one execution step; useful for padding local work."""
+
+    def apply(self, regs: RegisterFile) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Control flow
+# ---------------------------------------------------------------------------
+
+
+class Condition(enum.Enum):
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def holds(self, a: int, b: int) -> bool:
+        if self is Condition.EQ:
+            return a == b
+        if self is Condition.NE:
+            return a != b
+        if self is Condition.LT:
+            return a < b
+        if self is Condition.LE:
+            return a <= b
+        if self is Condition.GT:
+            return a > b
+        return a >= b
+
+
+@dataclass(frozen=True)
+class Branch(Instruction):
+    """Conditional branch to a thread-local label."""
+
+    cond: Condition
+    a: Operand
+    b: Operand
+    target: str
+
+    def taken(self, regs: RegisterFile) -> bool:
+        return self.cond.holds(operand_value(regs, self.a), operand_value(regs, self.b))
+
+
+@dataclass(frozen=True)
+class Jump(Instruction):
+    """Unconditional branch to a thread-local label."""
+
+    target: str
+
+
+@dataclass(frozen=True)
+class Halt(Instruction):
+    """Explicitly end the thread (implicit at end of instruction list)."""
+
+
+@dataclass(frozen=True)
+class Fence(Instruction):
+    """Drain: stall until all previous accesses are globally performed.
+
+    This is the RP3 fence option of Section 2.1 — "a process is required
+    to wait for acknowledgements on its outstanding requests only on a
+    fence instruction.  As will be apparent later, this option functions
+    as a weakly ordered system."  It is also exactly the drain a context
+    switch needs before process migration (Section 5.1's footnote): after
+    a fence, all previous reads have returned and all previous writes are
+    globally performed.
+
+    Fences are invisible to the DRF0 machinery: they are not memory
+    operations and create no happens-before edges.  Hardware that honours
+    them can appear SC even to racy programs — stronger than the
+    weak-ordering contract requires.
+    """

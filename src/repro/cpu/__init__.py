@@ -1,0 +1,15 @@
+"""Processor-side components: processors, accesses, counters, write buffers."""
+
+from repro.cpu.access import MemoryAccess
+from repro.cpu.counter import OutstandingCounter
+from repro.cpu.processor import MemoryPort, Processor
+from repro.cpu.write_buffer import WriteBufferPort, port_endpoint
+
+__all__ = [
+    "MemoryAccess",
+    "MemoryPort",
+    "OutstandingCounter",
+    "Processor",
+    "WriteBufferPort",
+    "port_endpoint",
+]

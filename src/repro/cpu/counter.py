@@ -1,0 +1,54 @@
+"""The RP3-style outstanding-access counter (Section 5.3).
+
+"A counter (similar to one used in RP3) that is initialized to zero is
+associated with every processor ... a positive value on a counter
+indicates the number of outstanding accesses of the corresponding
+processor."  The counter is incremented on every cache miss and
+decremented when the miss resolves (line receipt) or when a memory ack
+reports a shared-line write globally performed.  Reserve bits are cleared
+— and stalled synchronization requests serviced — "when the counter
+reads zero", which is exposed here as one-shot zero callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+class OutstandingCounter:
+    """Counts outstanding accesses; fires callbacks on reaching zero."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._on_zero: List[Callable[[], None]] = []
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def zero(self) -> bool:
+        return self._value == 0
+
+    def increment(self) -> None:
+        self._value += 1
+
+    def decrement(self) -> None:
+        if self._value <= 0:
+            raise RuntimeError("outstanding-access counter underflow")
+        self._value -= 1
+        if self._value == 0:
+            callbacks, self._on_zero = self._on_zero, []
+            for callback in callbacks:
+                callback()
+
+    def when_zero(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when the counter next reads zero.
+
+        Fires immediately if the counter is already zero; otherwise
+        one-shot on the transition to zero.
+        """
+        if self._value == 0:
+            callback()
+        else:
+            self._on_zero.append(callback)

@@ -1,0 +1,366 @@
+"""The processor model.
+
+A processor executes its thread's instructions in program order.  Local
+instructions (arithmetic, branches) each take ``local_cycles``.  Memory
+instructions pass through two policy hooks (see
+:mod:`repro.models.base`): an *issue gate* deciding when the access may
+be generated at all, and a *block kind* deciding how far the access must
+progress (value / commit / global perform) before the processor moves
+past it.
+
+Intra-processor dependencies (condition 1 of Section 5.1) are enforced
+structurally:
+
+* any instruction with a destination register blocks until its value
+  arrives, so no later instruction can consume a stale register;
+* write values are computed from the register file at issue time, after
+  all producing reads have completed;
+* at most one access per location may be outstanding, preserving
+  same-location program order through the memory system.
+
+Every stall is attributed to a :class:`StallReason`, which is the raw
+data behind the Figure 3 and quantitative-comparison experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Protocol
+
+from repro.core.instructions import (
+    Branch,
+    Fence,
+    Halt,
+    Jump,
+    MemInstruction,
+    RegInstruction,
+)
+from repro.core.operation import MemoryOp, OpKind
+from repro.core.program import Thread
+from repro.core.registers import RegisterFile
+from repro.cpu.access import MemoryAccess
+from repro.models.base import BlockKind, OrderingPolicy
+from repro.sim.engine import Component, Simulator
+from repro.sim.stats import StallReason, Stats
+
+
+class MemoryPort(Protocol):
+    """Anything a processor can issue accesses to (cache or memory path)."""
+
+    def submit(self, access: MemoryAccess) -> None:  # pragma: no cover
+        ...
+
+
+class Processor(Component):
+    """An in-order-issue processor with policy-controlled overlap."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        proc_id: int,
+        thread: Thread,
+        policy: OrderingPolicy,
+        port: MemoryPort,
+        stats: Stats,
+        local_cycles: int = 1,
+        cache=None,
+    ) -> None:
+        super().__init__(sim, f"proc{proc_id}")
+        self.proc_id = proc_id
+        #: The *thread* this processor currently runs.  Trace operations
+        #: and observables are keyed by this, so a migrated thread keeps
+        #: its identity while running on different physical processors.
+        self.logical_proc = proc_id
+        self.thread = thread
+        self.policy = policy
+        self.port = port
+        self.stats = stats
+        self.local_cycles = max(1, local_cycles)
+        self.cache = cache
+
+        self.regs = RegisterFile()
+        self.pc = 0
+        self.halted = False
+        self.halt_time: Optional[int] = None
+        #: Accesses generated but not yet globally performed.
+        self.pending_accesses: List[MemoryAccess] = []
+        #: Completed memory operations with commit timestamps, for traces.
+        self.trace: List[MemoryOp] = []
+        self._occurrences: dict = {}
+        self._issue_counter = 0
+        self._stall_reason: Optional[StallReason] = None
+        self._wake_scheduled = False
+        self._busy = False  # mid-instruction delay in flight
+        #: Set while a context switch is draining: no new issues.
+        self._migrating = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.sim.call_soon(self._advance)
+
+    def wake(self) -> None:
+        """Re-evaluate stalls after the current event cascade settles."""
+        if self.halted or self._wake_scheduled:
+            return
+        self._wake_scheduled = True
+
+        def run() -> None:
+            self._wake_scheduled = False
+            if not self._busy:
+                self._advance()
+
+        self.sim.call_soon(run)
+
+    # ------------------------------------------------------------------
+    # Core loop
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        if self.halted or self._busy or self._migrating:
+            return
+        self._end_stall()
+        if self._at_end():
+            self._halt()
+            return
+        instr = self.thread.instructions[self.pc]
+        if isinstance(instr, MemInstruction):
+            self._try_memory(instr)
+        elif isinstance(instr, Fence):
+            # The RP3 fence: wait until every previous access has
+            # globally performed, regardless of the ordering policy.
+            if self.pending_accesses:
+                self._begin_stall(StallReason.FENCE_DRAIN)
+                return
+            self.pc += 1
+            self._after_delay(self.local_cycles)
+        elif isinstance(instr, RegInstruction):
+            instr.apply(self.regs)
+            self.pc += 1
+            self._after_delay(self.local_cycles)
+        elif isinstance(instr, Branch):
+            self.pc = (
+                self.thread.target_of(instr) if instr.taken(self.regs) else self.pc + 1
+            )
+            self._after_delay(self.local_cycles)
+        elif isinstance(instr, Jump):
+            self.pc = self.thread.target_of(instr)
+            self._after_delay(self.local_cycles)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown instruction {instr!r}")
+
+    def _at_end(self) -> bool:
+        return self.pc >= len(self.thread.instructions) or isinstance(
+            self.thread.instructions[self.pc], Halt
+        )
+
+    def _halt(self) -> None:
+        self.halted = True
+        self.halt_time = self.sim.now
+
+    def _after_delay(self, cycles: int) -> None:
+        self._busy = True
+
+        def resume() -> None:
+            self._busy = False
+            self._advance()
+
+        self.sim.schedule(cycles, resume)
+
+    # ------------------------------------------------------------------
+    # Memory instructions
+    # ------------------------------------------------------------------
+    def _try_memory(self, instr: MemInstruction) -> None:
+        gate = self.policy.issue_gate(self, instr.kind)
+        if gate is not None:
+            self._begin_stall(gate)
+            return
+        # Same-location accesses stay ordered through the memory system:
+        # a new access may not start until the previous one to the same
+        # location has committed (its effect is in the local cache or
+        # write buffer, so a subsequent hit observes it; an uncommitted
+        # predecessor would mean two open transactions on one line).
+        if any(
+            a.location == instr.location and not a.committed
+            for a in self.pending_accesses
+        ):
+            self._begin_stall(StallReason.SAME_LOCATION)
+            return
+        self._issue(instr)
+
+    def _issue(self, instr: MemInstruction) -> None:
+        pos = self.pc
+        occurrence = self._occurrences.get(pos, 0)
+        self._occurrences[pos] = occurrence + 1
+
+        compute_write = None
+        if instr.kind.writes_memory:
+            # Snapshot the register file now: the write's operands are an
+            # intra-processor dependency bound at issue, not at whatever
+            # later cycle the memory system performs the write.
+            regs_at_issue = self.regs.copy()
+
+            def compute_write(old, _instr=instr, _regs=regs_at_issue):
+                return _instr.compute_write(_regs, old)
+
+        access = MemoryAccess(
+            proc=self.logical_proc,
+            kind=instr.kind,
+            location=instr.location,
+            compute_write=compute_write,
+            sync_protocol=self.policy.sync_protocol(instr.kind),
+            needs_exclusive=self.policy.needs_exclusive(instr.kind),
+            thread_pos=pos,
+            occurrence=occurrence,
+        )
+        access.generate_time = self.sim.now
+        access.issue_index = self._issue_counter
+        self._issue_counter += 1
+        self.pending_accesses.append(access)
+        self.stats.bump(f"proc.{instr.kind.value}")
+
+        dest = instr.dest
+        if dest is not None:
+            access.on_value(lambda a: self.regs.write(dest, a.value))
+        access.on_commit(self._record_trace)
+        access.on_commit(lambda a: self.wake())
+        access.on_globally_performed(self._retire)
+
+        block = self.policy.block_kind(instr.kind)
+        if dest is not None and block in (BlockKind.NONE,):
+            # Destination registers are intra-processor dependencies: the
+            # processor may not run ahead of the value.
+            block = BlockKind.VALUE
+
+        self.pc += 1
+        self.port.submit(access)
+        self._block_on(access, block)
+
+    def _block_on(self, access: MemoryAccess, block: BlockKind) -> None:
+        if block is BlockKind.NONE:
+            self._after_delay(self.local_cycles)
+            return
+
+        self._busy = True
+        started = self.sim.now
+        reason = {
+            BlockKind.VALUE: StallReason.READ_VALUE,
+            BlockKind.COMMIT: StallReason.DEF2_SYNC_COMMIT,
+            BlockKind.GP: StallReason.SC_PREVIOUS_GP,
+        }[block]
+        self.stats.stall_begin(self.proc_id, reason, started)
+
+        def resume(_a: MemoryAccess) -> None:
+            self.stats.stall_end(self.proc_id, reason, self.sim.now)
+            self._busy = False
+            self.sim.call_soon(self._advance)
+
+        if block is BlockKind.VALUE:
+            access.on_value(resume)
+        elif block is BlockKind.COMMIT:
+            access.on_commit(resume)
+        else:
+            access.on_globally_performed(resume)
+
+    def _record_trace(self, access: MemoryAccess) -> None:
+        op = MemoryOp(
+            proc=access.proc,
+            kind=access.kind,
+            location=access.location,
+            thread_pos=access.thread_pos,
+            occurrence=access.occurrence,
+            value_read=access.value if access.kind.reads_memory else None,
+            value_written=access.value_written,
+        )
+        op.commit_time = access.commit_time
+        op.issue_index = access.issue_index
+        self.trace.append(op)
+
+    def _retire(self, access: MemoryAccess) -> None:
+        self.pending_accesses.remove(access)
+        self.wake()
+
+    # ------------------------------------------------------------------
+    # Stall accounting
+    # ------------------------------------------------------------------
+    def _begin_stall(self, reason: StallReason) -> None:
+        if self._stall_reason is not None and self._stall_reason is not reason:
+            self.stats.stall_end(self.proc_id, self._stall_reason, self.sim.now)
+            self._stall_reason = None
+        if self._stall_reason is None:
+            self._stall_reason = reason
+            self.stats.stall_begin(self.proc_id, reason, self.sim.now)
+
+    def _end_stall(self) -> None:
+        if self._stall_reason is not None:
+            self.stats.stall_end(self.proc_id, self._stall_reason, self.sim.now)
+            self._stall_reason = None
+
+    @property
+    def stalled(self) -> bool:
+        return self._stall_reason is not None
+
+    # ------------------------------------------------------------------
+    # Process migration (Section 5.1's footnote)
+    # ------------------------------------------------------------------
+    @property
+    def idle_for_adoption(self) -> bool:
+        """True when this processor can take over another thread: its own
+        thread is empty (a dedicated idle slot) or it has already
+        migrated its thread away, and nothing is in flight."""
+        if self.pending_accesses or self._busy:
+            return False
+        # An empty thread is idle whether or not its (trivial) halt has
+        # been processed yet — early migrations may beat the start event.
+        return len(self.thread.instructions) == 0
+
+    def begin_migration(self) -> None:
+        """Stop issuing; in-flight accesses continue to completion."""
+        self._end_stall()
+        self._migrating = True
+
+    def export_context(self) -> dict:
+        """The thread context a context switch transfers."""
+        assert not self.pending_accesses, "export before drain completed"
+        return {
+            "logical_proc": self.logical_proc,
+            "thread": self.thread,
+            "regs": self.regs,
+            "pc": self.pc,
+            "occurrences": self._occurrences,
+            "issue_counter": self._issue_counter,
+        }
+
+    def adopt_context(self, context: dict) -> dict:
+        """Take over a thread; returns this processor's previous identity
+        (for the source to assume, keeping the identity set intact)."""
+        assert self.idle_for_adoption, f"{self.name} cannot adopt a thread"
+        previous = {
+            "logical_proc": self.logical_proc,
+            "thread": self.thread,
+            "regs": self.regs,
+            "pc": self.pc,
+            "occurrences": self._occurrences,
+            "issue_counter": self._issue_counter,
+        }
+        self.logical_proc = context["logical_proc"]
+        self.thread = context["thread"]
+        self.regs = context["regs"]
+        self.pc = context["pc"]
+        self._occurrences = context["occurrences"]
+        self._issue_counter = context["issue_counter"]
+        self.halted = False
+        self.halt_time = None
+        self._migrating = False
+        return previous
+
+    def become_idle(self, identity: dict) -> None:
+        """Assume the (already halted) identity handed back by the target."""
+        self.logical_proc = identity["logical_proc"]
+        self.thread = identity["thread"]
+        self.regs = identity["regs"]
+        self.pc = identity["pc"]
+        self._occurrences = identity["occurrences"]
+        self._issue_counter = identity["issue_counter"]
+        self._migrating = False
+        self.halted = True
+        self.halt_time = self.sim.now

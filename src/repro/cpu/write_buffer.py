@@ -1,0 +1,176 @@
+"""The write-buffered, cache-less memory port.
+
+This is Figure 1's processor-side relaxation: writes enter a FIFO buffer
+and drain to memory one at a time (the next write leaves only after the
+previous one is acknowledged), while reads are sent to memory directly —
+"reads are allowed to pass writes in write buffers".  A read of a
+location with a buffered write is forwarded the newest buffered value.
+
+A buffered write is *committed* on entering the buffer (its value could
+be dispatched to a local read from that moment) and *globally performed*
+when memory acknowledges it — the vocabulary the ordering policies gate
+on.  Under the SC policy the issue gate keeps at most one access
+outstanding, so the buffer degenerates to the strongly-ordered case and
+no bypassing ever happens, exactly as the figure's caption requires.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from repro.core.operation import OpKind
+from repro.cpu.access import MemoryAccess
+from repro.interconnect.base import Interconnect
+from repro.memsys.memory import (
+    MEMORY_ENDPOINT,
+    MemRMW,
+    MemRMWResp,
+    MemRead,
+    MemReadResp,
+    MemWrite,
+    MemWriteAck,
+)
+from repro.sim.engine import Component, Simulator
+from repro.sim.stats import Stats
+
+
+def port_endpoint(proc_id: int) -> str:
+    return f"port:{proc_id}"
+
+
+class WriteBufferPort(Component):
+    """Per-processor memory port for the no-cache configurations."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        proc_id: int,
+        interconnect: Interconnect,
+        stats: Stats,
+        drain_delay: int = 2,
+    ) -> None:
+        super().__init__(sim, f"port{proc_id}")
+        self.proc_id = proc_id
+        self.interconnect = interconnect
+        self.stats = stats
+        #: Cycles the buffer head waits before being eligible to issue —
+        #: models read-priority arbitration at the processor-bus boundary.
+        self.drain_delay = drain_delay
+        self._buffer: Deque[MemoryAccess] = deque()
+        self._head_issued = False
+        self._inflight: Dict[int, MemoryAccess] = {}
+        self._tokens = itertools.count()
+        interconnect.register(port_endpoint(proc_id), self._on_message)
+
+    # ------------------------------------------------------------------
+    # Processor-facing API
+    # ------------------------------------------------------------------
+    def submit(self, access: MemoryAccess) -> None:
+        if access.kind in (OpKind.WRITE, OpKind.SYNC_WRITE):
+            self._submit_write(access)
+        elif access.kind in (OpKind.READ, OpKind.SYNC_READ):
+            self._submit_read(access)
+        else:  # SYNC_RMW: straight to memory, atomic at the module.
+            self._submit_rmw(access)
+
+    @property
+    def buffered_writes(self) -> int:
+        return len(self._buffer)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def _submit_write(self, access: MemoryAccess) -> None:
+        assert access.compute_write is not None
+        access.value_written = access.compute_write(0)
+        access.mark_committed(self.sim.now)
+        self._buffer.append(access)
+        self.stats.bump("wbuf.enqueued")
+        self._try_drain()
+
+    def _try_drain(self) -> None:
+        if self._head_issued or not self._buffer:
+            return
+        self._head_issued = True
+        head = self._buffer[0]
+
+        def issue() -> None:
+            token = next(self._tokens)
+            self._inflight[token] = head
+            self.interconnect.send(
+                port_endpoint(self.proc_id),
+                MEMORY_ENDPOINT,
+                MemWrite(
+                    head.location,
+                    head.value_written,
+                    token,
+                    port_endpoint(self.proc_id),
+                ),
+            )
+
+        self.sim.schedule(self.drain_delay, issue)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _submit_read(self, access: MemoryAccess) -> None:
+        forwarded = self._forward_from_buffer(access)
+        if forwarded:
+            return
+        token = next(self._tokens)
+        self._inflight[token] = access
+        self.interconnect.send(
+            port_endpoint(self.proc_id),
+            MEMORY_ENDPOINT,
+            MemRead(access.location, token, port_endpoint(self.proc_id)),
+        )
+
+    def _forward_from_buffer(self, access: MemoryAccess) -> bool:
+        for buffered in reversed(self._buffer):
+            if buffered.location == access.location:
+                self.stats.bump("wbuf.forwards")
+                access.deliver_value(buffered.value_written, self.sim.now)
+                access.mark_committed(self.sim.now)
+                access.mark_globally_performed(self.sim.now)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Read-modify-writes
+    # ------------------------------------------------------------------
+    def _submit_rmw(self, access: MemoryAccess) -> None:
+        assert access.compute_write is not None
+        token = next(self._tokens)
+        self._inflight[token] = access
+        self.interconnect.send(
+            port_endpoint(self.proc_id),
+            MEMORY_ENDPOINT,
+            MemRMW(access.location, access.compute_write, token, port_endpoint(self.proc_id)),
+        )
+
+    # ------------------------------------------------------------------
+    # Responses
+    # ------------------------------------------------------------------
+    def _on_message(self, payload: Any, src: str) -> None:
+        if isinstance(payload, MemReadResp):
+            access = self._inflight.pop(payload.token)
+            access.deliver_value(payload.value, self.sim.now)
+            access.mark_committed(self.sim.now)
+            access.mark_globally_performed(self.sim.now)
+        elif isinstance(payload, MemWriteAck):
+            access = self._inflight.pop(payload.token)
+            assert self._buffer and self._buffer[0] is access
+            self._buffer.popleft()
+            self._head_issued = False
+            access.mark_globally_performed(self.sim.now)
+            self._try_drain()
+        elif isinstance(payload, MemRMWResp):
+            access = self._inflight.pop(payload.token)
+            access.value_written = access.compute_write(payload.old_value)
+            access.deliver_value(payload.old_value, self.sim.now)
+            access.mark_committed(self.sim.now)
+            access.mark_globally_performed(self.sim.now)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"port cannot handle {payload!r}")

@@ -1,0 +1,26 @@
+"""Shasha-Snir delay sets: analysis and hardware enforcement [ShS88]."""
+
+from repro.delayset.analysis import (
+    DelayPair,
+    NotStraightLineError,
+    StaticAccess,
+    conflict_graph,
+    delay_pairs,
+    describe_delay_set,
+    minimal_delay_pairs,
+    static_accesses,
+)
+from repro.delayset.policy import DelayPolicy, delay_policy_factory
+
+__all__ = [
+    "DelayPair",
+    "DelayPolicy",
+    "NotStraightLineError",
+    "StaticAccess",
+    "conflict_graph",
+    "delay_pairs",
+    "delay_policy_factory",
+    "describe_delay_set",
+    "minimal_delay_pairs",
+    "static_accesses",
+]

@@ -1,0 +1,75 @@
+"""Enforcing a Shasha-Snir delay set in hardware.
+
+:class:`DelayPolicy` is an ordering policy that stalls an access only
+when a *delay pair* requires it: the later element of each pair may not
+issue until the earlier element is globally performed.  Everything else
+overlaps freely — the software-directed middle ground between the SC
+policy (every access waits) and RELAXED (nothing waits) that Section 2.1
+attributes to [ShS88].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.operation import OpKind
+from repro.core.program import Program
+from repro.delayset.analysis import DelayPair, delay_pairs
+from repro.models.base import OrderingPolicy
+from repro.sim.stats import StallReason
+
+
+class DelayPolicy(OrderingPolicy):
+    """Issue-gate enforcement of a static delay set.
+
+    Args:
+        program: the straight-line program the delay set was computed
+            for (the policy is program-specific by nature).
+        pairs: the delay pairs; computed with
+            :func:`repro.delayset.analysis.delay_pairs` if omitted.
+    """
+
+    name = "DELAY-SET"
+
+    def __init__(
+        self,
+        program: Program,
+        pairs: Optional[Set[DelayPair]] = None,
+    ) -> None:
+        if pairs is None:
+            pairs = delay_pairs(program)
+        self.pairs = pairs
+        #: per (proc, later-pos): the earlier positions it must wait for.
+        self._waits: Dict[Tuple[int, int], Set[int]] = {}
+        for earlier, later in pairs:
+            self._waits.setdefault((later.proc, later.pos), set()).add(
+                earlier.pos
+            )
+
+    def issue_gate(self, proc, kind: OpKind) -> Optional[StallReason]:
+        required = self._waits.get((proc.proc_id, proc.pc))
+        if not required:
+            return None
+        for access in proc.pending_accesses:
+            if access.thread_pos in required and not access.globally_performed:
+                return StallReason.DELAY_PAIR
+        return None
+
+
+def delay_policy_factory(program: Program, minimal: bool = False):
+    """A zero-argument factory (as the comparison harness expects).
+
+    The analysis runs once; every run shares the computed set.
+    """
+    if minimal:
+        from repro.delayset.analysis import minimal_delay_pairs
+
+        pairs = minimal_delay_pairs(program)
+    else:
+        pairs = delay_pairs(program)
+
+    def factory() -> DelayPolicy:
+        return DelayPolicy(program, pairs)
+
+    factory.name = DelayPolicy.name  # type: ignore[attr-defined]
+    return factory

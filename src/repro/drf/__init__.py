@@ -1,0 +1,35 @@
+"""DRF0 and friends: synchronization models, race detection, program checking."""
+
+from repro.drf.drf0 import DRFReport, check_execution, check_program, obeys_drf0
+from repro.drf.figure2 import (
+    FIGURE2B_RACY_LOCATIONS,
+    figure2a_execution,
+    figure2b_execution,
+)
+from repro.drf.lockset import (
+    LocksetReport,
+    find_lockset_violations,
+    lockset_clean,
+)
+from repro.drf.models import DRF0, DRF0_R, SynchronizationModel
+from repro.drf.races import Race, find_races, format_race_report, race_free
+
+__all__ = [
+    "DRF0",
+    "DRF0_R",
+    "DRFReport",
+    "FIGURE2B_RACY_LOCATIONS",
+    "figure2a_execution",
+    "figure2b_execution",
+    "Race",
+    "SynchronizationModel",
+    "LocksetReport",
+    "check_execution",
+    "check_program",
+    "find_lockset_violations",
+    "find_races",
+    "lockset_clean",
+    "format_race_report",
+    "obeys_drf0",
+    "race_free",
+]

@@ -1,0 +1,101 @@
+"""The DRF0 program checker (Definition 3).
+
+A program obeys DRF0 iff (1) its synchronization operations are hardware
+recognizable and single-location — guaranteed structurally by the
+instruction set — and (2) for *any* execution on the idealized system,
+all conflicting accesses are ordered by the execution's happens-before.
+
+Deciding (2) therefore quantifies over every idealized execution.  The
+checker enumerates them (see :mod:`repro.sc.interleaving`) and runs the
+race detector on each, reporting the first witness execution that
+exhibits a race — exactly the counterexample a programmer would want.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.execution import Execution
+from repro.core.program import Program
+from repro.drf.models import DRF0, SynchronizationModel
+from repro.drf.races import Race, find_races
+from repro.sc.interleaving import enumerate_executions
+
+
+@dataclass
+class DRFReport:
+    """Outcome of checking a program against a synchronization model."""
+
+    program: Program
+    model: SynchronizationModel
+    obeys: bool
+    executions_checked: int
+    #: Races of the first racy execution found (empty when ``obeys``).
+    races: List[Race] = field(default_factory=list)
+    #: The idealized execution witnessing the races, if any.
+    witness: Optional[Execution] = None
+    #: True when the search was truncated by ``max_executions``.
+    exhaustive: bool = True
+
+    def describe(self) -> str:
+        verdict = "obeys" if self.obeys else "VIOLATES"
+        scope = "exhaustively" if self.exhaustive else "within search budget"
+        lines = [
+            f"program {self.program.name!r} {verdict} {self.model.name} "
+            f"({self.executions_checked} idealized execution(s) checked {scope})"
+        ]
+        lines.extend(f"  - {race.describe()}" for race in self.races)
+        return "\n".join(lines)
+
+
+def check_program(
+    program: Program,
+    model: SynchronizationModel = DRF0,
+    max_executions: Optional[int] = None,
+) -> DRFReport:
+    """Decide whether ``program`` obeys ``model`` (Definition 3).
+
+    Stops at the first racy idealized execution.  With ``max_executions``
+    set, a clean result may be non-exhaustive (reflected in the report);
+    a racy result is always definitive.
+    """
+    checked = 0
+    truncated = max_executions is not None
+    for execution in enumerate_executions(program, max_executions=max_executions):
+        checked += 1
+        races = find_races(
+            execution, model=model, initial_memory=dict(program.initial_memory)
+        )
+        if races:
+            return DRFReport(
+                program=program,
+                model=model,
+                obeys=False,
+                executions_checked=checked,
+                races=races,
+                witness=execution,
+                exhaustive=True,
+            )
+    exhaustive = not truncated or checked < max_executions
+    return DRFReport(
+        program=program,
+        model=model,
+        obeys=True,
+        executions_checked=checked,
+        exhaustive=exhaustive,
+    )
+
+
+def obeys_drf0(program: Program, max_executions: Optional[int] = None) -> bool:
+    """Shorthand for ``check_program(program, DRF0).obeys``."""
+    return check_program(program, DRF0, max_executions=max_executions).obeys
+
+
+def check_execution(
+    execution: Execution,
+    model: SynchronizationModel = DRF0,
+    initial_memory: Optional[dict] = None,
+) -> List[Race]:
+    """Races of a single idealized execution (Figure-2-style checking)."""
+    return find_races(execution, model=model, initial_memory=initial_memory)

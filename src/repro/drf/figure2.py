@@ -1,0 +1,81 @@
+"""Figure 2: an example and a counter-example of DRF0.
+
+The paper's figure shows two executions on the idealized architecture
+(time flowing downward, one column per processor):
+
+* (a) obeys DRF0 — every pair of conflicting accesses is ordered by the
+  happens-before relation, through chains of synchronization operations;
+* (b) violates DRF0 — "the accesses of P0 conflict with the write of P1
+  but are not ordered with respect to it by happens-before.  Similarly,
+  the writes by P2 and P4 conflict, but are unordered."
+
+The published scan of the figure does not survive text extraction, so
+these executions are reconstructed from the caption's description: (a) is
+a release chain ordering every conflict across four processors; (b) has
+the two unordered conflict families the caption names, with bystander
+synchronization that orders nothing relevant.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.execution import Execution
+from repro.core.operation import MemoryOp, OpKind
+
+
+def _op(kind: OpKind, loc: str, proc: int, read=None, written=None) -> MemoryOp:
+    return MemoryOp(
+        proc=proc, kind=kind, location=loc, value_read=read, value_written=written
+    )
+
+
+def figure2a_execution() -> Execution:
+    """The DRF0-obeying execution: conflicts ordered through sync chains.
+
+    P0 writes x then releases a; P1 acquires a, reads x, writes z,
+    releases b; P2 acquires b, reads z, writes y, releases c; P3
+    acquires c and reads y.  Every conflicting pair sits on a
+    po/so chain.
+    """
+    ops: List[MemoryOp] = [
+        _op(OpKind.WRITE, "x", 0, written=1),
+        _op(OpKind.SYNC_WRITE, "a", 0, written=1),
+        _op(OpKind.SYNC_RMW, "a", 1, read=1, written=1),
+        _op(OpKind.READ, "x", 1, read=1),
+        _op(OpKind.WRITE, "z", 1, written=2),
+        _op(OpKind.SYNC_WRITE, "b", 1, written=1),
+        _op(OpKind.SYNC_RMW, "b", 2, read=1, written=1),
+        _op(OpKind.READ, "z", 2, read=2),
+        _op(OpKind.WRITE, "y", 2, written=3),
+        _op(OpKind.SYNC_WRITE, "c", 2, written=1),
+        _op(OpKind.SYNC_RMW, "c", 3, read=1, written=1),
+        _op(OpKind.READ, "y", 3, read=3),
+    ]
+    return Execution(ops=ops)
+
+
+def figure2b_execution() -> Execution:
+    """The DRF0-violating execution of the caption.
+
+    P0 reads and writes x with no ordering against P1's write of x, and
+    P2's and P4's writes of y are mutually unordered; P3's
+    synchronization on a and b touches neither conflict.
+    """
+    ops: List[MemoryOp] = [
+        _op(OpKind.WRITE, "x", 0, written=1),
+        _op(OpKind.WRITE, "x", 1, written=2),
+        _op(OpKind.SYNC_WRITE, "a", 1, written=1),
+        _op(OpKind.WRITE, "y", 2, written=1),
+        _op(OpKind.SYNC_WRITE, "b", 2, written=1),
+        _op(OpKind.SYNC_RMW, "a", 3, read=1, written=1),
+        _op(OpKind.SYNC_RMW, "b", 3, read=1, written=1),
+        _op(OpKind.READ, "x", 0, read=1),
+        _op(OpKind.WRITE, "y", 4, written=2),
+    ]
+    return Execution(ops=ops)
+
+
+#: The conflicting location families the caption says are unordered
+#: in (b): P0 vs P1 on x, and P2 vs P4 on y.
+FIGURE2B_RACY_LOCATIONS = ("x", "y")

@@ -1,0 +1,144 @@
+"""Lockset-based race detection (the Eraser algorithm).
+
+The paper points at dynamic race detection ([NeM89]) as the companion
+tooling programmers need when targeting DRF0 hardware.  The
+happens-before detector (:mod:`repro.drf.races`) is exact for one
+execution but scheduling-sensitive; the classic complementary technique
+is the *lockset* algorithm: infer which lock protects each location and
+report locations whose candidate lockset drains empty.  Lockset analysis
+over-approximates races (it flags locking-discipline violations even
+when synchronization happened to order the accesses in this run) but is
+schedule-insensitive — it catches races the observed interleaving hid.
+
+Locks are recognized by the TestAndSet convention the paper's examples
+use: a ``SYNC_RMW`` on location L returning 0 acquires L; a
+``SYNC_WRITE`` of 0 to a held L releases it.  Locations are run through
+Eraser's ownership state machine (Virgin -> Exclusive -> Shared ->
+Shared-Modified) so single-threaded initialization and read-sharing do
+not produce false alarms.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.core.execution import Execution
+from repro.core.operation import Location, MemoryOp
+
+
+class _State(enum.Enum):
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass
+class LocksetReport:
+    """One flagged location."""
+
+    location: Location
+    #: The access that drained the candidate lockset empty.
+    access: MemoryOp
+    #: Locks held at that access.
+    held: FrozenSet[Location]
+
+    def describe(self) -> str:
+        held = ", ".join(sorted(self.held)) or "none"
+        return (
+            f"lockset violation on {self.location!r}: {self.access!r} "
+            f"(P{self.access.proc}) accessed it holding {{{held}}} — no "
+            "common lock protects this location"
+        )
+
+
+@dataclass
+class _LocationState:
+    state: _State = _State.VIRGIN
+    owner: Optional[int] = None
+    candidates: Optional[Set[Location]] = None  # None = "all locks"
+
+
+def find_lockset_violations(
+    execution: Execution,
+    lock_locations: Optional[Set[Location]] = None,
+) -> List[LocksetReport]:
+    """Run Eraser over one (idealized) execution trace.
+
+    Args:
+        lock_locations: restrict lock inference to these locations;
+            by default every location acquired via the TestAndSet
+            convention counts as a lock, and lock locations themselves
+            are exempt from the data-race analysis.
+    """
+    held: Dict[int, Set[Location]] = {}
+    inferred_locks: Set[Location] = set(lock_locations or ())
+    states: Dict[Location, _LocationState] = {}
+    reports: List[LocksetReport] = []
+    reported: Set[Location] = set()
+
+    for op in execution.ops:
+        if op.is_hypothetical:
+            continue
+        proc_held = held.setdefault(op.proc, set())
+
+        # -- lock recognition (TestAndSet / Unset convention) ------------
+        if op.is_sync:
+            if op.kind.reads_memory and op.kind.writes_memory:
+                if op.value_read == 0:  # successful TestAndSet
+                    proc_held.add(op.location)
+                    inferred_locks.add(op.location)
+                continue
+            if op.kind.writes_memory and op.value_written == 0:
+                if op.location in proc_held:
+                    proc_held.discard(op.location)
+                    continue
+            # Other sync ops (Test spins, barrier adds) are not data
+            # accesses; skip them.
+            continue
+
+        if op.location in inferred_locks:
+            continue  # the lock word itself
+
+        # -- Eraser state machine ------------------------------------------
+        state = states.setdefault(op.location, _LocationState())
+        if state.state is _State.VIRGIN:
+            state.state = _State.EXCLUSIVE
+            state.owner = op.proc
+            continue
+        if state.state is _State.EXCLUSIVE:
+            if op.proc == state.owner:
+                continue
+            state.state = (
+                _State.SHARED_MODIFIED if op.kind.writes_memory else _State.SHARED
+            )
+            state.candidates = set(proc_held)
+        else:
+            if state.candidates is None:
+                state.candidates = set(proc_held)
+            else:
+                state.candidates &= proc_held
+            if op.kind.writes_memory:
+                state.state = _State.SHARED_MODIFIED
+
+        if (
+            state.state is _State.SHARED_MODIFIED
+            and not state.candidates
+            and op.location not in reported
+        ):
+            reported.add(op.location)
+            reports.append(
+                LocksetReport(
+                    location=op.location,
+                    access=op,
+                    held=frozenset(proc_held),
+                )
+            )
+    return reports
+
+
+def lockset_clean(execution: Execution) -> bool:
+    """True iff Eraser finds no locking-discipline violation."""
+    return not find_lockset_violations(execution)

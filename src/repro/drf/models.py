@@ -1,0 +1,91 @@
+"""Synchronization models (Section 3/4).
+
+A *synchronization model* is "a set of constraints on memory accesses
+that specify how and when synchronization needs to be done".  Definition
+2 is parametric in the model; DRF0 (Definition 3) is the paper's worked
+example, and Section 6 sketches the refinement — distinguishing read-only
+from writing synchronization — that we expose as ``DRF0_R``.
+
+A model supplies two things:
+
+* which operations count as synchronization (here: the op-kind taxonomy
+  already encodes hardware-recognizable, single-location sync ops, so
+  this is a predicate over :class:`OpKind`);
+* the sync-order edge rule used when building happens-before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.operation import MemoryOp
+from repro.hb.relations import SyncEdgeRule, drf0_sync_edge, writer_to_reader_sync_edge
+
+#: Decides whether an unordered conflicting pair is tolerated.
+ConflictExemption = Optional[Callable[[MemoryOp, MemoryOp], bool]]
+
+
+@dataclass(frozen=True)
+class SynchronizationModel:
+    """A named synchronization model.
+
+    Attributes:
+        name: human-readable identifier.
+        sync_edge_rule: how synchronization operations on the same
+            location induce cross-processor ordering.
+        exempt_conflict: conflicting pairs the model tolerates unordered
+            (because the hardware side serializes them regardless).  For
+            the Section 6 refinement, two *writing* synchronization
+            operations are exempt: both still procure the line
+            exclusively, so the implementation orders them even though
+            the writer-to-reader rule gives them no hb edge.  A read-only
+            synchronization conflicting with a writing one is NOT exempt
+            — that is precisely the pair the refined hardware can expose
+            (the read may hit a stale shared copy).
+    """
+
+    name: str
+    sync_edge_rule: SyncEdgeRule
+    exempt_conflict: "ConflictExemption" = None  # type: ignore[assignment]
+
+    def is_exempt(self, op1: MemoryOp, op2: MemoryOp) -> bool:
+        if self.exempt_conflict is None:
+            return False
+        return self.exempt_conflict(op1, op2)
+
+    def is_sync(self, op: MemoryOp) -> bool:
+        """Whether ``op`` is a synchronization operation under this model.
+
+        DRF0's structural conditions — hardware-recognizable, exactly one
+        memory location — are guaranteed by the instruction set itself
+        (see :mod:`repro.core.instructions`), so membership reduces to
+        the op-kind taxonomy.
+        """
+        return op.is_sync
+
+
+#: Definition 3's model: all sync ops on a location order each other.
+DRF0 = SynchronizationModel(name="DRF0", sync_edge_rule=drf0_sync_edge)
+
+def _both_writing_syncs(op1: MemoryOp, op2: MemoryOp) -> bool:
+    return (
+        op1.is_sync
+        and op2.is_sync
+        and op1.writes_memory
+        and op2.writes_memory
+    )
+
+
+#: Section 6's refinement: a read-only synchronization operation cannot
+#: order a processor's previous accesses with respect to subsequent
+#: synchronization by other processors, so only writer->reader sync pairs
+#: create cross-processor ordering.  Writing syncs may conflict unordered
+#: (the implementation serializes them through exclusive ownership); a
+#: read-only sync conflicting with a writing sync is a race — the refined
+#: hardware may satisfy the read from a stale shared copy.
+DRF0_R = SynchronizationModel(
+    name="DRF0-R",
+    sync_edge_rule=writer_to_reader_sync_edge,
+    exempt_conflict=_both_writing_syncs,
+)

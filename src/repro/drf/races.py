@@ -1,0 +1,84 @@
+"""Data races: conflicting accesses unordered by happens-before.
+
+The paper motivates DRF0 as "a formalization that prohibits data races"
+and points to Netzer & Miller's contemporaneous work on locating races.
+This module detects and reports races in a *single* (idealized, possibly
+augmented) execution; :mod:`repro.drf.drf0` quantifies over all idealized
+executions to decide the program-level property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.execution import Execution
+from repro.core.operation import MemoryOp
+from repro.drf.models import DRF0, SynchronizationModel
+from repro.hb.augment import augment_execution
+from repro.hb.conflict import conflicting_pairs
+from repro.hb.relations import HappensBefore, build_happens_before
+
+
+@dataclass(frozen=True)
+class Race:
+    """A pair of conflicting accesses unordered by happens-before."""
+
+    first: MemoryOp
+    second: MemoryOp
+
+    def describe(self) -> str:
+        return (
+            f"data race on {self.first.location!r}: {self.first!r} (P{self.first.proc}) "
+            f"and {self.second!r} (P{self.second.proc}) are unordered by happens-before"
+        )
+
+    @property
+    def location(self) -> str:
+        return self.first.location
+
+
+def find_races(
+    execution: Execution,
+    model: SynchronizationModel = DRF0,
+    hb: Optional[HappensBefore] = None,
+    augment: bool = True,
+    initial_memory: Optional[dict] = None,
+) -> List[Race]:
+    """All races in one idealized execution under ``model``.
+
+    The execution is augmented per Section 4 unless ``augment=False`` or a
+    prebuilt ``hb`` is passed.  Only cross-processor conflicting pairs can
+    race (same-processor pairs are program-ordered).
+    """
+    if hb is None:
+        trace = (
+            augment_execution(execution, initial_memory=initial_memory)
+            if augment
+            else execution
+        )
+        hb = build_happens_before(trace, sync_edge_rule=model.sync_edge_rule)
+    else:
+        trace = hb.execution
+
+    races: List[Race] = []
+    for earlier, later in conflicting_pairs(trace):
+        if model.is_exempt(earlier, later):
+            continue
+        if not hb.are_ordered(earlier, later):
+            races.append(Race(first=earlier, second=later))
+    return races
+
+
+def race_free(execution: Execution, model: SynchronizationModel = DRF0) -> bool:
+    """True iff the execution has no race under ``model``."""
+    return not find_races(execution, model=model)
+
+
+def format_race_report(races: List[Race]) -> str:
+    """Multi-line human-readable report, one line per race."""
+    if not races:
+        return "no data races detected"
+    lines = [f"{len(races)} data race(s) detected:"]
+    lines.extend(f"  - {race.describe()}" for race in races)
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Systematic (delay-bounded) exploration of hardware schedules."""
+
+from repro.explore.explorer import (
+    ExplorationReport,
+    explore_program,
+    explore_to_fixpoint,
+    verify_weak_ordering,
+)
+from repro.explore.oracle import ReplayOracle, ScheduledInterconnect
+
+__all__ = [
+    "ExplorationReport",
+    "ReplayOracle",
+    "ScheduledInterconnect",
+    "explore_program",
+    "explore_to_fixpoint",
+    "verify_weak_ordering",
+]

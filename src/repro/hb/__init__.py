@@ -1,0 +1,36 @@
+"""Happens-before machinery: posets, po/so/hb, conflicts, augmentation."""
+
+from repro.hb.augment import (
+    FINAL_SYNC_LOCATION,
+    INIT_SYNC_LOCATION,
+    AugmentationError,
+    augment_execution,
+    strip_augmentation,
+)
+from repro.hb.conflict import conflicting_pair_count, conflicting_pairs, conflicts_of
+from repro.hb.poset import CycleError, PartialOrder
+from repro.hb.relations import (
+    HappensBefore,
+    SyncEdgeRule,
+    build_happens_before,
+    drf0_sync_edge,
+    writer_to_reader_sync_edge,
+)
+
+__all__ = [
+    "AugmentationError",
+    "CycleError",
+    "FINAL_SYNC_LOCATION",
+    "HappensBefore",
+    "INIT_SYNC_LOCATION",
+    "PartialOrder",
+    "SyncEdgeRule",
+    "augment_execution",
+    "build_happens_before",
+    "conflicting_pair_count",
+    "conflicting_pairs",
+    "conflicts_of",
+    "drf0_sync_edge",
+    "strip_augmentation",
+    "writer_to_reader_sync_edge",
+]

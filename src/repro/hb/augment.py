@@ -1,0 +1,169 @@
+"""Augmented executions (Section 4).
+
+To account for the initial state of memory, the paper assumes that before
+the actual execution one processor performs a hypothetical initializing
+write to every location followed by a hypothetical synchronization
+operation on a special location, and every other processor then performs
+a synchronization operation on that location before its real work.  A
+symmetric set of final synchronizations and final reads accounts for the
+final state.
+
+The augmentation guarantees that every read has at least one hb-ordered
+prior write (the initializing write) and that the final memory state is
+an hb-observable quantity — both needed for Lemma 1 to be well formed.
+
+We realize the hypothetical operations as real :class:`MemoryOp` values
+on the pseudo-processors ``INIT_PROC``/``FINAL_PROC``, woven into the
+trace so that trace order remains a legal completion order.  The per-
+processor boundary synchronizations are read-write operations and the
+init/final anchors write/read respectively, so the augmentation creates
+ordering under both the DRF0 sync-edge rule and the stricter
+writer-to-reader rule of Section 6.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.core.execution import Execution
+from repro.core.operation import Location, MemoryOp, OpKind, Value
+
+#: Special synchronization locations used by the hypothetical operations.
+#: The final-state handshake uses one location *per processor*: under the
+#: Section 6 refinement (writer->reader so edges only) two releases to a
+#: shared location would be an unordered conflicting pair, poisoning
+#: every program's DRF0-R verdict.
+INIT_SYNC_LOCATION = "__init_sync__"
+FINAL_SYNC_LOCATION = "__final_sync__"
+
+
+def final_sync_location(proc: int) -> Location:
+    return f"{FINAL_SYNC_LOCATION}{proc}"
+
+
+def _is_reserved_location(location: Location) -> bool:
+    return location.startswith(INIT_SYNC_LOCATION) or location.startswith(
+        FINAL_SYNC_LOCATION
+    )
+
+
+class AugmentationError(ValueError):
+    """The program uses a location reserved for augmentation."""
+
+
+def augment_execution(
+    execution: Execution,
+    locations: Optional[Iterable[Location]] = None,
+    initial_memory: Optional[dict] = None,
+) -> Execution:
+    """Return a new execution with Section 4's hypothetical operations.
+
+    Args:
+        execution: the real execution (trace order = completion order).
+        locations: all shared locations to initialize/finalize; defaults
+            to the locations appearing in the trace.
+        initial_memory: initial values (default 0 for every location).
+    """
+    initial_memory = dict(initial_memory or {})
+    locs: Set[Location] = set(locations) if locations is not None else set()
+    for op in execution.ops:
+        locs.add(op.location)
+    if any(_is_reserved_location(loc) for loc in locs):
+        raise AugmentationError(
+            f"program locations may not start with {INIT_SYNC_LOCATION!r} "
+            f"or {FINAL_SYNC_LOCATION!r}"
+        )
+    procs = sorted({op.proc for op in execution.ops})
+
+    augmented = Execution(completed=execution.completed)
+
+    # Initializing writes, then the release on the special location.
+    for idx, loc in enumerate(sorted(locs)):
+        augmented.append(
+            MemoryOp(
+                proc=MemoryOp.INIT_PROC,
+                kind=OpKind.WRITE,
+                location=loc,
+                value_written=initial_memory.get(loc, 0),
+                issue_index=idx,
+            )
+        )
+    augmented.append(
+        MemoryOp(
+            proc=MemoryOp.INIT_PROC,
+            kind=OpKind.SYNC_WRITE,
+            location=INIT_SYNC_LOCATION,
+            value_written=1,
+            issue_index=2**62,
+        )
+    )
+    # Each real processor acquires before its first real operation.
+    for proc in procs:
+        augmented.append(
+            MemoryOp(
+                proc=proc,
+                kind=OpKind.SYNC_RMW,
+                location=INIT_SYNC_LOCATION,
+                value_read=1,
+                value_written=1,
+                issue_index=-1,  # program-ordered before all real ops
+            )
+        )
+
+    # The real trace, unchanged and in order.
+    for op in execution.ops:
+        augmented.append(op)
+
+    # Each real processor releases after its last real operation.  The
+    # releases are write-only (no read component) so that every read in
+    # the augmented trace has a well-defined hb-prior write, and each
+    # targets a per-processor location so two releases never conflict.
+    for proc in procs:
+        augmented.append(
+            MemoryOp(
+                proc=proc,
+                kind=OpKind.SYNC_WRITE,
+                location=final_sync_location(proc),
+                value_written=1,
+                issue_index=2**62,  # program-ordered after all real ops
+            )
+        )
+    # The final processor acquires every release, then reads every location.
+    for idx, proc in enumerate(procs):
+        augmented.append(
+            MemoryOp(
+                proc=MemoryOp.FINAL_PROC,
+                kind=OpKind.SYNC_RMW,
+                location=final_sync_location(proc),
+                value_read=1,
+                value_written=1,
+                issue_index=-(len(procs) - idx),
+            )
+        )
+    final_memory = dict(initial_memory)
+    final_memory.update(execution.final_memory())
+    for idx, loc in enumerate(sorted(locs)):
+        augmented.append(
+            MemoryOp(
+                proc=MemoryOp.FINAL_PROC,
+                kind=OpKind.READ,
+                location=loc,
+                value_read=final_memory.get(loc, 0),
+                issue_index=idx,
+            )
+        )
+    augmented.observable = execution.observable
+    return augmented
+
+
+def strip_augmentation(execution: Execution) -> Execution:
+    """Inverse of :func:`augment_execution` (drops hypothetical ops)."""
+    real = Execution(completed=execution.completed)
+    for op in execution.ops:
+        if op.is_hypothetical:
+            continue
+        if _is_reserved_location(op.location):
+            continue
+        real.append(op)
+    real.observable = execution.observable
+    return real

@@ -1,0 +1,50 @@
+"""Conflicting-access enumeration (Section 4).
+
+Two accesses conflict iff they touch the same location and are not both
+reads.  DRF0's condition (2) quantifies over *all* conflicting pairs of
+an idealized execution; this module produces those pairs efficiently by
+bucketing per location.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator, List, Tuple
+
+from repro.core.execution import Execution
+from repro.core.operation import MemoryOp, conflict
+
+
+def conflicting_pairs(
+    execution: Execution, include_same_proc: bool = False
+) -> Iterator[Tuple[MemoryOp, MemoryOp]]:
+    """Yield every conflicting pair ``(earlier, later)`` in trace order.
+
+    Same-processor pairs are hb-ordered by program order by construction,
+    so DRF0 checking may skip them; pass ``include_same_proc=True`` to get
+    the complete relation anyway (useful for tests of the hb machinery).
+    """
+    by_location: defaultdict = defaultdict(list)
+    for op in execution.ops:
+        by_location[op.location].append(op)
+    for ops in by_location.values():
+        for i, earlier in enumerate(ops):
+            for later in ops[i + 1 :]:
+                if not include_same_proc and earlier.proc == later.proc:
+                    continue
+                if conflict(earlier, later):
+                    yield earlier, later
+
+
+def conflicting_pair_count(execution: Execution) -> int:
+    """Number of cross-processor conflicting pairs in the execution."""
+    return sum(1 for _ in conflicting_pairs(execution))
+
+
+def conflicts_of(op: MemoryOp, execution: Execution) -> List[MemoryOp]:
+    """All ops in the execution that conflict with ``op`` (excluding itself)."""
+    return [
+        other
+        for other in execution.ops
+        if other is not op and conflict(op, other)
+    ]

@@ -1,0 +1,7 @@
+"""Interconnects: the serializing bus and the general network of Figure 1."""
+
+from repro.interconnect.base import Handler, Interconnect
+from repro.interconnect.bus import Bus
+from repro.interconnect.network import Network
+
+__all__ = ["Bus", "Handler", "Interconnect", "Network"]

@@ -1,0 +1,45 @@
+"""Interconnect abstraction.
+
+Figure 1 distinguishes shared-*bus* systems from systems with *general
+interconnection networks*: a bus serializes transfers (giving a total
+order of message deliveries), while a general network delivers messages
+with independent latencies and may reorder them even between the same
+endpoints.  Both implement this one interface, so every other component
+is interconnect-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.sim.engine import Component, Simulator
+from repro.sim.stats import Stats
+
+#: A delivery handler: receives ``(payload, source_endpoint)``.
+Handler = Callable[[Any, str], None]
+
+
+class Interconnect(Component):
+    """Named-endpoint message transport."""
+
+    def __init__(self, sim: Simulator, stats: Stats, name: str = "interconnect") -> None:
+        super().__init__(sim, name)
+        self.stats = stats
+        self._handlers: Dict[str, Handler] = {}
+
+    def register(self, endpoint: str, handler: Handler) -> None:
+        """Attach ``handler`` to ``endpoint`` (one handler per endpoint)."""
+        if endpoint in self._handlers:
+            raise ValueError(f"endpoint {endpoint!r} already registered")
+        self._handlers[endpoint] = handler
+
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        """Queue ``payload`` for delivery from ``src`` to ``dst``."""
+        raise NotImplementedError
+
+    def _deliver(self, src: str, dst: str, payload: Any) -> None:
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise KeyError(f"no handler registered for endpoint {dst!r}")
+        self.stats.bump("interconnect.delivered")
+        handler(payload, src)

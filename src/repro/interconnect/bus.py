@@ -1,0 +1,59 @@
+"""A shared bus: one transfer at a time, FIFO arbitration.
+
+The bus grants transfers in request order and holds the medium for
+``transfer_cycles`` per message, so deliveries are totally ordered and
+point-to-point FIFO — the strong interconnect of Figure 1's left column.
+SC violations on a bus therefore require processor-side relaxations
+(out-of-order issue or read-bypassing write buffers), exactly as the
+figure's caption argues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Tuple
+
+from repro.interconnect.base import Interconnect
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+
+
+class Bus(Interconnect):
+    """FIFO, serializing interconnect."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stats: Stats,
+        transfer_cycles: int = 4,
+        name: str = "bus",
+    ) -> None:
+        super().__init__(sim, stats, name)
+        if transfer_cycles < 1:
+            raise ValueError("transfer_cycles must be >= 1")
+        self.transfer_cycles = transfer_cycles
+        self._queue: Deque[Tuple[str, str, Any]] = deque()
+        self._busy = False
+
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        self.stats.bump("bus.sent")
+        self._queue.append((src, dst, payload))
+        if not self._busy:
+            self._grant()
+
+    def _grant(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        src, dst, payload = self._queue.popleft()
+
+        def complete() -> None:
+            self._deliver(src, dst, payload)
+            self._grant()
+
+        self.sim.schedule(self.transfer_cycles, complete)
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)

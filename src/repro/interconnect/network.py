@@ -1,0 +1,72 @@
+"""A general interconnection network (Figure 1's right column).
+
+Every message travels independently with latency ``base + U[0, jitter]``,
+so two messages between the same endpoints can arrive out of order —
+Lamport's original observation of how program-order issue still violates
+sequential consistency when accesses "reach memory modules in a different
+order".  Set ``jitter=0`` for a deterministic (but still non-serializing)
+network, or ``point_to_point_fifo=True`` to force per-(src,dst) ordering
+while keeping cross-pair concurrency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.interconnect.base import Interconnect
+from repro.sim.engine import Simulator
+from repro.sim.rng import TimingRng
+from repro.sim.stats import Stats
+
+
+class Network(Interconnect):
+    """Unordered, concurrent message transport."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stats: Stats,
+        rng: TimingRng,
+        base_latency: int = 6,
+        jitter: int = 8,
+        point_to_point_fifo: bool = False,
+        inval_virtual_channel: bool = False,
+        name: str = "network",
+    ) -> None:
+        """``inval_virtual_channel`` puts invalidations on their own
+        virtual network: they keep FIFO among themselves but race freely
+        against data/grant traffic on the same (src, dst) pair — the
+        general-interconnect behaviour the paper's Section 5 machinery
+        (reserve bits, MemAck) exists to tolerate."""
+        super().__init__(sim, stats, name)
+        if base_latency < 1:
+            raise ValueError("base_latency must be >= 1")
+        self.rng = rng
+        self.base_latency = base_latency
+        self.jitter = jitter
+        self.point_to_point_fifo = point_to_point_fifo
+        self.inval_virtual_channel = inval_virtual_channel
+        #: Earliest permissible delivery per channel when FIFO is on.
+        self._last_delivery: Dict[Tuple, int] = {}
+
+    def _channel(self, src: str, dst: str, payload: Any) -> Tuple:
+        if self.inval_virtual_channel:
+            from repro.coherence.protocol import Inval
+
+            return (src, dst, isinstance(payload, Inval))
+        return (src, dst)
+
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        self.stats.bump("network.sent")
+        latency = self.rng.latency(self.base_latency, self.jitter)
+        deliver_at = self.sim.now + latency
+        if self.point_to_point_fifo:
+            channel = self._channel(src, dst, payload)
+            floor = self._last_delivery.get(channel, 0)
+            deliver_at = max(deliver_at, floor + 1)
+            self._last_delivery[channel] = deliver_at
+
+        def complete() -> None:
+            self._deliver(src, dst, payload)
+
+        self.sim.schedule(deliver_at - self.sim.now, complete)

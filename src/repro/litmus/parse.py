@@ -1,0 +1,310 @@
+"""A small text format for litmus tests.
+
+Litmus tests are traditionally written as columns, one per processor::
+
+    name: SB
+    init: x=0 y=0
+    forbidden: P0:r1=0 & P1:r2=0
+
+    P0         | P1
+    x = 1      | y = 1
+    r1 = y     | r2 = x
+
+Statement forms (registers are identifiers matching ``r<digits>``; any
+other identifier is a shared memory location):
+
+=========================  =============================================
+``x = 1`` / ``x = r2``      data store (immediate or register source)
+``r1 = x``                  data load
+``sync x = 1``              synchronization store (*Unset/Set*)
+``r1 = sync x``             synchronization load (*Test*)
+``r1 = tas x``              TestAndSet
+``r1 = faa x 2``            FetchAndAdd (immediate or register addend)
+``r1 = swap x 5``           atomic register/memory swap
+``r3 = r1 + r2``            register arithmetic (``+ - *``)
+``fence``                   RP3-style fence (drain)
+``nop``                     one idle cycle
+``label:``                  branch target (prefix of another statement
+                            or alone on its cell line)
+``if r1 == 0 goto label``   conditional branch (``== != < <= > >=``)
+``goto label``              unconditional branch
+=========================  =============================================
+
+Header lines (all optional except the table):
+
+* ``name:`` test name;
+* ``init:`` whitespace-separated ``loc=value`` pairs;
+* ``forbidden:`` one outcome as ``P<i>:<reg>=<val>`` terms joined by
+  ``&`` — it also defines the projection (observed registers);
+* ``observe:`` explicit projection, ``P<i>:<reg>`` terms, overriding the
+  default (forbidden terms, else every register written).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.instructions import Condition
+from repro.core.program import Program, ProgramError, ThreadBuilder
+from repro.litmus.test import LitmusTest
+
+
+class LitmusParseError(ValueError):
+    """The litmus source does not follow the format."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None) -> None:
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+        self.line_no = line_no
+
+
+_REGISTER = re.compile(r"^r\d+$")
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+_LABEL = re.compile(r"^([A-Za-z_][A-Za-z_0-9]*):(.*)$")
+_CONDITIONS = {c.value: c for c in Condition}
+
+
+def _is_register(token: str) -> bool:
+    return bool(_REGISTER.match(token))
+
+
+def _is_location(token: str) -> bool:
+    return bool(_IDENT.match(token)) and not _is_register(token)
+
+
+def _operand(token: str, line_no: int):
+    """An immediate int or a register name."""
+    if _is_register(token):
+        return token
+    try:
+        return int(token)
+    except ValueError:
+        raise LitmusParseError(
+            f"expected register or integer, got {token!r}", line_no
+        )
+
+
+def _parse_statement(builder: ThreadBuilder, text: str, line_no: int) -> None:
+    text = text.strip()
+    if not text:
+        return
+    label_match = _LABEL.match(text)
+    if label_match and "=" not in label_match.group(1):
+        builder.label(label_match.group(1))
+        rest = label_match.group(2).strip()
+        if rest:
+            _parse_statement(builder, rest, line_no)
+        return
+
+    tokens = text.split()
+    if tokens == ["fence"]:
+        builder.fence()
+        return
+    if tokens == ["nop"]:
+        builder.nop()
+        return
+    if tokens == ["halt"]:
+        builder.halt()
+        return
+    if tokens[0] == "goto":
+        if len(tokens) != 2:
+            raise LitmusParseError("goto takes exactly one label", line_no)
+        builder.jump(tokens[1])
+        return
+    if tokens[0] == "if":
+        # if <a> <cond> <b> goto <label>
+        if len(tokens) != 6 or tokens[4] != "goto":
+            raise LitmusParseError(
+                "conditional form is: if <a> <op> <b> goto <label>", line_no
+            )
+        cond = _CONDITIONS.get(tokens[2])
+        if cond is None:
+            raise LitmusParseError(f"unknown comparison {tokens[2]!r}", line_no)
+        builder.branch(
+            cond, _operand(tokens[1], line_no), _operand(tokens[3], line_no),
+            tokens[5],
+        )
+        return
+    if tokens[0] == "sync":
+        # sync <loc> = <value>
+        if len(tokens) != 4 or tokens[2] != "=":
+            raise LitmusParseError("sync store form is: sync <loc> = <val>", line_no)
+        if not _is_location(tokens[1]):
+            raise LitmusParseError(f"{tokens[1]!r} is not a location", line_no)
+        builder.sync_store(tokens[1], _operand(tokens[3], line_no))
+        return
+
+    if len(tokens) >= 3 and tokens[1] == "=":
+        dest, rhs = tokens[0], tokens[2:]
+        if _is_location(dest):
+            # store: <loc> = <value>
+            if len(rhs) != 1:
+                raise LitmusParseError("store form is: <loc> = <val>", line_no)
+            builder.store(dest, _operand(rhs[0], line_no))
+            return
+        if not _is_register(dest):
+            raise LitmusParseError(f"{dest!r} is neither register nor location", line_no)
+        if len(rhs) == 1:
+            token = rhs[0]
+            if _is_location(token):
+                builder.load(dest, token)
+            else:
+                builder.mov(dest, _operand(token, line_no))
+            return
+        if rhs[0] == "sync" and len(rhs) == 2:
+            if not _is_location(rhs[1]):
+                raise LitmusParseError(f"{rhs[1]!r} is not a location", line_no)
+            builder.sync_load(dest, rhs[1])
+            return
+        if rhs[0] == "tas" and len(rhs) == 2:
+            builder.test_and_set(dest, rhs[1])
+            return
+        if rhs[0] == "faa" and len(rhs) == 3:
+            builder.fetch_and_add(dest, rhs[1], _operand(rhs[2], line_no))
+            return
+        if rhs[0] == "swap" and len(rhs) == 3:
+            builder.swap(dest, rhs[1], _operand(rhs[2], line_no))
+            return
+        if len(rhs) == 3 and rhs[1] in ("+", "-", "*", "&", "^", "or"):
+            from repro.core.instructions import BinOp
+
+            op = {
+                "+": BinOp.ADD,
+                "-": BinOp.SUB,
+                "*": BinOp.MUL,
+                "&": BinOp.AND,
+                "^": BinOp.XOR,
+                "or": BinOp.OR,
+            }[rhs[1]]
+            builder.arith(
+                op, dest, _operand(rhs[0], line_no), _operand(rhs[2], line_no)
+            )
+            return
+    raise LitmusParseError(f"cannot parse statement {text!r}", line_no)
+
+
+def _parse_outcome_terms(text: str, line_no: int) -> List[Tuple[int, str, int]]:
+    """``P0:r1=0 & P1:r2=0`` -> [(0, 'r1', 0), (1, 'r2', 0)]."""
+    terms = []
+    for raw in text.split("&"):
+        raw = raw.strip()
+        match = re.match(r"^P(\d+):(r\d+)\s*=\s*(-?\d+)$", raw)
+        if not match:
+            raise LitmusParseError(
+                f"outcome term must look like P0:r1=0, got {raw!r}", line_no
+            )
+        terms.append((int(match.group(1)), match.group(2), int(match.group(3))))
+    return terms
+
+
+def _parse_observe_terms(text: str, line_no: int) -> List[Tuple[int, str]]:
+    terms = []
+    for raw in text.split():
+        match = re.match(r"^P(\d+):(r\d+)$", raw.strip())
+        if not match:
+            raise LitmusParseError(
+                f"observe term must look like P0:r1, got {raw!r}", line_no
+            )
+        terms.append((int(match.group(1)), match.group(2)))
+    return terms
+
+
+def parse_litmus(source: str, warm_caches: bool = False) -> LitmusTest:
+    """Parse the text format into a :class:`LitmusTest`."""
+    name = "litmus"
+    init: Dict[str, int] = {}
+    forbidden_terms: Optional[List[Tuple[int, str, int]]] = None
+    observe_terms: Optional[List[Tuple[int, str]]] = None
+    table: List[Tuple[int, List[str]]] = []
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        stripped = line.strip()
+        lowered = stripped.lower()
+        if lowered.startswith("name:"):
+            name = stripped[5:].strip()
+        elif lowered.startswith("init:"):
+            for pair in stripped[5:].split():
+                if "=" not in pair:
+                    raise LitmusParseError(
+                        f"init entries look like x=1, got {pair!r}", line_no
+                    )
+                loc, value = pair.split("=", 1)
+                if not _is_location(loc):
+                    raise LitmusParseError(f"{loc!r} is not a location", line_no)
+                init[loc] = int(value)
+        elif lowered.startswith("forbidden:"):
+            forbidden_terms = _parse_outcome_terms(stripped[10:], line_no)
+        elif lowered.startswith("observe:"):
+            observe_terms = _parse_observe_terms(stripped[8:], line_no)
+        else:
+            table.append((line_no, [cell.strip() for cell in line.split("|")]))
+
+    if not table:
+        raise LitmusParseError("no processor table found")
+
+    header_line_no, headers = table[0]
+    for idx, header in enumerate(headers):
+        if header != f"P{idx}":
+            raise LitmusParseError(
+                f"processor columns must be P0 | P1 | ..., got {header!r}",
+                header_line_no,
+            )
+    num_procs = len(headers)
+
+    builders = [ThreadBuilder(f"P{i}") for i in range(num_procs)]
+    for line_no, cells in table[1:]:
+        if len(cells) > num_procs:
+            raise LitmusParseError(
+                f"row has {len(cells)} columns, table has {num_procs}", line_no
+            )
+        for proc, cell in enumerate(cells):
+            try:
+                _parse_statement(builders[proc], cell, line_no)
+            except ProgramError as error:
+                raise LitmusParseError(str(error), line_no)
+
+    try:
+        program = Program(
+            [b.build() for b in builders], initial_memory=init, name=name
+        )
+    except ProgramError as error:
+        raise LitmusParseError(str(error))
+
+    if observe_terms is not None:
+        projection = tuple(observe_terms)
+    elif forbidden_terms is not None:
+        projection = tuple((proc, reg) for proc, reg, _ in forbidden_terms)
+    else:
+        projection = tuple(
+            sorted(
+                {
+                    (proc, instr.dest)
+                    for proc, thread in enumerate(program.threads)
+                    for instr in thread.instructions
+                    if getattr(instr, "dest", None) is not None
+                }
+            )
+        )
+
+    forbidden = None
+    if forbidden_terms is not None:
+        by_key = {(proc, reg): value for proc, reg, value in forbidden_terms}
+        try:
+            forbidden = tuple(by_key[key] for key in projection)
+        except KeyError as missing:
+            raise LitmusParseError(
+                f"forbidden outcome does not cover observed register {missing}"
+            )
+
+    return LitmusTest(
+        name=name,
+        program=program,
+        projection=projection,
+        forbidden=forbidden,
+        description=f"parsed litmus test {name!r}",
+        warm_caches=warm_caches,
+    )

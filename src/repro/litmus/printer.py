@@ -1,0 +1,218 @@
+"""Rendering litmus tests back to the text format.
+
+The inverse of :mod:`repro.litmus.parse`: :func:`render_litmus` turns a
+:class:`~repro.litmus.test.LitmusTest` (or raw
+:class:`~repro.core.program.Program`) into source the parser reads back
+to an equivalent test — the round trip that lets tests be generated,
+saved, shared and re-run.
+
+The text format requires register names matching ``r<digits>``.
+Programs using other register names are renamed consistently
+(``__t -> r100``, ...) unless ``strict=True``, in which case rendering
+such a program raises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.instructions import (
+    Arith,
+    BinOp,
+    Branch,
+    Fence,
+    FetchAndAdd,
+    Halt,
+    Instruction,
+    Jump,
+    Load,
+    Mov,
+    Nop,
+    Store,
+    Swap,
+    SyncLoad,
+    SyncStore,
+    TestAndSet,
+)
+from repro.core.program import Program, Thread
+from repro.litmus.parse import _is_register
+from repro.litmus.test import LitmusTest
+
+_BINOP_SYMBOLS = {
+    BinOp.ADD: "+",
+    BinOp.SUB: "-",
+    BinOp.MUL: "*",
+    BinOp.AND: "&",
+    BinOp.OR: "or",
+    BinOp.XOR: "^",
+}
+
+
+class UnrenderableError(ValueError):
+    """The program cannot be expressed in the text format (strict mode)."""
+
+
+class _Renamer:
+    """Consistent renaming of non-conforming register names."""
+
+    def __init__(self, program: Program, strict: bool) -> None:
+        self.strict = strict
+        self._map: Dict[str, str] = {}
+        taken = {
+            name
+            for thread in program.threads
+            for instr in thread.instructions
+            for name in self._register_names(instr)
+            if _is_register(name)
+        }
+        self._next = 100
+        while f"r{self._next}" in taken:
+            self._next += 1
+
+    @staticmethod
+    def _register_names(instr: Instruction) -> List[str]:
+        names = []
+        dest = getattr(instr, "dest", None)
+        if isinstance(dest, str):
+            names.append(dest)
+        for attr in ("src", "a", "b"):
+            value = getattr(instr, attr, None)
+            if isinstance(value, str):
+                names.append(value)
+        return names
+
+    def register(self, name: str) -> str:
+        if _is_register(name):
+            return name
+        if self.strict:
+            raise UnrenderableError(
+                f"register {name!r} does not match r<digits>; rendering "
+                "strictly requires conforming names"
+            )
+        if name not in self._map:
+            self._map[name] = f"r{self._next}"
+            self._next += 1
+        return self._map[name]
+
+    def operand(self, value) -> str:
+        if isinstance(value, int):
+            return str(value)
+        return self.register(value)
+
+    @property
+    def mapping(self) -> Dict[str, str]:
+        return dict(self._map)
+
+
+def _render_instruction(instr: Instruction, renamer: _Renamer) -> str:
+    if isinstance(instr, Load):
+        return f"{renamer.register(instr.dest)} = {instr.location}"
+    if isinstance(instr, Store):
+        return f"{instr.location} = {renamer.operand(instr.src)}"
+    if isinstance(instr, SyncLoad):
+        return f"{renamer.register(instr.dest)} = sync {instr.location}"
+    if isinstance(instr, SyncStore):
+        return f"sync {instr.location} = {renamer.operand(instr.src)}"
+    if isinstance(instr, TestAndSet):
+        return f"{renamer.register(instr.dest)} = tas {instr.location}"
+    if isinstance(instr, FetchAndAdd):
+        return (
+            f"{renamer.register(instr.dest)} = faa {instr.location} "
+            f"{renamer.operand(instr.src)}"
+        )
+    if isinstance(instr, Swap):
+        return (
+            f"{renamer.register(instr.dest)} = swap {instr.location} "
+            f"{renamer.operand(instr.src)}"
+        )
+    if isinstance(instr, Mov):
+        return f"{renamer.register(instr.dest)} = {renamer.operand(instr.src)}"
+    if isinstance(instr, Arith):
+        return (
+            f"{renamer.register(instr.dest)} = {renamer.operand(instr.a)} "
+            f"{_BINOP_SYMBOLS[instr.op]} {renamer.operand(instr.b)}"
+        )
+    if isinstance(instr, Branch):
+        return (
+            f"if {renamer.operand(instr.a)} {instr.cond.value} "
+            f"{renamer.operand(instr.b)} goto {instr.target}"
+        )
+    if isinstance(instr, Jump):
+        return f"goto {instr.target}"
+    if isinstance(instr, Nop):
+        return "nop"
+    if isinstance(instr, Fence):
+        return "fence"
+    if isinstance(instr, Halt):
+        return "halt"
+    raise UnrenderableError(f"cannot render {instr!r}")
+
+
+def _render_thread(thread: Thread, renamer: _Renamer) -> List[str]:
+    """Statement strings, labels prefixed onto their instruction."""
+    labels_at: Dict[int, List[str]] = {}
+    for label, pos in thread.labels.items():
+        labels_at.setdefault(pos, []).append(label)
+    rows: List[str] = []
+    for idx, instr in enumerate(thread.instructions):
+        prefix = "".join(f"{label}: " for label in sorted(labels_at.get(idx, [])))
+        rows.append(prefix + _render_instruction(instr, renamer))
+    # Labels pointing past the last instruction get their own row.
+    for label in sorted(labels_at.get(len(thread.instructions), [])):
+        rows.append(f"{label}: nop")
+    return rows
+
+
+def render_litmus(
+    test_or_program,
+    strict: bool = False,
+) -> str:
+    """Render a test (or bare program) to parseable litmus source."""
+    if isinstance(test_or_program, LitmusTest):
+        test: Optional[LitmusTest] = test_or_program
+        program = test.program
+    else:
+        test = None
+        program = test_or_program
+
+    renamer = _Renamer(program, strict=strict)
+    columns = [_render_thread(thread, renamer) for thread in program.threads]
+
+    lines = [f"name: {program.name}"]
+    if program.initial_memory:
+        pairs = " ".join(
+            f"{loc}={value}" for loc, value in sorted(program.initial_memory.items())
+        )
+        lines.append(f"init: {pairs}")
+    if test is not None and test.projection:
+        rename = lambda reg: renamer.mapping.get(reg, reg)
+        lines.append(
+            "observe: "
+            + " ".join(f"P{proc}:{rename(reg)}" for proc, reg in test.projection)
+        )
+        if test.forbidden is not None:
+            terms = " & ".join(
+                f"P{proc}:{rename(reg)}={value}"
+                for (proc, reg), value in zip(test.projection, test.forbidden)
+            )
+            lines.append(f"forbidden: {terms}")
+    lines.append("")
+
+    headers = [f"P{i}" for i in range(program.num_procs)]
+    depth = max(len(col) for col in columns)
+    widths = [
+        max([len(headers[i])] + [len(row) for row in columns[i]])
+        for i in range(len(columns))
+    ]
+    lines.append(
+        " | ".join(headers[i].ljust(widths[i]) for i in range(len(columns)))
+    )
+    for row_idx in range(depth):
+        cells = [
+            (columns[i][row_idx] if row_idx < len(columns[i]) else "").ljust(
+                widths[i]
+            )
+            for i in range(len(columns))
+        ]
+        lines.append(" | ".join(cells).rstrip())
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,133 @@
+"""The litmus campaign runner: Definition 2 as an executable check.
+
+For a litmus test, a policy and a machine configuration, the runner
+executes the program across many timing seeds, histograms the outcomes,
+and classifies each against the exhaustive SC result set of the same
+program.  An outcome outside the SC set is a sequential-consistency
+violation — permitted for racy programs on weak hardware, *forbidden*
+(Definition 2) for DRF0 programs on hardware claiming weak ordering
+w.r.t. DRF0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.execution import Observable
+from repro.litmus.test import LitmusTest
+from repro.memsys.config import MachineConfig
+from repro.memsys.system import System
+from repro.models.base import OrderingPolicy
+from repro.sc.verifier import SCVerifier
+from repro.sim.rng import seed_stream
+
+
+@dataclass
+class LitmusResult:
+    """Outcome histogram of a litmus campaign plus its SC classification."""
+
+    test: LitmusTest
+    policy_name: str
+    config_name: str
+    runs: int
+    completed_runs: int
+    #: Outcome (projected registers) -> observation count.
+    histogram: Dict[Tuple[int, ...], int] = field(default_factory=dict)
+    #: Full observables that fell outside the SC result set.
+    sc_violations: Dict[Tuple[int, ...], int] = field(default_factory=dict)
+    #: Mean cycles across completed runs.
+    mean_cycles: float = 0.0
+
+    @property
+    def violated_sc(self) -> bool:
+        return bool(self.sc_violations)
+
+    @property
+    def forbidden_seen(self) -> Optional[int]:
+        """How often the test's designated forbidden outcome appeared."""
+        if self.test.forbidden is None:
+            return None
+        return self.histogram.get(self.test.forbidden, 0)
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.test.name} on {self.config_name}/{self.policy_name}: "
+            f"{self.completed_runs}/{self.runs} runs, "
+            f"mean {self.mean_cycles:.0f} cycles"
+        ]
+        for outcome, count in sorted(self.histogram.items()):
+            marks = []
+            if outcome in self.sc_violations:
+                marks.append("NOT SC")
+            if self.test.forbidden is not None and outcome == self.test.forbidden:
+                marks.append("forbidden")
+            suffix = f"   <-- {', '.join(marks)}" if marks else ""
+            lines.append(
+                f"  {self.test.describe_outcome(outcome)}: {count}{suffix}"
+            )
+        return "\n".join(lines)
+
+
+class LitmusRunner:
+    """Runs litmus campaigns, sharing one SC oracle across tests."""
+
+    def __init__(self, verifier: Optional[SCVerifier] = None) -> None:
+        self.verifier = verifier or SCVerifier()
+        self._program_cache: Dict[str, object] = {}
+
+    def run(
+        self,
+        test: LitmusTest,
+        policy_factory,
+        config: MachineConfig,
+        runs: int = 50,
+        base_seed: int = 12345,
+        max_cycles: int = 1_000_000,
+    ) -> LitmusResult:
+        """Run ``runs`` seeds of ``test`` and classify the outcomes.
+
+        ``policy_factory`` is called once per run (policies may hold
+        per-run state).
+        """
+        program = self._executable(test)
+        sc_set: Set[Observable] = self.verifier.sc_result_set(program)
+
+        histogram: Dict[Tuple[int, ...], int] = {}
+        violations: Dict[Tuple[int, ...], int] = {}
+        completed = 0
+        total_cycles = 0
+        for seed in seed_stream(base_seed, runs):
+            system = System(program, policy_factory(), config, seed=seed)
+            run = system.run(max_cycles=max_cycles)
+            if not run.completed:
+                continue
+            completed += 1
+            total_cycles += run.cycles
+            outcome = test.project(run.observable)
+            histogram[outcome] = histogram.get(outcome, 0) + 1
+            if run.observable not in sc_set:
+                violations[outcome] = violations.get(outcome, 0) + 1
+
+        return LitmusResult(
+            test=test,
+            policy_name=policy_factory().name,
+            config_name=config.name,
+            runs=runs,
+            completed_runs=completed,
+            histogram=histogram,
+            sc_violations=violations,
+            mean_cycles=(total_cycles / completed) if completed else 0.0,
+        )
+
+    def sc_outcomes(self, test: LitmusTest) -> Set[Tuple[int, ...]]:
+        """The projected outcomes SC allows for the test."""
+        program = self._executable(test)
+        return {test.project(obs) for obs in self.verifier.sc_result_set(program)}
+
+    def _executable(self, test: LitmusTest):
+        # The executable (possibly warmed) program must be the same
+        # object across runs so the verifier's per-program cache hits.
+        if test.name not in self._program_cache:
+            self._program_cache[test.name] = test.executable_program()
+        return self._program_cache[test.name]

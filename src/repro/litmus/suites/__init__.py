@@ -1,0 +1,44 @@
+"""The shipped ``.litmus`` test suite.
+
+Plain-text litmus tests in the :mod:`repro.litmus.parse` format, loaded
+with :func:`load_suite` / :func:`load_suite_test`.  They cover the
+standard shapes (SB, MP, LB, CoRR, IRIW), fenced and DRF0 variants, and
+serve both as regression inputs and as examples of the text format.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+from repro.litmus.parse import parse_litmus
+from repro.litmus.test import LitmusTest
+
+_SUITE_DIR = Path(__file__).parent
+
+
+def suite_paths() -> List[Path]:
+    """The shipped ``.litmus`` files, sorted by name."""
+    return sorted(_SUITE_DIR.glob("*.litmus"))
+
+
+def load_suite(warm_caches: bool = False) -> Dict[str, LitmusTest]:
+    """Parse every shipped file; keys are the tests' declared names."""
+    tests: Dict[str, LitmusTest] = {}
+    for path in suite_paths():
+        test = parse_litmus(path.read_text(), warm_caches=warm_caches)
+        if test.name in tests:
+            raise ValueError(f"duplicate litmus name {test.name!r} in suite")
+        tests[test.name] = test
+    return tests
+
+
+def load_suite_test(name: str, warm_caches: bool = False) -> LitmusTest:
+    """One suite test by its declared name."""
+    tests = load_suite(warm_caches=warm_caches)
+    try:
+        return tests[name]
+    except KeyError:
+        raise KeyError(
+            f"no suite test {name!r}; available: {sorted(tests)}"
+        )

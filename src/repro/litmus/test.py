@@ -1,0 +1,74 @@
+"""Litmus tests: small programs with designated observable registers.
+
+A litmus test packages a program with the register projection a human
+cares about and (optionally) the outcome the paper calls out as the
+sequential-consistency violation.  ``warm_caches`` marks tests that need
+every shared location resident in every cache before the test body runs
+— Figure 1's cache configurations only exhibit the violation when "both
+processors initially have X and Y in their caches".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.execution import Observable
+from repro.core.instructions import Load
+from repro.core.program import Program, Thread
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A named litmus test."""
+
+    name: str
+    program: Program
+    #: Registers of interest: ``(proc, register)`` in display order.
+    projection: Tuple[Tuple[int, str], ...]
+    description: str = ""
+    #: The register values (matching ``projection``) that SC forbids and
+    #: relaxed hardware may show; ``None`` when no single outcome is the
+    #: point of the test.
+    forbidden: Optional[Tuple[int, ...]] = None
+    #: Prepend warm-up loads of every shared location to every thread.
+    warm_caches: bool = False
+
+    def project(self, observable: Observable) -> Tuple[int, ...]:
+        """Extract the registers of interest from an outcome."""
+        return tuple(observable.register(proc, reg) for proc, reg in self.projection)
+
+    def executable_program(self) -> Program:
+        """The program actually run (warm-up loads prepended if asked).
+
+        Warm-up loads target scratch registers (``__warm<i>``) so they
+        never collide with test registers; they are part of the program
+        for *both* the hardware run and the SC enumeration, keeping the
+        two sides of the Definition-2 comparison aligned.
+        """
+        if not self.warm_caches:
+            return self.program
+        locations = sorted(self.program.locations())
+        threads = []
+        for thread in self.program.threads:
+            warmups = tuple(
+                Load(f"__warm{i}", loc) for i, loc in enumerate(locations)
+            )
+            shifted_labels = {
+                label: pos + len(warmups) for label, pos in thread.labels.items()
+            }
+            threads.append(
+                Thread(thread.name, warmups + thread.instructions, shifted_labels)
+            )
+        return Program(
+            threads,
+            initial_memory=dict(self.program.initial_memory),
+            name=f"{self.program.name}+warm",
+        )
+
+    def describe_outcome(self, values: Tuple[int, ...]) -> str:
+        pairs = ", ".join(
+            f"P{proc}.{reg}={val}"
+            for (proc, reg), val in zip(self.projection, values)
+        )
+        return f"({pairs})"

@@ -1,0 +1,314 @@
+"""System composition: program + policy + machine configuration -> a run.
+
+:class:`System` wires processors, the ordering policy, and either the
+cache-coherent substrate (caches + directory) or the cache-less one
+(write buffers + memory module) onto the configured interconnect, runs
+the program to quiescence, and packages the outcome as a
+:class:`HardwareRun` — observable result, commit-ordered trace, and full
+statistics.  This is the hardware-side counterpart of
+:func:`repro.sc.interleaving.enumerate_results`: Definition 2 is checked
+by comparing the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.coherence.cache import Cache
+from repro.coherence.directory import Directory
+from repro.coherence.snooping import SnoopCoordinator, SnoopingCache
+from repro.core.execution import Execution, Observable
+from repro.core.operation import Location, Value
+from repro.core.program import Program
+from repro.cpu.processor import Processor
+from repro.cpu.write_buffer import WriteBufferPort
+from repro.interconnect.bus import Bus
+from repro.interconnect.network import Network
+from repro.memsys.config import CoherenceStyle, InterconnectKind, MachineConfig
+from repro.memsys.memory import MemoryModule
+from repro.models.base import OrderingPolicy
+from repro.sim.engine import SimulationTimeout, Simulator
+from repro.sim.rng import TimingRng
+from repro.sim.stats import Stats
+
+
+class ConfigurationError(ValueError):
+    """Policy and machine configuration are incompatible."""
+
+
+@dataclass
+class HardwareRun:
+    """The outcome of one hardware execution."""
+
+    program: Program
+    policy_name: str
+    config_name: str
+    seed: int
+    observable: Observable
+    #: Trace of committed operations, ordered by commit time.
+    execution: Execution
+    stats: Stats
+    cycles: int
+    #: True when every processor ran its thread to completion.
+    completed: bool
+    halt_times: List[Optional[int]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        status = "completed" if self.completed else "DID NOT COMPLETE"
+        return (
+            f"[{self.config_name}/{self.policy_name} seed={self.seed}] "
+            f"{status} in {self.cycles} cycles: {self.observable.describe()}"
+        )
+
+
+class System:
+    """A concrete simulated machine executing one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        policy: OrderingPolicy,
+        config: MachineConfig,
+        seed: int = 0,
+        interconnect_factory=None,
+    ) -> None:
+        """Build the machine.
+
+        ``interconnect_factory(sim, stats, rng) -> Interconnect``
+        overrides the configured bus/network — the hook the systematic
+        explorer (:mod:`repro.explore`) uses to substitute its
+        schedule-controlled transport.
+        """
+        if policy.requires_cache and not config.has_caches:
+            raise ConfigurationError(
+                f"policy {policy.name} requires caches; configuration "
+                f"{config.name!r} has none"
+            )
+        self.program = program
+        self.policy = policy
+        self.config = config
+        self.seed = seed
+
+        self.sim = Simulator()
+        self.stats = Stats()
+        self.rng = TimingRng(seed)
+
+        if interconnect_factory is not None:
+            self.interconnect = interconnect_factory(self.sim, self.stats, self.rng)
+        elif config.interconnect is InterconnectKind.BUS:
+            self.interconnect = Bus(
+                self.sim, self.stats, transfer_cycles=config.bus_transfer_cycles
+            )
+        else:
+            # Cache-coherent machines assume per-channel FIFO delivery
+            # (virtual channels): without it a Recall can overtake the
+            # DataX grant it chases.  Messages on *different* channel
+            # pairs still arrive with independent latencies, which is the
+            # reordering Figure 1's fourth configuration relies on.
+            self.interconnect = Network(
+                self.sim,
+                self.stats,
+                self.rng,
+                base_latency=config.network_base_latency,
+                jitter=config.network_jitter,
+                point_to_point_fifo=config.has_caches,
+                inval_virtual_channel=config.inval_virtual_channel,
+            )
+
+        self.caches: List = []
+        self.directory: Optional[Directory] = None
+        self.snoop_coordinator: Optional[SnoopCoordinator] = None
+        self.memory: Optional[MemoryModule] = None
+        self.processors: List[Processor] = []
+
+        if not config.has_caches:
+            self._build_cacheless()
+        elif config.coherence is CoherenceStyle.SNOOPING:
+            self._build_snooping()
+        else:
+            self._build_cached()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_cached(self) -> None:
+        self.directory = Directory(
+            self.sim,
+            self.interconnect,
+            self.stats,
+            initial_memory=dict(self.program.initial_memory),
+            retry_delay=self.config.directory_retry_delay,
+        )
+        for proc_id, thread in enumerate(self.program.threads):
+            cache = Cache(
+                self.sim,
+                proc_id,
+                self.interconnect,
+                self.stats,
+                capacity=self.config.cache_capacity,
+                hit_latency=self.config.cache_hit_latency,
+                reserve_enabled=self.policy.reserve_enabled,
+                nack_mode=self.policy.nack_mode,
+            )
+            self.caches.append(cache)
+            processor = Processor(
+                self.sim,
+                proc_id,
+                thread,
+                self.policy,
+                port=cache,
+                stats=self.stats,
+                local_cycles=self.config.local_cycles,
+                cache=cache,
+            )
+            self.processors.append(processor)
+
+    def _build_snooping(self) -> None:
+        if self.config.interconnect is not InterconnectKind.BUS:
+            raise ConfigurationError(
+                "snooping coherence requires the atomic bus"
+            )
+        self.snoop_coordinator = SnoopCoordinator(
+            self.sim,
+            self.interconnect,
+            self.stats,
+            initial_memory=dict(self.program.initial_memory),
+            retry_delay=self.config.directory_retry_delay,
+        )
+        for proc_id, thread in enumerate(self.program.threads):
+            cache = SnoopingCache(
+                self.sim,
+                proc_id,
+                self.interconnect,
+                self.snoop_coordinator,
+                self.stats,
+                capacity=self.config.cache_capacity,
+                hit_latency=self.config.cache_hit_latency,
+                reserve_enabled=self.policy.reserve_enabled,
+            )
+            self.caches.append(cache)
+            processor = Processor(
+                self.sim,
+                proc_id,
+                thread,
+                self.policy,
+                port=cache,
+                stats=self.stats,
+                local_cycles=self.config.local_cycles,
+                cache=cache,
+            )
+            self.processors.append(processor)
+
+    def _build_cacheless(self) -> None:
+        self.memory = MemoryModule(
+            self.sim,
+            self.interconnect,
+            self.stats,
+            initial_memory=dict(self.program.initial_memory),
+            service_latency=self.config.memory_service_latency,
+        )
+        for proc_id, thread in enumerate(self.program.threads):
+            port = WriteBufferPort(
+                self.sim,
+                proc_id,
+                self.interconnect,
+                self.stats,
+                drain_delay=self.config.write_buffer_drain_delay,
+            )
+            processor = Processor(
+                self.sim,
+                proc_id,
+                thread,
+                self.policy,
+                port=port,
+                stats=self.stats,
+                local_cycles=self.config.local_cycles,
+                cache=None,
+            )
+            self.processors.append(processor)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 1_000_000) -> HardwareRun:
+        for processor in self.processors:
+            skew = self.rng.latency(0, self.config.start_skew)
+            self.sim.schedule(skew, processor.start)
+        completed = True
+        try:
+            cycles = self.sim.run(max_cycles=max_cycles)
+        except SimulationTimeout:
+            cycles = self.sim.now
+            completed = False
+        if not all(p.halted for p in self.processors):
+            completed = False
+        self.stats.end_all_stalls(self.sim.now)
+        self.stats.total_cycles = cycles
+
+        return HardwareRun(
+            program=self.program,
+            policy_name=self.policy.name,
+            config_name=self.config.name,
+            seed=self.seed,
+            observable=self._observable(),
+            execution=self._trace(),
+            stats=self.stats,
+            cycles=cycles,
+            completed=completed,
+            halt_times=self._halt_times_by_thread(),
+        )
+
+    # ------------------------------------------------------------------
+    # Outcome extraction
+    # ------------------------------------------------------------------
+    def final_memory(self) -> Dict[Location, Value]:
+        """Memory contents with dirty cache lines folded in."""
+        memory: Dict[Location, Value] = {}
+        for loc in self.program.locations():
+            memory[loc] = self.program.initial_value(loc)
+        if self.directory is not None:
+            for loc in self.program.locations():
+                memory[loc] = self.directory.memory_value(loc)
+            for cache in self.caches:
+                memory.update(cache.dirty_lines())
+        elif self.snoop_coordinator is not None:
+            for loc in self.program.locations():
+                memory[loc] = self.snoop_coordinator.memory_value(loc)
+            for cache in self.caches:
+                memory.update(cache.dirty_lines())
+        elif self.memory is not None:
+            memory.update(self.memory.contents())
+        return memory
+
+    def _observable(self) -> Observable:
+        # Register files are keyed by *logical* processor (thread id):
+        # after a migration the thread's registers live on the target.
+        registers = [dict() for _ in self.processors]
+        for processor in self.processors:
+            registers[processor.logical_proc] = processor.regs.as_dict()
+        return Observable.create(registers=registers, memory=self.final_memory())
+
+    def _halt_times_by_thread(self) -> List[Optional[int]]:
+        halts: List[Optional[int]] = [None] * len(self.processors)
+        for processor in self.processors:
+            halts[processor.logical_proc] = processor.halt_time
+        return halts
+
+    def _trace(self) -> Execution:
+        ops = [op for p in self.processors for op in p.trace]
+        ops.sort(key=lambda op: (op.commit_time, op.proc))
+        execution = Execution(ops=ops, completed=all(p.halted for p in self.processors))
+        execution.observable = self._observable()
+        return execution
+
+
+def run_program(
+    program: Program,
+    policy: OrderingPolicy,
+    config: MachineConfig,
+    seed: int = 0,
+    max_cycles: int = 1_000_000,
+) -> HardwareRun:
+    """One-shot convenience: build a system and run it."""
+    return System(program, policy, config, seed=seed).run(max_cycles=max_cycles)

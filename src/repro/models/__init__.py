@@ -1,0 +1,26 @@
+"""Ordering policies: RELAXED, SC, DEF1, DEF2, DEF2-R."""
+
+from repro.models.base import BlockKind, OrderingPolicy
+from repro.models.policies import (
+    AllSyncPolicy,
+    Def1Policy,
+    Def2Policy,
+    Def2RPolicy,
+    RP3FencePolicy,
+    RelaxedPolicy,
+    SCPolicy,
+    policy_by_name,
+)
+
+__all__ = [
+    "AllSyncPolicy",
+    "BlockKind",
+    "Def1Policy",
+    "Def2Policy",
+    "Def2RPolicy",
+    "OrderingPolicy",
+    "RP3FencePolicy",
+    "RelaxedPolicy",
+    "SCPolicy",
+    "policy_by_name",
+]

@@ -1,0 +1,100 @@
+"""Ordering policies: what a processor may do when (the models under test).
+
+A policy encodes one side of the paper's comparison — how aggressively a
+processor may overlap its memory accesses — through two hooks consulted
+by :class:`repro.cpu.processor.Processor`:
+
+* :meth:`issue_gate` — may the *next* memory access be generated now?
+  Returning a :class:`StallReason` stalls the processor until its state
+  changes (an access event or a counter transition), when the gate is
+  re-evaluated.  This is where Definition 1's conditions (2)/(3), the
+  Scheurich-Dubois SC condition, and Section 5.1's condition 4 live.
+* :meth:`block_kind` — once issued, what must the access reach before
+  the processor moves past it: nothing, its value, its commit, or its
+  global perform.
+
+Policies also own the protocol treatment of synchronization accesses
+(exclusive procurement, reserve bits, the read-only-sync refinement).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.operation import OpKind
+from repro.sim.stats import StallReason
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.processor import Processor
+
+
+class BlockKind(enum.Enum):
+    """What the processor waits for before advancing past an access."""
+
+    NONE = "none"
+    VALUE = "value"
+    COMMIT = "commit"
+    GP = "gp"
+
+
+class OrderingPolicy:
+    """Base policy: fully relaxed semantics, overridden by the models."""
+
+    #: Human-readable identifier used in reports.
+    name = "base"
+    #: Name of the synchronization model this policy contracts against
+    #: (Definition 2 is parametric in the model: DEF2-R promises SC only
+    #: to DRF0-R software, not to all DRF0 software).  Resolved lazily
+    #: via :meth:`synchronization_model` to avoid an import cycle.
+    model_name = "DRF0"
+
+    def synchronization_model(self):
+        from repro.drf.models import DRF0, DRF0_R
+
+        return {"DRF0": DRF0, "DRF0-R": DRF0_R}[self.model_name]
+    #: Whether the policy only makes sense on a cache-coherent system.
+    requires_cache = False
+    #: Section 5.3 reserve-bit machinery on/off.
+    reserve_enabled = False
+    #: Reserved-line recalls: NACK+retry (True) or queue-at-owner (False).
+    nack_mode = True
+    #: Section 6 refinement: read-only syncs are protocol data reads.
+    sync_read_as_data = False
+
+    # -- issue control ---------------------------------------------------
+    def issue_gate(self, proc: "Processor", kind: OpKind) -> Optional[StallReason]:
+        """Return a stall reason, or ``None`` to let the access generate."""
+        return None
+
+    def block_kind(self, kind: OpKind) -> BlockKind:
+        """How long the processor blocks on the access itself.
+
+        Reads always effectively block for their value (the destination
+        register is an intra-processor dependency, condition 1); the
+        processor enforces that on top of what this returns.
+        """
+        return BlockKind.NONE
+
+    # -- protocol treatment of synchronization ------------------------------
+    def needs_exclusive(self, kind: OpKind) -> bool:
+        """Whether the access must procure the line in exclusive state."""
+        if kind.writes_memory:
+            return True
+        if kind is OpKind.SYNC_READ:
+            return self.sync_read_needs_exclusive()
+        return False
+
+    def sync_read_needs_exclusive(self) -> bool:
+        return False
+
+    def sync_protocol(self, kind: OpKind) -> bool:
+        """Whether the access is a synchronization at the protocol level."""
+        if not kind.is_sync:
+            return False
+        if kind is OpKind.SYNC_READ and self.sync_read_as_data:
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<policy {self.name}>"

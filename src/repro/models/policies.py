@@ -1,0 +1,204 @@
+"""The concrete ordering policies compared in the paper.
+
+=============  ==========================================================
+``RELAXED``    No cross-access ordering beyond intra-processor data
+               dependencies — the violation-producing baseline of
+               Figure 1.  Writes are fire-and-forget; reads overtake
+               pending writes.
+``SC``         The Scheurich-Dubois sufficient condition for sequential
+               consistency (Section 2.1): accesses issue in program
+               order and none issues until the previous access is
+               globally performed.
+``DEF1``       Weak ordering per Dubois/Scheurich/Briggs Definition 1:
+               (2) no sync issues until all previous accesses are
+               globally performed; (3) no access issues until the
+               previous sync is globally performed.
+``DEF2``       The paper's new implementation (Section 5.3): counters +
+               reserve bits; a sync op only needs to *commit* (procure
+               the line exclusive and perform on it) before the issuing
+               processor proceeds — the stall moves to the *next*
+               processor synchronizing on the same location.
+``DEF2_R``     Section 6's refinement of DEF2: read-only synchronization
+               operations are treated as data reads by the protocol (no
+               serialization through exclusive ownership, no reserve),
+               fixing the Test-and-TestAndSet spinning pathology.
+=============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.operation import OpKind
+from repro.models.base import BlockKind, OrderingPolicy
+from repro.sim.stats import StallReason
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.processor import Processor
+
+
+class RelaxedPolicy(OrderingPolicy):
+    """No ordering constraints beyond intra-processor dependencies."""
+
+    name = "RELAXED"
+
+
+class RP3FencePolicy(RelaxedPolicy):
+    """Relaxed issue with ordering only at explicit ``Fence`` instructions.
+
+    Section 2.1: the RP3 "provides an option by which a process is
+    required to wait for acknowledgements on its outstanding requests
+    only on a fence instruction.  As will be apparent later, this option
+    functions as a weakly ordered system."  The fence semantics live in
+    the processor (policy-independent drain); this subclass exists so
+    reports name the configuration.
+    """
+
+    name = "RP3-FENCE"
+
+
+class SCPolicy(OrderingPolicy):
+    """Sequential consistency via the Scheurich-Dubois condition."""
+
+    name = "SC"
+
+    def issue_gate(self, proc: "Processor", kind: OpKind) -> Optional[StallReason]:
+        if proc.pending_accesses:
+            return StallReason.SC_PREVIOUS_GP
+        return None
+
+
+class Def1Policy(OrderingPolicy):
+    """Weak ordering, old definition (Definition 1)."""
+
+    name = "DEF1"
+
+    def issue_gate(self, proc: "Processor", kind: OpKind) -> Optional[StallReason]:
+        # Condition (3): nothing issues until the previous sync op is
+        # globally performed.
+        if any(a.kind.is_sync for a in proc.pending_accesses):
+            return StallReason.DEF1_WAITS_SYNC_GP
+        # Condition (2): a sync op waits for *all* previous accesses to
+        # be globally performed.
+        if kind.is_sync and proc.pending_accesses:
+            return StallReason.DEF1_SYNC_WAITS_PREV
+        return None
+
+
+class Def2Policy(OrderingPolicy):
+    """The paper's implementation of weak ordering w.r.t. DRF0 (Section 5.3).
+
+    Args:
+        nack_mode: reserved-line recalls are NACKed for retry (default)
+            or queued at the owner until the counter drains.
+        miss_bound_while_reserved: optional bound on outstanding misses
+            while any line is reserved (the paper's suggestion for
+            keeping the counter's drain time bounded).
+    """
+
+    name = "DEF2"
+    requires_cache = True
+    reserve_enabled = True
+
+    def __init__(
+        self,
+        nack_mode: bool = True,
+        miss_bound_while_reserved: Optional[int] = None,
+    ) -> None:
+        self.nack_mode = nack_mode
+        self.miss_bound_while_reserved = miss_bound_while_reserved
+
+    def sync_read_needs_exclusive(self) -> bool:
+        # "All synchronization operations will be treated as write
+        # operations by the cache coherence protocol." (Section 5.2)
+        return True
+
+    def issue_gate(self, proc: "Processor", kind: OpKind) -> Optional[StallReason]:
+        # Condition 4: no new access until previous sync ops committed.
+        if any(a.kind.is_sync and not a.committed for a in proc.pending_accesses):
+            return StallReason.DEF2_SYNC_COMMIT
+        cache = proc.cache
+        assert cache is not None, "DEF2 requires a cache-coherent system"
+        # The flush-stall rule: capacity pressure on reserved lines.
+        if cache.over_capacity:
+            return StallReason.DEF2_FLUSH_RESERVED
+        if (
+            self.miss_bound_while_reserved is not None
+            and cache.any_reserved()
+            and len(proc.pending_accesses) >= self.miss_bound_while_reserved
+        ):
+            return StallReason.DEF2_MISS_BOUND
+        return None
+
+    def block_kind(self, kind: OpKind) -> BlockKind:
+        # A sync op must commit before the processor proceeds past it
+        # (procure the line exclusive, perform the op) — but commit only,
+        # not global perform: that is the whole point of the paper.
+        if kind.is_sync:
+            return BlockKind.COMMIT
+        return BlockKind.NONE
+
+
+class Def2RPolicy(Def2Policy):
+    """DEF2 with Section 6's read-only-synchronization refinement."""
+
+    name = "DEF2-R"
+    model_name = "DRF0-R"
+    sync_read_as_data = True
+
+    def sync_read_needs_exclusive(self) -> bool:
+        return False
+
+
+class AllSyncPolicy(Def2Policy):
+    """Hardware that must assume *every* access could synchronize.
+
+    Section 3's alternative: "we believe ... that slow synchronization
+    operations coupled with fast reads and writes will yield better
+    performance than the alternative, where hardware must assume all
+    accesses could be used for synchronization (as in [Lam86])."  This
+    policy is that alternative: every access gets the full DEF2
+    synchronization treatment — exclusive procurement, commit-blocking,
+    reserve bits, serialization through ownership — because no labels
+    tell the hardware which accesses actually synchronize.
+
+    It is trivially weakly ordered w.r.t. DRF0 (it is stronger than
+    DEF2) and serves as the quantitative baseline for the paper's claim
+    that hardware-visible synchronization labels buy performance.
+    """
+
+    name = "ALL-SYNC"
+
+    def sync_protocol(self, kind: OpKind) -> bool:
+        return True
+
+    def needs_exclusive(self, kind: OpKind) -> bool:
+        return True
+
+    def block_kind(self, kind: OpKind) -> BlockKind:
+        # Every access is a potential synchronization: it must commit
+        # before the processor proceeds.
+        return BlockKind.COMMIT
+
+    def issue_gate(self, proc: "Processor", kind: OpKind) -> Optional[StallReason]:
+        # Condition 4 with everything labelled sync: nothing new until
+        # the previous access commits (enforced by block_kind); the
+        # remaining DEF2 gates still apply.
+        return super().issue_gate(proc, kind)
+
+
+def policy_by_name(name: str) -> OrderingPolicy:
+    """Construct a fresh policy instance from its report name."""
+    table = {
+        "RELAXED": RelaxedPolicy,
+        "RP3-FENCE": RP3FencePolicy,
+        "SC": SCPolicy,
+        "DEF1": Def1Policy,
+        "DEF2": Def2Policy,
+        "DEF2-R": Def2RPolicy,
+        "ALL-SYNC": AllSyncPolicy,
+    }
+    try:
+        return table[name.upper().replace("_", "-")]()
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}; choose from {sorted(table)}")

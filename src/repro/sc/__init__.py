@@ -1,0 +1,36 @@
+"""Sequential consistency: the idealized architecture, exhaustive SC
+enumeration, the appears-SC verifier, and the Lemma-1 checkers."""
+
+from repro.sc.executor import IdealizedMachine, LocalLoopError, run_schedule
+from repro.sc.interleaving import (
+    SearchBudgetExceeded,
+    count_reachable_states,
+    enumerate_executions,
+    enumerate_results,
+)
+from repro.sc.lemma1 import (
+    ReadValueViolation,
+    certify,
+    find_hb_witness,
+    reads_from_last_hb_write,
+)
+from repro.sc.trace_check import TraceCheckResult, check_trace_sc
+from repro.sc.verifier import SCVerifier, SCViolation
+
+__all__ = [
+    "IdealizedMachine",
+    "LocalLoopError",
+    "ReadValueViolation",
+    "SCVerifier",
+    "SCViolation",
+    "SearchBudgetExceeded",
+    "TraceCheckResult",
+    "certify",
+    "check_trace_sc",
+    "count_reachable_states",
+    "enumerate_executions",
+    "enumerate_results",
+    "find_hb_witness",
+    "reads_from_last_hb_write",
+    "run_schedule",
+]

@@ -1,0 +1,209 @@
+"""The idealized architecture of Section 4.
+
+DRF0 is defined over executions "on an abstract, idealized architecture
+where all memory accesses are executed atomically and in program order".
+:class:`IdealizedMachine` is that architecture: at every step one thread
+is chosen and runs until it completes exactly one *memory* operation
+(local register arithmetic and branches are not interleaving points —
+they commute with every other thread's actions, so collapsing them loses
+no observable behaviour and shrinks the interleaving space).
+
+The machine is deliberately a small, forkable state machine so the
+enumerator in :mod:`repro.sc.interleaving` can drive exhaustive searches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.execution import Execution, Observable
+from repro.core.instructions import (
+    Branch,
+    Fence,
+    Halt,
+    Jump,
+    MemInstruction,
+    RegInstruction,
+)
+from repro.core.operation import Location, MemoryOp, Value
+from repro.core.program import Program
+from repro.core.registers import RegisterFile
+
+
+class LocalLoopError(RuntimeError):
+    """A thread looped without touching memory for too many steps."""
+
+
+#: Hashable machine-state key: (pcs, register snapshots, memory items).
+StateKey = Tuple[Tuple[int, ...], Tuple, Tuple[Tuple[Location, Value], ...]]
+
+
+@dataclass
+class _ThreadState:
+    pc: int
+    regs: RegisterFile
+
+    def copy(self) -> "_ThreadState":
+        return _ThreadState(self.pc, self.regs.copy())
+
+
+class IdealizedMachine:
+    """Executes a :class:`Program` atomically and in program order.
+
+    The trace (:attr:`execution`) records every memory operation in the
+    exact order it executed — which on this architecture is both a legal
+    completion order and, per thread, program order.
+    """
+
+    #: Bound on consecutive local (non-memory) instructions per step; a
+    #: thread exceeding it is assumed stuck in a memory-free loop.
+    MAX_LOCAL_STEPS = 10_000
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._threads = [_ThreadState(0, RegisterFile()) for _ in program.threads]
+        self._memory: Dict[Location, Value] = dict(program.initial_memory)
+        self._occurrences: Dict[Tuple[int, int], int] = {}
+        self.execution = Execution()
+
+    # -- forking / state identity -----------------------------------------
+    def fork(self) -> "IdealizedMachine":
+        """An independent copy sharing no mutable state (trace included)."""
+        clone = IdealizedMachine.__new__(IdealizedMachine)
+        clone.program = self.program
+        clone._threads = [t.copy() for t in self._threads]
+        clone._memory = dict(self._memory)
+        clone._occurrences = dict(self._occurrences)
+        clone.execution = Execution(ops=list(self.execution.ops))
+        return clone
+
+    def state_key(self) -> StateKey:
+        """Hashable identity of the *forward-relevant* machine state.
+
+        Occurrence counters and the trace are excluded: they do not affect
+        future behaviour, only bookkeeping of the past.
+        """
+        return (
+            tuple(t.pc for t in self._threads),
+            tuple(t.regs.snapshot() for t in self._threads),
+            tuple(sorted((k, v) for k, v in self._memory.items() if v != 0)),
+        )
+
+    # -- execution ----------------------------------------------------------
+    def thread_halted(self, proc: int) -> bool:
+        state = self._threads[proc]
+        thread = self.program.threads[proc]
+        if state.pc >= len(thread.instructions):
+            return True
+        return isinstance(thread.instructions[state.pc], Halt)
+
+    def runnable_threads(self) -> List[int]:
+        return [p for p in range(self.program.num_procs) if not self.thread_halted(p)]
+
+    @property
+    def halted(self) -> bool:
+        return not self.runnable_threads()
+
+    def step(self, proc: int) -> Optional[MemoryOp]:
+        """Run thread ``proc`` up to and including its next memory op.
+
+        Returns the memory operation performed, or ``None`` if the thread
+        halted before reaching one.  Raises ``LocalLoopError`` on a
+        memory-free infinite loop.
+        """
+        state = self._threads[proc]
+        thread = self.program.threads[proc]
+        for _ in range(self.MAX_LOCAL_STEPS):
+            if self.thread_halted(proc):
+                return None
+            instr = thread.instructions[state.pc]
+            if isinstance(instr, MemInstruction):
+                op = self._perform_memory(proc, state, instr)
+                state.pc += 1
+                return op
+            if isinstance(instr, RegInstruction):
+                instr.apply(state.regs)
+                state.pc += 1
+            elif isinstance(instr, Fence):
+                # On the idealized architecture every access is already
+                # atomic and globally performed in program order, so a
+                # fence is a no-op.
+                state.pc += 1
+            elif isinstance(instr, Branch):
+                state.pc = thread.target_of(instr) if instr.taken(state.regs) else state.pc + 1
+            elif isinstance(instr, Jump):
+                state.pc = thread.target_of(instr)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown instruction {instr!r}")
+        raise LocalLoopError(
+            f"thread {thread.name!r} executed {self.MAX_LOCAL_STEPS} local "
+            "instructions without a memory access"
+        )
+
+    def _perform_memory(
+        self, proc: int, state: _ThreadState, instr: MemInstruction
+    ) -> MemoryOp:
+        pos = state.pc
+        occ_key = (proc, pos)
+        occurrence = self._occurrences.get(occ_key, 0)
+        self._occurrences[occ_key] = occurrence + 1
+
+        old = self._memory.get(instr.location, self.program.initial_value(instr.location))
+        value_read: Optional[Value] = None
+        value_written: Optional[Value] = None
+        if instr.kind.reads_memory:
+            value_read = old
+            if instr.dest is not None:
+                state.regs.write(instr.dest, old)
+        if instr.kind.writes_memory:
+            value_written = instr.compute_write(state.regs, old)
+            self._memory[instr.location] = value_written
+
+        op = MemoryOp(
+            proc=proc,
+            kind=instr.kind,
+            location=instr.location,
+            thread_pos=pos,
+            occurrence=occurrence,
+            value_read=value_read,
+            value_written=value_written,
+            # Trace order is issue order on the idealized architecture.
+            issue_index=len(self.execution.ops),
+        )
+        self.execution.append(op)
+        return op
+
+    # -- results -----------------------------------------------------------
+    def observable(self) -> Observable:
+        return Observable.create(
+            registers=[t.regs.as_dict() for t in self._threads],
+            memory=self._memory,
+        )
+
+    def finish(self) -> Execution:
+        """Mark the trace complete and attach the observable."""
+        self.execution.completed = self.halted
+        self.execution.observable = self.observable()
+        return self.execution
+
+    def memory_value(self, location: Location) -> Value:
+        return self._memory.get(location, self.program.initial_value(location))
+
+
+def run_schedule(program: Program, schedule: List[int]) -> Execution:
+    """Run the idealized machine under an explicit thread schedule.
+
+    Each schedule entry picks the thread for one step; entries naming
+    halted threads are skipped.  After the schedule is exhausted, the
+    remaining threads run round-robin to completion, so the returned
+    execution is always complete.
+    """
+    machine = IdealizedMachine(program)
+    for proc in schedule:
+        if not machine.thread_halted(proc):
+            machine.step(proc)
+    while not machine.halted:
+        for proc in machine.runnable_threads():
+            machine.step(proc)
+    return machine.finish()

@@ -1,0 +1,143 @@
+"""Exhaustive enumeration of sequentially consistent executions.
+
+Sequential consistency admits exactly the executions of the idealized
+architecture (all accesses atomic, per-processor program order
+preserved), so enumerating idealized interleavings enumerates the SC
+behaviours of a program.  Two searches are provided:
+
+* :func:`enumerate_results` — the set of SC-*observables*.  States are
+  memoized globally, so programs with spin loops and huge interleaving
+  counts still explore each reachable machine state once.
+* :func:`enumerate_executions` — complete SC *executions* (traces), used
+  by the DRF0 checker and the Lemma-1 witness search, which need
+  happens-before structure, not just outcomes.  Paths avoid revisiting a
+  machine state they have already been in (re-entering an identical state
+  can only replay identical suffixes, so no new hb shapes or results are
+  reachable from the repeat).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set
+
+from repro.core.execution import Execution, Observable
+from repro.core.program import Program
+from repro.sc.executor import IdealizedMachine, StateKey
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The interleaving search hit its configured state/path budget."""
+
+
+def enumerate_results(
+    program: Program,
+    max_states: int = 2_000_000,
+) -> Set[Observable]:
+    """All observables of SC executions of ``program``.
+
+    Performs a depth-first search over machine states with global
+    memoization.  ``max_states`` bounds the number of distinct states
+    explored; exceeding it raises :class:`SearchBudgetExceeded` rather
+    than silently returning a partial answer.
+    """
+    results: Set[Observable] = set()
+    seen: Set[StateKey] = set()
+    root = IdealizedMachine(program)
+    stack: List[IdealizedMachine] = [root]
+    seen.add(root.state_key())
+    while stack:
+        machine = stack.pop()
+        runnable = machine.runnable_threads()
+        if not runnable:
+            results.add(machine.observable())
+            continue
+        for proc in runnable:
+            child = machine.fork()
+            child.step(proc)
+            key = child.state_key()
+            if key in seen:
+                continue
+            if len(seen) >= max_states:
+                raise SearchBudgetExceeded(
+                    f"more than {max_states} distinct machine states"
+                )
+            seen.add(key)
+            stack.append(child)
+    return results
+
+
+def enumerate_executions(
+    program: Program,
+    max_executions: Optional[int] = None,
+    max_depth: int = 100_000,
+) -> Iterator[Execution]:
+    """Yield complete SC executions (traces) of ``program``.
+
+    Within a single path the search refuses to revisit a machine state,
+    which makes spin loops terminate while preserving every distinct
+    happens-before shape: a state repeat can only replay a suffix already
+    reachable from its first visit.
+
+    ``max_executions`` truncates the stream (``None`` = unbounded);
+    ``max_depth`` bounds the length of any single path.
+    """
+    yielded = 0
+
+    def dfs(machine: IdealizedMachine, on_path: Set[StateKey], depth: int):
+        nonlocal yielded
+        if max_executions is not None and yielded >= max_executions:
+            return
+        if depth > max_depth:
+            raise SearchBudgetExceeded(f"execution longer than {max_depth} steps")
+        runnable = machine.runnable_threads()
+        if not runnable:
+            yielded += 1
+            yield machine.finish()
+            return
+        progressed = False
+        for proc in runnable:
+            child = machine.fork()
+            child.step(proc)
+            key = child.state_key()
+            if key in on_path:
+                continue
+            progressed = True
+            on_path.add(key)
+            yield from dfs(child, on_path, depth + 1)
+            on_path.remove(key)
+            if max_executions is not None and yielded >= max_executions:
+                return
+        if not progressed:
+            # Every move re-enters a state already on this path: the
+            # program can only spin here (e.g. all threads stuck on
+            # locks that this path never releases).  Emit the partial
+            # execution marked incomplete so callers can see livelock.
+            execution = machine.finish()
+            execution.completed = False
+            yielded += 1
+            yield execution
+
+    root = IdealizedMachine(program)
+    yield from dfs(root, {root.state_key()}, 0)
+
+
+def count_reachable_states(program: Program, max_states: int = 2_000_000) -> int:
+    """Number of distinct idealized machine states (a size diagnostic)."""
+    seen: Set[StateKey] = set()
+    root = IdealizedMachine(program)
+    stack = [root]
+    seen.add(root.state_key())
+    while stack:
+        machine = stack.pop()
+        for proc in machine.runnable_threads():
+            child = machine.fork()
+            child.step(proc)
+            key = child.state_key()
+            if key not in seen:
+                if len(seen) >= max_states:
+                    raise SearchBudgetExceeded(
+                        f"more than {max_states} distinct machine states"
+                    )
+                seen.add(key)
+                stack.append(child)
+    return len(seen)

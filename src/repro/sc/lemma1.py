@@ -1,0 +1,154 @@
+"""Lemma 1 (Appendix A): the necessary-and-sufficient condition.
+
+    A system is weakly ordered with respect to DRF0 iff for any execution
+    E of a program that obeys DRF0 there exists a happens-before relation
+    such that (1) every read in E appears in it, (2) every read in it
+    appears in E, and (3) a read always returns the value written by the
+    last write on the same variable ordered before it by happens-before.
+
+Two checkers realize the lemma:
+
+* :func:`reads_from_last_hb_write` verifies condition (3) directly on an
+  (augmented) execution whose hb relation is known — this is how the
+  idealized side of the lemma is exercised.
+* :func:`find_hb_witness` performs the existential search for a hardware
+  execution E: it enumerates idealized executions of the program and
+  looks for one whose reads coincide with E's reads (same static access,
+  same occurrence, same value).  By Lemma 1, finding such a witness
+  certifies the outcome; for DRF0 programs on correctly weakly-ordered
+  hardware a witness must exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.execution import Execution
+from repro.core.operation import MemoryOp
+from repro.core.program import Program
+from repro.hb.augment import augment_execution
+from repro.hb.relations import HappensBefore, build_happens_before
+from repro.sc.interleaving import enumerate_executions
+
+
+@dataclass
+class ReadValueViolation:
+    """A read that did not return the last hb-ordered write's value."""
+
+    read: MemoryOp
+    expected_write: Optional[MemoryOp]
+    reason: str
+
+    def describe(self) -> str:
+        return f"{self.read!r}: {self.reason}"
+
+
+def reads_from_last_hb_write(
+    execution: Execution,
+    hb: Optional[HappensBefore] = None,
+    initial_memory: Optional[dict] = None,
+) -> List[ReadValueViolation]:
+    """Check Lemma 1's condition (3) on an execution.
+
+    The execution is augmented (Section 4) if a prebuilt ``hb`` is not
+    supplied, so every read has a well-defined initializing write before
+    it.  Returns one violation per failing read; empty list = condition
+    holds.
+    """
+    if hb is None:
+        augmented = augment_execution(execution, initial_memory=initial_memory)
+        hb = build_happens_before(augmented)
+        ops = augmented.ops
+    else:
+        ops = hb.execution.ops
+
+    violations: List[ReadValueViolation] = []
+    for op in ops:
+        if not op.reads_memory or op.value_read is None:
+            continue
+        try:
+            last_write = hb.last_write_before(op)
+        except LookupError as exc:
+            violations.append(
+                ReadValueViolation(read=op, expected_write=None, reason=str(exc))
+            )
+            continue
+        # For a read-modify-write, the read component precedes the write
+        # component, so its own write never satisfies the read.
+        if last_write.value_written != op.value_read:
+            violations.append(
+                ReadValueViolation(
+                    read=op,
+                    expected_write=last_write,
+                    reason=(
+                        f"read returned {op.value_read} but the last "
+                        f"hb-ordered write {last_write!r} wrote "
+                        f"{last_write.value_written}"
+                    ),
+                )
+            )
+    return violations
+
+
+def _read_signature(execution: Execution) -> dict:
+    """Observational read signature: last value read per static read.
+
+    Spin loops make exact read-multiset matching impossible between
+    hardware and the idealized enumerator: hardware may fail a
+    TestAndSet four times where the (state-pruned) idealized search
+    fails it zero or one times, yet the executions are observationally
+    identical — every failed iteration binds a value that the next
+    iteration overwrites and leaves memory unchanged.  What determines
+    the *result* (final registers, control flow out of the loop) is the
+    last value each static read instruction returned, so the witness is
+    matched on ``{(proc, thread_pos): last value read}`` plus final
+    memory.
+    """
+    signature = {}
+    best_occurrence = {}
+    for op in execution.ops:
+        if op.reads_memory and not op.is_hypothetical:
+            key = (op.proc, op.thread_pos)
+            if key not in signature or op.occurrence >= best_occurrence[key]:
+                signature[key] = op.value_read
+                best_occurrence[key] = op.occurrence
+    return signature
+
+
+def find_hb_witness(
+    program: Program,
+    execution: Execution,
+    max_executions: Optional[int] = None,
+) -> Optional[Execution]:
+    """Search for an idealized execution certifying ``execution`` per Lemma 1.
+
+    The witness must agree with ``execution`` on every static read's
+    final returned value (see :func:`_read_signature` for why spin loops
+    force this observational matching rather than an exact read-multiset
+    match) and reach the same final memory.  Returns the witness
+    execution, or ``None`` if the search exhausts without a match —
+    which, for a DRF0 program, certifies a weak-ordering violation.
+    """
+    target_reads = _read_signature(execution)
+    target_memory = execution.final_memory()
+    for candidate in enumerate_executions(program, max_executions=max_executions):
+        if not candidate.completed:
+            continue
+        if _read_signature(candidate) != target_reads:
+            continue
+        candidate_memory = candidate.final_memory()
+        merged_candidate = dict(program.initial_memory)
+        merged_candidate.update(candidate_memory)
+        merged_target = dict(program.initial_memory)
+        merged_target.update(target_memory)
+        if merged_candidate != merged_target:
+            continue
+        return candidate
+    return None
+
+
+def certify(program: Program, execution: Execution) -> Tuple[bool, Optional[Execution]]:
+    """Convenience wrapper: ``(witness found?, witness)``."""
+    witness = find_hb_witness(program, execution)
+    return witness is not None, witness

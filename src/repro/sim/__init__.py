@@ -1,0 +1,15 @@
+"""Discrete-event simulation substrate: engine, timing RNG, statistics."""
+
+from repro.sim.engine import Component, SimulationTimeout, Simulator
+from repro.sim.rng import TimingRng, seed_stream
+from repro.sim.stats import StallReason, Stats
+
+__all__ = [
+    "Component",
+    "SimulationTimeout",
+    "Simulator",
+    "StallReason",
+    "Stats",
+    "TimingRng",
+    "seed_stream",
+]

@@ -1,0 +1,112 @@
+"""Discrete-event simulation core.
+
+Everything on the hardware side of the reproduction — processors, caches,
+the directory, interconnects — is an event-driven component hanging off
+one :class:`Simulator`.  Events are ``(time, sequence, callback)``
+triples in a binary heap; same-time events fire in scheduling order,
+which keeps runs deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationTimeout(RuntimeError):
+    """The simulation exceeded its cycle budget without quiescing."""
+
+
+class Simulator:
+    """A deterministic event-driven simulator with integer time."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self._time = 0
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._time
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` cycles from now (``delay >= 0``)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(self._queue, (self._time + delay, self._seq, callback))
+        self._seq += 1
+
+    def call_soon(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at the current time, after pending same-time events."""
+        self.schedule(0, callback)
+
+    def run(self, max_cycles: int = 1_000_000) -> int:
+        """Drain the event queue; returns the final simulation time.
+
+        Raises :class:`SimulationTimeout` if time would pass
+        ``max_cycles`` — the liveness watchdog backing the paper's
+        deadlock-freedom argument (Section 5.3): a correctly implemented
+        system always quiesces, so hitting the watchdog means a protocol
+        or policy bug (or a livelocked program).
+        """
+        self._running = True
+        try:
+            while self._queue:
+                time, _seq, callback = heapq.heappop(self._queue)
+                if time > max_cycles:
+                    raise SimulationTimeout(
+                        f"simulation passed {max_cycles} cycles without quiescing"
+                    )
+                self._time = time
+                callback()
+        finally:
+            self._running = False
+        return self._time
+
+    def run_for(self, cycles: int) -> int:
+        """Process all events up to ``now + cycles``, then stop.
+
+        Unlike :meth:`run`, reaching the deadline is not an error; the
+        clock is left at the deadline.  Useful for observing transient
+        states mid-flight.
+        """
+        deadline = self._time + cycles
+        while self._queue and self._queue[0][0] <= deadline:
+            time, _seq, callback = heapq.heappop(self._queue)
+            self._time = time
+            callback()
+        self._time = deadline
+        return self._time
+
+    def run_until(self, predicate: Callable[[], bool], max_cycles: int = 1_000_000) -> int:
+        """Drain events until ``predicate()`` holds; returns current time."""
+        self._running = True
+        try:
+            while self._queue and not predicate():
+                time, _seq, callback = heapq.heappop(self._queue)
+                if time > max_cycles:
+                    raise SimulationTimeout(
+                        f"simulation passed {max_cycles} cycles without quiescing"
+                    )
+                self._time = time
+                callback()
+        finally:
+            self._running = False
+        return self._time
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+
+class Component:
+    """Base class for simulated hardware components."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,48 @@
+"""Seeded randomness for hardware timing.
+
+All nondeterminism in a hardware run flows from one :class:`TimingRng`,
+so a run is reproducible from ``(configuration, policy, program, seed)``.
+Litmus campaigns sweep the seed to explore different message timings —
+the hardware analogue of the idealized enumerator's interleavings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+
+class TimingRng:
+    """A thin wrapper over :class:`random.Random` with latency helpers."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def latency(self, base: int, jitter: int) -> int:
+        """A latency in ``[base, base + jitter]`` cycles."""
+        if jitter <= 0:
+            return base
+        return base + self._rng.randint(0, jitter)
+
+    def choice(self, items):
+        return self._rng.choice(items)
+
+    def randint(self, a: int, b: int) -> int:
+        return self._rng.randint(a, b)
+
+    def shuffled(self, items):
+        out = list(items)
+        self._rng.shuffle(out)
+        return out
+
+    def fork(self, salt: int) -> "TimingRng":
+        """A new independent stream derived from this one."""
+        return TimingRng((self.seed * 1_000_003 + salt) & 0x7FFFFFFF)
+
+
+def seed_stream(base_seed: int, count: int) -> Iterator[int]:
+    """``count`` distinct derived seeds for a litmus campaign."""
+    rng = random.Random(base_seed)
+    for _ in range(count):
+        yield rng.randrange(1 << 30)

@@ -1,0 +1,47 @@
+"""Workload generators: locks, barriers, pipelines, random programs."""
+
+from repro.workloads.barrier import barrier_program, barrier_program_data_spin
+from repro.workloads.locks import (
+    acquire_test_and_set,
+    acquire_test_test_and_set,
+    critical_section_program,
+    release,
+    release_overlap_program,
+)
+from repro.workloads.producer_consumer import (
+    expected_checksum,
+    producer_consumer_program,
+)
+from repro.workloads.random_programs import (
+    random_drf0_program,
+    random_mixed_sync_program,
+    random_racy_program,
+)
+from repro.workloads.read_sharing import expected_reader_sum, read_sharing_program
+from repro.workloads.ticket_lock import (
+    sense_barrier_program,
+    ticket_acquire,
+    ticket_lock_program,
+    ticket_release,
+)
+
+__all__ = [
+    "acquire_test_and_set",
+    "acquire_test_test_and_set",
+    "barrier_program",
+    "barrier_program_data_spin",
+    "critical_section_program",
+    "expected_checksum",
+    "expected_reader_sum",
+    "producer_consumer_program",
+    "read_sharing_program",
+    "random_drf0_program",
+    "random_mixed_sync_program",
+    "random_racy_program",
+    "release",
+    "release_overlap_program",
+    "sense_barrier_program",
+    "ticket_acquire",
+    "ticket_lock_program",
+    "ticket_release",
+]

@@ -1,0 +1,68 @@
+"""Barrier workloads — Section 6's "spinning on a barrier count".
+
+Two flavours, matching the paper's discussion:
+
+* :func:`barrier_program` — a centralized counter barrier where arrival
+  is a ``FetchAndAdd`` and the spin is a read-only synchronization
+  (``Test``).  DRF0-conformant, and exactly the repeated-sync-read
+  pattern that serializes pathologically under plain DEF2.
+* :func:`barrier_program_data_spin` — spinning with a *data* read,
+  the paper's example of a restricted data race that DRF0 rejects but
+  Definition-1 hardware happens to get right ("this feature is not a
+  drawback of Definition 2, but a limitation of DRF0").
+"""
+
+from __future__ import annotations
+
+from repro.core.program import Program, Thread, ThreadBuilder
+
+
+def _barrier_thread(
+    name: str,
+    num_procs: int,
+    counter: str,
+    pre_work: int,
+    post_work: int,
+    data_spin: bool,
+) -> Thread:
+    builder = ThreadBuilder(name)
+    if pre_work:
+        builder.nop(pre_work)
+    builder.fetch_and_add("arrived", counter, 1)
+    builder.label("spin")
+    if data_spin:
+        builder.load("seen", counter)
+    else:
+        builder.sync_load("seen", counter)
+    builder.blt("seen", num_procs, "spin")
+    if post_work:
+        builder.nop(post_work)
+    return builder.build()
+
+
+def barrier_program(
+    num_procs: int = 3,
+    counter: str = "bar",
+    pre_work: int = 0,
+    post_work: int = 0,
+) -> Program:
+    """All processors arrive at one barrier and spin (sync reads) until
+    everyone has arrived.  Final ``bar`` equals ``num_procs``."""
+    threads = [
+        _barrier_thread(f"P{i}", num_procs, counter, pre_work * i, post_work, False)
+        for i in range(num_procs)
+    ]
+    return Program(threads, name=f"barrier_p{num_procs}")
+
+
+def barrier_program_data_spin(
+    num_procs: int = 3,
+    counter: str = "bar",
+) -> Program:
+    """The same barrier but spinning with *data* reads — not DRF0
+    (the data read of the counter races with other arrivals' updates)."""
+    threads = [
+        _barrier_thread(f"P{i}", num_procs, counter, 0, 0, True)
+        for i in range(num_procs)
+    ]
+    return Program(threads, name=f"barrier_data_spin_p{num_procs}")

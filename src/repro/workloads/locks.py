@@ -1,0 +1,134 @@
+"""Lock-based workloads (DRF0-conformant by construction).
+
+Two spin-lock idioms from the paper's Section 6 discussion:
+
+* **TestAndSet lock** — every acquisition attempt is a read-write
+  synchronization; under the paper's DEF2 implementation each attempt
+  serializes through exclusive ownership of the lock line (the pathology
+  the Section 6 refinement addresses).
+* **Test-and-TestAndSet lock** [RuS84] — spin with a read-only ``Test``
+  until the lock looks free, then attempt the ``TestAndSet``; under
+  DEF2-R the Test spins locally on a shared copy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.program import Program, Thread, ThreadBuilder
+
+
+def acquire_test_and_set(builder: ThreadBuilder, lock: str, scratch: str = "__t") -> ThreadBuilder:
+    """Spin on TestAndSet until it returns 0."""
+    label = f"__acq_{lock}_{builder.position}"
+    return builder.label(label).test_and_set(scratch, lock).bne(scratch, 0, label)
+
+
+def acquire_test_test_and_set(
+    builder: ThreadBuilder, lock: str, scratch: str = "__t"
+) -> ThreadBuilder:
+    """Spin with a read-only Test, then TestAndSet; retry on failure."""
+    base = f"__acq_{lock}_{builder.position}"
+    test_label = f"{base}_test"
+    return (
+        builder.label(test_label)
+        .sync_load(scratch, lock)
+        .bne(scratch, 0, test_label)
+        .test_and_set(scratch, lock)
+        .bne(scratch, 0, test_label)
+    )
+
+
+def release(builder: ThreadBuilder, lock: str) -> ThreadBuilder:
+    """Release with a write-only synchronization (the paper's Unset)."""
+    return builder.sync_store(lock, 0)
+
+
+def critical_section_program(
+    num_procs: int = 2,
+    increments_per_proc: int = 2,
+    local_work: int = 0,
+    post_release_work: int = 0,
+    private_writes: int = 0,
+    use_test_test_and_set: bool = False,
+    lock: str = "lock",
+    counter: str = "count",
+    name: Optional[str] = None,
+) -> Program:
+    """Each processor increments a shared counter under a spin lock.
+
+    ``local_work`` adds no-op cycles inside the critical section (longer
+    hold time).  After each release a processor does ``post_release_work``
+    no-ops and ``private_writes`` stores to processor-private locations —
+    the *global data accesses* that Definition 1's condition (3) stalls
+    until the release is globally performed, but that the paper's DEF2
+    implementation overlaps with it.  The final value of ``counter`` must
+    equal ``num_procs * increments_per_proc`` in every SC-appearing
+    execution.
+    """
+    acquire = (
+        acquire_test_test_and_set if use_test_test_and_set else acquire_test_and_set
+    )
+    threads: List[Thread] = []
+    for proc in range(num_procs):
+        builder = ThreadBuilder(f"P{proc}")
+        private_idx = 0
+        for _ in range(increments_per_proc):
+            acquire(builder, lock)
+            builder.load("c", counter)
+            if local_work:
+                builder.nop(local_work)
+            builder.add("c", "c", 1)
+            builder.store(counter, "c")
+            release(builder, lock)
+            if post_release_work:
+                builder.nop(post_release_work)
+            for _w in range(private_writes):
+                builder.store(f"w{proc}_{private_idx % 4}", private_idx + 1)
+                private_idx += 1
+        threads.append(builder.build())
+    return Program(
+        threads,
+        name=name
+        or (
+            f"critical_section_p{num_procs}_i{increments_per_proc}"
+            + ("_tts" if use_test_test_and_set else "")
+        ),
+    )
+
+
+def release_overlap_program(
+    data_writes: int = 4,
+    post_release_work: int = 20,
+    private_writes: int = 4,
+    data_prefix: str = "x",
+    lock: str = "s",
+) -> Program:
+    """The Figure 3 scenario as a program.
+
+    P0 writes data, Unsets ``s``, then keeps computing — both local
+    no-ops and ``private_writes`` global accesses to P0-private
+    locations; P1 spins on TestAndSet of ``s`` and then reads the data.
+    ``s`` starts held (1) so P1 cannot enter before P0's release.
+    """
+    p0 = ThreadBuilder("P0")
+    for i in range(data_writes):
+        p0.store(f"{data_prefix}{i}", i + 1)
+    release(p0, lock)
+    if post_release_work:
+        p0.nop(post_release_work)
+    for i in range(private_writes):
+        p0.store(f"priv{i}", i + 1)
+    p0_thread = p0.build()
+
+    p1 = ThreadBuilder("P1")
+    acquire_test_and_set(p1, lock)
+    for i in range(data_writes):
+        p1.load(f"r{i}", f"{data_prefix}{i}")
+    p1_thread = p1.build()
+
+    return Program(
+        [p0_thread, p1_thread],
+        initial_memory={lock: 1},
+        name=f"release_overlap_w{data_writes}",
+    )

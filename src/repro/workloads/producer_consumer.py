@@ -1,0 +1,79 @@
+"""Producer/consumer pipelines: release-heavy workloads.
+
+Each stage writes a batch of data items, releases a flag, and the next
+stage spin-acquires the flag before consuming — the communication shape
+for which the paper's Figure 3 predicts the biggest DEF2 advantage: the
+producer's release only needs to *commit*, so it overlaps its pending
+data writes with subsequent work.
+"""
+
+from __future__ import annotations
+
+from repro.core.program import Program, ThreadBuilder
+
+
+def producer_consumer_program(
+    items: int = 4,
+    rounds: int = 1,
+    post_release_work: int = 10,
+    stages: int = 2,
+) -> Program:
+    """A ``stages``-deep pipeline moving ``items`` values per round.
+
+    Stage ``k`` waits for flag ``f{k}`` to reach the round number, reads
+    the previous stage's items, writes its own (value + 1), releases
+    ``f{k+1}``, then does ``post_release_work`` local work.  Stage 0
+    produces from immediates.  The last stage accumulates a checksum in
+    register ``sum`` whose SC-consistent value is fully determined.
+    """
+    if stages < 2:
+        raise ValueError("need at least a producer and a consumer")
+    threads = []
+    for stage in range(stages):
+        builder = ThreadBuilder(f"P{stage}")
+        for round_no in range(1, rounds + 1):
+            if stage > 0:
+                # Wait for this round's items from the previous stage.
+                spin = f"spin_f_{round_no}"
+                builder.label(spin)
+                builder.sync_load("f", f"f{stage}")
+                builder.blt("f", round_no, spin)
+                for item in range(items):
+                    builder.load("v", f"d{stage - 1}_{item}")
+                    builder.add("v", "v", 1)
+                    if stage == stages - 1:
+                        builder.add("sum", "sum", "v")
+                    else:
+                        builder.mov(f"t{item}", "v")
+                # Acknowledge consumption so the producer may overwrite.
+                builder.sync_store(f"a{stage}", round_no)
+            if stage < stages - 1:
+                if round_no > 1:
+                    # The next stage must have consumed the previous
+                    # round before its slots are overwritten.
+                    spin = f"spin_a_{round_no}"
+                    builder.label(spin)
+                    builder.sync_load("ack", f"a{stage + 1}")
+                    builder.blt("ack", round_no - 1, spin)
+                for item in range(items):
+                    if stage == 0:
+                        builder.store(f"d0_{item}", round_no * 100 + item)
+                    else:
+                        builder.store(f"d{stage}_{item}", f"t{item}")
+                builder.sync_store(f"f{stage + 1}", round_no)
+            if post_release_work:
+                builder.nop(post_release_work)
+        threads.append(builder.build())
+    return Program(
+        threads,
+        name=f"producer_consumer_s{stages}_i{items}_r{rounds}",
+    )
+
+
+def expected_checksum(items: int, rounds: int, stages: int = 2) -> int:
+    """The deterministic final ``sum`` of the last stage."""
+    total = 0
+    for round_no in range(1, rounds + 1):
+        for item in range(items):
+            total += round_no * 100 + item + (stages - 1)
+    return total

@@ -1,0 +1,113 @@
+"""Random program generators for property-based testing.
+
+Two families:
+
+* :func:`random_racy_program` — unconstrained loads/stores over a small
+  location pool.  Almost always full of data races; used to show relaxed
+  hardware violating SC and the DRF0 checker rejecting.
+* :func:`random_drf0_program` — every shared data location is owned by
+  exactly one lock, and every access to it happens inside that lock's
+  critical section.  Data-race-free **by construction**, so Definition 2
+  requires DEF1/DEF2/DEF2-R hardware to make these appear sequentially
+  consistent — the empirical form of the Appendix B theorem.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.core.program import Program, ThreadBuilder
+from repro.workloads.locks import acquire_test_and_set, release
+
+
+def random_racy_program(
+    seed: int,
+    num_procs: int = 2,
+    ops_per_proc: int = 4,
+    locations: Sequence[str] = ("x", "y"),
+    write_bias: float = 0.5,
+) -> Program:
+    """Straight-line random loads and stores (racy on purpose)."""
+    rng = random.Random(seed)
+    threads = []
+    for proc in range(num_procs):
+        builder = ThreadBuilder(f"P{proc}")
+        for op_idx in range(ops_per_proc):
+            loc = rng.choice(list(locations))
+            if rng.random() < write_bias:
+                builder.store(loc, rng.randint(1, 9))
+            else:
+                builder.load(f"r{op_idx}", loc)
+        threads.append(builder.build())
+    return Program(threads, name=f"racy_s{seed}")
+
+
+def random_drf0_program(
+    seed: int,
+    num_procs: int = 2,
+    sections_per_proc: int = 2,
+    ops_per_section: int = 2,
+    num_locks: int = 2,
+    locations_per_lock: int = 2,
+    write_bias: float = 0.5,
+) -> Program:
+    """Lock-disciplined random program (DRF0 by construction).
+
+    Lock ``L<k>`` owns locations ``v<k>_0 .. v<k>_{locations_per_lock-1}``;
+    every access to an owned location occurs between that lock's acquire
+    (TestAndSet spin) and release (Unset).
+    """
+    rng = random.Random(seed)
+    ownership: Dict[int, List[str]] = {
+        k: [f"v{k}_{j}" for j in range(locations_per_lock)] for k in range(num_locks)
+    }
+    threads = []
+    for proc in range(num_procs):
+        builder = ThreadBuilder(f"P{proc}")
+        reg = 0
+        for _section in range(sections_per_proc):
+            lock_id = rng.randrange(num_locks)
+            acquire_test_and_set(builder, f"L{lock_id}")
+            for _op in range(ops_per_section):
+                loc = rng.choice(ownership[lock_id])
+                if rng.random() < write_bias:
+                    builder.store(loc, rng.randint(1, 9))
+                else:
+                    builder.load(f"r{reg}", loc)
+                    reg += 1
+            release(builder, f"L{lock_id}")
+        threads.append(builder.build())
+    return Program(threads, name=f"drf0_s{seed}")
+
+
+def random_mixed_sync_program(
+    seed: int,
+    num_procs: int = 2,
+    ops_per_proc: int = 4,
+) -> Program:
+    """Random programs mixing data and *all-sync* location accesses.
+
+    Locations ``s*`` are only ever touched by synchronization operations
+    (so conflicting accesses to them are so-ordered); locations ``x*``
+    are only read.  Also DRF0 by construction, but exercising sync-reads,
+    sync-writes and RMWs rather than lock discipline.
+    """
+    rng = random.Random(seed)
+    sync_locs = ["s0", "s1"]
+    read_locs = ["x0", "x1"]
+    threads = []
+    for proc in range(num_procs):
+        builder = ThreadBuilder(f"P{proc}")
+        for op_idx in range(ops_per_proc):
+            roll = rng.random()
+            if roll < 0.3:
+                builder.sync_store(rng.choice(sync_locs), rng.randint(1, 9))
+            elif roll < 0.55:
+                builder.sync_load(f"r{op_idx}", rng.choice(sync_locs))
+            elif roll < 0.75:
+                builder.test_and_set(f"r{op_idx}", rng.choice(sync_locs))
+            else:
+                builder.load(f"r{op_idx}", rng.choice(read_locs))
+        threads.append(builder.build())
+    return Program(threads, name=f"mixed_sync_s{seed}")

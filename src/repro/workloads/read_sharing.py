@@ -1,0 +1,48 @@
+"""Read-sharing workloads: where synchronization labels earn their keep.
+
+Section 3: hardware that "must assume all accesses could be used for
+synchronization (as in [Lam86])" cannot let readers share copies — every
+access serializes through exclusive ownership.  These generators produce
+the workload that punishes that: one writer publishes a block of data,
+many readers scan it repeatedly.  With labels (DRF0), the scans are data
+reads hitting shared copies; without them (the ALL-SYNC baseline), every
+scan bounces the lines between caches.
+"""
+
+from __future__ import annotations
+
+from repro.core.program import Program, ThreadBuilder
+
+
+def read_sharing_program(
+    num_readers: int = 3,
+    locations: int = 4,
+    passes: int = 3,
+    flag: str = "ready",
+) -> Program:
+    """One writer publishes ``locations`` values; readers scan ``passes``
+    times after spin-acquiring the flag.  DRF0 by construction; each
+    reader accumulates a checksum in ``sum``."""
+    threads = []
+    writer = ThreadBuilder("W")
+    for i in range(locations):
+        writer.store(f"d{i}", i + 1)
+    writer.sync_store(flag, 1)
+    threads.append(writer.build())
+
+    for reader in range(num_readers):
+        builder = ThreadBuilder(f"R{reader}")
+        builder.label("spin").sync_load("f", flag).beq("f", 0, "spin")
+        for _pass in range(passes):
+            for i in range(locations):
+                builder.load(f"v{i}", f"d{i}")
+                builder.add("sum", "sum", f"v{i}")
+        threads.append(builder.build())
+    return Program(
+        threads, name=f"read_sharing_r{num_readers}_l{locations}_p{passes}"
+    )
+
+
+def expected_reader_sum(locations: int, passes: int) -> int:
+    """The checksum every reader must accumulate."""
+    return passes * sum(range(1, locations + 1))

@@ -1,0 +1,117 @@
+"""Ticket locks and sense-reversing barriers.
+
+Two further synchronization idioms built from the paper's primitives,
+both DRF0 by construction:
+
+* **ticket lock** — FIFO mutual exclusion from one ``FetchAndAdd`` (take
+  a ticket) and a read-only spin on ``now_serving``; release increments
+  ``now_serving`` with a write-only sync.  Contrast with TestAndSet
+  locks: the RMW happens once per acquisition, so plain DEF2's
+  sync-serialization cost falls on the spin reads only.
+* **sense-reversing barrier** — each arrival flips a local sense and
+  fetch-and-decrements the count; the last arrival resets the count and
+  publishes the new sense; everyone else spins (read-only sync) on the
+  sense word.  One sync location is written per episode, the classic fix
+  for the naive counter barrier's spin storm.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.program import Program, Thread, ThreadBuilder
+
+
+def ticket_acquire(
+    builder: ThreadBuilder,
+    ticket: str = "ticket",
+    serving: str = "serving",
+) -> ThreadBuilder:
+    """Take a ticket, spin until served."""
+    spin = f"__ticket_{builder.position}"
+    return (
+        builder.fetch_and_add("__my", ticket, 1)
+        .label(spin)
+        .sync_load("__now", serving)
+        .bne("__now", "__my", spin)
+    )
+
+
+def ticket_release(
+    builder: ThreadBuilder,
+    serving: str = "serving",
+) -> ThreadBuilder:
+    """Serve the next ticket holder.
+
+    The holder's ``__now`` register equals its own ticket, so the next
+    value is ``__now + 1``; the store is a write-only synchronization.
+    """
+    return builder.add("__next", "__now", 1).sync_store(serving, "__next")
+
+
+def ticket_lock_program(
+    num_procs: int = 2,
+    acquisitions_per_proc: int = 1,
+    critical_work: int = 0,
+    counter: str = "count",
+    name: Optional[str] = None,
+) -> Program:
+    """Each processor increments a shared counter under a ticket lock."""
+    threads: List[Thread] = []
+    for proc in range(num_procs):
+        builder = ThreadBuilder(f"P{proc}")
+        for _ in range(acquisitions_per_proc):
+            ticket_acquire(builder)
+            builder.load("c", counter)
+            if critical_work:
+                builder.nop(critical_work)
+            builder.add("c", "c", 1)
+            builder.store(counter, "c")
+            ticket_release(builder)
+        threads.append(builder.build())
+    return Program(
+        threads,
+        name=name or f"ticket_lock_p{num_procs}_a{acquisitions_per_proc}",
+    )
+
+
+def sense_barrier_program(
+    num_procs: int = 3,
+    episodes: int = 1,
+    count: str = "bcount",
+    sense: str = "bsense",
+    post_work: int = 0,
+) -> Program:
+    """``episodes`` sense-reversing barrier episodes.
+
+    ``bcount`` starts at ``num_procs``; ``bsense`` starts at 0.  In
+    episode ``e`` the target sense is ``e + 1``: the last arrival resets
+    the count and stores the new sense (write-only sync); the rest spin
+    on the sense word with read-only syncs.
+    """
+    threads: List[Thread] = []
+    for proc in range(num_procs):
+        builder = ThreadBuilder(f"P{proc}")
+        for episode in range(1, episodes + 1):
+            builder.fetch_and_add("left", count, -1)
+            # 'left' holds the pre-decrement value: 1 means last arrival.
+            last = f"__last_{episode}"
+            done = f"__done_{episode}"
+            spin = f"__spin_{episode}"
+            builder.beq("left", 1, last)
+            builder.label(spin)
+            builder.sync_load("s", sense)
+            builder.bne("s", episode, spin)
+            builder.jump(done)
+            builder.label(last)
+            builder.sync_store(count, num_procs)
+            builder.sync_store(sense, episode)
+            builder.label(done)
+            if post_work:
+                builder.nop(post_work)
+        threads.append(builder.build())
+    return Program(
+        threads,
+        initial_memory={count: num_procs, sense: 0},
+        name=f"sense_barrier_p{num_procs}_e{episodes}",
+    )

@@ -1,0 +1,68 @@
+"""Unit tests for the quantitative policy comparison harness."""
+
+import pytest
+
+from repro.analysis.comparison import compare_policies, sweep
+from repro.memsys.config import NET_CACHE
+from repro.models.policies import Def1Policy, Def2Policy, SCPolicy
+from repro.workloads.locks import critical_section_program
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    return compare_policies(
+        program_factory=lambda: critical_section_program(2, 1, private_writes=2),
+        policies=[SCPolicy, Def1Policy, Def2Policy],
+        config=NET_CACHE,
+        runs=3,
+    )
+
+
+class TestComparePolicies:
+    def test_one_row_per_policy(self, comparisons):
+        assert [c.policy_name for c in comparisons] == ["SC", "DEF1", "DEF2"]
+
+    def test_all_runs_complete(self, comparisons):
+        assert all(c.completed_runs == c.runs for c in comparisons)
+
+    def test_cycles_positive(self, comparisons):
+        assert all(c.mean_cycles > 0 for c in comparisons)
+
+    def test_stall_breakdown_populated(self, comparisons):
+        sc = comparisons[0]
+        assert sc.mean_stall_cycles > 0
+        assert sc.stall_by_reason
+
+    def test_describe(self, comparisons):
+        text = comparisons[0].describe()
+        assert "SC" in text and "cycles=" in text
+
+
+class TestSweep:
+    def test_sweep_points(self):
+        points = sweep(
+            parameter_values=[1, 2],
+            program_for=lambda v: (
+                lambda: critical_section_program(2, v, private_writes=1)
+            ),
+            config_for=lambda v: NET_CACHE,
+            policies=[Def1Policy, Def2Policy],
+            runs=2,
+        )
+        assert [p.parameter for p in points] == [1, 2]
+        for point in points:
+            assert point.cycles_of("DEF1") is not None
+            assert point.cycles_of("DEF2") is not None
+            assert point.cycles_of("SC") is None
+
+    def test_more_work_takes_longer(self):
+        points = sweep(
+            parameter_values=[1, 3],
+            program_for=lambda v: (
+                lambda: critical_section_program(2, v)
+            ),
+            config_for=lambda v: NET_CACHE,
+            policies=[Def2Policy],
+            runs=2,
+        )
+        assert points[1].cycles_of("DEF2") > points[0].cycles_of("DEF2")

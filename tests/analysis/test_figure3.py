@@ -1,0 +1,50 @@
+"""Unit tests for the Figure 3 release-stall analysis."""
+
+import pytest
+
+from repro.analysis.figure3 import (
+    analyze_release_stall,
+    figure3_sweep,
+)
+from repro.memsys.config import NET_CACHE
+from repro.models.policies import Def1Policy, Def2Policy
+
+
+class TestAnalyzeReleaseStall:
+    def test_reports_complete_runs(self):
+        report = analyze_release_stall(Def1Policy(), seed=3)
+        assert report.completed
+        assert report.policy_name == "DEF1"
+        assert report.total_cycles > 0
+        assert report.acquirer_finish > 0
+
+    def test_def1_release_stall_positive(self):
+        """DEF1 must wait for the pending data writes at the Unset."""
+        report = analyze_release_stall(Def1Policy(), seed=3)
+        assert report.release_stall > 0
+
+    def test_describe(self):
+        report = analyze_release_stall(Def2Policy(), seed=3)
+        assert "DEF2" in report.describe()
+
+
+class TestFigure3Sweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure3_sweep(latencies=[4, 32], seeds=[1, 2, 3])
+
+    def test_row_per_latency(self, rows):
+        assert [r.network_latency for r in rows] == [4, 32]
+
+    def test_def1_release_stall_grows_with_latency(self, rows):
+        assert rows[1].def1_release_stall > rows[0].def1_release_stall
+
+    def test_def2_releaser_finishes_earlier_at_high_latency(self, rows):
+        """The paper's headline: P0 gains under DEF2 as latency grows."""
+        assert rows[1].def2_releaser_finish < rows[1].def1_releaser_finish
+
+    def test_both_acquirers_stall(self, rows):
+        """'P0 but not P1 gains an advantage': P1 waits under both."""
+        for row in rows:
+            assert row.def1_acquirer_finish > 0
+            assert row.def2_acquirer_finish > 0

@@ -1,0 +1,97 @@
+"""Tests for lock hand-off latency extraction."""
+
+import pytest
+
+from repro.analysis.handoff import handoff_summary, lock_handoffs, mean_handoff_latency
+from repro.core.execution import Execution
+from repro.core.operation import MemoryOp, OpKind
+from repro.memsys.config import NET_CACHE
+from repro.memsys.system import run_program
+from repro.models.policies import Def1Policy, Def2Policy
+from repro.workloads.locks import critical_section_program, release_overlap_program
+
+
+def op(kind, loc, proc, read=None, written=None, commit=0):
+    o = MemoryOp(proc=proc, kind=kind, location=loc,
+                 value_read=read, value_written=written)
+    o.commit_time = commit
+    return o
+
+
+class TestExtraction:
+    def test_single_handoff(self):
+        trace = Execution(
+            ops=[
+                op(OpKind.SYNC_RMW, "l", 0, read=0, written=1, commit=5),
+                op(OpKind.SYNC_WRITE, "l", 0, written=0, commit=20),
+                op(OpKind.SYNC_RMW, "l", 1, read=0, written=1, commit=32),
+            ]
+        )
+        handoffs = lock_handoffs(trace, "l")
+        assert len(handoffs) == 1
+        assert handoffs[0].latency == 12
+        assert handoffs[0].crosses_processors
+
+    def test_failed_tas_not_an_acquire(self):
+        trace = Execution(
+            ops=[
+                op(OpKind.SYNC_WRITE, "l", 0, written=0, commit=10),
+                op(OpKind.SYNC_RMW, "l", 1, read=1, written=1, commit=15),
+            ]
+        )
+        assert lock_handoffs(trace, "l") == []
+
+    def test_other_locations_ignored(self):
+        trace = Execution(
+            ops=[
+                op(OpKind.SYNC_WRITE, "m", 0, written=0, commit=10),
+                op(OpKind.SYNC_RMW, "l", 1, read=0, written=1, commit=15),
+            ]
+        )
+        assert lock_handoffs(trace, "l") == []
+
+    def test_self_handoff_filtered_from_mean(self):
+        trace = Execution(
+            ops=[
+                op(OpKind.SYNC_WRITE, "l", 0, written=0, commit=10),
+                op(OpKind.SYNC_RMW, "l", 0, read=0, written=1, commit=14),
+            ]
+        )
+        assert mean_handoff_latency(trace, "l") is None
+        assert mean_handoff_latency(trace, "l", cross_processor_only=False) == 4
+
+    def test_no_handoffs_is_none(self):
+        assert mean_handoff_latency(Execution(), "l") is None
+
+    def test_summary(self):
+        trace = Execution(
+            ops=[
+                op(OpKind.SYNC_WRITE, "l", 0, written=0, commit=10),
+                op(OpKind.SYNC_RMW, "l", 1, read=0, written=1, commit=18),
+            ]
+        )
+        summary = handoff_summary(trace, ["l", "m"])
+        assert summary["l"] == 8
+        assert summary["m"] is None
+
+
+class TestOnHardwareRuns:
+    def test_critical_section_handoffs_exist(self):
+        program = critical_section_program(2, 2)
+        run = run_program(program, Def2Policy(), NET_CACHE, seed=3)
+        assert run.completed
+        latency = mean_handoff_latency(run.execution, "lock")
+        assert latency is not None and latency > 0
+
+    def test_figure3_acquirer_pays_under_both_policies(self):
+        """Figure 3: P1 stalls under both DEF1 and DEF2 — the hand-off
+        latency is substantial for both."""
+        config = NET_CACHE.with_overrides(network_base_latency=16,
+                                          network_jitter=2)
+        for policy in (Def1Policy(), Def2Policy()):
+            program = release_overlap_program(data_writes=4)
+            run = run_program(program, policy, config, seed=5)
+            assert run.completed
+            latency = mean_handoff_latency(run.execution, "s")
+            assert latency is not None
+            assert latency > config.network_base_latency

@@ -1,0 +1,32 @@
+"""Unit tests for report formatting."""
+
+from repro.analysis.report import format_table, ratio
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_floats_formatted(self):
+        table = format_table(["x"], [[3.14159]])
+        assert "3.1" in table
+        assert "3.14159" not in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert table.splitlines()[0].startswith("a")
+
+
+class TestRatio:
+    def test_simple(self):
+        assert ratio(2.0, 1.0) == "2.00x"
+
+    def test_zero_denominator(self):
+        assert ratio(5.0, 0.0) == "inf"
+        assert ratio(0.0, 0.0) == "1.00x"

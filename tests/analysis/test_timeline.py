@@ -1,0 +1,82 @@
+"""Unit tests for the Figure-2-style execution renderer."""
+
+from repro.core.execution import Execution
+from repro.core.operation import MemoryOp, OpKind
+from repro.drf.figure2 import figure2a_execution, figure2b_execution
+from repro.drf.races import find_races
+from repro.analysis.timeline import (
+    render_execution,
+    render_hardware_trace,
+    render_with_races,
+)
+
+
+def op(kind, loc, proc, read=None, written=None, commit=None):
+    o = MemoryOp(proc=proc, kind=kind, location=loc,
+                 value_read=read, value_written=written)
+    o.commit_time = commit
+    return o
+
+
+class TestRenderExecution:
+    def test_one_column_per_processor(self):
+        text = render_execution(figure2a_execution())
+        header = text.splitlines()[0]
+        for proc in ("P0", "P1", "P2", "P3"):
+            assert proc in header
+
+    def test_rows_follow_trace_order(self):
+        execution = Execution(
+            ops=[op(OpKind.WRITE, "x", 0, written=1),
+                 op(OpKind.READ, "x", 1, read=1)]
+        )
+        lines = render_execution(execution).splitlines()
+        assert "W(x<-1)" in lines[2]
+        assert "R(x=1)" in lines[3]
+
+    def test_sync_ops_tagged(self):
+        text = render_execution(figure2a_execution())
+        assert "Sw(" in text and "S*(" in text
+
+    def test_time_column_optional(self):
+        execution = Execution(ops=[op(OpKind.WRITE, "x", 0, written=1)])
+        with_t = render_execution(execution)
+        without_t = render_execution(execution, time_column=False)
+        assert with_t.splitlines()[0].startswith("t")
+        assert without_t.splitlines()[0].startswith("P0")
+
+    def test_hypothetical_skipped_by_default(self):
+        from repro.hb.augment import augment_execution
+
+        execution = Execution(ops=[op(OpKind.WRITE, "x", 0, written=1)])
+        augmented = augment_execution(execution)
+        text = render_execution(augmented)
+        assert "__init_sync__" not in text
+        full = render_execution(augmented, include_hypothetical=True)
+        assert "__init_sync__" in full
+
+
+class TestRenderWithRaces:
+    def test_racing_ops_marked(self):
+        execution = figure2b_execution()
+        races = find_races(execution)
+        text = render_with_races(execution, races)
+        assert "!" in text
+        assert "data race" in text
+
+    def test_clean_execution_notes_no_races(self):
+        execution = figure2a_execution()
+        text = render_with_races(execution, find_races(execution))
+        assert "no data races" in text
+
+
+class TestRenderHardwareTrace:
+    def test_commit_times_shown(self):
+        execution = Execution(
+            ops=[op(OpKind.WRITE, "x", 0, written=1, commit=17)]
+        )
+        text = render_hardware_trace(execution)
+        assert "@    17" in text and "P0" in text
+
+    def test_empty_trace(self):
+        assert "no committed" in render_hardware_trace(Execution())

@@ -1,0 +1,100 @@
+"""Shared harness for coherence-protocol tests.
+
+``ProtocolHarness`` wires a directory and N caches over a deterministic
+bus, and offers synchronous-feeling helpers: submit an access, run to
+quiescence, inspect everything.
+"""
+
+from typing import Callable, Optional
+
+import pytest
+
+from repro.coherence.cache import Cache
+from repro.coherence.directory import Directory
+from repro.core.operation import OpKind
+from repro.cpu.access import MemoryAccess
+from repro.interconnect.bus import Bus
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+
+
+class ProtocolHarness:
+    def __init__(
+        self,
+        num_caches: int = 2,
+        initial_memory: Optional[dict] = None,
+        capacity: Optional[int] = None,
+        reserve_enabled: bool = False,
+        nack_mode: bool = True,
+        transfer_cycles: int = 1,
+    ) -> None:
+        self.sim = Simulator()
+        self.stats = Stats()
+        self.bus = Bus(self.sim, self.stats, transfer_cycles=transfer_cycles)
+        self.directory = Directory(
+            self.sim, self.bus, self.stats, initial_memory=initial_memory or {}
+        )
+        self.caches = [
+            Cache(
+                self.sim,
+                i,
+                self.bus,
+                self.stats,
+                capacity=capacity,
+                hit_latency=1,
+                reserve_enabled=reserve_enabled,
+                nack_mode=nack_mode,
+            )
+            for i in range(num_caches)
+        ]
+
+    def access(
+        self,
+        cache_id: int,
+        kind: OpKind,
+        location: str,
+        write_value: Optional[int] = None,
+        compute: Optional[Callable[[int], int]] = None,
+        sync: Optional[bool] = None,
+        needs_exclusive: Optional[bool] = None,
+    ) -> MemoryAccess:
+        """Create and submit an access; caller decides when to run()."""
+        if compute is None and write_value is not None:
+            compute = lambda old, v=write_value: v
+        if sync is None:
+            sync = kind.is_sync
+        if needs_exclusive is None:
+            needs_exclusive = kind.writes_memory or (sync and kind.is_sync)
+        access = MemoryAccess(
+            proc=cache_id,
+            kind=kind,
+            location=location,
+            compute_write=compute,
+            sync_protocol=sync,
+            needs_exclusive=needs_exclusive,
+        )
+        self.caches[cache_id].submit(access)
+        return access
+
+    def run(self, max_cycles: int = 100_000) -> None:
+        self.sim.run(max_cycles=max_cycles)
+
+    def read(self, cache_id: int, location: str) -> MemoryAccess:
+        access = self.access(cache_id, OpKind.READ, location)
+        self.run()
+        return access
+
+    def write(self, cache_id: int, location: str, value: int) -> MemoryAccess:
+        access = self.access(cache_id, OpKind.WRITE, location, write_value=value)
+        self.run()
+        return access
+
+
+@pytest.fixture
+def harness():
+    return ProtocolHarness()
+
+
+@pytest.fixture
+def reserve_harness():
+    return ProtocolHarness(reserve_enabled=True)

@@ -1,0 +1,100 @@
+"""Unit tests for the invalidation-virtual-channel protocol paths.
+
+When invalidations ride their own network they can overtake the data
+response they logically follow; the cache then installs the fill
+*use-once* (value delivered, line not retained).  These tests drive the
+cache handlers directly with the reordered message sequence.
+"""
+
+import pytest
+
+from repro.coherence.cache import Cache
+from repro.coherence.directory import DIRECTORY_ENDPOINT
+from repro.coherence.line import LineState
+from repro.coherence.protocol import DataS, DataX, Inval, InvalAck
+from repro.core.operation import OpKind
+from repro.cpu.access import MemoryAccess
+from repro.interconnect.base import Interconnect
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+
+
+class CaptureInterconnect(Interconnect):
+    """Instant delivery to registered endpoints; records dir-bound mail."""
+
+    def __init__(self, sim, stats):
+        super().__init__(sim, stats, "capture")
+        self.to_dir = []
+        self.register(DIRECTORY_ENDPOINT, lambda p, s: self.to_dir.append(p))
+
+    def send(self, src, dst, payload):
+        self._deliver(src, dst, payload)
+
+
+class Harness:
+    def __init__(self):
+        self.sim = Simulator()
+        self.stats = Stats()
+        self.net = CaptureInterconnect(self.sim, self.stats)
+        self.cache = Cache(self.sim, 0, self.net, self.stats)
+
+    def read(self, loc):
+        access = MemoryAccess(proc=0, kind=OpKind.READ, location=loc)
+        self.cache.submit(access)
+        self.sim.run()
+        return access
+
+    def deliver(self, payload):
+        self.net._deliver(DIRECTORY_ENDPOINT, "cache:0", payload)
+        self.sim.run()
+
+
+class TestUseOnceFill:
+    def test_inval_overtaking_datas_marks_use_once(self):
+        harness = Harness()
+        access = harness.read("x")  # miss -> GetS sent, outstanding
+        assert not access.has_value
+        # The invalidation arrives first (separate channel), then DataS.
+        harness.deliver(Inval("x"))
+        assert any(isinstance(m, InvalAck) for m in harness.net.to_dir)
+        harness.deliver(DataS("x", 7))
+        # Value delivered, but the copy was not retained.
+        assert access.value == 7
+        assert access.globally_performed
+        assert harness.cache.line_state("x") is LineState.INVALID
+
+    def test_normal_order_retains_the_line(self):
+        harness = Harness()
+        access = harness.read("x")
+        harness.deliver(DataS("x", 7))
+        assert access.value == 7
+        assert harness.cache.line_state("x") is LineState.SHARED
+        # A later invalidation then drops it normally.
+        harness.deliver(Inval("x"))
+        assert harness.cache.line_state("x") is LineState.INVALID
+
+    def test_fresh_exclusive_grant_clears_stale_mark(self):
+        harness = Harness()
+        access = MemoryAccess(
+            proc=0, kind=OpKind.WRITE, location="x",
+            compute_write=lambda old: 5, needs_exclusive=True,
+        )
+        harness.cache.submit(access)
+        harness.sim.run()
+        # A stale invalidation (for the previous, already-lost copy)
+        # arrives while the GetX is outstanding.
+        harness.deliver(Inval("x"))
+        harness.deliver(DataX("x", 0, pending_acks=0))
+        # The exclusive grant supersedes the stale mark: line retained.
+        assert harness.cache.line_state("x") is LineState.EXCLUSIVE
+        assert harness.cache.line_value("x") == 5
+        assert access.globally_performed
+
+    def test_use_once_read_still_counts_as_progress(self):
+        """The counter must not leak on the use-once path."""
+        harness = Harness()
+        harness.read("x")
+        assert harness.cache.counter.value == 1
+        harness.deliver(Inval("x"))
+        harness.deliver(DataS("x", 7))
+        assert harness.cache.counter.zero

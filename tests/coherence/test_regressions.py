@@ -1,0 +1,123 @@
+"""Regression tests for protocol bugs found during development.
+
+Each test pins a specific failure mode so it cannot silently return:
+
+* the directory's lost-wakeup: a queued request dispatched into a
+  non-blocking path (write-back, or a read of a now-shared line) left
+  the rest of the queue stranded forever;
+* the in-flight-sync counter deadlock: counting a synchronization miss
+  in its own processor's counter let two reserve bits wait on each
+  other's sync requests;
+* write operand values must be bound at issue, not at perform time.
+"""
+
+from repro.core.operation import OpKind
+from repro.core.program import Program, ThreadBuilder
+from repro.litmus.catalog import fig1_dekker_all_sync
+from repro.litmus.runner import LitmusRunner
+from repro.memsys.config import NET_CACHE
+from repro.memsys.system import run_program
+from repro.models.policies import Def2Policy, RelaxedPolicy
+
+from .conftest import ProtocolHarness
+
+
+class TestDirectoryQueueDrain:
+    def test_writeback_then_reader_both_serviced(self):
+        """A WB queued behind an open transaction must not strand the
+        GetS queued behind it (the lost-wakeup bug)."""
+        harness = ProtocolHarness(num_caches=3, capacity=1, transfer_cycles=8)
+        # Cache 0 owns x dirty; cache 1 and 2 race for it while cache 0
+        # evicts it — producing queued WBs and queued reads on x.
+        harness.write(0, "x", 5)
+        a = harness.access(1, OpKind.WRITE, "x", write_value=6)
+        b = harness.access(2, OpKind.READ, "x")
+        # Eviction by filling another line while the recall is in flight.
+        c = harness.access(0, OpKind.READ, "other")
+        harness.run()
+        assert a.globally_performed
+        assert b.globally_performed
+        assert c.globally_performed
+        assert not harness.directory._open
+        assert not any(q for q in harness.directory._queues.values())
+
+    def test_queued_read_after_downgrade_dispatch(self):
+        """Two reads queued behind a recall: the first dispatch resolves
+        without opening a transaction (line now shared); the second must
+        still be serviced."""
+        harness = ProtocolHarness(num_caches=3, transfer_cycles=8)
+        harness.write(0, "x", 5)
+        r1 = harness.access(1, OpKind.READ, "x")
+        r2 = harness.access(2, OpKind.READ, "x")
+        harness.run()
+        assert r1.value == 5 and r2.value == 5
+        assert not harness.directory._open
+
+
+class TestSyncMissCounterDeadlock:
+    def test_all_sync_dekker_completes_on_def2(self):
+        """Two processors' sync misses must not hold each other's reserve
+        bits forever (the original literal-counter deadlock)."""
+        runner = LitmusRunner()
+        result = runner.run(
+            fig1_dekker_all_sync(warm=True), Def2Policy, NET_CACHE, runs=40
+        )
+        assert result.completed_runs == 40
+        assert not result.violated_sc
+
+    def test_crossed_sync_pairs_complete(self):
+        t0 = (
+            ThreadBuilder("P0")
+            .sync_store("a", 1)
+            .test_and_set("r", "b")
+            .build()
+        )
+        t1 = (
+            ThreadBuilder("P1")
+            .sync_store("b", 1)
+            .test_and_set("r", "a")
+            .build()
+        )
+        program = Program([t0, t1], name="crossed_syncs")
+        for seed in range(20):
+            run = run_program(program, Def2Policy(), NET_CACHE, seed=seed)
+            assert run.completed, seed
+
+
+class TestSyncReadCounterDeadlock:
+    def test_def2r_crossed_sync_reads_complete(self):
+        """Under DEF2-R a read-only sync miss is a data GetS that a remote
+        reserve bit may stall; it must not count in its own processor's
+        counter or two reserves can wait on each other's sync reads."""
+        from repro.litmus.catalog import fig1_dekker_all_sync
+        from repro.models.policies import Def2RPolicy
+        from repro.sim.rng import seed_stream
+
+        test = fig1_dekker_all_sync(warm=True)
+        program = test.executable_program()
+        for seed in list(seed_stream(2024, 60)):
+            run = run_program(
+                program, Def2RPolicy(), NET_CACHE, seed=seed, max_cycles=100_000
+            )
+            assert run.completed, seed
+
+
+class TestWriteOperandBinding:
+    def test_value_bound_at_issue_not_at_perform(self):
+        """A register overwritten after the store issues must not leak
+        into the stored value, even when the store performs much later."""
+        slow = NET_CACHE.with_overrides(network_base_latency=40, network_jitter=0)
+        program = Program(
+            [
+                ThreadBuilder("P0")
+                .mov("v", 5)
+                .store("x", "v")
+                .mov("v", 9)
+                .store("y", "v")
+                .build()
+            ]
+        )
+        run = run_program(program, RelaxedPolicy(), slow, seed=1)
+        assert run.completed
+        assert run.observable.memory_value("x") == 5
+        assert run.observable.memory_value("y") == 9

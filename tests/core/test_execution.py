@@ -1,0 +1,87 @@
+"""Unit tests for executions and observables."""
+
+from repro.core.execution import Execution, Observable, observable_set
+from repro.core.operation import MemoryOp, OpKind
+
+
+def op(kind, loc, proc=0, read=None, written=None):
+    return MemoryOp(
+        proc=proc, kind=kind, location=loc, value_read=read, value_written=written
+    )
+
+
+class TestObservable:
+    def test_create_canonicalizes_zeros(self):
+        a = Observable.create([{"r1": 0, "r2": 1}], {"x": 0, "y": 2})
+        b = Observable.create([{"r2": 1}], {"y": 2})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_register_lookup(self):
+        obs = Observable.create([{"r1": 5}, {}], {})
+        assert obs.register(0, "r1") == 5
+        assert obs.register(0, "other") == 0
+        assert obs.register(1, "r1") == 0
+
+    def test_memory_lookup(self):
+        obs = Observable.create([{}], {"x": 3})
+        assert obs.memory_value("x") == 3
+        assert obs.memory_value("y") == 0
+
+    def test_describe_mentions_values(self):
+        obs = Observable.create([{"r1": 1}], {"x": 2})
+        text = obs.describe()
+        assert "r1=1" in text and "x=2" in text
+
+    def test_distinct_outcomes_differ(self):
+        a = Observable.create([{"r": 1}], {})
+        b = Observable.create([{"r": 2}], {})
+        assert a != b
+
+
+class TestExecution:
+    def test_final_memory_replays_writes_in_order(self):
+        execution = Execution(
+            ops=[
+                op(OpKind.WRITE, "x", written=1),
+                op(OpKind.WRITE, "x", written=2),
+                op(OpKind.WRITE, "y", written=9),
+            ]
+        )
+        assert execution.final_memory() == {"x": 2, "y": 9}
+
+    def test_filters(self):
+        execution = Execution(
+            ops=[
+                op(OpKind.READ, "x", read=0),
+                op(OpKind.WRITE, "x", written=1),
+                op(OpKind.SYNC_RMW, "s", read=0, written=1),
+            ]
+        )
+        assert len(execution.reads()) == 2  # read + rmw
+        assert len(execution.writes()) == 2  # write + rmw
+        assert len(execution.sync_ops()) == 1
+
+    def test_ops_of_proc_preserves_order(self):
+        a = op(OpKind.WRITE, "x", proc=0, written=1)
+        b = op(OpKind.READ, "y", proc=1, read=0)
+        c = op(OpKind.READ, "x", proc=0, read=1)
+        execution = Execution(ops=[a, b, c])
+        assert execution.ops_of_proc(0) == [a, c]
+
+    def test_read_values_by_uid(self):
+        r = op(OpKind.READ, "x", read=7)
+        execution = Execution(ops=[r, op(OpKind.WRITE, "x", written=1)])
+        assert execution.read_values() == {r.uid: 7}
+
+    def test_len_and_iter(self):
+        ops = [op(OpKind.READ, "x", read=0)]
+        execution = Execution(ops=list(ops))
+        assert len(execution) == 1
+        assert list(execution) == ops
+
+    def test_observable_set_skips_missing(self):
+        with_obs = Execution()
+        with_obs.observable = Observable.create([{}], {"x": 1})
+        without = Execution()
+        assert observable_set([with_obs, without]) == {with_obs.observable}

@@ -1,0 +1,139 @@
+"""Unit tests for the instruction set."""
+
+import pytest
+
+from repro.core.instructions import (
+    Arith,
+    BinOp,
+    Branch,
+    Condition,
+    FetchAndAdd,
+    Jump,
+    Load,
+    Mov,
+    Nop,
+    Store,
+    Swap,
+    SyncLoad,
+    SyncStore,
+    TestAndSet,
+    operand_value,
+)
+from repro.core.operation import OpKind
+from repro.core.registers import RegisterFile
+
+
+class TestOperands:
+    def test_immediate(self):
+        assert operand_value(RegisterFile(), 7) == 7
+
+    def test_register(self):
+        regs = RegisterFile({"r": 5})
+        assert operand_value(regs, "r") == 5
+
+    def test_unset_register_is_zero(self):
+        assert operand_value(RegisterFile(), "r") == 0
+
+
+class TestMemoryInstructions:
+    def test_load_kind_and_dest(self):
+        instr = Load("r1", "x")
+        assert instr.kind is OpKind.READ
+        assert instr.dest == "r1"
+        with pytest.raises(TypeError):
+            instr.compute_write(RegisterFile(), 0)
+
+    def test_store_value_from_register(self):
+        regs = RegisterFile({"v": 9})
+        assert Store("x", "v").compute_write(regs, old_value=123) == 9
+
+    def test_store_value_immediate_ignores_old(self):
+        assert Store("x", 4).compute_write(RegisterFile(), old_value=77) == 4
+
+    def test_sync_load_is_read_only_sync(self):
+        instr = SyncLoad("r1", "s")
+        assert instr.kind is OpKind.SYNC_READ
+        with pytest.raises(TypeError):
+            instr.compute_write(RegisterFile(), 0)
+
+    def test_sync_store_is_write_only_sync(self):
+        instr = SyncStore("s", 0)
+        assert instr.kind is OpKind.SYNC_WRITE
+        assert instr.dest is None
+        assert instr.compute_write(RegisterFile(), 1) == 0
+
+    def test_test_and_set_writes_one(self):
+        instr = TestAndSet("r1", "s")
+        assert instr.kind is OpKind.SYNC_RMW
+        assert instr.compute_write(RegisterFile(), old_value=0) == 1
+        assert instr.compute_write(RegisterFile(), old_value=1) == 1
+
+    def test_swap_writes_operand(self):
+        regs = RegisterFile({"v": 3})
+        assert Swap("r1", "s", "v").compute_write(regs, old_value=8) == 3
+
+    def test_fetch_and_add_uses_old_value(self):
+        regs = RegisterFile({"inc": 2})
+        assert FetchAndAdd("r1", "c", "inc").compute_write(regs, old_value=10) == 12
+        assert FetchAndAdd("r1", "c", 1).compute_write(regs, old_value=10) == 11
+
+
+class TestRegisterInstructions:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (BinOp.ADD, 2, 3, 5),
+            (BinOp.SUB, 2, 3, -1),
+            (BinOp.MUL, 2, 3, 6),
+            (BinOp.AND, 6, 3, 2),
+            (BinOp.OR, 6, 3, 7),
+            (BinOp.XOR, 6, 3, 5),
+        ],
+    )
+    def test_binop_table(self, op, a, b, expected):
+        assert op.evaluate(a, b) == expected
+
+    def test_arith_applies(self):
+        regs = RegisterFile({"a": 4})
+        Arith(BinOp.ADD, "d", "a", 1).apply(regs)
+        assert regs.read("d") == 5
+
+    def test_mov(self):
+        regs = RegisterFile({"s": 7})
+        Mov("d", "s").apply(regs)
+        assert regs.read("d") == 7
+        Mov("d", 2).apply(regs)
+        assert regs.read("d") == 2
+
+    def test_nop_changes_nothing(self):
+        regs = RegisterFile({"a": 1})
+        Nop().apply(regs)
+        assert regs.as_dict() == {"a": 1}
+
+
+class TestControlFlow:
+    @pytest.mark.parametrize(
+        "cond,a,b,expected",
+        [
+            (Condition.EQ, 1, 1, True),
+            (Condition.EQ, 1, 2, False),
+            (Condition.NE, 1, 2, True),
+            (Condition.LT, 1, 2, True),
+            (Condition.LT, 2, 2, False),
+            (Condition.LE, 2, 2, True),
+            (Condition.GT, 3, 2, True),
+            (Condition.GE, 2, 2, True),
+            (Condition.GE, 1, 2, False),
+        ],
+    )
+    def test_condition_table(self, cond, a, b, expected):
+        assert cond.holds(a, b) == expected
+
+    def test_branch_taken_reads_registers(self):
+        regs = RegisterFile({"r": 0})
+        assert Branch(Condition.EQ, "r", 0, "target").taken(regs)
+        regs.write("r", 1)
+        assert not Branch(Condition.EQ, "r", 0, "target").taken(regs)
+
+    def test_jump_carries_target(self):
+        assert Jump("loop").target == "loop"

@@ -1,0 +1,105 @@
+"""Unit tests for memory operations and the conflict relation."""
+
+import pytest
+
+from repro.core.operation import INITIAL_VALUE, MemoryOp, OpKind, conflict
+
+
+def make_op(kind, loc="x", proc=0, **kwargs):
+    return MemoryOp(proc=proc, kind=kind, location=loc, **kwargs)
+
+
+class TestOpKind:
+    def test_sync_membership(self):
+        assert OpKind.SYNC_READ.is_sync
+        assert OpKind.SYNC_WRITE.is_sync
+        assert OpKind.SYNC_RMW.is_sync
+        assert not OpKind.READ.is_sync
+        assert not OpKind.WRITE.is_sync
+
+    def test_reads_memory(self):
+        assert OpKind.READ.reads_memory
+        assert OpKind.SYNC_READ.reads_memory
+        assert OpKind.SYNC_RMW.reads_memory
+        assert not OpKind.WRITE.reads_memory
+        assert not OpKind.SYNC_WRITE.reads_memory
+
+    def test_writes_memory(self):
+        assert OpKind.WRITE.writes_memory
+        assert OpKind.SYNC_WRITE.writes_memory
+        assert OpKind.SYNC_RMW.writes_memory
+        assert not OpKind.READ.writes_memory
+        assert not OpKind.SYNC_READ.writes_memory
+
+    def test_rmw_both_components(self):
+        assert OpKind.SYNC_RMW.reads_memory and OpKind.SYNC_RMW.writes_memory
+
+
+class TestMemoryOp:
+    def test_uids_are_unique(self):
+        a = make_op(OpKind.READ)
+        b = make_op(OpKind.READ)
+        assert a.uid != b.uid
+        assert a != b
+
+    def test_identity_hash(self):
+        a = make_op(OpKind.WRITE)
+        assert a in {a}
+        assert hash(a) == hash(a.uid)
+
+    def test_static_id(self):
+        op = make_op(OpKind.READ, proc=2, thread_pos=5, occurrence=3)
+        assert op.static_id() == (2, 5, 3)
+
+    def test_hypothetical_procs(self):
+        init = make_op(OpKind.WRITE, proc=MemoryOp.INIT_PROC)
+        final = make_op(OpKind.READ, proc=MemoryOp.FINAL_PROC)
+        real = make_op(OpKind.READ, proc=0)
+        assert init.is_hypothetical
+        assert final.is_hypothetical
+        assert not real.is_hypothetical
+
+    def test_kind_delegation(self):
+        op = make_op(OpKind.SYNC_RMW)
+        assert op.is_sync and op.reads_memory and op.writes_memory
+
+    def test_initial_value_is_zero(self):
+        assert INITIAL_VALUE == 0
+
+
+class TestConflict:
+    """Section 4: same location and not both reads."""
+
+    def test_write_write_same_location(self):
+        assert conflict(make_op(OpKind.WRITE), make_op(OpKind.WRITE))
+
+    def test_read_write_same_location(self):
+        assert conflict(make_op(OpKind.READ), make_op(OpKind.WRITE))
+        assert conflict(make_op(OpKind.WRITE), make_op(OpKind.READ))
+
+    def test_read_read_never_conflicts(self):
+        assert not conflict(make_op(OpKind.READ), make_op(OpKind.READ))
+
+    def test_sync_reads_do_not_conflict(self):
+        assert not conflict(make_op(OpKind.SYNC_READ), make_op(OpKind.SYNC_READ))
+        assert not conflict(make_op(OpKind.READ), make_op(OpKind.SYNC_READ))
+
+    def test_sync_write_conflicts_with_read(self):
+        assert conflict(make_op(OpKind.SYNC_WRITE), make_op(OpKind.READ))
+
+    def test_rmw_conflicts_with_everything_but_nothing_cross_location(self):
+        rmw = make_op(OpKind.SYNC_RMW, loc="x")
+        assert conflict(rmw, make_op(OpKind.READ, loc="x"))
+        assert conflict(rmw, make_op(OpKind.SYNC_RMW, loc="x"))
+        assert not conflict(rmw, make_op(OpKind.WRITE, loc="y"))
+
+    def test_different_locations_never_conflict(self):
+        assert not conflict(
+            make_op(OpKind.WRITE, loc="x"), make_op(OpKind.WRITE, loc="y")
+        )
+
+    def test_conflict_is_symmetric(self):
+        for k1 in OpKind:
+            for k2 in OpKind:
+                a, b = make_op(k1), make_op(k2)
+                assert conflict(a, b) == conflict(b, a)

@@ -1,0 +1,154 @@
+"""Unit tests for programs, threads and the builder."""
+
+import pytest
+
+from repro.core.instructions import Branch, Condition, Jump, Load, Store
+from repro.core.program import (
+    Program,
+    ProgramError,
+    Thread,
+    ThreadBuilder,
+    straightline,
+)
+
+
+class TestThread:
+    def test_label_resolution(self):
+        thread = Thread("T", (Jump("end"), Load("r", "x")), {"end": 2})
+        assert thread.target_of(thread.instructions[0]) == 2
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ProgramError):
+            Thread("T", (Load("r", "x"),), {"bad": 5})
+
+    def test_label_at_end_allowed(self):
+        Thread("T", (Load("r", "x"),), {"end": 1})
+
+    def test_undefined_branch_target_rejected(self):
+        with pytest.raises(ProgramError):
+            Thread("T", (Branch(Condition.EQ, "r", 0, "nowhere"),), {})
+
+    def test_memory_locations(self):
+        thread = Thread("T", (Load("r", "x"), Store("y", 1)), {})
+        assert thread.memory_locations() == {"x", "y"}
+
+    def test_len(self):
+        assert len(straightline("T", [Load("r", "x")])) == 1
+
+
+class TestProgram:
+    def test_requires_a_thread(self):
+        with pytest.raises(ProgramError):
+            Program([])
+
+    def test_duplicate_thread_names_rejected(self):
+        t = straightline("T", [Load("r", "x")])
+        with pytest.raises(ProgramError):
+            Program([t, straightline("T", [Load("r", "y")])])
+
+    def test_num_procs(self):
+        t0 = straightline("P0", [Load("r", "x")])
+        t1 = straightline("P1", [Load("r", "x")])
+        assert Program([t0, t1]).num_procs == 2
+
+    def test_locations_includes_initial_memory(self):
+        t = straightline("P0", [Load("r", "x")])
+        program = Program([t], initial_memory={"z": 5})
+        assert program.locations() == {"x", "z"}
+
+    def test_initial_value_default_zero(self):
+        t = straightline("P0", [Load("r", "x")])
+        program = Program([t], initial_memory={"x": 3})
+        assert program.initial_value("x") == 3
+        assert program.initial_value("y") == 0
+
+    def test_threads_are_tuple(self):
+        t = straightline("P0", [Load("r", "x")])
+        assert isinstance(Program([t]).threads, tuple)
+
+
+class TestThreadBuilder:
+    def test_fluent_chain_builds_in_order(self):
+        thread = (
+            ThreadBuilder("P0").store("x", 1).load("r1", "y").nop().build()
+        )
+        assert len(thread) == 3
+        assert isinstance(thread.instructions[0], Store)
+        assert isinstance(thread.instructions[1], Load)
+
+    def test_labels_point_at_next_instruction(self):
+        thread = (
+            ThreadBuilder("P0")
+            .load("a", "x")
+            .label("mid")
+            .load("b", "y")
+            .build()
+        )
+        assert thread.labels["mid"] == 1
+
+    def test_duplicate_label_rejected(self):
+        builder = ThreadBuilder("P0").label("l")
+        with pytest.raises(ProgramError):
+            builder.label("l")
+
+    def test_spin_loop_shape(self):
+        thread = (
+            ThreadBuilder("P0")
+            .label("spin")
+            .test_and_set("t", "lock")
+            .bne("t", 0, "spin")
+            .build()
+        )
+        assert thread.labels["spin"] == 0
+        branch = thread.instructions[1]
+        assert isinstance(branch, Branch)
+        assert thread.target_of(branch) == 0
+
+    def test_all_branch_helpers(self):
+        thread = (
+            ThreadBuilder("P0")
+            .label("l")
+            .beq("a", 0, "l")
+            .bne("a", 0, "l")
+            .blt("a", 0, "l")
+            .bge("a", 0, "l")
+            .build()
+        )
+        conds = [i.cond for i in thread.instructions]
+        assert conds == [Condition.EQ, Condition.NE, Condition.LT, Condition.GE]
+
+    def test_nop_count(self):
+        assert len(ThreadBuilder("P0").nop(5).build()) == 5
+
+    def test_position_property(self):
+        builder = ThreadBuilder("P0")
+        assert builder.position == 0
+        builder.nop(3)
+        assert builder.position == 3
+
+    def test_arithmetic_helpers(self):
+        thread = (
+            ThreadBuilder("P0")
+            .mov("a", 1)
+            .add("b", "a", 2)
+            .sub("c", "b", 1)
+            .mul("d", "c", 3)
+            .build()
+        )
+        assert len(thread) == 4
+
+    def test_sync_helpers_produce_sync_kinds(self):
+        thread = (
+            ThreadBuilder("P0")
+            .sync_load("r", "s")
+            .sync_store("s", 0)
+            .test_and_set("t", "s")
+            .swap("u", "s", 1)
+            .fetch_and_add("v", "s", 1)
+            .build()
+        )
+        assert all(i.kind.is_sync for i in thread.instructions)
+
+    def test_halt_and_jump(self):
+        thread = ThreadBuilder("P0").label("top").jump("top").halt().build()
+        assert thread.target_of(thread.instructions[0]) == 0

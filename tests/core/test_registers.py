@@ -1,0 +1,74 @@
+"""Unit tests for register files."""
+
+import pytest
+
+from repro.core.registers import RegisterFile
+
+
+class TestRegisterFile:
+    def test_unwritten_reads_zero(self):
+        regs = RegisterFile()
+        assert regs.read("r1") == 0
+
+    def test_write_then_read(self):
+        regs = RegisterFile()
+        regs.write("r1", 42)
+        assert regs.read("r1") == 42
+
+    def test_initial_mapping(self):
+        regs = RegisterFile({"a": 1, "b": 2})
+        assert regs.read("a") == 1
+        assert regs.read("b") == 2
+
+    def test_non_int_rejected(self):
+        regs = RegisterFile()
+        with pytest.raises(TypeError):
+            regs.write("r1", "nope")
+
+    def test_snapshot_drops_zeros(self):
+        regs = RegisterFile()
+        regs.write("r1", 0)
+        regs.write("r2", 7)
+        assert regs.snapshot() == (("r2", 7),)
+
+    def test_snapshot_sorted_and_hashable(self):
+        regs = RegisterFile({"z": 1, "a": 2})
+        snap = regs.snapshot()
+        assert snap == (("a", 2), ("z", 1))
+        hash(snap)
+
+    def test_explicit_zero_equals_default(self):
+        a = RegisterFile()
+        b = RegisterFile()
+        b.write("r1", 0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_equality_and_inequality(self):
+        a = RegisterFile({"r": 1})
+        b = RegisterFile({"r": 1})
+        c = RegisterFile({"r": 2})
+        assert a == b
+        assert a != c
+        assert a != "not a register file"
+
+    def test_copy_is_independent(self):
+        a = RegisterFile({"r": 1})
+        b = a.copy()
+        b.write("r", 9)
+        assert a.read("r") == 1
+        assert b.read("r") == 9
+
+    def test_as_dict_omits_zeros(self):
+        regs = RegisterFile({"a": 0, "b": 3})
+        assert regs.as_dict() == {"b": 3}
+
+    def test_iteration(self):
+        regs = RegisterFile({"a": 1, "b": 2})
+        assert sorted(regs) == ["a", "b"]
+
+    def test_negative_values_kept(self):
+        regs = RegisterFile()
+        regs.write("r", -5)
+        assert regs.read("r") == -5
+        assert regs.snapshot() == (("r", -5),)

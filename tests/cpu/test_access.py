@@ -1,0 +1,71 @@
+"""Unit tests for the in-flight memory access lifecycle."""
+
+import pytest
+
+from repro.core.operation import OpKind
+from repro.cpu.access import MemoryAccess
+
+
+def make_access(kind=OpKind.READ):
+    return MemoryAccess(proc=0, kind=kind, location="x")
+
+
+class TestLifecycle:
+    def test_value_delivery(self):
+        access = make_access()
+        seen = []
+        access.on_value(lambda a: seen.append(a.value))
+        access.deliver_value(7, now=5)
+        assert access.value == 7
+        assert access.has_value
+        assert seen == [7]
+
+    def test_commit_then_gp(self):
+        access = make_access()
+        access.mark_committed(now=3)
+        access.mark_globally_performed(now=9)
+        assert access.commit_time == 3
+        assert access.gp_time == 9
+        assert access.committed and access.globally_performed
+
+    def test_gp_before_commit_asserts(self):
+        access = make_access()
+        with pytest.raises(AssertionError):
+            access.mark_globally_performed(now=1)
+
+    def test_double_events_assert(self):
+        access = make_access()
+        access.deliver_value(1, now=0)
+        with pytest.raises(AssertionError):
+            access.deliver_value(2, now=1)
+        access.mark_committed(now=1)
+        with pytest.raises(AssertionError):
+            access.mark_committed(now=2)
+
+    def test_late_subscriber_fires_immediately(self):
+        access = make_access()
+        access.mark_committed(now=2)
+        seen = []
+        access.on_commit(lambda a: seen.append(a.commit_time))
+        assert seen == [2]
+
+    def test_listener_order_preserved(self):
+        access = make_access()
+        log = []
+        access.on_value(lambda a: log.append("first"))
+        access.on_value(lambda a: log.append("second"))
+        access.deliver_value(1, now=0)
+        assert log == ["first", "second"]
+
+    def test_gp_listeners(self):
+        access = make_access()
+        log = []
+        access.on_globally_performed(lambda a: log.append(a.gp_time))
+        access.mark_committed(now=1)
+        access.mark_globally_performed(now=4)
+        assert log == [4]
+
+    def test_repr_mentions_state(self):
+        access = make_access()
+        access.deliver_value(3, now=0)
+        assert "v=3" in repr(access)

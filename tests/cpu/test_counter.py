@@ -1,0 +1,87 @@
+"""Unit tests for the outstanding-access counter."""
+
+import pytest
+
+from repro.cpu.counter import OutstandingCounter
+
+
+class TestOutstandingCounter:
+    def test_starts_at_zero(self):
+        counter = OutstandingCounter()
+        assert counter.value == 0
+        assert counter.zero
+
+    def test_increment_decrement(self):
+        counter = OutstandingCounter()
+        counter.increment()
+        counter.increment()
+        assert counter.value == 2
+        counter.decrement()
+        assert counter.value == 1
+        assert not counter.zero
+
+    def test_underflow_rejected(self):
+        counter = OutstandingCounter()
+        with pytest.raises(RuntimeError):
+            counter.decrement()
+
+    def test_when_zero_fires_immediately_if_zero(self):
+        counter = OutstandingCounter()
+        fired = []
+        counter.when_zero(lambda: fired.append(1))
+        assert fired == [1]
+
+    def test_when_zero_fires_on_transition(self):
+        counter = OutstandingCounter()
+        counter.increment()
+        fired = []
+        counter.when_zero(lambda: fired.append(1))
+        assert fired == []
+        counter.decrement()
+        assert fired == [1]
+
+    def test_when_zero_is_one_shot(self):
+        counter = OutstandingCounter()
+        counter.increment()
+        fired = []
+        counter.when_zero(lambda: fired.append(1))
+        counter.decrement()
+        counter.increment()
+        counter.decrement()
+        assert fired == [1]
+
+    def test_intermediate_decrements_do_not_fire(self):
+        counter = OutstandingCounter()
+        counter.increment()
+        counter.increment()
+        fired = []
+        counter.when_zero(lambda: fired.append(1))
+        counter.decrement()
+        assert fired == []
+        counter.decrement()
+        assert fired == [1]
+
+    def test_multiple_callbacks_all_fire(self):
+        counter = OutstandingCounter()
+        counter.increment()
+        fired = []
+        counter.when_zero(lambda: fired.append("a"))
+        counter.when_zero(lambda: fired.append("b"))
+        counter.decrement()
+        assert fired == ["a", "b"]
+
+    def test_callback_may_reregister(self):
+        counter = OutstandingCounter()
+        counter.increment()
+        fired = []
+
+        def again():
+            fired.append(len(fired))
+            if len(fired) == 1:
+                counter.increment()
+                counter.when_zero(again)
+                counter.decrement()
+
+        counter.when_zero(again)
+        counter.decrement()
+        assert fired == [0, 1]

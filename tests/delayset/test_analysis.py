@@ -1,0 +1,138 @@
+"""Unit tests for the Shasha-Snir delay-set analysis."""
+
+import pytest
+
+from repro.core.program import Program, ThreadBuilder
+from repro.delayset.analysis import (
+    NotStraightLineError,
+    conflict_graph,
+    delay_pairs,
+    describe_delay_set,
+    minimal_delay_pairs,
+    static_accesses,
+)
+
+
+def dekker() -> Program:
+    t0 = ThreadBuilder("P0").store("x", 1).load("r1", "y").build()
+    t1 = ThreadBuilder("P1").store("y", 1).load("r2", "x").build()
+    return Program([t0, t1], name="dekker")
+
+
+def message_passing() -> Program:
+    t0 = ThreadBuilder("P0").store("x", 42).store("f", 1).build()
+    t1 = ThreadBuilder("P1").load("r1", "f").load("r2", "x").build()
+    return Program([t0, t1], name="mp")
+
+
+def independent() -> Program:
+    t0 = ThreadBuilder("P0").store("a", 1).store("b", 1).build()
+    t1 = ThreadBuilder("P1").store("c", 1).load("r", "c").build()
+    return Program([t0, t1], name="independent")
+
+
+class TestStaticAccesses:
+    def test_extraction(self):
+        per_thread = static_accesses(dekker())
+        assert [len(t) for t in per_thread] == [2, 2]
+        assert per_thread[0][0].location == "x"
+        assert per_thread[0][0].kind.writes_memory
+
+    def test_local_instructions_skipped(self):
+        program = Program(
+            [ThreadBuilder("P0").mov("a", 1).store("x", "a").nop().build()]
+        )
+        per_thread = static_accesses(program)
+        assert len(per_thread[0]) == 1
+        assert per_thread[0][0].pos == 1
+
+    def test_branches_rejected(self):
+        program = Program(
+            [ThreadBuilder("P0").label("l").load("r", "x").beq("r", 0, "l").build()]
+        )
+        with pytest.raises(NotStraightLineError):
+            static_accesses(program)
+
+
+class TestConflictGraph:
+    def test_dekker_graph_shape(self):
+        graph = conflict_graph(dekker())
+        assert graph.number_of_nodes() == 4
+        program_edges = [
+            e for e in graph.edges(data=True) if e[2]["kind"] == "program"
+        ]
+        conflict_edges = [
+            e for e in graph.edges(data=True) if e[2]["kind"] == "conflict"
+        ]
+        assert len(program_edges) == 2
+        assert len(conflict_edges) == 4  # two conflicts, both directions
+
+    def test_no_conflict_edges_for_disjoint_locations(self):
+        graph = conflict_graph(independent())
+        assert all(d["kind"] == "program" for _, _, d in graph.edges(data=True))
+
+
+class TestDelayPairs:
+    def test_dekker_needs_both_pairs(self):
+        delays = delay_pairs(dekker())
+        assert len(delays) == 2
+        procs = {a.proc for a, _ in delays}
+        assert procs == {0, 1}
+
+    def test_mp_needs_both_pairs(self):
+        delays = delay_pairs(message_passing())
+        assert len(delays) == 2
+
+    def test_independent_program_needs_none(self):
+        assert delay_pairs(independent()) == set()
+
+    def test_single_thread_needs_none(self):
+        program = Program(
+            [ThreadBuilder("P0").store("x", 1).load("r", "x").build()]
+        )
+        assert delay_pairs(program) == set()
+
+    def test_one_sided_conflict_needs_none(self):
+        """P1 only reads x once: no cycle, no delays."""
+        program = Program(
+            [
+                ThreadBuilder("P0").store("x", 1).store("y", 1).build(),
+                ThreadBuilder("P1").load("r", "x").build(),
+            ]
+        )
+        assert delay_pairs(program) == set()
+
+    def test_iriw_reader_pairs_delayed(self):
+        t0 = ThreadBuilder("P0").store("x", 1).build()
+        t1 = ThreadBuilder("P1").store("y", 1).build()
+        t2 = ThreadBuilder("P2").load("r1", "x").load("r2", "y").build()
+        t3 = ThreadBuilder("P3").load("r3", "y").load("r4", "x").build()
+        delays = delay_pairs(Program([t0, t1, t2, t3], name="iriw"))
+        delayed_procs = {a.proc for a, _ in delays}
+        assert delayed_procs == {2, 3}  # only the readers have po pairs
+
+
+class TestMinimalDelayPairs:
+    def test_minimal_subset_of_sound(self):
+        for program in (dekker(), message_passing(), independent()):
+            minimal = minimal_delay_pairs(program)
+            sound = delay_pairs(program)
+            assert minimal <= sound
+
+    def test_dekker_minimal_equals_sound(self):
+        assert minimal_delay_pairs(dekker()) == delay_pairs(dekker())
+
+    def test_mp_minimal_equals_sound(self):
+        assert minimal_delay_pairs(message_passing()) == delay_pairs(
+            message_passing()
+        )
+
+
+class TestDescribe:
+    def test_empty(self):
+        assert "empty" in describe_delay_set(set())
+
+    def test_nonempty_lists_pairs(self):
+        text = describe_delay_set(delay_pairs(dekker()))
+        assert "2 pair(s)" in text
+        assert "globally perform" in text

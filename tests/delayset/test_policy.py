@@ -1,0 +1,115 @@
+"""Integration tests for hardware enforcement of delay sets.
+
+The Shasha-Snir guarantee: enforcing the delay pairs makes *every*
+execution of the analysed program sequentially consistent — even on the
+relaxed machines where the unconstrained program visibly violates SC.
+"""
+
+import pytest
+
+from repro.core.program import Program, ThreadBuilder
+from repro.delayset.analysis import delay_pairs, minimal_delay_pairs
+from repro.delayset.policy import DelayPolicy, delay_policy_factory
+from repro.memsys.config import FIGURE1_CONFIGS, NET_CACHE, NET_NOCACHE
+from repro.memsys.system import run_program
+from repro.models.policies import RelaxedPolicy, SCPolicy
+from repro.sc.verifier import SCVerifier
+from repro.sim.stats import StallReason
+
+
+def dekker() -> Program:
+    t0 = ThreadBuilder("P0").store("x", 1).load("r1", "y").build()
+    t1 = ThreadBuilder("P1").store("y", 1).load("r2", "x").build()
+    return Program([t0, t1], name="dekker")
+
+
+def mp() -> Program:
+    t0 = ThreadBuilder("P0").store("x", 42).store("f", 1).build()
+    t1 = ThreadBuilder("P1").load("r1", "f").load("r2", "x").build()
+    return Program([t0, t1], name="mp")
+
+
+@pytest.fixture(scope="module")
+def verifier():
+    return SCVerifier()
+
+
+class TestDelayEnforcementGivesSC:
+    @pytest.mark.parametrize("config", FIGURE1_CONFIGS, ids=lambda c: c.name)
+    @pytest.mark.parametrize("make_program", [dekker, mp], ids=["dekker", "mp"])
+    def test_all_outcomes_sc(self, verifier, config, make_program):
+        program = make_program()
+        sc_set = verifier.sc_result_set(program)
+        factory = delay_policy_factory(program)
+        for seed in range(40):
+            run = run_program(program, factory(), config, seed=seed)
+            assert run.completed
+            assert run.observable in sc_set, (config.name, seed)
+
+    def test_minimal_set_also_suffices(self, verifier):
+        program = dekker()
+        sc_set = verifier.sc_result_set(program)
+        pairs = minimal_delay_pairs(program)
+        for seed in range(40):
+            run = run_program(
+                program, DelayPolicy(program, pairs), NET_NOCACHE, seed=seed
+            )
+            assert run.completed
+            assert run.observable in sc_set
+
+    def test_relaxed_baseline_really_violates(self, verifier):
+        """Sanity: without the delays the same machine shows violations."""
+        program = dekker()
+        sc_set = verifier.sc_result_set(program)
+        violated = any(
+            run_program(program, RelaxedPolicy(), NET_NOCACHE, seed=seed).observable
+            not in sc_set
+            for seed in range(40)
+        )
+        assert violated
+
+
+class TestDelayIsCheaperThanSC:
+    def test_unrelated_work_overlaps(self):
+        """A program with conflicts on x/y but lots of private traffic:
+        the delay policy only serializes the two critical pairs, so it
+        beats blanket SC."""
+        t0 = ThreadBuilder("P0")
+        t1 = ThreadBuilder("P1")
+        for i in range(6):
+            t0.store(f"p0_{i}", i + 1)
+            t1.store(f"p1_{i}", i + 1)
+        t0.store("x", 1).load("r1", "y")
+        t1.store("y", 1).load("r2", "x")
+        program = Program([t0.build(), t1.build()], name="padded_dekker")
+
+        config = NET_CACHE.with_overrides(network_base_latency=12, network_jitter=2)
+        factory = delay_policy_factory(program)
+        delay_cycles = [
+            run_program(program, factory(), config, seed=s).cycles
+            for s in range(5)
+        ]
+        sc_cycles = [
+            run_program(program, SCPolicy(), config, seed=s).cycles
+            for s in range(5)
+        ]
+        assert sum(delay_cycles) < sum(sc_cycles)
+
+    def test_stalls_attributed_to_delay_pairs(self):
+        program = dekker()
+        config = NET_CACHE.with_overrides(network_base_latency=12, network_jitter=0)
+        factory = delay_policy_factory(program)
+        run = run_program(program, factory(), config, seed=1)
+        assert run.stats.stall_cycles(reason=StallReason.DELAY_PAIR) > 0
+
+    def test_empty_delay_set_means_no_delay_stalls(self):
+        program = Program(
+            [
+                ThreadBuilder("P0").store("a", 1).store("b", 1).build(),
+                ThreadBuilder("P1").store("c", 1).build(),
+            ]
+        )
+        factory = delay_policy_factory(program)
+        run = run_program(program, factory(), NET_CACHE, seed=1)
+        assert run.completed
+        assert run.stats.stall_cycles(reason=StallReason.DELAY_PAIR) == 0

@@ -1,0 +1,189 @@
+"""Tests for the Eraser-style lockset detector."""
+
+import pytest
+
+from repro.drf.lockset import find_lockset_violations, lockset_clean
+from repro.litmus.catalog import fig1_dekker
+from repro.sc.executor import run_schedule
+from repro.sc.interleaving import enumerate_executions
+from repro.workloads.locks import critical_section_program
+from repro.workloads.random_programs import random_racy_program
+
+
+def first_execution(program):
+    return next(iter(enumerate_executions(program, max_executions=1)))
+
+
+class TestCleanPrograms:
+    def test_lock_protected_counter_clean(self):
+        program = critical_section_program(2, 2)
+        for execution in enumerate_executions(program, max_executions=20):
+            assert lockset_clean(execution), "false positive on locked program"
+
+    def test_single_threaded_initialization_clean(self):
+        """The Virgin -> Exclusive states absorb init-before-sharing."""
+        from repro.core.program import Program, ThreadBuilder
+
+        t0 = (
+            ThreadBuilder("P0")
+            .store("x", 1)
+            .store("x", 2)  # repeated unlocked writes by the initializer
+            .build()
+        )
+        program = Program([t0])
+        assert lockset_clean(first_execution(program))
+
+    def test_read_sharing_clean(self):
+        """Concurrent readers never reach Shared-Modified."""
+        from repro.core.program import Program, ThreadBuilder
+
+        t0 = ThreadBuilder("P0").store("x", 1).build()
+        t1 = ThreadBuilder("P1").load("r1", "x").build()
+        t2 = ThreadBuilder("P2").load("r2", "x").build()
+        program = Program([t0, t1, t2])
+        # Schedule: P0 initializes first, then both readers.
+        execution = run_schedule(program, [0, 1, 2])
+        assert lockset_clean(execution)
+
+
+class TestRacyPrograms:
+    def test_dekker_write_read_is_a_documented_false_negative(self):
+        """Eraser's state machine only reports in Shared-Modified: a
+        cross-thread write-then-read without a subsequent write stays in
+        Shared and is missed — the happens-before detector catches it."""
+        from repro.drf.races import find_races
+
+        program = fig1_dekker().program
+        execution = run_schedule(program, [0, 1, 0, 1])
+        assert find_lockset_violations(execution) == []  # Eraser misses it
+        assert find_races(execution)  # hb does not
+
+    def test_dekker_with_write_back_flagged(self):
+        """Extend Dekker with a second write: Shared-Modified is reached
+        and the empty lockset reported."""
+        from repro.core.program import Program, ThreadBuilder
+
+        t0 = ThreadBuilder("P0").store("x", 1).load("r1", "y").build()
+        t1 = ThreadBuilder("P1").load("r2", "x").store("x", 2).build()
+        program = Program([t0, t1])
+        execution = run_schedule(program, [0, 1, 1, 0])
+        violations = find_lockset_violations(execution)
+        assert [v.location for v in violations] == ["x"]
+        assert "no common lock" in violations[0].describe()
+
+    def test_unlocked_shared_counter_flagged(self):
+        from repro.core.program import Program, ThreadBuilder
+
+        def worker(name):
+            return (
+                ThreadBuilder(name)
+                .load("c", "count")
+                .add("c", "c", 1)
+                .store("count", "c")
+                .build()
+            )
+
+        program = Program([worker("P0"), worker("P1")])
+        execution = run_schedule(program, [0, 0, 0, 1, 1, 1])
+        violations = find_lockset_violations(execution)
+        assert [v.location for v in violations] == ["count"]
+
+    def test_schedule_insensitivity(self):
+        """The signature property: even a serialized (race-free-looking)
+        interleaving of an unlocked counter is flagged, because no common
+        lock protects it."""
+        from repro.drf.races import find_races
+        from repro.core.program import Program, ThreadBuilder
+
+        def worker(name):
+            return (
+                ThreadBuilder(name).load("c", "count").store("count", 1).build()
+            )
+
+        program = Program([worker("P0"), worker("P1")])
+        execution = run_schedule(program, [0, 0, 1, 1])
+        # hb sees the races too here; the point is lockset flags the
+        # *discipline*, not the interleaving:
+        assert find_lockset_violations(execution)
+
+    def test_mixed_locked_and_unlocked_access_flagged(self):
+        """One thread locks, the other doesn't: candidate set drains."""
+        from repro.core.program import Program, ThreadBuilder
+        from repro.workloads.locks import acquire_test_and_set, release
+
+        locked = ThreadBuilder("P0")
+        acquire_test_and_set(locked, "L")
+        locked.store("x", 1)
+        release(locked, "L")
+        unlocked = ThreadBuilder("P1").store("x", 2).build()
+        program = Program([locked.build(), unlocked])
+        execution = run_schedule(program, [0, 0, 0, 1])
+        violations = find_lockset_violations(execution)
+        assert [v.location for v in violations] == ["x"]
+
+
+class TestLockRecognition:
+    def test_failed_tas_does_not_acquire(self):
+        from repro.core.program import Program, ThreadBuilder
+
+        t0 = (
+            ThreadBuilder("P0").test_and_set("t", "L").store("x", 1).build()
+        )
+        program = Program([t0], initial_memory={"L": 1})  # lock already held
+        execution = run_schedule(program, [0, 0])
+        # P0's TAS failed (read 1): it holds nothing; x stays Exclusive
+        # (single-threaded), so still clean.
+        assert lockset_clean(execution)
+
+    def test_two_locks_intersection(self):
+        """Accesses under different locks drain the candidate set once
+        both threads have accessed in the shared states (Eraser refines
+        C(v) only after leaving Exclusive, so P0 must come back around)."""
+        from repro.core.program import Program, ThreadBuilder
+        from repro.workloads.locks import acquire_test_and_set, release
+
+        def worker(name, lock, rounds=2):
+            builder = ThreadBuilder(name)
+            for _ in range(rounds):
+                acquire_test_and_set(builder, lock)
+                builder.load("c", "x").store("x", 1)
+                release(builder, lock)
+            return builder.build()
+
+        program = Program([worker("P0", "L1"), worker("P1", "L2")])
+        # P0 round 1, P1 round 1, P0 round 2: the second P0 write
+        # intersects {L2} with {L1} -> empty.
+        execution = run_schedule(program, [0] * 5 + [1] * 5 + [0] * 5 + [1] * 5)
+        violations = find_lockset_violations(execution)
+        assert [v.location for v in violations] == ["x"]
+
+    def test_explicit_lock_locations_exempted(self):
+        from repro.core.program import Program, ThreadBuilder
+
+        t0 = ThreadBuilder("P0").store("meta", 1).build()
+        t1 = ThreadBuilder("P1").store("meta", 2).build()
+        program = Program([t0, t1])
+        execution = run_schedule(program, [0, 1])
+        assert find_lockset_violations(execution) != []
+        assert (
+            find_lockset_violations(execution, lock_locations={"meta"}) == []
+        )
+
+
+class TestAgainstRandomPrograms:
+    def test_racy_generator_usually_flagged(self):
+        flagged = 0
+        for seed in range(10):
+            program = random_racy_program(seed, num_procs=2, ops_per_proc=4)
+            execution = first_execution(program)
+            if find_lockset_violations(execution):
+                flagged += 1
+        assert flagged >= 6
+
+    def test_drf0_generator_clean(self):
+        from repro.workloads.random_programs import random_drf0_program
+
+        for seed in range(8):
+            program = random_drf0_program(seed)
+            execution = first_execution(program)
+            assert lockset_clean(execution), seed

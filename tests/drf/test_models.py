@@ -1,0 +1,45 @@
+"""Unit tests for synchronization models."""
+
+from repro.core.operation import MemoryOp, OpKind
+from repro.drf.models import DRF0, DRF0_R
+from repro.hb.relations import drf0_sync_edge, writer_to_reader_sync_edge
+
+
+def op(kind):
+    return MemoryOp(proc=0, kind=kind, location="s")
+
+
+class TestDRF0Model:
+    def test_name(self):
+        assert DRF0.name == "DRF0"
+
+    def test_sync_classification(self):
+        assert DRF0.is_sync(op(OpKind.SYNC_READ))
+        assert DRF0.is_sync(op(OpKind.SYNC_WRITE))
+        assert DRF0.is_sync(op(OpKind.SYNC_RMW))
+        assert not DRF0.is_sync(op(OpKind.READ))
+        assert not DRF0.is_sync(op(OpKind.WRITE))
+
+    def test_edge_rule_orders_all_sync_pairs(self):
+        assert DRF0.sync_edge_rule is drf0_sync_edge
+        assert drf0_sync_edge(op(OpKind.SYNC_READ), op(OpKind.SYNC_READ))
+        assert drf0_sync_edge(op(OpKind.SYNC_WRITE), op(OpKind.SYNC_WRITE))
+
+
+class TestDRF0RModel:
+    def test_edge_rule_requires_writer_then_reader(self):
+        assert DRF0_R.sync_edge_rule is writer_to_reader_sync_edge
+        assert writer_to_reader_sync_edge(
+            op(OpKind.SYNC_WRITE), op(OpKind.SYNC_RMW)
+        )
+        assert writer_to_reader_sync_edge(op(OpKind.SYNC_RMW), op(OpKind.SYNC_READ))
+        assert not writer_to_reader_sync_edge(
+            op(OpKind.SYNC_READ), op(OpKind.SYNC_RMW)
+        )
+        assert not writer_to_reader_sync_edge(
+            op(OpKind.SYNC_WRITE), op(OpKind.SYNC_WRITE)
+        )
+
+    def test_same_sync_classification_as_drf0(self):
+        for kind in OpKind:
+            assert DRF0.is_sync(op(kind)) == DRF0_R.is_sync(op(kind))

@@ -1,0 +1,126 @@
+"""Unit tests for race detection, including the Figure 2 executions."""
+
+from repro.core.execution import Execution
+from repro.core.operation import MemoryOp, OpKind
+from repro.drf.figure2 import (
+    FIGURE2B_RACY_LOCATIONS,
+    figure2a_execution,
+    figure2b_execution,
+)
+from repro.drf.models import DRF0, DRF0_R
+from repro.drf.races import find_races, format_race_report, race_free
+
+
+def op(kind, loc, proc, read=None, written=None):
+    return MemoryOp(
+        proc=proc, kind=kind, location=loc, value_read=read, value_written=written
+    )
+
+
+class TestFindRaces:
+    def test_unsynchronized_conflict_is_a_race(self):
+        trace = Execution(
+            ops=[op(OpKind.WRITE, "x", 0, written=1), op(OpKind.READ, "x", 1, read=1)]
+        )
+        races = find_races(trace)
+        assert len(races) == 1
+        assert races[0].location == "x"
+        assert not race_free(trace)
+
+    def test_release_acquire_orders_the_conflict(self):
+        trace = Execution(
+            ops=[
+                op(OpKind.WRITE, "x", 0, written=1),
+                op(OpKind.SYNC_WRITE, "s", 0, written=1),
+                op(OpKind.SYNC_RMW, "s", 1, read=1, written=1),
+                op(OpKind.READ, "x", 1, read=1),
+            ]
+        )
+        assert race_free(trace)
+
+    def test_sync_accesses_to_same_location_never_race(self):
+        trace = Execution(
+            ops=[
+                op(OpKind.SYNC_WRITE, "s", 0, written=1),
+                op(OpKind.SYNC_RMW, "s", 1, read=1, written=1),
+            ]
+        )
+        assert race_free(trace)
+
+    def test_reads_never_race(self):
+        trace = Execution(
+            ops=[op(OpKind.READ, "x", 0, read=0), op(OpKind.READ, "x", 1, read=0)]
+        )
+        assert race_free(trace)
+
+    def test_sync_vs_data_on_same_location_races(self):
+        """A data read of a sync variable (barrier data-spin) is a race."""
+        trace = Execution(
+            ops=[
+                op(OpKind.SYNC_RMW, "bar", 0, read=0, written=1),
+                op(OpKind.READ, "bar", 1, read=1),
+            ]
+        )
+        races = find_races(trace)
+        assert len(races) == 1
+
+    def test_drf0r_stricter_than_drf0(self):
+        """A read-only sync used as a release orders under DRF0 but not
+        under the Section 6 refinement."""
+        trace = Execution(
+            ops=[
+                op(OpKind.WRITE, "x", 0, written=1),
+                op(OpKind.SYNC_READ, "s", 0, read=0),
+                op(OpKind.SYNC_RMW, "s", 1, read=0, written=1),
+                op(OpKind.READ, "x", 1, read=1),
+            ]
+        )
+        assert race_free(trace, model=DRF0)
+        assert not race_free(trace, model=DRF0_R)
+
+    def test_report_formatting(self):
+        trace = Execution(
+            ops=[op(OpKind.WRITE, "x", 0, written=1), op(OpKind.READ, "x", 1, read=1)]
+        )
+        races = find_races(trace)
+        report = format_race_report(races)
+        assert "1 data race" in report
+        assert "x" in report
+        assert format_race_report([]) == "no data races detected"
+
+
+class TestFigure2:
+    def test_figure2a_obeys_drf0(self):
+        assert race_free(figure2a_execution())
+
+    def test_figure2b_violates_drf0(self):
+        races = find_races(figure2b_execution())
+        assert races
+        assert {r.location for r in races} == set(FIGURE2B_RACY_LOCATIONS)
+
+    def test_figure2b_caption_conflicts(self):
+        """P0's accesses race P1's write of x; P2's and P4's writes of y race."""
+        races = find_races(figure2b_execution())
+        x_procs = {
+            frozenset((r.first.proc, r.second.proc))
+            for r in races
+            if r.location == "x"
+        }
+        y_procs = {
+            frozenset((r.first.proc, r.second.proc))
+            for r in races
+            if r.location == "y"
+        }
+        assert frozenset((0, 1)) in x_procs
+        assert frozenset((2, 4)) in y_procs
+
+    def test_figure2a_sync_chain_orders_end_to_end(self):
+        """The W(x) by P0 happens-before P3's final R(y) via the chain."""
+        from repro.hb.augment import augment_execution
+        from repro.hb.relations import build_happens_before
+
+        trace = figure2a_execution()
+        hb = build_happens_before(augment_execution(trace))
+        first = trace.ops[0]
+        last = trace.ops[-1]
+        assert hb.ordered(first, last)

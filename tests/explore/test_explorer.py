@@ -1,0 +1,109 @@
+"""Tests for delay-bounded systematic exploration."""
+
+import pytest
+
+from repro.core.program import Program, ThreadBuilder
+from repro.explore.explorer import explore_program, verify_weak_ordering
+from repro.litmus.catalog import fig1_dekker, fig1_dekker_all_sync
+from repro.models.policies import Def2Policy, RelaxedPolicy, SCPolicy
+from repro.sc.verifier import SCVerifier
+
+
+@pytest.fixture(scope="module")
+def verifier():
+    return SCVerifier()
+
+
+class TestExploreProgram:
+    def test_budget_zero_is_single_fifo_run(self):
+        program = fig1_dekker().program
+        report = explore_program(program, RelaxedPolicy, max_delays=0)
+        assert report.runs == 1
+        assert report.exhausted
+
+    def test_runs_grow_with_budget(self):
+        program = fig1_dekker().program
+        runs = [
+            explore_program(program, RelaxedPolicy, max_delays=d).runs
+            for d in (0, 1, 2)
+        ]
+        assert runs[0] < runs[1] < runs[2]
+
+    def test_outcome_sets_monotone_in_budget(self):
+        program = fig1_dekker(warm=True).executable_program()
+        smaller = explore_program(program, RelaxedPolicy, max_delays=1)
+        larger = explore_program(program, RelaxedPolicy, max_delays=2)
+        assert smaller.observables <= larger.observables
+
+    def test_finds_the_figure1_violation(self, verifier):
+        program = fig1_dekker(warm=True).executable_program()
+        sc_set = verifier.sc_result_set(program)
+        report = explore_program(program, RelaxedPolicy, max_delays=2)
+        assert any(outcome not in sc_set for outcome in report.observables)
+
+    def test_max_runs_truncation_reported(self):
+        program = fig1_dekker().program
+        report = explore_program(
+            program, RelaxedPolicy, max_delays=3, max_runs=5
+        )
+        assert not report.exhausted
+        assert report.runs == 5
+
+    def test_deterministic(self):
+        program = fig1_dekker().program
+        a = explore_program(program, RelaxedPolicy, max_delays=2)
+        b = explore_program(program, RelaxedPolicy, max_delays=2)
+        assert a.outcomes == b.outcomes
+        assert a.runs == b.runs
+
+    def test_describe(self):
+        program = fig1_dekker().program
+        text = explore_program(program, RelaxedPolicy, max_delays=1).describe()
+        assert "schedules" in text and "outcome" in text
+
+
+class TestVerifyWeakOrdering:
+    def test_def2_holds_on_drf0_dekker(self, verifier):
+        program = fig1_dekker_all_sync(warm=True).executable_program()
+        holds, report = verify_weak_ordering(
+            program, Def2Policy, verifier.sc_result_set(program), max_delays=3
+        )
+        assert holds
+        assert report.exhausted
+        assert report.incomplete_runs == 0
+
+    def test_sc_policy_holds_even_for_racy_program(self, verifier):
+        program = fig1_dekker(warm=True).executable_program()
+        holds, _ = verify_weak_ordering(
+            program, SCPolicy, verifier.sc_result_set(program), max_delays=2
+        )
+        assert holds
+
+    def test_relaxed_fails_on_racy_program(self, verifier):
+        program = fig1_dekker(warm=True).executable_program()
+        holds, _ = verify_weak_ordering(
+            program, RelaxedPolicy, verifier.sc_result_set(program), max_delays=2
+        )
+        assert not holds
+
+    def test_def2_holds_on_lock_program(self, verifier):
+        from repro.workloads.locks import critical_section_program
+
+        program = critical_section_program(2, 1)
+        holds, report = verify_weak_ordering(
+            program, Def2Policy, verifier.sc_result_set(program), max_delays=2
+        )
+        assert holds
+        assert report.exhausted
+
+
+class TestOutcomesSubsetOfSampling:
+    def test_all_explored_outcomes_are_sc_for_sc_policy(self, verifier):
+        """Cross-validation: systematic outcomes under the SC policy are
+        always in the enumerated SC set, for an arbitrary program."""
+        t0 = ThreadBuilder("P0").store("x", 1).load("r1", "y").store("z", 2).build()
+        t1 = ThreadBuilder("P1").store("y", 1).load("r2", "z").load("r3", "x").build()
+        program = Program([t0, t1], name="abc")
+        sc_set = verifier.sc_result_set(program)
+        report = explore_program(program, SCPolicy, max_delays=3)
+        assert report.observables <= sc_set

@@ -1,0 +1,40 @@
+"""Tests for budget-escalating exploration."""
+
+from repro.explore.explorer import explore_program, explore_to_fixpoint
+from repro.litmus.catalog import fig1_dekker, fig1_dekker_all_sync
+from repro.models.policies import Def2Policy, RelaxedPolicy
+
+
+class TestExploreToFixpoint:
+    def test_saturates_and_stops(self):
+        program = fig1_dekker().program
+        report = explore_to_fixpoint(
+            program, RelaxedPolicy, start_delays=1, max_delays=5
+        )
+        # Outcomes at the stopping budget cover a deeper budget's too.
+        deeper = explore_program(
+            program, RelaxedPolicy, max_delays=report.max_delays + 1
+        )
+        assert deeper.observables <= report.observables
+
+    def test_includes_fifo_baseline(self):
+        program = fig1_dekker().program
+        fixpoint = explore_to_fixpoint(program, RelaxedPolicy, max_delays=3)
+        fifo = explore_program(program, RelaxedPolicy, max_delays=0)
+        assert fifo.observables <= fixpoint.observables
+
+    def test_def2_drf0_fixpoint_all_sc(self):
+        from repro.sc.verifier import SCVerifier
+
+        program = fig1_dekker_all_sync().program
+        report = explore_to_fixpoint(program, Def2Policy, max_delays=4)
+        sc_set = SCVerifier().sc_result_set(program)
+        assert report.observables <= sc_set
+
+    def test_respects_max_delays_bound(self):
+        program = fig1_dekker().program
+        report = explore_to_fixpoint(
+            program, RelaxedPolicy, start_delays=1, max_delays=2,
+            stable_rounds=99,
+        )
+        assert report.max_delays <= 2

@@ -1,0 +1,120 @@
+"""Unit tests for Section 4's augmented executions."""
+
+import pytest
+
+from repro.core.execution import Execution
+from repro.core.operation import MemoryOp, OpKind
+from repro.hb.augment import (
+    FINAL_SYNC_LOCATION,
+    INIT_SYNC_LOCATION,
+    AugmentationError,
+    augment_execution,
+    strip_augmentation,
+)
+from repro.hb.relations import build_happens_before
+
+
+def op(kind, loc, proc, read=None, written=None):
+    return MemoryOp(
+        proc=proc, kind=kind, location=loc, value_read=read, value_written=written
+    )
+
+
+def two_proc_trace():
+    return Execution(
+        ops=[
+            op(OpKind.WRITE, "x", 0, written=1),
+            op(OpKind.READ, "x", 1, read=1),
+        ]
+    )
+
+
+class TestAugmentation:
+    def test_init_writes_cover_all_locations(self):
+        augmented = augment_execution(two_proc_trace(), locations=["x", "y"])
+        init_writes = [
+            o
+            for o in augmented.ops
+            if o.proc == MemoryOp.INIT_PROC and o.kind is OpKind.WRITE
+        ]
+        assert {o.location for o in init_writes} == {"x", "y"}
+
+    def test_init_write_values_from_initial_memory(self):
+        augmented = augment_execution(
+            two_proc_trace(), initial_memory={"x": 7}
+        )
+        init_write = next(
+            o
+            for o in augmented.ops
+            if o.proc == MemoryOp.INIT_PROC and o.location == "x"
+        )
+        assert init_write.value_written == 7
+
+    def test_every_read_has_hb_prior_init_write(self):
+        augmented = augment_execution(two_proc_trace())
+        hb = build_happens_before(augmented)
+        for o in augmented.ops:
+            if o.reads_memory and not o.is_hypothetical:
+                hb.last_write_before(o)  # must not raise LookupError
+
+    def test_final_reads_reflect_final_memory(self):
+        augmented = augment_execution(two_proc_trace())
+        final_read = next(
+            o
+            for o in augmented.ops
+            if o.proc == MemoryOp.FINAL_PROC and o.kind is OpKind.READ
+        )
+        assert final_read.location == "x"
+        assert final_read.value_read == 1
+
+    def test_final_reads_hb_after_all_real_writes(self):
+        trace = two_proc_trace()
+        augmented = augment_execution(trace)
+        hb = build_happens_before(augmented)
+        final_reads = [
+            o
+            for o in augmented.ops
+            if o.proc == MemoryOp.FINAL_PROC and o.kind is OpKind.READ
+        ]
+        real_write = trace.ops[0]
+        for read in final_reads:
+            assert hb.ordered(real_write, read)
+
+    def test_boundary_syncs_use_special_locations(self):
+        augmented = augment_execution(two_proc_trace())
+        sync_locs = {o.location for o in augmented.ops if o.is_sync}
+        assert all(
+            loc.startswith((INIT_SYNC_LOCATION, FINAL_SYNC_LOCATION))
+            for loc in sync_locs
+        )
+        # One final-release location per real processor.
+        final_locs = {l for l in sync_locs if l.startswith(FINAL_SYNC_LOCATION)}
+        assert len(final_locs) == 2
+
+    def test_reserved_location_rejected(self):
+        trace = Execution(ops=[op(OpKind.WRITE, INIT_SYNC_LOCATION, 0, written=1)])
+        with pytest.raises(AugmentationError):
+            augment_execution(trace)
+
+    def test_strip_is_inverse(self):
+        trace = two_proc_trace()
+        stripped = strip_augmentation(augment_execution(trace))
+        assert stripped.ops == trace.ops
+
+    def test_real_ops_keep_relative_order(self):
+        trace = two_proc_trace()
+        augmented = augment_execution(trace)
+        real = [
+            o
+            for o in augmented.ops
+            if not o.is_hypothetical
+            and not o.location.startswith(
+                (INIT_SYNC_LOCATION, FINAL_SYNC_LOCATION)
+            )
+        ]
+        assert real == trace.ops
+
+    def test_completed_flag_carried(self):
+        trace = two_proc_trace()
+        trace.completed = False
+        assert augment_execution(trace).completed is False

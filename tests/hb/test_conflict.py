@@ -1,0 +1,58 @@
+"""Unit tests for conflicting-pair enumeration."""
+
+from repro.core.execution import Execution
+from repro.core.operation import MemoryOp, OpKind
+from repro.hb.conflict import conflicting_pair_count, conflicting_pairs, conflicts_of
+
+
+def op(kind, loc, proc):
+    return MemoryOp(proc=proc, kind=kind, location=loc)
+
+
+class TestConflictingPairs:
+    def test_cross_proc_write_read(self):
+        w = op(OpKind.WRITE, "x", 0)
+        r = op(OpKind.READ, "x", 1)
+        pairs = list(conflicting_pairs(Execution(ops=[w, r])))
+        assert pairs == [(w, r)]
+
+    def test_pairs_in_trace_order(self):
+        r = op(OpKind.READ, "x", 1)
+        w = op(OpKind.WRITE, "x", 0)
+        pairs = list(conflicting_pairs(Execution(ops=[r, w])))
+        assert pairs == [(r, w)]
+
+    def test_same_proc_excluded_by_default(self):
+        w1 = op(OpKind.WRITE, "x", 0)
+        w2 = op(OpKind.WRITE, "x", 0)
+        assert list(conflicting_pairs(Execution(ops=[w1, w2]))) == []
+
+    def test_same_proc_included_on_request(self):
+        w1 = op(OpKind.WRITE, "x", 0)
+        w2 = op(OpKind.WRITE, "x", 0)
+        pairs = list(
+            conflicting_pairs(Execution(ops=[w1, w2]), include_same_proc=True)
+        )
+        assert pairs == [(w1, w2)]
+
+    def test_reads_do_not_pair(self):
+        r1 = op(OpKind.READ, "x", 0)
+        r2 = op(OpKind.READ, "x", 1)
+        assert conflicting_pair_count(Execution(ops=[r1, r2])) == 0
+
+    def test_cross_location_no_pairs(self):
+        w1 = op(OpKind.WRITE, "x", 0)
+        w2 = op(OpKind.WRITE, "y", 1)
+        assert conflicting_pair_count(Execution(ops=[w1, w2])) == 0
+
+    def test_count_quadratic_bucket(self):
+        writes = [op(OpKind.WRITE, "x", i) for i in range(4)]
+        assert conflicting_pair_count(Execution(ops=writes)) == 6
+
+    def test_conflicts_of(self):
+        w = op(OpKind.WRITE, "x", 0)
+        r1 = op(OpKind.READ, "x", 1)
+        r2 = op(OpKind.READ, "y", 1)
+        execution = Execution(ops=[w, r1, r2])
+        assert conflicts_of(w, execution) == [r1]
+        assert conflicts_of(r2, execution) == []

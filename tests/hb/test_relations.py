@@ -1,0 +1,148 @@
+"""Unit tests for po / so / happens-before (Section 4)."""
+
+import pytest
+
+from repro.core.execution import Execution
+from repro.core.operation import MemoryOp, OpKind
+from repro.hb.relations import (
+    HappensBefore,
+    build_happens_before,
+    drf0_sync_edge,
+    writer_to_reader_sync_edge,
+)
+
+
+def op(kind, loc, proc, read=None, written=None):
+    return MemoryOp(
+        proc=proc, kind=kind, location=loc, value_read=read, value_written=written
+    )
+
+
+class TestProgramOrder:
+    def test_same_proc_trace_order_is_po(self):
+        a = op(OpKind.WRITE, "x", 0, written=1)
+        b = op(OpKind.READ, "y", 0, read=0)
+        hb = build_happens_before(Execution(ops=[a, b]))
+        assert hb.ordered(a, b)
+        assert not hb.ordered(b, a)
+
+    def test_cross_proc_data_ops_unordered(self):
+        a = op(OpKind.WRITE, "x", 0, written=1)
+        b = op(OpKind.READ, "x", 1, read=0)
+        hb = build_happens_before(Execution(ops=[a, b]))
+        assert not hb.are_ordered(a, b)
+
+    def test_po_transitive(self):
+        ops = [op(OpKind.WRITE, f"l{i}", 0, written=i) for i in range(4)]
+        hb = build_happens_before(Execution(ops=ops))
+        assert hb.ordered(ops[0], ops[3])
+
+    def test_po_edges_listed(self):
+        a = op(OpKind.WRITE, "x", 0, written=1)
+        b = op(OpKind.WRITE, "y", 0, written=1)
+        hb = build_happens_before(Execution(ops=[a, b]))
+        assert (a, b) in hb.po_edges()
+
+
+class TestSyncOrder:
+    def test_same_location_syncs_ordered(self):
+        s1 = op(OpKind.SYNC_WRITE, "s", 0, written=0)
+        s2 = op(OpKind.SYNC_RMW, "s", 1, read=0, written=1)
+        hb = build_happens_before(Execution(ops=[s1, s2]))
+        assert hb.ordered(s1, s2)
+        assert (s1, s2) in hb.so_edges()
+
+    def test_different_location_syncs_unordered(self):
+        s1 = op(OpKind.SYNC_WRITE, "s", 0, written=0)
+        s2 = op(OpKind.SYNC_WRITE, "t", 1, written=0)
+        hb = build_happens_before(Execution(ops=[s1, s2]))
+        assert not hb.are_ordered(s1, s2)
+
+    def test_data_ops_never_in_so(self):
+        w = op(OpKind.WRITE, "s", 0, written=1)
+        s = op(OpKind.SYNC_READ, "s", 1, read=1)
+        hb = build_happens_before(Execution(ops=[w, s]))
+        assert hb.so_edges() == []
+
+    def test_paper_example_chain(self):
+        """The Section 4 chain: op(P1,x) ... S(P1,s) so S(P2,s) ...
+        S(P2,t) so S(P3,t) ... op(P3,x) implies op(P1,x) hb op(P3,x)."""
+        op1 = op(OpKind.WRITE, "x", 1, written=1)
+        s1 = op(OpKind.SYNC_WRITE, "s", 1, written=1)
+        s2 = op(OpKind.SYNC_RMW, "s", 2, read=1, written=2)
+        s3 = op(OpKind.SYNC_WRITE, "t", 2, written=1)
+        s4 = op(OpKind.SYNC_RMW, "t", 3, read=1, written=2)
+        op2 = op(OpKind.READ, "x", 3, read=1)
+        hb = build_happens_before(Execution(ops=[op1, s1, s2, s3, s4, op2]))
+        assert hb.ordered(op1, op2)
+
+    def test_writer_to_reader_rule_drops_read_release(self):
+        """Section 6: a read-only sync cannot act as a release."""
+        w = op(OpKind.WRITE, "x", 0, written=1)
+        test = op(OpKind.SYNC_READ, "s", 0, read=0)  # read-only 'release'
+        tas = op(OpKind.SYNC_RMW, "s", 1, read=0, written=1)
+        r = op(OpKind.READ, "x", 1, read=1)
+        trace = Execution(ops=[w, test, tas, r])
+        hb_drf0 = build_happens_before(trace, drf0_sync_edge)
+        assert hb_drf0.ordered(w, r)  # DRF0: Test -> TAS is an so edge
+        hb_refined = build_happens_before(trace, writer_to_reader_sync_edge)
+        assert not hb_refined.are_ordered(w, r)  # refinement: it is not
+
+    def test_writer_to_reader_keeps_release_acquire(self):
+        unset = op(OpKind.SYNC_WRITE, "s", 0, written=0)
+        tas = op(OpKind.SYNC_RMW, "s", 1, read=0, written=1)
+        hb = build_happens_before(
+            Execution(ops=[unset, tas]), writer_to_reader_sync_edge
+        )
+        assert hb.ordered(unset, tas)
+
+    def test_writer_to_reader_drops_write_write(self):
+        s1 = op(OpKind.SYNC_WRITE, "s", 0, written=1)
+        s2 = op(OpKind.SYNC_WRITE, "s", 1, written=2)
+        hb = build_happens_before(
+            Execution(ops=[s1, s2]), writer_to_reader_sync_edge
+        )
+        assert not hb.are_ordered(s1, s2)
+
+
+class TestLastWriteBefore:
+    def test_unique_last_write(self):
+        w1 = op(OpKind.WRITE, "x", 0, written=1)
+        w2 = op(OpKind.WRITE, "x", 0, written=2)
+        r = op(OpKind.READ, "x", 0, read=2)
+        hb = build_happens_before(Execution(ops=[w1, w2, r]))
+        assert hb.last_write_before(r) is w2
+
+    def test_no_prior_write_raises(self):
+        r = op(OpKind.READ, "x", 0, read=0)
+        hb = build_happens_before(Execution(ops=[r]))
+        with pytest.raises(LookupError):
+            hb.last_write_before(r)
+
+    def test_ambiguous_maximal_writes_raise(self):
+        w1 = op(OpKind.WRITE, "x", 0, written=1)
+        w2 = op(OpKind.WRITE, "x", 1, written=2)
+        s1 = op(OpKind.SYNC_WRITE, "s", 0, written=1)
+        s2 = op(OpKind.SYNC_RMW, "s", 2, read=1, written=1)
+        s1b = op(OpKind.SYNC_WRITE, "t", 1, written=1)
+        s2b = op(OpKind.SYNC_RMW, "t", 2, read=1, written=1)
+        r = op(OpKind.READ, "x", 2, read=2)
+        # Both writes are hb-before the read (via separate sync chains)
+        # but unordered with each other: the racy-read case.
+        hb = build_happens_before(Execution(ops=[w1, w2, s1, s1b, s2, s2b, r]))
+        with pytest.raises(LookupError):
+            hb.last_write_before(r)
+
+    def test_cross_proc_write_via_sync_chain(self):
+        w = op(OpKind.WRITE, "x", 0, written=5)
+        rel = op(OpKind.SYNC_WRITE, "s", 0, written=1)
+        acq = op(OpKind.SYNC_RMW, "s", 1, read=1, written=1)
+        r = op(OpKind.READ, "x", 1, read=5)
+        hb = build_happens_before(Execution(ops=[w, rel, acq, r]))
+        assert hb.last_write_before(r) is w
+
+    def test_order_property_exposed(self):
+        a = op(OpKind.WRITE, "x", 0, written=1)
+        b = op(OpKind.READ, "x", 0, read=1)
+        hb = build_happens_before(Execution(ops=[a, b]))
+        assert hb.order.ordered(a, b)

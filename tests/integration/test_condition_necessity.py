@@ -1,0 +1,219 @@
+"""Necessity of the Section 5.1 conditions, demonstrated by breakage.
+
+Appendix B proves the five conditions *sufficient*; these tests provide
+the converse evidence for the two load-bearing mechanisms:
+
+* **condition 4** (no new access until previous syncs commit): with sync
+  ops made fire-and-forget, a warm-exclusive all-sync Dekker reaches an
+  SC-forbidden outcome — found exhaustively by the schedule explorer;
+* **condition 5** (the reserve bit): on a network whose invalidations
+  travel a separate virtual channel (the paper's general-interconnect
+  setting), disabling reserve bits lets an acquirer's TestAndSet succeed
+  while the releaser's data invalidation is still in flight — a stale
+  read no SC execution allows.  The intact DEF2 survives the identical
+  network because the reserve bit holds the TestAndSet until the counter
+  (and hence the invalidation acknowledgement) drains.
+
+A reproduction finding documented here and in docs/THEORY.md: on a
+single-directory machine with full per-channel FIFO, condition 5 is
+*subsumed by the fabric* — an invalidation can never be overtaken by a
+later grant on the same channel, so the no-reserve variant is
+experimentally indistinguishable from DEF2 there.  The reserve bit earns
+its keep exactly when the network is as weak as the paper assumes.
+"""
+
+import pytest
+
+from repro.core.operation import OpKind
+from repro.core.program import Program, ThreadBuilder
+from repro.explore.explorer import explore_program
+from repro.interconnect.network import Network
+from repro.memsys.config import NET_CACHE, NET_CACHE_VC
+from repro.memsys.system import System
+from repro.models.base import BlockKind
+from repro.models.policies import Def2Policy
+from repro.sc.verifier import SCVerifier
+
+
+class NoCommitGateDef2(Def2Policy):
+    """Condition 4 disabled: synchronization ops are fire-and-forget."""
+
+    name = "DEF2-no-cond4"
+
+    def issue_gate(self, proc, kind):
+        return None
+
+    def block_kind(self, kind: OpKind) -> BlockKind:
+        return BlockKind.NONE
+
+
+class NoReserveDef2(Def2Policy):
+    """Condition 5 disabled: no reserve bits."""
+
+    name = "DEF2-no-cond5"
+    reserve_enabled = False
+
+
+class SlowInvalNetwork(Network):
+    """Invalidation virtual channel with pathological latency — the
+    adversarial corner of the paper's unrestricted network."""
+
+    INVAL_LATENCY = 100
+
+    def send(self, src, dst, payload):
+        from repro.coherence.protocol import Inval
+
+        if isinstance(payload, Inval):
+            self.sim.schedule(
+                self.INVAL_LATENCY, lambda: self._deliver(src, dst, payload)
+            )
+            return
+        super().send(src, dst, payload)
+
+
+def warm_exclusive_dekker() -> Program:
+    """All-sync Dekker with each processor warm-owning its read target:
+    the sync read can then *hit locally* while the sync write is still
+    in flight — exactly the overlap condition 4 forbids."""
+    t0 = (
+        ThreadBuilder("P0")
+        .sync_store("y", 9)
+        .sync_store("x", 1)
+        .sync_load("r1", "y")
+        .build()
+    )
+    t1 = (
+        ThreadBuilder("P1")
+        .sync_store("x", 9)
+        .sync_store("y", 1)
+        .sync_load("r2", "x")
+        .build()
+    )
+    return Program([t0, t1], name="warm_exclusive_dekker")
+
+
+def gated_handoff() -> Program:
+    """DRF0 handoff: P1 legally warms a copy of x (ready handshake),
+    waits for the in-section flag, acquires the lock, reads x."""
+    t0 = (
+        ThreadBuilder("P0")
+        .label("r").sync_load("g0", "ready").beq("g0", 0, "r")
+        .label("a").test_and_set("t", "lock").bne("t", 0, "a")
+        .sync_store("flag", 1)
+        .store("x", 42)
+        .sync_store("lock", 0)
+        .build()
+    )
+    t1 = (
+        ThreadBuilder("P1")
+        .load("w", "x")
+        .sync_store("ready", 1)
+        .label("f").sync_load("g", "flag").beq("g", 0, "f")
+        .label("b").test_and_set("t", "lock").bne("t", 0, "b")
+        .load("r2", "x")
+        .sync_store("lock", 0)
+        .build()
+    )
+    return Program([t0, t1], name="gated_handoff")
+
+
+@pytest.fixture(scope="module")
+def verifier():
+    return SCVerifier()
+
+
+class TestCondition4Necessity:
+    def test_drf0_status(self):
+        from repro.drf.drf0 import obeys_drf0
+
+        assert obeys_drf0(warm_exclusive_dekker())
+
+    def test_intact_def2_clean_exhaustively(self, verifier):
+        program = warm_exclusive_dekker()
+        sc_set = verifier.sc_result_set(program)
+        report = explore_program(program, Def2Policy, max_delays=3)
+        assert report.exhausted
+        assert report.observables <= sc_set
+
+    def test_without_condition4_the_contract_breaks(self, verifier):
+        program = warm_exclusive_dekker()
+        sc_set = verifier.sc_result_set(program)
+        report = explore_program(program, NoCommitGateDef2, max_delays=3)
+        violations = [o for o in report.observables if o not in sc_set]
+        assert violations, "condition 4's removal must be observable"
+        # The signature outcome: both sync reads hit their warm-exclusive
+        # copies while the sync writes were in flight.
+        assert any(
+            o.register(0, "r1") == 9 and o.register(1, "r2") == 9
+            for o in violations
+        )
+
+
+class TestCondition5Necessity:
+    def test_drf0_status(self):
+        from repro.drf.drf0 import obeys_drf0
+
+        assert obeys_drf0(gated_handoff())
+
+    def _run(self, policy, seed=0):
+        def make_net(sim, stats, rng):
+            return SlowInvalNetwork(
+                sim, stats, rng, base_latency=2, jitter=0,
+                point_to_point_fifo=True, inval_virtual_channel=True,
+            )
+
+        system = System(
+            gated_handoff(), policy, NET_CACHE_VC.with_overrides(start_skew=0),
+            seed=seed, interconnect_factory=make_net,
+        )
+        return system.run()
+
+    def test_without_reserve_bits_the_contract_breaks(self, verifier):
+        """Slow invalidation + no reserve bit: the acquirer reads stale
+        data after a successful TestAndSet — SC-forbidden."""
+        program = gated_handoff()
+        sc_set = verifier.sc_result_set(program)
+        run = self._run(NoReserveDef2())
+        assert run.completed
+        assert run.observable.register(1, "r2") == 0  # the stale read
+        assert run.observable not in sc_set
+
+    def test_intact_def2_survives_the_same_network(self, verifier):
+        """The reserve bit NACKs the TestAndSet until the counter drains
+        — i.e. until the invalidation has been acknowledged."""
+        program = gated_handoff()
+        sc_set = verifier.sc_result_set(program)
+        run = self._run(Def2Policy())
+        assert run.completed
+        assert run.observable.register(1, "r2") == 42
+        assert run.observable in sc_set
+        assert run.stats.count("dir.sync_nacks") > 0  # the stall happened
+
+    def test_fifo_fabric_subsumes_condition5(self, verifier):
+        """The finding: on the fully-FIFO single-directory machine the
+        no-reserve variant cannot be broken (within the explored bound) —
+        the fabric orders invalidations before later grants."""
+        program = gated_handoff()
+        sc_set = verifier.sc_result_set(program)
+        report = explore_program(
+            program, NoReserveDef2, max_delays=4, config=NET_CACHE
+        )
+        assert report.exhausted
+        assert report.observables <= sc_set
+
+
+class TestVirtualChannelFleet:
+    def test_intact_def2_on_inval_vc_fleet(self, verifier):
+        """DEF2 keeps the contract on the inval-virtual-channel network
+        across seeds and jitters (the paper's own setting)."""
+        from repro.memsys.system import run_program
+        from repro.workloads.random_programs import random_drf0_program
+
+        config = NET_CACHE_VC.with_overrides(network_jitter=20)
+        for program_seed in range(5):
+            program = random_drf0_program(program_seed)
+            sc_set = verifier.sc_result_set(program)
+            for seed in range(4):
+                run = run_program(program, Def2Policy(), config, seed=seed)
+                assert run.completed
+                assert run.observable in sc_set

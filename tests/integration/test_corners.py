@@ -1,0 +1,181 @@
+"""Corner coverage: custom interconnects, processor adoption rules,
+verifier edge cases, runner edge cases, fence/policy interactions."""
+
+import pytest
+
+from repro.core.program import Program, Thread, ThreadBuilder
+from repro.explore.oracle import ReplayOracle, ScheduledInterconnect
+from repro.memsys.config import BUS_NOCACHE, NET_CACHE
+from repro.memsys.system import System, run_program
+from repro.models.policies import (
+    Def1Policy,
+    Def2Policy,
+    RP3FencePolicy,
+    RelaxedPolicy,
+    SCPolicy,
+)
+from repro.sim.stats import StallReason
+
+
+class TestCustomInterconnectFactory:
+    def test_system_accepts_factory(self):
+        """The explorer's injection hook works for arbitrary transports."""
+        program = Program(
+            [ThreadBuilder("P0").store("x", 1).load("r", "x").build()]
+        )
+        oracle = ReplayOracle()
+        system = System(
+            program,
+            SCPolicy(),
+            NET_CACHE.with_overrides(start_skew=0),
+            interconnect_factory=lambda sim, stats, rng: ScheduledInterconnect(
+                sim, stats, oracle
+            ),
+        )
+        run = system.run()
+        assert run.completed
+        assert run.observable.register(0, "r") == 1
+        assert oracle.choice_points > 0
+
+    def test_factory_overrides_config_choice(self):
+        program = Program([ThreadBuilder("P0").store("x", 1).build()])
+        oracle = ReplayOracle()
+        system = System(
+            program,
+            SCPolicy(),
+            BUS_NOCACHE.with_overrides(start_skew=0),
+            interconnect_factory=lambda sim, stats, rng: ScheduledInterconnect(
+                sim, stats, oracle
+            ),
+        )
+        assert isinstance(system.interconnect, ScheduledInterconnect)
+        assert system.run().completed
+
+
+class TestAdoptionRules:
+    def _system(self):
+        program = Program(
+            [
+                ThreadBuilder("P0").store("x", 1).build(),
+                Thread("P1", (), {}),
+            ]
+        )
+        return System(program, Def2Policy(), NET_CACHE, seed=1)
+
+    def test_busy_processor_cannot_adopt(self):
+        system = self._system()
+        worker = system.processors[0]
+        assert not worker.idle_for_adoption  # it has a real thread
+
+    def test_idle_processor_can_adopt(self):
+        system = self._system()
+        system.run()
+        assert system.processors[1].idle_for_adoption
+
+    def test_adopt_asserts_on_nonidle(self):
+        system = self._system()
+        system.run()
+        with pytest.raises(AssertionError):
+            system.processors[0].adopt_context(
+                system.processors[1].export_context()
+            )
+
+
+class TestFencePolicyInteractions:
+    def test_fence_under_def1_is_harmless(self):
+        """A fence is policy-independent: DEF1 + fences stays correct."""
+        program = Program(
+            [
+                ThreadBuilder("P0").store("x", 1).fence().sync_store("f", 1).build(),
+                ThreadBuilder("P1")
+                .label("spin")
+                .sync_load("r1", "f")
+                .beq("r1", 0, "spin")
+                .load("r2", "x")
+                .build(),
+            ]
+        )
+        for seed in range(5):
+            run = run_program(program, Def1Policy(), NET_CACHE, seed=seed)
+            assert run.completed
+            assert run.observable.register(1, "r2") == 1
+
+    def test_rp3_policy_without_fences_is_relaxed(self):
+        """RP3-FENCE on a fence-free racy program behaves like RELAXED:
+        it can violate SC."""
+        from repro.litmus.catalog import fig1_dekker
+        from repro.litmus.runner import LitmusRunner
+
+        runner = LitmusRunner()
+        result = runner.run(
+            fig1_dekker(warm=True), RP3FencePolicy, NET_CACHE, runs=50
+        )
+        assert result.forbidden_seen > 0
+
+
+class TestRunnerEdges:
+    def test_zero_runs(self):
+        from repro.litmus.catalog import fig1_dekker
+        from repro.litmus.runner import LitmusRunner
+
+        result = LitmusRunner().run(fig1_dekker(), SCPolicy, NET_CACHE, runs=0)
+        assert result.completed_runs == 0
+        assert result.histogram == {}
+        assert result.mean_cycles == 0.0
+
+    def test_forbidden_none_reports_none(self):
+        from repro.litmus.catalog import two_plus_two_w
+        from repro.litmus.runner import LitmusRunner
+
+        result = LitmusRunner().run(
+            two_plus_two_w(), SCPolicy, NET_CACHE, runs=5
+        )
+        assert result.forbidden_seen is None
+
+
+class TestStallAttributionAcrossPolicies:
+    def test_def1_sync_gate_reasons_appear(self):
+        program = Program(
+            [
+                ThreadBuilder("P0")
+                .store("x", 1)
+                .sync_store("f", 1)
+                .store("y", 1)
+                .build()
+            ]
+        )
+        config = NET_CACHE.with_overrides(network_base_latency=20, network_jitter=0)
+        run = run_program(program, Def1Policy(), config, seed=1)
+        assert run.completed
+        assert run.stats.stall_cycles(reason=StallReason.DEF1_SYNC_WAITS_PREV) > 0
+        assert run.stats.stall_cycles(reason=StallReason.DEF1_WAITS_SYNC_GP) > 0
+
+    def test_same_location_stall_appears(self):
+        program = Program(
+            [ThreadBuilder("P0").store("x", 1).store("x", 2).build()]
+        )
+        config = NET_CACHE.with_overrides(network_base_latency=20, network_jitter=0)
+        run = run_program(program, RelaxedPolicy(), config, seed=1)
+        assert run.completed
+        assert run.observable.memory_value("x") == 2
+
+    def test_def2_commit_block_reason(self):
+        program = Program(
+            [ThreadBuilder("P0").sync_store("s", 1).build()]
+        )
+        config = NET_CACHE.with_overrides(network_base_latency=15, network_jitter=0)
+        run = run_program(program, Def2Policy(), config, seed=1)
+        assert run.stats.stall_cycles(reason=StallReason.DEF2_SYNC_COMMIT) > 0
+
+
+class TestHardwareRunSurface:
+    def test_describe_contains_essentials(self):
+        program = Program([ThreadBuilder("P0").store("x", 1).build()])
+        run = run_program(program, SCPolicy(), NET_CACHE, seed=9)
+        text = run.describe()
+        assert "net_cache" in text and "seed=9" in text and "completed" in text
+
+    def test_stats_describe_renders(self):
+        program = Program([ThreadBuilder("P0").store("x", 1).build()])
+        run = run_program(program, SCPolicy(), NET_CACHE, seed=9)
+        assert "cycles:" in run.stats.describe()

@@ -1,0 +1,69 @@
+"""FIG1 integration: the violation matrix of Figure 1.
+
+The paper's figure argues the Dekker-core litmus can violate sequential
+consistency on all four machine organizations when the hardware relaxes
+ordering, and Section 2.1's sufficient condition (our SC policy)
+prevents it everywhere.  The cache configurations need warm caches
+("both processors initially have X and Y in their caches").
+"""
+
+import pytest
+
+from repro.litmus.catalog import fig1_dekker
+from repro.litmus.runner import LitmusRunner
+from repro.memsys.config import (
+    BUS_CACHE,
+    BUS_NOCACHE,
+    FIGURE1_CONFIGS,
+    NET_CACHE,
+    NET_NOCACHE,
+)
+from repro.models.policies import RelaxedPolicy, SCPolicy
+
+RUNS = 80
+
+#: (config, warm caches?) pairs on which RELAXED must show the violation.
+VIOLATION_SETTINGS = [
+    (BUS_NOCACHE, False),
+    (NET_NOCACHE, False),
+    (BUS_CACHE, True),
+    (NET_CACHE, True),
+]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return LitmusRunner()
+
+
+class TestRelaxedHardwareViolates:
+    @pytest.mark.parametrize(
+        "config,warm", VIOLATION_SETTINGS, ids=lambda v: getattr(v, "name", v)
+    )
+    def test_forbidden_outcome_observed(self, runner, config, warm):
+        result = runner.run(
+            fig1_dekker(warm=warm), RelaxedPolicy, config, runs=RUNS
+        )
+        assert result.completed_runs == RUNS
+        assert result.forbidden_seen > 0, (
+            f"(0,0) never observed on {config.name} (warm={warm})"
+        )
+        assert result.violated_sc
+
+
+class TestSCHardwareNeverViolates:
+    @pytest.mark.parametrize(
+        "config", FIGURE1_CONFIGS, ids=lambda c: c.name
+    )
+    @pytest.mark.parametrize("warm", [False, True])
+    def test_always_sc(self, runner, config, warm):
+        result = runner.run(fig1_dekker(warm=warm), SCPolicy, config, runs=RUNS)
+        assert result.completed_runs == RUNS
+        assert not result.violated_sc
+        assert result.forbidden_seen == 0
+
+
+class TestEnumeratorAgrees:
+    def test_0_0_is_outside_the_sc_set(self, runner):
+        assert (0, 0) not in runner.sc_outcomes(fig1_dekker())
+        assert (0, 0) not in runner.sc_outcomes(fig1_dekker(warm=True))

@@ -1,0 +1,89 @@
+"""FIG3 + QUANT integration: the performance claims, end to end.
+
+Figure 3's qualitative claims and Section 6's Test-and-TestAndSet
+discussion, checked on real simulated runs:
+
+* DEF2's releaser overtakes DEF1's as memory latency grows;
+* DEF2 beats DEF1 on release-heavy critical sections (overlap of the
+  release with subsequent private work);
+* plain DEF2 serializes read-only sync spinning (the Section 6
+  pathology) and DEF2-R relieves it.
+"""
+
+import pytest
+
+from repro.analysis.comparison import compare_policies
+from repro.analysis.figure3 import figure3_sweep
+from repro.memsys.config import NET_CACHE
+from repro.models.policies import Def1Policy, Def2Policy, Def2RPolicy, SCPolicy
+from repro.workloads.locks import critical_section_program
+
+
+class TestFigure3Shape:
+    @pytest.fixture(scope="class")
+    def sweep_rows(self):
+        return figure3_sweep(latencies=[4, 16, 48], seeds=[1, 2, 3, 4])
+
+    def test_def1_release_stall_grows_linearly_ish(self, sweep_rows):
+        stalls = [row.def1_release_stall for row in sweep_rows]
+        assert stalls[0] < stalls[1] < stalls[2]
+        # roughly linear: the 4->48 growth should be several-fold
+        assert stalls[2] > 3 * stalls[0]
+
+    def test_def2_releaser_wins_at_high_latency(self, sweep_rows):
+        high = sweep_rows[-1]
+        assert high.def2_releaser_finish < high.def1_releaser_finish
+
+    def test_gap_grows_with_latency(self, sweep_rows):
+        gaps = [
+            row.def1_releaser_finish - row.def2_releaser_finish
+            for row in sweep_rows
+        ]
+        assert gaps[-1] > gaps[0]
+
+
+class TestQuantitativeComparison:
+    def test_def2_beats_def1_on_release_heavy_sections(self):
+        comparisons = compare_policies(
+            program_factory=lambda: critical_section_program(
+                2, 2, private_writes=6
+            ),
+            policies=[Def1Policy, Def2Policy],
+            config=NET_CACHE.with_overrides(network_base_latency=16,
+                                            network_jitter=4),
+            runs=4,
+        )
+        by_name = {c.policy_name: c for c in comparisons}
+        assert by_name["DEF2"].mean_cycles < by_name["DEF1"].mean_cycles
+
+    def test_weak_policies_beat_sc(self):
+        comparisons = compare_policies(
+            program_factory=lambda: critical_section_program(
+                2, 2, private_writes=6
+            ),
+            policies=[SCPolicy, Def2Policy],
+            config=NET_CACHE.with_overrides(network_base_latency=16,
+                                            network_jitter=4),
+            runs=4,
+        )
+        by_name = {c.policy_name: c for c in comparisons}
+        assert by_name["DEF2"].mean_cycles < by_name["SC"].mean_cycles
+
+
+class TestSection6SpinningPathology:
+    def test_def2r_relieves_test_spin_serialization(self):
+        """Test-and-TestAndSet spinning: plain DEF2 turns every Test into
+        an exclusive-ownership transfer; DEF2-R lets Tests spin on a
+        shared copy, cutting protocol traffic."""
+        comparisons = compare_policies(
+            program_factory=lambda: critical_section_program(
+                3, 2, local_work=8, use_test_test_and_set=True
+            ),
+            policies=[Def2Policy, Def2RPolicy],
+            config=NET_CACHE,
+            runs=4,
+        )
+        by_name = {c.policy_name: c for c in comparisons}
+        assert (
+            by_name["DEF2-R"].mean_messages < by_name["DEF2"].mean_messages
+        )

@@ -1,0 +1,59 @@
+"""LEMMA1 integration: hardware executions and the Appendix A condition.
+
+For executions of DRF0 programs on weakly ordered hardware, Lemma 1 says
+an hb-witness must exist (an idealized execution with exactly the same
+reads).  For non-SC executions of racy programs on relaxed hardware, the
+witness search must come up empty.
+"""
+
+import pytest
+
+from repro.litmus.catalog import fig1_dekker
+from repro.memsys.config import NET_CACHE
+from repro.memsys.system import run_program
+from repro.models.policies import Def2Policy, RelaxedPolicy
+from repro.sc.lemma1 import find_hb_witness, reads_from_last_hb_write
+from repro.sc.verifier import SCVerifier
+from repro.workloads.locks import release_overlap_program
+from repro.workloads.random_programs import random_drf0_program
+
+
+class TestWitnessExistsForDRF0Programs:
+    def test_release_overlap_runs_have_witnesses(self):
+        program = release_overlap_program(data_writes=2, post_release_work=2,
+                                          private_writes=1)
+        for seed in range(4):
+            run = run_program(program, Def2Policy(), NET_CACHE, seed=seed)
+            assert run.completed
+            witness = find_hb_witness(program, run.execution)
+            assert witness is not None, f"no witness for seed {seed}"
+            # And the witness itself satisfies Lemma 1's read-value rule.
+            assert reads_from_last_hb_write(
+                witness, initial_memory=dict(program.initial_memory)
+            ) == []
+
+    def test_random_drf0_runs_have_witnesses(self):
+        for program_seed in range(4):
+            program = random_drf0_program(
+                program_seed, num_procs=2, sections_per_proc=1, ops_per_section=2
+            )
+            run = run_program(program, Def2Policy(), NET_CACHE, seed=1)
+            assert run.completed
+            assert find_hb_witness(program, run.execution) is not None
+
+
+class TestNoWitnessForViolations:
+    def test_relaxed_violation_fails_witness_search(self):
+        test = fig1_dekker(warm=True)
+        program = test.executable_program()
+        verifier = SCVerifier()
+        sc_set = verifier.sc_result_set(program)
+        found_violation = False
+        for seed in range(60):
+            run = run_program(program, RelaxedPolicy(), NET_CACHE, seed=seed)
+            if not run.completed or run.observable in sc_set:
+                continue
+            found_violation = True
+            assert find_hb_witness(program, run.execution) is None
+            break
+        assert found_violation, "no SC violation observed to test against"

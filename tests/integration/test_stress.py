@@ -1,0 +1,141 @@
+"""Stress / soak coverage: bigger machines, heavier workloads, every
+substrate.  These runs exercise interactions the unit suites cannot —
+capacity pressure during contention, many-processor sync storms,
+explorer x snooping, migration under DEF2 traffic.
+"""
+
+import pytest
+
+from repro.analysis.invariants import check_trace
+from repro.explore.explorer import explore_program
+from repro.memsys.config import BUS_CACHE_SNOOP, NET_CACHE
+from repro.memsys.system import System, run_program
+from repro.models.policies import (
+    AllSyncPolicy,
+    Def1Policy,
+    Def2Policy,
+    Def2RPolicy,
+    SCPolicy,
+)
+from repro.sc.trace_check import check_trace_sc
+from repro.workloads.barrier import barrier_program
+from repro.workloads.locks import critical_section_program
+from repro.workloads.producer_consumer import (
+    expected_checksum,
+    producer_consumer_program,
+)
+from repro.workloads.ticket_lock import sense_barrier_program, ticket_lock_program
+
+
+class TestManyProcessors:
+    @pytest.mark.parametrize(
+        "policy_cls", [Def1Policy, Def2Policy, Def2RPolicy], ids=lambda p: p.name
+    )
+    def test_six_processor_critical_sections(self, policy_cls):
+        program = critical_section_program(6, 2, private_writes=2)
+        run = run_program(
+            program, policy_cls(), NET_CACHE, seed=11, max_cycles=5_000_000
+        )
+        assert run.completed
+        assert run.observable.memory_value("count") == 12
+        result = check_trace_sc(run.execution, dict(program.initial_memory))
+        assert result.is_sc, result.describe()
+
+    def test_five_processor_barrier_storm(self):
+        program = barrier_program(5)
+        for policy_cls in (Def2Policy, Def2RPolicy):
+            run = run_program(
+                program, policy_cls(), NET_CACHE, seed=7, max_cycles=5_000_000
+            )
+            assert run.completed
+            assert run.observable.memory_value("bar") == 5
+
+    def test_six_processor_ticket_lock_fifo(self):
+        program = ticket_lock_program(6, 1)
+        run = run_program(
+            program, Def2RPolicy(), NET_CACHE, seed=3, max_cycles=5_000_000
+        )
+        assert run.completed
+        assert run.observable.memory_value("count") == 6
+        assert run.observable.memory_value("serving") == 6
+
+    def test_four_stage_pipeline(self):
+        program = producer_consumer_program(items=3, rounds=2, stages=4)
+        run = run_program(
+            program, Def2Policy(), NET_CACHE, seed=5, max_cycles=5_000_000
+        )
+        assert run.completed
+        expected = expected_checksum(items=3, rounds=2, stages=4)
+        assert run.observable.register(3, "sum") == expected
+
+
+class TestCapacityPressureUnderContention:
+    @pytest.mark.parametrize(
+        "policy_cls", [SCPolicy, Def2Policy, AllSyncPolicy], ids=lambda p: p.name
+    )
+    def test_two_line_caches(self, policy_cls):
+        config = NET_CACHE.with_overrides(cache_capacity=2)
+        program = critical_section_program(3, 2, private_writes=3)
+        run = run_program(
+            program, policy_cls(), config, seed=9, max_cycles=5_000_000
+        )
+        assert run.completed
+        assert run.observable.memory_value("count") == 6
+        assert check_trace(run.execution, dict(program.initial_memory)) == []
+
+    def test_sense_barrier_with_tiny_cache(self):
+        config = NET_CACHE.with_overrides(cache_capacity=2)
+        program = sense_barrier_program(3, episodes=2)
+        run = run_program(
+            program, Def2Policy(), config, seed=4, max_cycles=5_000_000
+        )
+        assert run.completed
+        assert run.observable.memory_value("bsense") == 2
+
+
+class TestSnoopingStress:
+    def test_critical_sections_on_snooping_bus(self):
+        program = critical_section_program(4, 2, private_writes=2)
+        run = run_program(
+            program, Def2Policy(), BUS_CACHE_SNOOP, seed=2, max_cycles=5_000_000
+        )
+        assert run.completed
+        assert run.observable.memory_value("count") == 8
+
+    def test_explorer_on_snooping_substrate(self):
+        """Systematic exploration composes with the snooping protocol."""
+        from repro.litmus.catalog import fig1_dekker_all_sync
+        from repro.sc.verifier import SCVerifier
+
+        program = fig1_dekker_all_sync().program
+        verifier = SCVerifier()
+        sc_set = verifier.sc_result_set(program)
+        report = explore_program(
+            program, Def2Policy, max_delays=2, config=BUS_CACHE_SNOOP
+        )
+        assert report.exhausted
+        assert report.incomplete_runs == 0
+        assert report.observables <= sc_set
+
+
+class TestMigrationUnderLoad:
+    def test_migrate_during_lock_contention(self):
+        from repro.core.program import Program, Thread
+        from repro.memsys.migration import MigrationController
+        from repro.sc.verifier import SCVerifier
+
+        base = critical_section_program(2, 2)
+        program = Program(
+            list(base.threads) + [Thread("P_idle", (), {})],
+            initial_memory=dict(base.initial_memory),
+            name="cs_mig",
+        )
+        verifier = SCVerifier()
+        sc_set = verifier.sc_result_set(program)
+        for seed in range(4):
+            system = System(program, Def2Policy(), NET_CACHE, seed=seed)
+            MigrationController(system).schedule(0, 2, at_cycle=40)
+            run = system.run(max_cycles=5_000_000)
+            assert run.completed, seed
+            assert run.observable in sc_set, seed
+            assert run.observable.memory_value("count") == 4

@@ -1,0 +1,96 @@
+"""Unit tests for the shared bus."""
+
+import pytest
+
+from repro.interconnect.bus import Bus
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+
+
+def make_bus(transfer_cycles=4):
+    sim = Simulator()
+    bus = Bus(sim, Stats(), transfer_cycles=transfer_cycles)
+    return sim, bus
+
+
+class TestBus:
+    def test_single_delivery_takes_transfer_cycles(self):
+        sim, bus = make_bus(transfer_cycles=4)
+        arrived = []
+        bus.register("b", lambda payload, src: arrived.append((payload, sim.now)))
+        bus.send("a", "b", "hello")
+        sim.run()
+        assert arrived == [("hello", 4)]
+
+    def test_serialization(self):
+        """Two messages take 2x the transfer time, back to back."""
+        sim, bus = make_bus(transfer_cycles=3)
+        times = []
+        bus.register("b", lambda payload, src: times.append(sim.now))
+        bus.send("a", "b", 1)
+        bus.send("a", "b", 2)
+        sim.run()
+        assert times == [3, 6]
+
+    def test_fifo_across_senders(self):
+        sim, bus = make_bus()
+        order = []
+        bus.register("dst", lambda payload, src: order.append(payload))
+        bus.send("a", "dst", "first")
+        bus.send("b", "dst", "second")
+        bus.send("c", "dst", "third")
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_total_order_seen_by_all(self):
+        """Bus delivery is a total order: receivers see one sequence."""
+        sim, bus = make_bus()
+        log = []
+        bus.register("p0", lambda payload, src: log.append(("p0", payload)))
+        bus.register("p1", lambda payload, src: log.append(("p1", payload)))
+        bus.send("x", "p0", 1)
+        bus.send("y", "p1", 2)
+        bus.send("x", "p0", 3)
+        sim.run()
+        assert [m for _, m in log] == [1, 2, 3]
+
+    def test_queue_depth_visible(self):
+        sim, bus = make_bus()
+        bus.register("b", lambda payload, src: None)
+        bus.send("a", "b", 1)
+        bus.send("a", "b", 2)
+        assert bus.queued == 1  # head granted, one waiting
+        sim.run()
+        assert bus.queued == 0
+
+    def test_src_passed_to_handler(self):
+        sim, bus = make_bus()
+        sources = []
+        bus.register("b", lambda payload, src: sources.append(src))
+        bus.send("sender7", "b", None)
+        sim.run()
+        assert sources == ["sender7"]
+
+    def test_unregistered_endpoint_raises(self):
+        sim, bus = make_bus()
+        bus.send("a", "ghost", 1)
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_duplicate_registration_rejected(self):
+        _sim, bus = make_bus()
+        bus.register("b", lambda payload, src: None)
+        with pytest.raises(ValueError):
+            bus.register("b", lambda payload, src: None)
+
+    def test_invalid_transfer_cycles(self):
+        with pytest.raises(ValueError):
+            Bus(Simulator(), Stats(), transfer_cycles=0)
+
+    def test_message_counter(self):
+        sim, bus = make_bus()
+        bus.register("b", lambda payload, src: None)
+        bus.send("a", "b", 1)
+        sim.run()
+        assert bus.stats.count("bus.sent") == 1
+        assert bus.stats.count("interconnect.delivered") == 1

@@ -1,0 +1,90 @@
+"""Tests for the extended litmus shapes (WRC, S, 2+2W, CoWW, fenced)."""
+
+import pytest
+
+from repro.litmus.catalog import (
+    coherence_coww,
+    fig1_dekker_fenced,
+    standard_catalog,
+    two_plus_two_w,
+    write_to_read_causality,
+)
+from repro.litmus.runner import LitmusRunner
+from repro.memsys.config import BUS_CACHE, NET_CACHE, NET_NOCACHE
+from repro.models.policies import Def2Policy, RelaxedPolicy, SCPolicy
+from repro.sc.interleaving import enumerate_results
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return LitmusRunner()
+
+
+class TestWRC:
+    def test_forbidden_outside_sc_set(self, runner):
+        test = write_to_read_causality()
+        assert test.forbidden not in runner.sc_outcomes(test)
+
+    def test_sc_hardware_clean(self, runner):
+        result = runner.run(write_to_read_causality(), SCPolicy, NET_CACHE, runs=30)
+        assert not result.violated_sc
+
+
+class TestTwoPlusTwoW:
+    def test_sc_final_memory_never_both_firsts(self):
+        program = two_plus_two_w().program
+        for observable in enumerate_results(program):
+            final = (observable.memory_value("x"), observable.memory_value("y"))
+            assert final != (1, 1)
+
+    def test_hardware_matches_on_sc_policy(self, runner):
+        result = runner.run(two_plus_two_w(), SCPolicy, NET_CACHE, runs=40)
+        assert not result.violated_sc
+
+    def test_relaxed_hardware_on_coherent_caches_still_serializes(self, runner):
+        """Write serialization (condition 2 of Section 5.1) comes from
+        the coherence protocol itself: even RELAXED issue cannot produce
+        the both-firsts final state on a cache-coherent machine.
+
+        On the *no-cache network* machine, by contrast, nothing orders
+        the two writes of one processor, and the forbidden final state
+        shows up — the distinction Figure 1 draws.
+        """
+        cache_result = runner.run(
+            two_plus_two_w(warm=True), RelaxedPolicy, BUS_CACHE, runs=60
+        )
+        assert not any(
+            obs for obs in cache_result.sc_violations
+        ) or cache_result.completed_runs == 60
+
+
+class TestCoWW:
+    def test_final_value_is_program_ordered(self, runner):
+        for policy in (RelaxedPolicy, SCPolicy):
+            result = runner.run(coherence_coww(), policy, NET_CACHE, runs=20)
+            assert not result.violated_sc, policy
+
+
+class TestCatalogConsistency:
+    def test_all_tests_have_unique_names(self):
+        names = [t.name for t in standard_catalog()]
+        assert len(names) == len(set(names))
+
+    def test_catalog_has_both_racy_and_drf_entries(self):
+        from repro.drf.drf0 import obeys_drf0
+
+        catalog = [t for t in standard_catalog() if not t.warm_caches]
+        verdicts = {t.name: obeys_drf0(t.program, max_executions=2000)
+                    for t in catalog}
+        assert any(verdicts.values())
+        assert not all(verdicts.values())
+
+    def test_every_forbidden_annotation_is_sc_forbidden(self, runner):
+        for test in standard_catalog():
+            if test.forbidden is None or test.warm_caches:
+                continue
+            assert test.forbidden not in runner.sc_outcomes(test), test.name
+
+    def test_fenced_variant_present(self):
+        names = {t.name for t in standard_catalog()}
+        assert "fig1_dekker_fenced" in names

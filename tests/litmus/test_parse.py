@@ -1,0 +1,205 @@
+"""Unit tests for the litmus text-format parser."""
+
+import pytest
+
+from repro.core.instructions import (
+    Branch,
+    Fence,
+    FetchAndAdd,
+    Jump,
+    Load,
+    Store,
+    Swap,
+    SyncLoad,
+    SyncStore,
+    TestAndSet,
+)
+from repro.litmus.parse import LitmusParseError, parse_litmus
+from repro.litmus.runner import LitmusRunner
+from repro.memsys.config import NET_NOCACHE
+from repro.models.policies import RelaxedPolicy, SCPolicy
+
+SB = """
+name: SB
+forbidden: P0:r1=0 & P1:r2=0
+
+P0         | P1
+x = 1      | y = 1
+r1 = y     | r2 = x
+"""
+
+
+class TestBasicParsing:
+    def test_store_buffering(self):
+        test = parse_litmus(SB)
+        assert test.name == "SB"
+        assert test.forbidden == (0, 0)
+        assert test.projection == ((0, "r1"), (1, "r2"))
+        assert len(test.program.threads) == 2
+        p0 = test.program.threads[0].instructions
+        assert isinstance(p0[0], Store) and p0[0].location == "x"
+        assert isinstance(p0[1], Load) and p0[1].dest == "r1"
+
+    def test_comments_and_blank_lines_ignored(self):
+        test = parse_litmus(
+            """
+            # a comment
+            name: T
+
+            P0
+            x = 1   # trailing comment
+            """
+        )
+        assert len(test.program.threads[0]) == 1
+
+    def test_init_values(self):
+        test = parse_litmus(
+            """
+            init: x=5 lock=1
+            P0
+            r1 = x
+            """
+        )
+        assert test.program.initial_memory == {"x": 5, "lock": 1}
+
+    def test_ragged_rows_allowed(self):
+        test = parse_litmus(
+            """
+            P0     | P1
+            x = 1  | y = 1
+            r1 = y |
+            """
+        )
+        assert len(test.program.threads[0]) == 2
+        assert len(test.program.threads[1]) == 1
+
+    def test_default_projection_covers_dest_registers(self):
+        test = parse_litmus(
+            """
+            P0     | P1
+            r1 = x | r2 = y
+            """
+        )
+        assert set(test.projection) == {(0, "r1"), (1, "r2")}
+
+
+class TestStatementForms:
+    def test_sync_forms(self):
+        test = parse_litmus(
+            """
+            P0
+            sync s = 0
+            r1 = sync s
+            r2 = tas s
+            r3 = faa c 2
+            r4 = swap s 9
+            """
+        )
+        instrs = test.program.threads[0].instructions
+        assert isinstance(instrs[0], SyncStore)
+        assert isinstance(instrs[1], SyncLoad)
+        assert isinstance(instrs[2], TestAndSet)
+        assert isinstance(instrs[3], FetchAndAdd)
+        assert isinstance(instrs[4], Swap)
+
+    def test_fence_and_nop(self):
+        test = parse_litmus("P0\nx = 1\nfence\nnop\n")
+        instrs = test.program.threads[0].instructions
+        assert isinstance(instrs[1], Fence)
+
+    def test_arithmetic_and_mov(self):
+        test = parse_litmus(
+            """
+            P0
+            r1 = 5
+            r2 = r1 + 1
+            r3 = r2 - r1
+            r4 = r3 * 2
+            x = r4
+            """
+        )
+        assert len(test.program.threads[0]) == 5
+
+    def test_control_flow(self):
+        test = parse_litmus(
+            """
+            P0
+            spin: r1 = tas lock
+            if r1 != 0 goto spin
+            goto done
+            done: nop
+            """
+        )
+        thread = test.program.threads[0]
+        assert thread.labels["spin"] == 0
+        assert isinstance(thread.instructions[1], Branch)
+        assert isinstance(thread.instructions[2], Jump)
+
+    def test_register_to_register_store_source(self):
+        test = parse_litmus("P0\nr1 = 7\nx = r1\n")
+        store = test.program.threads[0].instructions[1]
+        assert isinstance(store, Store) and store.src == "r1"
+
+
+class TestErrors:
+    def test_missing_table(self):
+        with pytest.raises(LitmusParseError, match="no processor table"):
+            parse_litmus("name: empty\n")
+
+    def test_bad_header(self):
+        with pytest.raises(LitmusParseError, match="P0 \\| P1"):
+            parse_litmus("CPU0 | CPU1\nx = 1 | y = 1\n")
+
+    def test_too_many_columns_in_row(self):
+        with pytest.raises(LitmusParseError, match="columns"):
+            parse_litmus("P0\nx = 1 | y = 1\n")
+
+    def test_unparsable_statement(self):
+        with pytest.raises(LitmusParseError, match="cannot parse"):
+            parse_litmus("P0\nx += 1\n")
+
+    def test_bad_forbidden_term(self):
+        with pytest.raises(LitmusParseError, match="P0:r1=0"):
+            parse_litmus("forbidden: x=1\nP0\nr1 = x\n")
+
+    def test_bad_init_entry(self):
+        with pytest.raises(LitmusParseError, match="x=1"):
+            parse_litmus("init: x\nP0\nr1 = x\n")
+
+    def test_undefined_label_reported_with_line(self):
+        with pytest.raises(LitmusParseError):
+            parse_litmus("P0\ngoto nowhere\n")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_litmus("P0\nx = 1\n???\n")
+        except LitmusParseError as error:
+            assert "line 3" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("expected parse error")
+
+
+class TestParsedTestsRun:
+    def test_parsed_sb_behaves_like_catalog_dekker(self):
+        test = parse_litmus(SB)
+        runner = LitmusRunner()
+        assert runner.sc_outcomes(test) == {(0, 1), (1, 0), (1, 1)}
+        relaxed = runner.run(test, RelaxedPolicy, NET_NOCACHE, runs=60)
+        assert relaxed.forbidden_seen > 0
+        sc = runner.run(test, SCPolicy, NET_NOCACHE, runs=30)
+        assert not sc.violated_sc
+
+    def test_parsed_spinlock_program_runs(self):
+        test = parse_litmus(
+            """
+            name: locked
+            P0                   | P1
+            a0: r1 = tas lock    | a1: r1 = tas lock
+            if r1 != 0 goto a0   | if r1 != 0 goto a1
+            x = 1                | r2 = x
+            sync lock = 0        | sync lock = 0
+            """
+        )
+        from repro.drf.drf0 import obeys_drf0
+
+        assert obeys_drf0(test.program)

@@ -1,0 +1,151 @@
+"""Round-trip tests: render_litmus o parse_litmus == identity (modulo
+register renaming and trailing end-labels)."""
+
+import pytest
+
+from repro.core.program import Program, ThreadBuilder
+from repro.litmus.catalog import (
+    fig1_dekker,
+    fig1_dekker_all_sync,
+    fig1_dekker_fenced,
+    message_passing_sync,
+)
+from repro.litmus.parse import parse_litmus
+from repro.litmus.printer import UnrenderableError, render_litmus
+from repro.litmus.suites import load_suite
+
+
+def roundtrip(test):
+    return parse_litmus(render_litmus(test))
+
+
+def assert_same_instructions(a: Program, b: Program):
+    assert a.num_procs == b.num_procs
+    for thread_a, thread_b in zip(a.threads, b.threads):
+        assert thread_a.instructions == thread_b.instructions
+        assert dict(thread_a.labels) == dict(thread_b.labels)
+    assert dict(a.initial_memory) == dict(b.initial_memory)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [fig1_dekker, fig1_dekker_all_sync, fig1_dekker_fenced,
+         message_passing_sync],
+    )
+    def test_catalog_tests_roundtrip(self, factory):
+        test = factory()
+        parsed = roundtrip(test)
+        assert_same_instructions(test.program, parsed.program)
+        assert parsed.projection == test.projection
+        assert parsed.forbidden == test.forbidden
+
+    def test_suite_files_roundtrip(self):
+        for name, test in load_suite().items():
+            parsed = roundtrip(test)
+            assert_same_instructions(test.program, parsed.program)
+
+    def test_all_instruction_kinds(self):
+        thread = (
+            ThreadBuilder("P0")
+            .mov("r1", 5)
+            .add("r2", "r1", 1)
+            .sub("r3", "r2", "r1")
+            .mul("r4", "r3", 2)
+            .load("r5", "x")
+            .store("x", "r5")
+            .sync_load("r6", "s")
+            .sync_store("s", 0)
+            .test_and_set("r7", "s")
+            .fetch_and_add("r8", "c", 3)
+            .swap("r9", "s", "r1")
+            .fence()
+            .nop()
+            .label("end")
+            .halt()
+            .build()
+        )
+        program = Program([thread], name="kinds")
+        parsed = parse_litmus(render_litmus(program))
+        assert_same_instructions(program, parsed.program)
+
+    def test_branches_and_labels(self):
+        thread = (
+            ThreadBuilder("P0")
+            .label("spin")
+            .test_and_set("r1", "lock")
+            .bne("r1", 0, "spin")
+            .jump("out")
+            .label("out")
+            .nop()
+            .build()
+        )
+        program = Program([thread], name="branchy")
+        parsed = parse_litmus(render_litmus(program))
+        assert_same_instructions(program, parsed.program)
+
+    def test_initial_memory_preserved(self):
+        program = Program(
+            [ThreadBuilder("P0").load("r1", "x").build()],
+            initial_memory={"x": 7, "lock": 1},
+            name="inits",
+        )
+        parsed = parse_litmus(render_litmus(program))
+        assert parsed.program.initial_memory == {"x": 7, "lock": 1}
+
+
+class TestRenaming:
+    def test_nonconforming_registers_renamed(self):
+        program = Program(
+            [ThreadBuilder("P0").load("tmp", "x").add("sum", "sum", "tmp").build()]
+        )
+        source = render_litmus(program)
+        assert "tmp" not in source.split("name:")[1]
+        parsed = parse_litmus(source)
+        # Semantics preserved: one load, one add, consistent renaming.
+        instrs = parsed.program.threads[0].instructions
+        assert instrs[0].dest == instrs[1].b
+
+    def test_strict_mode_rejects_nonconforming(self):
+        program = Program(
+            [ThreadBuilder("P0").load("tmp", "x").build()]
+        )
+        with pytest.raises(UnrenderableError):
+            render_litmus(program, strict=True)
+
+    def test_renaming_avoids_collisions(self):
+        program = Program(
+            [ThreadBuilder("P0").load("r100", "x").load("tmp", "y").build()]
+        )
+        parsed = parse_litmus(render_litmus(program))
+        dests = [i.dest for i in parsed.program.threads[0].instructions]
+        assert len(set(dests)) == 2
+
+    def test_forbidden_registers_renamed_consistently(self):
+        from repro.litmus.test import LitmusTest
+
+        program = Program(
+            [ThreadBuilder("P0").load("out", "x").build()], name="t"
+        )
+        test = LitmusTest(
+            name="t", program=program, projection=((0, "out"),), forbidden=(1,)
+        )
+        parsed = roundtrip(test)
+        # The projection register was renamed along with the program.
+        reg = parsed.projection[0][1]
+        assert parsed.program.threads[0].instructions[0].dest == reg
+        assert parsed.forbidden == (1,)
+
+
+class TestSemanticEquivalence:
+    def test_roundtripped_test_runs_identically(self):
+        from repro.litmus.runner import LitmusRunner
+        from repro.memsys.config import NET_NOCACHE
+        from repro.models.policies import RelaxedPolicy
+
+        runner = LitmusRunner()
+        original = fig1_dekker()
+        parsed = roundtrip(original)
+        a = runner.run(original, RelaxedPolicy, NET_NOCACHE, runs=25, base_seed=3)
+        b = runner.run(parsed, RelaxedPolicy, NET_NOCACHE, runs=25, base_seed=3)
+        assert a.histogram == b.histogram

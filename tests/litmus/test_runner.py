@@ -1,0 +1,55 @@
+"""Unit tests for the litmus campaign runner."""
+
+import pytest
+
+from repro.litmus.catalog import fig1_dekker, message_passing_sync
+from repro.litmus.runner import LitmusRunner
+from repro.memsys.config import NET_CACHE, NET_NOCACHE
+from repro.models.policies import Def2Policy, RelaxedPolicy, SCPolicy
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return LitmusRunner()
+
+
+class TestRunner:
+    def test_histogram_sums_to_completed(self, runner):
+        result = runner.run(fig1_dekker(), SCPolicy, NET_NOCACHE, runs=20)
+        assert sum(result.histogram.values()) == result.completed_runs
+        assert result.completed_runs == 20
+
+    def test_sc_policy_never_violates(self, runner):
+        result = runner.run(fig1_dekker(), SCPolicy, NET_NOCACHE, runs=30)
+        assert not result.violated_sc
+        assert result.forbidden_seen == 0
+
+    def test_relaxed_violates_on_network(self, runner):
+        result = runner.run(fig1_dekker(), RelaxedPolicy, NET_NOCACHE, runs=60)
+        assert result.violated_sc
+        assert result.forbidden_seen > 0
+        assert result.sc_violations.get(result.test.forbidden, 0) > 0
+
+    def test_drf0_program_clean_on_def2(self, runner):
+        result = runner.run(message_passing_sync(), Def2Policy, NET_CACHE, runs=25)
+        assert not result.violated_sc
+        assert result.completed_runs == 25
+
+    def test_describe_marks_violations(self, runner):
+        result = runner.run(fig1_dekker(), RelaxedPolicy, NET_NOCACHE, runs=60)
+        text = result.describe()
+        assert "NOT SC" in text
+        assert "forbidden" in text
+
+    def test_mean_cycles_positive(self, runner):
+        result = runner.run(fig1_dekker(), SCPolicy, NET_NOCACHE, runs=5)
+        assert result.mean_cycles > 0
+
+    def test_reproducible_with_same_base_seed(self, runner):
+        a = runner.run(fig1_dekker(), RelaxedPolicy, NET_NOCACHE, runs=15, base_seed=7)
+        b = runner.run(fig1_dekker(), RelaxedPolicy, NET_NOCACHE, runs=15, base_seed=7)
+        assert a.histogram == b.histogram
+
+    def test_sc_outcomes_projection(self, runner):
+        outcomes = runner.sc_outcomes(fig1_dekker())
+        assert outcomes == {(0, 1), (1, 0), (1, 1)}

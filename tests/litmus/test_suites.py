@@ -1,0 +1,74 @@
+"""Tests for the shipped .litmus suite."""
+
+import pytest
+
+from repro.drf.drf0 import obeys_drf0
+from repro.litmus.runner import LitmusRunner
+from repro.litmus.suites import load_suite, load_suite_test, suite_paths
+from repro.memsys.config import NET_CACHE, NET_NOCACHE
+from repro.models.policies import Def2Policy, RP3FencePolicy, RelaxedPolicy, SCPolicy
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return load_suite()
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return LitmusRunner()
+
+
+class TestSuiteLoading:
+    def test_all_files_parse(self, suite):
+        assert len(suite) == len(suite_paths()) >= 8
+
+    def test_expected_names(self, suite):
+        for name in ("SB", "MP", "MP+sync", "LB", "IRIW", "CoRR",
+                     "spinlock", "SB+fences"):
+            assert name in suite
+
+    def test_load_single(self):
+        test = load_suite_test("SB")
+        assert test.forbidden == (0, 0)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_suite_test("nope")
+
+    def test_warm_flag_propagates(self):
+        assert load_suite_test("SB", warm_caches=True).warm_caches
+
+
+class TestSuiteSemantics:
+    def test_forbidden_outcomes_are_sc_forbidden(self, suite, runner):
+        for test in suite.values():
+            assert test.forbidden not in runner.sc_outcomes(test), test.name
+
+    def test_drf_classification(self, suite):
+        assert not obeys_drf0(suite["SB"].program)
+        assert not obeys_drf0(suite["MP"].program)
+        assert obeys_drf0(suite["MP+sync"].program)
+        assert obeys_drf0(suite["spinlock"].program)
+
+    def test_sb_violates_relaxed(self, runner):
+        test = load_suite_test("SB")
+        result = runner.run(test, RelaxedPolicy, NET_NOCACHE, runs=60)
+        assert result.forbidden_seen > 0
+
+    def test_sb_fenced_clean_everywhere(self, runner):
+        test = load_suite_test("SB+fences")
+        result = runner.run(test, RP3FencePolicy, NET_NOCACHE, runs=60)
+        assert result.forbidden_seen == 0
+
+    def test_drf0_suite_tests_clean_on_def2(self, runner):
+        for name in ("MP+sync", "spinlock"):
+            test = load_suite_test(name)
+            result = runner.run(test, Def2Policy, NET_CACHE, runs=30)
+            assert not result.violated_sc, name
+            assert result.completed_runs == 30
+
+    def test_sc_policy_clean_on_entire_suite(self, runner):
+        for test in load_suite().values():
+            result = runner.run(test, SCPolicy, NET_CACHE, runs=15)
+            assert not result.violated_sc, test.name

@@ -1,0 +1,80 @@
+"""Unit tests for the litmus-test type."""
+
+from repro.core.execution import Observable
+from repro.core.instructions import Load
+from repro.litmus.catalog import fig1_dekker
+from repro.litmus.test import LitmusTest
+
+
+class TestProjection:
+    def test_project_extracts_registers(self):
+        test = fig1_dekker()
+        obs = Observable.create([{"r1": 1}, {"r2": 0}], {"x": 1, "y": 1})
+        assert test.project(obs) == (1, 0)
+
+    def test_describe_outcome(self):
+        test = fig1_dekker()
+        assert test.describe_outcome((0, 0)) == "(P0.r1=0, P1.r2=0)"
+
+
+class TestWarmup:
+    def test_unwarmed_program_passthrough(self):
+        test = fig1_dekker(warm=False)
+        assert test.executable_program() is test.program
+
+    def test_warm_program_prepends_loads_everywhere(self):
+        test = fig1_dekker(warm=True)
+        program = test.executable_program()
+        locations = sorted(test.program.locations())
+        for thread in program.threads:
+            warmups = thread.instructions[: len(locations)]
+            assert all(isinstance(i, Load) for i in warmups)
+            assert [i.location for i in warmups] == locations
+
+    def test_warm_registers_are_scratch(self):
+        test = fig1_dekker(warm=True)
+        program = test.executable_program()
+        warm_dests = {
+            i.dest
+            for t in program.threads
+            for i in t.instructions
+            if isinstance(i, Load) and i.dest.startswith("__warm")
+        }
+        assert warm_dests  # they exist
+        test_regs = {reg for _, reg in test.projection}
+        assert not (warm_dests & test_regs)
+
+    def test_warm_shifts_labels(self):
+        """Branch targets must survive the prepended warm-up loads."""
+        from repro.core.program import Program, ThreadBuilder
+
+        thread = (
+            ThreadBuilder("P0")
+            .label("spin")
+            .test_and_set("t", "l")
+            .bne("t", 0, "spin")
+            .build()
+        )
+        test = LitmusTest(
+            name="spin",
+            program=Program([thread]),
+            projection=((0, "t"),),
+            warm_caches=True,
+        )
+        warmed = test.executable_program().threads[0]
+        n_warm = len(test.program.locations())
+        assert warmed.labels["spin"] == n_warm
+        branch = warmed.instructions[n_warm + 1]
+        assert warmed.target_of(branch) == n_warm
+
+    def test_warm_preserves_initial_memory(self):
+        from repro.core.program import Program, ThreadBuilder
+
+        program = Program(
+            [ThreadBuilder("P0").load("r", "x").build()],
+            initial_memory={"x": 5},
+        )
+        test = LitmusTest(
+            name="t", program=program, projection=((0, "r"),), warm_caches=True
+        )
+        assert test.executable_program().initial_memory == {"x": 5}

@@ -1,0 +1,48 @@
+"""Unit tests for machine configurations."""
+
+import pytest
+
+from repro.memsys.config import (
+    BUS_CACHE,
+    BUS_NOCACHE,
+    FIGURE1_CONFIGS,
+    InterconnectKind,
+    NET_CACHE,
+    NET_NOCACHE,
+    config_by_name,
+)
+
+
+class TestConfigs:
+    def test_four_quadrants(self):
+        assert len(FIGURE1_CONFIGS) == 4
+        assert {c.name for c in FIGURE1_CONFIGS} == {
+            "bus_nocache",
+            "net_nocache",
+            "bus_cache",
+            "net_cache",
+        }
+
+    def test_structure_matrix(self):
+        assert not BUS_NOCACHE.has_caches
+        assert BUS_NOCACHE.interconnect is InterconnectKind.BUS
+        assert not NET_NOCACHE.has_caches
+        assert NET_NOCACHE.interconnect is InterconnectKind.NETWORK
+        assert BUS_CACHE.has_caches
+        assert NET_CACHE.has_caches
+        assert NET_CACHE.interconnect is InterconnectKind.NETWORK
+
+    def test_with_overrides_copies(self):
+        slow = NET_CACHE.with_overrides(network_base_latency=99)
+        assert slow.network_base_latency == 99
+        assert NET_CACHE.network_base_latency != 99
+        assert slow.name == NET_CACHE.name
+
+    def test_config_by_name(self):
+        assert config_by_name("bus_cache") is BUS_CACHE
+        with pytest.raises(ValueError):
+            config_by_name("hypercube")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            NET_CACHE.network_jitter = 0

@@ -1,0 +1,93 @@
+"""Unit tests for the memory module (no-cache substrate)."""
+
+from repro.interconnect.bus import Bus
+from repro.memsys.memory import (
+    MEMORY_ENDPOINT,
+    MemRMW,
+    MemRMWResp,
+    MemRead,
+    MemReadResp,
+    MemWrite,
+    MemWriteAck,
+    MemoryModule,
+)
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+
+
+class MemoryHarness:
+    def __init__(self, initial=None, service_latency=2):
+        self.sim = Simulator()
+        self.stats = Stats()
+        self.bus = Bus(self.sim, self.stats, transfer_cycles=1)
+        self.memory = MemoryModule(
+            self.sim,
+            self.bus,
+            self.stats,
+            initial_memory=initial or {},
+            service_latency=service_latency,
+        )
+        self.inbox = []
+        self.bus.register("client", lambda payload, src: self.inbox.append(payload))
+
+    def send(self, message):
+        self.bus.send("client", MEMORY_ENDPOINT, message)
+
+    def run(self):
+        self.sim.run()
+
+
+class TestMemoryModule:
+    def test_read_returns_value(self):
+        harness = MemoryHarness(initial={"x": 9})
+        harness.send(MemRead("x", token=1, reply_to="client"))
+        harness.run()
+        assert harness.inbox == [MemReadResp("x", 9, 1)]
+
+    def test_unwritten_reads_zero(self):
+        harness = MemoryHarness()
+        harness.send(MemRead("x", token=1, reply_to="client"))
+        harness.run()
+        assert harness.inbox[0].value == 0
+
+    def test_write_applies_and_acks(self):
+        harness = MemoryHarness()
+        harness.send(MemWrite("x", 5, token=2, reply_to="client"))
+        harness.run()
+        assert harness.inbox == [MemWriteAck("x", 2)]
+        assert harness.memory.value("x") == 5
+
+    def test_arrival_order_serializes(self):
+        harness = MemoryHarness()
+        harness.send(MemWrite("x", 1, token=1, reply_to="client"))
+        harness.send(MemWrite("x", 2, token=2, reply_to="client"))
+        harness.run()
+        assert harness.memory.value("x") == 2
+
+    def test_rmw_atomic(self):
+        harness = MemoryHarness(initial={"c": 10})
+        harness.send(MemRMW("c", lambda old: old + 1, token=3, reply_to="client"))
+        harness.run()
+        assert harness.inbox == [MemRMWResp("c", 10, 3)]
+        assert harness.memory.value("c") == 11
+
+    def test_read_after_write_sees_it(self):
+        harness = MemoryHarness()
+        harness.send(MemWrite("x", 7, token=1, reply_to="client"))
+        harness.send(MemRead("x", token=2, reply_to="client"))
+        harness.run()
+        read_resp = [m for m in harness.inbox if isinstance(m, MemReadResp)][0]
+        assert read_resp.value == 7
+
+    def test_service_latency_delays_response(self):
+        harness = MemoryHarness(service_latency=10)
+        harness.send(MemRead("x", token=1, reply_to="client"))
+        final = harness.sim.run()
+        # 1 (bus to mem) + 10 (service) + 1 (bus back)
+        assert final >= 12
+
+    def test_contents_snapshot(self):
+        harness = MemoryHarness(initial={"a": 1})
+        harness.send(MemWrite("b", 2, token=1, reply_to="client"))
+        harness.run()
+        assert harness.memory.contents() == {"a": 1, "b": 2}

@@ -1,0 +1,68 @@
+"""Tests for the ALL-SYNC baseline (Section 3's [Lam86] alternative)."""
+
+import pytest
+
+from repro.analysis.comparison import compare_policies
+from repro.core.operation import OpKind
+from repro.memsys.config import NET_CACHE
+from repro.memsys.system import run_program
+from repro.models.base import BlockKind
+from repro.models.policies import AllSyncPolicy, Def2Policy, policy_by_name
+from repro.sc.verifier import SCVerifier
+from repro.workloads.random_programs import random_racy_program
+from repro.workloads.read_sharing import (
+    expected_reader_sum,
+    read_sharing_program,
+)
+
+
+class TestPolicySurface:
+    def test_everything_is_sync_protocol(self):
+        policy = AllSyncPolicy()
+        for kind in OpKind:
+            assert policy.sync_protocol(kind)
+            assert policy.needs_exclusive(kind)
+            assert policy.block_kind(kind) is BlockKind.COMMIT
+
+    def test_lookup_by_name(self):
+        assert isinstance(policy_by_name("all-sync"), AllSyncPolicy)
+
+
+class TestCorrectness:
+    def test_appears_sc_even_for_racy_programs(self):
+        """Stronger than DEF2: with everything serialized through
+        exclusive ownership and commit-blocking, even racy programs
+        appear SC."""
+        verifier = SCVerifier()
+        for program_seed in range(8):
+            program = random_racy_program(program_seed, num_procs=2, ops_per_proc=4)
+            sc_set = verifier.sc_result_set(program)
+            for hw_seed in range(4):
+                run = run_program(program, AllSyncPolicy(), NET_CACHE, seed=hw_seed)
+                assert run.completed
+                assert run.observable in sc_set
+
+    def test_read_sharing_checksums(self):
+        program = read_sharing_program(num_readers=2, locations=3, passes=2)
+        expected = expected_reader_sum(locations=3, passes=2)
+        run = run_program(program, AllSyncPolicy(), NET_CACHE, seed=1)
+        assert run.completed
+        assert run.observable.register(1, "sum") == expected
+        assert run.observable.register(2, "sum") == expected
+
+
+class TestTheSection3Claim:
+    def test_labels_beat_all_sync_on_read_sharing(self):
+        """'Slow synchronization operations coupled with fast reads and
+        writes will yield better performance than the alternative':
+        DEF2 with DRF0 labels must beat ALL-SYNC hardware on
+        read-sharing, in both cycles and protocol traffic."""
+        comparisons = compare_policies(
+            program_factory=lambda: read_sharing_program(3, 4, 3),
+            policies=[Def2Policy, AllSyncPolicy],
+            config=NET_CACHE,
+            runs=4,
+        )
+        by_name = {c.policy_name: c for c in comparisons}
+        assert by_name["DEF2"].mean_cycles < by_name["ALL-SYNC"].mean_cycles
+        assert by_name["DEF2"].mean_messages < by_name["ALL-SYNC"].mean_messages

@@ -1,0 +1,65 @@
+"""Property-based form of the Appendix B theorem and DRF0 generator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drf.drf0 import obeys_drf0
+from repro.memsys.config import NET_CACHE
+from repro.memsys.system import run_program
+from repro.models.policies import Def2Policy, Def2RPolicy
+from repro.sc.verifier import SCVerifier
+from repro.workloads.random_programs import (
+    random_drf0_program,
+    random_mixed_sync_program,
+)
+
+_verifier = SCVerifier()
+_program_cache = {}
+
+
+def drf0_program(seed):
+    if ("drf0", seed) not in _program_cache:
+        _program_cache[("drf0", seed)] = random_drf0_program(
+            seed, num_procs=2, sections_per_proc=1, ops_per_section=2
+        )
+    return _program_cache[("drf0", seed)]
+
+
+def mixed_program(seed):
+    if ("mixed", seed) not in _program_cache:
+        _program_cache[("mixed", seed)] = random_mixed_sync_program(
+            seed, ops_per_proc=3
+        )
+    return _program_cache[("mixed", seed)]
+
+
+class TestGeneratorInvariants:
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_lock_disciplined_programs_are_drf0(self, seed):
+        assert obeys_drf0(drf0_program(seed))
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_mixed_sync_programs_are_drf0(self, seed):
+        assert obeys_drf0(mixed_program(seed))
+
+
+class TestWeakOrderingTheorem:
+    """Definition 2, property-based: DRF0 programs appear SC on DEF2."""
+
+    @given(st.integers(0, 60), st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_def2(self, program_seed, hw_seed):
+        program = drf0_program(program_seed)
+        run = run_program(program, Def2Policy(), NET_CACHE, seed=hw_seed)
+        assert run.completed
+        assert run.observable in _verifier.sc_result_set(program)
+
+    @given(st.integers(0, 60), st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_def2r(self, program_seed, hw_seed):
+        program = mixed_program(program_seed)
+        run = run_program(program, Def2RPolicy(), NET_CACHE, seed=hw_seed)
+        assert run.completed
+        assert run.observable in _verifier.sc_result_set(program)

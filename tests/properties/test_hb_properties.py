@@ -1,0 +1,115 @@
+"""Property-based tests of the happens-before construction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.execution import Execution
+from repro.core.operation import MemoryOp, OpKind, conflict
+from repro.hb.augment import augment_execution, strip_augmentation
+from repro.hb.conflict import conflicting_pairs
+from repro.hb.relations import build_happens_before
+
+LOCATIONS = ["x", "y", "s", "t"]
+KINDS = list(OpKind)
+
+
+@st.composite
+def executions(draw, max_ops=10, procs=3):
+    """A random idealized-architecture trace (values filled plausibly)."""
+    n = draw(st.integers(1, max_ops))
+    memory = {}
+    ops = []
+    for _ in range(n):
+        proc = draw(st.integers(0, procs - 1))
+        kind = draw(st.sampled_from(KINDS))
+        loc = draw(st.sampled_from(LOCATIONS))
+        read = memory.get(loc, 0) if kind.reads_memory else None
+        written = None
+        if kind.writes_memory:
+            written = draw(st.integers(1, 5))
+            memory[loc] = written
+        ops.append(
+            MemoryOp(
+                proc=proc,
+                kind=kind,
+                location=loc,
+                value_read=read,
+                value_written=written,
+            )
+        )
+    return Execution(ops=ops)
+
+
+class TestHappensBeforeProperties:
+    @given(executions())
+    def test_hb_is_irreflexive(self, execution):
+        hb = build_happens_before(execution)
+        for op in execution.ops:
+            assert not hb.ordered(op, op)
+
+    @given(executions())
+    def test_hb_contains_program_order(self, execution):
+        hb = build_happens_before(execution)
+        by_proc = {}
+        for op in execution.ops:
+            by_proc.setdefault(op.proc, []).append(op)
+        for ops in by_proc.values():
+            for earlier, later in zip(ops, ops[1:]):
+                assert hb.ordered(earlier, later)
+
+    @given(executions())
+    def test_hb_contains_sync_order(self, execution):
+        hb = build_happens_before(execution)
+        syncs = {}
+        for op in execution.ops:
+            if op.is_sync:
+                syncs.setdefault(op.location, []).append(op)
+        for ops in syncs.values():
+            for i, earlier in enumerate(ops):
+                for later in ops[i + 1 :]:
+                    assert hb.ordered(earlier, later)
+
+    @given(executions())
+    def test_hb_consistent_with_trace_order(self, execution):
+        """hb never orders a later op before an earlier one (the trace is
+        a legal completion order)."""
+        hb = build_happens_before(execution)
+        for i, earlier in enumerate(execution.ops):
+            for later in execution.ops[i + 1 :]:
+                assert not hb.ordered(later, earlier)
+
+    @given(executions())
+    def test_conflicting_pairs_are_symmetric_conflicts(self, execution):
+        for a, b in conflicting_pairs(execution):
+            assert conflict(a, b) and conflict(b, a)
+            assert a.proc != b.proc
+
+
+class TestAugmentationProperties:
+    @given(executions())
+    def test_strip_roundtrip(self, execution):
+        assert strip_augmentation(augment_execution(execution)).ops == execution.ops
+
+    @given(executions())
+    def test_augmented_reads_have_prior_writes(self, execution):
+        augmented = augment_execution(execution)
+        hb = build_happens_before(augmented)
+        for op in augmented.ops:
+            if not op.reads_memory:
+                continue
+            writes = [
+                w
+                for w in augmented.ops
+                if w.writes_memory and w.location == op.location and w is not op
+            ]
+            assert any(hb.ordered(w, op) for w in writes)
+
+    @given(executions())
+    def test_augmentation_orders_init_before_everything(self, execution):
+        augmented = augment_execution(execution)
+        hb = build_happens_before(augmented)
+        init_ops = [o for o in augmented.ops if o.proc == MemoryOp.INIT_PROC]
+        real_ops = [o for o in augmented.ops if not o.is_hypothetical]
+        for init in init_ops:
+            for real in real_ops:
+                assert hb.ordered(init, real)

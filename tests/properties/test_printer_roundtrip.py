@@ -1,0 +1,69 @@
+"""Property-based round-trip: render -> parse preserves programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.program import Program, ThreadBuilder
+from repro.litmus.parse import parse_litmus
+from repro.litmus.printer import render_litmus
+
+LOCATIONS = ["x", "y", "lock"]
+
+
+@st.composite
+def straightline_programs(draw, max_ops=6, max_procs=3):
+    """Random straight-line programs over conforming register names."""
+    num_procs = draw(st.integers(1, max_procs))
+    threads = []
+    for proc in range(num_procs):
+        builder = ThreadBuilder(f"P{proc}")
+        n = draw(st.integers(1, max_ops))
+        for op_idx in range(n):
+            choice = draw(st.integers(0, 7))
+            loc = draw(st.sampled_from(LOCATIONS))
+            reg = f"r{op_idx}"
+            if choice == 0:
+                builder.load(reg, loc)
+            elif choice == 1:
+                builder.store(loc, draw(st.integers(0, 9)))
+            elif choice == 2:
+                builder.sync_load(reg, loc)
+            elif choice == 3:
+                builder.sync_store(loc, draw(st.integers(0, 9)))
+            elif choice == 4:
+                builder.test_and_set(reg, loc)
+            elif choice == 5:
+                builder.fetch_and_add(reg, loc, draw(st.integers(1, 3)))
+            elif choice == 6:
+                builder.mov(reg, draw(st.integers(0, 9)))
+            else:
+                builder.fence()
+        threads.append(builder.build())
+    init = draw(
+        st.dictionaries(st.sampled_from(LOCATIONS), st.integers(0, 5), max_size=2)
+    )
+    return Program(threads, initial_memory=init, name="prop")
+
+
+class TestRoundTripProperties:
+    @given(straightline_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_instructions_survive(self, program):
+        parsed = parse_litmus(render_litmus(program))
+        assert parsed.program.num_procs == program.num_procs
+        for original, reparsed in zip(program.threads, parsed.program.threads):
+            assert original.instructions == reparsed.instructions
+
+    @given(straightline_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_initial_memory_survives(self, program):
+        parsed = parse_litmus(render_litmus(program))
+        assert dict(parsed.program.initial_memory) == dict(program.initial_memory)
+
+    @given(straightline_programs(max_procs=2, max_ops=4))
+    @settings(max_examples=15, deadline=None)
+    def test_sc_semantics_identical(self, program):
+        from repro.sc.interleaving import enumerate_results
+
+        parsed = parse_litmus(render_litmus(program))
+        assert enumerate_results(parsed.program) == enumerate_results(program)

@@ -1,0 +1,94 @@
+"""Property-based protocol validation: every policy, arbitrary programs.
+
+Whatever the consistency model, the coherence protocol must never invent
+values, reorder a processor's same-location writes, let reads travel
+backwards through a location's write serialization, or break RMW
+atomicity.  Commit order is the per-location serialization only on the
+cache-coherent machines (the blocking directory + exclusive-ownership
+transfer guarantee it), so the checks run there.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.invariants import check_trace
+from repro.memsys.config import BUS_CACHE, NET_CACHE
+from repro.memsys.system import run_program
+from repro.models.policies import (
+    Def1Policy,
+    Def2Policy,
+    Def2RPolicy,
+    RelaxedPolicy,
+    SCPolicy,
+)
+from repro.workloads.random_programs import (
+    random_mixed_sync_program,
+    random_racy_program,
+)
+
+POLICIES = [RelaxedPolicy, SCPolicy, Def1Policy, Def2Policy, Def2RPolicy]
+
+
+class TestProtocolInvariants:
+    @given(
+        st.integers(0, 150),
+        st.integers(0, 30),
+        st.sampled_from(POLICIES),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_racy_programs_net_cache(self, program_seed, hw_seed, policy_cls):
+        program = random_racy_program(program_seed, num_procs=3, ops_per_proc=4)
+        run = run_program(program, policy_cls(), NET_CACHE, seed=hw_seed)
+        assert run.completed
+        violations = check_trace(run.execution, dict(program.initial_memory))
+        assert violations == [], violations
+
+    @given(st.integers(0, 150), st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_racy_programs_bus_cache(self, program_seed, hw_seed):
+        program = random_racy_program(program_seed, num_procs=2, ops_per_proc=4)
+        run = run_program(program, RelaxedPolicy(), BUS_CACHE, seed=hw_seed)
+        assert run.completed
+        assert check_trace(run.execution, dict(program.initial_memory)) == []
+
+    @given(st.integers(0, 100), st.integers(0, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_sync_heavy_programs(self, program_seed, hw_seed):
+        program = random_mixed_sync_program(program_seed, ops_per_proc=4)
+        run = run_program(program, Def2Policy(), NET_CACHE, seed=hw_seed)
+        assert run.completed
+        assert check_trace(run.execution, dict(program.initial_memory)) == []
+
+    @given(
+        st.integers(0, 150),
+        st.integers(0, 30),
+        st.sampled_from(POLICIES),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_inval_virtual_channel_keeps_invariants(
+        self, program_seed, hw_seed, policy_cls
+    ):
+        """Invalidations racing grants on their own virtual network (and
+        the use-once fill path it requires) must not break coherence."""
+        from repro.memsys.config import NET_CACHE_VC
+
+        config = NET_CACHE_VC.with_overrides(network_jitter=20)
+        program = random_racy_program(program_seed, num_procs=3, ops_per_proc=4)
+        run = run_program(program, policy_cls(), config, seed=hw_seed)
+        assert run.completed
+        violations = check_trace(run.execution, dict(program.initial_memory))
+        assert violations == [], violations
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_capacity_pressure_keeps_invariants(self, program_seed):
+        """Tiny caches force evictions, write-backs and victim-buffer
+        recalls; the invariants must survive all of it."""
+        config = NET_CACHE.with_overrides(cache_capacity=2)
+        program = random_racy_program(
+            program_seed, num_procs=2, ops_per_proc=6,
+            locations=("a", "b", "c", "d"),
+        )
+        run = run_program(program, Def2Policy(), config, seed=program_seed)
+        assert run.completed
+        assert check_trace(run.execution, dict(program.initial_memory)) == []

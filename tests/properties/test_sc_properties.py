@@ -1,0 +1,64 @@
+"""Property-based tests tying the enumerator to schedules and hardware."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsys.config import BUS_CACHE, BUS_NOCACHE, NET_CACHE, NET_NOCACHE
+from repro.memsys.system import run_program
+from repro.models.policies import SCPolicy
+from repro.sc.executor import run_schedule
+from repro.sc.interleaving import enumerate_results
+from repro.sc.verifier import SCVerifier
+from repro.workloads.random_programs import random_racy_program
+
+program_seeds = st.integers(0, 200)
+schedules = st.lists(st.integers(0, 1), max_size=12)
+
+
+class TestEnumeratorCompleteness:
+    @given(program_seeds, schedules)
+    @settings(max_examples=40, deadline=None)
+    def test_any_schedule_result_is_enumerated(self, seed, schedule):
+        program = random_racy_program(seed, num_procs=2, ops_per_proc=3)
+        execution = run_schedule(program, schedule)
+        assert execution.observable in enumerate_results(program)
+
+
+class TestSCHardwareSoundness:
+    """SC-policy hardware must only ever produce enumerated SC results —
+    on every machine configuration, for arbitrary (racy) programs."""
+
+    @given(program_seeds, st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_net_cache(self, seed, hw_seed):
+        self._check(seed, hw_seed, NET_CACHE)
+
+    @given(program_seeds, st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_bus_cache(self, seed, hw_seed):
+        self._check(seed, hw_seed, BUS_CACHE)
+
+    @given(program_seeds, st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_net_nocache(self, seed, hw_seed):
+        self._check(seed, hw_seed, NET_NOCACHE)
+
+    @given(program_seeds, st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_bus_nocache(self, seed, hw_seed):
+        self._check(seed, hw_seed, BUS_NOCACHE)
+
+    def _check(self, seed, hw_seed, config):
+        program = random_racy_program(seed, num_procs=2, ops_per_proc=3)
+        run = run_program(program, SCPolicy(), config, seed=hw_seed)
+        assert run.completed
+        assert run.observable in enumerate_results(program)
+
+
+class TestVerifierConsistency:
+    @given(program_seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_verifier_matches_enumerator(self, seed):
+        program = random_racy_program(seed, num_procs=2, ops_per_proc=3)
+        verifier = SCVerifier()
+        assert verifier.sc_result_set(program) == enumerate_results(program)

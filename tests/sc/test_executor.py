@@ -1,0 +1,190 @@
+"""Unit tests for the idealized architecture executor."""
+
+import pytest
+
+from repro.core.operation import OpKind
+from repro.core.program import Program, ThreadBuilder
+from repro.sc.executor import IdealizedMachine, LocalLoopError, run_schedule
+
+
+def single_thread(builder: ThreadBuilder) -> Program:
+    return Program([builder.build()])
+
+
+class TestSequentialExecution:
+    def test_store_then_load(self):
+        program = single_thread(ThreadBuilder("P0").store("x", 7).load("r1", "x"))
+        machine = IdealizedMachine(program)
+        while not machine.halted:
+            machine.step(0)
+        execution = machine.finish()
+        assert execution.completed
+        assert machine.observable().register(0, "r1") == 7
+        assert machine.memory_value("x") == 7
+
+    def test_initial_memory_respected(self):
+        program = Program(
+            [ThreadBuilder("P0").load("r1", "x").build()], initial_memory={"x": 9}
+        )
+        machine = IdealizedMachine(program)
+        machine.step(0)
+        assert machine.observable().register(0, "r1") == 9
+
+    def test_arithmetic_and_branches(self):
+        builder = (
+            ThreadBuilder("P0")
+            .mov("i", 0)
+            .label("loop")
+            .add("i", "i", 1)
+            .blt("i", 3, "loop")
+            .store("out", "i")
+        )
+        program = single_thread(builder)
+        machine = IdealizedMachine(program)
+        while not machine.halted:
+            machine.step(0)
+        assert machine.memory_value("out") == 3
+
+    def test_rmw_atomicity_single_step(self):
+        program = single_thread(ThreadBuilder("P0").test_and_set("old", "lock"))
+        machine = IdealizedMachine(program)
+        op = machine.step(0)
+        assert op.kind is OpKind.SYNC_RMW
+        assert op.value_read == 0
+        assert op.value_written == 1
+        assert machine.memory_value("lock") == 1
+
+    def test_fetch_and_add(self):
+        program = Program(
+            [ThreadBuilder("P0").fetch_and_add("old", "c", 5).build()],
+            initial_memory={"c": 10},
+        )
+        machine = IdealizedMachine(program)
+        machine.step(0)
+        assert machine.observable().register(0, "old") == 10
+        assert machine.memory_value("c") == 15
+
+    def test_occurrence_counting_in_loops(self):
+        builder = (
+            ThreadBuilder("P0")
+            .mov("i", 0)
+            .label("loop")
+            .load("r", "x")
+            .add("i", "i", 1)
+            .blt("i", 3, "loop")
+        )
+        machine = IdealizedMachine(single_thread(builder))
+        while not machine.halted:
+            machine.step(0)
+        execution = machine.finish()
+        occurrences = [op.occurrence for op in execution.ops]
+        assert occurrences == [0, 1, 2]
+        assert len({op.static_id() for op in execution.ops}) == 3
+
+    def test_step_returns_none_at_halt(self):
+        program = single_thread(ThreadBuilder("P0").nop())
+        machine = IdealizedMachine(program)
+        assert machine.step(0) is None
+        assert machine.halted
+
+    def test_local_loop_detected(self):
+        program = single_thread(ThreadBuilder("P0").label("l").jump("l"))
+        machine = IdealizedMachine(program)
+        with pytest.raises(LocalLoopError):
+            machine.step(0)
+
+
+class TestForkAndState:
+    def test_fork_is_independent(self):
+        program = single_thread(ThreadBuilder("P0").store("x", 1).store("x", 2))
+        machine = IdealizedMachine(program)
+        machine.step(0)
+        clone = machine.fork()
+        clone.step(0)
+        assert clone.memory_value("x") == 2
+        assert machine.memory_value("x") == 1
+        assert len(machine.execution) == 1
+        assert len(clone.execution) == 2
+
+    def test_state_key_ignores_history(self):
+        program = Program(
+            [
+                ThreadBuilder("P0").store("x", 1).build(),
+                ThreadBuilder("P1").store("x", 1).build(),
+            ]
+        )
+        a = IdealizedMachine(program)
+        a.step(0)
+        a.step(1)
+        b = IdealizedMachine(program)
+        b.step(1)
+        b.step(0)
+        assert a.state_key() == b.state_key()
+
+    def test_state_key_distinguishes_memory(self):
+        program = Program(
+            [
+                ThreadBuilder("P0").store("x", 1).build(),
+                ThreadBuilder("P1").store("x", 2).build(),
+            ]
+        )
+        a = IdealizedMachine(program)
+        a.step(0)
+        a.step(1)
+        b = IdealizedMachine(program)
+        b.step(1)
+        b.step(0)
+        assert a.state_key() != b.state_key()  # final x differs (2 vs 1)
+
+    def test_runnable_threads(self):
+        program = Program(
+            [
+                ThreadBuilder("P0").nop().build(),
+                ThreadBuilder("P1").store("x", 1).build(),
+            ]
+        )
+        machine = IdealizedMachine(program)
+        assert machine.runnable_threads() == [0, 1]
+        machine.step(0)  # P0 runs its nop and halts
+        assert machine.runnable_threads() == [1]
+
+
+class TestRunSchedule:
+    def test_explicit_interleaving(self):
+        program = Program(
+            [
+                ThreadBuilder("P0").store("x", 1).load("r1", "y").build(),
+                ThreadBuilder("P1").store("y", 1).load("r2", "x").build(),
+            ]
+        )
+        execution = run_schedule(program, [0, 1, 0, 1])
+        assert execution.completed
+        assert execution.observable.register(0, "r1") == 1
+        assert execution.observable.register(1, "r2") == 1
+
+    def test_sequential_schedule(self):
+        program = Program(
+            [
+                ThreadBuilder("P0").store("x", 1).load("r1", "y").build(),
+                ThreadBuilder("P1").store("y", 1).load("r2", "x").build(),
+            ]
+        )
+        execution = run_schedule(program, [0, 0, 1, 1])
+        assert execution.observable.register(0, "r1") == 0
+        assert execution.observable.register(1, "r2") == 1
+
+    def test_short_schedule_completes_round_robin(self):
+        program = Program(
+            [
+                ThreadBuilder("P0").store("x", 1).load("r1", "y").build(),
+                ThreadBuilder("P1").store("y", 1).load("r2", "x").build(),
+            ]
+        )
+        execution = run_schedule(program, [])
+        assert execution.completed
+        assert len(execution.ops) == 4
+
+    def test_halted_entries_skipped(self):
+        program = single_thread(ThreadBuilder("P0").store("x", 1))
+        execution = run_schedule(program, [0, 0, 0, 0])
+        assert len(execution.ops) == 1

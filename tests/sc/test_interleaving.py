@@ -1,0 +1,165 @@
+"""Unit tests for exhaustive SC enumeration."""
+
+import math
+
+import pytest
+
+from repro.core.program import Program, ThreadBuilder
+from repro.sc.interleaving import (
+    SearchBudgetExceeded,
+    count_reachable_states,
+    enumerate_executions,
+    enumerate_results,
+)
+
+
+def dekker() -> Program:
+    t0 = ThreadBuilder("P0").store("x", 1).load("r1", "y").build()
+    t1 = ThreadBuilder("P1").store("y", 1).load("r2", "x").build()
+    return Program([t0, t1], name="dekker")
+
+
+def message_passing() -> Program:
+    t0 = ThreadBuilder("P0").store("x", 42).store("f", 1).build()
+    t1 = ThreadBuilder("P1").load("r1", "f").load("r2", "x").build()
+    return Program([t0, t1], name="mp")
+
+
+class TestEnumerateResults:
+    def test_dekker_excludes_0_0(self):
+        outcomes = {
+            (o.register(0, "r1"), o.register(1, "r2"))
+            for o in enumerate_results(dekker())
+        }
+        assert outcomes == {(0, 1), (1, 0), (1, 1)}
+
+    def test_message_passing_excludes_stale_read(self):
+        outcomes = {
+            (o.register(1, "r1"), o.register(1, "r2"))
+            for o in enumerate_results(message_passing())
+        }
+        assert (1, 0) not in outcomes
+        assert (1, 42) in outcomes
+        assert (0, 0) in outcomes
+
+    def test_single_thread_single_result(self):
+        program = Program([ThreadBuilder("P0").store("x", 1).load("r", "x").build()])
+        results = enumerate_results(program)
+        assert len(results) == 1
+        assert next(iter(results)).register(0, "r") == 1
+
+    def test_write_write_race_both_orders(self):
+        program = Program(
+            [
+                ThreadBuilder("P0").store("x", 1).build(),
+                ThreadBuilder("P1").store("x", 2).build(),
+            ]
+        )
+        finals = {o.memory_value("x") for o in enumerate_results(program)}
+        assert finals == {1, 2}
+
+    def test_spin_loop_terminates(self):
+        """A TestAndSet spin lock explores finitely many states."""
+        t0 = (
+            ThreadBuilder("P0")
+            .label("acq")
+            .test_and_set("t", "l")
+            .bne("t", 0, "acq")
+            .store("x", 1)
+            .sync_store("l", 0)
+            .build()
+        )
+        t1 = (
+            ThreadBuilder("P1")
+            .label("acq")
+            .test_and_set("t", "l")
+            .bne("t", 0, "acq")
+            .load("r", "x")
+            .sync_store("l", 0)
+            .build()
+        )
+        program = Program([t0, t1])
+        outcomes = {o.register(1, "r") for o in enumerate_results(program)}
+        assert outcomes == {0, 1}
+
+    def test_budget_enforced(self):
+        threads = [
+            ThreadBuilder(f"P{i}")
+            .store(f"a{i}", 1)
+            .store(f"b{i}", 1)
+            .store(f"c{i}", 1)
+            .build()
+            for i in range(4)
+        ]
+        with pytest.raises(SearchBudgetExceeded):
+            enumerate_results(Program(threads), max_states=10)
+
+
+class TestEnumerateExecutions:
+    def test_straightline_count_is_binomial(self):
+        """Two independent 2-op threads interleave in C(4,2)=6 ways."""
+        t0 = ThreadBuilder("P0").store("a", 1).store("b", 1).build()
+        t1 = ThreadBuilder("P1").store("c", 1).store("d", 1).build()
+        executions = list(enumerate_executions(Program([t0, t1])))
+        assert len(executions) == math.comb(4, 2)
+
+    def test_each_execution_is_complete_and_program_ordered(self):
+        executions = list(enumerate_executions(dekker()))
+        for execution in executions:
+            assert execution.completed
+            for proc in (0, 1):
+                ops = execution.ops_of_proc(proc)
+                assert [op.thread_pos for op in ops] == sorted(
+                    op.thread_pos for op in ops
+                )
+
+    def test_results_match_enumerate_results(self):
+        program = dekker()
+        from_executions = {e.observable for e in enumerate_executions(program)}
+        assert from_executions == enumerate_results(program)
+
+    def test_max_executions_truncates(self):
+        executions = list(enumerate_executions(dekker(), max_executions=2))
+        assert len(executions) == 2
+
+    def test_spin_livelock_marked_incomplete(self):
+        """A lock that is never released can only livelock: paths that
+        spin forever are pruned by the on-path state check and surface
+        as incomplete executions."""
+        program = Program(
+            [
+                ThreadBuilder("P0")
+                .label("acq")
+                .test_and_set("t", "l")
+                .bne("t", 0, "acq")
+                .build()
+            ],
+            initial_memory={"l": 1},
+        )
+        executions = list(enumerate_executions(program))
+        assert executions
+        assert all(not e.completed for e in executions)
+
+    def test_read_values_are_consistent(self):
+        for execution in enumerate_executions(message_passing()):
+            memory = {"x": 0, "f": 0}
+            for op in execution.ops:
+                if op.reads_memory:
+                    assert op.value_read == memory[op.location]
+                if op.writes_memory:
+                    memory[op.location] = op.value_written
+
+
+class TestCountReachableStates:
+    def test_tiny_program(self):
+        program = Program([ThreadBuilder("P0").store("x", 1).build()])
+        # initial state + post-store state
+        assert count_reachable_states(program) == 2
+
+    def test_budget(self):
+        threads = [
+            ThreadBuilder(f"P{i}").store(f"a{i}", 1).store(f"b{i}", 1).build()
+            for i in range(4)
+        ]
+        with pytest.raises(SearchBudgetExceeded):
+            count_reachable_states(Program(threads), max_states=5)

@@ -1,0 +1,147 @@
+"""Unit tests for the Lemma 1 checkers (Appendix A)."""
+
+from repro.core.execution import Execution
+from repro.core.operation import MemoryOp, OpKind
+from repro.core.program import Program, ThreadBuilder
+from repro.sc.executor import run_schedule
+from repro.sc.lemma1 import certify, find_hb_witness, reads_from_last_hb_write
+
+
+def op(kind, loc, proc, pos=0, occ=0, read=None, written=None):
+    return MemoryOp(
+        proc=proc,
+        kind=kind,
+        location=loc,
+        thread_pos=pos,
+        occurrence=occ,
+        value_read=read,
+        value_written=written,
+    )
+
+
+class TestReadsFromLastHbWrite:
+    def test_clean_idealized_execution_passes(self):
+        program = Program(
+            [
+                ThreadBuilder("P0").store("x", 1).sync_store("s", 1).build(),
+                ThreadBuilder("P1").sync_load("f", "s").load("r", "x").build(),
+            ]
+        )
+        execution = run_schedule(program, [0, 0, 1, 1])
+        assert reads_from_last_hb_write(execution) == []
+
+    def test_wrong_read_value_detected(self):
+        w = op(OpKind.WRITE, "x", 0, written=1)
+        rel = op(OpKind.SYNC_WRITE, "s", 0, pos=1, written=1)
+        acq = op(OpKind.SYNC_RMW, "s", 1, read=1, written=1)
+        r = op(OpKind.READ, "x", 1, pos=1, read=99)  # wrong: hb-last write wrote 1
+        violations = reads_from_last_hb_write(Execution(ops=[w, rel, acq, r]))
+        assert len(violations) == 1
+        assert violations[0].read is r
+        assert "99" in violations[0].describe()
+
+    def test_read_of_initial_value_passes(self):
+        r = op(OpKind.READ, "x", 0, read=0)
+        assert reads_from_last_hb_write(Execution(ops=[r])) == []
+
+    def test_initial_memory_respected(self):
+        r = op(OpKind.READ, "x", 0, read=7)
+        assert (
+            reads_from_last_hb_write(Execution(ops=[r]), initial_memory={"x": 7})
+            == []
+        )
+
+    def test_racy_read_reported_as_ambiguous(self):
+        w0 = op(OpKind.WRITE, "x", 0, written=1)
+        r1 = op(OpKind.READ, "x", 1, read=1)
+        violations = reads_from_last_hb_write(Execution(ops=[w0, r1]))
+        # The racy read is unordered with the write: the only hb-prior
+        # write is the initializing one, which wrote 0, not 1.
+        assert len(violations) == 1
+
+
+class TestFindHbWitness:
+    def program(self):
+        return Program(
+            [
+                ThreadBuilder("P0").store("x", 1).load("r1", "y").build(),
+                ThreadBuilder("P1").store("y", 1).load("r2", "x").build(),
+            ]
+        )
+
+    def _hardware_like_execution(self, r1, r2):
+        """Build a trace as hardware would report it (reads with values)."""
+        return Execution(
+            ops=[
+                op(OpKind.WRITE, "x", 0, pos=0, written=1),
+                op(OpKind.READ, "y", 0, pos=1, read=r1),
+                op(OpKind.WRITE, "y", 1, pos=0, written=1),
+                op(OpKind.READ, "x", 1, pos=1, read=r2),
+            ]
+        )
+
+    def test_sc_outcome_has_witness(self):
+        program = self.program()
+        execution = self._hardware_like_execution(r1=1, r2=1)
+        witness = find_hb_witness(program, execution)
+        assert witness is not None
+        assert witness.completed
+
+    def test_non_sc_outcome_has_no_witness(self):
+        program = self.program()
+        execution = self._hardware_like_execution(r1=0, r2=0)
+        assert find_hb_witness(program, execution) is None
+
+    def test_certify_wrapper(self):
+        program = self.program()
+        ok, witness = certify(program, self._hardware_like_execution(1, 0))
+        assert ok and witness is not None
+        bad, none = certify(program, self._hardware_like_execution(0, 0))
+        assert not bad and none is None
+
+    def test_witness_for_spinning_hardware_run(self):
+        """A hardware run with failed spin iterations still has a witness:
+        matching is on the last value each static read returned."""
+        program = Program(
+            [
+                ThreadBuilder("P0").store("f", 1).build(),
+                ThreadBuilder("P1")
+                .label("spin")
+                .load("r", "f")
+                .beq("r", 0, "spin")
+                .build(),
+            ]
+        )
+        # Hardware saw: three failed spin reads (0), then success (1).
+        execution = Execution(
+            ops=[
+                op(OpKind.READ, "f", 1, pos=0, occ=0, read=0),
+                op(OpKind.READ, "f", 1, pos=0, occ=1, read=0),
+                op(OpKind.WRITE, "f", 0, pos=0, written=1),
+                op(OpKind.READ, "f", 1, pos=0, occ=2, read=1),
+            ]
+        )
+        witness = find_hb_witness(program, execution)
+        assert witness is not None
+        spin_reads = [o for o in witness.ops if o.proc == 1]
+        assert spin_reads[-1].value_read == 1
+
+    def test_no_witness_when_final_read_value_impossible(self):
+        """A spin that exits having read a value no SC execution produces."""
+        program = Program(
+            [
+                ThreadBuilder("P0").store("f", 1).build(),
+                ThreadBuilder("P1")
+                .label("spin")
+                .load("r", "f")
+                .beq("r", 0, "spin")
+                .build(),
+            ]
+        )
+        execution = Execution(
+            ops=[
+                op(OpKind.WRITE, "f", 0, pos=0, written=1),
+                op(OpKind.READ, "f", 1, pos=0, occ=0, read=7),  # impossible
+            ]
+        )
+        assert find_hb_witness(program, execution) is None

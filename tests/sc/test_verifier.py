@@ -1,0 +1,50 @@
+"""Unit tests for the appears-SC verifier."""
+
+from repro.core.execution import Observable
+from repro.core.program import Program, ThreadBuilder
+from repro.sc.verifier import SCVerifier
+
+
+def dekker() -> Program:
+    t0 = ThreadBuilder("P0").store("x", 1).load("r1", "y").build()
+    t1 = ThreadBuilder("P1").store("y", 1).load("r2", "x").build()
+    return Program([t0, t1], name="dekker")
+
+
+def obs(r1, r2):
+    return Observable.create(
+        [{"r1": r1}, {"r2": r2}], {"x": 1, "y": 1}
+    )
+
+
+class TestSCVerifier:
+    def test_sc_outcome_accepted(self):
+        verifier = SCVerifier()
+        assert verifier.appears_sc(dekker(), obs(1, 1))
+
+    def test_non_sc_outcome_rejected(self):
+        verifier = SCVerifier()
+        assert not verifier.appears_sc(dekker(), obs(0, 0))
+
+    def test_result_set_cached_per_program(self):
+        verifier = SCVerifier()
+        program = dekker()
+        first = verifier.sc_result_set(program)
+        second = verifier.sc_result_set(program)
+        assert first is second
+
+    def test_check_outcomes_reports_only_violations(self):
+        verifier = SCVerifier()
+        program = dekker()
+        violations = verifier.check_outcomes(program, [obs(1, 1), obs(0, 0)])
+        assert len(violations) == 1
+        assert violations[0].observed == obs(0, 0)
+        assert "not producible" in violations[0].describe()
+
+    def test_memory_part_of_observable_matters(self):
+        verifier = SCVerifier()
+        program = Program([ThreadBuilder("P0").store("x", 5).build()])
+        good = Observable.create([{}], {"x": 5})
+        bad = Observable.create([{}], {"x": 6})
+        assert verifier.appears_sc(program, good)
+        assert not verifier.appears_sc(program, bad)

@@ -1,0 +1,76 @@
+"""Unit tests for run statistics and stall accounting."""
+
+from repro.sim.stats import StallReason, Stats
+
+
+class TestCounters:
+    def test_bump_and_count(self):
+        stats = Stats()
+        stats.bump("msgs")
+        stats.bump("msgs", 4)
+        assert stats.count("msgs") == 5
+
+    def test_unknown_counter_zero(self):
+        assert Stats().count("nothing") == 0
+
+
+class TestStallAccounting:
+    def test_window_accumulates(self):
+        stats = Stats()
+        stats.stall_begin(0, StallReason.READ_VALUE, now=10)
+        stats.stall_end(0, StallReason.READ_VALUE, now=25)
+        assert stats.stall_cycles(proc=0, reason=StallReason.READ_VALUE) == 15
+
+    def test_begin_idempotent_while_open(self):
+        stats = Stats()
+        stats.stall_begin(0, StallReason.READ_VALUE, now=10)
+        stats.stall_begin(0, StallReason.READ_VALUE, now=20)  # ignored
+        stats.stall_end(0, StallReason.READ_VALUE, now=30)
+        assert stats.stall_cycles() == 20
+
+    def test_end_without_begin_is_noop(self):
+        stats = Stats()
+        stats.stall_end(0, StallReason.READ_VALUE, now=5)
+        assert stats.stall_cycles() == 0
+
+    def test_multiple_windows_sum(self):
+        stats = Stats()
+        for start, end in [(0, 5), (10, 12)]:
+            stats.stall_begin(1, StallReason.SC_PREVIOUS_GP, now=start)
+            stats.stall_end(1, StallReason.SC_PREVIOUS_GP, now=end)
+        assert stats.stall_cycles(proc=1) == 7
+
+    def test_filtering(self):
+        stats = Stats()
+        stats.stall_begin(0, StallReason.READ_VALUE, now=0)
+        stats.stall_end(0, StallReason.READ_VALUE, now=3)
+        stats.stall_begin(1, StallReason.DEF2_SYNC_COMMIT, now=0)
+        stats.stall_end(1, StallReason.DEF2_SYNC_COMMIT, now=5)
+        assert stats.stall_cycles() == 8
+        assert stats.stall_cycles(proc=0) == 3
+        assert stats.stall_cycles(reason=StallReason.DEF2_SYNC_COMMIT) == 5
+        assert stats.stall_cycles(proc=0, reason=StallReason.DEF2_SYNC_COMMIT) == 0
+
+    def test_end_all_closes_open_windows(self):
+        stats = Stats()
+        stats.stall_begin(0, StallReason.READ_VALUE, now=10)
+        stats.end_all_stalls(now=50)
+        assert stats.stall_cycles() == 40
+        # closing again adds nothing
+        stats.end_all_stalls(now=99)
+        assert stats.stall_cycles() == 40
+
+    def test_breakdown(self):
+        stats = Stats()
+        stats.stall_begin(2, StallReason.SAME_LOCATION, now=1)
+        stats.stall_end(2, StallReason.SAME_LOCATION, now=4)
+        assert stats.stall_breakdown() == {(2, StallReason.SAME_LOCATION): 3}
+
+    def test_describe_includes_everything(self):
+        stats = Stats()
+        stats.total_cycles = 100
+        stats.bump("x")
+        stats.stall_begin(0, StallReason.READ_VALUE, now=0)
+        stats.stall_end(0, StallReason.READ_VALUE, now=9)
+        text = stats.describe()
+        assert "100" in text and "x: 1" in text and "read_value" in text

@@ -1,0 +1,91 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestLitmusCommand:
+    def test_catalog_test_runs(self, capsys):
+        code = main(
+            ["litmus", "fig1_dekker", "--policy", "SC",
+             "--machine", "net_nocache", "--runs", "10"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig1_dekker" in out and "10/10 runs" in out
+
+    def test_expect_sc_fails_on_violation(self, capsys):
+        code = main(
+            ["litmus", "fig1_dekker_warm", "--policy", "RELAXED",
+             "--runs", "40", "--expect-sc"]
+        )
+        assert code == 1
+
+    def test_litmus_file_input(self, tmp_path, capsys):
+        source = """
+name: from_file
+forbidden: P0:r1=0 & P1:r2=0
+P0     | P1
+x = 1  | y = 1
+r1 = y | r2 = x
+"""
+        path = tmp_path / "t.litmus"
+        path.write_text(source)
+        code = main(
+            ["litmus", str(path), "--policy", "SC",
+             "--machine", "bus_nocache", "--runs", "5"]
+        )
+        assert code == 0
+        assert "from_file" in capsys.readouterr().out
+
+    def test_unknown_test_errors(self):
+        with pytest.raises(SystemExit):
+            main(["litmus", "no_such_test"])
+
+
+class TestDrfCommand:
+    def test_racy_exits_nonzero(self, capsys):
+        assert main(["drf", "fig1_dekker"]) == 1
+        assert "VIOLATES" in capsys.readouterr().out
+
+    def test_clean_exits_zero(self, capsys):
+        assert main(["drf", "critical_section"]) == 0
+        assert "obeys" in capsys.readouterr().out
+
+
+class TestExploreCommand:
+    def test_clean_exploration(self, capsys):
+        code = main(
+            ["explore", "fig1_dekker_sync", "--policy", "DEF2", "--delays", "1"]
+        )
+        assert code == 0
+        assert "sequentially consistent" in capsys.readouterr().out
+
+    def test_violating_exploration(self, capsys):
+        code = main(
+            ["explore", "fig1_dekker_warm", "--policy", "RELAXED",
+             "--delays", "2"]
+        )
+        assert code == 1
+        assert "NOT sequentially consistent" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1_dekker" in out and "critical_section" in out
+
+    def test_delays(self, capsys):
+        assert main(["delays", "fig1_dekker"]) == 0
+        assert "2 pair(s)" in capsys.readouterr().out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1", "--runs", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "bus_nocache" in out and "VIOLATES SC" in out
+
+    def test_figure3(self, capsys):
+        assert main(["figure3", "--latencies", "4", "16", "--seeds", "2"]) == 0
+        assert "DEF1 stall" in capsys.readouterr().out

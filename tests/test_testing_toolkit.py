@@ -1,0 +1,65 @@
+"""Tests for the public property-testing toolkit (repro.testing)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import testing
+from repro.core.program import Program
+from repro.drf.drf0 import obeys_drf0
+from repro.memsys.config import BUS_CACHE_SNOOP, NET_CACHE
+from repro.models.policies import Def2Policy, RelaxedPolicy, SCPolicy
+
+
+class TestStrategies:
+    @given(testing.racy_programs())
+    @settings(max_examples=10, deadline=None)
+    def test_racy_programs_are_programs(self, program):
+        assert isinstance(program, Program)
+        assert program.num_procs == 2
+
+    @given(testing.drf0_programs())
+    @settings(max_examples=8, deadline=None)
+    def test_drf0_programs_are_race_free(self, program):
+        assert obeys_drf0(program)
+
+    @given(testing.straightline_programs())
+    @settings(max_examples=10, deadline=None)
+    def test_straightline_programs_have_no_branches(self, program):
+        from repro.core.instructions import Branch, Jump
+
+        for thread in program.threads:
+            assert not any(
+                isinstance(i, (Branch, Jump)) for i in thread.instructions
+            )
+
+
+class TestAssertionHelpers:
+    @given(testing.racy_programs(ops_per_proc=3))
+    @settings(max_examples=8, deadline=None)
+    def test_assert_appears_sc_passes_for_sc_policy(self, program):
+        testing.assert_appears_sc(program, SCPolicy())
+
+    @given(testing.drf0_programs())
+    @settings(max_examples=5, deadline=None)
+    def test_assert_weakly_ordered_def2(self, program):
+        testing.assert_weakly_ordered(program, Def2Policy, seeds=range(3))
+
+    @given(testing.racy_programs(ops_per_proc=3))
+    @settings(max_examples=8, deadline=None)
+    def test_assert_trace_invariants_all_policies(self, program):
+        testing.assert_trace_invariants(program, RelaxedPolicy())
+        testing.assert_trace_invariants(program, Def2Policy(), BUS_CACHE_SNOOP)
+
+    def test_assert_appears_sc_fails_on_violation(self):
+        """The helper must actually catch contract breaches."""
+        from repro.litmus.catalog import fig1_dekker
+
+        program = fig1_dekker(warm=True).executable_program()
+        caught = False
+        for seed in range(40):
+            try:
+                testing.assert_appears_sc(program, RelaxedPolicy(), seed=seed)
+            except AssertionError:
+                caught = True
+                break
+        assert caught, "helper never flagged a known-violating setup"

@@ -1,0 +1,54 @@
+"""Unit tests for barrier workloads."""
+
+from repro.drf.drf0 import obeys_drf0
+from repro.memsys.config import NET_CACHE
+from repro.memsys.system import run_program
+from repro.models.policies import Def2Policy, Def2RPolicy
+from repro.sc.interleaving import enumerate_results
+from repro.workloads.barrier import barrier_program, barrier_program_data_spin
+
+
+class TestSyncBarrier:
+    def test_obeys_drf0(self):
+        assert obeys_drf0(barrier_program(2))
+
+    def test_sc_all_arrive(self):
+        program = barrier_program(2)
+        for observable in enumerate_results(program):
+            assert observable.memory_value("bar") == 2
+            assert observable.register(0, "seen") >= 2
+            assert observable.register(1, "seen") >= 2
+
+    def test_hardware_barrier_completes_def2(self):
+        program = barrier_program(3)
+        for seed in range(4):
+            run = run_program(program, Def2Policy(), NET_CACHE, seed=seed)
+            assert run.completed
+            assert run.observable.memory_value("bar") == 3
+
+    def test_hardware_barrier_completes_def2r(self):
+        """The Section 6 refinement must still synchronize correctly."""
+        program = barrier_program(3)
+        for seed in range(4):
+            run = run_program(program, Def2RPolicy(), NET_CACHE, seed=seed)
+            assert run.completed
+            assert run.observable.memory_value("bar") == 3
+
+    def test_arrival_order_registers(self):
+        program = barrier_program(2)
+        outcomes = {
+            (o.register(0, "arrived"), o.register(1, "arrived"))
+            for o in enumerate_results(program)
+        }
+        assert outcomes == {(0, 1), (1, 0)}
+
+
+class TestDataSpinBarrier:
+    def test_violates_drf0(self):
+        """Section 6: the data-read spin is a (restricted) data race."""
+        assert not obeys_drf0(barrier_program_data_spin(2))
+
+    def test_same_shape_as_sync_barrier(self):
+        sync_prog = barrier_program(2)
+        data_prog = barrier_program_data_spin(2)
+        assert sync_prog.num_procs == data_prog.num_procs

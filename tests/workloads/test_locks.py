@@ -1,0 +1,95 @@
+"""Unit tests for lock workload generators."""
+
+import pytest
+
+from repro.core.program import ThreadBuilder
+from repro.drf.drf0 import obeys_drf0
+from repro.memsys.config import NET_CACHE
+from repro.memsys.system import run_program
+from repro.models.policies import Def2Policy
+from repro.sc.interleaving import enumerate_results
+from repro.workloads.locks import (
+    acquire_test_and_set,
+    acquire_test_test_and_set,
+    critical_section_program,
+    release,
+    release_overlap_program,
+)
+
+
+class TestAcquireRelease:
+    def test_tas_acquire_shape(self):
+        builder = ThreadBuilder("P0")
+        acquire_test_and_set(builder, "lock")
+        thread = builder.build()
+        assert len(thread.instructions) == 2
+        assert len(thread.labels) == 1
+
+    def test_tts_acquire_shape(self):
+        builder = ThreadBuilder("P0")
+        acquire_test_test_and_set(builder, "lock")
+        thread = builder.build()
+        assert len(thread.instructions) == 4
+
+    def test_two_acquires_get_unique_labels(self):
+        builder = ThreadBuilder("P0")
+        acquire_test_and_set(builder, "lock")
+        release(builder, "lock")
+        acquire_test_and_set(builder, "lock")
+        release(builder, "lock")
+        builder.build()  # would raise on duplicate labels
+
+
+class TestCriticalSectionProgram:
+    def test_obeys_drf0(self):
+        assert obeys_drf0(critical_section_program(2, 1))
+
+    def test_tts_variant_obeys_drf0(self):
+        assert obeys_drf0(
+            critical_section_program(2, 1, use_test_test_and_set=True)
+        )
+
+    def test_sc_counter_always_correct(self):
+        program = critical_section_program(2, 1)
+        for observable in enumerate_results(program):
+            assert observable.memory_value("count") == 2
+
+    def test_hardware_counter_always_correct(self):
+        program = critical_section_program(2, 2, private_writes=2)
+        for seed in range(5):
+            run = run_program(program, Def2Policy(), NET_CACHE, seed=seed)
+            assert run.completed
+            assert run.observable.memory_value("count") == 4
+
+    def test_private_writes_do_not_break_drf(self):
+        assert obeys_drf0(critical_section_program(2, 1, private_writes=2))
+
+    def test_thread_count(self):
+        assert critical_section_program(num_procs=3).num_procs == 3
+
+
+class TestReleaseOverlapProgram:
+    def test_lock_starts_held(self):
+        program = release_overlap_program()
+        assert program.initial_memory["s"] == 1
+
+    def test_obeys_drf0(self):
+        assert obeys_drf0(release_overlap_program(data_writes=1,
+                                                  post_release_work=1,
+                                                  private_writes=1))
+
+    def test_acquirer_always_sees_data(self):
+        """P1 only runs after the release, so it reads every write."""
+        program = release_overlap_program(data_writes=2, post_release_work=0,
+                                          private_writes=0)
+        for observable in enumerate_results(program):
+            assert observable.register(1, "r0") == 1
+            assert observable.register(1, "r1") == 2
+
+    def test_hardware_acquirer_sees_data_under_def2(self):
+        program = release_overlap_program(data_writes=3)
+        for seed in range(5):
+            run = run_program(program, Def2Policy(), NET_CACHE, seed=seed)
+            assert run.completed
+            for i in range(3):
+                assert run.observable.register(1, f"r{i}") == i + 1

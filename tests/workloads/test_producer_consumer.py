@@ -1,0 +1,58 @@
+"""Unit tests for the producer/consumer pipeline workload."""
+
+import pytest
+
+from repro.drf.drf0 import obeys_drf0
+from repro.memsys.config import NET_CACHE
+from repro.memsys.system import run_program
+from repro.models.policies import Def1Policy, Def2Policy
+from repro.sc.interleaving import enumerate_results
+from repro.workloads.producer_consumer import (
+    expected_checksum,
+    producer_consumer_program,
+)
+
+
+class TestProgramShape:
+    def test_stage_count(self):
+        assert producer_consumer_program(stages=3).num_procs == 3
+
+    def test_rejects_single_stage(self):
+        with pytest.raises(ValueError):
+            producer_consumer_program(stages=1)
+
+    def test_obeys_drf0(self):
+        assert obeys_drf0(
+            producer_consumer_program(items=1, rounds=1, post_release_work=0)
+        )
+
+
+class TestChecksum:
+    def test_sc_checksum_deterministic(self):
+        program = producer_consumer_program(items=2, rounds=1, post_release_work=0)
+        expected = expected_checksum(items=2, rounds=1)
+        sums = {
+            o.register(1, "sum") for o in enumerate_results(program)
+        }
+        assert sums == {expected}
+
+    def test_expected_checksum_formula(self):
+        # round 1, items 0 and 1, one consumer stage adding 1 each:
+        # (100+0+1) + (100+1+1) = 203
+        assert expected_checksum(items=2, rounds=1) == 203
+
+    @pytest.mark.parametrize("policy_cls", [Def1Policy, Def2Policy])
+    def test_hardware_checksum(self, policy_cls):
+        program = producer_consumer_program(items=3, rounds=2)
+        expected = expected_checksum(items=3, rounds=2)
+        for seed in range(3):
+            run = run_program(program, policy_cls(), NET_CACHE, seed=seed)
+            assert run.completed
+            assert run.observable.register(1, "sum") == expected
+
+    def test_three_stage_pipeline_hardware(self):
+        program = producer_consumer_program(items=2, rounds=1, stages=3)
+        expected = expected_checksum(items=2, rounds=1, stages=3)
+        run = run_program(program, Def2Policy(), NET_CACHE, seed=1)
+        assert run.completed
+        assert run.observable.register(2, "sum") == expected

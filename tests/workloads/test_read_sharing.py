@@ -1,0 +1,54 @@
+"""Unit tests for the read-sharing workload."""
+
+from repro.drf.drf0 import obeys_drf0
+from repro.memsys.config import NET_CACHE
+from repro.memsys.system import run_program
+from repro.models.policies import Def2Policy, Def2RPolicy
+from repro.sc.interleaving import enumerate_results
+from repro.workloads.read_sharing import (
+    expected_reader_sum,
+    read_sharing_program,
+)
+
+
+class TestReadSharingProgram:
+    def test_obeys_drf0(self):
+        assert obeys_drf0(read_sharing_program(num_readers=1, locations=2, passes=1))
+
+    def test_expected_sum_formula(self):
+        assert expected_reader_sum(locations=3, passes=2) == 12
+
+    def test_sc_readers_see_everything(self):
+        program = read_sharing_program(num_readers=1, locations=2, passes=1)
+        expected = expected_reader_sum(locations=2, passes=1)
+        for observable in enumerate_results(program):
+            assert observable.register(1, "sum") == expected
+
+    def test_hardware_checksums_def2(self):
+        program = read_sharing_program(num_readers=3, locations=4, passes=2)
+        expected = expected_reader_sum(locations=4, passes=2)
+        for seed in range(3):
+            run = run_program(program, Def2Policy(), NET_CACHE, seed=seed)
+            assert run.completed
+            for reader in (1, 2, 3):
+                assert run.observable.register(reader, "sum") == expected
+
+    def test_readers_share_copies_under_def2(self):
+        """With data-read scans, repeat passes hit locally: read hits
+        dominate read misses."""
+        from repro.memsys.system import System
+
+        program = read_sharing_program(num_readers=3, locations=4, passes=3)
+        system = System(program, Def2Policy(), NET_CACHE, seed=1)
+        run = system.run()
+        assert run.completed
+        assert run.stats.count("cache.read_hits") > run.stats.count(
+            "cache.read_misses"
+        )
+
+    def test_def2r_also_correct(self):
+        program = read_sharing_program(num_readers=2, locations=2, passes=2)
+        expected = expected_reader_sum(locations=2, passes=2)
+        run = run_program(program, Def2RPolicy(), NET_CACHE, seed=2)
+        assert run.completed
+        assert run.observable.register(1, "sum") == expected

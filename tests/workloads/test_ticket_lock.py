@@ -1,0 +1,85 @@
+"""Unit tests for ticket locks and sense-reversing barriers."""
+
+import pytest
+
+from repro.drf.drf0 import obeys_drf0
+from repro.memsys.config import NET_CACHE
+from repro.memsys.system import run_program
+from repro.models.policies import Def1Policy, Def2Policy, Def2RPolicy, SCPolicy
+from repro.sc.interleaving import enumerate_results
+from repro.sc.verifier import SCVerifier
+from repro.workloads.ticket_lock import (
+    sense_barrier_program,
+    ticket_lock_program,
+)
+
+
+class TestTicketLock:
+    def test_obeys_drf0(self):
+        assert obeys_drf0(ticket_lock_program(2, 1))
+
+    def test_sc_mutual_exclusion(self):
+        program = ticket_lock_program(2, 1)
+        for observable in enumerate_results(program):
+            assert observable.memory_value("count") == 2
+
+    def test_fifo_ordering_of_tickets(self):
+        """Tickets hand the lock over in FetchAndAdd order: the final
+        'serving' equals the total number of acquisitions."""
+        program = ticket_lock_program(2, 2)
+        for observable in enumerate_results(program):
+            assert observable.memory_value("serving") == 4
+
+    @pytest.mark.parametrize(
+        "policy_cls", [SCPolicy, Def1Policy, Def2Policy, Def2RPolicy],
+        ids=lambda p: p.name,
+    )
+    def test_hardware_count_correct(self, policy_cls):
+        program = ticket_lock_program(3, 2)
+        for seed in range(4):
+            run = run_program(program, policy_cls(), NET_CACHE, seed=seed)
+            assert run.completed, (policy_cls.name, seed)
+            assert run.observable.memory_value("count") == 6
+
+    def test_appears_sc_on_def2(self):
+        program = ticket_lock_program(2, 1)
+        verifier = SCVerifier()
+        sc_set = verifier.sc_result_set(program)
+        for seed in range(8):
+            run = run_program(program, Def2Policy(), NET_CACHE, seed=seed)
+            assert run.completed
+            assert run.observable in sc_set
+
+
+class TestSenseBarrier:
+    def test_obeys_drf0(self):
+        assert obeys_drf0(sense_barrier_program(2, episodes=1))
+
+    def test_sc_single_episode(self):
+        program = sense_barrier_program(2, episodes=1)
+        for observable in enumerate_results(program):
+            assert observable.memory_value("bsense") == 1
+            assert observable.memory_value("bcount") == 2  # reset for reuse
+
+    @pytest.mark.parametrize(
+        "policy_cls", [SCPolicy, Def2Policy, Def2RPolicy], ids=lambda p: p.name
+    )
+    def test_hardware_two_episodes(self, policy_cls):
+        program = sense_barrier_program(3, episodes=2)
+        for seed in range(4):
+            run = run_program(program, policy_cls(), NET_CACHE, seed=seed)
+            assert run.completed, (policy_cls.name, seed)
+            assert run.observable.memory_value("bsense") == 2
+
+    def test_appears_sc_on_def2(self):
+        program = sense_barrier_program(2, episodes=1)
+        verifier = SCVerifier()
+        sc_set = verifier.sc_result_set(program)
+        for seed in range(8):
+            run = run_program(program, Def2Policy(), NET_CACHE, seed=seed)
+            assert run.completed
+            assert run.observable in sc_set
+
+    def test_initial_memory(self):
+        program = sense_barrier_program(4)
+        assert program.initial_memory == {"bcount": 4, "bsense": 0}
