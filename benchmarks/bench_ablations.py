@@ -45,12 +45,20 @@ class QueueDef2(Def2Policy):
     def __init__(self):
         super().__init__(nack_mode=False)
 
+    def spec_params(self):
+        # The knob setting is baked into __init__; the registered name
+        # alone reconstructs this variant in campaign workers.
+        return ()
+
 
 class BoundedDef2(Def2Policy):
     name = "DEF2/bound2"
 
     def __init__(self):
         super().__init__(miss_bound_while_reserved=2)
+
+    def spec_params(self):
+        return ()
 
 
 def test_abl_nack_vs_queue(benchmark):

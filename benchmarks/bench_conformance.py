@@ -19,11 +19,14 @@ from repro.conformance import (
 )
 
 
-def test_conformance_grid(benchmark):
+def test_conformance_grid(benchmark, executor):
     report = benchmark.pedantic(
-        lambda: run_conformance(runs_per_test=25), rounds=1, iterations=1
+        lambda: run_conformance(runs_per_test=25, executor=executor),
+        rounds=1,
+        iterations=1,
     )
-    print("\n[CONF] conformance grid (25 seeds per test)")
+    print("\n[CONF] conformance grid (25 seeds per test, "
+          f"jobs={executor.jobs})")
     print(report.describe())
 
     for cell in report.cells:

@@ -16,11 +16,13 @@ from repro.models.policies import Def2Policy, RelaxedPolicy
 from repro.workloads.locks import critical_section_program
 
 
-def test_explore_finds_violation(benchmark, verifier):
+def test_explore_finds_violation(benchmark, verifier, executor):
     program = fig1_dekker(warm=True).executable_program()
     sc_set = verifier.sc_result_set(program)
     report = benchmark.pedantic(
-        lambda: explore_program(program, RelaxedPolicy, max_delays=2),
+        lambda: explore_program(
+            program, RelaxedPolicy, max_delays=2, executor=executor
+        ),
         rounds=1,
         iterations=1,
     )
@@ -29,13 +31,14 @@ def test_explore_finds_violation(benchmark, verifier):
     assert report.exhausted
 
 
-def test_explore_certifies_def2_on_drf0(benchmark, verifier):
+def test_explore_certifies_def2_on_drf0(benchmark, verifier, executor):
     program = fig1_dekker_all_sync(warm=True).executable_program()
     sc_set = verifier.sc_result_set(program)
 
     def check():
         return verify_weak_ordering(
-            program, Def2Policy, sc_set, max_delays=3, max_runs=30_000
+            program, Def2Policy, sc_set, max_delays=3, max_runs=30_000,
+            executor=executor,
         )
 
     holds, report = benchmark.pedantic(check, rounds=1, iterations=1)
@@ -46,13 +49,14 @@ def test_explore_certifies_def2_on_drf0(benchmark, verifier):
     assert holds and report.exhausted
 
 
-def test_explore_lock_program(benchmark, verifier):
+def test_explore_lock_program(benchmark, verifier, executor):
     program = critical_section_program(2, 1)
     sc_set = verifier.sc_result_set(program)
 
     def check():
         return verify_weak_ordering(
-            program, Def2Policy, sc_set, max_delays=2, max_runs=30_000
+            program, Def2Policy, sc_set, max_delays=2, max_runs=30_000,
+            executor=executor,
         )
 
     holds, report = benchmark.pedantic(check, rounds=1, iterations=1)

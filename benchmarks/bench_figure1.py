@@ -27,11 +27,13 @@ SETTINGS = [
 
 
 @pytest.mark.parametrize("config,warm", SETTINGS, ids=lambda v: getattr(v, "name", str(v)))
-def test_fig1_relaxed_violates(benchmark, runner, config, warm):
+def test_fig1_relaxed_violates(benchmark, runner, executor, config, warm):
     test = fig1_dekker(warm=warm)
 
     result = benchmark.pedantic(
-        lambda: runner.run(test, RelaxedPolicy, config, runs=RUNS),
+        lambda: runner.run(
+            test, RelaxedPolicy, config, runs=RUNS, executor=executor
+        ),
         rounds=1,
         iterations=1,
     )
@@ -52,11 +54,13 @@ def test_fig1_relaxed_violates(benchmark, runner, config, warm):
 
 
 @pytest.mark.parametrize("config,warm", SETTINGS, ids=lambda v: getattr(v, "name", str(v)))
-def test_fig1_sc_hardware_clean(benchmark, runner, config, warm):
+def test_fig1_sc_hardware_clean(benchmark, runner, executor, config, warm):
     test = fig1_dekker(warm=warm)
 
     result = benchmark.pedantic(
-        lambda: runner.run(test, SCPolicy, config, runs=RUNS),
+        lambda: runner.run(
+            test, SCPolicy, config, runs=RUNS, executor=executor
+        ),
         rounds=1,
         iterations=1,
     )

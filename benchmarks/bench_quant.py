@@ -44,7 +44,7 @@ def _print_comparison(title, comparisons):
     )
 
 
-def test_quant_critical_sections(benchmark):
+def test_quant_critical_sections(benchmark, executor):
     comparisons = benchmark.pedantic(
         lambda: compare_policies(
             program_factory=lambda: critical_section_program(
@@ -53,6 +53,7 @@ def test_quant_critical_sections(benchmark):
             policies=[SCPolicy, Def1Policy, Def2Policy],
             config=HIGH_LATENCY,
             runs=5,
+            executor=executor,
         ),
         rounds=1,
         iterations=1,
@@ -67,7 +68,7 @@ def test_quant_critical_sections(benchmark):
     assert by_name["DEF2"].mean_cycles < by_name["SC"].mean_cycles
 
 
-def test_quant_latency_sweep(benchmark):
+def test_quant_latency_sweep(benchmark, executor):
     """The DEF2 advantage grows with memory latency."""
     points = benchmark.pedantic(
         lambda: sweep(
@@ -80,6 +81,7 @@ def test_quant_latency_sweep(benchmark):
             ),
             policies=[Def1Policy, Def2Policy],
             runs=4,
+            executor=executor,
         ),
         rounds=1,
         iterations=1,
@@ -95,7 +97,7 @@ def test_quant_latency_sweep(benchmark):
     assert gaps[-1] > gaps[0]
 
 
-def test_quant_producer_consumer(benchmark):
+def test_quant_producer_consumer(benchmark, executor):
     comparisons = benchmark.pedantic(
         lambda: compare_policies(
             program_factory=lambda: producer_consumer_program(
@@ -104,6 +106,7 @@ def test_quant_producer_consumer(benchmark):
             policies=[SCPolicy, Def1Policy, Def2Policy],
             config=HIGH_LATENCY,
             runs=4,
+            executor=executor,
         ),
         rounds=1,
         iterations=1,
@@ -150,7 +153,7 @@ def test_quant_lock_handoff_latency(benchmark):
     assert all(row[1] > 0 for row in rows)
 
 
-def test_quant_labels_vs_all_sync(benchmark):
+def test_quant_labels_vs_all_sync(benchmark, executor):
     """Section 3's claim quantified: hardware that must treat every
     access as potential synchronization ([Lam86]) loses badly to
     labelled DRF0 hardware on read-sharing workloads."""
@@ -160,6 +163,7 @@ def test_quant_labels_vs_all_sync(benchmark):
             policies=[Def2Policy, Def2RPolicy, AllSyncPolicy],
             config=NET_CACHE,
             runs=4,
+            executor=executor,
         ),
         rounds=1,
         iterations=1,
@@ -174,7 +178,7 @@ def test_quant_labels_vs_all_sync(benchmark):
     assert by_name["DEF2-R"].mean_cycles < by_name["ALL-SYNC"].mean_cycles
 
 
-def test_quant_test_and_test_and_set(benchmark):
+def test_quant_test_and_test_and_set(benchmark, executor):
     """Section 6's spinning pathology and its refinement."""
     comparisons = benchmark.pedantic(
         lambda: compare_policies(
@@ -184,6 +188,7 @@ def test_quant_test_and_test_and_set(benchmark):
             policies=[Def1Policy, Def2Policy, Def2RPolicy],
             config=NET_CACHE,
             runs=4,
+            executor=executor,
         ),
         rounds=1,
         iterations=1,

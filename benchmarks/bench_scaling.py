@@ -15,7 +15,7 @@ from repro.workloads.locks import critical_section_program
 WIDTHS = [2, 3, 4, 6]
 
 
-def test_scale_processor_count(benchmark):
+def test_scale_processor_count(benchmark, executor):
     points = benchmark.pedantic(
         lambda: sweep(
             parameter_values=WIDTHS,
@@ -28,6 +28,7 @@ def test_scale_processor_count(benchmark):
             policies=[SCPolicy, Def1Policy, Def2Policy],
             runs=3,
             max_cycles=5_000_000,
+            executor=executor,
         ),
         rounds=1,
         iterations=1,

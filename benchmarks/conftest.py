@@ -6,12 +6,69 @@ for), asserts its qualitative *shape* (who wins, what is forbidden), and
 prints the rows an experiment log would record.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Campaign execution is pluggable: ``--jobs N`` runs every campaign-backed
+benchmark (litmus batteries, the conformance grid, policy sweeps) on N
+worker processes via :mod:`repro.campaign`, and
+``--campaign-metrics PATH`` dumps per-campaign telemetry (wall-clock,
+runs/sec, completion rate) as JSON for ``BENCH_*.json`` trajectory
+tracking.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
+from repro.campaign import (
+    default_executor,
+    register_metrics_hook,
+    unregister_metrics_hook,
+)
 from repro.litmus.runner import LitmusRunner
 from repro.sc.verifier import SCVerifier
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=1,
+        help="worker processes for campaign-backed benchmarks (1 = serial)",
+    )
+    parser.addoption(
+        "--campaign-metrics",
+        action="store",
+        default=None,
+        help="write campaign metrics collected during the session to this "
+        "JSON file",
+    )
+
+
+@pytest.fixture(scope="session")
+def jobs(request):
+    return request.config.getoption("--jobs")
+
+
+@pytest.fixture(scope="session")
+def executor(jobs):
+    """The session's campaign executor (serial unless ``--jobs N>1``)."""
+    with default_executor(jobs) as ex:
+        yield ex
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _campaign_metrics_log(request):
+    """Record every campaign's metrics; dump JSON if asked."""
+    records = []
+    hook = lambda metrics: records.append(metrics.to_dict())
+    register_metrics_hook(hook)
+    yield
+    unregister_metrics_hook(hook)
+    path = request.config.getoption("--campaign-metrics")
+    if path:
+        Path(path).write_text(json.dumps(records, indent=2, sort_keys=True))
 
 
 @pytest.fixture(scope="session")

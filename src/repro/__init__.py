@@ -23,7 +23,11 @@ This package makes every piece of that story executable:
   DEF2, DEF2-R;
 * :mod:`repro.litmus` / :mod:`repro.workloads` /
   :mod:`repro.analysis` — litmus campaigns, workload generators, and
-  the Figure-3 / quantitative analyses.
+  the Figure-3 / quantitative analyses;
+* :mod:`repro.campaign` — the unified RunSpec -> RunResult pipeline:
+  serial/parallel executors, on-disk result caching, and campaign
+  metrics, shared by the runner, the conformance grid, the explorer,
+  the sweeps, the CLI (``--jobs``), and the benchmarks.
 
 Quickstart::
 
@@ -36,6 +40,15 @@ Quickstart::
     print(runner.run(fig1_dekker(warm=True), SCPolicy, NET_CACHE).describe())
 """
 
+from repro.campaign import (
+    ParallelExecutor,
+    PolicySpec,
+    ResultCache,
+    RunResult,
+    RunSpec,
+    SerialExecutor,
+    run_campaign,
+)
 from repro.core import (
     Observable,
     OpKind,

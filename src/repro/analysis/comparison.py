@@ -13,9 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.campaign import Executor, PolicySpec, RunSpec, run_campaign
 from repro.core.program import Program
 from repro.memsys.config import MachineConfig, NET_CACHE
-from repro.memsys.system import System
 from repro.models.base import OrderingPolicy
 from repro.sim.rng import seed_stream
 from repro.sim.stats import StallReason
@@ -58,34 +58,54 @@ def compare_policies(
     runs: int = 5,
     base_seed: int = 99,
     max_cycles: int = 2_000_000,
+    executor: Optional[Executor] = None,
+    jobs: int = 1,
 ) -> List[PolicyComparison]:
-    """Run the workload under each policy over the same seed stream."""
-    results: List[PolicyComparison] = []
+    """Run the workload under each policy over the same seed stream.
+
+    All (policy, seed) runs form one flat campaign, so a parallel
+    executor overlaps policies as well as seeds.
+    """
     seeds = list(seed_stream(base_seed, runs))
-    for make_policy in policies:
+    policy_specs = [PolicySpec.of(make_policy) for make_policy in policies]
+    specs = [
+        RunSpec(
+            program=program_factory(),
+            policy=policy_spec,
+            config=config,
+            seed=seed,
+            max_cycles=max_cycles,
+        )
+        for policy_spec in policy_specs
+        for seed in seeds
+    ]
+    campaign = run_campaign(
+        specs, executor=executor, jobs=jobs, label="compare_policies"
+    )
+
+    results: List[PolicyComparison] = []
+    for i, policy_spec in enumerate(policy_specs):
+        block = campaign.results[i * runs : (i + 1) * runs]
         total_cycles = 0.0
         total_stalls = 0.0
         total_messages = 0.0
         total_nacks = 0.0
         by_reason: Dict[StallReason, float] = {}
         completed = 0
-        name = make_policy().name
-        for seed in seeds:
-            system = System(program_factory(), make_policy(), config, seed=seed)
-            run = system.run(max_cycles=max_cycles)
+        for run in block:
             if not run.completed:
                 continue
             completed += 1
             total_cycles += run.cycles
-            total_stalls += run.stats.stall_cycles()
-            total_messages += run.stats.count("interconnect.delivered")
-            total_nacks += run.stats.count("dir.sync_nacks")
-            for (proc, reason), cycles in run.stats.stall_breakdown().items():
+            total_stalls += run.timings.stall_cycles
+            total_messages += run.timings.messages
+            total_nacks += run.timings.sync_nacks
+            for reason, cycles in run.timings.stall_by_reason:
                 by_reason[reason] = by_reason.get(reason, 0.0) + cycles
         n = max(completed, 1)
         results.append(
             PolicyComparison(
-                policy_name=name,
+                policy_name=policy_spec.name,
                 runs=runs,
                 completed_runs=completed,
                 mean_cycles=total_cycles / n,
@@ -120,6 +140,8 @@ def sweep(
     runs: int = 5,
     base_seed: int = 99,
     max_cycles: int = 2_000_000,
+    executor: Optional[Executor] = None,
+    jobs: int = 1,
 ) -> List[SweepPoint]:
     """Compare policies at each parameter value.
 
@@ -135,6 +157,8 @@ def sweep(
             runs=runs,
             base_seed=base_seed,
             max_cycles=max_cycles,
+            executor=executor,
+            jobs=jobs,
         )
         points.append(SweepPoint(parameter=value, comparisons=comparisons))
     return points

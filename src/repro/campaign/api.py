@@ -1,0 +1,92 @@
+"""The campaign entry point: a batch of specs through an executor.
+
+:func:`run_campaign` is the one seed loop in the codebase.  Everything
+that used to iterate ``for seed in seed_stream(...)`` privately — the
+litmus runner, the conformance grid, the quantitative sweeps, the CLI,
+the benchmark scripts — now builds a list of specs and hands it here,
+gaining parallelism, result caching, and metrics for free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import Executor, default_executor
+from repro.campaign.metrics import CampaignMetrics, emit_metrics
+from repro.campaign.spec import RunResult, RunSpec
+
+
+@dataclass
+class CampaignResult:
+    """Results in spec order plus the campaign's operational metrics."""
+
+    results: List[RunResult] = field(default_factory=list)
+    metrics: Optional[CampaignMetrics] = None
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def run_campaign(
+    specs: Iterable[RunSpec],
+    executor: Optional[Executor] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    label: str = "campaign",
+) -> CampaignResult:
+    """Execute every spec; results come back in spec order.
+
+    Args:
+        executor: execution strategy; defaults to
+            ``default_executor(jobs)`` (serial unless ``jobs > 1``).
+        cache: optional on-disk result cache — hits skip execution,
+            misses are executed and stored.
+        label: tag carried on the emitted :class:`CampaignMetrics`.
+    """
+    spec_list = list(specs)
+    own_executor = executor is None
+    executor = executor or default_executor(jobs)
+    started = time.perf_counter()
+
+    results: List[Optional[RunResult]] = [None] * len(spec_list)
+    cache_hits = 0
+    try:
+        if cache is not None:
+            misses: List[int] = []
+            for i, spec in enumerate(spec_list):
+                hit = cache.get(spec)
+                if hit is not None:
+                    results[i] = hit
+                    cache_hits += 1
+                else:
+                    misses.append(i)
+            fresh = executor.map([spec_list[i] for i in misses])
+            for i, result in zip(misses, fresh):
+                cache.put(spec_list[i], result)
+                results[i] = result
+        else:
+            results = list(executor.map(spec_list))
+    finally:
+        if own_executor:
+            executor.close()
+
+    wall = time.perf_counter() - started
+    completed = sum(1 for r in results if r is not None and r.completed)
+    metrics = CampaignMetrics(
+        label=label,
+        runs=len(spec_list),
+        completed_runs=completed,
+        wall_clock_seconds=wall,
+        runs_per_second=(len(spec_list) / wall) if wall > 0 else 0.0,
+        completion_rate=(completed / len(spec_list)) if spec_list else 1.0,
+        jobs=executor.jobs,
+        cache_hits=cache_hits,
+    )
+    emit_metrics(metrics)
+    return CampaignResult(results=results, metrics=metrics)

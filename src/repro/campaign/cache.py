@@ -1,0 +1,65 @@
+"""On-disk result cache keyed by the content hash of a spec.
+
+Because a :class:`~repro.campaign.spec.RunSpec` determines its
+:class:`~repro.campaign.spec.RunResult` exactly, results can be memoised
+across processes and sessions: the cache maps ``spec.digest()`` — a
+sha256 over program content, policy spec, machine configuration, seed,
+cycle bound, and schedule — to a pickled result.  Corrupt or unreadable
+entries are treated as misses, so a cache directory can never poison a
+campaign, only fail to accelerate it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.campaign.spec import RunResult, RunSpec
+
+
+class ResultCache:
+    """A directory of pickled results, one file per spec digest."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, spec: RunSpec) -> Path:
+        return self.directory / f"{spec.digest()}.pkl"
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        path = self._path(spec)
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        if not isinstance(result, RunResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: RunResult) -> None:
+        # Write-then-rename so concurrent campaigns never observe a
+        # half-written entry.
+        path = self._path(spec)
+        fd, tmp = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))

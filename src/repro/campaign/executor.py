@@ -1,0 +1,88 @@
+"""Pluggable executors: how a batch of :class:`RunSpec` gets run.
+
+The contract is a single method — ``map(specs) -> [RunResult]`` — with
+results in **spec order regardless of completion order**, so every
+aggregation downstream (histograms, grids, sweeps) is independent of
+scheduling.  :class:`SerialExecutor` is the reference implementation;
+:class:`ParallelExecutor` fans the batch out over a process pool,
+reconstructing policies from their specs inside the workers (nothing
+unpicklable crosses the boundary).  Because a run is a pure function of
+its spec, the two are interchangeable: serial and parallel campaigns
+produce byte-identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from repro.campaign.spec import RunResult, RunSpec, execute_spec
+
+
+class Executor:
+    """Execution strategy for a batch of independent runs."""
+
+    #: Worker parallelism (1 for serial); informational for reports.
+    jobs: int = 1
+
+    def map(self, specs: Iterable[RunSpec]) -> List[RunResult]:
+        """Execute every spec, returning results in spec order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run every spec in-process, one after another."""
+
+    def map(self, specs: Iterable[RunSpec]) -> List[RunResult]:
+        return [spec.execute() for spec in specs]
+
+
+class ParallelExecutor(Executor):
+    """Fan a batch out over a ``ProcessPoolExecutor``.
+
+    Workers rebuild the policy from its :class:`PolicySpec`, run the
+    system, and ship back the (picklable, deterministic) result.
+    ``pool.map`` preserves submission order, so output ordering never
+    depends on which worker finishes first.  Batches smaller than two
+    specs short-circuit to in-process execution.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+        self._pool = None
+
+    def _ensure_pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def map(self, specs: Iterable[RunSpec]) -> List[RunResult]:
+        batch: Sequence[RunSpec] = list(specs)
+        if self.jobs <= 1 or len(batch) <= 1:
+            return [spec.execute() for spec in batch]
+        pool = self._ensure_pool()
+        chunksize = max(1, len(batch) // (self.jobs * 4))
+        return list(pool.map(execute_spec, batch, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def default_executor(jobs: Optional[int] = None) -> Executor:
+    """Serial for ``jobs in (None, 0, 1)``, parallel otherwise."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs=jobs)

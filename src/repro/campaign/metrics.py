@@ -1,0 +1,64 @@
+"""Campaign-level metrics: wall-clock, throughput, completion, caching.
+
+Every call to :func:`repro.campaign.run_campaign` produces one
+:class:`CampaignMetrics` record.  Registered hooks observe every record
+— the benchmark suite uses this to accumulate per-session campaign
+telemetry and emit it as JSON (``BENCH_*.json`` trajectory tracking);
+the CLI uses it for ``--metrics-json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Callable, List
+
+#: Observers invoked with each completed campaign's metrics.
+_METRICS_HOOKS: List[Callable[["CampaignMetrics"], None]] = []
+
+
+@dataclass
+class CampaignMetrics:
+    """Operational summary of one campaign (one ``run_campaign`` call)."""
+
+    label: str
+    runs: int
+    completed_runs: int
+    wall_clock_seconds: float
+    runs_per_second: float
+    completion_rate: float
+    jobs: int
+    cache_hits: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def describe(self) -> str:
+        return (
+            f"[campaign {self.label}] {self.runs} runs in "
+            f"{self.wall_clock_seconds:.2f}s "
+            f"({self.runs_per_second:.1f} runs/s, jobs={self.jobs}, "
+            f"completion {self.completion_rate:.0%}, "
+            f"cache hits {self.cache_hits})"
+        )
+
+
+def register_metrics_hook(hook: Callable[[CampaignMetrics], None]) -> None:
+    """Observe every campaign's metrics until unregistered."""
+    _METRICS_HOOKS.append(hook)
+
+
+def unregister_metrics_hook(hook: Callable[[CampaignMetrics], None]) -> None:
+    try:
+        _METRICS_HOOKS.remove(hook)
+    except ValueError:
+        pass
+
+
+def emit_metrics(metrics: CampaignMetrics) -> None:
+    """Deliver a metrics record to every registered hook."""
+    for hook in list(_METRICS_HOOKS):
+        hook(metrics)

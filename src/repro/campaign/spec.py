@@ -1,0 +1,205 @@
+"""The canonical unit of campaign work: ``RunSpec`` -> ``RunResult``.
+
+ARCHITECTURE.md guarantees that a hardware run is a pure function of
+``(program, policy, config, seed)``.  :class:`RunSpec` reifies that
+tuple as a picklable value object, so campaigns — litmus batteries, the
+conformance grid, parameter sweeps, the systematic explorer — become
+embarrassingly parallel lists of independent work items.  Executing a
+spec yields a :class:`RunResult`: the observable outcome plus the
+deterministic (simulation-time) timings every aggregation layer needs.
+
+Two deliberate properties:
+
+* **Picklable both ways.**  A spec carries a :class:`PolicySpec` — the
+  policy's report name plus constructor parameters — instead of a live
+  policy object, so worker processes reconstruct a fresh policy per run
+  (policies hold per-run state) and lambdas never cross the process
+  boundary.
+* **Deterministic results.**  ``RunResult`` contains only
+  simulation-derived data (no wall-clock), so serial and parallel
+  executions of the same spec are byte-identical under pickling; this
+  is what makes on-disk result caching and the serial/parallel
+  equivalence tests possible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.execution import Observable
+from repro.core.program import Program
+from repro.memsys.config import MachineConfig
+from repro.models.base import OrderingPolicy, policy_class_by_name
+from repro.sim.stats import StallReason
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A picklable description of an ordering policy.
+
+    ``name`` is the policy's report name (``"DEF2"``); ``params`` the
+    constructor keyword arguments as a sorted tuple of pairs, so two
+    specs describing the same policy compare and hash equal.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, policy_or_factory) -> "PolicySpec":
+        """Coerce a policy instance, class, or zero-arg factory to a spec."""
+        if isinstance(policy_or_factory, PolicySpec):
+            return policy_or_factory
+        policy = policy_or_factory
+        if not isinstance(policy, OrderingPolicy):
+            policy = policy_or_factory()
+        if not isinstance(policy, OrderingPolicy):
+            raise TypeError(
+                f"expected an OrderingPolicy, factory, or PolicySpec; "
+                f"got {policy_or_factory!r}"
+            )
+        return cls(name=policy.name, params=tuple(sorted(policy.spec_params())))
+
+    def build(self) -> OrderingPolicy:
+        """Construct a fresh policy instance (one per run)."""
+        return policy_class_by_name(self.name)(**dict(self.params))
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Simulation-time timings of one run (deterministic by design)."""
+
+    stall_cycles: int = 0
+    messages: int = 0
+    sync_nacks: int = 0
+    #: Stall cycles aggregated per reason, sorted by reason name.
+    stall_by_reason: Tuple[Tuple[StallReason, int], ...] = ()
+
+    def stall_of(self, reason: StallReason) -> int:
+        for r, cycles in self.stall_by_reason:
+            if r is reason:
+                return cycles
+        return 0
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The campaign-visible outcome of executing one :class:`RunSpec`."""
+
+    observable: Optional[Observable]
+    cycles: int
+    completed: bool
+    timings: RunMetrics = field(default_factory=RunMetrics)
+    #: Systematic exploration only: pending-pool size at every oracle
+    #: choice point, so the explorer can branch without re-running.
+    choice_log: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One unit of campaign work: ``(program, policy, config, seed)``.
+
+    When ``schedule`` is set the run replays that oracle decision string
+    on the :class:`~repro.explore.oracle.ScheduledInterconnect` instead
+    of sampling timings from the seed — the systematic explorer's
+    re-execution search expressed in the same unit of work.
+    """
+
+    program: Program
+    policy: PolicySpec
+    config: MachineConfig
+    seed: int
+    max_cycles: int = 1_000_000
+    schedule: Optional[Tuple[int, ...]] = None
+    relaxed_request_channels: bool = False
+    inval_virtual_channel: bool = False
+
+    def execute(self) -> RunResult:
+        """Run the spec on a freshly built system (pure; picklable)."""
+        from repro.memsys.system import System
+
+        if self.schedule is None:
+            system = System(
+                self.program, self.policy.build(), self.config, seed=self.seed
+            )
+            run = system.run(max_cycles=self.max_cycles)
+            return _package(run, choice_log=None)
+
+        from repro.explore.oracle import ReplayOracle, ScheduledInterconnect
+
+        oracle = ReplayOracle(self.schedule)
+        system = System(
+            self.program,
+            self.policy.build(),
+            self.config,
+            seed=self.seed,
+            interconnect_factory=lambda sim, stats, rng: ScheduledInterconnect(
+                sim,
+                stats,
+                oracle,
+                relaxed_request_channels=self.relaxed_request_channels,
+                inval_virtual_channel=self.inval_virtual_channel,
+            ),
+        )
+        run = system.run(max_cycles=self.max_cycles)
+        return _package(run, choice_log=tuple(oracle.log))
+
+    def digest(self) -> str:
+        """A stable content hash of the spec — the result-cache key."""
+        parts = [
+            program_fingerprint(self.program),
+            self.policy.name,
+            repr(self.policy.params),
+            repr(self.config),
+            str(self.seed),
+            str(self.max_cycles),
+            repr(self.schedule),
+            str(self.relaxed_request_channels),
+            str(self.inval_virtual_channel),
+        ]
+        return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
+
+def _package(run, choice_log: Optional[Tuple[int, ...]]) -> RunResult:
+    """Distill a :class:`~repro.memsys.system.HardwareRun` to a result."""
+    by_reason: Dict[StallReason, int] = {}
+    for (_proc, reason), cycles in run.stats.stall_breakdown().items():
+        by_reason[reason] = by_reason.get(reason, 0) + cycles
+    timings = RunMetrics(
+        stall_cycles=run.stats.stall_cycles(),
+        messages=run.stats.count("interconnect.delivered"),
+        sync_nacks=run.stats.count("dir.sync_nacks"),
+        stall_by_reason=tuple(
+            sorted(by_reason.items(), key=lambda kv: kv[0].value)
+        ),
+    )
+    return RunResult(
+        observable=run.observable if run.completed else None,
+        cycles=run.cycles,
+        completed=run.completed,
+        timings=timings,
+        choice_log=choice_log,
+    )
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Module-level entry point for worker processes (picklable by ref)."""
+    return spec.execute()
+
+
+def program_fingerprint(program: Program) -> str:
+    """A content hash of a program: threads, instructions, initial memory.
+
+    Dataclass ``repr`` is deterministic for the instruction types, so
+    two structurally identical programs fingerprint equal regardless of
+    the objects' identities or display names' provenance.
+    """
+    parts = [program.name]
+    for thread in program.threads:
+        parts.append(thread.name)
+        parts.append(repr(thread.instructions))
+        parts.append(repr(sorted(thread.labels.items())))
+    parts.append(repr(sorted(program.initial_memory.items())))
+    return hashlib.sha256("\x1e".join(parts).encode()).hexdigest()

@@ -23,11 +23,18 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.figure3 import figure3_sweep
+from repro.campaign import (
+    default_executor,
+    register_metrics_hook,
+    unregister_metrics_hook,
+)
 from repro.analysis.report import format_table
 from repro.drf.drf0 import check_program
 from repro.explore.explorer import explore_program
@@ -54,17 +61,44 @@ def _load_test(name_or_path: str, warm: bool = False) -> LitmusTest:
     )
 
 
+@contextlib.contextmanager
+def _campaign_metrics(args: argparse.Namespace):
+    """Collect campaign metrics and write them as JSON if requested."""
+    path = getattr(args, "metrics_json", None)
+    records: List[dict] = []
+    hook = lambda metrics: records.append(metrics.to_dict())
+    register_metrics_hook(hook)
+    try:
+        yield
+    finally:
+        unregister_metrics_hook(hook)
+        if path:
+            try:
+                Path(path).write_text(
+                    json.dumps(records, indent=2, sort_keys=True)
+                )
+            except OSError as exc:
+                # Metrics are auxiliary telemetry; never let a bad path
+                # destroy the campaign results themselves.
+                print(
+                    f"repro: warning: cannot write metrics JSON: {exc}",
+                    file=sys.stderr,
+                )
+
+
 def _cmd_litmus(args: argparse.Namespace) -> int:
     test = _load_test(args.test, warm=args.warm)
     runner = LitmusRunner()
     config = config_by_name(args.machine)
-    result = runner.run(
-        test,
-        lambda: policy_by_name(args.policy),
-        config,
-        runs=args.runs,
-        base_seed=args.seed,
-    )
+    with _campaign_metrics(args), default_executor(args.jobs) as executor:
+        result = runner.run(
+            test,
+            lambda: policy_by_name(args.policy),
+            config,
+            runs=args.runs,
+            base_seed=args.seed,
+            executor=executor,
+        )
     print(result.describe())
     return 1 if result.violated_sc and args.expect_sc else 0
 
@@ -79,12 +113,14 @@ def _cmd_drf(args: argparse.Namespace) -> int:
 def _cmd_explore(args: argparse.Namespace) -> int:
     test = _load_test(args.test, warm=args.warm)
     program = test.executable_program()
-    report = explore_program(
-        program,
-        lambda: policy_by_name(args.policy),
-        max_delays=args.delays,
-        max_runs=args.max_runs,
-    )
+    with _campaign_metrics(args), default_executor(args.jobs) as executor:
+        report = explore_program(
+            program,
+            lambda: policy_by_name(args.policy),
+            max_delays=args.delays,
+            max_runs=args.max_runs,
+            executor=executor,
+        )
     print(report.describe())
     verifier = SCVerifier()
     sc_set = verifier.sc_result_set(program)
@@ -102,20 +138,24 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 def _cmd_figure1(args: argparse.Namespace) -> int:
     runner = LitmusRunner()
     rows = []
-    for config in FIGURE1_CONFIGS:
-        warm = config.has_caches
-        test = fig1_dekker(warm=warm)
-        for policy_factory in (RelaxedPolicy, SCPolicy):
-            result = runner.run(test, policy_factory, config, runs=args.runs)
-            rows.append(
-                [
-                    config.name,
-                    policy_factory().name,
-                    result.forbidden_seen,
-                    args.runs,
-                    "VIOLATES SC" if result.violated_sc else "appears SC",
-                ]
-            )
+    with _campaign_metrics(args), default_executor(args.jobs) as executor:
+        for config in FIGURE1_CONFIGS:
+            warm = config.has_caches
+            test = fig1_dekker(warm=warm)
+            for policy_factory in (RelaxedPolicy, SCPolicy):
+                result = runner.run(
+                    test, policy_factory, config, runs=args.runs,
+                    executor=executor,
+                )
+                rows.append(
+                    [
+                        config.name,
+                        result.policy_name,
+                        result.forbidden_seen,
+                        args.runs,
+                        "VIOLATES SC" if result.violated_sc else "appears SC",
+                    ]
+                )
     print(format_table(["machine", "policy", "(0,0) seen", "runs", "verdict"], rows))
     return 0
 
@@ -150,7 +190,8 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
 def _cmd_conformance(args: argparse.Namespace) -> int:
     from repro.conformance import VERDICT_BROKEN, run_conformance
 
-    report = run_conformance(runs_per_test=args.runs)
+    with _campaign_metrics(args), default_executor(args.jobs) as executor:
+        report = run_conformance(runs_per_test=args.runs, executor=executor)
     print(report.describe())
     broken = [
         cell
@@ -181,6 +222,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_campaign_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="run the campaign on N worker processes (1 = serial)",
+        )
+        cmd.add_argument(
+            "--metrics-json", metavar="PATH",
+            help="write campaign metrics (wall-clock, runs/sec, "
+            "completion rate) to PATH as JSON",
+        )
+
     litmus = sub.add_parser("litmus", help="run a litmus campaign")
     litmus.add_argument("test", help="catalog name or .litmus file")
     litmus.add_argument("--policy", default="RELAXED")
@@ -191,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="warm caches (for .litmus files)")
     litmus.add_argument("--expect-sc", action="store_true",
                         help="exit nonzero if any outcome violates SC")
+    add_campaign_options(litmus)
     litmus.set_defaults(func=_cmd_litmus)
 
     drf = sub.add_parser("drf", help="check a program against DRF0")
@@ -204,10 +257,12 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--delays", type=int, default=2)
     explore.add_argument("--max-runs", type=int, default=20_000)
     explore.add_argument("--warm", action="store_true")
+    add_campaign_options(explore)
     explore.set_defaults(func=_cmd_explore)
 
     fig1 = sub.add_parser("figure1", help="regenerate the Figure-1 matrix")
     fig1.add_argument("--runs", type=int, default=80)
+    add_campaign_options(fig1)
     fig1.set_defaults(func=_cmd_figure1)
 
     fig3 = sub.add_parser("figure3", help="regenerate the Figure-3 sweep")
@@ -223,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
         "conformance", help="audit every (machine, policy) pair"
     )
     conformance.add_argument("--runs", type=int, default=30)
+    add_campaign_options(conformance)
     conformance.set_defaults(func=_cmd_conformance)
 
     delays = sub.add_parser("delays", help="Shasha-Snir delay set of a test")

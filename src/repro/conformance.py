@@ -25,6 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign import (
+    Executor,
+    PolicySpec,
+    ResultCache,
+    RunSpec,
+    run_campaign,
+)
 from repro.litmus.catalog import standard_catalog
 from repro.litmus.runner import LitmusRunner
 from repro.litmus.test import LitmusTest
@@ -37,7 +44,7 @@ from repro.memsys.config import (
     NET_CACHE_VC,
     NET_NOCACHE,
 )
-from repro.memsys.system import ConfigurationError
+from repro.memsys.system import ConfigurationError, ensure_compatible
 from repro.models.base import OrderingPolicy
 from repro.models.policies import (
     Def1Policy,
@@ -145,47 +152,88 @@ def run_conformance(
     runs_per_test: int = 30,
     base_seed: int = 2024,
     runner: Optional[LitmusRunner] = None,
+    executor: Optional[Executor] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> ConformanceReport:
-    """Audit every (machine, policy) pair against the litmus battery."""
+    """Audit every (machine, policy) pair against the litmus battery.
+
+    The whole grid is a single campaign: every run of every cell goes
+    into one flat :class:`RunSpec` list, so with ``jobs > 1`` (or a
+    parallel ``executor``) the grid parallelises across cells, tests,
+    and seeds at once — not merely within one cell.
+    """
     runner = runner or LitmusRunner()
     tests = list(tests) if tests is not None else standard_catalog()
     conformance_cache: Dict[tuple, bool] = {}
 
-    cells: List[CellResult] = []
+    # Lay out the flat campaign: per compatible cell, per test, one
+    # contiguous block of seed specs; remember each block's slice.
+    specs: List[RunSpec] = []
+    cell_plans: List[dict] = []
     for config in configs:
         for policy_factory in policies:
-            policy_name = policy_factory().name
+            policy_spec = PolicySpec.of(policy_factory)
             try:
-                cell = _audit_cell(
-                    runner, config, policy_factory, tests, runs_per_test,
-                    base_seed, conformance_cache,
-                )
+                ensure_compatible(policy_spec.build(), config)
             except ConfigurationError:
-                cell = CellResult(
+                cell_plans.append(
+                    {"config": config, "policy": policy_spec, "blocks": None}
+                )
+                continue
+            blocks = []
+            for test in tests:
+                test_specs = runner.campaign_specs(
+                    test, policy_spec, config, runs_per_test, base_seed
+                )
+                blocks.append((test, len(specs), len(test_specs)))
+                specs.extend(test_specs)
+            cell_plans.append(
+                {"config": config, "policy": policy_spec, "blocks": blocks}
+            )
+
+    campaign = run_campaign(
+        specs, executor=executor, jobs=jobs, cache=cache, label="conformance"
+    )
+
+    cells: List[CellResult] = []
+    for plan in cell_plans:
+        config, policy_spec = plan["config"], plan["policy"]
+        if plan["blocks"] is None:
+            cells.append(
+                CellResult(
                     config_name=config.name,
-                    policy_name=policy_name,
+                    policy_name=policy_spec.name,
                     verdict=VERDICT_NA,
                 )
-            cells.append(cell)
+            )
+            continue
+        cells.append(
+            _judge_cell(
+                runner, config, policy_spec, plan["blocks"],
+                campaign.results, conformance_cache,
+            )
+        )
     return ConformanceReport(cells=cells, runs_per_test=runs_per_test)
 
 
-def _audit_cell(
+def _judge_cell(
     runner: LitmusRunner,
     config: MachineConfig,
-    policy_factory: Callable[[], OrderingPolicy],
-    tests: Sequence[LitmusTest],
-    runs_per_test: int,
-    base_seed: int,
+    policy_spec: PolicySpec,
+    blocks: Sequence[Tuple[LitmusTest, int, int]],
+    results: Sequence,
     conformance_cache: Dict[tuple, bool],
 ) -> CellResult:
+    """Classify one (machine, policy) cell from its slice of the campaign."""
     violations: Dict[str, bool] = {}
     incomplete: List[str] = []
     broke_contract = False
     any_violation = False
-    for test in tests:
-        result = runner.run(
-            test, policy_factory, config, runs=runs_per_test, base_seed=base_seed
+    model = policy_spec.build().synchronization_model()
+    for test, start, count in blocks:
+        result = runner.collect(
+            test, policy_spec.name, config.name, results[start : start + count]
         )
         if result.completed_runs < result.runs:
             incomplete.append(test.name)
@@ -193,10 +241,7 @@ def _audit_cell(
         violations[test.name] = violated
         if violated:
             any_violation = True
-            if _conforms(
-                test, policy_factory().synchronization_model(),
-                conformance_cache,
-            ):
+            if _conforms(test, model, conformance_cache):
                 broke_contract = True
     if broke_contract:
         verdict = VERDICT_BROKEN
@@ -206,7 +251,7 @@ def _audit_cell(
         verdict = VERDICT_SC
     return CellResult(
         config_name=config.name,
-        policy_name=policy_factory().name,
+        policy_name=policy_spec.name,
         verdict=verdict,
         violations=violations,
         incomplete=incomplete,

@@ -28,11 +28,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.campaign import Executor, PolicySpec, RunSpec, run_campaign
 from repro.core.execution import Observable
 from repro.core.program import Program
-from repro.explore.oracle import ReplayOracle, ScheduledInterconnect
 from repro.memsys.config import MachineConfig, NET_CACHE
-from repro.memsys.system import HardwareRun, System
 from repro.models.base import OrderingPolicy
 
 
@@ -71,31 +70,6 @@ class ExplorationReport:
         return "\n".join(lines)
 
 
-def _run_schedule(
-    program: Program,
-    policy_factory: Callable[[], OrderingPolicy],
-    config: MachineConfig,
-    decisions: Tuple[int, ...],
-    max_cycles: int,
-    relaxed_request_channels: bool = False,
-    inval_virtual_channel: bool = False,
-) -> Tuple[HardwareRun, ReplayOracle]:
-    oracle = ReplayOracle(decisions)
-    system = System(
-        program,
-        policy_factory(),
-        config,
-        seed=0,
-        interconnect_factory=lambda sim, stats, rng: ScheduledInterconnect(
-            sim, stats, oracle,
-            relaxed_request_channels=relaxed_request_channels,
-            inval_virtual_channel=inval_virtual_channel,
-        ),
-    )
-    run = system.run(max_cycles=max_cycles)
-    return run, oracle
-
-
 def explore_program(
     program: Program,
     policy_factory: Callable[[], OrderingPolicy],
@@ -105,8 +79,17 @@ def explore_program(
     max_cycles: int = 200_000,
     relaxed_request_channels: bool = False,
     inval_virtual_channel: bool = False,
+    executor: Optional[Executor] = None,
+    jobs: int = 1,
 ) -> ExplorationReport:
     """Enumerate all delay-bounded schedules of ``program``.
+
+    The re-execution search runs through :mod:`repro.campaign`: each
+    wave of pending schedule prefixes becomes a batch of
+    :class:`~repro.campaign.spec.RunSpec` (with ``schedule`` set), so
+    the frontier executes in parallel under a parallel executor while
+    branching stays a pure function of each run's own oracle log —
+    serial and parallel exploration visit the identical schedule set.
 
     Args:
         policy_factory: zero-argument policy constructor.
@@ -121,46 +104,63 @@ def explore_program(
             subsumes condition 5 (requests can never bypass one another
             to the serialization point), so necessity experiments for
             the reserve bit must relax it.
+        executor/jobs: campaign execution strategy for each wave.
     """
     config = (config or NET_CACHE).with_overrides(start_skew=0)
+    policy_spec = PolicySpec.of(policy_factory)
 
     report = ExplorationReport(
         program=program,
-        policy_name=policy_factory().name,
+        policy_name=policy_spec.name,
         max_delays=max_delays,
         runs=0,
     )
     # Work list of decision prefixes; each prefix's last entry is its
     # deviation point, so extending only *after* the prefix guarantees
     # each schedule runs exactly once.
-    stack: List[Tuple[int, ...]] = [()]
-    while stack:
-        if report.runs >= max_runs:
+    frontier: List[Tuple[int, ...]] = [()]
+    while frontier:
+        remaining = max_runs - report.runs
+        if remaining <= 0:
             report.exhausted = False
             break
-        prefix = stack.pop()
-        run, oracle = _run_schedule(
-            program, policy_factory, config, prefix, max_cycles,
-            relaxed_request_channels=relaxed_request_channels,
-            inval_virtual_channel=inval_virtual_channel,
-        )
-        report.runs += 1
-        if run.completed:
-            report.outcomes[run.observable] = (
-                report.outcomes.get(run.observable, 0) + 1
+        batch, frontier = frontier[:remaining], frontier[remaining:]
+        specs = [
+            RunSpec(
+                program=program,
+                policy=policy_spec,
+                config=config,
+                seed=0,
+                max_cycles=max_cycles,
+                schedule=prefix,
+                relaxed_request_channels=relaxed_request_channels,
+                inval_virtual_channel=inval_virtual_channel,
             )
-        else:
-            report.incomplete_runs += 1
-        budget_left = max_delays - sum(prefix)
-        if budget_left <= 0:
-            continue
-        for point in range(len(prefix), oracle.choice_points):
-            eligible = oracle.log[point]
-            if eligible <= 1:
+            for prefix in batch
+        ]
+        campaign = run_campaign(
+            specs, executor=executor, jobs=jobs,
+            label=f"explore:{program.name}:{policy_spec.name}",
+        )
+        for prefix, result in zip(batch, campaign.results):
+            report.runs += 1
+            if result.completed and result.observable is not None:
+                report.outcomes[result.observable] = (
+                    report.outcomes.get(result.observable, 0) + 1
+                )
+            else:
+                report.incomplete_runs += 1
+            budget_left = max_delays - sum(prefix)
+            if budget_left <= 0:
                 continue
-            for decision in range(1, min(eligible - 1, budget_left) + 1):
-                padding = (0,) * (point - len(prefix))
-                stack.append(prefix + padding + (decision,))
+            choice_log = result.choice_log or ()
+            for point in range(len(prefix), len(choice_log)):
+                eligible = choice_log[point]
+                if eligible <= 1:
+                    continue
+                for decision in range(1, min(eligible - 1, budget_left) + 1):
+                    padding = (0,) * (point - len(prefix))
+                    frontier.append(prefix + padding + (decision,))
     return report
 
 
@@ -172,6 +172,8 @@ def explore_to_fixpoint(
     stable_rounds: int = 2,
     config: Optional[MachineConfig] = None,
     max_runs_per_budget: int = 20_000,
+    executor: Optional[Executor] = None,
+    jobs: int = 1,
 ) -> ExplorationReport:
     """Escalate the delay budget until the outcome set stops growing.
 
@@ -192,6 +194,8 @@ def explore_to_fixpoint(
             max_delays=budget,
             config=config,
             max_runs=max_runs_per_budget,
+            executor=executor,
+            jobs=jobs,
         )
         last_report = report
         if report.observables <= seen:
@@ -212,6 +216,8 @@ def verify_weak_ordering(
     max_delays: int = 2,
     config: Optional[MachineConfig] = None,
     max_runs: int = 20_000,
+    executor: Optional[Executor] = None,
+    jobs: int = 1,
 ) -> Tuple[bool, ExplorationReport]:
     """Definition 2 as a bounded model-checking query.
 
@@ -222,7 +228,7 @@ def verify_weak_ordering(
     """
     report = explore_program(
         program, policy_factory, max_delays=max_delays, config=config,
-        max_runs=max_runs,
+        max_runs=max_runs, executor=executor, jobs=jobs,
     )
     holds = all(outcome in sc_results for outcome in report.outcomes)
     return holds, report

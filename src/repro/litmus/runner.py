@@ -7,18 +7,31 @@ program.  An outcome outside the SC set is a sequential-consistency
 violation — permitted for racy programs on weak hardware, *forbidden*
 (Definition 2) for DRF0 programs on hardware claiming weak ordering
 w.r.t. DRF0.
+
+Execution goes through :mod:`repro.campaign`: the runner turns
+``(test, policy, config, seeds)`` into a list of
+:class:`~repro.campaign.spec.RunSpec` and classifies the returned
+results, so a campaign runs serial or parallel (``executor=``/``jobs=``)
+and optionally cached, with identical output either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.campaign import (
+    Executor,
+    PolicySpec,
+    ResultCache,
+    RunResult,
+    RunSpec,
+    program_fingerprint,
+    run_campaign,
+)
 from repro.core.execution import Observable
 from repro.litmus.test import LitmusTest
 from repro.memsys.config import MachineConfig
-from repro.memsys.system import System
-from repro.models.base import OrderingPolicy
 from repro.sc.verifier import SCVerifier
 from repro.sim.rng import seed_stream
 
@@ -74,6 +87,10 @@ class LitmusRunner:
 
     def __init__(self, verifier: Optional[SCVerifier] = None) -> None:
         self.verifier = verifier or SCVerifier()
+        #: Content digest -> warmed executable program.  Keyed by the
+        #: test's *content* (program fingerprint + warm flag), never its
+        #: display name, so two distinct tests sharing a name can never
+        #: silently reuse each other's executable.
         self._program_cache: Dict[str, object] = {}
 
     def run(
@@ -84,12 +101,59 @@ class LitmusRunner:
         runs: int = 50,
         base_seed: int = 12345,
         max_cycles: int = 1_000_000,
+        executor: Optional[Executor] = None,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
     ) -> LitmusResult:
         """Run ``runs`` seeds of ``test`` and classify the outcomes.
 
-        ``policy_factory`` is called once per run (policies may hold
-        per-run state).
+        ``policy_factory`` is anything :meth:`PolicySpec.of` accepts; a
+        fresh policy is constructed per run (policies may hold per-run
+        state) from its spec, in-process or in a worker.
         """
+        policy_spec = PolicySpec.of(policy_factory)
+        specs = self.campaign_specs(
+            test, policy_spec, config, runs, base_seed, max_cycles
+        )
+        campaign = run_campaign(
+            specs,
+            executor=executor,
+            jobs=jobs,
+            cache=cache,
+            label=f"litmus:{test.name}:{config.name}:{policy_spec.name}",
+        )
+        return self.collect(test, policy_spec.name, config.name, campaign.results)
+
+    def campaign_specs(
+        self,
+        test: LitmusTest,
+        policy_spec: PolicySpec,
+        config: MachineConfig,
+        runs: int,
+        base_seed: int,
+        max_cycles: int = 1_000_000,
+    ) -> List[RunSpec]:
+        """The campaign's unit-of-work list: one spec per derived seed."""
+        program = self._executable(test)
+        return [
+            RunSpec(
+                program=program,
+                policy=policy_spec,
+                config=config,
+                seed=seed,
+                max_cycles=max_cycles,
+            )
+            for seed in seed_stream(base_seed, runs)
+        ]
+
+    def collect(
+        self,
+        test: LitmusTest,
+        policy_name: str,
+        config_name: str,
+        results: Sequence[RunResult],
+    ) -> LitmusResult:
+        """Histogram campaign results and classify them against SC."""
         program = self._executable(test)
         sc_set: Set[Observable] = self.verifier.sc_result_set(program)
 
@@ -97,23 +161,21 @@ class LitmusRunner:
         violations: Dict[Tuple[int, ...], int] = {}
         completed = 0
         total_cycles = 0
-        for seed in seed_stream(base_seed, runs):
-            system = System(program, policy_factory(), config, seed=seed)
-            run = system.run(max_cycles=max_cycles)
-            if not run.completed:
+        for result in results:
+            if not result.completed or result.observable is None:
                 continue
             completed += 1
-            total_cycles += run.cycles
-            outcome = test.project(run.observable)
+            total_cycles += result.cycles
+            outcome = test.project(result.observable)
             histogram[outcome] = histogram.get(outcome, 0) + 1
-            if run.observable not in sc_set:
+            if result.observable not in sc_set:
                 violations[outcome] = violations.get(outcome, 0) + 1
 
         return LitmusResult(
             test=test,
-            policy_name=policy_factory().name,
-            config_name=config.name,
-            runs=runs,
+            policy_name=policy_name,
+            config_name=config_name,
+            runs=len(results),
             completed_runs=completed,
             histogram=histogram,
             sc_violations=violations,
@@ -128,6 +190,7 @@ class LitmusRunner:
     def _executable(self, test: LitmusTest):
         # The executable (possibly warmed) program must be the same
         # object across runs so the verifier's per-program cache hits.
-        if test.name not in self._program_cache:
-            self._program_cache[test.name] = test.executable_program()
-        return self._program_cache[test.name]
+        key = f"{program_fingerprint(test.program)}:warm={test.warm_caches}"
+        if key not in self._program_cache:
+            self._program_cache[key] = test.executable_program()
+        return self._program_cache[key]

@@ -37,6 +37,25 @@ class ConfigurationError(ValueError):
     """Policy and machine configuration are incompatible."""
 
 
+def ensure_compatible(policy: OrderingPolicy, config: MachineConfig) -> None:
+    """Raise :class:`ConfigurationError` if the pair cannot be built.
+
+    Shared by :class:`System` and the campaign layer, which pre-flights
+    (policy, config) cells before fanning specs out to workers.
+    """
+    if policy.requires_cache and not config.has_caches:
+        raise ConfigurationError(
+            f"policy {policy.name} requires caches; configuration "
+            f"{config.name!r} has none"
+        )
+    if (
+        config.has_caches
+        and config.coherence is CoherenceStyle.SNOOPING
+        and config.interconnect is not InterconnectKind.BUS
+    ):
+        raise ConfigurationError("snooping coherence requires the atomic bus")
+
+
 @dataclass
 class HardwareRun:
     """The outcome of one hardware execution."""
@@ -80,11 +99,7 @@ class System:
         explorer (:mod:`repro.explore`) uses to substitute its
         schedule-controlled transport.
         """
-        if policy.requires_cache and not config.has_caches:
-            raise ConfigurationError(
-                f"policy {policy.name} requires caches; configuration "
-                f"{config.name!r} has none"
-            )
+        ensure_compatible(policy, config)
         self.program = program
         self.policy = policy
         self.config = config
@@ -165,10 +180,6 @@ class System:
             self.processors.append(processor)
 
     def _build_snooping(self) -> None:
-        if self.config.interconnect is not InterconnectKind.BUS:
-            raise ConfigurationError(
-                "snooping coherence requires the atomic bus"
-            )
         self.snoop_coordinator = SnoopCoordinator(
             self.sim,
             self.interconnect,

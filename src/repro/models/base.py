@@ -38,11 +38,42 @@ class BlockKind(enum.Enum):
     GP = "gp"
 
 
+#: Report name -> policy class, populated by ``__init_subclass__`` so the
+#: campaign layer can rebuild a policy from its picklable spec in worker
+#: processes (see :class:`repro.campaign.spec.PolicySpec`).
+_POLICY_REGISTRY: dict = {}
+
+
+def policy_class_by_name(name: str):
+    """The policy class registered under a report name."""
+    try:
+        return _POLICY_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; registered: {sorted(_POLICY_REGISTRY)}"
+        )
+
+
 class OrderingPolicy:
     """Base policy: fully relaxed semantics, overridden by the models."""
 
     #: Human-readable identifier used in reports.
     name = "base"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        # Register only classes that declare their own report name, so
+        # ad-hoc subclasses (test doubles) never shadow the real policy.
+        if "name" in cls.__dict__:
+            _POLICY_REGISTRY[cls.name] = cls
+
+    def spec_params(self):
+        """Constructor kwargs that reproduce this instance, as pairs.
+
+        The campaign layer ships these across process boundaries instead
+        of the live object; subclasses with constructor state override.
+        """
+        return ()
     #: Name of the synchronization model this policy contracts against
     #: (Definition 2 is parametric in the model: DEF2-R promises SC only
     #: to DRF0-R software, not to all DRF0 software).  Resolved lazily

@@ -108,6 +108,12 @@ class Def2Policy(OrderingPolicy):
         self.nack_mode = nack_mode
         self.miss_bound_while_reserved = miss_bound_while_reserved
 
+    def spec_params(self):
+        return (
+            ("nack_mode", self.nack_mode),
+            ("miss_bound_while_reserved", self.miss_bound_while_reserved),
+        )
+
     def sync_read_needs_exclusive(self) -> bool:
         # "All synchronization operations will be treated as write
         # operations by the cache coherence protocol." (Section 5.2)

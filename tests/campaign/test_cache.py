@@ -1,0 +1,84 @@
+"""On-disk result cache: hits, misses, corruption tolerance."""
+
+import pickle
+
+from repro.campaign import PolicySpec, ResultCache, RunSpec, run_campaign
+from repro.litmus.catalog import fig1_dekker
+from repro.memsys.config import NET_NOCACHE
+from repro.models.policies import RelaxedPolicy
+
+
+def _specs(n):
+    program = fig1_dekker().program
+    policy = PolicySpec.of(RelaxedPolicy)
+    return [
+        RunSpec(program=program, policy=policy, config=NET_NOCACHE, seed=seed)
+        for seed in range(n)
+    ]
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = _specs(1)[0]
+        assert cache.get(spec) is None
+        result = spec.execute()
+        cache.put(spec, result)
+        assert cache.get(spec) == result
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _specs(1)[0]
+        cache.put(spec, spec.execute())
+        (tmp_path / f"{spec.digest()}.pkl").write_bytes(b"not a pickle")
+        assert cache.get(spec) is None
+
+    def test_non_result_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _specs(1)[0]
+        (tmp_path / f"{spec.digest()}.pkl").write_bytes(pickle.dumps({"bogus": 1}))
+        assert cache.get(spec) is None
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for spec in _specs(3):
+            cache.put(spec, spec.execute())
+        assert len(cache) == 3
+
+
+class TestCampaignCaching:
+    def test_second_campaign_is_all_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = _specs(4)
+        first = run_campaign(specs, cache=cache)
+        assert first.metrics.cache_hits == 0
+        second = run_campaign(specs, cache=cache)
+        assert second.metrics.cache_hits == 4
+        assert pickle.dumps(first.results) == pickle.dumps(second.results)
+
+    def test_partial_hits_preserve_order(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = _specs(4)
+        run_campaign(specs[:2], cache=cache)
+        mixed = run_campaign(specs, cache=cache)
+        assert mixed.metrics.cache_hits == 2
+        uncached = run_campaign(specs)
+        assert [pickle.dumps(r) for r in mixed.results] == [
+            pickle.dumps(r) for r in uncached.results
+        ]
+
+    def test_cached_runner_output_identical(self, tmp_path):
+        from repro.litmus.runner import LitmusRunner
+
+        runner = LitmusRunner()
+        cache = ResultCache(tmp_path)
+        plain = runner.run(fig1_dekker(), RelaxedPolicy, NET_NOCACHE, runs=10)
+        cached = runner.run(
+            fig1_dekker(), RelaxedPolicy, NET_NOCACHE, runs=10, cache=cache
+        )
+        rehit = runner.run(
+            fig1_dekker(), RelaxedPolicy, NET_NOCACHE, runs=10, cache=cache
+        )
+        assert plain.histogram == cached.histogram == rehit.histogram
+        assert cache.hits == 10

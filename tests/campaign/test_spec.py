@@ -1,0 +1,119 @@
+"""Unit tests for RunSpec / RunResult / PolicySpec."""
+
+import pickle
+
+import pytest
+
+from repro.campaign import PolicySpec, RunSpec, program_fingerprint
+from repro.litmus.catalog import fig1_dekker, message_passing_sync
+from repro.memsys.config import NET_CACHE, NET_NOCACHE
+from repro.models.base import OrderingPolicy
+from repro.models.policies import Def2Policy, Def2RPolicy, RelaxedPolicy, SCPolicy
+
+
+class TestPolicySpec:
+    def test_of_class(self):
+        spec = PolicySpec.of(SCPolicy)
+        assert spec.name == "SC"
+        assert spec.params == ()
+
+    def test_of_instance_and_factory(self):
+        assert PolicySpec.of(SCPolicy()) == PolicySpec.of(lambda: SCPolicy())
+
+    def test_of_spec_is_identity(self):
+        spec = PolicySpec.of(SCPolicy)
+        assert PolicySpec.of(spec) is spec
+
+    def test_of_rejects_non_policy(self):
+        with pytest.raises(TypeError):
+            PolicySpec.of(lambda: 42)
+
+    def test_build_reconstructs_constructor_state(self):
+        spec = PolicySpec.of(Def2Policy(nack_mode=False, miss_bound_while_reserved=2))
+        policy = spec.build()
+        assert isinstance(policy, Def2Policy)
+        assert policy.nack_mode is False
+        assert policy.miss_bound_while_reserved == 2
+
+    def test_build_distinguishes_subclasses(self):
+        assert isinstance(PolicySpec.of(Def2RPolicy).build(), Def2RPolicy)
+
+    def test_roundtrips_through_pickle(self):
+        spec = PolicySpec.of(Def2Policy(nack_mode=False))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.build().nack_mode is False
+
+    def test_ad_hoc_subclass_does_not_shadow_registry(self):
+        class Probe(Def2Policy):  # no `name` of its own
+            pass
+
+        assert not isinstance(PolicySpec.of(Def2Policy).build(), Probe)
+
+
+def _spec(seed=1, **kwargs):
+    defaults = dict(
+        program=fig1_dekker().program,
+        policy=PolicySpec.of(RelaxedPolicy),
+        config=NET_NOCACHE,
+        seed=seed,
+    )
+    defaults.update(kwargs)
+    return RunSpec(**defaults)
+
+
+class TestRunSpec:
+    def test_execute_produces_result(self):
+        result = _spec().execute()
+        assert result.completed
+        assert result.observable is not None
+        assert result.cycles > 0
+        assert result.timings.messages > 0
+
+    def test_execute_is_deterministic(self):
+        a, b = _spec(seed=5).execute(), _spec(seed=5).execute()
+        assert pickle.dumps(a) == pickle.dumps(b)
+
+    def test_spec_is_picklable(self):
+        spec = _spec()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.execute().observable == spec.execute().observable
+
+    def test_digest_stable(self):
+        assert _spec().digest() == _spec().digest()
+
+    def test_digest_varies_with_seed_policy_config(self):
+        base = _spec()
+        assert base.digest() != _spec(seed=2).digest()
+        assert base.digest() != _spec(policy=PolicySpec.of(SCPolicy)).digest()
+        assert (
+            _spec(
+                program=message_passing_sync().program,
+                policy=PolicySpec.of(Def2Policy),
+                config=NET_CACHE,
+            ).digest()
+            != base.digest()
+        )
+
+    def test_schedule_run_reports_choice_log(self):
+        result = _spec(
+            config=NET_CACHE.with_overrides(start_skew=0),
+            policy=PolicySpec.of(SCPolicy),
+            schedule=(),
+            max_cycles=200_000,
+        ).execute()
+        assert result.completed
+        assert result.choice_log is not None
+        assert len(result.choice_log) > 0
+
+
+class TestProgramFingerprint:
+    def test_same_content_same_fingerprint(self):
+        assert program_fingerprint(fig1_dekker().program) == program_fingerprint(
+            fig1_dekker().program
+        )
+
+    def test_different_content_different_fingerprint(self):
+        assert program_fingerprint(fig1_dekker().program) != program_fingerprint(
+            message_passing_sync().program
+        )

@@ -1,0 +1,26 @@
+"""Suite-wide options: the ``slow`` marker gate.
+
+Heavyweight campaigns (full-catalog serial/parallel equivalence, large
+grids) are marked ``@pytest.mark.slow`` and skipped by default so tier-1
+stays fast; opt in with ``pytest --runslow``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to include")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
