@@ -1,0 +1,91 @@
+"""FAULT — the DRF0 contract under an adversarial interconnect.
+
+Definition 2's promise quantifies over every legal timing of coherence
+traffic, so the reproduction's strongest evidence is a campaign where
+the timings are chosen *against* the hardware: heavy jitter plus
+cross-channel reordering injected by :mod:`repro.faults`.  Expected
+shape (asserted):
+
+* the all-synchronization (DRF0) Dekker stays SC on DEF2 hardware under
+  the heavy plan, for every salt tried;
+* the racy Dekker on RELAXED hardware keeps violating SC — injection
+  makes adversarial interleavings easier to reach, never harder;
+* fault-injected campaigns remain deterministic: serial and parallel
+  executions are byte-identical.
+"""
+
+import pickle
+
+from repro.campaign import PolicySpec, RunSpec, SerialExecutor, run_campaign
+from repro.faults import PRESETS, FaultPlan
+from repro.litmus.catalog import fig1_dekker, fig1_dekker_all_sync
+from repro.memsys.config import NET_CACHE, NET_NOCACHE
+from repro.models.policies import Def2Policy, RelaxedPolicy
+
+RUNS = 30
+SALTS = (0, 1, 2)
+
+
+def _specs(test, policy, config, plan):
+    program = test.executable_program()
+    policy_spec = PolicySpec.of(policy)
+    return [
+        RunSpec(
+            program=program, policy=policy_spec, config=config,
+            seed=seed, faults=plan.with_overrides(salt=salt),
+        )
+        for salt in SALTS
+        for seed in range(RUNS)
+    ]
+
+
+def test_drf0_contract_under_heavy_faults(benchmark, runner, executor):
+    test = fig1_dekker_all_sync(warm=True)
+    specs = _specs(test, Def2Policy, NET_CACHE, PRESETS["heavy"])
+    campaign = benchmark.pedantic(
+        lambda: run_campaign(specs, executor=executor, label="faults-drf0"),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n[FAULT] DRF0 Dekker on DEF2/net_cache, heavy plan, "
+          f"{len(SALTS)} salts x {RUNS} seeds (jobs={executor.jobs})")
+    result = runner.collect(
+        test, "DEF2", NET_CACHE.name, campaign.results
+    )
+    print(result.describe())
+    assert campaign.ok
+    assert not result.violated_sc, "DRF0 program lost SC under faults"
+
+
+def test_racy_program_violates_under_faults(benchmark, runner, executor):
+    test = fig1_dekker()
+    plan = FaultPlan(delay_jitter=10, reorder_pct=30, duplicate_pct=10)
+    specs = _specs(test, RelaxedPolicy, NET_NOCACHE, plan)
+    campaign = benchmark.pedantic(
+        lambda: run_campaign(specs, executor=executor, label="faults-racy"),
+        rounds=1,
+        iterations=1,
+    )
+    result = runner.collect(
+        test, "RELAXED", NET_NOCACHE.name, campaign.results
+    )
+    print(f"\n[FAULT] racy Dekker on RELAXED/net_nocache, "
+          f"jitter+reorder+duplicates: {result.describe()}")
+    assert result.violated_sc, "injection masked the racy violation"
+
+
+def test_faulted_campaign_stays_deterministic(benchmark, executor):
+    specs = _specs(
+        fig1_dekker(), RelaxedPolicy, NET_NOCACHE, PRESETS["light"]
+    )[: 2 * RUNS]
+    campaign = benchmark.pedantic(
+        lambda: run_campaign(specs, executor=executor, label="faults-det"),
+        rounds=1,
+        iterations=1,
+    )
+    reference = SerialExecutor().map(specs)
+    assert [pickle.dumps(r) for r in campaign.results] == [
+        pickle.dumps(r) for r in reference
+    ]
+    print(f"\n[FAULT] {len(specs)} faulted runs byte-identical "
+          f"serial vs jobs={executor.jobs}")

@@ -27,7 +27,11 @@ This package makes every piece of that story executable:
 * :mod:`repro.campaign` — the unified RunSpec -> RunResult pipeline:
   serial/parallel executors, on-disk result caching, and campaign
   metrics, shared by the runner, the conformance grid, the explorer,
-  the sweeps, the CLI (``--jobs``), and the benchmarks.
+  the sweeps, the CLI (``--jobs``), and the benchmarks;
+* :mod:`repro.faults` — seeded fault injection (latency jitter,
+  cross-channel reordering, duplicate delivery) for auditing the
+  Definition-2 contract under adversarial message timings
+  (``--faults`` on the CLI, ``RunSpec.faults`` in campaigns).
 
 Quickstart::
 
@@ -44,11 +48,13 @@ from repro.campaign import (
     ParallelExecutor,
     PolicySpec,
     ResultCache,
+    RunFailure,
     RunResult,
     RunSpec,
     SerialExecutor,
     run_campaign,
 )
+from repro.faults import FaultPlan, parse_fault_plan
 from repro.core import (
     Observable,
     OpKind,
@@ -102,6 +108,7 @@ __all__ = [
     "Def2RPolicy",
     "DelayPolicy",
     "FIGURE1_CONFIGS",
+    "FaultPlan",
     "LitmusRunner",
     "LitmusTest",
     "MachineConfig",
@@ -127,6 +134,7 @@ __all__ = [
     "fig1_dekker",
     "find_races",
     "obeys_drf0",
+    "parse_fault_plan",
     "parse_litmus",
     "policy_by_name",
     "run_program",

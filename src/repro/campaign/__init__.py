@@ -33,26 +33,34 @@ from repro.campaign.metrics import (
     unregister_metrics_hook,
 )
 from repro.campaign.spec import (
+    DETERMINISTIC_FAILURES,
+    FAILURE_KINDS,
     PolicySpec,
+    RunFailure,
     RunMetrics,
     RunResult,
     RunSpec,
+    execute_spec_guarded,
     program_fingerprint,
 )
 
 __all__ = [
     "CampaignMetrics",
     "CampaignResult",
+    "DETERMINISTIC_FAILURES",
     "Executor",
+    "FAILURE_KINDS",
     "ParallelExecutor",
     "PolicySpec",
     "ResultCache",
+    "RunFailure",
     "RunMetrics",
     "RunResult",
     "RunSpec",
     "SerialExecutor",
     "default_executor",
     "emit_metrics",
+    "execute_spec_guarded",
     "program_fingerprint",
     "register_metrics_hook",
     "run_campaign",

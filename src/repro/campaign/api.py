@@ -5,18 +5,29 @@ that used to iterate ``for seed in seed_stream(...)`` privately — the
 litmus runner, the conformance grid, the quantitative sweeps, the CLI,
 the benchmark scripts — now builds a list of specs and hands it here,
 gaining parallelism, result caching, and metrics for free.
+
+A campaign never aborts on a bad run: failures (crashes, simulation
+watchdog trips, wall-clock timeouts, lost workers) come back as
+:class:`~repro.campaign.spec.RunFailure` records inside their
+``RunResult`` slot, so partial results are always returned in spec
+order and :meth:`CampaignResult.failure_report` says what went wrong.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.executor import Executor, default_executor
 from repro.campaign.metrics import CampaignMetrics, emit_metrics
-from repro.campaign.spec import RunResult, RunSpec
+from repro.campaign.spec import (
+    DETERMINISTIC_FAILURES,
+    RunFailure,
+    RunResult,
+    RunSpec,
+)
 
 
 @dataclass
@@ -32,6 +43,27 @@ class CampaignResult:
     def __len__(self) -> int:
         return len(self.results)
 
+    @property
+    def failures(self) -> List[Tuple[int, RunFailure]]:
+        """``(spec index, failure)`` for every failed run, in spec order."""
+        return [
+            (i, r.failure)
+            for i, r in enumerate(self.results)
+            if r.failure is not None
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """True when every run completed without a failure record."""
+        return all(r.failure is None and r.completed for r in self.results)
+
+    def failure_report(self) -> str:
+        """A human-readable summary of every failed run (empty if none)."""
+        lines = [
+            f"run #{i}: {failure.describe()}" for i, failure in self.failures
+        ]
+        return "\n".join(lines)
+
 
 def run_campaign(
     specs: Iterable[RunSpec],
@@ -39,19 +71,30 @@ def run_campaign(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     label: str = "campaign",
+    run_timeout: Optional[float] = None,
+    retries: int = 2,
 ) -> CampaignResult:
     """Execute every spec; results come back in spec order.
 
     Args:
         executor: execution strategy; defaults to
-            ``default_executor(jobs)`` (serial unless ``jobs > 1``).
+            ``default_executor(jobs, run_timeout, retries)`` (serial
+            unless ``jobs > 1``).
         cache: optional on-disk result cache — hits skip execution,
-            misses are executed and stored.
+            misses are executed and stored.  Only successes and
+            *deterministic* failures (exceptions, simulation timeouts)
+            are stored; environment-dependent failures (wall-clock
+            timeouts, lost workers) are always re-attempted next time.
         label: tag carried on the emitted :class:`CampaignMetrics`.
+        run_timeout: per-run wall-clock budget in seconds (parallel
+            executors only; ignored when ``executor`` is supplied).
+        retries: transient-failure retry budget per run (ditto).
     """
     spec_list = list(specs)
     own_executor = executor is None
-    executor = executor or default_executor(jobs)
+    executor = executor or default_executor(
+        jobs, run_timeout=run_timeout, retries=retries
+    )
     started = time.perf_counter()
 
     results: List[Optional[RunResult]] = [None] * len(spec_list)
@@ -68,7 +111,10 @@ def run_campaign(
                     misses.append(i)
             fresh = executor.map([spec_list[i] for i in misses])
             for i, result in zip(misses, fresh):
-                cache.put(spec_list[i], result)
+                if result.failure is None or (
+                    result.failure.kind in DETERMINISTIC_FAILURES
+                ):
+                    cache.put(spec_list[i], result)
                 results[i] = result
         else:
             results = list(executor.map(spec_list))
@@ -78,6 +124,7 @@ def run_campaign(
 
     wall = time.perf_counter() - started
     completed = sum(1 for r in results if r is not None and r.completed)
+    failed = [r for r in results if r is not None and r.failure is not None]
     metrics = CampaignMetrics(
         label=label,
         runs=len(spec_list),
@@ -87,6 +134,14 @@ def run_campaign(
         completion_rate=(completed / len(spec_list)) if spec_list else 1.0,
         jobs=executor.jobs,
         cache_hits=cache_hits,
+        failed_runs=len(failed),
+        timed_out_runs=sum(
+            1 for r in failed
+            if r.failure.kind in ("sim-timeout", "wall-timeout")
+        ),
+        retried_runs=getattr(executor, "retried_runs", 0),
+        pool_rebuilds=getattr(executor, "pool_rebuilds", 0),
+        degraded=getattr(executor, "degraded", False),
     )
     emit_metrics(metrics)
     return CampaignResult(results=results, metrics=metrics)

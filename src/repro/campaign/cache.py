@@ -4,9 +4,12 @@ Because a :class:`~repro.campaign.spec.RunSpec` determines its
 :class:`~repro.campaign.spec.RunResult` exactly, results can be memoised
 across processes and sessions: the cache maps ``spec.digest()`` — a
 sha256 over program content, policy spec, machine configuration, seed,
-cycle bound, and schedule — to a pickled result.  Corrupt or unreadable
-entries are treated as misses, so a cache directory can never poison a
-campaign, only fail to accelerate it.
+cycle bound, schedule, and fault plan — to a pickled result.  Writes are
+atomic (temp file + ``os.replace``), so an interrupted campaign can
+never leave a truncated entry under a digest's name; and if a corrupt
+entry somehow appears anyway, reading it quarantines the file (renamed
+``*.corrupt``) and reports a miss, so a cache directory can never poison
+a campaign, only fail to accelerate it.
 """
 
 from __future__ import annotations
@@ -28,6 +31,8 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Entries found unreadable and moved aside (``*.corrupt``).
+        self.quarantined = 0
 
     def _path(self, spec: RunSpec) -> Path:
         return self.directory / f"{spec.digest()}.pkl"
@@ -37,25 +42,41 @@ class ResultCache:
         try:
             with path.open("rb") as fh:
                 result = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            # A half-written or stale-format entry must never be
+            # trusted; move it aside so it cannot shadow a future put
+            # and is available for post-mortem.
+            self._quarantine(path)
             self.misses += 1
             return None
         if not isinstance(result, RunResult):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return result
 
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+            self.quarantined += 1
+        except OSError:
+            pass
+
     def put(self, spec: RunSpec, result: RunResult) -> None:
-        # Write-then-rename so concurrent campaigns never observe a
-        # half-written entry.
+        # Write-then-rename so an interrupted run or a concurrent
+        # campaign can never observe a half-written entry.
         path = self._path(spec)
         fd, tmp = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(result, fh)
             os.replace(tmp, path)
-        except OSError:
+        except (OSError, pickle.PicklingError):
             try:
                 os.unlink(tmp)
             except OSError:

@@ -9,14 +9,44 @@ reconstructing policies from their specs inside the workers (nothing
 unpicklable crosses the boundary).  Because a run is a pure function of
 its spec, the two are interchangeable: serial and parallel campaigns
 produce byte-identical results.
+
+Both executors are **fault-tolerant**: a crashing spec becomes a
+``RunResult`` carrying a :class:`~repro.campaign.spec.RunFailure`
+(captured inside :func:`execute_spec_guarded`), never a batch abort.
+On top of that the parallel executor survives the process pool itself
+failing:
+
+* per-spec futures (not ``pool.map``), so completed results are kept
+  when a sibling dies;
+* a per-run wall-clock timeout (``run_timeout``) as a safety net over
+  the simulation's own cycle watchdog;
+* retry with exponential backoff for transiently lost workers, pool
+  rebuild after ``BrokenProcessPool``, and graceful degradation to
+  in-process serial execution after repeated pool failures — partial
+  results are always returned, with failures reported in place.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from typing import Iterable, List, Optional, Sequence
 
-from repro.campaign.spec import RunResult, RunSpec, execute_spec
+from repro.campaign.spec import (
+    RunFailure,
+    RunResult,
+    RunSpec,
+    execute_spec_guarded,
+)
+
+
+def _failure(kind: str, message: str, attempts: int = 1) -> RunResult:
+    return RunResult(
+        observable=None,
+        cycles=0,
+        completed=False,
+        failure=RunFailure(kind=kind, message=message, attempts=attempts),
+    )
 
 
 class Executor:
@@ -24,6 +54,11 @@ class Executor:
 
     #: Worker parallelism (1 for serial); informational for reports.
     jobs: int = 1
+    #: Operational counters, reset by each ``map`` call and folded into
+    #: :class:`~repro.campaign.metrics.CampaignMetrics`.
+    retried_runs: int = 0
+    pool_rebuilds: int = 0
+    degraded: bool = False
 
     def map(self, specs: Iterable[RunSpec]) -> List[RunResult]:
         """Execute every spec, returning results in spec order."""
@@ -40,26 +75,60 @@ class Executor:
 
 
 class SerialExecutor(Executor):
-    """Run every spec in-process, one after another."""
+    """Run every spec in-process, one after another.
+
+    Failures are still captured per spec (guarded execution); wall-clock
+    timeouts need preemption and therefore only exist on the parallel
+    executor — serial runs rely on the simulation's cycle watchdog.
+    """
 
     def map(self, specs: Iterable[RunSpec]) -> List[RunResult]:
-        return [spec.execute() for spec in specs]
+        return [execute_spec_guarded(spec) for spec in specs]
 
 
 class ParallelExecutor(Executor):
-    """Fan a batch out over a ``ProcessPoolExecutor``.
+    """Fan a batch out over a ``ProcessPoolExecutor``, fault-tolerantly.
 
-    Workers rebuild the policy from its :class:`PolicySpec`, run the
-    system, and ship back the (picklable, deterministic) result.
-    ``pool.map`` preserves submission order, so output ordering never
-    depends on which worker finishes first.  Batches smaller than two
-    specs short-circuit to in-process execution.
+    Every spec gets its own future; results are reassembled into spec
+    order, so output never depends on completion order and surviving
+    results are never discarded because a sibling failed.  Batches
+    smaller than two specs short-circuit to in-process execution.
+
+    ``run_timeout`` bounds the wall-clock wait per run (measured from
+    the moment the batch starts waiting on that run; earlier runs in
+    spec order are always waited on first, so a queued run is never
+    charged for its predecessors).  A run that times out is retried up
+    to ``retries`` times — with the pool rebuilt first if the stuck
+    worker never came back — then reported as a ``wall-timeout``
+    failure.
+
+    A dead worker (``BrokenProcessPool``) fails every in-flight future;
+    finished results are kept, the pool is rebuilt after an exponential
+    backoff (``backoff_base * 2**(failures-1)`` seconds), and unfinished
+    specs are resubmitted.  After ``max_pool_rebuilds`` pool failures
+    the executor degrades to in-process serial execution for the
+    remaining specs, so the batch always completes.
     """
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        run_timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff_base: float = 0.25,
+        max_pool_rebuilds: int = 3,
+    ) -> None:
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+        self.run_timeout = run_timeout
+        self.retries = max(0, retries)
+        self.backoff_base = backoff_base
+        self.max_pool_rebuilds = max(0, max_pool_rebuilds)
         self._pool = None
+        self._pool_failures = 0
 
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
     def _ensure_pool(self):
         from concurrent.futures import ProcessPoolExecutor
 
@@ -67,13 +136,119 @@ class ParallelExecutor(Executor):
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         return self._pool
 
+    def _discard_pool(self) -> None:
+        """Drop the pool without waiting on wedged workers."""
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._pool = None
+
+    def _rebuild_pool(self) -> None:
+        self._discard_pool()
+        self._pool_failures += 1
+        self.pool_rebuilds += 1
+        backoff = self.backoff_base * (2 ** (self._pool_failures - 1))
+        if backoff > 0:
+            time.sleep(backoff)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
     def map(self, specs: Iterable[RunSpec]) -> List[RunResult]:
+        from concurrent.futures import BrokenExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
+
         batch: Sequence[RunSpec] = list(specs)
+        self.retried_runs = 0
+        self.pool_rebuilds = 0
+        self.degraded = False
+        self._pool_failures = 0
         if self.jobs <= 1 or len(batch) <= 1:
-            return [spec.execute() for spec in batch]
-        pool = self._ensure_pool()
-        chunksize = max(1, len(batch) // (self.jobs * 4))
-        return list(pool.map(execute_spec, batch, chunksize=chunksize))
+            return [execute_spec_guarded(spec) for spec in batch]
+
+        results: List[Optional[RunResult]] = [None] * len(batch)
+        timeout_attempts = [0] * len(batch)
+        pending: List[int] = list(range(len(batch)))
+
+        while pending:
+            if self._pool_failures > self.max_pool_rebuilds:
+                # The pool keeps dying: finish the batch in-process so
+                # partial results never strand.
+                self.degraded = True
+                for i in pending:
+                    results[i] = execute_spec_guarded(batch[i])
+                pending = []
+                break
+
+            pool = self._ensure_pool()
+            try:
+                futures = {
+                    i: pool.submit(execute_spec_guarded, batch[i])
+                    for i in pending
+                }
+            except BrokenExecutor:
+                self._rebuild_pool()
+                continue
+
+            retry: List[int] = []
+            pool_broke = False
+            stuck_worker = False
+            for i in pending:
+                future = futures[i]
+                if pool_broke:
+                    # The pool died mid-batch; keep whatever already
+                    # finished, queue the rest for the rebuilt pool.
+                    if future.done():
+                        try:
+                            results[i] = future.result()
+                            continue
+                        except Exception:
+                            pass
+                    retry.append(i)
+                    continue
+                try:
+                    results[i] = future.result(timeout=self.run_timeout)
+                except FutureTimeout:
+                    cancelled = future.cancel()
+                    if not cancelled:
+                        stuck_worker = True
+                    timeout_attempts[i] += 1
+                    if timeout_attempts[i] > self.retries:
+                        results[i] = _failure(
+                            "wall-timeout",
+                            f"run exceeded its {self.run_timeout:.3g}s "
+                            f"wall-clock budget",
+                            attempts=timeout_attempts[i],
+                        )
+                    else:
+                        self.retried_runs += 1
+                        retry.append(i)
+                except BrokenExecutor:
+                    pool_broke = True
+                    retry.append(i)
+                except Exception as exc:  # pragma: no cover - guarded
+                    results[i] = _failure(
+                        "worker-lost", f"{type(exc).__name__}: {exc}"
+                    )
+
+            if pool_broke:
+                self._rebuild_pool()
+            elif stuck_worker and retry:
+                # A timed-out run is still occupying a worker; reclaim
+                # the capacity before retrying.
+                self._discard_pool()
+                self.pool_rebuilds += 1
+            pending = retry
+
+        # Every index is filled by the loop above; the fallback is pure
+        # defence so a logic slip can never silently drop a slot.
+        return [
+            r if r is not None
+            else _failure("worker-lost", "run produced no result")
+            for r in results
+        ]
 
     def close(self) -> None:
         if self._pool is not None:
@@ -81,8 +256,12 @@ class ParallelExecutor(Executor):
             self._pool = None
 
 
-def default_executor(jobs: Optional[int] = None) -> Executor:
+def default_executor(
+    jobs: Optional[int] = None,
+    run_timeout: Optional[float] = None,
+    retries: int = 2,
+) -> Executor:
     """Serial for ``jobs in (None, 0, 1)``, parallel otherwise."""
     if jobs is None or jobs <= 1:
         return SerialExecutor()
-    return ParallelExecutor(jobs=jobs)
+    return ParallelExecutor(jobs=jobs, run_timeout=run_timeout, retries=retries)

@@ -29,6 +29,17 @@ class CampaignMetrics:
     completion_rate: float
     jobs: int
     cache_hits: int = 0
+    #: Runs that came back with a :class:`RunFailure` attached.
+    failed_runs: int = 0
+    #: Failed runs whose failure was a timeout (simulation cycle
+    #: watchdog or wall-clock budget).
+    timed_out_runs: int = 0
+    #: Runs re-submitted after a transient executor failure.
+    retried_runs: int = 0
+    #: Times the worker pool was torn down and rebuilt.
+    pool_rebuilds: int = 0
+    #: True when repeated pool failures forced in-process execution.
+    degraded: bool = False
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -37,13 +48,26 @@ class CampaignMetrics:
         return json.dumps(self.to_dict(), sort_keys=True)
 
     def describe(self) -> str:
-        return (
+        text = (
             f"[campaign {self.label}] {self.runs} runs in "
             f"{self.wall_clock_seconds:.2f}s "
             f"({self.runs_per_second:.1f} runs/s, jobs={self.jobs}, "
             f"completion {self.completion_rate:.0%}, "
             f"cache hits {self.cache_hits})"
         )
+        if self.failed_runs:
+            text += (
+                f" [{self.failed_runs} failed, "
+                f"{self.timed_out_runs} timed out]"
+            )
+        if self.retried_runs or self.pool_rebuilds:
+            text += (
+                f" [retries {self.retried_runs}, "
+                f"pool rebuilds {self.pool_rebuilds}]"
+            )
+        if self.degraded:
+            text += " [degraded to serial]"
+        return text
 
 
 def register_metrics_hook(hook: Callable[[CampaignMetrics], None]) -> None:

@@ -25,11 +25,13 @@ Two deliberate properties:
 from __future__ import annotations
 
 import hashlib
+import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core.execution import Observable
 from repro.core.program import Program
+from repro.faults import FaultPlan
 from repro.memsys.config import MachineConfig
 from repro.models.base import OrderingPolicy, policy_class_by_name
 from repro.sim.stats import StallReason
@@ -84,6 +86,37 @@ class RunMetrics:
         return 0
 
 
+#: Failure kinds, in roughly increasing distance from the simulation:
+#: ``sim-timeout`` — the cycle-budget watchdog tripped (deterministic);
+#: ``exception``   — spec execution raised (deterministic);
+#: ``wall-timeout``— the run exceeded its wall-clock budget (environment);
+#: ``worker-lost`` — the worker process died and retries were exhausted.
+FAILURE_KINDS = ("sim-timeout", "exception", "wall-timeout", "worker-lost")
+
+#: Failure kinds that are pure functions of the spec — safe to memoise.
+DETERMINISTIC_FAILURES = frozenset({"sim-timeout", "exception"})
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """Why a run produced no (full) outcome — data, not an exception.
+
+    Failures travel inside :class:`RunResult` so one bad run can never
+    abort a campaign: the batch always comes back complete, in spec
+    order, with failures reported in place.
+    """
+
+    kind: str
+    message: str
+    traceback: str = ""
+    #: Execution attempts consumed (> 1 only after executor retries).
+    attempts: int = 1
+
+    def describe(self) -> str:
+        note = f" after {self.attempts} attempts" if self.attempts > 1 else ""
+        return f"[{self.kind}]{note} {self.message}"
+
+
 @dataclass(frozen=True)
 class RunResult:
     """The campaign-visible outcome of executing one :class:`RunSpec`."""
@@ -95,6 +128,13 @@ class RunResult:
     #: Systematic exploration only: pending-pool size at every oracle
     #: choice point, so the explorer can branch without re-running.
     choice_log: Optional[Tuple[int, ...]] = None
+    #: Set when the run failed (watchdog, exception, wall-clock timeout,
+    #: lost worker) instead of producing a full outcome.
+    failure: Optional[RunFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None and self.completed
 
 
 @dataclass(frozen=True)
@@ -115,6 +155,9 @@ class RunSpec:
     schedule: Optional[Tuple[int, ...]] = None
     relaxed_request_channels: bool = False
     inval_virtual_channel: bool = False
+    #: Optional fault-injection plan; seed-derived, so it keeps the run
+    #: a pure function of the spec (see :mod:`repro.faults`).
+    faults: Optional[FaultPlan] = None
 
     def execute(self) -> RunResult:
         """Run the spec on a freshly built system (pure; picklable)."""
@@ -122,10 +165,21 @@ class RunSpec:
 
         if self.schedule is None:
             system = System(
-                self.program, self.policy.build(), self.config, seed=self.seed
+                self.program,
+                self.policy.build(),
+                self.config,
+                seed=self.seed,
+                fault_plan=self.faults,
             )
             run = system.run(max_cycles=self.max_cycles)
             return _package(run, choice_log=None)
+
+        if self.faults is not None and not self.faults.is_null:
+            raise ValueError(
+                "fault injection cannot be combined with schedule replay: "
+                "the scheduled interconnect is already adversarial and "
+                "must stay replay-exact"
+            )
 
         from repro.explore.oracle import ReplayOracle, ScheduledInterconnect
 
@@ -158,6 +212,7 @@ class RunSpec:
             repr(self.schedule),
             str(self.relaxed_request_channels),
             str(self.inval_virtual_channel),
+            repr(self.faults),
         ]
         return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
 
@@ -175,18 +230,53 @@ def _package(run, choice_log: Optional[Tuple[int, ...]]) -> RunResult:
             sorted(by_reason.items(), key=lambda kv: kv[0].value)
         ),
     )
+    failure = None
+    if run.timed_out:
+        failure = RunFailure(
+            kind="sim-timeout",
+            message=(
+                f"simulation watchdog tripped after {run.cycles} cycles "
+                f"without quiescing"
+            ),
+        )
     return RunResult(
         observable=run.observable if run.completed else None,
         cycles=run.cycles,
         completed=run.completed,
         timings=timings,
         choice_log=choice_log,
+        failure=failure,
     )
 
 
 def execute_spec(spec: RunSpec) -> RunResult:
     """Module-level entry point for worker processes (picklable by ref)."""
     return spec.execute()
+
+
+def execute_spec_guarded(spec: RunSpec) -> RunResult:
+    """Execute a spec, converting any exception into a failure result.
+
+    This is what executors actually run: a crashing spec yields a
+    ``RunResult`` with ``failure.kind == "exception"`` (message plus
+    traceback as data) instead of tearing down the batch.  The guard
+    wraps execution at the same stack depth in-process and in workers,
+    so serial and parallel campaigns stay byte-identical even for
+    failures.
+    """
+    try:
+        return spec.execute()
+    except Exception as exc:
+        return RunResult(
+            observable=None,
+            cycles=0,
+            completed=False,
+            failure=RunFailure(
+                kind="exception",
+                message=f"{type(exc).__name__}: {exc}",
+                traceback=traceback_module.format_exc(),
+            ),
+        )
 
 
 def program_fingerprint(program: Program) -> str:

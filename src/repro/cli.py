@@ -4,7 +4,10 @@ Subcommands:
 
 ``litmus``    run a catalog or ``.litmus``-file test on a machine/policy
               and print the classified outcome histogram;
+              (``--faults`` injects adversarial message timings)
 ``drf``       check a litmus program against DRF0 (Definition 3);
+``conformance`` audit every (machine, policy) pair in the zoo
+              (``--faults`` audits under an adversarial interconnect);
 ``explore``   systematic (delay-bounded) exploration of a test;
 ``figure1``   regenerate the Figure-1 violation matrix;
 ``figure3``   regenerate the Figure-3 release-stall sweep;
@@ -15,6 +18,8 @@ Examples::
 
     python -m repro litmus fig1_dekker_warm --policy RELAXED --machine net_cache
     python -m repro litmus my_test.litmus --policy DEF2 --runs 200
+    python -m repro litmus fig1_dekker_sync --policy DEF2 --faults heavy
+    python -m repro conformance --faults jitter=12,reorder=20 --jobs 4
     python -m repro drf fig1_dekker
     python -m repro explore fig1_dekker_sync_warm --policy DEF2 --delays 3
     python -m repro figure1
@@ -38,6 +43,7 @@ from repro.campaign import (
 from repro.analysis.report import format_table
 from repro.drf.drf0 import check_program
 from repro.explore.explorer import explore_program
+from repro.faults import parse_fault_plan
 from repro.litmus.catalog import catalog_by_name, fig1_dekker
 from repro.litmus.parse import parse_litmus
 from repro.litmus.runner import LitmusRunner
@@ -86,11 +92,27 @@ def _campaign_metrics(args: argparse.Namespace):
                 )
 
 
+def _parse_faults(args: argparse.Namespace):
+    try:
+        return parse_fault_plan(getattr(args, "faults", None))
+    except ValueError as exc:
+        raise SystemExit(f"error: bad --faults value: {exc}")
+
+
+def _executor_for(args: argparse.Namespace):
+    return default_executor(
+        args.jobs,
+        run_timeout=getattr(args, "run_timeout", None),
+        retries=getattr(args, "retries", 2),
+    )
+
+
 def _cmd_litmus(args: argparse.Namespace) -> int:
     test = _load_test(args.test, warm=args.warm)
     runner = LitmusRunner()
     config = config_by_name(args.machine)
-    with _campaign_metrics(args), default_executor(args.jobs) as executor:
+    faults = _parse_faults(args)
+    with _campaign_metrics(args), _executor_for(args) as executor:
         result = runner.run(
             test,
             lambda: policy_by_name(args.policy),
@@ -98,7 +120,10 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
             runs=args.runs,
             base_seed=args.seed,
             executor=executor,
+            faults=faults,
         )
+    if faults is not None:
+        print(faults.describe())
     print(result.describe())
     return 1 if result.violated_sc and args.expect_sc else 0
 
@@ -113,7 +138,7 @@ def _cmd_drf(args: argparse.Namespace) -> int:
 def _cmd_explore(args: argparse.Namespace) -> int:
     test = _load_test(args.test, warm=args.warm)
     program = test.executable_program()
-    with _campaign_metrics(args), default_executor(args.jobs) as executor:
+    with _campaign_metrics(args), _executor_for(args) as executor:
         report = explore_program(
             program,
             lambda: policy_by_name(args.policy),
@@ -138,7 +163,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 def _cmd_figure1(args: argparse.Namespace) -> int:
     runner = LitmusRunner()
     rows = []
-    with _campaign_metrics(args), default_executor(args.jobs) as executor:
+    with _campaign_metrics(args), _executor_for(args) as executor:
         for config in FIGURE1_CONFIGS:
             warm = config.has_caches
             test = fig1_dekker(warm=warm)
@@ -190,8 +215,13 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
 def _cmd_conformance(args: argparse.Namespace) -> int:
     from repro.conformance import VERDICT_BROKEN, run_conformance
 
-    with _campaign_metrics(args), default_executor(args.jobs) as executor:
-        report = run_conformance(runs_per_test=args.runs, executor=executor)
+    faults = _parse_faults(args)
+    with _campaign_metrics(args), _executor_for(args) as executor:
+        report = run_conformance(
+            runs_per_test=args.runs, executor=executor, faults=faults
+        )
+    if faults is not None:
+        print(faults.describe())
     print(report.describe())
     broken = [
         cell
@@ -230,7 +260,26 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument(
             "--metrics-json", metavar="PATH",
             help="write campaign metrics (wall-clock, runs/sec, "
-            "completion rate) to PATH as JSON",
+            "completion/failure counts) to PATH as JSON",
+        )
+        cmd.add_argument(
+            "--run-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-run wall-clock budget; a run over budget is "
+            "retried, then reported as a failure (parallel campaigns "
+            "only — serial runs rely on the simulation cycle watchdog)",
+        )
+        cmd.add_argument(
+            "--retries", type=int, default=2, metavar="N",
+            help="retry budget per run for transient worker failures "
+            "(exponential backoff; default 2)",
+        )
+
+    def add_faults_option(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--faults", metavar="PLAN",
+            help="inject adversarial message timings: a preset "
+            "(light, heavy) or key=value pairs, e.g. "
+            "'jitter=12,reorder=20,duplicate=5,salt=1'",
         )
 
     litmus = sub.add_parser("litmus", help="run a litmus campaign")
@@ -244,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
     litmus.add_argument("--expect-sc", action="store_true",
                         help="exit nonzero if any outcome violates SC")
     add_campaign_options(litmus)
+    add_faults_option(litmus)
     litmus.set_defaults(func=_cmd_litmus)
 
     drf = sub.add_parser("drf", help="check a program against DRF0")
@@ -279,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conformance.add_argument("--runs", type=int, default=30)
     add_campaign_options(conformance)
+    add_faults_option(conformance)
     conformance.set_defaults(func=_cmd_conformance)
 
     delays = sub.add_parser("delays", help="Shasha-Snir delay set of a test")

@@ -32,6 +32,7 @@ from repro.campaign import (
     RunSpec,
     run_campaign,
 )
+from repro.faults import FaultPlan
 from repro.litmus.catalog import standard_catalog
 from repro.litmus.runner import LitmusRunner
 from repro.litmus.test import LitmusTest
@@ -155,6 +156,7 @@ def run_conformance(
     executor: Optional[Executor] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> ConformanceReport:
     """Audit every (machine, policy) pair against the litmus battery.
 
@@ -162,6 +164,12 @@ def run_conformance(
     into one flat :class:`RunSpec` list, so with ``jobs > 1`` (or a
     parallel ``executor``) the grid parallelises across cells, tests,
     and seeds at once — not merely within one cell.
+
+    ``faults`` runs the entire grid under an injected
+    :class:`~repro.faults.FaultPlan`: Definition 2 quantifies over all
+    legal message timings, so a conforming cell must keep its verdict
+    under adversarial jitter and reordering, while racy programs remain
+    free to surface *more* violations.
     """
     runner = runner or LitmusRunner()
     tests = list(tests) if tests is not None else standard_catalog()
@@ -184,7 +192,8 @@ def run_conformance(
             blocks = []
             for test in tests:
                 test_specs = runner.campaign_specs(
-                    test, policy_spec, config, runs_per_test, base_seed
+                    test, policy_spec, config, runs_per_test, base_seed,
+                    faults=faults,
                 )
                 blocks.append((test, len(specs), len(test_specs)))
                 specs.extend(test_specs)

@@ -154,23 +154,26 @@ class WriteBufferPort(Component):
     # Responses
     # ------------------------------------------------------------------
     def _on_message(self, payload: Any, src: str) -> None:
+        if not isinstance(payload, (MemReadResp, MemWriteAck, MemRMWResp)):
+            raise TypeError(f"port cannot handle {payload!r}")
+        # A faulty network may deliver a response twice; tokens are
+        # issued once, so an unknown token is a replay to drop.
+        access = self._inflight.pop(payload.token, None)
+        if access is None:
+            self.stats.bump("wbuf.duplicate_drops")
+            return
         if isinstance(payload, MemReadResp):
-            access = self._inflight.pop(payload.token)
             access.deliver_value(payload.value, self.sim.now)
             access.mark_committed(self.sim.now)
             access.mark_globally_performed(self.sim.now)
         elif isinstance(payload, MemWriteAck):
-            access = self._inflight.pop(payload.token)
             assert self._buffer and self._buffer[0] is access
             self._buffer.popleft()
             self._head_issued = False
             access.mark_globally_performed(self.sim.now)
             self._try_drain()
-        elif isinstance(payload, MemRMWResp):
-            access = self._inflight.pop(payload.token)
+        else:
             access.value_written = access.compute_write(payload.old_value)
             access.deliver_value(payload.old_value, self.sim.now)
             access.mark_committed(self.sim.now)
             access.mark_globally_performed(self.sim.now)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"port cannot handle {payload!r}")

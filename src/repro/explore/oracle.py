@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence, Tuple
 
-from repro.interconnect.base import Interconnect
+from repro.interconnect.base import Interconnect, channel_key
 from repro.sim.engine import Simulator
 from repro.sim.stats import Stats
 
@@ -93,17 +93,16 @@ class ScheduledInterconnect(Interconnect):
     def _eligible_indices(self) -> List[int]:
         """Index of the oldest pending message per (src, dst) channel
         (every pending message of relaxed request channels is eligible)."""
-        from repro.coherence.protocol import Inval
-
         seen = set()
         eligible = []
         for idx, (src, dst, payload) in enumerate(self._pending):
             if self.relaxed_request_channels and dst == "dir":
                 eligible.append(idx)
                 continue
-            channel = (src, dst)
-            if self.inval_virtual_channel:
-                channel = (src, dst, isinstance(payload, Inval))
+            channel = channel_key(
+                src, dst, payload,
+                inval_virtual_channel=self.inval_virtual_channel,
+            )
             if channel not in seen:
                 seen.add(channel)
                 eligible.append(idx)

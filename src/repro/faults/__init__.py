@@ -1,0 +1,28 @@
+"""repro.faults — seeded fault injection for adversarial timings.
+
+Definition 2 promises SC to DRF0 software under *any* legal timing of
+coherence messages.  This package supplies the adversary:
+
+* :class:`FaultPlan` — a picklable, seed-derived description of a fault
+  regime (latency jitter, bounded cross-channel reordering, duplicate
+  deliveries), with CLI parsing and named presets
+  (``repro.faults.plan``);
+* :class:`FaultyInterconnect` — wraps any interconnect and perturbs
+  message hand-off while preserving the per-channel FIFO contract the
+  coherence protocols assume (``repro.faults.interconnect``).
+
+Plans ride inside :class:`~repro.campaign.spec.RunSpec`, so litmus
+campaigns, the conformance grid, and the CLI (``--faults``) can all
+assert the DRF0 => SC contract under injected faults — and non-DRF
+programs still surface their violations.
+"""
+
+from repro.faults.interconnect import FaultyInterconnect
+from repro.faults.plan import PRESETS, FaultPlan, parse_fault_plan
+
+__all__ = [
+    "PRESETS",
+    "FaultPlan",
+    "FaultyInterconnect",
+    "parse_fault_plan",
+]

@@ -1,0 +1,162 @@
+"""The fault plan: a seeded, picklable description of injected faults.
+
+Definition 2 is a *universal* promise — hardware must appear SC to DRF0
+software under **any** legal timing of coherence messages — so exercising
+only the simulator's well-behaved default timings under-tests the
+contract.  A :class:`FaultPlan` describes an adversarial (but legal)
+timing regime: extra latency jitter, bounded hold-backs that let other
+endpoint pairs overtake a message, and duplicate deliveries on the
+general network.  Plans are frozen dataclasses so they pickle, hash, and
+compare by value; they ride inside :class:`~repro.campaign.spec.RunSpec`
+and contribute to its digest, which keeps fault-injected campaigns
+byte-identical between serial and parallel executors and correctly keyed
+in the on-disk result cache.
+
+The fault stream is derived from ``(run seed, plan salt)`` — never from
+wall-clock or global state — so one plan replayed on one spec always
+injects the identical faults.  Faults perturb *when* messages move, never
+what they say, and they respect the per-channel FIFO contract the
+coherence protocols assume (see :mod:`repro.faults.interconnect`): the
+injected behaviours stay inside the envelope the paper's Section 5
+implementation claims to tolerate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Parameters of one fault-injection regime.
+
+    All probabilities are integer percentages (0..100) so plans stay
+    exactly representable, hashable, and stable under ``repr`` (the spec
+    digest serialises plans via ``repr``).
+    """
+
+    #: Extra uniform latency in ``[0, delay_jitter]`` cycles per message.
+    delay_jitter: int = 0
+    #: Percent chance a message is held back ``[1, reorder_delay]``
+    #: cycles, letting traffic on *other* channels overtake it.
+    reorder_pct: int = 0
+    #: Maximum hold-back of a reordered message, in cycles.
+    reorder_delay: int = 16
+    #: Percent chance a message is delivered twice (general network,
+    #: cache-less machines only — see FaultyInterconnect).
+    duplicate_pct: int = 0
+    #: Decouples the fault stream from the run's timing stream: two
+    #: plans differing only in salt inject different fault sequences on
+    #: the same seed.
+    salt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delay_jitter < 0:
+            raise ValueError("delay_jitter must be >= 0")
+        if self.reorder_delay < 1:
+            raise ValueError("reorder_delay must be >= 1")
+        for name in ("reorder_pct", "duplicate_pct"):
+            value = getattr(self, name)
+            if not 0 <= value <= 100:
+                raise ValueError(f"{name} must be in [0, 100], got {value}")
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.delay_jitter == 0
+            and self.reorder_pct == 0
+            and self.duplicate_pct == 0
+        )
+
+    def with_overrides(self, **kwargs) -> "FaultPlan":
+        """A copy with some parameters replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        if self.is_null:
+            return "faults: none"
+        parts = []
+        if self.delay_jitter:
+            parts.append(f"jitter<={self.delay_jitter}cy")
+        if self.reorder_pct:
+            parts.append(
+                f"reorder {self.reorder_pct}% (<= {self.reorder_delay}cy)"
+            )
+        if self.duplicate_pct:
+            parts.append(f"duplicate {self.duplicate_pct}%")
+        if self.salt:
+            parts.append(f"salt={self.salt}")
+        return "faults: " + ", ".join(parts)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from a CLI-style spec string.
+
+        Accepts a preset name (``light``, ``heavy``, ``none``) or a
+        comma-separated list of ``key=value`` pairs::
+
+            FaultPlan.parse("jitter=12,reorder=20,duplicate=5,salt=3")
+
+        Keys: ``jitter`` (delay_jitter), ``reorder`` (reorder_pct),
+        ``reorder_delay``, ``duplicate`` (duplicate_pct), ``salt``.
+        """
+        preset = PRESETS.get(text.strip().lower())
+        if preset is not None:
+            return preset
+        kwargs = {}
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(
+                    f"bad fault spec item {item!r}: expected key=value "
+                    f"or a preset ({', '.join(sorted(PRESETS))})"
+                )
+            key, _, value = item.partition("=")
+            key = key.strip().lower()
+            field = _PARSE_KEYS.get(key)
+            if field is None:
+                raise ValueError(
+                    f"unknown fault parameter {key!r}; "
+                    f"choose from {sorted(_PARSE_KEYS)}"
+                )
+            try:
+                kwargs[field] = int(value.strip().rstrip("%"))
+            except ValueError:
+                raise ValueError(
+                    f"fault parameter {key!r} needs an integer, got {value!r}"
+                )
+        return cls(**kwargs)
+
+
+_PARSE_KEYS: Dict[str, str] = {
+    "jitter": "delay_jitter",
+    "delay_jitter": "delay_jitter",
+    "reorder": "reorder_pct",
+    "reorder_pct": "reorder_pct",
+    "reorder_delay": "reorder_delay",
+    "duplicate": "duplicate_pct",
+    "duplicate_pct": "duplicate_pct",
+    "dup": "duplicate_pct",
+    "salt": "salt",
+}
+
+#: Named regimes for the CLI and the conformance smoke tests.  ``light``
+#: and ``heavy`` are timing-only (no duplicates), so they are legal on
+#: every machine configuration and must preserve every DRF0 verdict.
+PRESETS: Dict[str, FaultPlan] = {
+    "none": FaultPlan(),
+    "light": FaultPlan(delay_jitter=6, reorder_pct=10, reorder_delay=12),
+    "heavy": FaultPlan(delay_jitter=16, reorder_pct=25, reorder_delay=32),
+}
+
+
+def parse_fault_plan(text: Optional[str]) -> Optional[FaultPlan]:
+    """CLI helper: ``None``/empty/"none" -> ``None`` (no injection)."""
+    if text is None or not text.strip():
+        return None
+    plan = FaultPlan.parse(text)
+    return None if plan.is_null else plan

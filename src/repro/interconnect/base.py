@@ -10,13 +10,33 @@ is interconnect-agnostic.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Tuple
 
 from repro.sim.engine import Component, Simulator
 from repro.sim.stats import Stats
 
 #: A delivery handler: receives ``(payload, source_endpoint)``.
 Handler = Callable[[Any, str], None]
+
+
+def channel_key(
+    src: str, dst: str, payload: Any, *, inval_virtual_channel: bool = False
+) -> Tuple:
+    """The virtual-channel identity of a message.
+
+    The coherence protocols assume per-channel FIFO delivery; everything
+    that perturbs timing (:class:`~repro.interconnect.network.Network`
+    jitter, :class:`~repro.explore.oracle.ScheduledInterconnect`
+    decisions, :class:`~repro.faults.FaultyInterconnect` injection) must
+    agree on what "a channel" is, so the helper lives here.  With
+    ``inval_virtual_channel`` invalidations form their own channel per
+    ``(src, dst)`` pair — FIFO among themselves, racing everything else.
+    """
+    if inval_virtual_channel:
+        from repro.coherence.protocol import Inval
+
+        return (src, dst, isinstance(payload, Inval))
+    return (src, dst)
 
 
 class Interconnect(Component):

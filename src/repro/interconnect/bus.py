@@ -6,6 +6,12 @@ point-to-point FIFO — the strong interconnect of Figure 1's left column.
 SC violations on a bus therefore require processor-side relaxations
 (out-of-order issue or read-bypassing write buffers), exactly as the
 figure's caption argues.
+
+Under fault injection (:class:`~repro.faults.FaultyInterconnect`) the
+*entry* order into the bus may be perturbed across endpoint pairs —
+modelling adversarial arbitration — but per-``(src, dst)`` FIFO entry is
+preserved, so the total order and point-to-point FIFO guarantees above
+still hold for every pair.  Duplicate injection never targets the bus.
 """
 
 from __future__ import annotations

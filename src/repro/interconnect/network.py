@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Tuple
 
-from repro.interconnect.base import Interconnect
+from repro.interconnect.base import Interconnect, channel_key
 from repro.sim.engine import Simulator
 from repro.sim.rng import TimingRng
 from repro.sim.stats import Stats
@@ -50,11 +50,10 @@ class Network(Interconnect):
         self._last_delivery: Dict[Tuple, int] = {}
 
     def _channel(self, src: str, dst: str, payload: Any) -> Tuple:
-        if self.inval_virtual_channel:
-            from repro.coherence.protocol import Inval
-
-            return (src, dst, isinstance(payload, Inval))
-        return (src, dst)
+        return channel_key(
+            src, dst, payload,
+            inval_virtual_channel=self.inval_virtual_channel,
+        )
 
     def send(self, src: str, dst: str, payload: Any) -> None:
         self.stats.bump("network.sent")

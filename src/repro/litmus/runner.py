@@ -30,6 +30,7 @@ from repro.campaign import (
     run_campaign,
 )
 from repro.core.execution import Observable
+from repro.faults import FaultPlan
 from repro.litmus.test import LitmusTest
 from repro.memsys.config import MachineConfig
 from repro.sc.verifier import SCVerifier
@@ -51,6 +52,8 @@ class LitmusResult:
     sc_violations: Dict[Tuple[int, ...], int] = field(default_factory=dict)
     #: Mean cycles across completed runs.
     mean_cycles: float = 0.0
+    #: Runs that ended with a failure record (watchdog trip, crash).
+    failed_runs: int = 0
 
     @property
     def violated_sc(self) -> bool:
@@ -64,10 +67,11 @@ class LitmusResult:
         return self.histogram.get(self.test.forbidden, 0)
 
     def describe(self) -> str:
+        failed = f", {self.failed_runs} failed" if self.failed_runs else ""
         lines = [
             f"{self.test.name} on {self.config_name}/{self.policy_name}: "
             f"{self.completed_runs}/{self.runs} runs, "
-            f"mean {self.mean_cycles:.0f} cycles"
+            f"mean {self.mean_cycles:.0f} cycles{failed}"
         ]
         for outcome, count in sorted(self.histogram.items()):
             marks = []
@@ -104,16 +108,22 @@ class LitmusRunner:
         executor: Optional[Executor] = None,
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> LitmusResult:
         """Run ``runs`` seeds of ``test`` and classify the outcomes.
 
         ``policy_factory`` is anything :meth:`PolicySpec.of` accepts; a
         fresh policy is constructed per run (policies may hold per-run
         state) from its spec, in-process or in a worker.
+
+        ``faults`` injects the given :class:`~repro.faults.FaultPlan`
+        into every run — adversarial (but legal) message timings under
+        which Definition 2's promise must still hold for DRF0 programs.
         """
         policy_spec = PolicySpec.of(policy_factory)
         specs = self.campaign_specs(
-            test, policy_spec, config, runs, base_seed, max_cycles
+            test, policy_spec, config, runs, base_seed, max_cycles,
+            faults=faults,
         )
         campaign = run_campaign(
             specs,
@@ -132,6 +142,7 @@ class LitmusRunner:
         runs: int,
         base_seed: int,
         max_cycles: int = 1_000_000,
+        faults: Optional[FaultPlan] = None,
     ) -> List[RunSpec]:
         """The campaign's unit-of-work list: one spec per derived seed."""
         program = self._executable(test)
@@ -142,6 +153,7 @@ class LitmusRunner:
                 config=config,
                 seed=seed,
                 max_cycles=max_cycles,
+                faults=faults,
             )
             for seed in seed_stream(base_seed, runs)
         ]
@@ -161,7 +173,10 @@ class LitmusRunner:
         violations: Dict[Tuple[int, ...], int] = {}
         completed = 0
         total_cycles = 0
+        failed = 0
         for result in results:
+            if result.failure is not None:
+                failed += 1
             if not result.completed or result.observable is None:
                 continue
             completed += 1
@@ -180,6 +195,7 @@ class LitmusRunner:
             histogram=histogram,
             sc_violations=violations,
             mean_cycles=(total_cycles / completed) if completed else 0.0,
+            failed_runs=failed,
         )
 
     def sc_outcomes(self, test: LitmusTest) -> Set[Tuple[int, ...]]:

@@ -14,7 +14,7 @@ single-location synchronization primitives).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.core.operation import Location, Value
 from repro.interconnect.base import Interconnect
@@ -89,6 +89,11 @@ class MemoryModule(Component):
         self.stats = stats
         self.service_latency = service_latency
         self._memory: Dict[Location, Value] = dict(initial_memory or {})
+        #: Requests already serviced, keyed by (requester, token).  A
+        #: faulty network may deliver a request twice; replaying a write
+        #: or RMW after later traffic would rewind memory, so duplicates
+        #: are dropped here — at-least-once delivery tolerance.
+        self._serviced: Set[Tuple[str, int]] = set()
         interconnect.register(MEMORY_ENDPOINT, self._on_message)
 
     def value(self, location: Location) -> Value:
@@ -100,6 +105,12 @@ class MemoryModule(Component):
     def _on_message(self, payload: Any, src: str) -> None:
         # The serialization point is message arrival; the response leaves
         # after the service latency.
+        if isinstance(payload, (MemRead, MemWrite, MemRMW)):
+            request_id = (payload.reply_to, payload.token)
+            if request_id in self._serviced:
+                self.stats.bump("mem.duplicate_drops")
+                return
+            self._serviced.add(request_id)
         if isinstance(payload, MemRead):
             self.stats.bump("mem.reads")
             value = self.value(payload.location)

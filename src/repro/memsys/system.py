@@ -23,6 +23,7 @@ from repro.core.operation import Location, Value
 from repro.core.program import Program
 from repro.cpu.processor import Processor
 from repro.cpu.write_buffer import WriteBufferPort
+from repro.faults import FaultPlan, FaultyInterconnect
 from repro.interconnect.bus import Bus
 from repro.interconnect.network import Network
 from repro.memsys.config import CoherenceStyle, InterconnectKind, MachineConfig
@@ -72,6 +73,9 @@ class HardwareRun:
     #: True when every processor ran its thread to completion.
     completed: bool
     halt_times: List[Optional[int]] = field(default_factory=list)
+    #: True when the run was cut off by the cycle-budget watchdog (as
+    #: opposed to quiescing early with unfinished threads — a deadlock).
+    timed_out: bool = False
 
     def describe(self) -> str:
         status = "completed" if self.completed else "DID NOT COMPLETE"
@@ -91,6 +95,7 @@ class System:
         config: MachineConfig,
         seed: int = 0,
         interconnect_factory=None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         """Build the machine.
 
@@ -98,18 +103,31 @@ class System:
         overrides the configured bus/network — the hook the systematic
         explorer (:mod:`repro.explore`) uses to substitute its
         schedule-controlled transport.
+
+        ``fault_plan`` wraps the configured interconnect in a
+        :class:`~repro.faults.FaultyInterconnect` driven by an RNG
+        stream derived from ``(seed, plan.salt)``.  Injection is
+        incompatible with a custom ``interconnect_factory`` (the
+        explorer's scheduled transport is already adversarial and
+        replay-exact).
         """
         ensure_compatible(policy, config)
         self.program = program
         self.policy = policy
         self.config = config
         self.seed = seed
+        self.fault_plan = fault_plan
 
         self.sim = Simulator()
         self.stats = Stats()
         self.rng = TimingRng(seed)
 
         if interconnect_factory is not None:
+            if fault_plan is not None and not fault_plan.is_null:
+                raise ConfigurationError(
+                    "fault injection cannot wrap a custom interconnect "
+                    "(schedule replay must stay exact)"
+                )
             self.interconnect = interconnect_factory(self.sim, self.stats, self.rng)
         elif config.interconnect is InterconnectKind.BUS:
             self.interconnect = Bus(
@@ -128,6 +146,23 @@ class System:
                 base_latency=config.network_base_latency,
                 jitter=config.network_jitter,
                 point_to_point_fifo=config.has_caches,
+                inval_virtual_channel=config.inval_virtual_channel,
+            )
+        if fault_plan is not None and not fault_plan.is_null:
+            # Duplicates are only legal where receivers deduplicate: the
+            # cache-less request/response protocol carries per-request
+            # tokens; the directory protocol assumes exactly-once
+            # channels, as the paper does.
+            self.interconnect = FaultyInterconnect(
+                self.sim,
+                self.stats,
+                self.interconnect,
+                plan=fault_plan,
+                rng=self.rng.fork(0x5EED ^ fault_plan.salt),
+                allow_duplicates=(
+                    not config.has_caches
+                    and config.interconnect is InterconnectKind.NETWORK
+                ),
                 inval_virtual_channel=config.inval_virtual_channel,
             )
 
@@ -247,11 +282,13 @@ class System:
             skew = self.rng.latency(0, self.config.start_skew)
             self.sim.schedule(skew, processor.start)
         completed = True
+        timed_out = False
         try:
             cycles = self.sim.run(max_cycles=max_cycles)
         except SimulationTimeout:
             cycles = self.sim.now
             completed = False
+            timed_out = True
         if not all(p.halted for p in self.processors):
             completed = False
         self.stats.end_all_stalls(self.sim.now)
@@ -268,6 +305,7 @@ class System:
             cycles=cycles,
             completed=completed,
             halt_times=self._halt_times_by_thread(),
+            timed_out=timed_out,
         )
 
     # ------------------------------------------------------------------
@@ -320,6 +358,8 @@ def run_program(
     config: MachineConfig,
     seed: int = 0,
     max_cycles: int = 1_000_000,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> HardwareRun:
     """One-shot convenience: build a system and run it."""
-    return System(program, policy, config, seed=seed).run(max_cycles=max_cycles)
+    system = System(program, policy, config, seed=seed, fault_plan=fault_plan)
+    return system.run(max_cycles=max_cycles)

@@ -14,7 +14,23 @@ from typing import Any, Callable, List, Optional, Tuple
 
 
 class SimulationTimeout(RuntimeError):
-    """The simulation exceeded its cycle budget without quiescing."""
+    """The simulation exceeded its cycle budget without quiescing.
+
+    ``cycles`` is the simulation time at the trip (the last cycle within
+    budget that was actually processed) and ``budget`` the ``max_cycles``
+    bound that was exceeded; both are ``None`` when the exception is
+    raised by code that does not know them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        cycles: Optional[int] = None,
+        budget: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.cycles = cycles
+        self.budget = budget
 
 
 class Simulator:
@@ -57,7 +73,9 @@ class Simulator:
                 time, _seq, callback = heapq.heappop(self._queue)
                 if time > max_cycles:
                     raise SimulationTimeout(
-                        f"simulation passed {max_cycles} cycles without quiescing"
+                        f"simulation passed {max_cycles} cycles without quiescing",
+                        cycles=self._time,
+                        budget=max_cycles,
                     )
                 self._time = time
                 callback()
@@ -88,7 +106,9 @@ class Simulator:
                 time, _seq, callback = heapq.heappop(self._queue)
                 if time > max_cycles:
                     raise SimulationTimeout(
-                        f"simulation passed {max_cycles} cycles without quiescing"
+                        f"simulation passed {max_cycles} cycles without quiescing",
+                        cycles=self._time,
+                        budget=max_cycles,
                     )
                 self._time = time
                 callback()

@@ -40,11 +40,54 @@ class TestResultCache:
         (tmp_path / f"{spec.digest()}.pkl").write_bytes(pickle.dumps({"bogus": 1}))
         assert cache.get(spec) is None
 
+    def test_half_written_entry_is_quarantined_not_trusted(self, tmp_path):
+        # Simulate a crash mid-write under the final name: a truncated
+        # pickle must be moved aside, never returned as a result.
+        cache = ResultCache(tmp_path)
+        spec = _specs(1)[0]
+        result = spec.execute()
+        whole = pickle.dumps(result)
+        entry = tmp_path / f"{spec.digest()}.pkl"
+        entry.write_bytes(whole[: len(whole) // 2])
+
+        assert cache.get(spec) is None
+        assert cache.quarantined == 1
+        assert not entry.exists()
+        corrupt = entry.with_suffix(".corrupt")
+        assert corrupt.exists(), "bad entry must be kept for post-mortem"
+
+        # The digest's slot is free again: a fresh put round-trips.
+        cache.put(spec, result)
+        assert cache.get(spec) == result
+
+    def test_atomic_put_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for spec in _specs(3):
+            cache.put(spec, spec.execute())
+        assert list(tmp_path.glob("*.tmp")) == []
+
     def test_len_counts_entries(self, tmp_path):
         cache = ResultCache(tmp_path)
         for spec in _specs(3):
             cache.put(spec, spec.execute())
         assert len(cache) == 3
+
+
+class TestFailureCaching:
+    def test_deterministic_failures_are_memoised(self, tmp_path):
+        # A sim-timeout is a pure function of the spec: cache it.
+        cache = ResultCache(tmp_path)
+        spec = _specs(1)[0]
+        spec = RunSpec(
+            program=spec.program, policy=spec.policy, config=spec.config,
+            seed=spec.seed, max_cycles=20,
+        )
+        first = run_campaign([spec], cache=cache)
+        assert first.results[0].failure is not None
+        assert first.results[0].failure.kind == "sim-timeout"
+        second = run_campaign([spec], cache=cache)
+        assert second.metrics.cache_hits == 1
+        assert pickle.dumps(first.results) == pickle.dumps(second.results)
 
 
 class TestCampaignCaching:

@@ -1,0 +1,90 @@
+"""Conformance under fault injection: Definition 2's universal quantifier.
+
+The paper's contract quantifies over all legal message timings, so a
+conforming (machine, policy) cell must keep its verdict when the
+interconnect is made adversarial — while racy programs stay free to
+surface *more* violations.  This runs the same reduced grid as
+``tests/test_conformance.py`` twice, with and without an injected
+timing-only plan, and compares verdicts cell by cell.
+"""
+
+import pytest
+
+from repro.conformance import VERDICT_BROKEN, run_conformance
+from repro.faults import PRESETS
+from repro.litmus.catalog import (
+    fig1_dekker,
+    fig1_dekker_all_sync,
+    message_passing_sync,
+)
+from repro.memsys.config import NET_CACHE, NET_NOCACHE
+from repro.models.policies import Def2Policy, RelaxedPolicy, SCPolicy
+
+GRID = dict(
+    configs=[NET_NOCACHE, NET_CACHE],
+    policies=[RelaxedPolicy, SCPolicy, Def2Policy],
+    tests=[
+        fig1_dekker(),
+        fig1_dekker(warm=True),
+        fig1_dekker_all_sync(),
+        fig1_dekker_all_sync(warm=True),
+        message_passing_sync(),
+    ],
+    runs_per_test=25,
+)
+
+#: DRF0 programs in the grid: SC must be preserved for these, always.
+DRF0_TESTS = ("fig1_dekker_sync", "fig1_dekker_sync_warm", "message_passing_sync")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_conformance(**GRID)
+
+
+@pytest.fixture(scope="module")
+def faulted():
+    # Timing-only adversary (jitter + cross-channel reordering): legal
+    # on every machine, cached or not.
+    return run_conformance(**GRID, faults=PRESETS["heavy"])
+
+
+class TestVerdictStability:
+    def test_conforming_cells_keep_their_verdicts(self, baseline, faulted):
+        """Every contract-keeping cell reports the same verdict with and
+        without injected faults — the acceptance criterion."""
+        for cell in baseline.cells:
+            if cell.policy_name == "RELAXED":
+                continue
+            twin = faulted.cell(cell.config_name, cell.policy_name)
+            assert twin.verdict == cell.verdict, (
+                f"{cell.policy_name} on {cell.config_name}: "
+                f"{cell.verdict} -> {twin.verdict} under faults"
+            )
+
+    def test_no_cell_breaks_under_faults(self, faulted):
+        for cell in faulted.cells:
+            if cell.policy_name == "RELAXED":
+                continue
+            assert cell.verdict != VERDICT_BROKEN, (
+                cell.config_name, cell.policy_name, cell.violated_tests
+            )
+
+    def test_drf0_tests_stay_sc_in_conforming_cells(self, faulted):
+        for cell in faulted.cells:
+            if cell.policy_name == "RELAXED" or not cell.violations:
+                continue
+            for name in DRF0_TESTS:
+                if name in cell.violations:
+                    assert not cell.violations[name], (
+                        f"{name} lost SC under faults on "
+                        f"{cell.policy_name}/{cell.config_name}"
+                    )
+
+    def test_racy_programs_still_surface_violations(self, faulted):
+        """Injection must not mask the RELAXED policy's brokenness."""
+        assert faulted.cell("net_nocache", "RELAXED").verdict == VERDICT_BROKEN
+
+    def test_no_incomplete_runs_under_faults(self, faulted):
+        for cell in faulted.cells:
+            assert cell.incomplete == [], (cell.config_name, cell.policy_name)

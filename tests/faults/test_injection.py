@@ -1,0 +1,194 @@
+"""FaultyInterconnect: determinism, FIFO preservation, duplicates.
+
+The unit tests drive the wrapper directly over a plain network with a
+recording handler; the integration tests run real litmus specs and check
+the properties the tentpole promises — fault-injected runs are pure
+functions of their spec, DRF0 programs keep their SC outcomes, racy
+programs still surface violations, and serial/parallel campaigns remain
+byte-identical with plans riding inside the specs.
+"""
+
+import pickle
+
+from repro.campaign import (
+    ParallelExecutor,
+    PolicySpec,
+    RunSpec,
+    SerialExecutor,
+    run_campaign,
+)
+from repro.faults import FaultPlan, FaultyInterconnect
+from repro.interconnect.network import Network
+from repro.litmus.catalog import fig1_dekker, fig1_dekker_all_sync
+from repro.litmus.runner import LitmusRunner
+from repro.memsys.config import NET_CACHE, NET_NOCACHE
+from repro.memsys.system import run_program
+from repro.models.policies import Def2Policy, RelaxedPolicy, SCPolicy
+from repro.sim.engine import Simulator
+from repro.sim.rng import TimingRng
+from repro.sim.stats import Stats
+
+
+def _harness(plan, allow_duplicates=True, jitter=0, fifo=True):
+    """A faulty wrapper over a real network, with a recording endpoint."""
+    sim = Simulator()
+    stats = Stats()
+    inner = Network(
+        sim, stats, TimingRng(11), base_latency=2, jitter=jitter,
+        point_to_point_fifo=fifo,
+    )
+    faulty = FaultyInterconnect(
+        sim, stats, inner, plan=plan, rng=TimingRng(99),
+        allow_duplicates=allow_duplicates,
+    )
+    delivered = []
+    faulty.register("sink", lambda payload, src: delivered.append((src, payload)))
+    return sim, stats, faulty, delivered
+
+
+class TestWrapper:
+    def test_null_plan_is_transparent(self):
+        sim, stats, faulty, delivered = _harness(FaultPlan())
+        for n in range(5):
+            faulty.send("a", "sink", n)
+        sim.run()
+        assert [p for _, p in delivered] == [0, 1, 2, 3, 4]
+        assert stats.count("faults.delayed") == 0
+
+    def test_per_channel_fifo_is_preserved(self):
+        plan = FaultPlan(delay_jitter=20, reorder_pct=50, reorder_delay=40)
+        sim, stats, faulty, delivered = _harness(plan)
+        for n in range(30):
+            faulty.send("a", "sink", ("a", n))
+            faulty.send("b", "sink", ("b", n))
+        sim.run()
+        assert len(delivered) == 60
+        for channel in ("a", "b"):
+            seq = [n for src, (ch, n) in delivered if ch == channel]
+            assert seq == sorted(seq), "per-channel FIFO broken"
+
+    def test_cross_channel_reordering_happens(self):
+        plan = FaultPlan(delay_jitter=20, reorder_pct=50, reorder_delay=40)
+        sim, stats, faulty, delivered = _harness(plan)
+        for n in range(30):
+            faulty.send("a", "sink", ("a", n))
+            faulty.send("b", "sink", ("b", n))
+        sim.run()
+        # The interleaving of the two channels must differ from strict
+        # alternation somewhere (otherwise injection did nothing).
+        interleaving = [ch for _, (ch, _) in delivered]
+        assert interleaving != ["a", "b"] * 30
+        assert stats.count("faults.reorders") > 0
+
+    def test_duplicates_delivered_when_allowed(self):
+        plan = FaultPlan(duplicate_pct=100)
+        sim, stats, faulty, delivered = _harness(plan)
+        for n in range(10):
+            faulty.send("a", "sink", n)
+        sim.run()
+        assert len(delivered) == 20
+        assert stats.count("faults.duplicates") == 10
+        # Replays trail their originals on the channel.
+        seq = [p for _, p in delivered]
+        assert seq == sorted(seq)
+
+    def test_duplicates_suppressed_when_disallowed(self):
+        plan = FaultPlan(duplicate_pct=100)
+        sim, stats, faulty, delivered = _harness(plan, allow_duplicates=False)
+        for n in range(10):
+            faulty.send("a", "sink", n)
+        sim.run()
+        assert len(delivered) == 10
+        assert stats.count("faults.duplicates_suppressed") == 10
+
+    def test_fault_stream_is_deterministic(self):
+        plan = FaultPlan(delay_jitter=9, reorder_pct=30, duplicate_pct=20)
+
+        def trace():
+            sim, _stats, faulty, delivered = _harness(plan)
+            for n in range(40):
+                faulty.send("a", "sink", ("a", n))
+                faulty.send("b", "sink", ("b", n))
+            sim.run()
+            return delivered
+
+        assert trace() == trace()
+
+    def test_wrapper_delegates_introspection(self):
+        sim, _stats, faulty, _delivered = _harness(FaultPlan())
+        assert faulty.base_latency == 2  # Network attribute through wrapper
+
+
+class TestInjectedRuns:
+    def test_run_is_pure_function_of_spec(self):
+        plan = FaultPlan(delay_jitter=12, reorder_pct=25, duplicate_pct=10)
+        runs = [
+            run_program(
+                fig1_dekker().program, SCPolicy(), NET_NOCACHE,
+                seed=5, fault_plan=plan,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].observable == runs[1].observable
+        assert runs[0].cycles == runs[1].cycles
+
+    def test_salt_varies_the_fault_stream(self):
+        cycles = {
+            run_program(
+                fig1_dekker().program, SCPolicy(), NET_NOCACHE, seed=5,
+                fault_plan=FaultPlan(delay_jitter=12, reorder_pct=25, salt=salt),
+            ).cycles
+            for salt in range(6)
+        }
+        assert len(cycles) > 1, "salt never changed injected timings"
+
+    def test_drf0_program_keeps_sc_outcomes_under_faults(self):
+        runner = LitmusRunner()
+        test = fig1_dekker_all_sync(warm=True)
+        plan = FaultPlan(delay_jitter=16, reorder_pct=25, reorder_delay=32)
+        result = runner.run(
+            test, Def2Policy, NET_CACHE, runs=12, faults=plan
+        )
+        assert result.completed_runs == 12
+        assert not result.violated_sc
+
+    def test_racy_program_still_surfaces_violations(self):
+        runner = LitmusRunner()
+        plan = FaultPlan(delay_jitter=10, reorder_pct=30, duplicate_pct=10)
+        result = runner.run(
+            fig1_dekker(), RelaxedPolicy, NET_NOCACHE, runs=40, faults=plan
+        )
+        assert result.violated_sc
+
+    def test_serial_parallel_byte_identical_with_faults(self):
+        plan = FaultPlan(delay_jitter=10, reorder_pct=20, duplicate_pct=10)
+        program = fig1_dekker().program
+        policy = PolicySpec.of(RelaxedPolicy)
+        specs = [
+            RunSpec(
+                program=program, policy=policy, config=NET_NOCACHE,
+                seed=seed, faults=plan,
+            )
+            for seed in range(8)
+        ]
+        serial = SerialExecutor().map(specs)
+        with ParallelExecutor(jobs=2) as executor:
+            parallel = executor.map(specs)
+        assert [pickle.dumps(r) for r in serial] == [
+            pickle.dumps(r) for r in parallel
+        ]
+
+    def test_faulted_campaign_labelled_metrics(self):
+        plan = FaultPlan(delay_jitter=6)
+        program = fig1_dekker().program
+        policy = PolicySpec.of(RelaxedPolicy)
+        specs = [
+            RunSpec(
+                program=program, policy=policy, config=NET_NOCACHE,
+                seed=seed, faults=plan,
+            )
+            for seed in range(4)
+        ]
+        campaign = run_campaign(specs, label="faulted")
+        assert campaign.ok
+        assert campaign.metrics.failed_runs == 0

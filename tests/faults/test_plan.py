@@ -1,0 +1,102 @@
+"""FaultPlan: validation, parsing, presets, value semantics."""
+
+import pickle
+
+import pytest
+
+from repro.campaign import PolicySpec, RunSpec
+from repro.faults import PRESETS, FaultPlan, parse_fault_plan
+from repro.litmus.catalog import fig1_dekker
+from repro.memsys.config import NET_NOCACHE
+from repro.models.policies import RelaxedPolicy
+
+
+class TestFaultPlan:
+    def test_null_plan(self):
+        plan = FaultPlan()
+        assert plan.is_null
+        assert plan.describe() == "faults: none"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(delay_jitter=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(reorder_pct=101)
+        with pytest.raises(ValueError):
+            FaultPlan(duplicate_pct=-5)
+        with pytest.raises(ValueError):
+            FaultPlan(reorder_delay=0)
+
+    def test_value_semantics(self):
+        a = FaultPlan(delay_jitter=4, reorder_pct=10)
+        b = FaultPlan(delay_jitter=4, reorder_pct=10)
+        assert a == b and hash(a) == hash(b)
+        assert pickle.loads(pickle.dumps(a)) == a
+
+    def test_with_overrides(self):
+        plan = FaultPlan(delay_jitter=4).with_overrides(salt=7)
+        assert plan.delay_jitter == 4 and plan.salt == 7
+
+
+class TestParse:
+    def test_key_value_pairs(self):
+        plan = FaultPlan.parse("jitter=12, reorder=20%, duplicate=5, salt=3")
+        assert plan == FaultPlan(
+            delay_jitter=12, reorder_pct=20, duplicate_pct=5, salt=3
+        )
+
+    def test_presets(self):
+        assert FaultPlan.parse("light") == PRESETS["light"]
+        assert FaultPlan.parse("HEAVY") == PRESETS["heavy"]
+        assert FaultPlan.parse("none").is_null
+        # Timing-only presets are legal on every machine.
+        for name in ("light", "heavy"):
+            assert PRESETS[name].duplicate_pct == 0
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("bogus_key=1")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("jitter")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("jitter=lots")
+
+    def test_parse_fault_plan_helper(self):
+        assert parse_fault_plan(None) is None
+        assert parse_fault_plan("") is None
+        assert parse_fault_plan("none") is None
+        assert parse_fault_plan("jitter=4") == FaultPlan(delay_jitter=4)
+
+
+class TestSpecIntegration:
+    def _spec(self, faults=None):
+        return RunSpec(
+            program=fig1_dekker().program,
+            policy=PolicySpec.of(RelaxedPolicy),
+            config=NET_NOCACHE,
+            seed=1,
+            faults=faults,
+        )
+
+    def test_plan_changes_spec_digest(self):
+        base = self._spec()
+        faulty = self._spec(FaultPlan(delay_jitter=8))
+        salted = self._spec(FaultPlan(delay_jitter=8, salt=1))
+        digests = {base.digest(), faulty.digest(), salted.digest()}
+        assert len(digests) == 3
+
+    def test_spec_with_plan_pickles(self):
+        spec = self._spec(FaultPlan(delay_jitter=8, reorder_pct=10))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_schedule_and_faults_are_exclusive(self):
+        spec = RunSpec(
+            program=fig1_dekker().program,
+            policy=PolicySpec.of(RelaxedPolicy),
+            config=NET_NOCACHE,
+            seed=1,
+            schedule=(0, 0),
+            faults=FaultPlan(delay_jitter=8),
+        )
+        with pytest.raises(ValueError):
+            spec.execute()

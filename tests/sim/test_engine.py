@@ -68,6 +68,42 @@ class TestSimulator:
         with pytest.raises(SimulationTimeout):
             sim.run(max_cycles=100)
 
+    def test_watchdog_trips_at_exactly_max_cycles(self):
+        # A synthetic never-quiescing component: reschedules itself one
+        # cycle ahead forever.  Events AT the budget still run; the
+        # first event past it trips, so the reported trip point is
+        # exactly ``max_cycles`` and ``sim.now`` never moves past it.
+        sim = Simulator()
+
+        class Livelock(Component):
+            ticks = 0
+
+            def tick(self):
+                self.ticks += 1
+                self.sim.schedule(1, self.tick)
+
+        livelock = Livelock(sim, "livelock")
+        sim.schedule(1, livelock.tick)
+        with pytest.raises(SimulationTimeout) as excinfo:
+            sim.run(max_cycles=100)
+        assert sim.now == 100
+        assert livelock.ticks == 100
+        assert excinfo.value.cycles == 100
+        assert excinfo.value.budget == 100
+
+    def test_run_until_watchdog_reports_trip_point(self):
+        sim = Simulator()
+
+        def tick():
+            sim.schedule(5, tick)
+
+        sim.schedule(0, tick)
+        with pytest.raises(SimulationTimeout) as excinfo:
+            sim.run_until(lambda: False, max_cycles=23)
+        assert excinfo.value.cycles == sim.now
+        assert excinfo.value.budget == 23
+        assert sim.now <= 23
+
     def test_run_until_predicate(self):
         sim = Simulator()
         hits = []

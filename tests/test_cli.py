@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -42,6 +44,53 @@ r1 = y | r2 = x
     def test_unknown_test_errors(self):
         with pytest.raises(SystemExit):
             main(["litmus", "no_such_test"])
+
+
+class TestFaultsOption:
+    def test_litmus_with_fault_preset(self, capsys):
+        code = main(
+            ["litmus", "fig1_dekker_sync_warm", "--policy", "DEF2",
+             "--runs", "8", "--faults", "heavy"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults:" in out and "8/8 runs" in out
+
+    def test_litmus_with_key_value_plan(self, capsys):
+        code = main(
+            ["litmus", "fig1_dekker", "--policy", "SC",
+             "--machine", "net_nocache", "--runs", "8",
+             "--faults", "jitter=10,reorder=20,duplicate=5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "jitter" in out
+
+    def test_bad_faults_value_exits_with_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["litmus", "fig1_dekker", "--runs", "2",
+                  "--faults", "bogus_key=1"])
+        assert "bad --faults" in str(excinfo.value)
+
+
+class TestMetricsJson:
+    def test_metrics_json_reports_failure_counts(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["litmus", "fig1_dekker", "--policy", "SC",
+             "--machine", "net_nocache", "--runs", "6",
+             "--metrics-json", str(path)]
+        )
+        assert code == 0
+        records = json.loads(path.read_text())
+        assert len(records) == 1
+        record = records[0]
+        assert record["runs"] == 6
+        for key in ("failed_runs", "timed_out_runs", "retried_runs",
+                    "pool_rebuilds", "degraded"):
+            assert key in record
+        assert record["failed_runs"] == 0
+        assert record["degraded"] is False
 
 
 class TestDrfCommand:
