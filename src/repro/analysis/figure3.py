@@ -20,8 +20,9 @@ is visible, which is the reproduction of the figure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
+from repro.campaign import Executor, PolicySpec, RunSpec, run_campaign
 from repro.core.program import Program
 from repro.memsys.config import NET_CACHE, MachineConfig
 from repro.memsys.system import System
@@ -108,43 +109,70 @@ def figure3_sweep(
     data_writes: int = 4,
     post_release_work: int = 30,
     seeds: List[int] = (1, 2, 3, 4, 5),
+    executor: Optional[Executor] = None,
+    jobs: int = 1,
 ) -> List[Figure3Row]:
-    """DEF1 vs DEF2 release behaviour as write latency grows."""
-    rows: List[Figure3Row] = []
+    """DEF1 vs DEF2 release behaviour as write latency grows.
+
+    The whole sweep is one flat campaign — every
+    (latency, seed, policy) triple is an independent
+    :class:`~repro.campaign.spec.RunSpec`, so ``jobs > 1`` parallelises
+    across the entire grid.  Per-row aggregation reads the release-side
+    stall attribution straight off each result's
+    :attr:`~repro.campaign.spec.RunMetrics.proc_stalls` and
+    ``halt_times``.
+    """
+    program = release_overlap_program(
+        data_writes=data_writes, post_release_work=post_release_work
+    )
+    policies = (PolicySpec.of(Def1Policy), PolicySpec.of(Def2Policy))
+    specs: List[RunSpec] = []
     for latency in latencies:
         cfg = config.with_overrides(
             network_base_latency=latency, network_jitter=max(1, latency // 4)
         )
-        sums: Dict[str, float] = {
-            "d1_stall": 0.0, "d2_stall": 0.0,
-            "d1_rel": 0.0, "d2_rel": 0.0,
-            "d1_acq": 0.0, "d2_acq": 0.0,
-        }
         for seed in seeds:
-            program = release_overlap_program(
-                data_writes=data_writes, post_release_work=post_release_work
-            )
-            r1 = analyze_release_stall(Def1Policy(), cfg, program, seed=seed)
-            program = release_overlap_program(
-                data_writes=data_writes, post_release_work=post_release_work
-            )
-            r2 = analyze_release_stall(Def2Policy(), cfg, program, seed=seed)
-            sums["d1_stall"] += r1.release_stall
-            sums["d2_stall"] += r2.release_stall
-            sums["d1_rel"] += r1.releaser_finish
-            sums["d2_rel"] += r2.releaser_finish
-            sums["d1_acq"] += r1.acquirer_finish
-            sums["d2_acq"] += r2.acquirer_finish
-        n = len(seeds)
+            for policy_spec in policies:
+                specs.append(
+                    RunSpec(
+                        program=program,
+                        policy=policy_spec,
+                        config=cfg,
+                        seed=seed,
+                    )
+                )
+    campaign = run_campaign(
+        specs, executor=executor, jobs=jobs, label="figure3"
+    )
+
+    def release_stall(result) -> int:
+        return sum(
+            result.timings.proc_stall_of(0, reason)
+            for reason in RELEASE_STALL_REASONS
+        )
+
+    def halt(result, proc: int) -> int:
+        times = result.timings.halt_times
+        if proc < len(times) and times[proc] is not None:
+            return times[proc]
+        return -1
+
+    rows: List[Figure3Row] = []
+    n = len(seeds)
+    per_row = n * len(policies)
+    for li, latency in enumerate(latencies):
+        block = campaign.results[li * per_row : (li + 1) * per_row]
+        d1 = block[0::2]
+        d2 = block[1::2]
         rows.append(
             Figure3Row(
                 network_latency=latency,
-                def1_release_stall=sums["d1_stall"] / n,
-                def2_release_stall=sums["d2_stall"] / n,
-                def1_releaser_finish=sums["d1_rel"] / n,
-                def2_releaser_finish=sums["d2_rel"] / n,
-                def1_acquirer_finish=sums["d1_acq"] / n,
-                def2_acquirer_finish=sums["d2_acq"] / n,
+                def1_release_stall=sum(release_stall(r) for r in d1) / n,
+                def2_release_stall=sum(release_stall(r) for r in d2) / n,
+                def1_releaser_finish=sum(halt(r, 0) for r in d1) / n,
+                def2_releaser_finish=sum(halt(r, 0) for r in d2) / n,
+                def1_acquirer_finish=sum(halt(r, 1) for r in d1) / n,
+                def2_acquirer_finish=sum(halt(r, 1) for r in d2) / n,
             )
         )
     return rows

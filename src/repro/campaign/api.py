@@ -28,6 +28,7 @@ from repro.campaign.spec import (
     RunResult,
     RunSpec,
 )
+from repro.trace.summary import TraceSummary
 
 
 @dataclass
@@ -142,6 +143,11 @@ def run_campaign(
         retried_runs=getattr(executor, "retried_runs", 0),
         pool_rebuilds=getattr(executor, "pool_rebuilds", 0),
         degraded=getattr(executor, "degraded", False),
+        trace_summary=TraceSummary.merged(
+            r.trace_summary
+            for r in results
+            if r is not None and r.trace_summary is not None
+        ),
     )
     emit_metrics(metrics)
     return CampaignResult(results=results, metrics=metrics)

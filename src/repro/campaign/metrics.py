@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
+
+from repro.log import get_logger
+from repro.trace.summary import TraceSummary
+
+_LOG = get_logger("campaign")
 
 #: Observers invoked with each completed campaign's metrics.
 _METRICS_HOOKS: List[Callable[["CampaignMetrics"], None]] = []
@@ -40,9 +45,16 @@ class CampaignMetrics:
     pool_rebuilds: int = 0
     #: True when repeated pool failures forced in-process execution.
     degraded: bool = False
+    #: Merged per-run trace summary — present only when the campaign's
+    #: specs carried a :class:`~repro.trace.tracer.TraceSpec`.
+    trace_summary: Optional[TraceSummary] = None
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        record = asdict(self)
+        record["trace_summary"] = (
+            self.trace_summary.to_dict() if self.trace_summary else None
+        )
+        return record
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True)
@@ -67,6 +79,11 @@ class CampaignMetrics:
             )
         if self.degraded:
             text += " [degraded to serial]"
+        if self.trace_summary is not None:
+            text += (
+                f" [traced: {self.trace_summary.events_recorded} events, "
+                f"{self.trace_summary.total_stall_cycles} stall cycles]"
+            )
         return text
 
 
@@ -83,6 +100,7 @@ def unregister_metrics_hook(hook: Callable[[CampaignMetrics], None]) -> None:
 
 
 def emit_metrics(metrics: CampaignMetrics) -> None:
-    """Deliver a metrics record to every registered hook."""
+    """Deliver a metrics record to every registered hook and the log."""
+    _LOG.info("%s", metrics.describe())
     for hook in list(_METRICS_HOOKS):
         hook(metrics)

@@ -35,6 +35,9 @@ from repro.faults import FaultPlan
 from repro.memsys.config import MachineConfig
 from repro.models.base import OrderingPolicy, policy_class_by_name
 from repro.sim.stats import StallReason
+from repro.trace.events import TraceEvent
+from repro.trace.summary import TraceSummary
+from repro.trace.tracer import TraceSpec
 
 
 @dataclass(frozen=True)
@@ -78,12 +81,26 @@ class RunMetrics:
     sync_nacks: int = 0
     #: Stall cycles aggregated per reason, sorted by reason name.
     stall_by_reason: Tuple[Tuple[StallReason, int], ...] = ()
+    #: Stall cycles per (processor, reason), sorted — the per-processor
+    #: attribution the Figure-3 aggregation consumes.  Holds the
+    #: :class:`StallReason` members themselves (not their values): enum
+    #: singletons keep pickles byte-identical across cache round-trips.
+    proc_stalls: Tuple[Tuple[int, StallReason, int], ...] = ()
+    #: Per-thread halt times (None for threads that never halted).
+    halt_times: Tuple[Optional[int], ...] = ()
 
     def stall_of(self, reason: StallReason) -> int:
         for r, cycles in self.stall_by_reason:
             if r is reason:
                 return cycles
         return 0
+
+    def proc_stall_of(self, proc: int, reason: StallReason) -> int:
+        total = 0
+        for p, r, cycles in self.proc_stalls:
+            if p == proc and r is reason:
+                total += cycles
+        return total
 
 
 #: Failure kinds, in roughly increasing distance from the simulation:
@@ -131,6 +148,10 @@ class RunResult:
     #: Set when the run failed (watchdog, exception, wall-clock timeout,
     #: lost worker) instead of producing a full outcome.
     failure: Optional[RunFailure] = None
+    #: Trace payloads, present only when the spec carried a
+    #: :class:`~repro.trace.tracer.TraceSpec` asking for them.
+    trace_events: Optional[Tuple[TraceEvent, ...]] = None
+    trace_summary: Optional[TraceSummary] = None
 
     @property
     def ok(self) -> bool:
@@ -158,6 +179,10 @@ class RunSpec:
     #: Optional fault-injection plan; seed-derived, so it keeps the run
     #: a pure function of the spec (see :mod:`repro.faults`).
     faults: Optional[FaultPlan] = None
+    #: Optional tracing request; the recorded events/summary come back
+    #: on the :class:`RunResult`.  Tracing never changes simulated
+    #: behaviour, so it does not perturb cached (untraced) digests.
+    trace: Optional[TraceSpec] = None
 
     def execute(self) -> RunResult:
         """Run the spec on a freshly built system (pure; picklable)."""
@@ -170,6 +195,7 @@ class RunSpec:
                 self.config,
                 seed=self.seed,
                 fault_plan=self.faults,
+                trace=self.trace,
             )
             run = system.run(max_cycles=self.max_cycles)
             return _package(run, choice_log=None)
@@ -189,6 +215,7 @@ class RunSpec:
             self.policy.build(),
             self.config,
             seed=self.seed,
+            trace=self.trace,
             interconnect_factory=lambda sim, stats, rng: ScheduledInterconnect(
                 sim,
                 stats,
@@ -214,14 +241,21 @@ class RunSpec:
             str(self.inval_virtual_channel),
             repr(self.faults),
         ]
+        if self.trace is not None:
+            # Appended only when tracing, so every pre-existing cached
+            # digest of an untraced spec stays valid.
+            parts.append(repr(self.trace))
         return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
 
 
 def _package(run, choice_log: Optional[Tuple[int, ...]]) -> RunResult:
     """Distill a :class:`~repro.memsys.system.HardwareRun` to a result."""
     by_reason: Dict[StallReason, int] = {}
-    for (_proc, reason), cycles in run.stats.stall_breakdown().items():
+    proc_stalls: Dict[Tuple[int, StallReason], int] = {}
+    for (proc, reason), cycles in run.stats.stall_breakdown().items():
         by_reason[reason] = by_reason.get(reason, 0) + cycles
+        key = (proc, reason)
+        proc_stalls[key] = proc_stalls.get(key, 0) + cycles
     timings = RunMetrics(
         stall_cycles=run.stats.stall_cycles(),
         messages=run.stats.count("interconnect.delivered"),
@@ -229,6 +263,14 @@ def _package(run, choice_log: Optional[Tuple[int, ...]]) -> RunResult:
         stall_by_reason=tuple(
             sorted(by_reason.items(), key=lambda kv: kv[0].value)
         ),
+        proc_stalls=tuple(
+            (proc, reason, cycles)
+            for (proc, reason), cycles in sorted(
+                proc_stalls.items(),
+                key=lambda kv: (kv[0][0], kv[0][1].value),
+            )
+        ),
+        halt_times=tuple(run.halt_times),
     )
     failure = None
     if run.timed_out:
@@ -246,6 +288,8 @@ def _package(run, choice_log: Optional[Tuple[int, ...]]) -> RunResult:
         timings=timings,
         choice_log=choice_log,
         failure=failure,
+        trace_events=run.trace_events,
+        trace_summary=run.trace_summary,
     )
 
 

@@ -12,16 +12,23 @@ Subcommands:
 ``figure1``   regenerate the Figure-1 violation matrix;
 ``figure3``   regenerate the Figure-3 release-stall sweep;
 ``catalog``   list the built-in litmus tests;
-``delays``    print the Shasha-Snir delay set of a straight-line test.
+``delays``    print the Shasha-Snir delay set of a straight-line test;
+``trace``     replay one litmus run with tracing and show its timeline.
+
+``litmus``, ``explore``, and ``conformance`` accept ``--trace FILE``
+(with ``--trace-format`` and ``--trace-filter``) to record every run's
+event stream; ``-v``/``-q`` raise/lower progress logging on stderr.
 
 Examples::
 
     python -m repro litmus fig1_dekker_warm --policy RELAXED --machine net_cache
     python -m repro litmus my_test.litmus --policy DEF2 --runs 200
     python -m repro litmus fig1_dekker_sync --policy DEF2 --faults heavy
+    python -m repro litmus fig1_dekker --trace out.json --trace-format chrome
     python -m repro conformance --faults jitter=12,reorder=20 --jobs 4
-    python -m repro drf fig1_dekker
+    python -m repro drf fig1_dekker --jobs 4
     python -m repro explore fig1_dekker_sync_warm --policy DEF2 --delays 3
+    python -m repro trace fig1_dekker_sync --policy DEF2 --filter stall,msg
     python -m repro figure1
 """
 
@@ -31,12 +38,15 @@ import argparse
 import contextlib
 import json
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.figure3 import figure3_sweep
 from repro.campaign import (
+    CampaignMetrics,
     default_executor,
+    emit_metrics,
     register_metrics_hook,
     unregister_metrics_hook,
 )
@@ -48,9 +58,20 @@ from repro.litmus.catalog import catalog_by_name, fig1_dekker
 from repro.litmus.parse import parse_litmus
 from repro.litmus.runner import LitmusRunner
 from repro.litmus.test import LitmusTest
+from repro.log import configure_cli_logging, get_logger
 from repro.memsys.config import FIGURE1_CONFIGS, NET_CACHE, config_by_name
 from repro.models.policies import RelaxedPolicy, SCPolicy, policy_by_name
 from repro.sc.verifier import SCVerifier
+from repro.trace import (
+    FORMATS,
+    TraceEvent,
+    TraceSpec,
+    crosscheck_run,
+    format_timeline,
+    write_trace,
+)
+
+_log = get_logger("cli")
 
 
 def _load_test(name_or_path: str, warm: bool = False) -> LitmusTest:
@@ -107,11 +128,40 @@ def _executor_for(args: argparse.Namespace):
     )
 
 
+def _trace_spec(args: argparse.Namespace) -> Optional[TraceSpec]:
+    """The tracing request a ``--trace``/``--trace-filter`` pair asks for."""
+    if not getattr(args, "trace", None):
+        if getattr(args, "trace_filter", None):
+            raise SystemExit("error: --trace-filter requires --trace")
+        return None
+    try:
+        return TraceSpec.parse_filter(getattr(args, "trace_filter", None))
+    except ValueError as exc:
+        raise SystemExit(f"error: bad --trace-filter value: {exc}")
+
+
+def _write_traces(
+    args: argparse.Namespace,
+    run_traces: Sequence[Tuple[str, Tuple[TraceEvent, ...]]],
+) -> None:
+    """Write collected per-run traces to the ``--trace`` path, if any."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return
+    write_trace(path, run_traces, fmt=args.trace_format)
+    total = sum(len(events) for _, events in run_traces)
+    _log.info(
+        "trace written to %s (%s format, %d run(s), %d events)",
+        path, args.trace_format, len(run_traces), total,
+    )
+
+
 def _cmd_litmus(args: argparse.Namespace) -> int:
     test = _load_test(args.test, warm=args.warm)
     runner = LitmusRunner()
     config = config_by_name(args.machine)
     faults = _parse_faults(args)
+    trace = _trace_spec(args)
     with _campaign_metrics(args), _executor_for(args) as executor:
         result = runner.run(
             test,
@@ -121,16 +171,40 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
             base_seed=args.seed,
             executor=executor,
             faults=faults,
+            trace=trace,
         )
+    _write_traces(args, result.run_traces)
     if faults is not None:
         print(faults.describe())
     print(result.describe())
+    if result.trace_summary is not None:
+        print(result.trace_summary.describe())
     return 1 if result.violated_sc and args.expect_sc else 0
 
 
 def _cmd_drf(args: argparse.Namespace) -> int:
     test = _load_test(args.test)
-    report = check_program(test.program, max_executions=args.max_executions)
+    with _campaign_metrics(args):
+        started = time.perf_counter()
+        report = check_program(
+            test.program, max_executions=args.max_executions, jobs=args.jobs
+        )
+        wall = time.perf_counter() - started
+        # check_program is also a conformance-grid subroutine, so the
+        # library stays silent; the CLI emits the metrics record itself.
+        emit_metrics(
+            CampaignMetrics(
+                label=f"drf:{test.name}",
+                runs=report.executions_checked,
+                completed_runs=report.executions_checked,
+                wall_clock_seconds=wall,
+                runs_per_second=(
+                    report.executions_checked / wall if wall > 0 else 0.0
+                ),
+                completion_rate=1.0,
+                jobs=args.jobs,
+            )
+        )
     print(report.describe())
     return 0 if report.obeys else 1
 
@@ -138,6 +212,7 @@ def _cmd_drf(args: argparse.Namespace) -> int:
 def _cmd_explore(args: argparse.Namespace) -> int:
     test = _load_test(args.test, warm=args.warm)
     program = test.executable_program()
+    trace = _trace_spec(args)
     with _campaign_metrics(args), _executor_for(args) as executor:
         report = explore_program(
             program,
@@ -145,7 +220,9 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             max_delays=args.delays,
             max_runs=args.max_runs,
             executor=executor,
+            trace=trace,
         )
+    _write_traces(args, report.run_traces)
     print(report.describe())
     verifier = SCVerifier()
     sc_set = verifier.sc_result_set(program)
@@ -186,7 +263,12 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure3(args: argparse.Namespace) -> int:
-    rows = figure3_sweep(latencies=args.latencies, seeds=list(range(1, args.seeds + 1)))
+    with _campaign_metrics(args), _executor_for(args) as executor:
+        rows = figure3_sweep(
+            latencies=args.latencies,
+            seeds=list(range(1, args.seeds + 1)),
+            executor=executor,
+        )
     print(
         format_table(
             ["latency", "DEF1 stall", "DEF2 stall", "DEF1 P0 done",
@@ -216,10 +298,13 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     from repro.conformance import VERDICT_BROKEN, run_conformance
 
     faults = _parse_faults(args)
+    trace = _trace_spec(args)
     with _campaign_metrics(args), _executor_for(args) as executor:
         report = run_conformance(
-            runs_per_test=args.runs, executor=executor, faults=faults
+            runs_per_test=args.runs, executor=executor, faults=faults,
+            trace=trace,
         )
+    _write_traces(args, report.run_traces)
     if faults is not None:
         print(faults.describe())
     print(report.describe())
@@ -244,11 +329,70 @@ def _cmd_delays(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.memsys.system import System
+
+    test = _load_test(args.test, warm=args.warm)
+    config = config_by_name(args.machine)
+    try:
+        spec = TraceSpec.parse_filter(args.filter, ring=args.ring)
+    except ValueError as exc:
+        raise SystemExit(f"error: bad --filter value: {exc}")
+    system = System(
+        test.executable_program(),
+        policy_by_name(args.policy),
+        config,
+        seed=args.seed,
+        trace=spec,
+    )
+    run = system.run(max_cycles=args.max_cycles)
+    events = run.trace_events or ()
+
+    if args.format == "pretty":
+        print(format_timeline(events, limit=args.limit))
+    else:
+        if not args.out:
+            raise SystemExit(
+                f"error: --out is required with --format {args.format}"
+            )
+        write_trace(args.out, [(test.name, events)], fmt=args.format)
+        _log.info(
+            "trace written to %s (%s format, %d events)",
+            args.out, args.format, len(events),
+        )
+    if run.trace_summary is not None:
+        print(run.trace_summary.describe())
+
+    # The observability dividend: with the full proc stream recorded,
+    # assert the trace-reconstructed happens-before agrees with hb's.
+    wants_proc = spec.categories is None or "proc" in spec.categories
+    if wants_proc and spec.ring is None and run.completed:
+        report = crosscheck_run(run)
+        print(report.describe())
+        if not report.ok:
+            return 1
+    if not run.completed:
+        print(
+            f"warning: run did not complete within {args.max_cycles} cycles",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Weak Ordering - A New Definition (Adve & Hill): "
         "litmus tests, DRF0 checking, and weakly ordered hardware simulation.",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more progress logging on stderr (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="less progress logging on stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -274,6 +418,22 @@ def build_parser() -> argparse.ArgumentParser:
             "(exponential backoff; default 2)",
         )
 
+    def add_trace_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--trace", metavar="PATH",
+            help="record a structured event trace of every run to PATH",
+        )
+        cmd.add_argument(
+            "--trace-format", choices=FORMATS, default="chrome",
+            help="trace file format: chrome (Perfetto-loadable JSON) "
+            "or jsonl (one event per line; default chrome)",
+        )
+        cmd.add_argument(
+            "--trace-filter", metavar="CATS",
+            help="comma-separated event categories to record "
+            "(e.g. 'stall,msg'; default all)",
+        )
+
     def add_faults_option(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument(
             "--faults", metavar="PLAN",
@@ -294,11 +454,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit nonzero if any outcome violates SC")
     add_campaign_options(litmus)
     add_faults_option(litmus)
+    add_trace_options(litmus)
     litmus.set_defaults(func=_cmd_litmus)
 
     drf = sub.add_parser("drf", help="check a program against DRF0")
     drf.add_argument("test")
     drf.add_argument("--max-executions", type=int, default=None)
+    drf.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="check idealized executions on N worker processes",
+    )
+    drf.add_argument(
+        "--metrics-json", metavar="PATH",
+        help="write check metrics (wall-clock, executions/sec) to PATH",
+    )
     drf.set_defaults(func=_cmd_drf)
 
     explore = sub.add_parser("explore", help="systematic schedule exploration")
@@ -308,6 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--max-runs", type=int, default=20_000)
     explore.add_argument("--warm", action="store_true")
     add_campaign_options(explore)
+    add_trace_options(explore)
     explore.set_defaults(func=_cmd_explore)
 
     fig1 = sub.add_parser("figure1", help="regenerate the Figure-1 matrix")
@@ -319,6 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig3.add_argument("--latencies", type=int, nargs="+",
                       default=[4, 8, 16, 32, 64])
     fig3.add_argument("--seeds", type=int, default=5)
+    add_campaign_options(fig3)
     fig3.set_defaults(func=_cmd_figure3)
 
     catalog = sub.add_parser("catalog", help="list built-in litmus tests")
@@ -330,11 +501,44 @@ def build_parser() -> argparse.ArgumentParser:
     conformance.add_argument("--runs", type=int, default=30)
     add_campaign_options(conformance)
     add_faults_option(conformance)
+    add_trace_options(conformance)
     conformance.set_defaults(func=_cmd_conformance)
 
     delays = sub.add_parser("delays", help="Shasha-Snir delay set of a test")
     delays.add_argument("test")
     delays.set_defaults(func=_cmd_delays)
+
+    trace = sub.add_parser(
+        "trace",
+        help="replay one litmus run with tracing and show its timeline",
+    )
+    trace.add_argument("test", help="catalog name or .litmus file")
+    trace.add_argument("--policy", default="DEF2")
+    trace.add_argument("--machine", default="net_cache")
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--warm", action="store_true",
+                       help="warm caches (for .litmus files)")
+    trace.add_argument("--max-cycles", type=int, default=1_000_000)
+    trace.add_argument("--out", metavar="PATH",
+                       help="trace output file (for jsonl/chrome formats)")
+    trace.add_argument(
+        "--format", choices=("pretty",) + FORMATS, default="pretty",
+        help="pretty (terminal timeline), chrome (Perfetto JSON), "
+        "or jsonl",
+    )
+    trace.add_argument(
+        "--filter", metavar="CATS",
+        help="comma-separated event categories to record (default all)",
+    )
+    trace.add_argument(
+        "--ring", type=int, default=None, metavar="N",
+        help="retain only the newest N events (bounded-memory mode)",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="show at most N timeline lines (pretty format)",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     return parser
 
@@ -342,6 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_cli_logging(args.verbose - args.quiet)
     return args.func(args)
 
 

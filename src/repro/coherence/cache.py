@@ -97,6 +97,17 @@ class Cache(Component):
 
         interconnect.register(cache_endpoint(cache_id), self._on_message)
         self.counter.when_zero(self._on_counter_zero_registered)
+        self.tracer = sim.tracer
+        if self.tracer.wants("counter"):
+            # Conditional wiring: untraced runs never pay the observer
+            # call.  The tracer is configured before components build.
+            def observe(value, _t=self.tracer, _track=self.name):
+                _t.emit(
+                    "counter", "outstanding", track=_track,
+                    args=(("value", value),),
+                )
+
+            self.counter.observer = observe
 
     # ------------------------------------------------------------------
     # Processor-facing API
@@ -241,11 +252,21 @@ class Cache(Component):
             if not line.reserved:
                 line.reserved = True
                 self.stats.bump("cache.reserves_set")
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "reserve", "set", track=self.name,
+                        args=(("location", line.location),),
+                    )
             self.counter.when_zero(self._clear_reserves)
 
     def _clear_reserves(self) -> None:
         """Counter reads zero: reset all reserve bits, service stalls."""
         for line in self._lines.values():
+            if line.reserved and self.tracer.enabled:
+                self.tracer.emit(
+                    "reserve", "clear", track=self.name,
+                    args=(("location", line.location),),
+                )
             line.reserved = False
         stalled, self._stalled_recalls = self._stalled_recalls, []
         for recall in stalled:
@@ -338,6 +359,11 @@ class Cache(Component):
                 f"Inval for {inval.location!r} hit an exclusive line"
             )
             del self._lines[inval.location]
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "cache", "inval", track=self.name,
+                    args=(("location", inval.location),),
+                )
         elif inval.location in self._outstanding:
             # On an invalidation virtual channel the Inval can overtake
             # the DataS it logically follows (the directory granted our
@@ -397,12 +423,22 @@ class Cache(Component):
     # ------------------------------------------------------------------
     def _install(self, location: Location, state: LineState, value: Value) -> CacheLine:
         line = self._lines.get(location)
+        old_state = line.state if line is not None else LineState.INVALID
         if line is None:
             line = CacheLine(location=location, state=state, value=value)
             self._lines[location] = line
         else:
             line.state = state
             line.value = value
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "cache", "fill", track=self.name,
+                args=(
+                    ("location", location),
+                    ("from", old_state.name),
+                    ("to", state.name),
+                ),
+            )
         self._touch(line)
         self._evict_down_to_capacity(exclude=location)
         return line
@@ -443,6 +479,14 @@ class Cache(Component):
 
     def _evict(self, line: CacheLine) -> None:
         self.stats.bump("cache.evictions")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "cache", "evict", track=self.name,
+                args=(
+                    ("location", line.location),
+                    ("state", line.state.name),
+                ),
+            )
         if line.state is LineState.EXCLUSIVE:
             self._victims[line.location] = line.value
             self._send(WriteBack(line.location, line.value, self.cache_id))

@@ -138,6 +138,16 @@ class Directory(Component):
         if location in self._open or self._queues.get(location):
             self._queues.setdefault(location, deque()).append(request)
             self.stats.bump("dir.queued")
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    "dir", "queued", track=self.name,
+                    args=(
+                        ("payload", type(request).__name__),
+                        ("location", location),
+                        ("depth", len(self._queues[location])),
+                    ),
+                )
             return
         self._dispatch(location, request)
 
@@ -290,6 +300,16 @@ class Directory(Component):
         txn = self._open.get(nack.location)
         assert txn is not None, f"unexpected RecallNack for {nack.location!r}"
         self.stats.bump("dir.sync_nacks")
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "dir", "sync_nack", track=self.name,
+                args=(
+                    ("location", nack.location),
+                    ("requester", txn.request.requester),
+                    ("owner", nack.from_cache),
+                ),
+            )
         request = txn.request
         # Abort: unblock the location for data traffic, tell the
         # requester (for stall accounting), retry later.

@@ -24,7 +24,7 @@ retried, so condition 5 holds on this substrate too.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.coherence.line import CacheLine, LineState
 from repro.core.operation import Location, Value
@@ -144,6 +144,16 @@ class SnoopCoordinator(Component):
         if self._busy and isinstance(payload, (BusRd, BusRdX, BusWB)):
             self._waiting.append(payload)
             self.stats.bump("snoop.queued")
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    "dir", "queued", track=self.name,
+                    args=(
+                        ("payload", type(payload).__name__),
+                        ("location", payload.location),
+                        ("depth", len(self._waiting)),
+                    ),
+                )
             return
         self._dispatch(payload)
 
@@ -195,6 +205,16 @@ class SnoopCoordinator(Component):
                 continue
             if cache.holds_reserved(txn.location):
                 self.stats.bump("snoop.nacks")
+                tracer = self.sim.tracer
+                if tracer.enabled:
+                    tracer.emit(
+                        "dir", "sync_nack", track=self.name,
+                        args=(
+                            ("location", txn.location),
+                            ("requester", txn.requester),
+                            ("owner", cache.cache_id),
+                        ),
+                    )
                 self._respond(txn.requester, SnoopNack(txn.location))
 
                 def retry(t=txn) -> None:
@@ -250,8 +270,20 @@ class SnoopingCache(Component):
         #: cancelled (set to None) when another transaction takes them.
         self._victims: Dict[Location, Optional[Value]] = {}
         self._use_clock = 0
+        #: Observers of incoming SnoopNack (stall accounting), same
+        #: contract as ``Cache.on_sync_nack``.
+        self.on_sync_nack: List[Callable[[Location], None]] = []
         interconnect.register(snoop_cache_endpoint(cache_id), self._on_message)
         coordinator.attach(self)
+        self.tracer = sim.tracer
+        if self.tracer.wants("counter"):
+            def observe(value, _t=self.tracer, _track=self.name):
+                _t.emit(
+                    "counter", "outstanding", track=_track,
+                    args=(("value", value),),
+                )
+
+            self.counter.observer = observe
 
     # ------------------------------------------------------------------
     # Processor-facing API (mirrors repro.coherence.cache.Cache)
@@ -387,10 +419,20 @@ class SnoopingCache(Component):
             if not line.reserved:
                 line.reserved = True
                 self.stats.bump("snoopcache.reserves_set")
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "reserve", "set", track=self.name,
+                        args=(("location", line.location),),
+                    )
             self.counter.when_zero(self._clear_reserves)
 
     def _clear_reserves(self) -> None:
         for line in self._lines.values():
+            if line.reserved and self.tracer.enabled:
+                self.tracer.emit(
+                    "reserve", "clear", track=self.name,
+                    args=(("location", line.location),),
+                )
             line.reserved = False
 
     # ------------------------------------------------------------------
@@ -417,6 +459,8 @@ class SnoopingCache(Component):
             if access is not None:
                 access.nacks += 1
             self.stats.bump("snoopcache.nacks_received")
+            for observer in self.on_sync_nack:
+                observer(payload.location)
             # The coordinator re-issues the transaction after its retry
             # delay; nothing to do here.
         else:  # pragma: no cover - defensive
@@ -427,12 +471,22 @@ class SnoopingCache(Component):
     # ------------------------------------------------------------------
     def _install(self, location: Location, state: LineState, value: Value) -> CacheLine:
         line = self._lines.get(location)
+        old_state = line.state if line is not None else LineState.INVALID
         if line is None:
             line = CacheLine(location=location, state=state, value=value)
             self._lines[location] = line
         else:
             line.state = state
             line.value = value
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "cache", "fill", track=self.name,
+                args=(
+                    ("location", location),
+                    ("from", old_state.name),
+                    ("to", state.name),
+                ),
+            )
         self._touch(line)
         self._evict_down_to_capacity(exclude=location)
         return line
@@ -458,6 +512,14 @@ class SnoopingCache(Component):
                 return
             victim = min(candidates, key=lambda l: l.last_use)
             self.stats.bump("snoopcache.evictions")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "cache", "evict", track=self.name,
+                    args=(
+                        ("location", victim.location),
+                        ("state", victim.state.name),
+                    ),
+                )
             if victim.state is LineState.EXCLUSIVE:
                 self._victims[victim.location] = victim.value
                 self._send(BusWB(victim.location, victim.value, self.cache_id))

@@ -47,6 +47,9 @@ from repro.memsys.config import (
 )
 from repro.memsys.system import ConfigurationError, ensure_compatible
 from repro.models.base import OrderingPolicy
+from repro.trace.events import TraceEvent
+from repro.trace.summary import TraceSummary
+from repro.trace.tracer import TraceSpec
 from repro.models.policies import (
     Def1Policy,
     Def2Policy,
@@ -85,6 +88,14 @@ class ConformanceReport:
 
     cells: List[CellResult]
     runs_per_test: int
+    #: ``(label, events)`` per traced run, labelled
+    #: ``config/policy/test/runN`` — present only when the grid ran with
+    #: a :class:`~repro.trace.tracer.TraceSpec`.
+    run_traces: List[Tuple[str, Tuple[TraceEvent, ...]]] = field(
+        default_factory=list
+    )
+    #: Merged trace telemetry across the whole grid.
+    trace_summary: Optional[TraceSummary] = None
 
     def cell(self, config_name: str, policy_name: str) -> Optional[CellResult]:
         for cell in self.cells:
@@ -157,6 +168,7 @@ def run_conformance(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     faults: Optional[FaultPlan] = None,
+    trace: Optional[TraceSpec] = None,
 ) -> ConformanceReport:
     """Audit every (machine, policy) pair against the litmus battery.
 
@@ -170,6 +182,9 @@ def run_conformance(
     legal message timings, so a conforming cell must keep its verdict
     under adversarial jitter and reordering, while racy programs remain
     free to surface *more* violations.
+
+    ``trace`` records every run in the grid; the report carries the
+    labelled per-run traces and a merged summary.
     """
     runner = runner or LitmusRunner()
     tests = list(tests) if tests is not None else standard_catalog()
@@ -193,7 +208,7 @@ def run_conformance(
             for test in tests:
                 test_specs = runner.campaign_specs(
                     test, policy_spec, config, runs_per_test, base_seed,
-                    faults=faults,
+                    faults=faults, trace=trace,
                 )
                 blocks.append((test, len(specs), len(test_specs)))
                 specs.extend(test_specs)
@@ -206,6 +221,7 @@ def run_conformance(
     )
 
     cells: List[CellResult] = []
+    run_traces: List[Tuple[str, Tuple[TraceEvent, ...]]] = []
     for plan in cell_plans:
         config, policy_spec = plan["config"], plan["policy"]
         if plan["blocks"] is None:
@@ -217,13 +233,30 @@ def run_conformance(
                 )
             )
             continue
+        for test, start, count in plan["blocks"]:
+            for i, result in enumerate(campaign.results[start : start + count]):
+                if result.trace_events is not None:
+                    run_traces.append(
+                        (
+                            f"{config.name}/{policy_spec.name}/"
+                            f"{test.name}/run{i}",
+                            result.trace_events,
+                        )
+                    )
         cells.append(
             _judge_cell(
                 runner, config, policy_spec, plan["blocks"],
                 campaign.results, conformance_cache,
             )
         )
-    return ConformanceReport(cells=cells, runs_per_test=runs_per_test)
+    return ConformanceReport(
+        cells=cells,
+        runs_per_test=runs_per_test,
+        run_traces=run_traces,
+        trace_summary=(
+            campaign.metrics.trace_summary if campaign.metrics else None
+        ),
+    )
 
 
 def _judge_cell(

@@ -12,7 +12,7 @@ reads zero", which is exposed here as one-shot zero callbacks.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 
 class OutstandingCounter:
@@ -21,6 +21,9 @@ class OutstandingCounter:
     def __init__(self) -> None:
         self._value = 0
         self._on_zero: List[Callable[[], None]] = []
+        #: Optional observer called with the new value after every
+        #: increment/decrement — the trace layer's counter telemetry hook.
+        self.observer: Optional[Callable[[int], None]] = None
 
     @property
     def value(self) -> int:
@@ -32,11 +35,15 @@ class OutstandingCounter:
 
     def increment(self) -> None:
         self._value += 1
+        if self.observer is not None:
+            self.observer(self._value)
 
     def decrement(self) -> None:
         if self._value <= 0:
             raise RuntimeError("outstanding-access counter underflow")
         self._value -= 1
+        if self.observer is not None:
+            self.observer(self._value)
         if self._value == 0:
             callbacks, self._on_zero = self._on_zero, []
             for callback in callbacks:

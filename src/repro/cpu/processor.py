@@ -92,6 +92,17 @@ class Processor(Component):
         self._busy = False  # mid-instruction delay in flight
         #: Set while a context switch is draining: no new issues.
         self._migrating = False
+        self.tracer = sim.tracer
+        #: Whether the memory port is a bounded write buffer (hoisted out
+        #: of the issue path: a failed getattr per issue attempt costs
+        #: more than every other check in _try_memory combined).
+        self._port_is_bounded = hasattr(port, "write_full")
+        #: Location of the sync access this processor is commit-blocked
+        #: on, if any — the anchor for attributing remote reserve NACKs
+        #: (condition 5's DEF2_RESERVED_REMOTE stall) to this processor.
+        self._commit_wait_loc = None
+        if cache is not None and hasattr(cache, "on_sync_nack"):
+            cache.on_sync_nack.append(self._on_sync_nack)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -156,6 +167,8 @@ class Processor(Component):
     def _halt(self) -> None:
         self.halted = True
         self.halt_time = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.emit("proc", "halt", track=f"P{self.logical_proc}")
 
     def _after_delay(self, cycles: int) -> None:
         self._busy = True
@@ -173,6 +186,16 @@ class Processor(Component):
         gate = self.policy.issue_gate(self, instr.kind)
         if gate is not None:
             self._begin_stall(gate)
+            return
+        # A bounded write buffer refuses new writes while full; the
+        # processor stalls until a buffered write globally performs (its
+        # MemWriteAck pops the buffer head and wakes us via retire).
+        if (
+            self._port_is_bounded
+            and instr.kind.writes_memory
+            and self.port.write_full
+        ):
+            self._begin_stall(StallReason.WRITE_BUFFER_FULL)
             return
         # Same-location accesses stay ordered through the memory system:
         # a new access may not start until the previous one to the same
@@ -217,6 +240,19 @@ class Processor(Component):
         self._issue_counter += 1
         self.pending_accesses.append(access)
         self.stats.bump(f"proc.{instr.kind.value}")
+        if self.tracer.enabled and self.tracer.wants("proc"):
+            self.tracer.emit(
+                "proc",
+                "issue",
+                track=f"P{self.logical_proc}",
+                args=(
+                    ("kind", instr.kind.value),
+                    ("location", instr.location),
+                    ("pos", pos),
+                    ("occurrence", occurrence),
+                    ("issue_index", access.issue_index),
+                ),
+            )
 
         dest = instr.dest
         if dest is not None:
@@ -248,9 +284,18 @@ class Processor(Component):
             BlockKind.GP: StallReason.SC_PREVIOUS_GP,
         }[block]
         self.stats.stall_begin(self.proc_id, reason, started)
+        if block is BlockKind.COMMIT:
+            self._commit_wait_loc = access.location
 
         def resume(_a: MemoryAccess) -> None:
             self.stats.stall_end(self.proc_id, reason, self.sim.now)
+            if block is BlockKind.COMMIT:
+                self._commit_wait_loc = None
+                # Close the remote-reserve overlay window, if a NACK
+                # opened one while we waited for the commit.
+                self.stats.stall_end(
+                    self.proc_id, StallReason.DEF2_RESERVED_REMOTE, self.sim.now
+                )
             self._busy = False
             self.sim.call_soon(self._advance)
 
@@ -274,10 +319,49 @@ class Processor(Component):
         op.commit_time = access.commit_time
         op.issue_index = access.issue_index
         self.trace.append(op)
+        if self.tracer.enabled and self.tracer.wants("proc"):
+            # Carries the op's full identity: the trace-based
+            # happens-before cross-check rebuilds the execution from
+            # exactly these events (see repro.trace.crosscheck).
+            self.tracer.emit(
+                "proc",
+                "commit",
+                track=f"P{op.proc}",
+                args=(
+                    ("proc", op.proc),
+                    ("kind", op.kind.value),
+                    ("location", op.location),
+                    ("pos", op.thread_pos),
+                    ("occurrence", op.occurrence),
+                    ("issue_index", op.issue_index),
+                    ("value_read", op.value_read),
+                    ("value_written", op.value_written),
+                ),
+            )
 
     def _retire(self, access: MemoryAccess) -> None:
         self.pending_accesses.remove(access)
+        if self.tracer.enabled and self.tracer.wants("proc"):
+            self.tracer.emit(
+                "proc",
+                "gp",
+                track=f"P{access.proc}",
+                args=(
+                    ("kind", access.kind.value),
+                    ("location", access.location),
+                    ("issue_index", access.issue_index),
+                ),
+            )
         self.wake()
+
+    def _on_sync_nack(self, location) -> None:
+        """Cache observer: our sync request was NACKed because the line is
+        reserved at a remote owner — condition 5's distinct stall cause,
+        accounted as an overlay on the enclosing commit wait."""
+        if location == self._commit_wait_loc:
+            self.stats.stall_begin(
+                self.proc_id, StallReason.DEF2_RESERVED_REMOTE, self.sim.now
+            )
 
     # ------------------------------------------------------------------
     # Stall accounting

@@ -50,6 +50,7 @@ class WriteBufferPort(Component):
         interconnect: Interconnect,
         stats: Stats,
         drain_delay: int = 2,
+        capacity: Optional[int] = None,
     ) -> None:
         super().__init__(sim, f"port{proc_id}")
         self.proc_id = proc_id
@@ -58,6 +59,10 @@ class WriteBufferPort(Component):
         #: Cycles the buffer head waits before being eligible to issue —
         #: models read-priority arbitration at the processor-bus boundary.
         self.drain_delay = drain_delay
+        #: Maximum buffered writes (None = unbounded).  The processor
+        #: checks :attr:`write_full` before issuing and stalls with
+        #: ``WRITE_BUFFER_FULL`` when the bound is reached.
+        self.capacity = capacity
         self._buffer: Deque[MemoryAccess] = deque()
         self._head_issued = False
         self._inflight: Dict[int, MemoryAccess] = {}
@@ -79,6 +84,10 @@ class WriteBufferPort(Component):
     def buffered_writes(self) -> int:
         return len(self._buffer)
 
+    @property
+    def write_full(self) -> bool:
+        return self.capacity is not None and len(self._buffer) >= self.capacity
+
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
@@ -88,6 +97,17 @@ class WriteBufferPort(Component):
         access.mark_committed(self.sim.now)
         self._buffer.append(access)
         self.stats.bump("wbuf.enqueued")
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "wbuf",
+                "enqueue",
+                track=self.name,
+                args=(
+                    ("location", access.location),
+                    ("depth", len(self._buffer)),
+                ),
+            )
         self._try_drain()
 
     def _try_drain(self) -> None:
@@ -131,6 +151,17 @@ class WriteBufferPort(Component):
         for buffered in reversed(self._buffer):
             if buffered.location == access.location:
                 self.stats.bump("wbuf.forwards")
+                tracer = self.sim.tracer
+                if tracer.enabled:
+                    tracer.emit(
+                        "wbuf",
+                        "forward",
+                        track=self.name,
+                        args=(
+                            ("location", access.location),
+                            ("value", buffered.value_written),
+                        ),
+                    )
                 access.deliver_value(buffered.value_written, self.sim.now)
                 access.mark_committed(self.sim.now)
                 access.mark_globally_performed(self.sim.now)

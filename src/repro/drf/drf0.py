@@ -14,7 +14,8 @@ exhibits a race — exactly the counterexample a programmer would want.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from itertools import islice
+from typing import List, Optional, Tuple
 
 from repro.core.execution import Execution
 from repro.core.program import Program
@@ -53,13 +54,20 @@ def check_program(
     program: Program,
     model: SynchronizationModel = DRF0,
     max_executions: Optional[int] = None,
+    jobs: int = 1,
 ) -> DRFReport:
     """Decide whether ``program`` obeys ``model`` (Definition 3).
 
     Stops at the first racy idealized execution.  With ``max_executions``
     set, a clean result may be non-exhaustive (reflected in the report);
     a racy result is always definitive.
+
+    With ``jobs > 1`` the race detection fans out over a process pool in
+    execution-order chunks; the verdict, witness index, and
+    ``executions_checked`` are identical to the serial scan.
     """
+    if jobs > 1:
+        return _check_program_parallel(program, model, max_executions, jobs)
     checked = 0
     truncated = max_executions is not None
     for execution in enumerate_executions(program, max_executions=max_executions):
@@ -75,6 +83,96 @@ def check_program(
                 executions_checked=checked,
                 races=races,
                 witness=execution,
+                exhaustive=True,
+            )
+    exhaustive = not truncated or checked < max_executions
+    return DRFReport(
+        program=program,
+        model=model,
+        obeys=True,
+        executions_checked=checked,
+        exhaustive=exhaustive,
+    )
+
+
+#: Executions per parallel work item — large enough to amortize pickling,
+#: small enough that early-exit on a racy program wastes little work.
+_CHUNK = 32
+
+
+def _check_chunk(payload) -> Optional[Tuple[int, List[Race], Execution]]:
+    """Worker: first racy execution in a chunk, or None if all are clean.
+
+    Races and witness come back in the same return value, so pickling
+    keeps their operation identities mutually consistent.
+    """
+    model, initial_memory, chunk = payload
+    for index, execution in chunk:
+        races = find_races(
+            execution, model=model, initial_memory=dict(initial_memory)
+        )
+        if races:
+            return (index, races, execution)
+    return None
+
+
+def _check_program_parallel(
+    program: Program,
+    model: SynchronizationModel,
+    max_executions: Optional[int],
+    jobs: int,
+) -> DRFReport:
+    """Chunked parallel scan with the serial scan's exact semantics.
+
+    Chunks are dispatched and *judged* in enumeration order, so the
+    first racy chunk's first racy execution is the same witness the
+    serial loop would return.
+    """
+    from collections import deque
+    from concurrent.futures import ProcessPoolExecutor
+
+    truncated = max_executions is not None
+    source = enumerate(
+        enumerate_executions(program, max_executions=max_executions)
+    )
+    initial_memory = dict(program.initial_memory)
+    checked = 0
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        pending = deque()
+
+        def submit_next() -> bool:
+            chunk = list(islice(source, _CHUNK))
+            if not chunk:
+                return False
+            pending.append(
+                (
+                    len(chunk),
+                    pool.submit(_check_chunk, (model, initial_memory, chunk)),
+                )
+            )
+            return True
+
+        # Keep one extra chunk in flight so workers never starve.
+        for _ in range(jobs + 1):
+            if not submit_next():
+                break
+        while pending:
+            size, future = pending.popleft()
+            hit = future.result()
+            if hit is None:
+                checked += size
+                submit_next()
+                continue
+            index, races, witness = hit
+            for _, later in pending:
+                later.cancel()
+            return DRFReport(
+                program=program,
+                model=model,
+                obeys=False,
+                executions_checked=index + 1,
+                races=races,
+                witness=witness,
                 exhaustive=True,
             )
     exhaustive = not truncated or checked < max_executions

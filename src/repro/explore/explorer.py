@@ -33,6 +33,8 @@ from repro.core.execution import Observable
 from repro.core.program import Program
 from repro.memsys.config import MachineConfig, NET_CACHE
 from repro.models.base import OrderingPolicy
+from repro.trace.events import TraceEvent
+from repro.trace.tracer import TraceSpec
 
 
 @dataclass
@@ -49,6 +51,11 @@ class ExplorationReport:
     #: search was not truncated by ``max_runs``).
     exhausted: bool = True
     incomplete_runs: int = 0
+    #: ``(label, events)`` per traced schedule, labelled by its decision
+    #: string — present only when exploring with a ``trace`` spec.
+    run_traces: List[Tuple[str, Tuple[TraceEvent, ...]]] = field(
+        default_factory=list
+    )
 
     @property
     def observables(self) -> Set[Observable]:
@@ -81,6 +88,7 @@ def explore_program(
     inval_virtual_channel: bool = False,
     executor: Optional[Executor] = None,
     jobs: int = 1,
+    trace: Optional[TraceSpec] = None,
 ) -> ExplorationReport:
     """Enumerate all delay-bounded schedules of ``program``.
 
@@ -105,6 +113,8 @@ def explore_program(
             to the serialization point), so necessity experiments for
             the reserve bit must relax it.
         executor/jobs: campaign execution strategy for each wave.
+        trace: record each schedule's event stream onto the report's
+            ``run_traces`` (labelled by decision string).
     """
     config = (config or NET_CACHE).with_overrides(start_skew=0)
     policy_spec = PolicySpec.of(policy_factory)
@@ -135,6 +145,7 @@ def explore_program(
                 schedule=prefix,
                 relaxed_request_channels=relaxed_request_channels,
                 inval_virtual_channel=inval_virtual_channel,
+                trace=trace,
             )
             for prefix in batch
         ]
@@ -144,6 +155,13 @@ def explore_program(
         )
         for prefix, result in zip(batch, campaign.results):
             report.runs += 1
+            if result.trace_events is not None:
+                label = (
+                    "schedule:" + ",".join(map(str, prefix))
+                    if prefix
+                    else "schedule:fifo"
+                )
+                report.run_traces.append((label, result.trace_events))
             if result.completed and result.observable is not None:
                 report.outcomes[result.observable] = (
                     report.outcomes.get(result.observable, 0) + 1

@@ -66,16 +66,35 @@ class FaultyInterconnect(Interconnect):
     def register(self, endpoint: str, handler: Handler) -> None:
         self.inner.register(endpoint, handler)
 
+    def _trace_fault(self, name: str, src: str, dst: str, payload: Any,
+                     delay: int = 0) -> None:
+        tracer = self.sim.tracer
+        if tracer.wants("fault"):
+            tracer.emit(
+                "fault",
+                name,
+                track=self.name,
+                args=(
+                    ("payload", type(payload).__name__),
+                    ("src", src),
+                    ("dst", dst),
+                    ("delay", delay),
+                ),
+            )
+
     def send(self, src: str, dst: str, payload: Any) -> None:
         plan = self.plan
         extra = 0
         if plan.delay_jitter:
             extra += self.rng.randint(0, plan.delay_jitter)
         if plan.reorder_pct and self.rng.randint(1, 100) <= plan.reorder_pct:
-            extra += self.rng.randint(1, plan.reorder_delay)
+            reorder = self.rng.randint(1, plan.reorder_delay)
+            extra += reorder
             self.stats.bump("faults.reorders")
+            self._trace_fault("reorder", src, dst, payload, delay=reorder)
         if extra:
             self.stats.bump("faults.delayed")
+            self._trace_fault("delayed", src, dst, payload, delay=extra)
 
         channel = channel_key(
             src, dst, payload,
@@ -90,12 +109,16 @@ class FaultyInterconnect(Interconnect):
         if plan.duplicate_pct and self.rng.randint(1, 100) <= plan.duplicate_pct:
             if not self.allow_duplicates:
                 self.stats.bump("faults.duplicates_suppressed")
+                self._trace_fault("duplicate_suppressed", src, dst, payload)
                 return
             # The replay trails its original on the same channel.
             dup_at = release_at + 1 + self.rng.randint(0, plan.reorder_delay)
             self._release_floor[channel] = dup_at
             self._schedule_handoff(dup_at, src, dst, payload)
             self.stats.bump("faults.duplicates")
+            self._trace_fault(
+                "duplicate", src, dst, payload, delay=dup_at - release_at
+            )
 
     def _schedule_handoff(
         self, release_at: int, src: str, dst: str, payload: Any

@@ -10,7 +10,7 @@ is interconnect-agnostic.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.sim.engine import Component, Simulator
 from repro.sim.stats import Stats
@@ -57,9 +57,41 @@ class Interconnect(Component):
         """Queue ``payload`` for delivery from ``src`` to ``dst``."""
         raise NotImplementedError
 
-    def _deliver(self, src: str, dst: str, payload: Any) -> None:
+    def _trace_send(self, src: str, dst: str, payload: Any) -> Optional[int]:
+        """Record a ``msg`` flow-start event; returns the flow id linking
+        it to the eventual delivery (None when tracing is off — transports
+        thread the id through their in-flight bookkeeping).  Call sites
+        guard on ``sim.tracer.enabled`` so untraced sends pay one branch,
+        not a method call."""
+        tracer = self.sim.tracer
+        if not tracer.wants("msg"):
+            return None
+        flow_id = tracer.next_flow_id()
+        tracer.emit(
+            "msg",
+            type(payload).__name__,
+            phase="S",
+            track=src,
+            args=(("src", src), ("dst", dst)),
+            flow_id=flow_id,
+        )
+        return flow_id
+
+    def _deliver(
+        self, src: str, dst: str, payload: Any, flow_id: Optional[int] = None
+    ) -> None:
         handler = self._handlers.get(dst)
         if handler is None:
             raise KeyError(f"no handler registered for endpoint {dst!r}")
         self.stats.bump("interconnect.delivered")
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "msg",
+                type(payload).__name__,
+                phase="F",
+                track=dst,
+                args=(("src", src), ("dst", dst)),
+                flow_id=flow_id,
+            )
         handler(payload, src)

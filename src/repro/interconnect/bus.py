@@ -17,7 +17,7 @@ still hold for every pair.  Duplicate injection never targets the bus.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Tuple
+from typing import Any, Deque, Optional, Tuple
 
 from repro.interconnect.base import Interconnect
 from repro.sim.engine import Simulator
@@ -38,12 +38,16 @@ class Bus(Interconnect):
         if transfer_cycles < 1:
             raise ValueError("transfer_cycles must be >= 1")
         self.transfer_cycles = transfer_cycles
-        self._queue: Deque[Tuple[str, str, Any]] = deque()
+        self._queue: Deque[Tuple[str, str, Any, Optional[int]]] = deque()
         self._busy = False
 
     def send(self, src: str, dst: str, payload: Any) -> None:
         self.stats.bump("bus.sent")
-        self._queue.append((src, dst, payload))
+        flow_id = (
+            self._trace_send(src, dst, payload)
+            if self.sim.tracer.enabled else None
+        )
+        self._queue.append((src, dst, payload, flow_id))
         if not self._busy:
             self._grant()
 
@@ -52,10 +56,10 @@ class Bus(Interconnect):
             self._busy = False
             return
         self._busy = True
-        src, dst, payload = self._queue.popleft()
+        src, dst, payload, flow_id = self._queue.popleft()
 
         def complete() -> None:
-            self._deliver(src, dst, payload)
+            self._deliver(src, dst, payload, flow_id=flow_id)
             self._grant()
 
         self.sim.schedule(self.transfer_cycles, complete)

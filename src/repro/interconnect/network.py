@@ -57,6 +57,10 @@ class Network(Interconnect):
 
     def send(self, src: str, dst: str, payload: Any) -> None:
         self.stats.bump("network.sent")
+        flow_id = (
+            self._trace_send(src, dst, payload)
+            if self.sim.tracer.enabled else None
+        )
         latency = self.rng.latency(self.base_latency, self.jitter)
         deliver_at = self.sim.now + latency
         if self.point_to_point_fifo:
@@ -66,6 +70,6 @@ class Network(Interconnect):
             self._last_delivery[channel] = deliver_at
 
         def complete() -> None:
-            self._deliver(src, dst, payload)
+            self._deliver(src, dst, payload, flow_id=flow_id)
 
         self.sim.schedule(deliver_at - self.sim.now, complete)

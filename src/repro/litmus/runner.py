@@ -35,6 +35,9 @@ from repro.litmus.test import LitmusTest
 from repro.memsys.config import MachineConfig
 from repro.sc.verifier import SCVerifier
 from repro.sim.rng import seed_stream
+from repro.trace.events import TraceEvent
+from repro.trace.summary import TraceSummary
+from repro.trace.tracer import TraceSpec
 
 
 @dataclass
@@ -54,6 +57,14 @@ class LitmusResult:
     mean_cycles: float = 0.0
     #: Runs that ended with a failure record (watchdog trip, crash).
     failed_runs: int = 0
+    #: ``(label, events)`` per traced run — present only when the
+    #: campaign carried a :class:`~repro.trace.tracer.TraceSpec`; feeds
+    #: :func:`repro.trace.export.write_trace` directly.
+    run_traces: List[Tuple[str, Tuple[TraceEvent, ...]]] = field(
+        default_factory=list
+    )
+    #: Merged trace telemetry across the campaign's runs.
+    trace_summary: Optional[TraceSummary] = None
 
     @property
     def violated_sc(self) -> bool:
@@ -109,6 +120,7 @@ class LitmusRunner:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         faults: Optional[FaultPlan] = None,
+        trace: Optional[TraceSpec] = None,
     ) -> LitmusResult:
         """Run ``runs`` seeds of ``test`` and classify the outcomes.
 
@@ -119,11 +131,14 @@ class LitmusRunner:
         ``faults`` injects the given :class:`~repro.faults.FaultPlan`
         into every run — adversarial (but legal) message timings under
         which Definition 2's promise must still hold for DRF0 programs.
+
+        ``trace`` records every run's event stream; the result carries
+        per-run traces plus a merged summary.
         """
         policy_spec = PolicySpec.of(policy_factory)
         specs = self.campaign_specs(
             test, policy_spec, config, runs, base_seed, max_cycles,
-            faults=faults,
+            faults=faults, trace=trace,
         )
         campaign = run_campaign(
             specs,
@@ -143,6 +158,7 @@ class LitmusRunner:
         base_seed: int,
         max_cycles: int = 1_000_000,
         faults: Optional[FaultPlan] = None,
+        trace: Optional[TraceSpec] = None,
     ) -> List[RunSpec]:
         """The campaign's unit-of-work list: one spec per derived seed."""
         program = self._executable(test)
@@ -154,6 +170,7 @@ class LitmusRunner:
                 seed=seed,
                 max_cycles=max_cycles,
                 faults=faults,
+                trace=trace,
             )
             for seed in seed_stream(base_seed, runs)
         ]
@@ -174,7 +191,10 @@ class LitmusRunner:
         completed = 0
         total_cycles = 0
         failed = 0
-        for result in results:
+        run_traces: List[Tuple[str, Tuple[TraceEvent, ...]]] = []
+        for i, result in enumerate(results):
+            if result.trace_events is not None:
+                run_traces.append((f"run{i}", result.trace_events))
             if result.failure is not None:
                 failed += 1
             if not result.completed or result.observable is None:
@@ -196,6 +216,10 @@ class LitmusRunner:
             sc_violations=violations,
             mean_cycles=(total_cycles / completed) if completed else 0.0,
             failed_runs=failed,
+            run_traces=run_traces,
+            trace_summary=TraceSummary.merged(
+                r.trace_summary for r in results
+            ),
         )
 
     def sc_outcomes(self, test: LitmusTest) -> Set[Tuple[int, ...]]:

@@ -1,0 +1,53 @@
+"""Logging for the ``repro`` package.
+
+Library code gets loggers from :func:`get_logger` and never configures
+handlers; the CLI (and only the CLI) installs a stderr handler via
+:func:`configure_cli_logging`, mapped from ``-v``/``-q`` counts.  Results
+stay on stdout via ``print``; progress and telemetry chatter goes
+through logging so scripts capturing stdout see clean data.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_ROOT = "repro"
+
+#: Marker attribute identifying the handler installed by
+#: :func:`configure_cli_logging`, so repeated ``main()`` calls (the test
+#: suite invokes the CLI in-process) reconfigure instead of stacking
+#: duplicate handlers.
+_CLI_HANDLER_FLAG = "_repro_cli_handler"
+
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The package logger, or a ``repro.<name>`` child."""
+    return logging.getLogger(f"{_ROOT}.{name}" if name else _ROOT)
+
+
+def configure_cli_logging(verbosity: int = 0) -> None:
+    """Install the CLI's stderr handler at a verbosity-mapped level.
+
+    ``verbosity`` is ``-v`` count minus ``-q`` count:
+    ``<= -1`` → ERROR, ``0`` → WARNING, ``1`` → INFO, ``>= 2`` → DEBUG.
+    """
+    if verbosity <= -1:
+        level = logging.ERROR
+    elif verbosity == 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    root = logging.getLogger(_ROOT)
+    for handler in list(root.handlers):
+        if getattr(handler, _CLI_HANDLER_FLAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    setattr(handler, _CLI_HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.setLevel(level)

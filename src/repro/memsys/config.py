@@ -48,6 +48,9 @@ class MachineConfig:
     #: write buffer's drain delay.
     memory_service_latency: int = 2
     write_buffer_drain_delay: int = 2
+    #: Write-buffer depth (None = unbounded).  With a bound, a write that
+    #: finds the buffer full stalls its processor (``WRITE_BUFFER_FULL``).
+    write_buffer_capacity: Optional[int] = None
     #: Directory retry delay for NACKed (reserved) sync requests.
     directory_retry_delay: int = 8
     #: Invalidations travel on their own virtual network (FIFO among

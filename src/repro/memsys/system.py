@@ -32,6 +32,8 @@ from repro.models.base import OrderingPolicy
 from repro.sim.engine import SimulationTimeout, Simulator
 from repro.sim.rng import TimingRng
 from repro.sim.stats import Stats
+from repro.trace.summary import TraceSummary
+from repro.trace.tracer import TraceSpec
 
 
 class ConfigurationError(ValueError):
@@ -76,6 +78,10 @@ class HardwareRun:
     #: True when the run was cut off by the cycle-budget watchdog (as
     #: opposed to quiescing early with unfinished threads — a deadlock).
     timed_out: bool = False
+    #: Recorded trace events (None unless run with a TraceSpec asking
+    #: for events) and their distilled summary (ditto).
+    trace_events: Optional[tuple] = None
+    trace_summary: Optional[TraceSummary] = None
 
     def describe(self) -> str:
         status = "completed" if self.completed else "DID NOT COMPLETE"
@@ -96,6 +102,7 @@ class System:
         seed: int = 0,
         interconnect_factory=None,
         fault_plan: Optional[FaultPlan] = None,
+        trace: Optional[TraceSpec] = None,
     ) -> None:
         """Build the machine.
 
@@ -117,10 +124,16 @@ class System:
         self.config = config
         self.seed = seed
         self.fault_plan = fault_plan
+        self.trace_spec = trace
 
         self.sim = Simulator()
         self.stats = Stats()
         self.rng = TimingRng(seed)
+        if trace is not None:
+            # Configure before any component builds: construction-time
+            # wiring (counter observers) keys off tracer.wants().
+            self.sim.tracer.configure(trace)
+            self.stats.tracer = self.sim.tracer
 
         if interconnect_factory is not None:
             if fault_plan is not None and not fault_plan.is_null:
@@ -261,6 +274,7 @@ class System:
                 self.interconnect,
                 self.stats,
                 drain_delay=self.config.write_buffer_drain_delay,
+                capacity=self.config.write_buffer_capacity,
             )
             processor = Processor(
                 self.sim,
@@ -294,6 +308,17 @@ class System:
         self.stats.end_all_stalls(self.sim.now)
         self.stats.total_cycles = cycles
 
+        trace_events = trace_summary = None
+        spec = self.trace_spec
+        if spec is not None:
+            recorded = self.sim.tracer.snapshot()
+            if spec.events:
+                trace_events = recorded
+            if spec.summary:
+                trace_summary = TraceSummary.from_events(
+                    recorded, dropped=self.sim.tracer.dropped
+                )
+
         return HardwareRun(
             program=self.program,
             policy_name=self.policy.name,
@@ -306,6 +331,8 @@ class System:
             completed=completed,
             halt_times=self._halt_times_by_thread(),
             timed_out=timed_out,
+            trace_events=trace_events,
+            trace_summary=trace_summary,
         )
 
     # ------------------------------------------------------------------
@@ -359,7 +386,10 @@ def run_program(
     seed: int = 0,
     max_cycles: int = 1_000_000,
     fault_plan: Optional[FaultPlan] = None,
+    trace: Optional[TraceSpec] = None,
 ) -> HardwareRun:
     """One-shot convenience: build a system and run it."""
-    system = System(program, policy, config, seed=seed, fault_plan=fault_plan)
+    system = System(
+        program, policy, config, seed=seed, fault_plan=fault_plan, trace=trace
+    )
     return system.run(max_cycles=max_cycles)

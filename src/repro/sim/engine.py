@@ -12,6 +12,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.trace.tracer import Tracer
+
 
 class SimulationTimeout(RuntimeError):
     """The simulation exceeded its cycle budget without quiescing.
@@ -41,6 +43,8 @@ class Simulator:
         self._time = 0
         self._seq = 0
         self._running = False
+        #: Event tracer, created disabled (see :mod:`repro.trace`).
+        self.tracer = Tracer(self)
 
     @property
     def now(self) -> int:

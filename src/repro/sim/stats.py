@@ -59,6 +59,10 @@ class Stats:
         self._stalls: Dict[Tuple[int, StallReason], int] = defaultdict(int)
         self._stall_starts: Dict[Tuple[int, StallReason], int] = {}
         self.total_cycles: int = 0
+        #: Optional :class:`~repro.trace.tracer.Tracer` mirroring stall
+        #: windows as ``stall`` B/E trace events (set by ``System`` when
+        #: a run is traced; None costs one load + branch per call).
+        self.tracer = None
 
     # -- counters ----------------------------------------------------------
     def bump(self, counter: str, amount: int = 1) -> None:
@@ -73,6 +77,9 @@ class Stats:
         key = (proc, reason)
         if key not in self._stall_starts:
             self._stall_starts[key] = now
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.begin("stall", reason.value, track=f"P{proc}")
 
     def stall_end(self, proc: int, reason: StallReason, now: int) -> None:
         """Close an open stall window and accumulate its cycles."""
@@ -80,12 +87,23 @@ class Stats:
         start = self._stall_starts.pop(key, None)
         if start is not None:
             self._stalls[key] += now - start
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.end("stall", reason.value, track=f"P{proc}")
 
     def end_all_stalls(self, now: int) -> None:
         """Close any windows still open at the end of the run."""
-        for key, start in list(self._stall_starts.items()):
-            self._stalls[key] += now - start
-            del self._stall_starts[key]
+        for (proc, reason), start in list(self._stall_starts.items()):
+            self._stalls[(proc, reason)] += now - start
+            del self._stall_starts[(proc, reason)]
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.end(
+                    "stall",
+                    reason.value,
+                    track=f"P{proc}",
+                    args=(("open_at_end", 1),),
+                )
 
     def stall_cycles(
         self, proc: Optional[int] = None, reason: Optional[StallReason] = None

@@ -1,0 +1,53 @@
+"""Cycle-accurate event tracing and run telemetry.
+
+The observability layer of the simulator: a per-simulation
+:class:`Tracer` records typed, timestamped :class:`TraceEvent` records
+(processor lifecycle, stall windows, cache transitions, reserve bits,
+protocol messages, injected faults), :class:`TraceSummary` distills a
+stream into campaign-sized telemetry, and :mod:`repro.trace.export`
+serializes streams as JSONL or Perfetto-loadable Chrome trace JSON.
+:mod:`repro.trace.crosscheck` pays the correctness dividend: the
+happens-before relation reconstructed from a trace must agree with the
+one the :mod:`repro.hb` module builds from the native execution.
+"""
+
+from repro.trace.crosscheck import (
+    CrosscheckReport,
+    crosscheck_execution,
+    crosscheck_run,
+    execution_from_trace,
+)
+from repro.trace.events import CATEGORIES, PHASES, TraceEvent
+from repro.trace.export import (
+    FORMATS,
+    chrome_events,
+    format_timeline,
+    from_jsonl,
+    to_chrome,
+    to_jsonl,
+    write_trace,
+)
+from repro.trace.summary import TOP_STALLS, StallSpan, TraceSummary
+from repro.trace.tracer import Tracer, TraceSpec
+
+__all__ = [
+    "CATEGORIES",
+    "PHASES",
+    "FORMATS",
+    "TOP_STALLS",
+    "CrosscheckReport",
+    "StallSpan",
+    "TraceEvent",
+    "TraceSpec",
+    "TraceSummary",
+    "Tracer",
+    "chrome_events",
+    "crosscheck_execution",
+    "crosscheck_run",
+    "execution_from_trace",
+    "format_timeline",
+    "from_jsonl",
+    "to_chrome",
+    "to_jsonl",
+    "write_trace",
+]

@@ -1,0 +1,151 @@
+"""The correctness dividend: trace vs. ``hb`` module agreement.
+
+A traced run records every access's commit as a ``proc``/``commit``
+event carrying the full operation identity (processor, kind, location,
+static origin, issue index, values).  That is enough to *reconstruct*
+the run's execution — and therefore its happens-before relation — from
+the event stream alone, independently of the
+:meth:`~repro.memsys.system.System._trace` path that builds the
+authoritative :class:`~repro.core.execution.Execution`.
+
+:func:`crosscheck_run` builds happens-before both ways and compares the
+program-order and synchronization-order edge sets (keyed by static
+operation identity, since the two sides hold distinct
+:class:`~repro.core.operation.MemoryOp` objects).  Any disagreement
+means either the instrumentation or the trace machinery dropped or
+reordered an operation — exactly the class of observability bug that
+would silently corrupt every downstream analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.execution import Execution
+from repro.core.operation import MemoryOp, OpKind
+from repro.hb.relations import SyncEdgeRule, build_happens_before, drf0_sync_edge
+from repro.trace.events import TraceEvent
+
+#: An hb edge keyed by static identity: ((proc, pos, occ), (proc, pos, occ)).
+EdgeKey = Tuple[Tuple[int, int, int], Tuple[int, int, int]]
+
+
+def execution_from_trace(
+    events: Sequence[TraceEvent], completed: bool = True
+) -> Execution:
+    """Rebuild an :class:`Execution` from ``proc``/``commit`` events.
+
+    Operations are ordered by ``(commit time, processor)`` — the same
+    serialization :meth:`System._trace` uses — so the reconstruction is
+    comparable edge-for-edge with the authoritative execution.
+    """
+    ops: List[MemoryOp] = []
+    for event in events:
+        if event.category != "proc" or event.name != "commit":
+            continue
+        op = MemoryOp(
+            proc=event.arg("proc"),
+            kind=OpKind(event.arg("kind")),
+            location=event.arg("location"),
+            thread_pos=event.arg("pos"),
+            occurrence=event.arg("occurrence"),
+            value_read=event.arg("value_read"),
+            value_written=event.arg("value_written"),
+        )
+        op.commit_time = event.time
+        op.issue_index = event.arg("issue_index")
+        ops.append(op)
+    ops.sort(key=lambda op: (op.commit_time, op.proc))
+    return Execution(ops=ops, completed=completed)
+
+
+def _edge_keys(edges: Sequence[Tuple[MemoryOp, MemoryOp]]) -> Set[EdgeKey]:
+    return {(a.static_id(), b.static_id()) for a, b in edges}
+
+
+@dataclass
+class CrosscheckReport:
+    """Agreement (or not) between trace-derived and native happens-before."""
+
+    ops_traced: int
+    ops_native: int
+    #: Edges present on exactly one side, as ("po"|"so", side, edge).
+    mismatches: List[Tuple[str, str, EdgeKey]] = field(default_factory=list)
+    #: Static ids present on exactly one side.
+    missing_ops: List[Tuple[str, Tuple[int, int, int]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.missing_ops
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"trace/hb cross-check OK: {self.ops_traced} ops, "
+                "po and so edge sets agree"
+            )
+        lines = [
+            f"trace/hb cross-check FAILED "
+            f"({self.ops_traced} traced vs {self.ops_native} native ops):"
+        ]
+        for side, op in self.missing_ops:
+            lines.append(f"  op {op} only in {side}")
+        for relation, side, (a, b) in self.mismatches:
+            lines.append(f"  {relation} edge {a} -> {b} only in {side}")
+        return "\n".join(lines)
+
+
+def crosscheck_execution(
+    native: Execution,
+    events: Sequence[TraceEvent],
+    sync_edge_rule: SyncEdgeRule = drf0_sync_edge,
+) -> CrosscheckReport:
+    """Compare happens-before built from ``events`` against ``native``."""
+    traced = execution_from_trace(events, completed=native.completed)
+    report = CrosscheckReport(
+        ops_traced=len(traced.ops), ops_native=len(native.ops)
+    )
+
+    traced_ids = {op.static_id() for op in traced.ops}
+    native_ids = {op.static_id() for op in native.ops}
+    report.missing_ops.extend(
+        ("trace", op_id) for op_id in sorted(traced_ids - native_ids)
+    )
+    report.missing_ops.extend(
+        ("native", op_id) for op_id in sorted(native_ids - traced_ids)
+    )
+    if report.missing_ops:
+        return report
+
+    hb_traced = build_happens_before(traced, sync_edge_rule)
+    hb_native = build_happens_before(native, sync_edge_rule)
+    for relation, traced_edges, native_edges in (
+        ("po", _edge_keys(hb_traced.po_edges()), _edge_keys(hb_native.po_edges())),
+        ("so", _edge_keys(hb_traced.so_edges()), _edge_keys(hb_native.so_edges())),
+    ):
+        report.mismatches.extend(
+            (relation, "trace", edge)
+            for edge in sorted(traced_edges - native_edges)
+        )
+        report.mismatches.extend(
+            (relation, "native", edge)
+            for edge in sorted(native_edges - traced_edges)
+        )
+    return report
+
+
+def crosscheck_run(run) -> CrosscheckReport:
+    """Cross-check a traced :class:`~repro.memsys.system.HardwareRun`.
+
+    The run must have been executed with tracing enabled and the
+    ``proc`` category recorded (``run.trace_events`` is not None).
+    """
+    if run.trace_events is None:
+        raise ValueError(
+            "run carries no trace events; run the system with a TraceSpec "
+            "that includes the 'proc' category"
+        )
+    return crosscheck_execution(run.execution, run.trace_events)

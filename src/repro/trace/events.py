@@ -1,0 +1,85 @@
+"""The trace event vocabulary.
+
+One :class:`TraceEvent` is a typed, timestamped record of something the
+simulated hardware did: a processor issuing or committing an access, a
+stall window opening or closing, a cache line changing state, a reserve
+bit being set, a protocol message entering or leaving the interconnect.
+Events are plain frozen data — picklable, hashable, and cheap — so they
+can ride through :class:`~repro.campaign.spec.RunResult` across process
+boundaries and be exported losslessly (see :mod:`repro.trace.export`).
+
+The ``phase`` field follows the Chrome trace-event convention the
+exporter targets:
+
+=====  =============================================================
+``I``  instant — a point event (issue, commit, reserve set, fault);
+``B``  begin — opens a duration span on ``track`` (stall begin);
+``E``  end — closes the matching ``B`` on the same ``track``/``name``;
+``S``  flow start — a message leaving its source endpoint;
+``F``  flow finish — the same message arriving (matched by ``flow_id``).
+=====  =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Event categories, used by ``--trace-filter`` and the category mask.
+#: Kept as a tuple (not an enum) so filters stay cheap string checks on
+#: the hot path and new instrumentation sites need no central edit.
+CATEGORIES: Tuple[str, ...] = (
+    "proc",     # processor lifecycle: issue / commit / gp / halt
+    "stall",    # stall windows, one span per (processor, StallReason)
+    "cache",    # line fills, state transitions, evictions, invals
+    "reserve",  # reserve-bit set / clear (Section 5.3)
+    "counter",  # outstanding-access counter increments / decrements
+    "msg",      # interconnect sends and deliveries (flow-linked)
+    "dir",      # directory / snoop-coordinator decisions (queue, nack)
+    "wbuf",     # write-buffer enqueue / forward (cache-less machines)
+    "fault",    # injected fault decisions (jitter, reorder, duplicate)
+)
+
+#: Phases, in the sense documented on :class:`TraceEvent`.
+PHASES: Tuple[str, ...] = ("I", "B", "E", "S", "F")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped record in a run's event stream.
+
+    ``args`` is a tuple of ``(key, value)`` pairs rather than a dict so
+    the event is hashable and its pickled form is deterministic; values
+    are restricted by convention to ``str``/``int``/``None`` so every
+    event is JSON-serializable without a custom encoder.
+    """
+
+    time: int
+    category: str
+    name: str
+    phase: str = "I"
+    #: Display track — ``"P0"`` for per-processor lanes, component names
+    #: (``"cache1"``, ``"directory"``, endpoint names) otherwise.
+    track: str = ""
+    args: Tuple[Tuple[str, object], ...] = ()
+    #: Links an ``S`` (send) event to its ``F`` (delivery) event.
+    flow_id: Optional[int] = None
+
+    def arg(self, key: str, default=None):
+        for k, v in self.args:
+            if k == key:
+                return v
+        return default
+
+    def to_dict(self) -> dict:
+        out = {
+            "time": self.time,
+            "category": self.category,
+            "name": self.name,
+            "phase": self.phase,
+            "track": self.track,
+            "args": dict(self.args),
+        }
+        if self.flow_id is not None:
+            out["flow_id"] = self.flow_id
+        return out

@@ -1,0 +1,221 @@
+"""Trace serialization: JSONL, Chrome trace-event JSON, and a timeline.
+
+Two machine formats and one human format:
+
+* :func:`to_jsonl` — one JSON object per line, schema-stable, greppable;
+  the archival format.
+* :func:`to_chrome` — the Chrome trace-event format, loadable in
+  Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.  Stall
+  windows become duration spans on per-processor tracks; protocol
+  messages become flow arrows between endpoint tracks.  Simulation
+  cycles map 1:1 onto the format's microsecond timestamps, so "1 us" in
+  the viewer reads as "1 cycle".
+* :func:`format_timeline` — an aligned plain-text timeline for terminal
+  inspection (the ``repro trace`` subcommand's default output).
+
+Flow arrows need anchors: Perfetto binds ``s``/``f`` flow records to the
+*enclosing slice* on their track, so every send/delivery event is given
+a 1-cycle complete slice (``X``) for the arrow to attach to.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.events import TraceEvent
+
+#: Formats the CLI accepts for ``--trace-format``.
+FORMATS: Tuple[str, ...] = ("jsonl", "chrome")
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def to_jsonl(events: Sequence[TraceEvent]) -> str:
+    """One JSON object per event, one event per line.
+
+    Key order is insertion order (``sort_keys`` would scramble the
+    ``args`` pairs, which are ordered by the emitting site), so the
+    output is deterministic and round-trips through :func:`from_jsonl`.
+    """
+    return "\n".join(json.dumps(event.to_dict()) for event in events)
+
+
+def from_jsonl(text: str) -> Tuple[TraceEvent, ...]:
+    """Parse :func:`to_jsonl` output back into events."""
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        events.append(
+            TraceEvent(
+                time=record["time"],
+                category=record["category"],
+                name=record["name"],
+                phase=record.get("phase", "I"),
+                track=record.get("track", ""),
+                args=tuple(record.get("args", {}).items()),
+                flow_id=record.get("flow_id"),
+            )
+        )
+    return tuple(events)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+def _track_ids(events: Sequence[TraceEvent]) -> Dict[str, int]:
+    """Stable thread ids: processor tracks first (P0, P1, ...), then the
+    other components alphabetically."""
+    tracks = {event.track for event in events}
+    procs = sorted(
+        (t for t in tracks if t.startswith("P") and t[1:].isdigit()),
+        key=lambda t: int(t[1:]),
+    )
+    rest = sorted(tracks - set(procs))
+    return {track: tid for tid, track in enumerate(procs + rest)}
+
+
+def chrome_events(
+    events: Sequence[TraceEvent], pid: int = 0
+) -> List[dict]:
+    """The ``traceEvents`` records of one run, under process id ``pid``."""
+    tids = _track_ids(events)
+    records: List[dict] = [
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": track},
+        }
+        for track, tid in tids.items()
+    ]
+    # Perfetto sorts threads by sort_index, not name.
+    records.extend(
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "name": "thread_sort_index",
+            "args": {"sort_index": tid},
+        }
+        for tid in tids.values()
+    )
+    for event in events:
+        tid = tids[event.track]
+        base = {
+            "pid": pid,
+            "tid": tid,
+            "ts": event.time,
+            "cat": event.category,
+            "name": event.name,
+            "args": dict(event.args),
+        }
+        if event.phase == "B":
+            records.append({**base, "ph": "B"})
+        elif event.phase == "E":
+            records.append({**base, "ph": "E"})
+        elif event.phase in ("S", "F"):
+            # A 1-cycle anchor slice for the flow arrow to bind to, then
+            # the flow record itself (start or finish, matched by id).
+            # Un-linked deliveries (flow_id None) keep the slice only.
+            records.append({**base, "ph": "X", "dur": 1})
+            if event.flow_id is not None:
+                records.append(
+                    {
+                        **base,
+                        "ph": "s" if event.phase == "S" else "f",
+                        "id": event.flow_id,
+                        **({"bp": "e"} if event.phase == "F" else {}),
+                    }
+                )
+        else:
+            records.append({**base, "ph": "i", "s": "t"})
+    return records
+
+
+def to_chrome(
+    groups: Sequence[Tuple[str, Sequence[TraceEvent]]],
+) -> dict:
+    """A Chrome trace-event JSON object from one or more event streams.
+
+    Each ``(label, events)`` group becomes its own process (pid) named
+    ``label``, so a multi-run campaign trace opens in Perfetto as one
+    process per run with per-processor threads inside it.
+    """
+    records: List[dict] = []
+    for pid, (label, events) in enumerate(groups):
+        records.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": label},
+            }
+        )
+        records.extend(chrome_events(events, pid=pid))
+    return {"traceEvents": records, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# File output
+# ----------------------------------------------------------------------
+def write_trace(
+    path: str,
+    groups: Sequence[Tuple[str, Sequence[TraceEvent]]],
+    fmt: str = "chrome",
+) -> None:
+    """Write event groups to ``path`` in ``fmt`` (``jsonl``/``chrome``).
+
+    JSONL output prefixes each event with its group label under the
+    ``"run"`` key so multi-run files stay self-describing.
+    """
+    if fmt == "chrome":
+        with open(path, "w") as handle:
+            json.dump(to_chrome(groups), handle)
+        return
+    if fmt == "jsonl":
+        with open(path, "w") as handle:
+            for label, events in groups:
+                for event in events:
+                    record = event.to_dict()
+                    record["run"] = label
+                    handle.write(json.dumps(record) + "\n")
+        return
+    raise ValueError(f"unknown trace format {fmt!r}; choose from {FORMATS}")
+
+
+# ----------------------------------------------------------------------
+# Terminal timeline
+# ----------------------------------------------------------------------
+_PHASE_GLYPH = {"I": "*", "B": "[", "E": "]", "S": ">", "F": "<"}
+
+
+def format_timeline(
+    events: Sequence[TraceEvent], limit: Optional[int] = None
+) -> str:
+    """An aligned, human-readable timeline of an event stream."""
+    shown = list(events[:limit]) if limit is not None else list(events)
+    if not shown:
+        return "(no events)"
+    time_width = len(str(shown[-1].time))
+    track_width = max(len(event.track) for event in shown)
+    lines = []
+    for event in shown:
+        glyph = _PHASE_GLYPH.get(event.phase, "?")
+        args = " ".join(f"{k}={v}" for k, v in event.args)
+        flow = f" ~{event.flow_id}" if event.flow_id is not None else ""
+        lines.append(
+            f"@{event.time:>{time_width}} {event.track:<{track_width}} "
+            f"{glyph} {event.category}.{event.name}"
+            + (f" {args}" if args else "")
+            + flow
+        )
+    if limit is not None and len(events) > limit:
+        lines.append(f"... ({len(events) - limit} more events)")
+    return "\n".join(lines)

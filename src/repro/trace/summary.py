@@ -1,0 +1,191 @@
+"""Distilling an event stream into campaign-sized telemetry.
+
+A full event trace is a per-run artifact; campaigns need something that
+aggregates.  :class:`TraceSummary` is that distillate: per-reason stall
+histograms (cycles and window counts), protocol message counts by
+payload type, and a longest-stall leaderboard — the "where did the time
+go" report Figure 3 asks of every run.  Summaries merge associatively,
+so :func:`repro.campaign.api.run_campaign` can fold the per-run
+summaries of a whole campaign into one record on its
+:class:`~repro.campaign.metrics.CampaignMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.trace.events import TraceEvent
+
+#: Longest-stall leaderboard length.
+TOP_STALLS = 5
+
+#: One leaderboard entry: (duration, reason, track, begin time, end time).
+StallSpan = Tuple[int, str, str, int, int]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregated telemetry of one traced run (or a merged campaign).
+
+    All fields are plain tuples of strings/ints: picklable, orderable,
+    and JSON-serializable via :meth:`to_dict` without custom encoders.
+    """
+
+    #: (stall reason value, total cycles), sorted by reason.
+    stall_cycles_by_reason: Tuple[Tuple[str, int], ...] = ()
+    #: (stall reason value, number of stall windows), sorted by reason.
+    stall_windows_by_reason: Tuple[Tuple[str, int], ...] = ()
+    #: (protocol payload type name, deliveries), sorted by type name.
+    message_counts: Tuple[Tuple[str, int], ...] = ()
+    #: The longest individual stall windows, longest first.
+    longest_stalls: Tuple[StallSpan, ...] = ()
+    events_recorded: int = 0
+    #: Events lost to the ring bound; > 0 flags a truncated stream.
+    events_dropped: int = 0
+    #: Runs folded into this summary (1 for a single run).
+    runs: int = 1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_events(
+        cls, events: Sequence[TraceEvent], dropped: int = 0
+    ) -> "TraceSummary":
+        """Distill one run's event stream.
+
+        Stall windows are paired ``B``/``E`` events per ``(track,
+        name)``; an unmatched ``B`` (possible only under ring
+        truncation, since :meth:`Stats.end_all_stalls` closes every
+        window at end of run) is ignored rather than guessed at.
+        """
+        stall_cycles: Dict[str, int] = {}
+        stall_windows: Dict[str, int] = {}
+        messages: Dict[str, int] = {}
+        open_stalls: Dict[Tuple[str, str], int] = {}
+        longest: List[StallSpan] = []
+        for event in events:
+            if event.category == "stall":
+                key = (event.track, event.name)
+                if event.phase == "B":
+                    open_stalls[key] = event.time
+                elif event.phase == "E":
+                    start = open_stalls.pop(key, None)
+                    if start is None:
+                        continue
+                    duration = event.time - start
+                    stall_cycles[event.name] = (
+                        stall_cycles.get(event.name, 0) + duration
+                    )
+                    stall_windows[event.name] = stall_windows.get(event.name, 0) + 1
+                    longest.append(
+                        (duration, event.name, event.track, start, event.time)
+                    )
+            elif event.category == "msg" and event.phase == "F":
+                messages[event.name] = messages.get(event.name, 0) + 1
+        longest.sort(key=lambda span: (-span[0], span[3], span[2]))
+        return cls(
+            stall_cycles_by_reason=tuple(sorted(stall_cycles.items())),
+            stall_windows_by_reason=tuple(sorted(stall_windows.items())),
+            message_counts=tuple(sorted(messages.items())),
+            longest_stalls=tuple(longest[:TOP_STALLS]),
+            events_recorded=len(events),
+            events_dropped=dropped,
+            runs=1,
+        )
+
+    @classmethod
+    def merged(cls, summaries: Iterable["TraceSummary"]) -> Optional["TraceSummary"]:
+        """Fold many run summaries into one (None for an empty input)."""
+        summaries = [s for s in summaries if s is not None]
+        if not summaries:
+            return None
+        cycles: Dict[str, int] = {}
+        windows: Dict[str, int] = {}
+        messages: Dict[str, int] = {}
+        longest: List[StallSpan] = []
+        recorded = dropped = runs = 0
+        for summary in summaries:
+            for reason, value in summary.stall_cycles_by_reason:
+                cycles[reason] = cycles.get(reason, 0) + value
+            for reason, value in summary.stall_windows_by_reason:
+                windows[reason] = windows.get(reason, 0) + value
+            for name, value in summary.message_counts:
+                messages[name] = messages.get(name, 0) + value
+            longest.extend(summary.longest_stalls)
+            recorded += summary.events_recorded
+            dropped += summary.events_dropped
+            runs += summary.runs
+        longest.sort(key=lambda span: (-span[0], span[3], span[2]))
+        return cls(
+            stall_cycles_by_reason=tuple(sorted(cycles.items())),
+            stall_windows_by_reason=tuple(sorted(windows.items())),
+            message_counts=tuple(sorted(messages.items())),
+            longest_stalls=tuple(longest[:TOP_STALLS]),
+            events_recorded=recorded,
+            events_dropped=dropped,
+            runs=runs,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries / presentation
+    # ------------------------------------------------------------------
+    def stall_cycles(self, reason: str) -> int:
+        for name, cycles in self.stall_cycles_by_reason:
+            if name == reason:
+                return cycles
+        return 0
+
+    def message_count(self, payload_type: str) -> int:
+        for name, count in self.message_counts:
+            if name == payload_type:
+                return count
+        return 0
+
+    @property
+    def total_stall_cycles(self) -> int:
+        return sum(cycles for _, cycles in self.stall_cycles_by_reason)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(count for _, count in self.message_counts)
+
+    def to_dict(self) -> dict:
+        return {
+            "stall_cycles_by_reason": dict(self.stall_cycles_by_reason),
+            "stall_windows_by_reason": dict(self.stall_windows_by_reason),
+            "message_counts": dict(self.message_counts),
+            "longest_stalls": [list(span) for span in self.longest_stalls],
+            "events_recorded": self.events_recorded,
+            "events_dropped": self.events_dropped,
+            "runs": self.runs,
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"trace summary ({self.runs} run(s), "
+            f"{self.events_recorded} events"
+            + (f", {self.events_dropped} dropped" if self.events_dropped else "")
+            + ")"
+        ]
+        if self.stall_cycles_by_reason:
+            lines.append("  stalls:")
+            window_counts = dict(self.stall_windows_by_reason)
+            for reason, cycles in self.stall_cycles_by_reason:
+                lines.append(
+                    f"    {reason}: {cycles} cycles over "
+                    f"{window_counts.get(reason, 0)} window(s)"
+                )
+        if self.message_counts:
+            lines.append(f"  messages: {self.total_messages}")
+            for name, count in self.message_counts:
+                lines.append(f"    {name}: {count}")
+        if self.longest_stalls:
+            lines.append("  longest stalls:")
+            for duration, reason, track, start, end in self.longest_stalls:
+                lines.append(
+                    f"    {track} {reason}: {duration} cycles "
+                    f"[@{start}..@{end}]"
+                )
+        return "\n".join(lines)

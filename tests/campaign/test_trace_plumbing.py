@@ -1,0 +1,154 @@
+"""Traces ride the campaign layer: specs carry TraceSpec in, results
+carry events and summaries out — identically serial and parallel."""
+
+import json
+import pickle
+
+from repro.campaign import (
+    ParallelExecutor,
+    PolicySpec,
+    RunSpec,
+    SerialExecutor,
+    run_campaign,
+)
+from repro.litmus.catalog import fig1_dekker_all_sync as fig1_dekker_sync
+from repro.litmus.runner import LitmusRunner
+from repro.memsys.config import NET_CACHE
+from repro.models.policies import Def2Policy
+from repro.trace import TraceSpec
+
+
+def traced_specs(runs=4, trace=TraceSpec()):
+    program = fig1_dekker_sync().executable_program()
+    return [
+        RunSpec(
+            program=program,
+            policy=PolicySpec.of(Def2Policy),
+            config=NET_CACHE,
+            seed=seed,
+            trace=trace,
+        )
+        for seed in range(runs)
+    ]
+
+
+class TestRunResultCarriesTrace:
+    def test_traced_spec_returns_events_and_summary(self):
+        (result,) = run_campaign(traced_specs(runs=1)).results
+        assert result.ok
+        assert result.trace_events
+        assert result.trace_summary is not None
+        assert result.trace_summary.events_recorded == len(result.trace_events)
+
+    def test_untraced_spec_returns_none(self):
+        spec = traced_specs(runs=1)[0]
+        untraced = RunSpec(
+            program=spec.program, policy=spec.policy,
+            config=spec.config, seed=spec.seed,
+        )
+        (result,) = run_campaign([untraced]).results
+        assert result.trace_events is None
+        assert result.trace_summary is None
+
+    def test_events_only_spec(self):
+        specs = traced_specs(runs=1, trace=TraceSpec(summary=False))
+        (result,) = run_campaign(specs).results
+        assert result.trace_events
+        assert result.trace_summary is None
+
+    def test_summary_only_spec(self):
+        specs = traced_specs(runs=1, trace=TraceSpec(events=False))
+        (result,) = run_campaign(specs).results
+        assert result.trace_events is None
+        assert result.trace_summary is not None
+
+    def test_traced_result_pickles(self):
+        (result,) = run_campaign(traced_specs(runs=1)).results
+        assert pickle.loads(pickle.dumps(result)) == result
+
+
+class TestSerialParallelTracedEquivalence:
+    def test_traced_results_value_identical(self):
+        # Value equality, not pickle-byte equality: traced events cross
+        # the worker boundary one run at a time, so cross-run string
+        # sharing differs from the serial path even though every field
+        # matches.  (Byte identity across cache round trips is covered
+        # for untraced results in test_cache.py.)
+        specs = traced_specs()
+        serial = run_campaign(specs, executor=SerialExecutor())
+        with ParallelExecutor(jobs=2) as executor:
+            parallel = run_campaign(specs, executor=executor)
+        assert serial.results == parallel.results
+        assert (
+            serial.metrics.trace_summary == parallel.metrics.trace_summary
+        )
+
+
+class TestCampaignMetricsSummary:
+    def test_metrics_fold_per_run_summaries(self):
+        campaign = run_campaign(traced_specs(runs=3), label="traced")
+        merged = campaign.metrics.trace_summary
+        assert merged is not None
+        assert merged.runs == 3
+        assert merged.events_recorded == sum(
+            len(r.trace_events) for r in campaign.results
+        )
+
+    def test_untraced_campaign_has_no_summary(self):
+        spec = traced_specs(runs=1)[0]
+        untraced = RunSpec(
+            program=spec.program, policy=spec.policy,
+            config=spec.config, seed=spec.seed,
+        )
+        campaign = run_campaign([untraced])
+        assert campaign.metrics.trace_summary is None
+
+    def test_metrics_to_dict_json_safe(self):
+        campaign = run_campaign(traced_specs(runs=2), label="traced")
+        record = json.loads(json.dumps(campaign.metrics.to_dict()))
+        assert record["trace_summary"]["runs"] == 2
+
+    def test_describe_mentions_trace(self):
+        campaign = run_campaign(traced_specs(runs=2), label="traced")
+        assert "traced:" in campaign.metrics.describe()
+
+
+class TestLitmusTracePlumbing:
+    def test_runner_collects_per_run_traces(self):
+        result = LitmusRunner().run(
+            fig1_dekker_sync(), Def2Policy, NET_CACHE, runs=3,
+            trace=TraceSpec(),
+        )
+        assert len(result.run_traces) == 3
+        assert [label for label, _ in result.run_traces] == [
+            "run0", "run1", "run2",
+        ]
+        assert all(events for _, events in result.run_traces)
+        assert result.trace_summary.runs == 3
+
+    def test_untraced_runner_result_stays_lean(self):
+        result = LitmusRunner().run(
+            fig1_dekker_sync(), Def2Policy, NET_CACHE, runs=2
+        )
+        assert result.run_traces == []
+        assert result.trace_summary is None
+
+    def test_tracing_does_not_perturb_outcomes(self):
+        plain = LitmusRunner().run(
+            fig1_dekker_sync(), Def2Policy, NET_CACHE, runs=5, base_seed=3
+        )
+        traced = LitmusRunner().run(
+            fig1_dekker_sync(), Def2Policy, NET_CACHE, runs=5, base_seed=3,
+            trace=TraceSpec(),
+        )
+        assert plain.histogram == traced.histogram
+        assert plain.mean_cycles == traced.mean_cycles
+
+    def test_ring_bound_flags_truncation(self):
+        result = LitmusRunner().run(
+            fig1_dekker_sync(), Def2Policy, NET_CACHE, runs=1,
+            trace=TraceSpec(ring=10),
+        )
+        (_, events), = result.run_traces
+        assert len(events) == 10
+        assert result.trace_summary.events_dropped > 0

@@ -1,0 +1,245 @@
+"""Every StallReason is reachable — observability coverage.
+
+The tracer and the Figure-3 aggregation attribute time by
+:class:`~repro.sim.stats.StallReason`; a member no scenario can produce
+is either dead code or a sign the wiring regressed.  Each test here
+drives one reason out of a real simulation (or, for the two gate-only
+capacity knobs, out of the policy gate the processor consults), plus an
+end-of-run test that open stall windows are closed and counted.
+"""
+
+import pytest
+
+from repro.core.operation import OpKind
+from repro.core.program import Program, ThreadBuilder
+from repro.delayset.policy import DelayPolicy
+from repro.interconnect.network import Network
+from repro.litmus.catalog import catalog_by_name
+from repro.memsys.config import NET_CACHE, NET_CACHE_VC, NET_NOCACHE
+from repro.memsys.migration import MigrationController
+from repro.memsys.system import System
+from repro.models.policies import (
+    Def1Policy,
+    Def2Policy,
+    RelaxedPolicy,
+    SCPolicy,
+)
+from repro.sim.stats import StallReason, Stats
+from repro.workloads.locks import release_overlap_program
+
+from tests.models.test_policies import FakeCache, FakeProc, access
+
+
+def stall_reasons(program, policy, config, seed=3, **system_kwargs):
+    """The set of stall reasons one completed run exhibits."""
+    system = System(program, policy, config, seed=seed, **system_kwargs)
+    run = system.run()
+    assert run.completed
+    return {reason for (_, reason) in run.stats.stall_breakdown()}
+
+
+@pytest.fixture(scope="module")
+def dekker():
+    return catalog_by_name()["fig1_dekker"].program
+
+
+class TestEveryReasonIsReachable:
+    def test_read_value(self, dekker):
+        assert StallReason.READ_VALUE in stall_reasons(
+            dekker, RelaxedPolicy(), NET_NOCACHE
+        )
+
+    def test_sc_previous_gp(self, dekker):
+        assert StallReason.SC_PREVIOUS_GP in stall_reasons(
+            dekker, SCPolicy(), NET_NOCACHE
+        )
+
+    def test_def1_sync_waits_prev_and_waits_sync_gp(self):
+        reasons = stall_reasons(
+            release_overlap_program(), Def1Policy(), NET_CACHE
+        )
+        assert StallReason.DEF1_SYNC_WAITS_PREV in reasons
+        assert StallReason.DEF1_WAITS_SYNC_GP in reasons
+
+    def test_def2_sync_commit(self):
+        assert StallReason.DEF2_SYNC_COMMIT in stall_reasons(
+            release_overlap_program(), Def2Policy(), NET_CACHE, seed=0
+        )
+
+    def test_def2_reserved_remote(self):
+        """Condition 5 observed end to end: on a network whose
+        invalidations crawl, the releaser's reserve bit NACKs the
+        acquirer's TestAndSet, and the acquirer's commit wait is
+        attributed to the reserve — not just to the commit."""
+
+        class SlowInvalNetwork(Network):
+            def send(self, src, dst, payload):
+                from repro.coherence.protocol import Inval
+
+                if isinstance(payload, Inval):
+                    self.sim.schedule(
+                        100, lambda: self._deliver(src, dst, payload)
+                    )
+                    return
+                super().send(src, dst, payload)
+
+        t0 = (
+            ThreadBuilder("P0")
+            .label("a").test_and_set("t", "lock").bne("t", 0, "a")
+            .store("x", 42)
+            .sync_store("lock", 0)
+            .build()
+        )
+        t1 = (
+            ThreadBuilder("P1")
+            .load("w", "x")
+            .label("b").test_and_set("t", "lock").bne("t", 0, "b")
+            .load("r2", "x")
+            .sync_store("lock", 0)
+            .build()
+        )
+        program = Program([t0, t1], name="slow_inval_handoff")
+
+        def make_net(sim, stats, rng):
+            return SlowInvalNetwork(
+                sim, stats, rng, base_latency=2, jitter=0,
+                point_to_point_fifo=True, inval_virtual_channel=True,
+            )
+
+        system = System(
+            program, Def2Policy(),
+            NET_CACHE_VC.with_overrides(start_skew=0),
+            seed=0, interconnect_factory=make_net,
+        )
+        run = system.run()
+        assert run.completed
+        assert run.stats.count("dir.sync_nacks") > 0
+        reasons = {r for (_, r) in run.stats.stall_breakdown()}
+        assert StallReason.DEF2_RESERVED_REMOTE in reasons
+
+    def test_def2_flush_reserved_gate(self):
+        # Gate-level: the capacity squeeze is a config corner the stock
+        # machines never hit, but the processor consults exactly this
+        # gate before every issue.
+        policy = Def2Policy()
+        proc = FakeProc(cache=FakeCache(over_capacity=True))
+        assert (
+            policy.issue_gate(proc, OpKind.READ)
+            is StallReason.DEF2_FLUSH_RESERVED
+        )
+
+    def test_def2_miss_bound_gate(self):
+        # Gate-level, same reasoning as the flush gate above.
+        policy = Def2Policy(miss_bound_while_reserved=1)
+        proc = FakeProc(
+            pending=[access(OpKind.WRITE)], cache=FakeCache(reserved=True)
+        )
+        assert (
+            policy.issue_gate(proc, OpKind.READ)
+            is StallReason.DEF2_MISS_BOUND
+        )
+
+    def test_same_location(self):
+        t0 = (
+            ThreadBuilder("P0")
+            .store("x", 1).load("r1", "x").store("x", 2)
+            .build()
+        )
+        t1 = ThreadBuilder("P1").store("y", 1).build()
+        program = Program([t0, t1], name="same_loc")
+        assert StallReason.SAME_LOCATION in stall_reasons(
+            program, RelaxedPolicy(), NET_CACHE, seed=0
+        )
+
+    def test_write_buffer_full(self):
+        burst = Program(
+            [
+                ThreadBuilder("P0")
+                .store("a", 1).store("b", 2).store("c", 3)
+                .store("d", 4).store("e", 5)
+                .build()
+            ],
+            name="write_burst",
+        )
+        config = NET_NOCACHE.with_overrides(write_buffer_capacity=1)
+        assert StallReason.WRITE_BUFFER_FULL in stall_reasons(
+            burst, RelaxedPolicy(), config
+        )
+
+    def test_fence_drain(self):
+        fenced = catalog_by_name()["fig1_dekker_fenced"].program
+        assert StallReason.FENCE_DRAIN in stall_reasons(
+            fenced, RelaxedPolicy(), NET_NOCACHE
+        )
+
+    def test_delay_pair(self, dekker):
+        assert StallReason.DELAY_PAIR in stall_reasons(
+            dekker, DelayPolicy(dekker), NET_NOCACHE
+        )
+
+    def test_migration_drain(self):
+        t0 = (
+            ThreadBuilder("P0")
+            .store("a", 1).store("b", 2).load("r1", "a")
+            .build()
+        )
+        program = Program(
+            [t0, ThreadBuilder("P1").store("d", 4).build(),
+             ThreadBuilder("P2").build()],
+            name="migratable",
+        )
+        system = System(program, Def2Policy(), NET_CACHE, seed=3)
+        MigrationController(system).schedule(thread_id=0, to_proc=2, at_cycle=5)
+        run = system.run()
+        assert run.completed
+        reasons = {r for (_, r) in run.stats.stall_breakdown()}
+        assert StallReason.MIGRATION_DRAIN in reasons
+
+    def test_all_members_are_covered_here(self):
+        """Force this file to grow with the enum: any new StallReason
+        must add a scenario (or an explicit gate-level test) above."""
+        covered = {
+            StallReason.READ_VALUE,
+            StallReason.SC_PREVIOUS_GP,
+            StallReason.DEF1_SYNC_WAITS_PREV,
+            StallReason.DEF1_WAITS_SYNC_GP,
+            StallReason.DEF2_SYNC_COMMIT,
+            StallReason.DEF2_RESERVED_REMOTE,
+            StallReason.DEF2_FLUSH_RESERVED,
+            StallReason.DEF2_MISS_BOUND,
+            StallReason.SAME_LOCATION,
+            StallReason.WRITE_BUFFER_FULL,
+            StallReason.FENCE_DRAIN,
+            StallReason.DELAY_PAIR,
+            StallReason.MIGRATION_DRAIN,
+        }
+        assert covered == set(StallReason)
+
+
+class TestOpenStallsClosedAtEndOfRun:
+    def test_end_all_stalls_closes_and_counts(self):
+        stats = Stats()
+        stats.stall_begin(0, StallReason.READ_VALUE, now=10)
+        stats.stall_begin(1, StallReason.DEF2_SYNC_COMMIT, now=12)
+        stats.stall_end(1, StallReason.DEF2_SYNC_COMMIT, now=20)
+        stats.end_all_stalls(now=30)
+        breakdown = stats.stall_breakdown()
+        assert breakdown[(0, StallReason.READ_VALUE)] == 20
+        assert breakdown[(1, StallReason.DEF2_SYNC_COMMIT)] == 8
+        # Idempotent: a second close adds nothing.
+        stats.end_all_stalls(now=40)
+        assert stats.stall_breakdown() == breakdown
+
+    def test_open_window_emits_closing_trace_event(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        sim.tracer.enable()
+        stats = Stats()
+        stats.tracer = sim.tracer
+        stats.stall_begin(0, StallReason.READ_VALUE, now=0)
+        stats.end_all_stalls(now=25)
+        events = sim.tracer.snapshot()
+        closing = [e for e in events if e.phase == "E"]
+        assert len(closing) == 1
+        assert closing[0].arg("open_at_end") == 1

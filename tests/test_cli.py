@@ -102,6 +102,21 @@ class TestDrfCommand:
         assert main(["drf", "critical_section"]) == 0
         assert "obeys" in capsys.readouterr().out
 
+    def test_parallel_matches_serial_verdict(self, capsys):
+        assert main(["drf", "fig1_dekker", "--jobs", "2"]) == 1
+        parallel_out = capsys.readouterr().out
+        assert main(["drf", "fig1_dekker"]) == 1
+        assert capsys.readouterr().out == parallel_out
+
+    def test_metrics_json(self, tmp_path, capsys):
+        path = tmp_path / "drf.json"
+        assert main(
+            ["drf", "critical_section", "--metrics-json", str(path)]
+        ) == 0
+        (record,) = json.loads(path.read_text())
+        assert record["label"] == "drf:critical_section"
+        assert record["completed_runs"] > 0
+
 
 class TestExploreCommand:
     def test_clean_exploration(self, capsys):
@@ -138,3 +153,119 @@ class TestOtherCommands:
     def test_figure3(self, capsys):
         assert main(["figure3", "--latencies", "4", "16", "--seeds", "2"]) == 0
         assert "DEF1 stall" in capsys.readouterr().out
+
+    def test_figure3_jobs_matches_serial(self, capsys):
+        argv = ["figure3", "--latencies", "4", "16", "--seeds", "2"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_figure3_metrics_json(self, tmp_path, capsys):
+        path = tmp_path / "fig3.json"
+        assert main(
+            ["figure3", "--latencies", "4", "--seeds", "2",
+             "--metrics-json", str(path)]
+        ) == 0
+        (record,) = json.loads(path.read_text())
+        assert record["label"] == "figure3"
+        assert record["completed_runs"] == 4  # 1 latency x 2 seeds x 2 policies
+
+
+class TestTraceCommand:
+    def test_pretty_timeline_with_crosscheck(self, capsys):
+        code = main(
+            ["trace", "fig1_dekker_sync", "--policy", "DEF2", "--limit", "10"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "proc.issue" in out
+        assert "trace summary" in out
+        assert "trace/hb cross-check OK" in out
+
+    def test_filter_restricts_categories(self, capsys):
+        code = main(
+            ["trace", "fig1_dekker_sync", "--filter", "stall", "--limit", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stall." in out
+        assert "proc." not in out
+
+    def test_bad_filter_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "fig1_dekker", "--filter", "bogus"])
+
+    def test_chrome_output_parses_nonempty(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = main(
+            ["trace", "fig1_dekker_sync", "--format", "chrome",
+             "--out", str(path)]
+        )
+        assert code == 0
+        trace = json.loads(path.read_text())
+        assert trace["traceEvents"]
+
+    def test_machine_format_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "fig1_dekker", "--format", "chrome"])
+
+
+class TestTraceOptionsOnCampaignCommands:
+    def test_litmus_trace_chrome_file(self, tmp_path, capsys):
+        path = tmp_path / "litmus.json"
+        code = main(
+            ["litmus", "fig1_dekker", "--policy", "SC",
+             "--machine", "net_nocache", "--runs", "3",
+             "--trace", str(path), "--trace-format", "chrome"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace summary (3 run(s)" in out
+        trace = json.loads(path.read_text())
+        # One process per traced run, with events inside each.
+        process_names = [
+            r["args"]["name"] for r in trace["traceEvents"]
+            if r["ph"] == "M" and r["name"] == "process_name"
+        ]
+        assert process_names == ["run0", "run1", "run2"]
+        assert any(r["ph"] not in ("M",) for r in trace["traceEvents"])
+
+    def test_litmus_trace_jsonl_filtered(self, tmp_path, capsys):
+        path = tmp_path / "litmus.jsonl"
+        code = main(
+            ["litmus", "fig1_dekker", "--runs", "2",
+             "--trace", str(path), "--trace-format", "jsonl",
+             "--trace-filter", "stall,msg"]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records
+        assert set(r["category"] for r in records) <= {"stall", "msg"}
+        assert set(r["run"] for r in records) == {"run0", "run1"}
+
+    def test_trace_filter_without_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["litmus", "fig1_dekker", "--trace-filter", "stall"])
+
+    def test_tracing_does_not_change_litmus_output(self, tmp_path, capsys):
+        plain = ["litmus", "fig1_dekker", "--policy", "SC",
+                 "--machine", "net_nocache", "--runs", "5"]
+        assert main(plain) == 0
+        plain_out = capsys.readouterr().out
+        path = tmp_path / "t.json"
+        assert main(plain + ["--trace", str(path)]) == 0
+        traced_out = capsys.readouterr().out
+        # The traced run prints the same campaign report, plus a summary.
+        assert traced_out.startswith(plain_out.rstrip("\n"))
+        assert "trace summary" in traced_out
+
+
+class TestLoggingFlags:
+    def test_verbose_logs_to_stderr(self, capsys):
+        assert main(["-v", "litmus", "fig1_dekker", "--runs", "2"]) == 0
+        assert "campaign" in capsys.readouterr().err
+
+    def test_default_is_quiet_on_stderr(self, capsys):
+        assert main(["litmus", "fig1_dekker", "--runs", "2"]) == 0
+        assert capsys.readouterr().err == ""

@@ -1,0 +1,84 @@
+"""The correctness dividend, paid in full: the happens-before relation
+reconstructed from trace events must agree with the native ``hb`` build
+for every test in the standard litmus catalog."""
+
+import pytest
+
+from repro.litmus.catalog import standard_catalog
+from repro.memsys.config import NET_CACHE, NET_NOCACHE
+from repro.memsys.system import System
+from repro.models.policies import Def2Policy, SCPolicy
+from repro.trace import TraceSpec, crosscheck_run
+from repro.trace.crosscheck import execution_from_trace
+
+CATALOG = standard_catalog()
+
+
+def traced_run(test, policy, config, seed=7):
+    system = System(
+        test.executable_program(), policy, config, seed=seed,
+        trace=TraceSpec(categories=("proc",)),
+    )
+    run = system.run()
+    assert run.completed, f"{test.name} did not complete"
+    return run
+
+
+@pytest.mark.parametrize(
+    "test", CATALOG, ids=[test.name for test in CATALOG]
+)
+def test_crosscheck_full_catalog_def2(test):
+    report = crosscheck_run(traced_run(test, Def2Policy(), NET_CACHE))
+    assert report.ok, report.describe()
+    assert report.ops_traced == report.ops_native > 0
+
+
+@pytest.mark.parametrize(
+    "test", CATALOG, ids=[test.name for test in CATALOG]
+)
+def test_crosscheck_full_catalog_sc_nocache(test):
+    report = crosscheck_run(traced_run(test, SCPolicy(), NET_NOCACHE))
+    assert report.ok, report.describe()
+
+
+def test_reconstruction_matches_native_op_for_op():
+    test = next(t for t in CATALOG if t.name == "fig1_dekker_sync")
+    run = traced_run(test, Def2Policy(), NET_CACHE)
+    rebuilt = execution_from_trace(run.trace_events)
+    native = run.execution
+    assert [op.static_id() for op in rebuilt.ops] == [
+        op.static_id() for op in native.ops
+    ]
+    assert [op.commit_time for op in rebuilt.ops] == [
+        op.commit_time for op in native.ops
+    ]
+    assert [(op.value_read, op.value_written) for op in rebuilt.ops] == [
+        (op.value_read, op.value_written) for op in native.ops
+    ]
+
+
+def test_crosscheck_requires_trace_events():
+    test = CATALOG[0]
+    system = System(
+        test.executable_program(), Def2Policy(), NET_CACHE, seed=7
+    )
+    run = system.run()
+    with pytest.raises(ValueError, match="no trace events"):
+        crosscheck_run(run)
+
+
+def test_crosscheck_detects_a_dropped_commit():
+    """A stream missing one commit must fail, not silently pass —
+    otherwise the cross-check guards nothing."""
+    test = next(t for t in CATALOG if t.name == "fig1_dekker_sync")
+    run = traced_run(test, Def2Policy(), NET_CACHE)
+    commits = [
+        e for e in run.trace_events
+        if e.category == "proc" and e.name == "commit"
+    ]
+    truncated = tuple(e for e in run.trace_events if e is not commits[-1])
+    from repro.trace.crosscheck import crosscheck_execution
+
+    report = crosscheck_execution(run.execution, truncated)
+    assert not report.ok
+    assert report.missing_ops

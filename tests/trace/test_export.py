@@ -1,0 +1,143 @@
+"""Export formats: JSONL round-trip, Chrome/Perfetto JSON, timeline."""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    TraceEvent,
+    chrome_events,
+    format_timeline,
+    from_jsonl,
+    to_chrome,
+    to_jsonl,
+    write_trace,
+)
+
+EVENTS = (
+    TraceEvent(time=0, category="proc", name="issue", track="P0",
+               args=(("kind", "WRITE"), ("location", "x"))),
+    TraceEvent(time=2, category="stall", name="READ_VALUE", phase="B",
+               track="P1"),
+    TraceEvent(time=3, category="msg", name="Inval", phase="S",
+               track="cache0", flow_id=4),
+    TraceEvent(time=9, category="msg", name="Inval", phase="F",
+               track="cache1", flow_id=4),
+    TraceEvent(time=11, category="stall", name="READ_VALUE", phase="E",
+               track="P1"),
+    TraceEvent(time=12, category="msg", name="Ack", phase="F",
+               track="directory"),  # un-linked delivery: no flow_id
+)
+
+
+class TestJsonl:
+    def test_round_trip_is_lossless(self):
+        assert from_jsonl(to_jsonl(EVENTS)) == EVENTS
+
+    def test_one_json_object_per_line(self):
+        lines = to_jsonl(EVENTS).splitlines()
+        assert len(lines) == len(EVENTS)
+        for line in lines:
+            json.loads(line)
+
+    def test_flow_id_omitted_when_absent(self):
+        record = json.loads(to_jsonl([EVENTS[0]]))
+        assert "flow_id" not in record
+
+    def test_blank_lines_ignored(self):
+        text = to_jsonl(EVENTS[:2]) + "\n\n" + to_jsonl(EVENTS[2:3]) + "\n"
+        assert from_jsonl(text) == EVENTS[:3]
+
+
+class TestChrome:
+    def test_valid_json_with_expected_shapes(self):
+        trace = to_chrome([("run0", EVENTS)])
+        # Must survive a plain JSON round trip (Perfetto's input path).
+        trace = json.loads(json.dumps(trace))
+        records = trace["traceEvents"]
+        assert records
+        phases = {record["ph"] for record in records}
+        assert {"M", "B", "E", "X", "s", "f", "i"} <= phases
+
+    def test_thread_name_metadata_per_track(self):
+        records = chrome_events(EVENTS)
+        names = {
+            record["args"]["name"]
+            for record in records
+            if record["ph"] == "M" and record["name"] == "thread_name"
+        }
+        assert names == {"P0", "P1", "cache0", "cache1", "directory"}
+
+    def test_processor_tracks_get_lowest_tids(self):
+        records = chrome_events(EVENTS)
+        tid_of = {
+            record["args"]["name"]: record["tid"]
+            for record in records
+            if record["ph"] == "M" and record["name"] == "thread_name"
+        }
+        assert tid_of["P0"] == 0
+        assert tid_of["P1"] == 1
+        assert all(tid_of[t] > 1 for t in ("cache0", "cache1", "directory"))
+
+    def test_stall_span_records(self):
+        records = chrome_events(EVENTS)
+        spans = [r for r in records if r["ph"] in ("B", "E")]
+        assert [r["ph"] for r in spans] == ["B", "E"]
+        assert all(r["name"] == "READ_VALUE" for r in spans)
+        assert spans[0]["ts"] == 2 and spans[1]["ts"] == 11
+
+    def test_flow_records_only_for_linked_events(self):
+        records = chrome_events(EVENTS)
+        flows = [r for r in records if r["ph"] in ("s", "f")]
+        # The linked Inval pair yields one s and one f; the un-linked
+        # Ack delivery yields its anchor slice only.
+        assert [r["ph"] for r in flows] == ["s", "f"]
+        assert all(r["id"] == 4 for r in flows)
+        anchors = [r for r in records if r["ph"] == "X"]
+        assert len(anchors) == 3  # S + F + un-linked F
+
+    def test_each_group_is_its_own_process(self):
+        trace = to_chrome([("a", EVENTS[:1]), ("b", EVENTS[1:2])])
+        process_names = {
+            record["pid"]: record["args"]["name"]
+            for record in trace["traceEvents"]
+            if record["ph"] == "M" and record["name"] == "process_name"
+        }
+        assert process_names == {0: "a", 1: "b"}
+
+
+class TestWriteTrace:
+    def test_chrome_file_parses(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_trace(str(path), [("run0", EVENTS)], fmt="chrome")
+        trace = json.loads(path.read_text())
+        assert trace["traceEvents"]
+
+    def test_jsonl_file_labels_runs(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        write_trace(str(path), [("r1", EVENTS[:2]), ("r2", EVENTS[2:3])],
+                    fmt="jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["run"] for r in records] == ["r1", "r1", "r2"]
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            write_trace(str(tmp_path / "x"), [("r", EVENTS)], fmt="xml")
+
+
+class TestTimeline:
+    def test_empty_stream(self):
+        assert format_timeline(()) == "(no events)"
+
+    def test_lines_align_and_carry_args(self):
+        text = format_timeline(EVENTS)
+        lines = text.splitlines()
+        assert len(lines) == len(EVENTS)
+        assert "proc.issue kind=WRITE location=x" in lines[0]
+        assert "[ stall.READ_VALUE" in lines[1]
+        assert "] stall.READ_VALUE" in lines[4]
+        assert lines[2].endswith("~4")
+
+    def test_limit_reports_remainder(self):
+        text = format_timeline(EVENTS, limit=2)
+        assert text.splitlines()[-1] == "... (4 more events)"

@@ -1,0 +1,132 @@
+"""TraceSummary distillation and associative merging."""
+
+import json
+import pickle
+
+from repro.trace import TOP_STALLS, TraceEvent, TraceSummary
+
+
+def stall(track, name, begin, end):
+    return (
+        TraceEvent(time=begin, category="stall", name=name, phase="B",
+                   track=track),
+        TraceEvent(time=end, category="stall", name=name, phase="E",
+                   track=track),
+    )
+
+
+def delivery(name, time=0):
+    return TraceEvent(time=time, category="msg", name=name, phase="F",
+                      track="net")
+
+
+class TestFromEvents:
+    def test_pairs_windows_per_track_and_name(self):
+        events = (
+            *stall("P0", "READ_VALUE", 0, 10),
+            *stall("P1", "READ_VALUE", 5, 7),
+            *stall("P0", "FENCE_DRAIN", 20, 21),
+        )
+        summary = TraceSummary.from_events(events)
+        assert summary.stall_cycles("READ_VALUE") == 12
+        assert summary.stall_cycles("FENCE_DRAIN") == 1
+        assert dict(summary.stall_windows_by_reason) == {
+            "READ_VALUE": 2, "FENCE_DRAIN": 1,
+        }
+        assert summary.total_stall_cycles == 13
+
+    def test_interleaved_tracks_do_not_cross_pair(self):
+        b0, e0 = stall("P0", "READ_VALUE", 0, 100)
+        b1, e1 = stall("P1", "READ_VALUE", 10, 20)
+        summary = TraceSummary.from_events((b0, b1, e1, e0))
+        assert summary.stall_cycles("READ_VALUE") == 110
+
+    def test_unmatched_begin_ignored(self):
+        lone = TraceEvent(time=5, category="stall", name="READ_VALUE",
+                          phase="B", track="P0")
+        summary = TraceSummary.from_events((lone,))
+        assert summary.stall_cycles_by_reason == ()
+        assert summary.events_recorded == 1
+
+    def test_unmatched_end_ignored(self):
+        lone = TraceEvent(time=5, category="stall", name="READ_VALUE",
+                          phase="E", track="P0")
+        summary = TraceSummary.from_events((lone,))
+        assert summary.stall_cycles_by_reason == ()
+
+    def test_message_counts_deliveries_only(self):
+        send = TraceEvent(time=0, category="msg", name="Inval", phase="S",
+                          track="net")
+        events = (send, delivery("Inval", 3), delivery("Ack", 4),
+                  delivery("Ack", 5))
+        summary = TraceSummary.from_events(events)
+        assert dict(summary.message_counts) == {"Inval": 1, "Ack": 2}
+        assert summary.total_messages == 3
+
+    def test_longest_stall_leaderboard_capped_and_sorted(self):
+        events = []
+        for i in range(TOP_STALLS + 3):
+            events.extend(stall("P0", f"R{i}", i * 100, i * 100 + i + 1))
+        summary = TraceSummary.from_events(tuple(events))
+        assert len(summary.longest_stalls) == TOP_STALLS
+        durations = [span[0] for span in summary.longest_stalls]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_dropped_count_carried(self):
+        summary = TraceSummary.from_events((), dropped=17)
+        assert summary.events_dropped == 17
+
+
+class TestMerge:
+    def test_merged_none_of_empty(self):
+        assert TraceSummary.merged([]) is None
+        assert TraceSummary.merged(iter([None, None])) is None
+
+    def test_merge_adds_histograms_and_runs(self):
+        a = TraceSummary.from_events(stall("P0", "READ_VALUE", 0, 4))
+        b = TraceSummary.from_events(
+            (*stall("P0", "READ_VALUE", 0, 6), delivery("Ack"))
+        )
+        merged = TraceSummary.merged([a, None, b])
+        assert merged.runs == 2
+        assert merged.stall_cycles("READ_VALUE") == 10
+        assert dict(merged.stall_windows_by_reason) == {"READ_VALUE": 2}
+        assert merged.message_count("Ack") == 1
+        assert merged.events_recorded == a.events_recorded + b.events_recorded
+
+    def test_merge_is_associative(self):
+        parts = [
+            TraceSummary.from_events(stall("P0", "READ_VALUE", 0, i + 1))
+            for i in range(3)
+        ]
+        left = TraceSummary.merged(
+            [TraceSummary.merged(parts[:2]), parts[2]]
+        )
+        right = TraceSummary.merged(
+            [parts[0], TraceSummary.merged(parts[1:])]
+        )
+        assert left == right
+        assert left == TraceSummary.merged(parts)
+
+
+class TestSerialization:
+    def test_to_dict_is_json_safe(self):
+        summary = TraceSummary.from_events(
+            (*stall("P0", "READ_VALUE", 0, 9), delivery("Inval"))
+        )
+        encoded = json.dumps(summary.to_dict())
+        decoded = json.loads(encoded)
+        assert decoded["stall_cycles_by_reason"] == {"READ_VALUE": 9}
+        assert decoded["runs"] == 1
+
+    def test_picklable(self):
+        summary = TraceSummary.from_events(stall("P0", "READ_VALUE", 0, 9))
+        assert pickle.loads(pickle.dumps(summary)) == summary
+
+    def test_describe_mentions_stalls_and_messages(self):
+        summary = TraceSummary.from_events(
+            (*stall("P0", "READ_VALUE", 0, 9), delivery("Inval"))
+        )
+        text = summary.describe()
+        assert "READ_VALUE: 9 cycles over 1 window(s)" in text
+        assert "Inval: 1" in text

@@ -1,0 +1,157 @@
+"""Tracer mechanics: the overhead contract, filtering, and the ring."""
+
+import pickle
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.trace import CATEGORIES, TraceEvent, TraceSpec
+from repro.trace.tracer import Tracer
+
+
+def make_tracer():
+    sim = Simulator()
+    return sim, sim.tracer
+
+
+class TestDisabledByDefault:
+    def test_simulator_tracer_starts_disabled(self):
+        _, tracer = make_tracer()
+        assert not tracer.enabled
+
+    def test_emit_while_disabled_records_nothing(self):
+        _, tracer = make_tracer()
+        tracer.emit("proc", "issue", track="P0")
+        tracer.begin("stall", "READ_VALUE", track="P0")
+        assert len(tracer) == 0
+        assert tracer.snapshot() == ()
+
+    def test_wants_is_false_when_disabled(self):
+        _, tracer = make_tracer()
+        assert not tracer.wants("proc")
+
+
+class TestRecording:
+    def test_emit_records_time_from_simulator(self):
+        sim, tracer = make_tracer()
+        tracer.enable()
+        sim.schedule(10, lambda: tracer.emit("proc", "issue", track="P0"))
+        sim.run()
+        (event,) = tracer.snapshot()
+        assert event.time == 10
+        assert event.category == "proc"
+        assert event.name == "issue"
+        assert event.track == "P0"
+        assert event.phase == "I"
+
+    def test_category_filter_drops_unwanted(self):
+        _, tracer = make_tracer()
+        tracer.enable(categories=("stall",))
+        tracer.emit("proc", "issue", track="P0")
+        tracer.begin("stall", "READ_VALUE", track="P0")
+        events = tracer.snapshot()
+        assert [e.category for e in events] == ["stall"]
+
+    def test_wants_respects_filter(self):
+        _, tracer = make_tracer()
+        tracer.enable(categories=("msg", "dir"))
+        assert tracer.wants("msg")
+        assert tracer.wants("dir")
+        assert not tracer.wants("proc")
+
+    def test_wants_everything_with_no_filter(self):
+        _, tracer = make_tracer()
+        tracer.enable()
+        assert all(tracer.wants(category) for category in CATEGORIES)
+
+    def test_flow_ids_are_fresh(self):
+        _, tracer = make_tracer()
+        first = tracer.next_flow_id()
+        second = tracer.next_flow_id()
+        assert first != second
+
+    def test_drain_clears(self):
+        _, tracer = make_tracer()
+        tracer.enable()
+        tracer.emit("proc", "issue", track="P0")
+        drained = tracer.drain()
+        assert len(drained) == 1
+        assert len(tracer) == 0
+
+
+class TestRingBuffer:
+    def test_ring_keeps_newest_and_counts_dropped(self):
+        _, tracer = make_tracer()
+        tracer.enable(ring=3)
+        for i in range(7):
+            tracer.emit("counter", f"tick{i}", track="P0")
+        events = tracer.snapshot()
+        assert [e.name for e in events] == ["tick4", "tick5", "tick6"]
+        assert tracer.dropped == 4
+
+    def test_unbounded_never_drops(self):
+        _, tracer = make_tracer()
+        tracer.enable()
+        for i in range(100):
+            tracer.emit("counter", "tick", track="P0")
+        assert len(tracer) == 100
+        assert tracer.dropped == 0
+
+    def test_ring_below_one_rejected(self):
+        _, tracer = make_tracer()
+        with pytest.raises(ValueError):
+            tracer.enable(ring=0)
+
+
+class TestTraceSpec:
+    def test_parse_filter_none_means_all(self):
+        assert TraceSpec.parse_filter(None).categories is None
+        assert TraceSpec.parse_filter("").categories is None
+
+    def test_parse_filter_splits_and_strips(self):
+        spec = TraceSpec.parse_filter(" stall, msg ")
+        assert spec.categories == ("stall", "msg")
+
+    def test_parse_filter_rejects_unknown_category(self):
+        with pytest.raises(ValueError, match="unknown trace categories"):
+            TraceSpec.parse_filter("stall,bogus")
+
+    def test_parse_filter_forwards_kwargs(self):
+        spec = TraceSpec.parse_filter("proc", ring=64, summary=False)
+        assert spec.categories == ("proc",)
+        assert spec.ring == 64
+        assert spec.summary is False
+
+    def test_spec_is_picklable(self):
+        spec = TraceSpec(categories=("stall",), ring=128)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_configure_applies_spec(self):
+        _, tracer = make_tracer()
+        tracer.configure(TraceSpec(categories=("stall",), ring=2))
+        assert tracer.enabled
+        assert tracer.wants("stall")
+        assert not tracer.wants("proc")
+        for _ in range(4):
+            tracer.begin("stall", "READ_VALUE", track="P0")
+        assert len(tracer) == 2
+        assert tracer.dropped == 2
+
+
+class TestEventValueSemantics:
+    def test_events_are_hashable_and_picklable(self):
+        event = TraceEvent(
+            time=5, category="msg", name="Inval", phase="S",
+            track="cache0", args=(("dst", 1),), flow_id=9,
+        )
+        assert hash(event) == hash(pickle.loads(pickle.dumps(event)))
+        assert pickle.loads(pickle.dumps(event)) == event
+
+    def test_arg_lookup(self):
+        event = TraceEvent(
+            time=0, category="proc", name="commit", track="P0",
+            args=(("proc", 0), ("location", "x")),
+        )
+        assert event.arg("location") == "x"
+        assert event.arg("missing") is None
+        assert event.arg("missing", 7) == 7
