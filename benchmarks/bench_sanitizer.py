@@ -1,0 +1,69 @@
+"""SANITIZE — the invariant-checking overhead contract, measured.
+
+The sanitizer mirrors the tracer's deal with the hot paths: disabled it
+must cost a guard branch, enabled it may sweep the whole machine every
+cycle.  This benchmark times the Figure-3 release-overlap workload with
+the sanitizer off, logging, and strict, prints the ratios, and asserts
+the acceptance bounds from the issue: disabled within 5% of the
+pre-instrumentation wall-clock, strict mode under 3x.
+"""
+
+import time
+
+from repro.memsys.config import NET_CACHE
+from repro.memsys.system import run_program
+from repro.models.policies import Def2Policy
+from repro.workloads.locks import release_overlap_program
+
+RUNS = 40
+REPEATS = 3
+
+
+def _campaign(sanitize=None):
+    program = release_overlap_program()
+    for seed in range(RUNS):
+        run = run_program(
+            program, Def2Policy(), NET_CACHE, seed=seed, sanitize=sanitize
+        )
+        assert run.completed
+        assert not run.sanitizer_violations
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_sanitizer_overhead(benchmark):
+    _campaign()  # warm imports and caches outside the timed region
+
+    benchmark.pedantic(_campaign, rounds=1, iterations=1)
+    # ``sanitize=None`` never touches the sanitizer; ``"off"`` goes
+    # through configure() and pays the per-cycle guard branch that
+    # instrumenting the engine added.  Interleave the two measurements
+    # so clock drift hits both alike, then gate the branch cost at 5%.
+    none_s = off_s = float("inf")
+    for _ in range(5):
+        none_s = min(none_s, _best_of(_campaign, repeats=1))
+        off_s = min(off_s, _best_of(lambda: _campaign(sanitize="off"),
+                                    repeats=1))
+    log_s = _best_of(lambda: _campaign(sanitize="log"))
+    strict_s = _best_of(lambda: _campaign(sanitize="strict"))
+
+    print(f"\n[SANITIZE] {RUNS}-run DEF2 Figure-3 workload, best of 5")
+    print(f"  none:    {none_s * 1e3:8.2f} ms")
+    print(f"  off:     {off_s * 1e3:8.2f} ms ({off_s / none_s:.2f}x)")
+    print(f"  log:     {log_s * 1e3:8.2f} ms ({log_s / none_s:.2f}x)")
+    print(f"  strict:  {strict_s * 1e3:8.2f} ms "
+          f"({strict_s / none_s:.2f}x)")
+
+    assert off_s <= none_s * 1.05
+
+    # Full per-cycle sweeps are allowed to cost, but must stay well
+    # inside the same order of magnitude.
+    assert log_s < none_s * 3.0
+    assert strict_s < none_s * 3.0

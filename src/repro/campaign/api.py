@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.sanitizer.triage import TriageConfig, TriageReport
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.executor import Executor, default_executor
@@ -37,6 +40,8 @@ class CampaignResult:
 
     results: List[RunResult] = field(default_factory=list)
     metrics: Optional[CampaignMetrics] = None
+    #: Set when the campaign ran with triage enabled.
+    triage: Optional["TriageReport"] = None
 
     def __iter__(self):
         return iter(self.results)
@@ -74,6 +79,7 @@ def run_campaign(
     label: str = "campaign",
     run_timeout: Optional[float] = None,
     retries: int = 2,
+    triage: Optional["TriageConfig"] = None,
 ) -> CampaignResult:
     """Execute every spec; results come back in spec order.
 
@@ -90,6 +96,11 @@ def run_campaign(
         run_timeout: per-run wall-clock budget in seconds (parallel
             executors only; ignored when ``executor`` is supplied).
         retries: transient-failure retry budget per run (ditto).
+        triage: optional :class:`~repro.sanitizer.triage.TriageConfig`;
+            when set, failing runs are deduplicated by failure
+            signature, shrunk, and written as replayable repro bundles
+            into the configured directory (see
+            :func:`repro.sanitizer.triage.triage_failures`).
     """
     spec_list = list(specs)
     own_executor = executor is None
@@ -126,6 +137,15 @@ def run_campaign(
     wall = time.perf_counter() - started
     completed = sum(1 for r in results if r is not None and r.completed)
     failed = [r for r in results if r is not None and r.failure is not None]
+
+    triage_report = None
+    if triage is not None:
+        from repro.sanitizer.triage import triage_failures
+
+        triage_report = triage_failures(
+            spec_list, results, triage, label=label
+        )
+
     metrics = CampaignMetrics(
         label=label,
         runs=len(spec_list),
@@ -143,6 +163,12 @@ def run_campaign(
         retried_runs=getattr(executor, "retried_runs", 0),
         pool_rebuilds=getattr(executor, "pool_rebuilds", 0),
         degraded=getattr(executor, "degraded", False),
+        triaged_failures=(
+            triage_report.failures_seen if triage_report is not None else 0
+        ),
+        bundles_written=(
+            triage_report.bundles_written if triage_report is not None else 0
+        ),
         trace_summary=TraceSummary.merged(
             r.trace_summary
             for r in results
@@ -150,4 +176,6 @@ def run_campaign(
         ),
     )
     emit_metrics(metrics)
-    return CampaignResult(results=results, metrics=metrics)
+    return CampaignResult(
+        results=results, metrics=metrics, triage=triage_report
+    )

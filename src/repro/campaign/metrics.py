@@ -45,6 +45,10 @@ class CampaignMetrics:
     pool_rebuilds: int = 0
     #: True when repeated pool failures forced in-process execution.
     degraded: bool = False
+    #: Failing runs examined by triage (0 when triage was off or clean).
+    triaged_failures: int = 0
+    #: Repro bundles triage wrote (<= distinct failure signatures).
+    bundles_written: int = 0
     #: Merged per-run trace summary — present only when the campaign's
     #: specs carried a :class:`~repro.trace.tracer.TraceSpec`.
     trace_summary: Optional[TraceSummary] = None
@@ -79,6 +83,11 @@ class CampaignMetrics:
             )
         if self.degraded:
             text += " [degraded to serial]"
+        if self.triaged_failures or self.bundles_written:
+            text += (
+                f" [triaged {self.triaged_failures} -> "
+                f"{self.bundles_written} bundle(s)]"
+            )
         if self.trace_summary is not None:
             text += (
                 f" [traced: {self.trace_summary.events_recorded} events, "

@@ -105,13 +105,20 @@ class RunMetrics:
 
 #: Failure kinds, in roughly increasing distance from the simulation:
 #: ``sim-timeout`` — the cycle-budget watchdog tripped (deterministic);
+#: ``sanitizer``   — a protocol invariant check fired (deterministic);
 #: ``exception``   — spec execution raised (deterministic);
 #: ``wall-timeout``— the run exceeded its wall-clock budget (environment);
 #: ``worker-lost`` — the worker process died and retries were exhausted.
-FAILURE_KINDS = ("sim-timeout", "exception", "wall-timeout", "worker-lost")
+FAILURE_KINDS = (
+    "sim-timeout",
+    "sanitizer",
+    "exception",
+    "wall-timeout",
+    "worker-lost",
+)
 
 #: Failure kinds that are pure functions of the spec — safe to memoise.
-DETERMINISTIC_FAILURES = frozenset({"sim-timeout", "exception"})
+DETERMINISTIC_FAILURES = frozenset({"sim-timeout", "sanitizer", "exception"})
 
 
 @dataclass(frozen=True)
@@ -152,6 +159,14 @@ class RunResult:
     #: :class:`~repro.trace.tracer.TraceSpec` asking for them.
     trace_events: Optional[Tuple[TraceEvent, ...]] = None
     trace_summary: Optional[TraceSummary] = None
+    #: Sanitizer violations recorded during the run (``log`` mode lets
+    #: the run finish and reports them all here; ``strict`` raises on
+    #: the first one, which lands in ``failure`` instead).
+    sanitizer_violations: Tuple[Any, ...] = ()
+    #: Rendered wait-for diagnosis, set when the run hung (watchdog trip
+    #: or quiescence with unfinished threads).  A string, not the
+    #: diagnosis object, so results stay cheaply picklable.
+    diagnosis: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -183,6 +198,11 @@ class RunSpec:
     #: on the :class:`RunResult`.  Tracing never changes simulated
     #: behaviour, so it does not perturb cached (untraced) digests.
     trace: Optional[TraceSpec] = None
+    #: Optional sanitizer mode (``"log"`` or ``"strict"``; None keeps
+    #: the checker off).  Like tracing, the sanitizer observes without
+    #: perturbing simulated behaviour — but strict mode turns the first
+    #: violation into a run failure, so the mode is part of the digest.
+    sanitize: Optional[str] = None
 
     def execute(self) -> RunResult:
         """Run the spec on a freshly built system (pure; picklable)."""
@@ -196,6 +216,7 @@ class RunSpec:
                 seed=self.seed,
                 fault_plan=self.faults,
                 trace=self.trace,
+                sanitize=self.sanitize,
             )
             run = system.run(max_cycles=self.max_cycles)
             return _package(run, choice_log=None)
@@ -216,6 +237,7 @@ class RunSpec:
             self.config,
             seed=self.seed,
             trace=self.trace,
+            sanitize=self.sanitize,
             interconnect_factory=lambda sim, stats, rng: ScheduledInterconnect(
                 sim,
                 stats,
@@ -245,6 +267,9 @@ class RunSpec:
             # Appended only when tracing, so every pre-existing cached
             # digest of an untraced spec stays valid.
             parts.append(repr(self.trace))
+        if self.sanitize is not None:
+            # Same append-when-set rule as ``trace`` above.
+            parts.append(f"sanitize={self.sanitize}")
         return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
 
 
@@ -272,15 +297,16 @@ def _package(run, choice_log: Optional[Tuple[int, ...]]) -> RunResult:
         ),
         halt_times=tuple(run.halt_times),
     )
+    diagnosis = run.deadlock.describe() if run.deadlock is not None else None
     failure = None
     if run.timed_out:
-        failure = RunFailure(
-            kind="sim-timeout",
-            message=(
-                f"simulation watchdog tripped after {run.cycles} cycles "
-                f"without quiescing"
-            ),
+        message = (
+            f"simulation watchdog tripped after {run.cycles} cycles "
+            f"without quiescing"
         )
+        if diagnosis is not None:
+            message = f"{message}\n{diagnosis}"
+        failure = RunFailure(kind="sim-timeout", message=message)
     return RunResult(
         observable=run.observable if run.completed else None,
         cycles=run.cycles,
@@ -290,6 +316,8 @@ def _package(run, choice_log: Optional[Tuple[int, ...]]) -> RunResult:
         failure=failure,
         trace_events=run.trace_events,
         trace_summary=run.trace_summary,
+        sanitizer_violations=run.sanitizer_violations,
+        diagnosis=diagnosis,
     )
 
 
@@ -311,12 +339,17 @@ def execute_spec_guarded(spec: RunSpec) -> RunResult:
     try:
         return spec.execute()
     except Exception as exc:
+        from repro.cpu.counter import CounterUnderflow
+        from repro.sanitizer.checker import ProtocolError, SanitizerViolation
+
+        sanitizer_kinds = (SanitizerViolation, ProtocolError, CounterUnderflow)
+        kind = "sanitizer" if isinstance(exc, sanitizer_kinds) else "exception"
         return RunResult(
             observable=None,
             cycles=0,
             completed=False,
             failure=RunFailure(
-                kind="exception",
+                kind=kind,
                 message=f"{type(exc).__name__}: {exc}",
                 traceback=traceback_module.format_exc(),
             ),

@@ -13,11 +13,14 @@ Subcommands:
 ``figure3``   regenerate the Figure-3 release-stall sweep;
 ``catalog``   list the built-in litmus tests;
 ``delays``    print the Shasha-Snir delay set of a straight-line test;
-``trace``     replay one litmus run with tracing and show its timeline.
+``trace``     replay one litmus run with tracing and show its timeline;
+``fuzz``      run random programs, triaging failures into repro bundles;
+``replay``    re-execute a repro bundle and check its failure signature.
 
 ``litmus``, ``explore``, and ``conformance`` accept ``--trace FILE``
 (with ``--trace-format`` and ``--trace-filter``) to record every run's
-event stream; ``-v``/``-q`` raise/lower progress logging on stderr.
+event stream, and ``--sanitize {log,strict}`` to run the protocol
+sanitizer; ``-v``/``-q`` raise/lower progress logging on stderr.
 
 Examples::
 
@@ -25,10 +28,13 @@ Examples::
     python -m repro litmus my_test.litmus --policy DEF2 --runs 200
     python -m repro litmus fig1_dekker_sync --policy DEF2 --faults heavy
     python -m repro litmus fig1_dekker --trace out.json --trace-format chrome
+    python -m repro litmus fig1_dekker_sync --policy DEF2 --sanitize strict
     python -m repro conformance --faults jitter=12,reorder=20 --jobs 4
     python -m repro drf fig1_dekker --jobs 4
     python -m repro explore fig1_dekker_sync_warm --policy DEF2 --delays 3
     python -m repro trace fig1_dekker_sync --policy DEF2 --filter stall,msg
+    python -m repro fuzz --family spin --seeds 20 --triage-dir bundles/
+    python -m repro replay bundles/fuzz-spin-sim-timeout.json
     python -m repro figure1
 """
 
@@ -156,6 +162,11 @@ def _write_traces(
     )
 
 
+def _sanitize_mode(args: argparse.Namespace) -> Optional[str]:
+    mode = getattr(args, "sanitize", None)
+    return None if mode in (None, "off") else mode
+
+
 def _cmd_litmus(args: argparse.Namespace) -> int:
     test = _load_test(args.test, warm=args.warm)
     runner = LitmusRunner()
@@ -172,6 +183,7 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
             executor=executor,
             faults=faults,
             trace=trace,
+            sanitize=_sanitize_mode(args),
         )
     _write_traces(args, result.run_traces)
     if faults is not None:
@@ -221,6 +233,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             max_runs=args.max_runs,
             executor=executor,
             trace=trace,
+            sanitize=_sanitize_mode(args),
         )
     _write_traces(args, report.run_traces)
     print(report.describe())
@@ -302,7 +315,7 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     with _campaign_metrics(args), _executor_for(args) as executor:
         report = run_conformance(
             runs_per_test=args.runs, executor=executor, faults=faults,
-            trace=trace,
+            trace=trace, sanitize=_sanitize_mode(args),
         )
     _write_traces(args, report.run_traces)
     if faults is not None:
@@ -344,9 +357,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         config,
         seed=args.seed,
         trace=spec,
+        sanitize=_sanitize_mode(args),
     )
     run = system.run(max_cycles=args.max_cycles)
     events = run.trace_events or ()
+    if run.deadlock is not None:
+        print(run.deadlock.describe())
 
     if args.format == "pretty":
         print(format_timeline(events, limit=args.limit))
@@ -378,6 +394,105 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+#: Random-program families ``fuzz`` can draw from.
+_FUZZ_FAMILIES = ("racy", "drf0", "mixed", "spin", "all")
+
+
+def _fuzz_program(family: str, seed: int):
+    from repro.workloads.random_programs import (
+        random_drf0_program,
+        random_mixed_sync_program,
+        random_racy_program,
+        random_spin_program,
+    )
+
+    generators = {
+        "racy": random_racy_program,
+        "drf0": random_drf0_program,
+        "mixed": random_mixed_sync_program,
+        "spin": random_spin_program,
+    }
+    if family == "all":
+        family = _FUZZ_FAMILIES[seed % 4]
+    return generators[family](seed)
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.campaign import PolicySpec, RunSpec, run_campaign
+    from repro.sanitizer.triage import TriageConfig
+
+    config = config_by_name(args.machine)
+    policy_spec = PolicySpec.of(lambda: policy_by_name(args.policy))
+    faults = _parse_faults(args)
+    specs = [
+        RunSpec(
+            program=_fuzz_program(args.family, program_seed),
+            policy=policy_spec,
+            config=config,
+            seed=args.seed + program_seed,
+            max_cycles=args.max_cycles,
+            faults=faults,
+            sanitize=_sanitize_mode(args),
+        )
+        for program_seed in range(args.seeds)
+    ]
+    triage = None
+    if args.triage_dir:
+        triage = TriageConfig(
+            directory=Path(args.triage_dir),
+            shrink=not args.no_shrink,
+            max_bundles=args.max_bundles,
+        )
+    with _campaign_metrics(args), _executor_for(args) as executor:
+        campaign = run_campaign(
+            specs,
+            executor=executor,
+            label=f"fuzz:{args.family}",
+            triage=triage,
+        )
+    print(campaign.metrics.describe())
+    if campaign.triage is not None:
+        print(campaign.triage.describe())
+    failures = campaign.failures
+    if failures and not args.triage_dir:
+        print(f"{len(failures)} failing run(s); re-run with --triage-dir "
+              f"to shrink them into repro bundles")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.sanitizer.bundle import ReproBundle
+
+    path = Path(args.bundle)
+    try:
+        bundle = ReproBundle.from_json(path.read_text())
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"error: cannot load bundle {path}: {exc}")
+    shrunk = ""
+    if bundle.original_instructions:
+        shrunk = (
+            f", shrunk {bundle.original_instructions} -> "
+            f"{bundle.minimized_instructions} instruction(s)"
+        )
+    print(
+        f"bundle {path.name}: expecting {bundle.signature!r} "
+        f"({bundle.kind}{shrunk})"
+    )
+    if bundle.message:
+        print(f"  recorded: {bundle.message}")
+    result, signature, ok = bundle.replay()
+    print(f"  replayed: {signature!r} after {result.cycles} cycles")
+    if result.failure is not None and result.failure.message:
+        print(f"  {result.failure.message.splitlines()[0]}")
+    if result.diagnosis:
+        print(result.diagnosis)
+    if ok:
+        print("replay reproduces the recorded failure signature")
+        return 0
+    print("REPLAY MISMATCH: the failure did not reproduce identically")
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -442,6 +557,14 @@ def build_parser() -> argparse.ArgumentParser:
             "'jitter=12,reorder=20,duplicate=5,salt=1'",
         )
 
+    def add_sanitize_option(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--sanitize", choices=("off", "log", "strict"), default=None,
+            help="check protocol invariants every cycle: log records "
+            "violations on the result, strict fails the run on the "
+            "first one (default off)",
+        )
+
     litmus = sub.add_parser("litmus", help="run a litmus campaign")
     litmus.add_argument("test", help="catalog name or .litmus file")
     litmus.add_argument("--policy", default="RELAXED")
@@ -455,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_campaign_options(litmus)
     add_faults_option(litmus)
     add_trace_options(litmus)
+    add_sanitize_option(litmus)
     litmus.set_defaults(func=_cmd_litmus)
 
     drf = sub.add_parser("drf", help="check a program against DRF0")
@@ -478,6 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--warm", action="store_true")
     add_campaign_options(explore)
     add_trace_options(explore)
+    add_sanitize_option(explore)
     explore.set_defaults(func=_cmd_explore)
 
     fig1 = sub.add_parser("figure1", help="regenerate the Figure-1 matrix")
@@ -502,6 +627,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_campaign_options(conformance)
     add_faults_option(conformance)
     add_trace_options(conformance)
+    add_sanitize_option(conformance)
     conformance.set_defaults(func=_cmd_conformance)
 
     delays = sub.add_parser("delays", help="Shasha-Snir delay set of a test")
@@ -538,7 +664,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None, metavar="N",
         help="show at most N timeline lines (pretty format)",
     )
+    add_sanitize_option(trace)
     trace.set_defaults(func=_cmd_trace)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="run random programs and triage failures into repro bundles",
+    )
+    fuzz.add_argument(
+        "--family", choices=_FUZZ_FAMILIES, default="spin",
+        help="random-program family (spin seeds deterministic hangs; "
+        "all cycles through every family)",
+    )
+    fuzz.add_argument("--seeds", type=int, default=20, metavar="N",
+                      help="number of random programs to generate")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="base timing seed (program seed is added)")
+    fuzz.add_argument("--policy", default="DEF2")
+    fuzz.add_argument("--machine", default="net_cache")
+    fuzz.add_argument("--max-cycles", type=int, default=60_000,
+                      help="cycle watchdog budget per run")
+    fuzz.add_argument(
+        "--triage-dir", metavar="DIR",
+        help="deduplicate failures by signature, shrink each, and "
+        "write replayable repro bundles into DIR",
+    )
+    fuzz.add_argument("--max-bundles", type=int, default=8, metavar="N",
+                      help="bundle at most N distinct failure signatures")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="bundle failing specs without shrinking them")
+    add_campaign_options(fuzz)
+    add_faults_option(fuzz)
+    add_sanitize_option(fuzz)
+    fuzz.set_defaults(func=_cmd_fuzz)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute a repro bundle and verify its failure signature",
+    )
+    replay.add_argument("bundle", help="path to a repro bundle JSON file")
+    replay.set_defaults(func=_cmd_replay)
 
     return parser
 

@@ -75,7 +75,8 @@ class Cache(Component):
         self.reserve_enabled = reserve_enabled
         self.nack_mode = nack_mode
 
-        self.counter = OutstandingCounter()
+        self.counter = OutstandingCounter(owner=self.name, clock=lambda: sim.now)
+        self.sanitizer = sim.sanitizer
         self._lines: Dict[Location, CacheLine] = {}
         #: One outstanding transaction per location (processor enforces
         #: this; asserted here).  Entries persist until global perform.
@@ -180,10 +181,14 @@ class Cache(Component):
                 access.mark_globally_performed(self.sim.now)
             return
         self.stats.bump("cache.read_misses")
-        assert access.location not in self._outstanding, (
-            f"cache {self.cache_id}: miss on {access.location!r} while a "
-            "transaction is open (processor must serialize per location)"
-        )
+        if access.location in self._outstanding:
+            self.sanitizer.protocol_error(
+                "open-transaction",
+                f"read miss on {access.location!r} while a transaction is "
+                f"already open (processor must serialize per location)",
+                component=self.name,
+                location=access.location,
+            )
         if not access.kind.is_sync:
             # In-flight *synchronization* misses never count — even the
             # read-only syncs that the Section 6 refinement routes through
@@ -210,10 +215,14 @@ class Cache(Component):
         self.stats.bump(
             "cache.write_upgrades" if line and line.valid else "cache.write_misses"
         )
-        assert access.location not in self._outstanding, (
-            f"cache {self.cache_id}: miss on {access.location!r} while a "
-            "transaction is open (processor must serialize per location)"
-        )
+        if access.location in self._outstanding:
+            self.sanitizer.protocol_error(
+                "open-transaction",
+                f"write miss on {access.location!r} while a transaction is "
+                f"already open (processor must serialize per location)",
+                component=self.name,
+                location=access.location,
+            )
         if not access.sync_protocol:
             # Data misses are outstanding accesses from the moment they
             # are sent.  A *synchronization* request, however, may be
@@ -315,7 +324,7 @@ class Cache(Component):
             self._inval_while_outstanding.discard(data.location)
             self._lines.pop(data.location, None)
         if not access.kind.is_sync:
-            self.counter.decrement()
+            self.counter.decrement(context=access)
 
     def _on_data_x(self, data: DataX) -> None:
         access = self._outstanding[data.location]
@@ -329,7 +338,7 @@ class Cache(Component):
             self._perform_on_line(access, line, gp_now=True)
             del self._outstanding[data.location]
             if not access.sync_protocol:
-                self.counter.decrement()
+                self.counter.decrement(context=access)
             self._after_sync_commit(access, line)
         else:
             # Parallel-forwarding path: commit now, global perform at
@@ -350,14 +359,20 @@ class Cache(Component):
         access.mark_globally_performed(self.sim.now)
         for waiter in self._gp_waiters.pop(ack.location, []):
             waiter.mark_globally_performed(self.sim.now)
-        self.counter.decrement()
+        self.counter.decrement(context=access)
 
     def _on_inval(self, inval: Inval) -> None:
         line = self._lines.get(inval.location)
         if line is not None and line.valid:
-            assert line.state is LineState.SHARED, (
-                f"Inval for {inval.location!r} hit an exclusive line"
-            )
+            if line.state is not LineState.SHARED:
+                self.sanitizer.protocol_error(
+                    "inval-state",
+                    f"Inval for {inval.location!r} hit a line in state "
+                    f"{line.state.name} (only shared copies are "
+                    f"invalidated; an exclusive owner gets a Recall)",
+                    component=self.name,
+                    location=inval.location,
+                )
             del self._lines[inval.location]
             if self.tracer.enabled:
                 self.tracer.emit(
@@ -386,9 +401,17 @@ class Cache(Component):
                 else:
                     self._stalled_recalls.append(recall)
                 return
-            assert line.state is LineState.EXCLUSIVE and not line.gp_pending, (
-                f"recall for {recall.location!r} in state {line.state}"
-            )
+            if line.state is not LineState.EXCLUSIVE or line.gp_pending:
+                self.sanitizer.protocol_error(
+                    "recall-state",
+                    f"recall for {recall.location!r} hit a line in state "
+                    f"{line.state.name}"
+                    + (" with its MemAck pending" if line.gp_pending else "")
+                    + " (the directory should only recall a settled "
+                    "exclusive owner)",
+                    component=self.name,
+                    location=recall.location,
+                )
             value = line.value
             if recall.downgrade:
                 line.state = LineState.SHARED
@@ -406,8 +429,12 @@ class Cache(Component):
                 RecallAck(recall.location, value, self.cache_id, recall.downgrade)
             )
             return
-        raise AssertionError(
-            f"cache {self.cache_id}: recall for absent line {recall.location!r}"
+        self.sanitizer.protocol_error(
+            "recall-state",
+            f"recall for {recall.location!r}, but this cache holds no copy "
+            f"and no write-back is in flight",
+            component=self.name,
+            location=recall.location,
         )
 
     def _on_sync_nack(self, nack: SyncNack) -> None:

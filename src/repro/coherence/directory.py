@@ -78,6 +78,10 @@ class _OpenTransaction:
     #: True when the requester has already been granted the line and is
     #: only waiting for MemAck (the parallel-forwarding path).
     granted: bool = False
+    #: Cache ids this transaction is waiting on (recall target or
+    #: un-acked invalidation recipients) — the wait-for edges the
+    #: deadlock diagnosis walks.
+    awaiting: Set[int] = field(default_factory=set)
 
 
 class Directory(Component):
@@ -189,7 +193,9 @@ class Directory(Component):
         if entry.state is EntryState.EXCLUSIVE:
             # Recall-to-shared: the owner supplies the value and keeps a
             # shared copy.
-            self._open[request.location] = _OpenTransaction(request=request)
+            self._open[request.location] = _OpenTransaction(
+                request=request, awaiting={entry.owner}
+            )
             self._send(
                 entry.owner,
                 Recall(location=request.location, downgrade=True, for_sync=False),
@@ -203,10 +209,18 @@ class Directory(Component):
         entry = self.entry(request.location)
         self.stats.bump("dir.getx")
         if entry.state is EntryState.EXCLUSIVE:
-            assert entry.owner != request.requester, (
-                "a cache holding the line exclusive must not miss on it"
+            if entry.owner == request.requester:
+                self.sim.sanitizer.protocol_error(
+                    "dir-agreement",
+                    f"cache {request.requester} sent a GetX for "
+                    f"{request.location!r}, a line the directory already "
+                    f"records it as owning exclusively",
+                    component=self.name,
+                    location=request.location,
+                )
+            self._open[request.location] = _OpenTransaction(
+                request=request, awaiting={entry.owner}
             )
-            self._open[request.location] = _OpenTransaction(request=request)
             self._send(
                 entry.owner,
                 Recall(
@@ -233,7 +247,10 @@ class Directory(Component):
         # The parallel-forwarding path: grant the line now, invalidate the
         # sharers concurrently, MemAck when all acks are in.
         txn = _OpenTransaction(
-            request=request, pending_acks=len(other_sharers), granted=True
+            request=request,
+            pending_acks=len(other_sharers),
+            granted=True,
+            awaiting=set(other_sharers),
         )
         self._open[request.location] = txn
         self._send(
@@ -262,9 +279,15 @@ class Directory(Component):
     # -- transaction completion --------------------------------------------------
     def _on_inval_ack(self, ack: InvalAck) -> None:
         txn = self._open.get(ack.location)
-        assert txn is not None and isinstance(txn.request, GetX), (
-            f"unexpected InvalAck for {ack.location!r}"
-        )
+        if txn is None or not isinstance(txn.request, GetX):
+            self.sim.sanitizer.protocol_error(
+                "msg-conservation",
+                f"InvalAck from cache {ack.from_cache} for "
+                f"{ack.location!r} matches no open write transaction",
+                component=self.name,
+                location=ack.location,
+            )
+        txn.awaiting.discard(ack.from_cache)
         txn.pending_acks -= 1
         if txn.pending_acks == 0:
             self._send(txn.request.requester, MemAck(ack.location))
@@ -272,7 +295,14 @@ class Directory(Component):
 
     def _on_recall_ack(self, ack: RecallAck) -> None:
         txn = self._open.get(ack.location)
-        assert txn is not None, f"unexpected RecallAck for {ack.location!r}"
+        if txn is None:
+            self.sim.sanitizer.protocol_error(
+                "msg-conservation",
+                f"RecallAck from cache {ack.from_cache} for "
+                f"{ack.location!r} matches no open transaction",
+                component=self.name,
+                location=ack.location,
+            )
         entry = self.entry(ack.location)
         entry.value = ack.value
         request = txn.request
@@ -298,7 +328,14 @@ class Directory(Component):
         # The refused recall may serve either a GetX (sync or data write)
         # or a GetS (data read of a reserved line); both retry.
         txn = self._open.get(nack.location)
-        assert txn is not None, f"unexpected RecallNack for {nack.location!r}"
+        if txn is None:
+            self.sim.sanitizer.protocol_error(
+                "msg-conservation",
+                f"RecallNack from cache {nack.from_cache} for "
+                f"{nack.location!r} matches no open transaction",
+                component=self.name,
+                location=nack.location,
+            )
         self.stats.bump("dir.sync_nacks")
         tracer = self.sim.tracer
         if tracer.enabled:

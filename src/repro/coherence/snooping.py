@@ -263,7 +263,8 @@ class SnoopingCache(Component):
         self.hit_latency = hit_latency
         self.reserve_enabled = reserve_enabled
 
-        self.counter = OutstandingCounter()
+        self.counter = OutstandingCounter(owner=self.name, clock=lambda: sim.now)
+        self.sanitizer = sim.sanitizer
         self._lines: Dict[Location, CacheLine] = {}
         self._outstanding: Dict[Location, MemoryAccess] = {}
         #: Dirty lines awaiting their BusWB grant; snoopable, and
@@ -383,10 +384,14 @@ class SnoopingCache(Component):
             self._perform(access, line)
             return
         self.stats.bump("snoopcache.misses")
-        assert access.location not in self._outstanding, (
-            f"snooping cache {self.cache_id}: second miss on "
-            f"{access.location!r} while one is outstanding"
-        )
+        if access.location in self._outstanding:
+            self.sanitizer.protocol_error(
+                "open-transaction",
+                f"second miss on {access.location!r} while one is already "
+                f"outstanding (processor must serialize per location)",
+                component=self.name,
+                location=access.location,
+            )
         self.counter.increment()
         self._outstanding[access.location] = access
         if needs_exclusive:
@@ -450,7 +455,7 @@ class SnoopingCache(Component):
                 LineState.EXCLUSIVE if payload.exclusive else LineState.SHARED
             )
             line = self._install(payload.location, state, payload.value)
-            self.counter.decrement()
+            self.counter.decrement(context=access)
             self._perform(access, line)
             # Release the atomic bus: the transfer is complete.
             self._send(SnoopDone(payload.location))

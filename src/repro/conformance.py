@@ -169,6 +169,7 @@ def run_conformance(
     cache: Optional[ResultCache] = None,
     faults: Optional[FaultPlan] = None,
     trace: Optional[TraceSpec] = None,
+    sanitize: Optional[str] = None,
 ) -> ConformanceReport:
     """Audit every (machine, policy) pair against the litmus battery.
 
@@ -185,6 +186,10 @@ def run_conformance(
 
     ``trace`` records every run in the grid; the report carries the
     labelled per-run traces and a merged summary.
+
+    ``sanitize`` runs every cell under the protocol sanitizer
+    (``"log"`` or ``"strict"``) — the conformance grid doubling as a
+    protocol-invariant audit.
     """
     runner = runner or LitmusRunner()
     tests = list(tests) if tests is not None else standard_catalog()
@@ -208,7 +213,7 @@ def run_conformance(
             for test in tests:
                 test_specs = runner.campaign_specs(
                     test, policy_spec, config, runs_per_test, base_seed,
-                    faults=faults, trace=trace,
+                    faults=faults, trace=trace, sanitize=sanitize,
                 )
                 blocks.append((test, len(specs), len(test_specs)))
                 specs.extend(test_specs)

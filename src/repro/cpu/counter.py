@@ -8,6 +8,11 @@ decremented when the miss resolves (line receipt) or when a memory ack
 reports a shared-line write globally performed.  Reserve bits are cleared
 — and stalled synchronization requests serviced — "when the counter
 reads zero", which is exposed here as one-shot zero callbacks.
+
+A decrement below zero means the protocol double-completed an access (or
+completed one it never issued) and raises :class:`CounterUnderflow` with
+the owning component, cycle, and offending access — a real exception, not
+an ``assert`` that vanishes under ``python -O``.
 """
 
 from __future__ import annotations
@@ -15,10 +20,62 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 
-class OutstandingCounter:
-    """Counts outstanding accesses; fires callbacks on reaching zero."""
+def _describe_context(context: object) -> str:
+    """Short human-readable form of the access that triggered an error."""
+    kind = getattr(context, "kind", None)
+    location = getattr(context, "location", None)
+    if kind is not None and location is not None:
+        kind_name = getattr(kind, "value", kind)
+        proc = getattr(context, "proc", "?")
+        return f"{kind_name} on {location!r} (proc {proc})"
+    return str(context)
 
-    def __init__(self) -> None:
+
+class CounterUnderflow(RuntimeError):
+    """An outstanding-access counter was decremented below zero.
+
+    The bracketed ``[counter-underflow]`` message prefix is the rule tag
+    the triage layer's failure signatures key on.
+    """
+
+    def __init__(
+        self,
+        owner: str,
+        cycle: Optional[int] = None,
+        context: Optional[object] = None,
+    ) -> None:
+        where = owner or "counter"
+        at = f" at cycle {cycle}" if cycle is not None else ""
+        detail = (
+            f" while completing {_describe_context(context)}"
+            if context is not None
+            else ""
+        )
+        super().__init__(
+            f"[counter-underflow] {where}: outstanding-access counter "
+            f"decremented below zero{at}{detail}"
+        )
+        self.owner = owner
+        self.cycle = cycle
+        self.context = context
+
+
+class OutstandingCounter:
+    """Counts outstanding accesses; fires callbacks on reaching zero.
+
+    ``owner`` names the component the counter belongs to and ``clock``
+    (a zero-argument callable returning the current cycle) timestamps
+    :class:`CounterUnderflow` diagnostics; both are optional so the
+    counter stays usable standalone in tests.
+    """
+
+    def __init__(
+        self,
+        owner: str = "",
+        clock: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.owner = owner
+        self._clock = clock
         self._value = 0
         self._on_zero: List[Callable[[], None]] = []
         #: Optional observer called with the new value after every
@@ -38,9 +95,20 @@ class OutstandingCounter:
         if self.observer is not None:
             self.observer(self._value)
 
-    def decrement(self) -> None:
+    def decrement(self, context: Optional[object] = None) -> None:
+        """Complete one outstanding access.
+
+        ``context`` (typically the completing
+        :class:`~repro.cpu.access.MemoryAccess`) is only touched on the
+        failure path, where it is folded into the
+        :class:`CounterUnderflow` message.
+        """
         if self._value <= 0:
-            raise RuntimeError("outstanding-access counter underflow")
+            raise CounterUnderflow(
+                self.owner,
+                cycle=self._clock() if self._clock is not None else None,
+                context=context,
+            )
         self._value -= 1
         if self.observer is not None:
             self.observer(self._value)

@@ -101,6 +101,11 @@ class Processor(Component):
         #: on, if any — the anchor for attributing remote reserve NACKs
         #: (condition 5's DEF2_RESERVED_REMOTE stall) to this processor.
         self._commit_wait_loc = None
+        #: The access the pipeline is hard-blocked on (value/commit/gp)
+        #: and which milestone it awaits — read by the deadlock
+        #: diagnosis to draw processor wait-for edges.
+        self.blocked_access: Optional[MemoryAccess] = None
+        self.blocked_until: Optional[str] = None
         if cache is not None and hasattr(cache, "on_sync_nack"):
             cache.on_sync_nack.append(self._on_sync_nack)
 
@@ -286,6 +291,12 @@ class Processor(Component):
         self.stats.stall_begin(self.proc_id, reason, started)
         if block is BlockKind.COMMIT:
             self._commit_wait_loc = access.location
+        self.blocked_access = access
+        self.blocked_until = {
+            BlockKind.VALUE: "value",
+            BlockKind.COMMIT: "commit",
+            BlockKind.GP: "global perform",
+        }[block]
 
         def resume(_a: MemoryAccess) -> None:
             self.stats.stall_end(self.proc_id, reason, self.sim.now)
@@ -296,6 +307,8 @@ class Processor(Component):
                 self.stats.stall_end(
                     self.proc_id, StallReason.DEF2_RESERVED_REMOTE, self.sim.now
                 )
+            self.blocked_access = None
+            self.blocked_until = None
             self._busy = False
             self.sim.call_soon(self._advance)
 

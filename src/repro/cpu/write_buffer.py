@@ -67,6 +67,12 @@ class WriteBufferPort(Component):
         self._head_issued = False
         self._inflight: Dict[int, MemoryAccess] = {}
         self._tokens = itertools.count()
+        self.sanitizer = sim.sanitizer
+        #: Per-location FIFO bookkeeping, maintained only when the
+        #: sanitizer is enabled: enqueue stamps and the stamp of the
+        #: last write drained per location.
+        self._enqueue_seq = 0
+        self._drained_seq: Dict[Any, int] = {}
         interconnect.register(port_endpoint(proc_id), self._on_message)
 
     # ------------------------------------------------------------------
@@ -96,6 +102,9 @@ class WriteBufferPort(Component):
         access.value_written = access.compute_write(0)
         access.mark_committed(self.sim.now)
         self._buffer.append(access)
+        if self.sanitizer.enabled:
+            self._enqueue_seq += 1
+            access.wbuf_seq = self._enqueue_seq
         self.stats.bump("wbuf.enqueued")
         tracer = self.sim.tracer
         if tracer.enabled:
@@ -198,7 +207,32 @@ class WriteBufferPort(Component):
             access.mark_committed(self.sim.now)
             access.mark_globally_performed(self.sim.now)
         elif isinstance(payload, MemWriteAck):
-            assert self._buffer and self._buffer[0] is access
+            if not self._buffer or self._buffer[0] is not access:
+                head = (
+                    f"the buffer head is a write to "
+                    f"{self._buffer[0].location!r}"
+                    if self._buffer
+                    else "the write buffer is empty"
+                )
+                self.sanitizer.protocol_error(
+                    "wbuf-fifo",
+                    f"MemWriteAck for {access.location!r} does not match "
+                    f"the FIFO drain order: {head}",
+                    component=self.name,
+                    location=access.location,
+                )
+            if self.sanitizer.enabled:
+                seq = getattr(access, "wbuf_seq", 0)
+                last = self._drained_seq.get(access.location, 0)
+                if seq <= last:
+                    self.sanitizer.record(
+                        "wbuf-fifo",
+                        f"write to {access.location!r} drained out of "
+                        f"per-location order (stamp {seq} after {last})",
+                        component=self.name,
+                        location=access.location,
+                    )
+                self._drained_seq[access.location] = seq
             self._buffer.popleft()
             self._head_issued = False
             access.mark_globally_performed(self.sim.now)

@@ -89,6 +89,7 @@ def explore_program(
     executor: Optional[Executor] = None,
     jobs: int = 1,
     trace: Optional[TraceSpec] = None,
+    sanitize: Optional[str] = None,
 ) -> ExplorationReport:
     """Enumerate all delay-bounded schedules of ``program``.
 
@@ -115,6 +116,10 @@ def explore_program(
         executor/jobs: campaign execution strategy for each wave.
         trace: record each schedule's event stream onto the report's
             ``run_traces`` (labelled by decision string).
+        sanitize: run every schedule under the protocol sanitizer
+            (``"log"`` or ``"strict"``) — systematic exploration plus
+            invariant checking covers corner schedules random seeds
+            rarely reach.
     """
     config = (config or NET_CACHE).with_overrides(start_skew=0)
     policy_spec = PolicySpec.of(policy_factory)
@@ -146,6 +151,7 @@ def explore_program(
                 relaxed_request_channels=relaxed_request_channels,
                 inval_virtual_channel=inval_virtual_channel,
                 trace=trace,
+                sanitize=sanitize,
             )
             for prefix in batch
         ]

@@ -121,6 +121,8 @@ class LitmusRunner:
         cache: Optional[ResultCache] = None,
         faults: Optional[FaultPlan] = None,
         trace: Optional[TraceSpec] = None,
+        sanitize: Optional[str] = None,
+        triage=None,
     ) -> LitmusResult:
         """Run ``runs`` seeds of ``test`` and classify the outcomes.
 
@@ -134,11 +136,16 @@ class LitmusRunner:
 
         ``trace`` records every run's event stream; the result carries
         per-run traces plus a merged summary.
+
+        ``sanitize`` turns on the protocol sanitizer per run (``"log"``
+        or ``"strict"``); ``triage`` is an optional
+        :class:`~repro.sanitizer.triage.TriageConfig` directing failing
+        runs into shrunk repro bundles.
         """
         policy_spec = PolicySpec.of(policy_factory)
         specs = self.campaign_specs(
             test, policy_spec, config, runs, base_seed, max_cycles,
-            faults=faults, trace=trace,
+            faults=faults, trace=trace, sanitize=sanitize,
         )
         campaign = run_campaign(
             specs,
@@ -146,6 +153,7 @@ class LitmusRunner:
             jobs=jobs,
             cache=cache,
             label=f"litmus:{test.name}:{config.name}:{policy_spec.name}",
+            triage=triage,
         )
         return self.collect(test, policy_spec.name, config.name, campaign.results)
 
@@ -159,6 +167,7 @@ class LitmusRunner:
         max_cycles: int = 1_000_000,
         faults: Optional[FaultPlan] = None,
         trace: Optional[TraceSpec] = None,
+        sanitize: Optional[str] = None,
     ) -> List[RunSpec]:
         """The campaign's unit-of-work list: one spec per derived seed."""
         program = self._executable(test)
@@ -171,6 +180,7 @@ class LitmusRunner:
                 max_cycles=max_cycles,
                 faults=faults,
                 trace=trace,
+                sanitize=sanitize,
             )
             for seed in seed_stream(base_seed, runs)
         ]

@@ -29,6 +29,8 @@ from repro.interconnect.network import Network
 from repro.memsys.config import CoherenceStyle, InterconnectKind, MachineConfig
 from repro.memsys.memory import MemoryModule
 from repro.models.base import OrderingPolicy
+from repro.sanitizer.checker import Violation
+from repro.sanitizer.deadlock import DeadlockDiagnosis, diagnose
 from repro.sim.engine import SimulationTimeout, Simulator
 from repro.sim.rng import TimingRng
 from repro.sim.stats import Stats
@@ -82,13 +84,23 @@ class HardwareRun:
     #: for events) and their distilled summary (ditto).
     trace_events: Optional[tuple] = None
     trace_summary: Optional[TraceSummary] = None
+    #: Sanitizer violations collected in ``log`` mode (``strict`` raises
+    #: instead; empty when the sanitizer was off).
+    sanitizer_violations: tuple = ()
+    #: Wait-for-graph diagnosis, present whenever the run failed to
+    #: complete (watchdog trip or quiet deadlock) — regardless of the
+    #: sanitizer mode.
+    deadlock: Optional[DeadlockDiagnosis] = None
 
     def describe(self) -> str:
         status = "completed" if self.completed else "DID NOT COMPLETE"
-        return (
+        text = (
             f"[{self.config_name}/{self.policy_name} seed={self.seed}] "
             f"{status} in {self.cycles} cycles: {self.observable.describe()}"
         )
+        if self.deadlock is not None:
+            text += "\n" + self.deadlock.describe()
+        return text
 
 
 class System:
@@ -103,6 +115,7 @@ class System:
         interconnect_factory=None,
         fault_plan: Optional[FaultPlan] = None,
         trace: Optional[TraceSpec] = None,
+        sanitize: Optional[str] = None,
     ) -> None:
         """Build the machine.
 
@@ -117,6 +130,12 @@ class System:
         incompatible with a custom ``interconnect_factory`` (the
         explorer's scheduled transport is already adversarial and
         replay-exact).
+
+        ``sanitize`` turns on the protocol-invariant checker
+        (:mod:`repro.sanitizer`): ``"log"`` collects violations on the
+        result, ``"strict"`` raises
+        :class:`~repro.sanitizer.checker.SanitizerViolation` at the
+        first one.  ``None``/``"off"`` costs one branch per cycle.
         """
         ensure_compatible(policy, config)
         self.program = program
@@ -125,6 +144,7 @@ class System:
         self.seed = seed
         self.fault_plan = fault_plan
         self.trace_spec = trace
+        self.sanitize_mode = sanitize
 
         self.sim = Simulator()
         self.stats = Stats()
@@ -134,6 +154,10 @@ class System:
             # wiring (counter observers) keys off tracer.wants().
             self.sim.tracer.configure(trace)
             self.stats.tracer = self.sim.tracer
+        if sanitize is not None:
+            self.sim.sanitizer.configure(sanitize)
+            if self.sim.sanitizer.enabled:
+                self.sim.sanitizer.attach(self)
 
         if interconnect_factory is not None:
             if fault_plan is not None and not fault_plan.is_null:
@@ -308,6 +332,15 @@ class System:
         self.stats.end_all_stalls(self.sim.now)
         self.stats.total_cycles = cycles
 
+        # A failed run always gets a wait-for diagnosis (watchdog trip
+        # or quiet deadlock); the sanitizer's end-of-run checks run only
+        # when enabled — in strict mode a violation raises from here.
+        deadlock = diagnose(self, timed_out=timed_out) if not completed else None
+        sanitizer = self.sim.sanitizer
+        if sanitizer.enabled:
+            sanitizer.finish(completed=completed)
+        violations = tuple(sanitizer.violations)
+
         trace_events = trace_summary = None
         spec = self.trace_spec
         if spec is not None:
@@ -333,6 +366,8 @@ class System:
             timed_out=timed_out,
             trace_events=trace_events,
             trace_summary=trace_summary,
+            sanitizer_violations=violations,
+            deadlock=deadlock,
         )
 
     # ------------------------------------------------------------------
@@ -387,9 +422,11 @@ def run_program(
     max_cycles: int = 1_000_000,
     fault_plan: Optional[FaultPlan] = None,
     trace: Optional[TraceSpec] = None,
+    sanitize: Optional[str] = None,
 ) -> HardwareRun:
     """One-shot convenience: build a system and run it."""
     system = System(
-        program, policy, config, seed=seed, fault_plan=fault_plan, trace=trace
+        program, policy, config, seed=seed, fault_plan=fault_plan,
+        trace=trace, sanitize=sanitize,
     )
     return system.run(max_cycles=max_cycles)

@@ -1,0 +1,65 @@
+"""Protocol sanitizer, deadlock diagnosis, and failure triage.
+
+The robustness layer of the reproduction: a per-simulation
+:class:`Sanitizer` checks the protocol invariants the paper's
+correctness argument rests on (single-writer/multiple-reader,
+directory–cache agreement, reserve-bit/counter consistency, write-buffer
+FIFO, message conservation, end-of-run quiescence); on a watchdog trip
+:func:`~repro.sanitizer.deadlock.diagnose` rebuilds the wait-for graph
+and names the deadlock cycle; and on any failing
+:class:`~repro.campaign.spec.RunSpec` the
+:func:`~repro.sanitizer.shrink.shrink_spec` delta-debugger minimizes
+the spec into a deterministic, replayable
+:class:`~repro.sanitizer.bundle.ReproBundle` that campaigns triage into
+a bundles directory (``repro replay`` re-runs one).
+
+Only :mod:`~repro.sanitizer.checker` is imported eagerly: the simulator
+engine imports it at startup, so everything that reaches back into the
+simulation stack (bundle/shrink/triage/deadlock) resolves lazily via
+module ``__getattr__`` to keep the import graph acyclic.
+"""
+
+from repro.sanitizer.checker import (
+    MODES,
+    ProtocolError,
+    Sanitizer,
+    SanitizerViolation,
+    Violation,
+    parse_mode,
+)
+
+#: Lazily resolved exports (PEP 562) — see module docstring.
+_LAZY = {
+    "BUNDLE_FORMAT": "repro.sanitizer.bundle",
+    "ReproBundle": "repro.sanitizer.bundle",
+    "spec_from_dict": "repro.sanitizer.bundle",
+    "spec_to_dict": "repro.sanitizer.bundle",
+    "DeadlockDiagnosis": "repro.sanitizer.deadlock",
+    "WaitEdge": "repro.sanitizer.deadlock",
+    "diagnose": "repro.sanitizer.deadlock",
+    "ShrinkResult": "repro.sanitizer.shrink",
+    "failure_signature": "repro.sanitizer.shrink",
+    "shrink_spec": "repro.sanitizer.shrink",
+    "TriageConfig": "repro.sanitizer.triage",
+    "TriageReport": "repro.sanitizer.triage",
+    "triage_failures": "repro.sanitizer.triage",
+}
+
+__all__ = [
+    "MODES",
+    "ProtocolError",
+    "Sanitizer",
+    "SanitizerViolation",
+    "Violation",
+    "parse_mode",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,354 @@
+"""Wait-for-graph deadlock diagnosis for watchdog trips.
+
+When a run trips the cycle-budget watchdog — or quiesces with unhalted
+threads, the event-driven simulator's quiet form of deadlock —
+:func:`diagnose` rebuilds *who is waiting on whom* from the final
+machine state and searches the graph for a cycle:
+
+* a non-halted processor waits on its memory port for the access it is
+  blocked on;
+* a cache with an open transaction waits on the directory (or the snoop
+  coordinator) for that location;
+* an open directory transaction waits on the caches it has recalled or
+  invalidated — and on their *reserve bits* when the line is reserved
+  (Section 5.3's condition 5 stall);
+* a reserve bit waits on its outstanding-access counter ("cleared when
+  the counter reads zero"), and the counter waits on the cache's
+  outstanding transactions — closing the loop the paper's liveness
+  argument must exclude.
+
+Node names are strings (``P0``, ``cache1``, ``dir:x``,
+``reserve:cache0:x``, ``counter:cache1``), so the rendered explanation
+reads as a chain of components.  States the protocol should make
+unreachable — a reserved line whose counter already reads zero, i.e. a
+dropped reserve clear — are reported as *anomalies* rather than edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WaitEdge:
+    """One wait-for dependency: ``src`` cannot progress until ``dst``."""
+
+    src: str
+    dst: str
+    reason: str
+
+    def describe(self) -> str:
+        return f"{self.src} -> {self.dst}: {self.reason}"
+
+
+@dataclass(frozen=True)
+class DeadlockDiagnosis:
+    """The explanation attached to a hung run.
+
+    ``kind`` is ``deadlock`` (a wait-for cycle exists), ``livelock``
+    (the watchdog tripped while events were still firing — a retry
+    storm), or ``stall`` (quiet non-completion without a detected
+    cycle).  Picklable: every field is built from plain strings/ints.
+    """
+
+    kind: str
+    cycle: Tuple[WaitEdge, ...]
+    edges: Tuple[WaitEdge, ...]
+    anomalies: Tuple[str, ...] = ()
+    pending_events: int = 0
+    cycles: int = 0
+    trace_excerpt: str = ""
+
+    @property
+    def participants(self) -> Tuple[str, ...]:
+        """Nodes on the wait-for cycle, in order."""
+        return tuple(edge.src for edge in self.cycle)
+
+    def describe(self) -> str:
+        lines: List[str] = []
+        if self.kind == "deadlock":
+            lines.append(
+                f"deadlock diagnosis at cycle {self.cycles}: wait-for "
+                f"cycle through {' -> '.join(self.participants)}"
+            )
+            lines.append("  cycle:")
+            for edge in self.cycle:
+                lines.append(f"    {edge.describe()}")
+        elif self.kind == "livelock":
+            lines.append(
+                f"livelock diagnosis at cycle {self.cycles}: the watchdog "
+                f"tripped with {self.pending_events} event(s) still "
+                f"pending but no wait-for cycle — a retry storm or a "
+                f"spinning thread"
+            )
+        else:
+            lines.append(
+                f"stall diagnosis at cycle {self.cycles}: the event queue "
+                f"drained with thread(s) unfinished and no wait-for cycle"
+            )
+        extras = [edge for edge in self.edges if edge not in self.cycle]
+        if extras:
+            lines.append("  wait edges:")
+            for edge in extras:
+                lines.append(f"    {edge.describe()}")
+        if self.anomalies:
+            lines.append("  anomalies:")
+            for anomaly in self.anomalies:
+                lines.append(f"    - {anomaly}")
+        if self.trace_excerpt:
+            lines.append("  last trace events:")
+            for row in self.trace_excerpt.splitlines():
+                lines.append(f"    {row}")
+        return "\n".join(lines)
+
+
+class _GraphBuilder:
+    """Accumulates edges with first-reason-wins (src, dst) dedup."""
+
+    def __init__(self) -> None:
+        self._edges: Dict[Tuple[str, str], WaitEdge] = {}
+        self.anomalies: List[str] = []
+
+    def edge(self, src: str, dst: str, reason: str) -> None:
+        self._edges.setdefault((src, dst), WaitEdge(src, dst, reason))
+
+    def anomaly(self, text: str) -> None:
+        if text not in self.anomalies:
+            self.anomalies.append(text)
+
+    @property
+    def edges(self) -> Tuple[WaitEdge, ...]:
+        return tuple(self._edges.values())
+
+
+def _access_phrase(access: Any) -> str:
+    kind = getattr(access.kind, "value", access.kind)
+    return f"{kind} on {access.location!r}"
+
+
+def _processor_edges(system: Any, graph: _GraphBuilder) -> None:
+    for proc in system.processors:
+        if proc.halted:
+            continue
+        node = f"P{proc.proc_id}"
+        port_name = getattr(proc.port, "name", "port")
+        blocked = getattr(proc, "blocked_access", None)
+        if blocked is not None:
+            graph.edge(
+                node,
+                port_name,
+                f"blocked until {_access_phrase(blocked)} reaches "
+                f"{proc.blocked_until}",
+            )
+        elif proc.pending_accesses:
+            stall = proc._stall_reason.value if proc._stall_reason else "gated"
+            pending = ", ".join(
+                _access_phrase(a) for a in proc.pending_accesses
+            )
+            graph.edge(
+                node,
+                port_name,
+                f"{stall}; awaiting global perform of {pending}",
+            )
+        elif not proc._busy:
+            graph.anomaly(
+                f"{node} is neither halted, mid-instruction, nor waiting "
+                f"on any access — the pipeline lost its continuation"
+            )
+
+
+def _cache_edges(system: Any, graph: _GraphBuilder) -> None:
+    directory = system.directory
+    serialization_node = "snoop" if directory is None else None
+    caches = system.caches
+    for cache in caches:
+        node = cache.name
+        counter_node = f"counter:{cache.name}"
+        for loc, access in sorted(cache._outstanding.items()):
+            target = serialization_node or f"dir:{loc}"
+            graph.edge(
+                node,
+                target,
+                f"{_access_phrase(access)} missed; transaction awaiting "
+                f"grant or ack",
+            )
+            for other in caches:
+                if other is not cache and other.is_reserved(loc):
+                    graph.edge(
+                        serialization_node or f"dir:{loc}",
+                        f"reserve:{other.name}:{loc}",
+                        f"request for {loc!r} is refused while the line "
+                        f"is reserved at {other.name}",
+                    )
+        if cache.counter.value > 0:
+            if cache._outstanding:
+                graph.edge(
+                    counter_node,
+                    node,
+                    f"counter reads {cache.counter.value}; drains when "
+                    f"{len(cache._outstanding)} outstanding access(es) "
+                    f"complete",
+                )
+            else:
+                graph.anomaly(
+                    f"{cache.name}: counter reads {cache.counter.value} "
+                    f"with no outstanding transactions — a decrement was "
+                    f"lost"
+                )
+        for loc, line in sorted(cache._lines.items()):
+            if not line.reserved:
+                continue
+            reserve_node = f"reserve:{cache.name}:{loc}"
+            if cache.counter.value > 0:
+                graph.edge(
+                    reserve_node,
+                    counter_node,
+                    f"reserve bit on {loc!r} clears when the counter "
+                    f"reads zero (Section 5.3)",
+                )
+            else:
+                graph.anomaly(
+                    f"{cache.name}: line {loc!r} is reserved while the "
+                    f"counter reads zero — the reserve clear was dropped"
+                )
+
+
+def _directory_edges(system: Any, graph: _GraphBuilder) -> None:
+    directory = system.directory
+    if directory is None:
+        return
+    by_id = {cache.cache_id: cache for cache in system.caches}
+    for loc, txn in sorted(directory._open.items()):
+        node = f"dir:{loc}"
+        awaiting = getattr(txn, "awaiting", None) or set()
+        for cache_id in sorted(awaiting):
+            cache = by_id.get(cache_id)
+            if cache is None:
+                continue
+            if cache.is_reserved(loc):
+                graph.edge(
+                    node,
+                    f"reserve:{cache.name}:{loc}",
+                    f"recall/invalidation of {loc!r} is stalled: the "
+                    f"line is reserved at {cache.name}",
+                )
+            else:
+                graph.edge(
+                    node,
+                    cache.name,
+                    f"awaiting an ack for {loc!r} from {cache.name}",
+                )
+        if not awaiting and txn.pending_acks > 0:
+            graph.edge(
+                node,
+                "interconnect",
+                f"{txn.pending_acks} invalidation ack(s) in flight",
+            )
+
+
+def _snoop_edges(system: Any, graph: _GraphBuilder) -> None:
+    coordinator = system.snoop_coordinator
+    if coordinator is None:
+        return
+    if coordinator._busy:
+        graph.edge(
+            "snoop",
+            "interconnect",
+            "atomic bus held: awaiting the requester's SnoopDone",
+        )
+    for waiting in coordinator._waiting:
+        loc = getattr(waiting, "location", None)
+        requester = getattr(waiting, "requester", None)
+        if loc is not None and requester is not None:
+            graph.edge(
+                "snoop",
+                "interconnect",
+                f"transaction for {loc!r} from cache {requester} queued "
+                f"behind the held bus",
+            )
+
+
+def _port_edges(system: Any, graph: _GraphBuilder) -> None:
+    for proc in system.processors:
+        port = proc.port
+        buffered = getattr(port, "buffered_writes", None)
+        if buffered is None:
+            continue
+        inflight = getattr(port, "_inflight", {})
+        if buffered or inflight:
+            graph.edge(
+                port.name,
+                "memory",
+                f"{buffered} buffered write(s), {len(inflight)} "
+                f"request(s) awaiting memory replies",
+            )
+
+
+def _find_cycle(edges: Tuple[WaitEdge, ...]) -> Tuple[WaitEdge, ...]:
+    """First wait-for cycle by deterministic DFS, or () when acyclic."""
+    adjacency: Dict[str, List[WaitEdge]] = {}
+    for edge in edges:
+        adjacency.setdefault(edge.src, []).append(edge)
+    visited: Dict[str, int] = {}  # 1 = on stack, 2 = done
+
+    def visit(node: str, path: List[WaitEdge]) -> Optional[List[WaitEdge]]:
+        visited[node] = 1
+        for edge in adjacency.get(node, ()):
+            state = visited.get(edge.dst)
+            if state == 1:
+                cycle = path + [edge]
+                start = next(
+                    i for i, e in enumerate(cycle) if e.src == edge.dst
+                )
+                return cycle[start:]
+            if state is None:
+                found = visit(edge.dst, path + [edge])
+                if found is not None:
+                    return found
+        visited[node] = 2
+        return None
+
+    for start in sorted(adjacency):
+        if start not in visited:
+            found = visit(start, [])
+            if found is not None:
+                return tuple(found)
+    return ()
+
+
+def diagnose(system: Any, timed_out: bool = False) -> DeadlockDiagnosis:
+    """Explain why ``system`` failed to run its program to completion.
+
+    Safe to call on any quiesced/tripped :class:`~repro.memsys.system
+    .System`; runs regardless of the sanitizer mode (the diagnosis is
+    pure read-only analysis of the final state).
+    """
+    graph = _GraphBuilder()
+    _processor_edges(system, graph)
+    _cache_edges(system, graph)
+    _directory_edges(system, graph)
+    _snoop_edges(system, graph)
+    _port_edges(system, graph)
+    cycle = _find_cycle(graph.edges)
+    if cycle:
+        kind = "deadlock"
+    elif timed_out:
+        kind = "livelock"
+    else:
+        kind = "stall"
+    excerpt = ""
+    tracer = system.sim.tracer
+    if tracer.enabled and len(tracer):
+        from repro.trace.export import format_timeline
+
+        excerpt = format_timeline(tracer.tail(20))
+    return DeadlockDiagnosis(
+        kind=kind,
+        cycle=cycle,
+        edges=graph.edges,
+        anomalies=tuple(graph.anomalies),
+        pending_events=system.sim.pending_events,
+        cycles=system.sim.now,
+        trace_excerpt=excerpt,
+    )

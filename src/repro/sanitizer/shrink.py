@@ -1,0 +1,348 @@
+"""Delta-debugging shrinker for failing ``RunSpec``s.
+
+Given a spec whose execution fails (sanitizer violation, protocol
+error, watchdog trip, quiet deadlock, or any exception), the shrinker
+searches for a smaller spec that fails *the same way* — same
+:func:`failure_signature` — by repeatedly re-executing candidates:
+
+1. **budget** — halve ``max_cycles`` while the failure reproduces, so
+   every later candidate run is cheap;
+2. **threads** — drop whole threads;
+3. **instructions** — ddmin over each thread's instruction list, with
+   branch-label indices remapped around the dropped instructions;
+4. **faults** — null the fault plan, or zero individual fault knobs;
+5. **memory** — drop unused ``initial_memory`` entries.
+
+The passes loop to a fixed point, so shrinking an already-minimal spec
+is a no-op (idempotence) and — because candidate enumeration, the
+oracle, and the simulator are all deterministic — the same input spec
+always shrinks to the same output spec (determinism).  Candidate
+results are memoised by spec digest, and ``max_runs`` bounds the total
+oracle executions; hitting the bound sets ``exhausted`` on the result
+rather than raising.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.program import Program, ProgramError, Thread
+
+_RULE_RE = re.compile(r"\[([a-z0-9_-]+)\]")
+
+#: ``max_cycles`` floors for the budget pass.  Timeout-flavoured
+#: failures need a generous floor: with a tiny cycle budget *any* run
+#: trips the watchdog, which would let the shrinker "reproduce" a
+#: timeout that is really just an under-budgeted healthy run.
+_BUDGET_FLOOR_TIMEOUT = 20_000
+_BUDGET_FLOOR = 2_000
+
+
+def failure_signature(result) -> Optional[str]:
+    """Collapse a :class:`~repro.campaign.spec.RunResult` to a stable id.
+
+    ``None`` means the run succeeded.  A run that quiesced without
+    finishing its threads (and without tripping the watchdog) signs as
+    ``"deadlock"``; sanitizer failures sign by their bracketed rule tag
+    (``"sanitizer:reserve-consistency"``); exceptions by type name;
+    every other failure by its kind.
+    """
+    if result.failure is None:
+        return None if result.completed else "deadlock"
+    kind = result.failure.kind
+    if kind == "sanitizer":
+        match = _RULE_RE.search(result.failure.message)
+        return f"sanitizer:{match.group(1)}" if match else "sanitizer"
+    if kind == "exception":
+        name = result.failure.message.split(":", 1)[0].strip()
+        return f"exception:{name}" if name else "exception"
+    return kind
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of :func:`shrink_spec`."""
+
+    spec: object
+    signature: str
+    #: Oracle executions actually performed (memoised hits excluded).
+    runs: int
+    #: True when ``max_runs`` stopped the search before the fixed point.
+    exhausted: bool
+    original_instructions: int
+    minimized_instructions: int
+
+
+def instruction_count(program: Program) -> int:
+    return sum(len(thread.instructions) for thread in program.threads)
+
+
+class _Oracle:
+    """Digest-memoised "does this candidate fail the same way?" check."""
+
+    def __init__(
+        self,
+        signature: str,
+        execute: Callable,
+        max_runs: int,
+    ) -> None:
+        self.signature = signature
+        self.execute = execute
+        self.max_runs = max_runs
+        self.runs = 0
+        self.exhausted = False
+        self._cache: Dict[str, bool] = {}
+
+    def check(self, spec) -> bool:
+        digest = spec.digest()
+        cached = self._cache.get(digest)
+        if cached is not None:
+            return cached
+        if self.runs >= self.max_runs:
+            self.exhausted = True
+            return False
+        self.runs += 1
+        result = self.execute(spec)
+        verdict = failure_signature(result) == self.signature
+        self._cache[digest] = verdict
+        return verdict
+
+
+# ---------------------------------------------------------------------------
+# Candidate construction
+# ---------------------------------------------------------------------------
+
+def _thread_keeping(thread: Thread, keep: Sequence[int]) -> Thread:
+    """``thread`` with only the instructions at ``keep`` (sorted) left.
+
+    Labels survive with their indices remapped to the kept sequence, so
+    branch targets stay defined (a label whose instruction was dropped
+    now points at the next kept instruction, or at the halt slot).
+    """
+    kept = sorted(keep)
+    instructions = tuple(thread.instructions[i] for i in kept)
+    labels = {
+        name: bisect_left(kept, pos) for name, pos in thread.labels.items()
+    }
+    return Thread(thread.name, instructions, labels)
+
+
+def _with_program(spec, program: Program):
+    return replace(spec, program=program)
+
+
+# ---------------------------------------------------------------------------
+# Shrinking passes (each returns a possibly-smaller reproducing spec)
+# ---------------------------------------------------------------------------
+
+def _shrink_budget(spec, oracle: _Oracle):
+    floor = (
+        _BUDGET_FLOOR_TIMEOUT
+        if oracle.signature in ("sim-timeout", "deadlock")
+        else _BUDGET_FLOOR
+    )
+    while spec.max_cycles // 2 >= floor:
+        candidate = replace(spec, max_cycles=spec.max_cycles // 2)
+        if not oracle.check(candidate):
+            break
+        spec = candidate
+    return spec
+
+
+def _shrink_threads(spec, oracle: _Oracle):
+    changed = True
+    while changed and len(spec.program.threads) > 1:
+        changed = False
+        for i in range(len(spec.program.threads)):
+            threads = [
+                t for j, t in enumerate(spec.program.threads) if j != i
+            ]
+            candidate = _with_program(
+                spec,
+                Program(
+                    threads,
+                    initial_memory=spec.program.initial_memory,
+                    name=spec.program.name,
+                ),
+            )
+            if oracle.check(candidate):
+                spec = candidate
+                changed = True
+                break
+    return spec
+
+
+def _ddmin(indices: List[int], test: Callable[[List[int]], bool]) -> List[int]:
+    """Classic ddmin over ``indices``: a minimal subset passing ``test``.
+
+    ``test`` receives a candidate keep-list (always a sub-sequence of
+    ``indices``, in order) and says whether the failure still
+    reproduces.  Deterministic: candidates are enumerated in a fixed
+    order with no randomisation.
+    """
+    if not indices:
+        return indices
+    if test([]):
+        return []
+    current = list(indices)
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        chunks = [
+            current[i:i + chunk] for i in range(0, len(current), chunk)
+        ]
+        reduced = False
+        for i in range(len(chunks)):
+            complement = [
+                x for j, part in enumerate(chunks) for x in part if j != i
+            ]
+            if complement and test(complement):
+                current = complement
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+def _shrink_instructions(spec, oracle: _Oracle):
+    for thread_idx in range(len(spec.program.threads)):
+        thread = spec.program.threads[thread_idx]
+        if not thread.instructions:
+            continue
+
+        def test(keep: List[int]) -> bool:
+            try:
+                new_thread = _thread_keeping(thread, keep)
+                threads = list(spec.program.threads)
+                threads[thread_idx] = new_thread
+                candidate = _with_program(
+                    spec,
+                    Program(
+                        threads,
+                        initial_memory=spec.program.initial_memory,
+                        name=spec.program.name,
+                    ),
+                )
+            except ProgramError:
+                return False
+            return oracle.check(candidate)
+
+        keep = _ddmin(list(range(len(thread.instructions))), test)
+        if len(keep) < len(thread.instructions):
+            threads = list(spec.program.threads)
+            threads[thread_idx] = _thread_keeping(thread, keep)
+            spec = _with_program(
+                spec,
+                Program(
+                    threads,
+                    initial_memory=spec.program.initial_memory,
+                    name=spec.program.name,
+                ),
+            )
+    return spec
+
+
+def _shrink_faults(spec, oracle: _Oracle):
+    if spec.faults is None or spec.faults.is_null:
+        return spec
+    candidate = replace(spec, faults=None)
+    if oracle.check(candidate):
+        return candidate
+    for knob in ("delay_jitter", "reorder_pct", "duplicate_pct"):
+        if getattr(spec.faults, knob) == 0:
+            continue
+        candidate = replace(
+            spec, faults=spec.faults.with_overrides(**{knob: 0})
+        )
+        if oracle.check(candidate):
+            spec = candidate
+    return spec
+
+
+def _shrink_memory(spec, oracle: _Oracle):
+    memory = dict(spec.program.initial_memory)
+    if not memory:
+        return spec
+    for key in sorted(memory):
+        smaller = {k: v for k, v in memory.items() if k != key}
+        candidate = _with_program(
+            spec,
+            Program(
+                spec.program.threads,
+                initial_memory=smaller,
+                name=spec.program.name,
+            ),
+        )
+        if oracle.check(candidate):
+            spec = candidate
+            memory = smaller
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def shrink_spec(
+    spec,
+    signature: Optional[str] = None,
+    max_runs: int = 300,
+    execute: Optional[Callable] = None,
+) -> ShrinkResult:
+    """Minimize ``spec`` while it keeps failing with ``signature``.
+
+    When ``signature`` is None the spec is executed once to establish
+    it; a spec that does not fail raises ``ValueError``.  ``execute``
+    overrides the oracle's executor (the tests use this to count or
+    fake runs); the default is
+    :func:`~repro.campaign.spec.execute_spec_guarded`.
+    """
+    if execute is None:
+        from repro.campaign.spec import execute_spec_guarded
+
+        execute = execute_spec_guarded
+    if signature is None:
+        signature = failure_signature(execute(spec))
+        if signature is None:
+            raise ValueError(
+                "cannot shrink a spec that does not fail: the original "
+                "run completed cleanly"
+            )
+
+    oracle = _Oracle(signature, execute, max_runs)
+    # Seed the memo: the caller asserts the original spec reproduces.
+    oracle._cache[spec.digest()] = True
+    original_instructions = instruction_count(spec.program)
+
+    # Schedule replays depend on the exact choice-point sequence, so
+    # structural program edits would desynchronise the replay; only the
+    # non-structural passes apply.
+    structural = spec.schedule is None
+
+    for _ in range(5):  # fixed-point loop; passes converge fast
+        before = spec
+        spec = _shrink_budget(spec, oracle)
+        if structural:
+            spec = _shrink_threads(spec, oracle)
+            spec = _shrink_instructions(spec, oracle)
+        spec = _shrink_faults(spec, oracle)
+        if structural:
+            spec = _shrink_memory(spec, oracle)
+        if spec == before or oracle.exhausted:
+            break
+
+    return ShrinkResult(
+        spec=spec,
+        signature=signature,
+        runs=oracle.runs,
+        exhausted=oracle.exhausted,
+        original_instructions=original_instructions,
+        minimized_instructions=instruction_count(spec.program),
+    )

@@ -1,0 +1,158 @@
+"""Automatic failure triage: failing campaign runs -> repro bundles.
+
+Campaigns hand every failing ``(spec, result)`` pair to
+:func:`triage_failures`; triage deduplicates them by failure signature
+(one bundle per distinct way-of-failing, not per failing run), shrinks
+each representative with :func:`~repro.sanitizer.shrink.shrink_spec`,
+and writes a :class:`~repro.sanitizer.bundle.ReproBundle` per signature
+into the bundles directory.  Environment-flavoured failures
+(``wall-timeout``, ``worker-lost``) are skipped: a bundle certifies a
+*deterministic* reproduction, and those kinds are not functions of the
+spec.
+
+Filenames are deterministic — ``{label}-{signature}.json`` with the
+signature slugified — so re-running a campaign overwrites its bundles
+in place instead of accumulating near-duplicates.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.spec import DETERMINISTIC_FAILURES, RunResult, RunSpec
+from repro.sanitizer.bundle import ReproBundle
+from repro.sanitizer.shrink import (
+    failure_signature,
+    instruction_count,
+    shrink_spec,
+)
+
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+
+
+def _slug(text: str) -> str:
+    return _SLUG_RE.sub("-", text.lower()).strip("-") or "failure"
+
+
+@dataclass(frozen=True)
+class TriageConfig:
+    """Knobs for campaign-side triage."""
+
+    #: Where bundles are written (created if missing).
+    directory: Path
+    #: Shrink each representative spec before bundling (recommended;
+    #: disable for very cheap smoke campaigns).
+    shrink: bool = True
+    #: At most this many bundles per campaign — triage is a debugging
+    #: aid, not an archive.
+    max_bundles: int = 8
+    #: Oracle-run budget per shrink.
+    max_shrink_runs: int = 300
+
+
+@dataclass(frozen=True)
+class TriageReport:
+    """What triage did with one campaign's failures."""
+
+    #: ``(signature, bundle path)`` per bundle written, in signature order.
+    bundles: Tuple[Tuple[str, str], ...] = ()
+    #: Failing runs examined (including duplicates of a signature).
+    failures_seen: int = 0
+    #: Failures skipped as non-deterministic (wall-timeout/worker-lost).
+    skipped_nondeterministic: int = 0
+    #: Distinct signatures beyond ``max_bundles`` that were dropped.
+    dropped_over_cap: int = 0
+
+    @property
+    def bundles_written(self) -> int:
+        return len(self.bundles)
+
+    def describe(self) -> str:
+        if not self.failures_seen:
+            return "triage: no failures"
+        lines = [
+            f"triage: {self.failures_seen} failing run(s) -> "
+            f"{self.bundles_written} bundle(s)"
+        ]
+        for signature, path in self.bundles:
+            lines.append(f"  {signature}: {path}")
+        if self.skipped_nondeterministic:
+            lines.append(
+                f"  skipped {self.skipped_nondeterministic} "
+                f"non-deterministic failure(s)"
+            )
+        if self.dropped_over_cap:
+            lines.append(
+                f"  dropped {self.dropped_over_cap} signature(s) over "
+                f"the {self.bundles_written}-bundle cap"
+            )
+        return "\n".join(lines)
+
+
+def triage_failures(
+    specs: Sequence[RunSpec],
+    results: Sequence[RunResult],
+    config: TriageConfig,
+    label: str = "campaign",
+) -> TriageReport:
+    """Bundle one shrunk repro per distinct deterministic failure."""
+    directory = Path(config.directory)
+    representatives: Dict[str, Tuple[RunSpec, RunResult]] = {}
+    failures_seen = 0
+    skipped = 0
+    for spec, result in zip(specs, results):
+        signature = failure_signature(result)
+        if signature is None:
+            continue
+        failures_seen += 1
+        kind = result.failure.kind if result.failure else "deadlock"
+        deterministic = kind == "deadlock" or kind in DETERMINISTIC_FAILURES
+        if not deterministic:
+            skipped += 1
+            continue
+        representatives.setdefault(signature, (spec, result))
+
+    ordered = sorted(representatives)
+    dropped = max(0, len(ordered) - config.max_bundles)
+    bundles: List[Tuple[str, str]] = []
+    if ordered[: config.max_bundles]:
+        directory.mkdir(parents=True, exist_ok=True)
+    for signature in ordered[: config.max_bundles]:
+        spec, result = representatives[signature]
+        original = instruction_count(spec.program)
+        runs = 0
+        exhausted = False
+        if config.shrink:
+            shrunk = shrink_spec(
+                spec, signature=signature, max_runs=config.max_shrink_runs
+            )
+            spec = shrunk.spec
+            runs = shrunk.runs
+            exhausted = shrunk.exhausted
+        message = ""
+        if result.failure is not None:
+            message = result.failure.message.splitlines()[0]
+        bundle = ReproBundle(
+            spec=spec,
+            signature=signature,
+            kind=result.failure.kind if result.failure else "deadlock",
+            message=message,
+            label=label,
+            shrink_runs=runs,
+            shrink_exhausted=exhausted,
+            original_instructions=original,
+            minimized_instructions=instruction_count(spec.program),
+        )
+        path = directory / f"{_slug(label)}-{_slug(signature)}.json"
+        path.write_text(bundle.to_json())
+        bundles.append((signature, str(path)))
+
+    return TriageReport(
+        bundles=tuple(bundles),
+        failures_seen=failures_seen,
+        skipped_nondeterministic=skipped,
+        dropped_over_cap=dropped,
+    )

@@ -12,6 +12,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.sanitizer.checker import Sanitizer
 from repro.trace.tracer import Tracer
 
 
@@ -45,6 +46,10 @@ class Simulator:
         self._running = False
         #: Event tracer, created disabled (see :mod:`repro.trace`).
         self.tracer = Tracer(self)
+        #: Protocol-invariant checker, created disabled (see
+        #: :mod:`repro.sanitizer`): like the tracer, the off mode costs
+        #: the event loop one attribute load and branch per cycle.
+        self.sanitizer = Sanitizer(self)
 
     @property
     def now(self) -> int:
@@ -72,6 +77,7 @@ class Simulator:
         or policy bug (or a livelocked program).
         """
         self._running = True
+        sanitizer = self.sanitizer
         try:
             while self._queue:
                 time, _seq, callback = heapq.heappop(self._queue)
@@ -81,7 +87,12 @@ class Simulator:
                         cycles=self._time,
                         budget=max_cycles,
                     )
-                self._time = time
+                if time != self._time:
+                    # Cycle boundary: sweep invariants over the settled
+                    # cycle before the clock advances.
+                    if sanitizer.enabled:
+                        sanitizer.on_cycle()
+                    self._time = time
                 callback()
         finally:
             self._running = False
@@ -105,6 +116,7 @@ class Simulator:
     def run_until(self, predicate: Callable[[], bool], max_cycles: int = 1_000_000) -> int:
         """Drain events until ``predicate()`` holds; returns current time."""
         self._running = True
+        sanitizer = self.sanitizer
         try:
             while self._queue and not predicate():
                 time, _seq, callback = heapq.heappop(self._queue)
@@ -114,7 +126,10 @@ class Simulator:
                         cycles=self._time,
                         budget=max_cycles,
                     )
-                self._time = time
+                if time != self._time:
+                    if sanitizer.enabled:
+                        sanitizer.on_cycle()
+                    self._time = time
                 callback()
         finally:
             self._running = False

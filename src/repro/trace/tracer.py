@@ -165,6 +165,22 @@ class Tracer:
         """The recorded events, oldest first (ring-truncated if bounded)."""
         return tuple(self._events)
 
+    def tail(self, count: int) -> Tuple[TraceEvent, ...]:
+        """The last ``count`` recorded events, oldest first.
+
+        The deadlock diagnosis uses this for its trace excerpt: the
+        final moments before a watchdog trip, without copying the whole
+        (possibly unbounded) stream.
+        """
+        if count <= 0:
+            return ()
+        events = self._events
+        if len(events) <= count:
+            return tuple(events)
+        from itertools import islice
+
+        return tuple(islice(events, len(events) - count, None))
+
     def drain(self) -> Tuple[TraceEvent, ...]:
         """Snapshot and clear, for incremental consumers."""
         events = tuple(self._events)

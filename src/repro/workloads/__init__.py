@@ -16,6 +16,7 @@ from repro.workloads.random_programs import (
     random_drf0_program,
     random_mixed_sync_program,
     random_racy_program,
+    random_spin_program,
 )
 from repro.workloads.read_sharing import expected_reader_sum, read_sharing_program
 from repro.workloads.ticket_lock import (
@@ -38,6 +39,7 @@ __all__ = [
     "random_drf0_program",
     "random_mixed_sync_program",
     "random_racy_program",
+    "random_spin_program",
     "release",
     "release_overlap_program",
     "sense_barrier_program",

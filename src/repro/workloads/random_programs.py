@@ -1,6 +1,6 @@
 """Random program generators for property-based testing.
 
-Two families:
+Three families:
 
 * :func:`random_racy_program` — unconstrained loads/stores over a small
   location pool.  Almost always full of data races; used to show relaxed
@@ -10,6 +10,10 @@ Two families:
   critical section.  Data-race-free **by construction**, so Definition 2
   requires DEF1/DEF2/DEF2-R hardware to make these appear sequentially
   consistent — the empirical form of the Appendix B theorem.
+* :func:`random_spin_program` — spin loops on flags a partner thread may
+  or may not ever set.  Some seeds deterministically never terminate,
+  which is exactly what the failure-triage pipeline (watchdog ->
+  deadlock diagnosis -> shrinking -> repro bundle) needs as fuel.
 """
 
 from __future__ import annotations
@@ -79,6 +83,39 @@ def random_drf0_program(
             release(builder, f"L{lock_id}")
         threads.append(builder.build())
     return Program(threads, name=f"drf0_s{seed}")
+
+
+def random_spin_program(
+    seed: int,
+    num_procs: int = 2,
+    flags: int = 3,
+    set_bias: float = 0.6,
+) -> Program:
+    """Spinners on flags that a partner *may or may not* ever set.
+
+    Each processor picks one flag to spin on (``SyncLoad``/``beq``) and
+    sets a random subset of the others first.  Whether the program
+    terminates is a pure function of the seed: if every spun-on flag is
+    set by some thread, all spinners exit; otherwise the run trips the
+    cycle watchdog and signs as ``sim-timeout`` — deterministic fuel for
+    shrinking and triage (the hang is a property of the *program*, not
+    of the timing seed).
+    """
+    rng = random.Random(seed)
+    flag_names = [f"f{i}" for i in range(flags)]
+    threads = []
+    for proc in range(num_procs):
+        builder = ThreadBuilder(f"P{proc}")
+        spin_on = rng.choice(flag_names)
+        for flag in flag_names:
+            if flag != spin_on and rng.random() < set_bias:
+                builder.sync_store(flag, 1)
+        builder.label("spin")
+        builder.sync_load("r0", spin_on)
+        builder.beq("r0", 0, "spin")
+        builder.load("r1", "x")
+        threads.append(builder.build())
+    return Program(threads, name=f"spin_s{seed}")
 
 
 def random_mixed_sync_program(

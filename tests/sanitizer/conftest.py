@@ -1,0 +1,75 @@
+"""Shared fixtures for the sanitizer / diagnosis / triage tests.
+
+Two canonical failing workloads, verified deterministic:
+
+* :func:`reserve_bug_program` — P0 takes the sync location EXCLUSIVE
+  first, issues four ordinary misses, then hits the sync store locally
+  so it commits while the misses are outstanding: that is the one path
+  that sets a Section 5.3 reserve bit.  Paired with the
+  ``broken_reserve_clear`` fixture (which drops only the bit reset from
+  ``Cache._clear_reserves``) it is the seeded protocol bug the issue's
+  acceptance criteria require the sanitizer to catch.
+* :func:`spin_deadlock_program` — P1 spins on a flag nobody ever sets,
+  so the run deterministically trips the watchdog (``sim-timeout``) —
+  fuel for the shrinker and triage tests.
+"""
+
+import pytest
+
+from repro.campaign import PolicySpec, RunSpec
+from repro.coherence.cache import Cache
+from repro.core.program import Program, ThreadBuilder
+from repro.memsys.config import NET_CACHE
+from repro.models.policies import Def2Policy
+
+
+def reserve_bug_program() -> Program:
+    p0 = ThreadBuilder("P0")
+    p0.store("f", 0)  # take the sync location EXCLUSIVE up front
+    for loc in ("a", "b", "c", "d"):
+        p0.store(loc, 1)  # ordinary misses keep the counter positive
+    p0.sync_store("f", 1)  # local hit: commits with misses outstanding
+    p1 = ThreadBuilder("P1")
+    p1.label("spin")
+    p1.sync_load("r0", "f")
+    p1.beq("r0", 0, "spin")
+    return Program([p0.build(), p1.build()], name="reserve_bug")
+
+
+def spin_deadlock_program() -> Program:
+    p0 = ThreadBuilder("P0")
+    for i, loc in enumerate(("a", "b", "c", "d", "e", "g", "h", "i")):
+        p0.store(loc, i + 1)
+    p0.sync_store("done", 1)
+    p1 = ThreadBuilder("P1")
+    p1.label("spin")
+    p1.sync_load("r1", "never")
+    p1.beq("r1", 0, "spin")
+    return Program([p0.build(), p1.build()], name="spin_dead")
+
+
+def spin_deadlock_spec(max_cycles: int = 200_000, **overrides) -> RunSpec:
+    kwargs = dict(
+        program=spin_deadlock_program(),
+        policy=PolicySpec.of(Def2Policy),
+        config=NET_CACHE,
+        seed=0,
+        max_cycles=max_cycles,
+    )
+    kwargs.update(overrides)
+    return RunSpec(**kwargs)
+
+
+@pytest.fixture
+def broken_reserve_clear(monkeypatch):
+    """Seed the protocol bug: the counter-zero callback forgets to reset
+    the reserve bits but still services stalled recalls and evictions
+    (so the machine limps on instead of crashing elsewhere)."""
+
+    def broken(self):
+        stalled, self._stalled_recalls = self._stalled_recalls, []
+        for recall in stalled:
+            self._handle_recall(recall)
+        self._evict_down_to_capacity()
+
+    monkeypatch.setattr(Cache, "_clear_reserves", broken)

@@ -1,0 +1,223 @@
+"""Sanitizer core: modes, sweeps, seeded bugs, end-of-run checks."""
+
+import pytest
+
+from repro.coherence.directory import DirectoryEntry, EntryState
+from repro.coherence.line import CacheLine, LineState
+from repro.cpu.counter import CounterUnderflow, OutstandingCounter
+from repro.litmus.catalog import standard_catalog
+from repro.litmus.runner import LitmusRunner
+from repro.memsys.config import BUS_CACHE, NET_CACHE, NET_NOCACHE
+from repro.memsys.system import System, run_program
+from repro.models.policies import Def2Policy, SCPolicy
+from repro.sanitizer import (
+    ProtocolError,
+    Sanitizer,
+    SanitizerViolation,
+    parse_mode,
+)
+from repro.sim.engine import Simulator
+
+from tests.sanitizer.conftest import reserve_bug_program
+
+
+class TestModes:
+    def test_parse_mode_accepts_the_three_modes(self):
+        assert parse_mode("off") == "off"
+        assert parse_mode(" LOG ") == "log"
+        assert parse_mode("strict") == "strict"
+
+    def test_parse_mode_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown sanitizer mode"):
+            parse_mode("paranoid")
+
+    def test_record_log_collects_without_raising(self):
+        sanitizer = Sanitizer(Simulator())
+        sanitizer.configure("log")
+        violation = sanitizer.record("single-writer", "two owners")
+        assert sanitizer.violations == [violation]
+        assert violation.rule == "single-writer"
+        assert "[single-writer]" in violation.describe()
+
+    def test_record_strict_raises(self):
+        sanitizer = Sanitizer(Simulator())
+        sanitizer.configure("strict")
+        with pytest.raises(SanitizerViolation, match=r"\[dir-agreement\]"):
+            sanitizer.record("dir-agreement", "entry disagrees")
+
+    def test_protocol_error_raises_even_when_off(self):
+        sanitizer = Sanitizer(Simulator())
+        assert not sanitizer.enabled
+        with pytest.raises(ProtocolError, match=r"\[wbuf-fifo\]"):
+            sanitizer.protocol_error("wbuf-fifo", "out of order")
+        # Disabled sanitizers do not accumulate state.
+        assert sanitizer.violations == []
+
+    def test_disabled_sanitizer_never_sweeps(self):
+        run = run_program(
+            reserve_bug_program(), Def2Policy(), NET_CACHE, seed=0
+        )
+        assert run.completed
+        assert run.sanitizer_violations == ()
+
+
+class TestCleanRuns:
+    """Correct hardware must be violation-free under strict mode."""
+
+    @pytest.mark.parametrize(
+        "policy_factory,config",
+        [
+            (Def2Policy, NET_CACHE),
+            (Def2Policy, BUS_CACHE),
+            (SCPolicy, NET_NOCACHE),
+        ],
+        ids=["def2-net", "def2-bus", "sc-nocache"],
+    )
+    def test_litmus_subset_clean_under_strict(self, policy_factory, config):
+        runner = LitmusRunner()
+        for test in standard_catalog()[:4]:
+            result = runner.run(
+                test, policy_factory, config, runs=3, sanitize="strict"
+            )
+            assert result.failed_runs == 0, test.name
+            assert result.completed_runs == result.runs
+
+    def test_sweeps_actually_ran(self):
+        system = System(
+            reserve_bug_program(), Def2Policy(), NET_CACHE, sanitize="log"
+        )
+        run = system.run()
+        assert run.completed
+        assert system.sim.sanitizer.sweeps > 0
+        assert run.sanitizer_violations == ()
+
+
+class TestSeededReserveBug:
+    """The issue's acceptance bug: a dropped reserve clear is caught."""
+
+    def test_strict_mode_raises_reserve_consistency(
+        self, broken_reserve_clear
+    ):
+        with pytest.raises(
+            SanitizerViolation, match=r"\[reserve-consistency\]"
+        ) as excinfo:
+            run_program(
+                reserve_bug_program(), Def2Policy(), NET_CACHE,
+                seed=0, max_cycles=20_000, sanitize="strict",
+            )
+        assert excinfo.value.violation.location == "f"
+
+    def test_log_mode_collects_and_diagnoses(self, broken_reserve_clear):
+        run = run_program(
+            reserve_bug_program(), Def2Policy(), NET_CACHE,
+            seed=0, max_cycles=20_000, sanitize="log",
+        )
+        # The stuck reserve starves P1's sync miss: the run cannot finish.
+        assert not run.completed
+        rules = {v.rule for v in run.sanitizer_violations}
+        assert "reserve-consistency" in rules
+        assert run.deadlock is not None
+        assert any(
+            "reserve clear was dropped" in anomaly
+            for anomaly in run.deadlock.anomalies
+        )
+
+
+class TestSweepChecks:
+    """Unit-level: corrupt a built machine, sweep, read the violation."""
+
+    def _system(self, mode="log"):
+        return System(
+            reserve_bug_program(), Def2Policy(), NET_CACHE, sanitize=mode
+        )
+
+    def test_double_exclusive_is_single_writer(self):
+        system = self._system()
+        c0, c1 = system.caches[:2]
+        c0._lines["z"] = CacheLine("z", LineState.EXCLUSIVE, 1)
+        c1._lines["z"] = CacheLine("z", LineState.EXCLUSIVE, 2)
+        system.sim.sanitizer.on_cycle()
+        rules = [v.rule for v in system.sim.sanitizer.violations]
+        assert "single-writer" in rules
+
+    def test_unknown_owner_is_dir_agreement(self):
+        system = self._system()
+        system.directory._entries["z"] = DirectoryEntry(
+            state=EntryState.EXCLUSIVE, owner=99, value=7
+        )
+        system.sim.sanitizer.on_cycle()
+        violations = system.sim.sanitizer.violations
+        assert any(
+            v.rule == "dir-agreement" and "unknown owner" in v.message
+            for v in violations
+        )
+
+    def test_overcounted_counter_is_counter_conservation(self):
+        system = self._system()
+        system.caches[0].counter.increment()
+        system.sim.sanitizer.on_cycle()
+        rules = [v.rule for v in system.sim.sanitizer.violations]
+        assert "counter-conservation" in rules
+
+    def test_reserved_line_with_zero_counter(self):
+        system = self._system()
+        system.caches[0]._lines["z"] = CacheLine(
+            "z", LineState.EXCLUSIVE, 1, reserved=True
+        )
+        system.sim.sanitizer.on_cycle()
+        assert any(
+            v.rule == "reserve-consistency"
+            and "reserve clear was dropped" in v.message
+            for v in system.sim.sanitizer.violations
+        )
+
+
+class TestEndOfRunChecks:
+    def _completed_system(self):
+        system = System(
+            reserve_bug_program(), Def2Policy(), NET_CACHE, sanitize="log"
+        )
+        run = system.run()
+        assert run.completed
+        system.sim.sanitizer.violations.clear()
+        return system
+
+    def test_quiescence_flags_leftover_counter(self):
+        system = self._completed_system()
+        system.caches[0].counter.increment()
+        system.sim.sanitizer.finish(completed=True)
+        violations = system.sim.sanitizer.violations
+        assert any(v.rule == "quiescence" for v in violations)
+
+    def test_msg_conservation_flags_lost_message(self):
+        system = self._completed_system()
+        system.stats.bump("network.sent")
+        system.sim.sanitizer.finish(completed=True)
+        assert any(
+            v.rule == "msg-conservation"
+            for v in system.sim.sanitizer.violations
+        )
+
+    def test_msg_conservation_skipped_while_events_in_flight(self):
+        # A watchdog trip cuts messages off mid-flight: sent > delivered
+        # is then legal, not a violation.
+        system = self._completed_system()
+        system.stats.bump("network.sent")
+        system.sim.schedule(10, lambda: None)
+        system.sim.sanitizer.finish(completed=False)
+        assert not any(
+            v.rule == "msg-conservation"
+            for v in system.sim.sanitizer.violations
+        )
+
+
+class TestCounterUnderflow:
+    def test_decrement_below_zero_raises_tagged_error(self):
+        counter = OutstandingCounter(owner="cache0", clock=lambda: 42)
+        counter.increment()
+        counter.decrement()
+        with pytest.raises(CounterUnderflow) as excinfo:
+            counter.decrement()
+        message = str(excinfo.value)
+        assert "[counter-underflow]" in message
+        assert "cache0" in message and "cycle 42" in message

@@ -1,0 +1,72 @@
+"""CLI surface: ``repro fuzz`` triage pipeline and ``repro replay``."""
+
+import json
+
+from repro.cli import main
+from repro.sanitizer import ReproBundle
+
+
+class TestFuzzCommand:
+    def test_fuzz_writes_bundles_for_hanging_seeds(self, tmp_path, capsys):
+        code = main(
+            ["fuzz", "--family", "spin", "--seeds", "4",
+             "--max-cycles", "30000", "--triage-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[campaign fuzz:spin]" in out
+        assert "triage:" in out
+        bundles = sorted(tmp_path.glob("*.json"))
+        assert bundles, out
+        bundle = ReproBundle.from_json(bundles[0].read_text())
+        assert bundle.signature == "sim-timeout"
+        assert bundle.minimized_instructions < bundle.original_instructions
+
+    def test_fuzz_without_failures_writes_nothing(self, tmp_path, capsys):
+        # The drf0 family is data-race-free and terminating by
+        # construction: no failures, no bundles.
+        code = main(
+            ["fuzz", "--family", "drf0", "--seeds", "2",
+             "--triage-dir", str(tmp_path), "--sanitize", "strict"]
+        )
+        assert code == 0
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_fuzz_runs_without_triage_dir(self, capsys):
+        code = main(
+            ["fuzz", "--family", "spin", "--seeds", "2",
+             "--max-cycles", "30000"]
+        )
+        assert code == 0
+        assert "[campaign fuzz:spin]" in capsys.readouterr().out
+
+
+class TestReplayCommand:
+    def _bundle_path(self, tmp_path):
+        main(
+            ["fuzz", "--family", "spin", "--seeds", "4",
+             "--max-cycles", "30000", "--no-shrink",
+             "--triage-dir", str(tmp_path)]
+        )
+        paths = sorted(tmp_path.glob("*.json"))
+        assert paths
+        return paths[0]
+
+    def test_replay_reproduces_and_exits_zero(self, tmp_path, capsys):
+        path = self._bundle_path(tmp_path)
+        capsys.readouterr()
+        code = main(["replay", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reproduces the recorded failure signature" in out
+
+    def test_replay_mismatch_exits_nonzero(self, tmp_path, capsys):
+        path = self._bundle_path(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["signature"] = "exception:NoSuchError"
+        path.write_text(json.dumps(payload))
+        capsys.readouterr()
+        code = main(["replay", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REPLAY MISMATCH" in out

@@ -1,0 +1,97 @@
+"""Deadlock diagnosis: wait-for graphs, cycle finding, explanations."""
+
+from repro.coherence.directory import DirectoryEntry, EntryState
+from repro.coherence.line import CacheLine, LineState
+from repro.core.program import Program, ThreadBuilder
+from repro.memsys.config import NET_CACHE
+from repro.memsys.system import System, run_program
+from repro.models.policies import Def2Policy
+from repro.sanitizer import diagnose
+from repro.trace.tracer import TraceSpec
+
+from tests.sanitizer.conftest import spin_deadlock_program
+
+
+def test_completed_run_carries_no_diagnosis():
+    p0 = ThreadBuilder("P0")
+    p0.store("x", 1)
+    run = run_program(
+        Program([p0.build()], name="trivial"), Def2Policy(), NET_CACHE
+    )
+    assert run.completed
+    assert run.deadlock is None
+
+
+def test_spinning_thread_diagnosed_as_livelock():
+    run = run_program(
+        spin_deadlock_program(), Def2Policy(), NET_CACHE,
+        seed=0, max_cycles=20_000,
+    )
+    assert run.timed_out and not run.completed
+    diagnosis = run.deadlock
+    assert diagnosis is not None
+    assert diagnosis.kind == "livelock"
+    assert diagnosis.cycle == ()
+    assert "retry storm or a spinning thread" in diagnosis.describe()
+
+
+def test_diagnosis_includes_trace_excerpt_when_traced():
+    run = run_program(
+        spin_deadlock_program(), Def2Policy(), NET_CACHE,
+        seed=0, max_cycles=20_000, trace=TraceSpec(),
+    )
+    assert run.deadlock is not None
+    assert run.deadlock.trace_excerpt
+
+
+def test_mutual_reserve_deadlock_found_as_wait_for_cycle():
+    """Two caches each hold a line the other needs, both reserved with
+    counters that never drain: the classic condition-5 deadlock.  The
+    directory NACK-retries forever; the diagnosis must name the cycle
+    through both reserve bits and counters."""
+    p0 = ThreadBuilder("P0")
+    p0.store("b", 1)
+    p1 = ThreadBuilder("P1")
+    p1.store("a", 1)
+    program = Program([p0.build(), p1.build()], name="mutual_reserve")
+    system = System(program, Def2Policy(), NET_CACHE, seed=0)
+    c0, c1 = system.caches[:2]
+    c0._lines["a"] = CacheLine("a", LineState.EXCLUSIVE, 1, reserved=True)
+    c0.counter.increment()
+    c1._lines["b"] = CacheLine("b", LineState.EXCLUSIVE, 1, reserved=True)
+    c1.counter.increment()
+    system.directory._entries["a"] = DirectoryEntry(
+        state=EntryState.EXCLUSIVE, owner=c0.cache_id, value=1
+    )
+    system.directory._entries["b"] = DirectoryEntry(
+        state=EntryState.EXCLUSIVE, owner=c1.cache_id, value=1
+    )
+
+    run = system.run(max_cycles=5_000)
+
+    assert not run.completed
+    diagnosis = run.deadlock
+    assert diagnosis is not None
+    assert diagnosis.kind == "deadlock"
+    participants = set(diagnosis.participants)
+    assert f"reserve:{c0.name}:a" in participants
+    assert f"reserve:{c1.name}:b" in participants
+    assert f"counter:{c0.name}" in participants
+    assert f"counter:{c1.name}" in participants
+    text = diagnosis.describe()
+    assert "wait-for cycle" in text
+    assert "Section 5.3" in text
+
+
+def test_diagnose_is_pure_and_reusable():
+    """diagnose() can be re-run on the final state with the same answer."""
+    p0 = ThreadBuilder("P0")
+    p0.store("b", 1)
+    program = Program([p0.build()], name="one_store")
+    system = System(program, Def2Policy(), NET_CACHE, seed=0)
+    run = system.run()
+    assert run.completed
+    diagnosis = diagnose(system, timed_out=False)
+    assert diagnosis.kind == "stall"  # nothing is waiting, no cycle
+    assert diagnosis.cycle == ()
+    assert diagnosis.edges == diagnose(system, timed_out=False).edges

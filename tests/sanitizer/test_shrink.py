@@ -1,0 +1,157 @@
+"""Shrinker: determinism, idempotence, minimization power, signatures."""
+
+import pytest
+
+from repro.campaign import PolicySpec, RunSpec, RunFailure, RunResult
+from repro.campaign.spec import execute_spec_guarded
+from repro.memsys.config import NET_CACHE
+from repro.models.policies import Def2Policy
+from repro.sanitizer import ReproBundle, failure_signature, shrink_spec
+from repro.sanitizer.shrink import instruction_count
+from repro.workloads import random_spin_program
+
+from tests.sanitizer.conftest import spin_deadlock_spec
+
+
+def _result(failure=None, completed=True):
+    return RunResult(
+        completed=completed, failure=failure, observable=None, cycles=0
+    )
+
+
+class TestFailureSignature:
+    def test_success_signs_none(self):
+        assert failure_signature(_result()) is None
+
+    def test_quiet_noncompletion_signs_deadlock(self):
+        assert failure_signature(_result(completed=False)) == "deadlock"
+
+    def test_sanitizer_failures_sign_by_rule_tag(self):
+        failure = RunFailure(
+            kind="sanitizer",
+            message="[reserve-consistency] cycle 39 cache0: dropped clear",
+        )
+        signature = failure_signature(_result(failure, completed=False))
+        assert signature == "sanitizer:reserve-consistency"
+
+    def test_exceptions_sign_by_type_name(self):
+        failure = RunFailure(kind="exception", message="KeyError: 'x'")
+        signature = failure_signature(_result(failure, completed=False))
+        assert signature == "exception:KeyError"
+
+    def test_other_kinds_sign_verbatim(self):
+        failure = RunFailure(kind="sim-timeout", message="watchdog")
+        assert failure_signature(_result(failure, completed=False)) == (
+            "sim-timeout"
+        )
+
+
+class TestShrinkSpinDeadlock:
+    """The hand-built 12-instruction hang must shrink to one spinner."""
+
+    def test_minimizes_to_a_single_instruction(self):
+        result = shrink_spec(spin_deadlock_spec(), signature="sim-timeout")
+        assert result.signature == "sim-timeout"
+        assert result.original_instructions == 11
+        assert result.minimized_instructions == 1
+        assert len(result.spec.program.threads) == 1
+        assert not result.exhausted
+
+    def test_budget_pass_respects_the_timeout_floor(self):
+        # Halving max_cycles below ~20k would make ANY run "reproduce" a
+        # timeout; the floor keeps the minimized budget honest.
+        result = shrink_spec(spin_deadlock_spec(), signature="sim-timeout")
+        assert 20_000 <= result.spec.max_cycles < 200_000
+
+    def test_deterministic_byte_identical_bundles(self):
+        bundles = []
+        for _ in range(2):
+            result = shrink_spec(
+                spin_deadlock_spec(), signature="sim-timeout"
+            )
+            bundles.append(
+                ReproBundle(
+                    spec=result.spec,
+                    signature=result.signature,
+                    kind="sim-timeout",
+                    label="determinism",
+                    shrink_runs=result.runs,
+                    original_instructions=result.original_instructions,
+                    minimized_instructions=result.minimized_instructions,
+                ).to_json()
+            )
+        assert bundles[0] == bundles[1]
+
+    def test_idempotent_on_minimized_spec(self):
+        first = shrink_spec(spin_deadlock_spec(), signature="sim-timeout")
+        second = shrink_spec(first.spec, signature="sim-timeout")
+        assert second.spec == first.spec
+        assert second.minimized_instructions == first.minimized_instructions
+
+    def test_minimized_spec_still_reproduces(self):
+        result = shrink_spec(spin_deadlock_spec(), signature="sim-timeout")
+        replayed = execute_spec_guarded(result.spec)
+        assert failure_signature(replayed) == "sim-timeout"
+
+
+class TestShrinkRandomProgram:
+    def test_seeded_random_failure_halved_at_least(self):
+        """Issue acceptance: a random-program failure loses >= 50% of its
+        instructions under shrinking."""
+        spec = RunSpec(
+            program=random_spin_program(0),
+            policy=PolicySpec.of(Def2Policy),
+            config=NET_CACHE,
+            seed=0,
+            max_cycles=60_000,
+        )
+        result = shrink_spec(spec)  # signature established by execution
+        assert result.signature == "sim-timeout"
+        assert result.minimized_instructions <= (
+            result.original_instructions // 2
+        )
+        assert instruction_count(result.spec.program) == (
+            result.minimized_instructions
+        )
+
+
+class TestShrinkGuards:
+    def test_non_failing_spec_is_rejected(self):
+        spec = spin_deadlock_spec(max_cycles=200_000)
+        passing = RunSpec(
+            program=random_spin_program(3),  # this seed terminates
+            policy=spec.policy,
+            config=spec.config,
+            seed=0,
+            max_cycles=200_000,
+        )
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink_spec(passing)
+
+    def test_max_runs_exhaustion_is_reported_not_raised(self):
+        result = shrink_spec(
+            spin_deadlock_spec(), signature="sim-timeout", max_runs=2
+        )
+        assert result.exhausted
+        # Whatever it managed is still a reproducing spec.
+        replayed = execute_spec_guarded(result.spec)
+        assert failure_signature(replayed) == "sim-timeout"
+
+    def test_schedule_replay_specs_skip_structural_passes(self):
+        spec = spin_deadlock_spec(schedule=(0, 0))
+        calls = []
+
+        def fake_execute(candidate):
+            calls.append(candidate)
+            return _result(
+                RunFailure(kind="sim-timeout", message="watchdog"),
+                completed=False,
+            )
+
+        result = shrink_spec(
+            spec, signature="sim-timeout", execute=fake_execute
+        )
+        # The program is untouched: only the budget pass may shrink.
+        assert result.spec.program is spec.program
+        assert result.minimized_instructions == result.original_instructions
+        assert all(c.program is spec.program for c in calls)

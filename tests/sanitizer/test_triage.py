@@ -1,0 +1,112 @@
+"""Campaign triage: dedup by signature, bundles on disk, metrics."""
+
+from dataclasses import replace
+
+from repro.campaign import RunFailure, RunResult, run_campaign
+from repro.sanitizer import ReproBundle, TriageConfig, triage_failures
+
+from tests.sanitizer.conftest import spin_deadlock_spec
+
+
+def _failing_result(kind="sim-timeout", message="watchdog tripped"):
+    return RunResult(
+        completed=False,
+        observable=None,
+        cycles=1000,
+        failure=RunFailure(kind=kind, message=message),
+    )
+
+
+class TestTriageFailures:
+    def test_dedups_by_signature_one_bundle_per_way_of_failing(
+        self, tmp_path
+    ):
+        specs = [spin_deadlock_spec(), spin_deadlock_spec(seed=1)]
+        results = [_failing_result(), _failing_result()]
+        report = triage_failures(
+            specs, results, TriageConfig(tmp_path, shrink=False), label="t"
+        )
+        assert report.failures_seen == 2
+        assert report.bundles_written == 1
+        signature, path = report.bundles[0]
+        assert signature == "sim-timeout"
+        assert (tmp_path / "t-sim-timeout.json").exists()
+        bundle = ReproBundle.from_json((tmp_path / "t-sim-timeout.json").read_text())
+        # First failing spec wins as the representative.
+        assert bundle.spec.seed == specs[0].seed
+
+    def test_nondeterministic_kinds_are_skipped(self, tmp_path):
+        specs = [spin_deadlock_spec(), spin_deadlock_spec(seed=1)]
+        results = [
+            _failing_result(kind="wall-timeout", message="5s budget"),
+            _failing_result(kind="worker-lost", message="pool died"),
+        ]
+        report = triage_failures(
+            specs, results, TriageConfig(tmp_path, shrink=False)
+        )
+        assert report.failures_seen == 2
+        assert report.skipped_nondeterministic == 2
+        assert report.bundles_written == 0
+        assert not any(tmp_path.iterdir())
+
+    def test_bundle_cap_drops_excess_signatures(self, tmp_path):
+        specs = [spin_deadlock_spec(seed=i) for i in range(3)]
+        results = [
+            _failing_result(message=f"[rule-{i}] violated") for i in range(3)
+        ]
+        for i, result in enumerate(results):
+            results[i] = replace(
+                result,
+                failure=RunFailure(
+                    kind="sanitizer", message=f"[rule-{i}] violated"
+                ),
+            )
+        report = triage_failures(
+            specs,
+            results,
+            TriageConfig(tmp_path, shrink=False, max_bundles=2),
+        )
+        assert report.bundles_written == 2
+        assert report.dropped_over_cap == 1
+        assert "dropped 1 signature(s)" in report.describe()
+
+    def test_successful_runs_produce_no_report_lines(self, tmp_path):
+        ok = RunResult(completed=True, observable=None, cycles=10)
+        report = triage_failures(
+            [spin_deadlock_spec()], [ok], TriageConfig(tmp_path)
+        )
+        assert report.failures_seen == 0
+        assert report.describe() == "triage: no failures"
+
+
+class TestCampaignIntegration:
+    def test_campaign_triage_end_to_end(self, tmp_path):
+        """run_campaign(triage=...) shrinks, writes, counts, replays."""
+        specs = [
+            spin_deadlock_spec(max_cycles=30_000),
+            spin_deadlock_spec(max_cycles=30_000, seed=1),
+        ]
+        campaign = run_campaign(
+            specs,
+            label="triage smoke",
+            triage=TriageConfig(tmp_path, max_shrink_runs=100),
+        )
+        assert campaign.metrics.failed_runs == 2
+        assert campaign.metrics.triaged_failures == 2
+        assert campaign.metrics.bundles_written == 1
+        assert "[triaged 2 -> 1 bundle(s)]" in campaign.metrics.describe()
+        assert campaign.triage is not None
+
+        (signature, path), = campaign.triage.bundles
+        bundle = ReproBundle.from_json(open(path).read())
+        assert bundle.signature == signature == "sim-timeout"
+        # Shrinking happened and the bundle still reproduces.
+        assert bundle.minimized_instructions < bundle.original_instructions
+        _, replayed_signature, ok = bundle.replay()
+        assert ok and replayed_signature == "sim-timeout"
+
+    def test_campaign_without_triage_is_unchanged(self):
+        campaign = run_campaign([spin_deadlock_spec(max_cycles=30_000)])
+        assert campaign.triage is None
+        assert campaign.metrics.triaged_failures == 0
+        assert "[triaged" not in campaign.metrics.describe()
