@@ -10,9 +10,12 @@ the exploration itself and re-establishes the two headline facts:
   budget tried, over thousands of schedules.
 """
 
+import pytest
+
 from repro.explore.explorer import explore_program, verify_weak_ordering
 from repro.litmus.catalog import fig1_dekker, fig1_dekker_all_sync
 from repro.models.policies import Def2Policy, RelaxedPolicy
+from repro.workloads.barrier import barrier_program
 from repro.workloads.locks import critical_section_program
 
 
@@ -64,3 +67,39 @@ def test_explore_lock_program(benchmark, verifier, executor):
         f"\n[EXPLORE] DEF2 lock program: {report.runs} schedules, holds={holds}"
     )
     assert holds
+
+
+@pytest.mark.parametrize(
+    "program",
+    [
+        critical_section_program(2, 1, private_writes=2),
+        barrier_program(2, private_writes=2),
+    ],
+    ids=lambda p: p.name,
+)
+def test_explore_pruning_reduction(benchmark, program):
+    """Conflict-aware pruning on workloads with private-line traffic:
+    identical outcome sets at a fraction of the schedule count.  The
+    pruned/unpruned counters land in the bench JSON via extra_info."""
+    full = explore_program(
+        program, Def2Policy, max_delays=2, max_runs=100_000, prune=False
+    )
+    pruned = benchmark.pedantic(
+        lambda: explore_program(
+            program, Def2Policy, max_delays=2, max_runs=100_000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["runs_pruned"] = pruned.runs
+    benchmark.extra_info["runs_unpruned"] = full.runs
+    benchmark.extra_info["decisions_pruned"] = pruned.pruned_decisions
+    benchmark.extra_info["reduction"] = round(full.runs / pruned.runs, 2)
+    print(
+        f"\n[EXPLORE] {program.name}: {full.runs} schedules unpruned vs "
+        f"{pruned.runs} pruned ({full.runs / pruned.runs:.2f}x, "
+        f"{pruned.pruned_decisions} decisions skipped)"
+    )
+    assert pruned.exhausted and full.exhausted
+    assert pruned.observables == full.observables
+    assert full.runs >= 3 * pruned.runs

@@ -5,6 +5,8 @@ enumeration, happens-before closure at scale, DRF0 checking, and the
 Lemma-1 witness search for hardware executions.
 """
 
+import pytest
+
 from repro.core.execution import Execution
 from repro.core.operation import MemoryOp, OpKind
 from repro.drf.races import find_races
@@ -13,8 +15,10 @@ from repro.litmus.catalog import fig1_dekker, iriw
 from repro.memsys.config import NET_CACHE
 from repro.memsys.system import run_program
 from repro.models.policies import Def2Policy
+from repro.sc.independence import SearchStats
 from repro.sc.interleaving import count_reachable_states, enumerate_results
 from repro.sc.lemma1 import find_hb_witness
+from repro.workloads.barrier import barrier_program
 from repro.workloads.locks import release_overlap_program
 
 
@@ -29,6 +33,39 @@ def test_verify_sc_enumeration_iriw(benchmark):
     program = iriw().program
     results = benchmark(lambda: enumerate_results(program))
     assert len(results) >= 10
+
+
+@pytest.mark.parametrize("workload", ["spin", "barrier"])
+def test_verify_pruning_reduction(benchmark, workload):
+    """Persistent-set + sleep-set pruning of the SC enumerator on the
+    synchronization workloads: identical observable sets with the
+    explored-transition counts recorded in the bench JSON."""
+    from repro.workloads.locks import critical_section_program
+
+    program = (
+        critical_section_program(2, 1, private_writes=3)
+        if workload == "spin"
+        else barrier_program(2, private_writes=3)
+    )
+    full_stats = SearchStats()
+    full = enumerate_results(program, prune=False, stats=full_stats)
+    pruned_stats = SearchStats()
+    pruned = benchmark.pedantic(
+        lambda: enumerate_results(program, stats=pruned_stats),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["transitions_pruned"] = pruned_stats.transitions
+    benchmark.extra_info["transitions_unpruned"] = full_stats.transitions
+    benchmark.extra_info["states_pruned"] = pruned_stats.states
+    benchmark.extra_info["states_unpruned"] = full_stats.states
+    print(
+        f"\n[VERIFY] {program.name}: {full_stats.transitions} transitions "
+        f"unpruned vs {pruned_stats.transitions} pruned "
+        f"({full_stats.transitions / pruned_stats.transitions:.2f}x)"
+    )
+    assert pruned == full
+    assert full_stats.transitions >= 3 * pruned_stats.transitions
 
 
 def test_verify_state_count_scales(benchmark):

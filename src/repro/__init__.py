@@ -33,15 +33,20 @@ This package makes every piece of that story executable:
   Definition-2 contract under adversarial message timings
   (``--faults`` on the CLI, ``RunSpec.faults`` in campaigns).
 
+The supported entry point for all of it is :mod:`repro.api` — five
+keyword-only functions (:func:`~repro.api.run`,
+:func:`~repro.api.explore`, :func:`~repro.api.verify_sc`,
+:func:`~repro.api.check_drf0`, :func:`~repro.api.campaign`) re-exported
+here.
+
 Quickstart::
 
-    from repro import (
-        LitmusRunner, fig1_dekker, RelaxedPolicy, SCPolicy, NET_CACHE,
-    )
+    import repro
+    from repro import fig1_dekker
 
-    runner = LitmusRunner()
-    print(runner.run(fig1_dekker(warm=True), RelaxedPolicy, NET_CACHE).describe())
-    print(runner.run(fig1_dekker(warm=True), SCPolicy, NET_CACHE).describe())
+    print(repro.run(fig1_dekker(warm=True).program, "RELAXED").observable)
+    report = repro.explore(fig1_dekker(warm=True).program, "DEF2")
+    print(report.describe())
 """
 
 from repro.campaign import (
@@ -95,9 +100,23 @@ from repro.models import (
 )
 from repro.sc import SCVerifier, enumerate_executions, enumerate_results
 
-__version__ = "1.0.0"
+# The stable facade.  Imported last: repro.api pulls in the modules
+# above and must find the package already initialised.  Note that
+# ``repro.explore`` / ``repro.campaign`` as *attributes* of this package
+# now name the facade functions; the subpackages stay importable as
+# ``repro.explore.*`` / ``repro.campaign.*`` as always.
+from repro import api
+from repro.api import campaign, check_drf0, explore, run, verify_sc
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
+    "campaign",
+    "check_drf0",
+    "explore",
+    "run",
+    "verify_sc",
     "BUS_CACHE",
     "BUS_CACHE_SNOOP",
     "BUS_NOCACHE",

@@ -1,0 +1,413 @@
+"""The stable public facade of the reproduction.
+
+Every workflow the repo supports is reachable through five keyword-only,
+picklable-spec-based functions:
+
+* :func:`run` — execute one program on simulated hardware;
+* :func:`explore` — delay-bounded systematic exploration (with
+  conflict-aware pruning);
+* :func:`verify_sc` — the appears-SC check of Definition 2;
+* :func:`check_drf0` — the DRF0 program check of Definition 3;
+* :func:`campaign` — a batch of :class:`~repro.campaign.spec.RunSpec`
+  through the (serial or parallel, optionally cached) campaign layer.
+
+Arguments accept friendly forms everywhere: a policy may be a name
+(``"DEF2"``), a :class:`~repro.campaign.spec.PolicySpec`, a policy
+class, a zero-argument factory, or an instance; a machine may be a name
+(``"net_cache"``) or a :class:`~repro.memsys.config.MachineConfig`; a
+fault plan may be a spec string (``"jitter=12,reorder=20"``) or a
+:class:`~repro.faults.FaultPlan`.
+
+The module also re-exports the curated surface the CLI and downstream
+tools build on, so ``from repro.api import ...`` is the only import a
+consumer needs.  Internal entry points remain importable from their
+home modules, but new code should come through here; the legacy
+call patterns (positional ``explore_program`` options, positional
+``SCVerifier``/``LitmusRunner`` arguments) warn with
+``DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.analysis.figure3 import figure3_sweep
+from repro.analysis.report import format_table
+from repro.campaign import (
+    CampaignMetrics,
+    CampaignResult,
+    Executor,
+    ParallelExecutor,
+    PolicySpec,
+    ResultCache,
+    RunFailure,
+    RunResult,
+    RunSpec,
+    SerialExecutor,
+    default_executor,
+    emit_metrics,
+    program_fingerprint,
+    register_metrics_hook,
+    run_campaign,
+    unregister_metrics_hook,
+)
+from repro.conformance import (
+    VERDICT_BROKEN,
+    VERDICT_NA,
+    VERDICT_SC,
+    VERDICT_WEAK,
+    ConformanceReport,
+    run_conformance,
+)
+from repro.core.execution import Observable
+from repro.core.program import Program, Thread, ThreadBuilder
+from repro.delayset import (
+    delay_pairs,
+    describe_delay_set,
+    minimal_delay_pairs,
+    static_footprints,
+)
+from repro.drf.drf0 import DRFReport, check_program, obeys_drf0
+from repro.drf.models import DRF0, DRF0_R, SynchronizationModel
+from repro.explore.explorer import (
+    ExplorationReport,
+    explore_program,
+    explore_to_fixpoint,
+    verify_weak_ordering,
+)
+from repro.faults import FaultPlan, parse_fault_plan
+from repro.litmus.catalog import (
+    catalog_by_name,
+    fig1_dekker,
+    fig1_dekker_all_sync,
+    standard_catalog,
+)
+from repro.litmus.parse import parse_litmus
+from repro.litmus.runner import LitmusResult, LitmusRunner
+from repro.litmus.test import LitmusTest
+from repro.log import configure_cli_logging, get_logger
+from repro.memsys.config import (
+    BUS_CACHE,
+    BUS_CACHE_SNOOP,
+    BUS_NOCACHE,
+    FIGURE1_CONFIGS,
+    NET_CACHE,
+    NET_CACHE_VC,
+    NET_NOCACHE,
+    MachineConfig,
+    config_by_name,
+)
+from repro.memsys.system import System
+from repro.models.policies import (
+    Def1Policy,
+    Def2Policy,
+    Def2RPolicy,
+    RelaxedPolicy,
+    SCPolicy,
+    policy_by_name,
+)
+from repro.sanitizer.bundle import ReproBundle
+from repro.sanitizer.triage import TriageConfig
+from repro.sc.independence import SearchStats
+from repro.sc.interleaving import enumerate_executions, enumerate_results
+from repro.sc.verifier import SCVerifier, SCViolation
+from repro.trace import (
+    FORMATS,
+    TraceEvent,
+    TraceSpec,
+    crosscheck_run,
+    format_timeline,
+    write_trace,
+)
+from repro.workloads.random_programs import (
+    random_drf0_program,
+    random_mixed_sync_program,
+    random_racy_program,
+    random_spin_program,
+)
+
+#: Forms accepted wherever the facade takes a policy.
+PolicyLike = Union[str, PolicySpec, Callable, object]
+#: Forms accepted wherever the facade takes a machine.
+MachineLike = Union[str, MachineConfig, None]
+#: Forms accepted wherever the facade takes a fault plan.
+FaultsLike = Union[str, FaultPlan, None]
+
+
+def _coerce_policy(policy: PolicyLike) -> PolicySpec:
+    if isinstance(policy, str):
+        return PolicySpec.of(policy_by_name(policy))
+    return PolicySpec.of(policy)
+
+
+def _coerce_machine(machine: MachineLike) -> MachineConfig:
+    if machine is None:
+        return NET_CACHE
+    if isinstance(machine, str):
+        return config_by_name(machine)
+    return machine
+
+
+def _coerce_faults(faults: FaultsLike, seed: int) -> Optional[FaultPlan]:
+    if faults is None or isinstance(faults, FaultPlan):
+        return faults
+    return parse_fault_plan(faults, seed=seed)
+
+
+def run(
+    program: Program,
+    policy: PolicyLike,
+    *,
+    machine: MachineLike = None,
+    seed: int = 0,
+    max_cycles: int = 1_000_000,
+    faults: FaultsLike = None,
+    trace: Optional[TraceSpec] = None,
+    sanitize: Optional[str] = None,
+) -> RunResult:
+    """Execute ``program`` once on simulated hardware.
+
+    A thin veneer over :meth:`RunSpec.execute`: the call builds the
+    picklable spec and runs it in-process, so anything :func:`run` can
+    do also batches verbatim through :func:`campaign`.
+    """
+    spec = RunSpec(
+        program=program,
+        policy=_coerce_policy(policy),
+        config=_coerce_machine(machine),
+        seed=seed,
+        max_cycles=max_cycles,
+        faults=_coerce_faults(faults, seed),
+        trace=trace,
+        sanitize=sanitize,
+    )
+    return spec.execute()
+
+
+def explore(
+    program: Program,
+    policy: PolicyLike,
+    *,
+    max_delays: int = 2,
+    prune: bool = True,
+    machine: MachineLike = None,
+    max_runs: int = 20_000,
+    max_cycles: int = 200_000,
+    relaxed_request_channels: bool = False,
+    inval_virtual_channel: bool = False,
+    executor: Optional[Executor] = None,
+    jobs: int = 1,
+    trace: Optional[TraceSpec] = None,
+    sanitize: Optional[str] = None,
+) -> ExplorationReport:
+    """Systematically enumerate delay-bounded schedules of ``program``.
+
+    See :func:`repro.explore.explorer.explore_program` for the search
+    itself; ``prune`` skips delay decisions that provably commute
+    (counted on the report, never changing the outcome set).
+    """
+    policy_spec = _coerce_policy(policy)
+    return explore_program(
+        program,
+        policy_spec,
+        max_delays=max_delays,
+        config=_coerce_machine(machine) if machine is not None else None,
+        max_runs=max_runs,
+        max_cycles=max_cycles,
+        relaxed_request_channels=relaxed_request_channels,
+        inval_virtual_channel=inval_virtual_channel,
+        executor=executor,
+        jobs=jobs,
+        trace=trace,
+        sanitize=sanitize,
+        prune=prune,
+    )
+
+
+def verify_sc(
+    program: Program,
+    outcomes: Optional[Iterable[Observable]] = None,
+    *,
+    max_states: int = 2_000_000,
+    prune: bool = True,
+) -> Union[Set[Observable], List[SCViolation]]:
+    """Definition 2's appears-SC check.
+
+    With ``outcomes``: classify each observed outcome against the
+    exhaustive SC result set and return one :class:`SCViolation` per
+    outcome no sequentially consistent execution can produce (empty
+    list = all outcomes appear SC).  Without ``outcomes``: return the
+    SC result set itself.
+    """
+    sc_set = enumerate_results(program, max_states=max_states, prune=prune)
+    if outcomes is None:
+        return sc_set
+    return [
+        SCViolation(program=program, observed=outcome)
+        for outcome in outcomes
+        if outcome not in sc_set
+    ]
+
+
+def check_drf0(
+    program: Program,
+    *,
+    model: SynchronizationModel = DRF0,
+    max_executions: Optional[int] = None,
+    jobs: int = 1,
+    prune: bool = True,
+) -> DRFReport:
+    """Definition 3: does ``program`` obey the synchronization model?"""
+    return check_program(
+        program,
+        model=model,
+        max_executions=max_executions,
+        jobs=jobs,
+        prune=prune,
+    )
+
+
+def campaign(
+    specs: Iterable[RunSpec],
+    *,
+    executor: Optional[Executor] = None,
+    jobs: int = 1,
+    cache: Union[ResultCache, str, None] = None,
+    metrics: Optional[Callable[[CampaignMetrics], None]] = None,
+    label: str = "campaign",
+    run_timeout: Optional[float] = None,
+    retries: int = 2,
+    triage: Optional[TriageConfig] = None,
+) -> CampaignResult:
+    """Execute a batch of specs; results come back in spec order.
+
+    ``cache`` may be a :class:`ResultCache` or a directory path;
+    ``metrics`` is an optional callback receiving the campaign's
+    :class:`CampaignMetrics` (registered only for the duration of this
+    call).  Everything else matches
+    :func:`repro.campaign.run_campaign`, the engine underneath.
+    """
+    if isinstance(cache, str):
+        cache = ResultCache(cache)
+    if metrics is not None:
+        register_metrics_hook(metrics)
+    try:
+        return run_campaign(
+            specs,
+            executor=executor,
+            jobs=jobs,
+            cache=cache,
+            label=label,
+            run_timeout=run_timeout,
+            retries=retries,
+            triage=triage,
+        )
+    finally:
+        if metrics is not None:
+            unregister_metrics_hook(metrics)
+
+
+__all__ = [
+    # The facade.
+    "run",
+    "explore",
+    "verify_sc",
+    "check_drf0",
+    "campaign",
+    # Core vocabulary.
+    "Observable",
+    "Program",
+    "Thread",
+    "ThreadBuilder",
+    # Campaign layer.
+    "CampaignMetrics",
+    "CampaignResult",
+    "Executor",
+    "ParallelExecutor",
+    "PolicySpec",
+    "ResultCache",
+    "RunFailure",
+    "RunResult",
+    "RunSpec",
+    "SerialExecutor",
+    "default_executor",
+    "emit_metrics",
+    "program_fingerprint",
+    "register_metrics_hook",
+    "run_campaign",
+    "unregister_metrics_hook",
+    # Machines and policies.
+    "BUS_CACHE",
+    "BUS_CACHE_SNOOP",
+    "BUS_NOCACHE",
+    "FIGURE1_CONFIGS",
+    "MachineConfig",
+    "NET_CACHE",
+    "NET_CACHE_VC",
+    "NET_NOCACHE",
+    "System",
+    "config_by_name",
+    "Def1Policy",
+    "Def2Policy",
+    "Def2RPolicy",
+    "RelaxedPolicy",
+    "SCPolicy",
+    "policy_by_name",
+    # Litmus and conformance.
+    "LitmusResult",
+    "LitmusRunner",
+    "LitmusTest",
+    "catalog_by_name",
+    "fig1_dekker",
+    "fig1_dekker_all_sync",
+    "parse_litmus",
+    "standard_catalog",
+    "ConformanceReport",
+    "run_conformance",
+    "VERDICT_BROKEN",
+    "VERDICT_NA",
+    "VERDICT_SC",
+    "VERDICT_WEAK",
+    # Checkers and search.
+    "DRF0",
+    "DRF0_R",
+    "DRFReport",
+    "ExplorationReport",
+    "SCVerifier",
+    "SCViolation",
+    "SearchStats",
+    "SynchronizationModel",
+    "check_program",
+    "enumerate_executions",
+    "enumerate_results",
+    "explore_program",
+    "explore_to_fixpoint",
+    "obeys_drf0",
+    "verify_weak_ordering",
+    # Delay sets.
+    "delay_pairs",
+    "describe_delay_set",
+    "minimal_delay_pairs",
+    "static_footprints",
+    # Faults, tracing, observability.
+    "FaultPlan",
+    "parse_fault_plan",
+    "FORMATS",
+    "TraceEvent",
+    "TraceSpec",
+    "crosscheck_run",
+    "format_timeline",
+    "write_trace",
+    # Fuzzing and triage.
+    "ReproBundle",
+    "TriageConfig",
+    "random_drf0_program",
+    "random_mixed_sync_program",
+    "random_racy_program",
+    "random_spin_program",
+    # Analyses and logging.
+    "figure3_sweep",
+    "format_table",
+    "configure_cli_logging",
+    "get_logger",
+]

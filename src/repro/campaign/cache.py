@@ -14,6 +14,7 @@ a campaign, only fail to accelerate it.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import tempfile
@@ -53,7 +54,12 @@ class ResultCache:
             self._quarantine(path)
             self.misses += 1
             return None
-        if not isinstance(result, RunResult):
+        if not isinstance(result, RunResult) or result.__dict__.keys() != {
+            f.name for f in dataclasses.fields(RunResult)
+        }:
+            # Either not a result at all, or pickled by an older/newer
+            # RunResult layout (missing or extra fields) — re-run rather
+            # than hand back an object whose attributes may not resolve.
             self._quarantine(path)
             self.misses += 1
             return None

@@ -152,6 +152,12 @@ class RunResult:
     #: Systematic exploration only: pending-pool size at every oracle
     #: choice point, so the explorer can branch without re-running.
     choice_log: Optional[Tuple[int, ...]] = None
+    #: Systematic exploration only: per choice point, the eligible
+    #: messages' target locations in pool order (``None`` entries for
+    #: payloads without one).  The explorer's conflict-aware pruning
+    #: uses these to skip decisions that only permute independent
+    #: deliveries.
+    choice_details: Optional[Tuple[Tuple[Optional[str], ...], ...]] = None
     #: Set when the run failed (watchdog, exception, wall-clock timeout,
     #: lost worker) instead of producing a full outcome.
     failure: Optional[RunFailure] = None
@@ -247,7 +253,11 @@ class RunSpec:
             ),
         )
         run = system.run(max_cycles=self.max_cycles)
-        return _package(run, choice_log=tuple(oracle.log))
+        return _package(
+            run,
+            choice_log=tuple(oracle.log),
+            choice_details=tuple(oracle.detail_log),
+        )
 
     def digest(self) -> str:
         """A stable content hash of the spec — the result-cache key."""
@@ -273,7 +283,11 @@ class RunSpec:
         return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
 
 
-def _package(run, choice_log: Optional[Tuple[int, ...]]) -> RunResult:
+def _package(
+    run,
+    choice_log: Optional[Tuple[int, ...]],
+    choice_details: Optional[Tuple[Tuple[Optional[str], ...], ...]] = None,
+) -> RunResult:
     """Distill a :class:`~repro.memsys.system.HardwareRun` to a result."""
     by_reason: Dict[StallReason, int] = {}
     proc_stalls: Dict[Tuple[int, StallReason], int] = {}
@@ -313,6 +327,7 @@ def _package(run, choice_log: Optional[Tuple[int, ...]]) -> RunResult:
         completed=run.completed,
         timings=timings,
         choice_log=choice_log,
+        choice_details=choice_details,
         failure=failure,
         trace_events=run.trace_events,
         trace_summary=run.trace_summary,

@@ -48,32 +48,35 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
-from repro.analysis.figure3 import figure3_sweep
-from repro.campaign import (
+# The CLI is a consumer of the stable facade: everything it needs comes
+# through repro.api, nothing from internal modules directly.
+import repro.api as api
+from repro.api import (
     CampaignMetrics,
-    default_executor,
-    emit_metrics,
-    register_metrics_hook,
-    unregister_metrics_hook,
-)
-from repro.analysis.report import format_table
-from repro.drf.drf0 import check_program
-from repro.explore.explorer import explore_program
-from repro.faults import parse_fault_plan
-from repro.litmus.catalog import catalog_by_name, fig1_dekker
-from repro.litmus.parse import parse_litmus
-from repro.litmus.runner import LitmusRunner
-from repro.litmus.test import LitmusTest
-from repro.log import configure_cli_logging, get_logger
-from repro.memsys.config import FIGURE1_CONFIGS, NET_CACHE, config_by_name
-from repro.models.policies import RelaxedPolicy, SCPolicy, policy_by_name
-from repro.sc.verifier import SCVerifier
-from repro.trace import (
+    FIGURE1_CONFIGS,
     FORMATS,
+    LitmusRunner,
+    LitmusTest,
+    RelaxedPolicy,
+    SCPolicy,
     TraceEvent,
     TraceSpec,
+    catalog_by_name,
+    config_by_name,
+    configure_cli_logging,
     crosscheck_run,
+    default_executor,
+    emit_metrics,
+    fig1_dekker,
+    figure3_sweep,
+    format_table,
     format_timeline,
+    get_logger,
+    parse_fault_plan,
+    parse_litmus,
+    policy_by_name,
+    register_metrics_hook,
+    unregister_metrics_hook,
     write_trace,
 )
 
@@ -198,11 +201,11 @@ def _cmd_drf(args: argparse.Namespace) -> int:
     test = _load_test(args.test)
     with _campaign_metrics(args):
         started = time.perf_counter()
-        report = check_program(
+        report = api.check_drf0(
             test.program, max_executions=args.max_executions, jobs=args.jobs
         )
         wall = time.perf_counter() - started
-        # check_program is also a conformance-grid subroutine, so the
+        # check_drf0 is also a conformance-grid subroutine, so the
         # library stays silent; the CLI emits the metrics record itself.
         emit_metrics(
             CampaignMetrics(
@@ -226,10 +229,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     program = test.executable_program()
     trace = _trace_spec(args)
     with _campaign_metrics(args), _executor_for(args) as executor:
-        report = explore_program(
+        report = api.explore(
             program,
-            lambda: policy_by_name(args.policy),
+            args.policy,
             max_delays=args.delays,
+            prune=not args.no_prune,
             max_runs=args.max_runs,
             executor=executor,
             trace=trace,
@@ -237,13 +241,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         )
     _write_traces(args, report.run_traces)
     print(report.describe())
-    verifier = SCVerifier()
-    sc_set = verifier.sc_result_set(program)
-    violations = [o for o in report.observables if o not in sc_set]
+    violations = api.verify_sc(program, report.observables)
     if violations:
         print(f"\n{len(violations)} outcome(s) are NOT sequentially consistent:")
-        for outcome in violations:
-            print(f"  {outcome.describe()}")
+        for violation in violations:
+            print(f"  {violation.observed.describe()}")
         return 1
     print("\nall reachable outcomes are sequentially consistent "
           f"(within delay bound {args.delays})")
@@ -308,12 +310,10 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
 
 
 def _cmd_conformance(args: argparse.Namespace) -> int:
-    from repro.conformance import VERDICT_BROKEN, run_conformance
-
     faults = _parse_faults(args)
     trace = _trace_spec(args)
     with _campaign_metrics(args), _executor_for(args) as executor:
-        report = run_conformance(
+        report = api.run_conformance(
             runs_per_test=args.runs, executor=executor, faults=faults,
             trace=trace, sanitize=_sanitize_mode(args),
         )
@@ -324,7 +324,7 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     broken = [
         cell
         for cell in report.cells
-        if cell.verdict == VERDICT_BROKEN and cell.policy_name != "RELAXED"
+        if cell.verdict == api.VERDICT_BROKEN and cell.policy_name != "RELAXED"
     ]
     for cell in broken:
         print(
@@ -335,23 +335,19 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
 
 
 def _cmd_delays(args: argparse.Namespace) -> int:
-    from repro.delayset.analysis import delay_pairs, describe_delay_set
-
     test = _load_test(args.test)
-    print(describe_delay_set(delay_pairs(test.program)))
+    print(api.describe_delay_set(api.delay_pairs(test.program)))
     return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.memsys.system import System
-
     test = _load_test(args.test, warm=args.warm)
     config = config_by_name(args.machine)
     try:
         spec = TraceSpec.parse_filter(args.filter, ring=args.ring)
     except ValueError as exc:
         raise SystemExit(f"error: bad --filter value: {exc}")
-    system = System(
+    system = api.System(
         test.executable_program(),
         policy_by_name(args.policy),
         config,
@@ -401,18 +397,11 @@ _FUZZ_FAMILIES = ("racy", "drf0", "mixed", "spin", "all")
 
 
 def _fuzz_program(family: str, seed: int):
-    from repro.workloads.random_programs import (
-        random_drf0_program,
-        random_mixed_sync_program,
-        random_racy_program,
-        random_spin_program,
-    )
-
     generators = {
-        "racy": random_racy_program,
-        "drf0": random_drf0_program,
-        "mixed": random_mixed_sync_program,
-        "spin": random_spin_program,
+        "racy": api.random_racy_program,
+        "drf0": api.random_drf0_program,
+        "mixed": api.random_mixed_sync_program,
+        "spin": api.random_spin_program,
     }
     if family == "all":
         family = _FUZZ_FAMILIES[seed % 4]
@@ -420,14 +409,11 @@ def _fuzz_program(family: str, seed: int):
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.campaign import PolicySpec, RunSpec, run_campaign
-    from repro.sanitizer.triage import TriageConfig
-
     config = config_by_name(args.machine)
-    policy_spec = PolicySpec.of(lambda: policy_by_name(args.policy))
+    policy_spec = api.PolicySpec.of(lambda: policy_by_name(args.policy))
     faults = _parse_faults(args)
     specs = [
-        RunSpec(
+        api.RunSpec(
             program=_fuzz_program(args.family, program_seed),
             policy=policy_spec,
             config=config,
@@ -440,13 +426,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     ]
     triage = None
     if args.triage_dir:
-        triage = TriageConfig(
+        triage = api.TriageConfig(
             directory=Path(args.triage_dir),
             shrink=not args.no_shrink,
             max_bundles=args.max_bundles,
         )
     with _campaign_metrics(args), _executor_for(args) as executor:
-        campaign = run_campaign(
+        campaign = api.campaign(
             specs,
             executor=executor,
             label=f"fuzz:{args.family}",
@@ -463,11 +449,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    from repro.sanitizer.bundle import ReproBundle
-
     path = Path(args.bundle)
     try:
-        bundle = ReproBundle.from_json(path.read_text())
+        bundle = api.ReproBundle.from_json(path.read_text())
     except (OSError, ValueError, KeyError) as exc:
         raise SystemExit(f"error: cannot load bundle {path}: {exc}")
     shrunk = ""
@@ -599,6 +583,12 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--policy", default="DEF2")
     explore.add_argument("--delays", type=int, default=2)
     explore.add_argument("--max-runs", type=int, default=20_000)
+    explore.add_argument(
+        "--no-prune", action="store_true",
+        help="disable conflict-aware pruning of provably redundant "
+        "delay decisions (prune is on by default and never changes "
+        "the outcome set)",
+    )
     explore.add_argument("--warm", action="store_true")
     add_campaign_options(explore)
     add_trace_options(explore)

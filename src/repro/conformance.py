@@ -30,7 +30,6 @@ from repro.campaign import (
     PolicySpec,
     ResultCache,
     RunSpec,
-    run_campaign,
 )
 from repro.faults import FaultPlan
 from repro.litmus.catalog import standard_catalog
@@ -220,6 +219,8 @@ def run_conformance(
             cell_plans.append(
                 {"config": config, "policy": policy_spec, "blocks": blocks}
             )
+
+    from repro.api import campaign as run_campaign
 
     campaign = run_campaign(
         specs, executor=executor, jobs=jobs, cache=cache, label="conformance"

@@ -1,7 +1,9 @@
 """Shasha-Snir delay sets: analysis and hardware enforcement [ShS88]."""
 
 from repro.delayset.analysis import (
+    AccessSummary,
     DelayPair,
+    Footprint,
     NotStraightLineError,
     StaticAccess,
     conflict_graph,
@@ -9,12 +11,15 @@ from repro.delayset.analysis import (
     describe_delay_set,
     minimal_delay_pairs,
     static_accesses,
+    static_footprints,
 )
 from repro.delayset.policy import DelayPolicy, delay_policy_factory
 
 __all__ = [
+    "AccessSummary",
     "DelayPair",
     "DelayPolicy",
+    "Footprint",
     "NotStraightLineError",
     "StaticAccess",
     "conflict_graph",
@@ -23,4 +28,5 @@ __all__ = [
     "describe_delay_set",
     "minimal_delay_pairs",
     "static_accesses",
+    "static_footprints",
 ]

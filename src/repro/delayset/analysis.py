@@ -28,7 +28,7 @@ when it notes the approach "may be quite pessimistic"):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -79,6 +79,68 @@ def static_accesses(program: Program) -> List[List[StaticAccess]]:
                 )
         per_thread.append(accesses)
     return per_thread
+
+
+#: Static summary of one access: ``(location, writes_memory, is_sync)``.
+AccessSummary = Tuple[str, bool, bool]
+
+#: Access summaries reachable from one program point.
+Footprint = FrozenSet[AccessSummary]
+
+
+def static_footprints(program: Program) -> Tuple[Tuple[Footprint, ...], ...]:
+    """Per-thread, per-pc sets of accesses reachable from that pc.
+
+    ``result[proc][pc]`` over-approximates every memory access thread
+    ``proc`` can still perform once control reaches ``pc`` — computed as
+    a reachability fixpoint on the thread's control-flow graph, so it
+    handles branches and loops that :func:`static_accesses` rejects.
+    Registers are ignored (both branch arms are assumed reachable),
+    which keeps the footprint sound for any data valuation; that is what
+    lets the SC search use it to bound the future behaviour of a thread
+    other threads cannot influence except through memory.
+
+    Each tuple has ``len(instructions) + 1`` entries; the final entry is
+    the empty footprint of the implicit halt past the last instruction.
+    """
+    from repro.core.instructions import Branch, Halt, Jump
+
+    per_thread: List[Tuple[Footprint, ...]] = []
+    for thread in program.threads:
+        size = len(thread.instructions)
+        successors: List[Tuple[int, ...]] = []
+        generated: List[Optional[AccessSummary]] = []
+        for pc, instr in enumerate(thread.instructions):
+            if isinstance(instr, Halt):
+                successors.append(())
+            elif isinstance(instr, Jump):
+                successors.append((thread.target_of(instr),))
+            elif isinstance(instr, Branch):
+                successors.append((thread.target_of(instr), pc + 1))
+            else:
+                successors.append((pc + 1,))
+            if isinstance(instr, MemInstruction):
+                generated.append(
+                    (instr.location, instr.kind.writes_memory, instr.kind.is_sync)
+                )
+            else:
+                generated.append(None)
+        reachable: List[Set[AccessSummary]] = [set() for _ in range(size + 1)]
+        changed = True
+        while changed:
+            changed = False
+            for pc in range(size - 1, -1, -1):
+                update: Set[AccessSummary] = set()
+                if generated[pc] is not None:
+                    update.add(generated[pc])
+                for succ in successors[pc]:
+                    if succ < size:
+                        update |= reachable[succ]
+                if not update <= reachable[pc]:
+                    reachable[pc] |= update
+                    changed = True
+        per_thread.append(tuple(frozenset(fp) for fp in reachable))
+    return tuple(per_thread)
 
 
 def _conflicts(a: StaticAccess, b: StaticAccess) -> bool:

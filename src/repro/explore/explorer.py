@@ -25,12 +25,18 @@ program.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.campaign import Executor, PolicySpec, RunSpec, run_campaign
+from repro.campaign import Executor, PolicySpec, RunSpec
 from repro.core.execution import Observable
 from repro.core.program import Program
+from repro.explore.prune import (
+    conflict_free_locations,
+    decision_redundant,
+    supports_message_pruning,
+)
 from repro.memsys.config import MachineConfig, NET_CACHE
 from repro.models.base import OrderingPolicy
 from repro.trace.events import TraceEvent
@@ -47,10 +53,17 @@ class ExplorationReport:
     runs: int
     #: Observable -> number of schedules producing it.
     outcomes: Dict[Observable, int] = field(default_factory=dict)
-    #: True when every schedule within the budget was executed (the
-    #: search was not truncated by ``max_runs``).
-    exhausted: bool = True
+    #: True only once the walk *completed*: every schedule within the
+    #: budget was executed or pruned as provably redundant.  Starts
+    #: pessimistically False — a truncated or aborted search can never
+    #: masquerade as a proof.
+    exhausted: bool = False
     incomplete_runs: int = 0
+    #: Delay decisions skipped because the deviating message provably
+    #: commutes with every message it would overtake; each one collapses
+    #: a whole schedule subtree that could only replay already-reachable
+    #: observables (so ``exhausted`` still means proof).
+    pruned_decisions: int = 0
     #: ``(label, events)`` per traced schedule, labelled by its decision
     #: string — present only when exploring with a ``trace`` spec.
     run_traces: List[Tuple[str, Tuple[TraceEvent, ...]]] = field(
@@ -72,14 +85,36 @@ class ExplorationReport:
             self.outcomes.items(), key=lambda kv: -kv[1]
         ):
             lines.append(f"  {count:5d}x {outcome.describe()}")
+        if self.pruned_decisions:
+            lines.append(
+                f"  ({self.pruned_decisions} redundant delay decision(s) "
+                "pruned as commuting)"
+            )
         if self.incomplete_runs:
             lines.append(f"  ({self.incomplete_runs} schedules did not complete)")
         return "\n".join(lines)
 
 
+#: Legacy positional order of :func:`explore_program`'s optional
+#: parameters, accepted (with a warning) by the deprecation shim.
+_EXPLORE_LEGACY_POSITIONALS = (
+    "max_delays",
+    "config",
+    "max_runs",
+    "max_cycles",
+    "relaxed_request_channels",
+    "inval_virtual_channel",
+    "executor",
+    "jobs",
+    "trace",
+    "sanitize",
+)
+
+
 def explore_program(
     program: Program,
     policy_factory: Callable[[], OrderingPolicy],
+    *legacy_args,
     max_delays: int = 2,
     config: Optional[MachineConfig] = None,
     max_runs: int = 20_000,
@@ -90,6 +125,7 @@ def explore_program(
     jobs: int = 1,
     trace: Optional[TraceSpec] = None,
     sanitize: Optional[str] = None,
+    prune: bool = True,
 ) -> ExplorationReport:
     """Enumerate all delay-bounded schedules of ``program``.
 
@@ -120,9 +156,49 @@ def explore_program(
             (``"log"`` or ``"strict"``) — systematic exploration plus
             invariant checking covers corner schedules random seeds
             rarely reach.
+        prune: skip delay decisions whose deviating message provably
+            commutes with every message it overtakes (see
+            :mod:`repro.explore.prune`); the outcome set is unchanged
+            and skipped subtrees are counted on the report.  Pruning is
+            automatically disabled on machines where message
+            independence does not hold (bounded cache capacity).
     """
+    if legacy_args:
+        warnings.warn(
+            "passing explore_program options positionally is deprecated; "
+            "pass them as keywords, or use repro.api.explore",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if len(legacy_args) > len(_EXPLORE_LEGACY_POSITIONALS):
+            raise TypeError(
+                f"explore_program takes at most "
+                f"{2 + len(_EXPLORE_LEGACY_POSITIONALS)} positional arguments"
+            )
+        overrides = dict(zip(_EXPLORE_LEGACY_POSITIONALS, legacy_args))
+        max_delays = overrides.get("max_delays", max_delays)
+        config = overrides.get("config", config)
+        max_runs = overrides.get("max_runs", max_runs)
+        max_cycles = overrides.get("max_cycles", max_cycles)
+        relaxed_request_channels = overrides.get(
+            "relaxed_request_channels", relaxed_request_channels
+        )
+        inval_virtual_channel = overrides.get(
+            "inval_virtual_channel", inval_virtual_channel
+        )
+        executor = overrides.get("executor", executor)
+        jobs = overrides.get("jobs", jobs)
+        trace = overrides.get("trace", trace)
+        sanitize = overrides.get("sanitize", sanitize)
+
+    from repro.api import campaign as run_campaign
+
     config = (config or NET_CACHE).with_overrides(start_skew=0)
     policy_spec = PolicySpec.of(policy_factory)
+    message_pruning = prune and supports_message_pruning(config)
+    conflict_free = (
+        conflict_free_locations(program) if message_pruning else frozenset()
+    )
 
     report = ExplorationReport(
         program=program,
@@ -134,10 +210,11 @@ def explore_program(
     # deviation point, so extending only *after* the prefix guarantees
     # each schedule runs exactly once.
     frontier: List[Tuple[int, ...]] = [()]
+    truncated = False
     while frontier:
         remaining = max_runs - report.runs
         if remaining <= 0:
-            report.exhausted = False
+            truncated = True
             break
         batch, frontier = frontier[:remaining], frontier[remaining:]
         specs = [
@@ -178,13 +255,25 @@ def explore_program(
             if budget_left <= 0:
                 continue
             choice_log = result.choice_log or ()
+            choice_details = result.choice_details or ()
             for point in range(len(prefix), len(choice_log)):
                 eligible = choice_log[point]
                 if eligible <= 1:
                     continue
+                details = (
+                    choice_details[point]
+                    if message_pruning and point < len(choice_details)
+                    else None
+                )
                 for decision in range(1, min(eligible - 1, budget_left) + 1):
+                    if details is not None and decision_redundant(
+                        details, decision, conflict_free
+                    ):
+                        report.pruned_decisions += 1
+                        continue
                     padding = (0,) * (point - len(prefix))
                     frontier.append(prefix + padding + (decision,))
+    report.exhausted = not truncated
     return report
 
 

@@ -25,19 +25,28 @@ class ReplayOracle:
     """Replays a fixed decision prefix, then defaults to FIFO.
 
     Records the pending-pool size at every choice point so the explorer
-    knows where alternative decisions exist.
+    knows where alternative decisions exist, and (when the interconnect
+    supplies them) the target location of each eligible message so the
+    explorer's conflict-aware pruning can tell which alternative
+    decisions merely permute independent deliveries.
     """
 
     def __init__(self, decisions: Sequence[int] = ()) -> None:
         self.decisions: Tuple[int, ...] = tuple(decisions)
         #: Pending-pool size observed at each choice point, in order.
         self.log: List[int] = []
+        #: Per choice point: the eligible messages' target locations, in
+        #: pool order (``None`` for a message without a known location).
+        self.detail_log: List[Tuple[Optional[str], ...]] = []
 
-    def choose(self, pending: int) -> int:
+    def choose(
+        self, pending: int, details: Optional[Sequence[Optional[str]]] = None
+    ) -> int:
         """Pick the index of the message to deliver (0 = oldest)."""
         assert pending > 0
         point = len(self.log)
         self.log.append(pending)
+        self.detail_log.append(tuple(details) if details is not None else ())
         if point < len(self.decisions):
             return min(self.decisions[point], pending - 1)
         return 0
@@ -110,6 +119,9 @@ class ScheduledInterconnect(Interconnect):
 
     def _deliver_slot(self) -> None:
         eligible = self._eligible_indices()
-        pick = self.oracle.choose(len(eligible))
+        details = [
+            getattr(self._pending[idx][2], "location", None) for idx in eligible
+        ]
+        pick = self.oracle.choose(len(eligible), details)
         src, dst, payload = self._pending.pop(eligible[pick])
         self._deliver(src, dst, payload)

@@ -1,0 +1,118 @@
+"""Conflict-aware pruning of delay decisions.
+
+The delay-bounded explorer branches by taking decision ``j > 0`` at a
+choice point: the ``j``-th oldest eligible message is delivered first,
+overtaking the ``j`` messages ahead of it.  When the overtaking message
+provably *commutes* with every message it overtakes, the deviated
+schedule can only replay behaviour the FIFO-relative order already
+exhibits — the deviation permutes two independent deliveries and every
+schedule in the deviated subtree has an equivalent schedule of no higher
+delay cost in the subtrees the explorer already visits.  Skipping those
+decisions collapses whole subtrees without losing any observable.
+
+Message-level commutation is *stricter* than the per-access independence
+the SC kernels use.  The scheduled interconnect delivers one message per
+slot, so permuting two deliveries also shifts their timing relative to
+the concurrently executing processors — and for two *racing* lines that
+timing shift can re-resolve the race and reach outcomes the cheaper
+subtrees never produce (removing a processor-side ordering condition
+makes exactly such cross-line reorderings observable).  Two deliveries
+therefore commute only when their target lines differ **and** at least
+one of the two lines is conflict-free program-wide: accessed by a single
+processor, or never written.  A conflict-free line can participate in no
+race (:func:`repro.hb.conflict.accesses_conflict` is false for every
+pair of accesses to it), so sliding its messages past another line's
+cannot change which conflicting accesses resolve first; any interleaving
+of the owning processor's *shared* accesses that the deviation could
+induce is already induced directly by delaying the shared lines'
+own messages, which are never pruned.
+
+Three conservative guards bound the relation where the argument thins
+out:
+
+* a message whose payload exposes no target location is treated as
+  dependent on everything;
+* messages for the *same* location are always dependent — even two
+  read-shared grants can race a recall differently, so no read-read
+  refinement is attempted at the message level;
+* machines with a bounded cache capacity disable message pruning
+  entirely: delivering a grant for line ``x`` can evict line ``y``, so
+  deliveries for different lines stop commuting once eviction couples
+  them.
+
+The equivalence suite validates the relation empirically by comparing
+pruned and unpruned exploration over the full litmus catalog.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Sequence
+
+from repro.core.instructions import MemInstruction
+from repro.core.operation import Location
+from repro.core.program import Program
+from repro.memsys.config import MachineConfig
+
+
+def supports_message_pruning(config: MachineConfig) -> bool:
+    """True when delay-decision pruning is sound for this machine.
+
+    Bounded-capacity caches couple deliveries for different lines
+    through eviction, so only unlimited-capacity machines (the default
+    configurations) qualify.
+    """
+    return config.cache_capacity is None
+
+
+def conflict_free_locations(program: Program) -> FrozenSet[Location]:
+    """Locations of ``program`` that can participate in no race.
+
+    A location is conflict-free when every pair of accesses to it
+    commutes: it is touched by at most one processor, or no processor
+    ever writes it.  Messages for such lines cannot change which
+    conflicting accesses resolve first, which is what makes them
+    prunable (see the module docstring).
+    """
+    accessors: dict = {}
+    writers: dict = {}
+    for proc, thread in enumerate(program.threads):
+        for instr in thread.instructions:
+            if not isinstance(instr, MemInstruction):
+                continue
+            accessors.setdefault(instr.location, set()).add(proc)
+            if instr.kind.writes_memory:
+                writers.setdefault(instr.location, set()).add(proc)
+    return frozenset(
+        loc
+        for loc, procs in accessors.items()
+        if len(procs) <= 1 or not writers.get(loc)
+    )
+
+
+def decision_redundant(
+    details: Sequence[Optional[Location]],
+    decision: int,
+    conflict_free: FrozenSet[Location],
+) -> bool:
+    """True when taking ``decision`` at this choice point is redundant.
+
+    ``details`` holds the eligible messages' target locations in pool
+    order (as recorded by the
+    :class:`~repro.explore.oracle.ReplayOracle`); ``decision`` delivers
+    ``details[decision]`` ahead of ``details[:decision]``.  Redundant
+    iff every permuted pair commutes: both locations are known, they
+    differ, and at least one of the two is conflict-free program-wide —
+    then the subtree can only repeat outcomes cheaper schedules already
+    reach.
+    """
+    if decision >= len(details):
+        return False
+    overtaking = details[decision]
+    if overtaking is None:
+        return False
+    return all(
+        overtaken is not None
+        and overtaken != overtaking
+        and (overtaking in conflict_free or overtaken in conflict_free)
+        for overtaken in details[:decision]
+    )

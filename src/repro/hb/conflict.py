@@ -12,7 +12,44 @@ from collections import defaultdict
 from typing import Iterator, List, Tuple
 
 from repro.core.execution import Execution
-from repro.core.operation import MemoryOp, conflict
+from repro.core.operation import Location, MemoryOp, conflict
+
+
+def accesses_conflict(
+    loc_a: Location, writes_a: bool, loc_b: Location, writes_b: bool
+) -> bool:
+    """Section 4's conflict relation lifted to static access summaries.
+
+    Two accesses conflict iff they touch the same location and are not
+    both reads — the location/kind projection of :func:`conflict`, usable
+    before any :class:`MemoryOp` exists (e.g. on the search frontier of
+    the SC enumerator, where only the *next* access of each thread is
+    known).
+    """
+    return loc_a == loc_b and (writes_a or writes_b)
+
+
+def accesses_dependent(
+    loc_a: Location,
+    writes_a: bool,
+    sync_a: bool,
+    loc_b: Location,
+    writes_b: bool,
+    sync_b: bool,
+) -> bool:
+    """Dependence for happens-before-preserving reordering.
+
+    Strictly coarser than :func:`accesses_conflict`: two same-location
+    *synchronization* reads do not conflict, but they are still ordered
+    by DRF0's synchronization order (``so`` relates every same-location
+    sync pair), so exchanging them can change the happens-before graph.
+    Searches that must preserve hb shapes — not just final results — use
+    this relation; searches that only need observables use
+    :func:`accesses_conflict`.
+    """
+    if loc_a != loc_b:
+        return False
+    return writes_a or writes_b or (sync_a and sync_b)
 
 
 def conflicting_pairs(

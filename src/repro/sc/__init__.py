@@ -2,6 +2,12 @@
 enumeration, the appears-SC verifier, and the Lemma-1 checkers."""
 
 from repro.sc.executor import IdealizedMachine, LocalLoopError, run_schedule
+from repro.sc.independence import (
+    SearchStats,
+    conflict_dep,
+    hb_dep,
+    persistent_set,
+)
 from repro.sc.interleaving import (
     SearchBudgetExceeded,
     count_reachable_states,
@@ -24,13 +30,17 @@ __all__ = [
     "SCVerifier",
     "SCViolation",
     "SearchBudgetExceeded",
+    "SearchStats",
     "TraceCheckResult",
     "certify",
     "check_trace_sc",
+    "conflict_dep",
     "count_reachable_states",
     "enumerate_executions",
     "enumerate_results",
     "find_hb_witness",
+    "hb_dep",
+    "persistent_set",
     "reads_from_last_hb_write",
     "run_schedule",
 ]

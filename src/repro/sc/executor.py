@@ -101,6 +101,53 @@ class IdealizedMachine:
     def runnable_threads(self) -> List[int]:
         return [p for p in range(self.program.num_procs) if not self.thread_halted(p)]
 
+    def thread_pc(self, proc: int) -> int:
+        """Current program counter of thread ``proc``."""
+        return self._threads[proc].pc
+
+    def next_access(self, proc: int) -> Optional[Tuple[Location, bool, bool]]:
+        """``(location, writes_memory, is_sync)`` of the thread's next
+        memory operation, or ``None`` if it halts without another one.
+
+        A pure peek: local instructions are simulated on a register-file
+        copy, so the machine is unchanged.  Because registers are
+        thread-private and local control flow is deterministic, the
+        answer is *exact* — no other thread can steer ``proc`` onto a
+        different path before its next memory access.  That exactness is
+        what makes persistent-set pruning in :mod:`repro.sc.interleaving`
+        a proof: a thread whose next access is known cannot halt, nor
+        touch memory anywhere else, without first performing it.
+        """
+        state = self._threads[proc]
+        thread = self.program.threads[proc]
+        pc = state.pc
+        regs = state.regs
+        for _ in range(self.MAX_LOCAL_STEPS):
+            if pc >= len(thread.instructions):
+                return None
+            instr = thread.instructions[pc]
+            if isinstance(instr, Halt):
+                return None
+            if isinstance(instr, MemInstruction):
+                return (instr.location, instr.kind.writes_memory, instr.kind.is_sync)
+            if isinstance(instr, RegInstruction):
+                if regs is state.regs:
+                    regs = regs.copy()
+                instr.apply(regs)
+                pc += 1
+            elif isinstance(instr, Fence):
+                pc += 1
+            elif isinstance(instr, Branch):
+                pc = thread.target_of(instr) if instr.taken(regs) else pc + 1
+            elif isinstance(instr, Jump):
+                pc = thread.target_of(instr)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown instruction {instr!r}")
+        raise LocalLoopError(
+            f"thread {thread.name!r} executed {self.MAX_LOCAL_STEPS} local "
+            "instructions without a memory access"
+        )
+
     @property
     def halted(self) -> bool:
         return not self.runnable_threads()

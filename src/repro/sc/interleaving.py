@@ -14,15 +14,48 @@ behaviours of a program.  Two searches are provided:
   machine state they have already been in (re-entering an identical state
   can only replay identical suffixes, so no new hb shapes or results are
   reachable from the repeat).
+
+Both searches apply conflict-aware partial-order reduction by default
+(``prune=True``), built on :mod:`repro.sc.independence`:
+
+* **persistent sets** — at each state only a provably sufficient subset
+  of the runnable threads is expanded; steps excluded from the set
+  commute with everything the other threads can still do, so exploring
+  them would only permute already-covered interleavings.
+  ``enumerate_results`` prunes with the paper's conflict relation;
+  ``enumerate_executions`` uses the coarser hb-preserving dependence so
+  every happens-before shape (hence every race verdict) keeps a
+  representative.
+* **sleep sets** — ``enumerate_results`` additionally remembers, per
+  branch, which threads' steps were already explored from an equivalent
+  position and skips them; the global memo table stores the sleep set a
+  state was expanded with and re-expands only when a revisit arrives
+  with strictly fewer suppressed threads (the standard sound refinement
+  of sleep sets under state matching).  The execution stream does not
+  use sleep sets: their interaction with the on-path cycle cut could
+  drop trace-class representatives, and the DRF0 checker needs those.
+
+Pruned searches remain proofs, not samples: every reachable terminal
+state (so every SC observable) and a representative of every
+Mazurkiewicz trace class of complete executions are still visited.
+``prune=False`` restores the exhaustive walk — the equivalence test
+suite compares the two over the full litmus catalog.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Set
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.core.execution import Execution, Observable
 from repro.core.program import Program
+from repro.delayset.analysis import AccessSummary, Footprint, static_footprints
 from repro.sc.executor import IdealizedMachine, StateKey
+from repro.sc.independence import (
+    SearchStats,
+    conflict_dep,
+    hb_dep,
+    persistent_set,
+)
 
 
 class SearchBudgetExceeded(RuntimeError):
@@ -32,6 +65,8 @@ class SearchBudgetExceeded(RuntimeError):
 def enumerate_results(
     program: Program,
     max_states: int = 2_000_000,
+    prune: bool = True,
+    stats: Optional[SearchStats] = None,
 ) -> Set[Observable]:
     """All observables of SC executions of ``program``.
 
@@ -39,30 +74,87 @@ def enumerate_results(
     memoization.  ``max_states`` bounds the number of distinct states
     explored; exceeding it raises :class:`SearchBudgetExceeded` rather
     than silently returning a partial answer.
+
+    With ``prune=True`` (the default) the search expands a persistent
+    set of threads per state and suppresses sleep-set members; the
+    observable set is provably identical to the unpruned search, which
+    ``prune=False`` restores.  Pass a :class:`SearchStats` to observe
+    how much work the reduction saved.
     """
     results: Set[Observable] = set()
-    seen: Set[StateKey] = set()
+    footprints = static_footprints(program) if prune else None
+    #: State -> sleep set it was (last) expanded with.  A revisit whose
+    #: sleep set suppresses at least as much is fully covered; one that
+    #: suppresses less re-expands with the intersection.
+    seen: Dict[StateKey, FrozenSet[int]] = {}
     root = IdealizedMachine(program)
-    stack: List[IdealizedMachine] = [root]
-    seen.add(root.state_key())
+    empty: FrozenSet[int] = frozenset()
+    stack: List[Tuple[IdealizedMachine, FrozenSet[int]]] = [(root, empty)]
+    seen[root.state_key()] = empty
     while stack:
-        machine = stack.pop()
+        machine, sleep = stack.pop()
+        if stats:
+            stats.states += 1
         runnable = machine.runnable_threads()
         if not runnable:
             results.add(machine.observable())
+            if stats:
+                stats.terminals += 1
             continue
-        for proc in runnable:
+        nexts: Dict[int, Optional[AccessSummary]] = {}
+        if prune:
+            assert footprints is not None
+            expand = persistent_set(
+                machine, runnable, footprints, conflict_dep, nexts
+            )
+            if stats:
+                stats.pruned_transitions += len(runnable) - len(expand)
+        else:
+            expand = runnable
+
+        def next_of(proc: int) -> Optional[AccessSummary]:
+            if proc not in nexts:
+                nexts[proc] = machine.next_access(proc)
+            return nexts[proc]
+
+        explored: List[int] = []
+        for proc in expand:
+            if proc in sleep:
+                if stats:
+                    stats.sleep_skips += 1
+                continue
+            op = next_of(proc)
             child = machine.fork()
             child.step(proc)
+            if stats:
+                stats.transitions += 1
+            if prune:
+                # Threads whose next step commutes with this one stay
+                # asleep in the child: their interleavings are covered
+                # by the sibling branches that run them first.
+                child_sleep = frozenset(
+                    q
+                    for q in (*sleep, *explored)
+                    if op is None
+                    or next_of(q) is None
+                    or not conflict_dep(next_of(q), op)
+                )
+                explored.append(proc)
+            else:
+                child_sleep = empty
             key = child.state_key()
             if key in seen:
-                continue
-            if len(seen) >= max_states:
-                raise SearchBudgetExceeded(
-                    f"more than {max_states} distinct machine states"
-                )
-            seen.add(key)
-            stack.append(child)
+                if child_sleep >= seen[key]:
+                    continue
+                child_sleep &= seen[key]
+                seen[key] = child_sleep
+            else:
+                if len(seen) >= max_states:
+                    raise SearchBudgetExceeded(
+                        f"more than {max_states} distinct machine states"
+                    )
+                seen[key] = child_sleep
+            stack.append((child, child_sleep))
     return results
 
 
@@ -70,6 +162,8 @@ def enumerate_executions(
     program: Program,
     max_executions: Optional[int] = None,
     max_depth: int = 100_000,
+    prune: bool = True,
+    stats: Optional[SearchStats] = None,
 ) -> Iterator[Execution]:
     """Yield complete SC executions (traces) of ``program``.
 
@@ -78,10 +172,20 @@ def enumerate_executions(
     happens-before shape: a state repeat can only replay a suffix already
     reachable from its first visit.
 
+    With ``prune=True`` (the default) each state expands only a
+    persistent set computed under the hb-preserving dependence relation
+    (same-location sync pairs stay ordered even when both read), so the
+    stream keeps a representative of every Mazurkiewicz trace class —
+    every happens-before shape and race verdict survives, while
+    conflict-free interleavings of the same trace are emitted once
+    instead of factorially often.  ``prune=False`` restores the full
+    enumeration.
+
     ``max_executions`` truncates the stream (``None`` = unbounded);
     ``max_depth`` bounds the length of any single path.
     """
     yielded = 0
+    footprints = static_footprints(program) if prune else None
 
     def dfs(machine: IdealizedMachine, on_path: Set[StateKey], depth: int):
         nonlocal yielded
@@ -89,24 +193,48 @@ def enumerate_executions(
             return
         if depth > max_depth:
             raise SearchBudgetExceeded(f"execution longer than {max_depth} steps")
+        if stats:
+            stats.states += 1
         runnable = machine.runnable_threads()
         if not runnable:
             yielded += 1
+            if stats:
+                stats.terminals += 1
             yield machine.finish()
             return
+        if prune:
+            assert footprints is not None
+            attempt = persistent_set(machine, runnable, footprints, hb_dep)
+        else:
+            attempt = list(runnable)
         progressed = False
-        for proc in runnable:
-            child = machine.fork()
-            child.step(proc)
-            key = child.state_key()
-            if key in on_path:
-                continue
-            progressed = True
-            on_path.add(key)
-            yield from dfs(child, on_path, depth + 1)
-            on_path.remove(key)
-            if max_executions is not None and yielded >= max_executions:
-                return
+        tried: Set[int] = set()
+        while True:
+            for proc in attempt:
+                tried.add(proc)
+                child = machine.fork()
+                child.step(proc)
+                if stats:
+                    stats.transitions += 1
+                key = child.state_key()
+                if key in on_path:
+                    continue
+                progressed = True
+                on_path.add(key)
+                yield from dfs(child, on_path, depth + 1)
+                on_path.remove(key)
+                if max_executions is not None and yielded >= max_executions:
+                    return
+            if progressed or len(tried) == len(runnable):
+                break
+            # The persistent set only led back into states already on
+            # this path.  A thread outside the set might still make
+            # progress, so fall back to full expansion before declaring
+            # livelock — keeps livelock detection identical to the
+            # unpruned search.
+            attempt = [q for q in runnable if q not in tried]
+        if stats:
+            stats.pruned_transitions += len(runnable) - len(tried)
         if not progressed:
             # Every move re-enters a state already on this path: the
             # program can only spin here (e.g. all threads stuck on
@@ -122,7 +250,11 @@ def enumerate_executions(
 
 
 def count_reachable_states(program: Program, max_states: int = 2_000_000) -> int:
-    """Number of distinct idealized machine states (a size diagnostic)."""
+    """Number of distinct idealized machine states (a size diagnostic).
+
+    Deliberately unpruned: the count is the size of the full state
+    graph, the baseline pruned searches are measured against.
+    """
     seen: Set[StateKey] = set()
     root = IdealizedMachine(program)
     stack = [root]

@@ -12,6 +12,7 @@ runs test hundreds of outcomes of the same program.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set
 
@@ -35,10 +36,26 @@ class SCViolation:
 
 
 class SCVerifier:
-    """Result-set membership oracle for sequential consistency."""
+    """Result-set membership oracle for sequential consistency.
 
-    def __init__(self, max_states: int = 2_000_000) -> None:
+    Prefer :func:`repro.api.verify_sc` for one-shot checks; hold an
+    instance only to share the per-program result-set cache across many
+    membership queries (what the litmus runner does).
+    """
+
+    def __init__(self, *args, max_states: int = 2_000_000, prune: bool = True) -> None:
+        if args:
+            warnings.warn(
+                "positional SCVerifier(max_states) is deprecated; pass "
+                "max_states as a keyword, or use repro.api.verify_sc",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            max_states = args[0]
+            if len(args) > 1:  # pragma: no cover - defensive
+                raise TypeError("SCVerifier takes at most one positional argument")
         self._max_states = max_states
+        self._prune = prune
         self._cache: Dict[int, Set[Observable]] = {}
         self._programs: Dict[int, Program] = {}
 
@@ -46,7 +63,9 @@ class SCVerifier:
         """All observables any SC execution of ``program`` can produce."""
         key = id(program)
         if key not in self._cache:
-            self._cache[key] = enumerate_results(program, max_states=self._max_states)
+            self._cache[key] = enumerate_results(
+                program, max_states=self._max_states, prune=self._prune
+            )
             self._programs[key] = program  # keep alive so id() stays unique
         return self._cache[key]
 

@@ -24,10 +24,15 @@ def _barrier_thread(
     pre_work: int,
     post_work: int,
     data_spin: bool,
+    private_writes: int = 0,
 ) -> Thread:
     builder = ThreadBuilder(name)
     if pre_work:
         builder.nop(pre_work)
+    # Phase work: stores to processor-private locations before arrival —
+    # the local computation a barrier separates from the next phase.
+    for k in range(private_writes):
+        builder.store(f"{name}_w{k}", k + 1)
     builder.fetch_and_add("arrived", counter, 1)
     builder.label("spin")
     if data_spin:
@@ -45,14 +50,24 @@ def barrier_program(
     counter: str = "bar",
     pre_work: int = 0,
     post_work: int = 0,
+    private_writes: int = 0,
 ) -> Program:
     """All processors arrive at one barrier and spin (sync reads) until
-    everyone has arrived.  Final ``bar`` equals ``num_procs``."""
+    everyone has arrived.  Final ``bar`` equals ``num_procs``.
+
+    ``private_writes`` adds that many stores to processor-private
+    locations before each arrival — the per-phase local work a real
+    barrier separates, and (being conflict-free) exactly the traffic
+    conflict-aware search pruning can collapse."""
     threads = [
-        _barrier_thread(f"P{i}", num_procs, counter, pre_work * i, post_work, False)
+        _barrier_thread(
+            f"P{i}", num_procs, counter, pre_work * i, post_work, False,
+            private_writes=private_writes,
+        )
         for i in range(num_procs)
     ]
-    return Program(threads, name=f"barrier_p{num_procs}")
+    suffix = f"_w{private_writes}" if private_writes else ""
+    return Program(threads, name=f"barrier_p{num_procs}{suffix}")
 
 
 def barrier_program_data_spin(

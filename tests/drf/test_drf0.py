@@ -81,5 +81,11 @@ class TestCheckProgram:
         assert check_execution(execution, model=DRF0_R) != []
 
     def test_executions_checked_counted(self):
-        report = check_program(all_sync_dekker())
+        report = check_program(all_sync_dekker(), prune=False)
         assert report.executions_checked >= 6
+
+    def test_pruned_check_needs_fewer_executions_same_verdict(self):
+        full = check_program(all_sync_dekker(), prune=False)
+        pruned = check_program(all_sync_dekker(), prune=True)
+        assert pruned.obeys == full.obeys
+        assert pruned.executions_checked <= full.executions_checked

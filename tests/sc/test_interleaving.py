@@ -100,8 +100,19 @@ class TestEnumerateExecutions:
         """Two independent 2-op threads interleave in C(4,2)=6 ways."""
         t0 = ThreadBuilder("P0").store("a", 1).store("b", 1).build()
         t1 = ThreadBuilder("P1").store("c", 1).store("d", 1).build()
-        executions = list(enumerate_executions(Program([t0, t1])))
+        executions = list(enumerate_executions(Program([t0, t1]), prune=False))
         assert len(executions) == math.comb(4, 2)
+
+    def test_pruning_collapses_independent_interleavings(self):
+        """Disjoint-location threads form one trace class: pruned search
+        emits a single representative with the same observable."""
+        t0 = ThreadBuilder("P0").store("a", 1).store("b", 1).build()
+        t1 = ThreadBuilder("P1").store("c", 1).store("d", 1).build()
+        program = Program([t0, t1])
+        pruned = list(enumerate_executions(program, prune=True))
+        full = list(enumerate_executions(program, prune=False))
+        assert len(pruned) == 1
+        assert {e.observable for e in pruned} == {e.observable for e in full}
 
     def test_each_execution_is_complete_and_program_ordered(self):
         executions = list(enumerate_executions(dekker()))

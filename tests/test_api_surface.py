@@ -1,0 +1,221 @@
+"""Snapshot of the public ``repro.api`` surface.
+
+The facade is the stability contract of the package: its names and
+call signatures may only change together with this snapshot, so any
+accidental rename, parameter reorder, or keyword-only regression fails
+loudly here before it reaches a consumer.
+
+The second half checks the deprecation shims: the legacy call patterns
+must still *work* — and must warn.
+"""
+
+import inspect
+import warnings
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.litmus.catalog import fig1_dekker
+from repro.litmus.runner import LitmusRunner
+from repro.memsys.config import NET_NOCACHE
+from repro.models.policies import RelaxedPolicy
+from repro.sc.verifier import SCVerifier
+
+
+def _shape(fn):
+    """A stable fingerprint of a signature: (name, kind, has-default)."""
+    return tuple(
+        (p.name, p.kind.name, p.default is not inspect.Parameter.empty)
+        for p in inspect.signature(fn).parameters.values()
+    )
+
+
+#: The frozen facade signatures.  A change here is an API break (or an
+#: intentional extension): update the snapshot in the same commit and
+#: say so in the changelog.
+FACADE_SHAPES = {
+    "run": (
+        ("program", "POSITIONAL_OR_KEYWORD", False),
+        ("policy", "POSITIONAL_OR_KEYWORD", False),
+        ("machine", "KEYWORD_ONLY", True),
+        ("seed", "KEYWORD_ONLY", True),
+        ("max_cycles", "KEYWORD_ONLY", True),
+        ("faults", "KEYWORD_ONLY", True),
+        ("trace", "KEYWORD_ONLY", True),
+        ("sanitize", "KEYWORD_ONLY", True),
+    ),
+    "explore": (
+        ("program", "POSITIONAL_OR_KEYWORD", False),
+        ("policy", "POSITIONAL_OR_KEYWORD", False),
+        ("max_delays", "KEYWORD_ONLY", True),
+        ("prune", "KEYWORD_ONLY", True),
+        ("machine", "KEYWORD_ONLY", True),
+        ("max_runs", "KEYWORD_ONLY", True),
+        ("max_cycles", "KEYWORD_ONLY", True),
+        ("relaxed_request_channels", "KEYWORD_ONLY", True),
+        ("inval_virtual_channel", "KEYWORD_ONLY", True),
+        ("executor", "KEYWORD_ONLY", True),
+        ("jobs", "KEYWORD_ONLY", True),
+        ("trace", "KEYWORD_ONLY", True),
+        ("sanitize", "KEYWORD_ONLY", True),
+    ),
+    "verify_sc": (
+        ("program", "POSITIONAL_OR_KEYWORD", False),
+        ("outcomes", "POSITIONAL_OR_KEYWORD", True),
+        ("max_states", "KEYWORD_ONLY", True),
+        ("prune", "KEYWORD_ONLY", True),
+    ),
+    "check_drf0": (
+        ("program", "POSITIONAL_OR_KEYWORD", False),
+        ("model", "KEYWORD_ONLY", True),
+        ("max_executions", "KEYWORD_ONLY", True),
+        ("jobs", "KEYWORD_ONLY", True),
+        ("prune", "KEYWORD_ONLY", True),
+    ),
+    "campaign": (
+        ("specs", "POSITIONAL_OR_KEYWORD", False),
+        ("executor", "KEYWORD_ONLY", True),
+        ("jobs", "KEYWORD_ONLY", True),
+        ("cache", "KEYWORD_ONLY", True),
+        ("metrics", "KEYWORD_ONLY", True),
+        ("label", "KEYWORD_ONLY", True),
+        ("run_timeout", "KEYWORD_ONLY", True),
+        ("retries", "KEYWORD_ONLY", True),
+        ("triage", "KEYWORD_ONLY", True),
+    ),
+}
+
+#: Every name ``repro.api`` exports.  Additions are fine but deliberate:
+#: extend the snapshot in the same commit.
+EXPORTED_NAMES = frozenset(
+    {
+        "run", "explore", "verify_sc", "check_drf0", "campaign",
+        "Observable", "Program", "Thread", "ThreadBuilder",
+        "CampaignMetrics", "CampaignResult", "Executor",
+        "ParallelExecutor", "PolicySpec", "ResultCache", "RunFailure",
+        "RunResult", "RunSpec", "SerialExecutor", "default_executor",
+        "emit_metrics", "program_fingerprint", "register_metrics_hook",
+        "run_campaign", "unregister_metrics_hook",
+        "BUS_CACHE", "BUS_CACHE_SNOOP", "BUS_NOCACHE", "FIGURE1_CONFIGS",
+        "MachineConfig", "NET_CACHE", "NET_CACHE_VC", "NET_NOCACHE",
+        "System", "config_by_name",
+        "Def1Policy", "Def2Policy", "Def2RPolicy", "RelaxedPolicy",
+        "SCPolicy", "policy_by_name",
+        "LitmusResult", "LitmusRunner", "LitmusTest", "catalog_by_name",
+        "fig1_dekker", "fig1_dekker_all_sync", "parse_litmus",
+        "standard_catalog",
+        "ConformanceReport", "run_conformance", "VERDICT_BROKEN",
+        "VERDICT_NA", "VERDICT_SC", "VERDICT_WEAK",
+        "DRF0", "DRF0_R", "DRFReport", "ExplorationReport", "SCVerifier",
+        "SCViolation", "SearchStats", "SynchronizationModel",
+        "check_program", "enumerate_executions", "enumerate_results",
+        "explore_program", "explore_to_fixpoint", "obeys_drf0",
+        "verify_weak_ordering",
+        "delay_pairs", "describe_delay_set", "minimal_delay_pairs",
+        "static_footprints",
+        "FaultPlan", "parse_fault_plan", "FORMATS", "TraceEvent",
+        "TraceSpec", "crosscheck_run", "format_timeline", "write_trace",
+        "ReproBundle", "TriageConfig", "random_drf0_program",
+        "random_mixed_sync_program", "random_racy_program",
+        "random_spin_program",
+        "figure3_sweep", "format_table", "configure_cli_logging",
+        "get_logger",
+    }
+)
+
+
+class TestApiSurface:
+    @pytest.mark.parametrize("name", sorted(FACADE_SHAPES))
+    def test_facade_signature_matches_snapshot(self, name):
+        assert _shape(getattr(api, name)) == FACADE_SHAPES[name]
+
+    def test_exported_names_match_snapshot(self):
+        assert set(api.__all__) == EXPORTED_NAMES
+
+    def test_every_export_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_facade_reexported_from_package_root(self):
+        for name in ("run", "explore", "verify_sc", "check_drf0", "campaign"):
+            assert getattr(repro, name) is getattr(api, name)
+            assert name in repro.__all__
+
+    def test_campaign_subpackage_still_importable(self):
+        # The facade function shadows the subpackage *attribute*; the
+        # import system must still resolve the subpackage itself.
+        from repro.campaign import RunSpec  # noqa: F401
+        from repro.campaign.spec import RunResult  # noqa: F401
+
+
+class TestFacadeBehaviour:
+    def test_run_accepts_policy_and_machine_names(self):
+        program = fig1_dekker().executable_program()
+        result = api.run(program, "SC", machine="net_nocache", seed=3)
+        assert result.completed
+        assert result.observable is not None
+
+    def test_verify_sc_classifies_outcomes(self):
+        program = fig1_dekker().executable_program()
+        sc_set = api.verify_sc(program)
+        assert sc_set
+        good = next(iter(sc_set))
+        assert api.verify_sc(program, [good]) == []
+
+    def test_check_drf0_flags_the_racy_dekker(self):
+        program = fig1_dekker().program
+        report = api.check_drf0(program)
+        assert not report.obeys
+
+    def test_campaign_metrics_hook_scoped_to_call(self):
+        program = fig1_dekker().executable_program()
+        spec = api.RunSpec(
+            program=program,
+            policy=api.PolicySpec.of(RelaxedPolicy),
+            config=NET_NOCACHE,
+            seed=1,
+            max_cycles=100_000,
+        )
+        seen = []
+        api.campaign([spec], metrics=seen.append)
+        assert len(seen) == 1
+        assert seen[0].runs == 1
+        # The hook must be gone after the call.
+        api.campaign([spec])
+        assert len(seen) == 1
+
+
+class TestDeprecationShims:
+    def test_scverifier_positional_max_states_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="positional"):
+            verifier = SCVerifier(500_000)
+        program = fig1_dekker().program
+        assert verifier.sc_result_set(program)
+
+    def test_scverifier_keyword_stays_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            SCVerifier(max_states=500_000)
+            SCVerifier()
+
+    def test_explore_program_positional_options_warn_and_work(self):
+        program = fig1_dekker().executable_program()
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            report = api.explore_program(program, RelaxedPolicy, 1)
+        assert report.max_delays == 1
+        assert report.exhausted
+
+    def test_litmus_runner_positional_options_warn_and_work(self):
+        runner = LitmusRunner()
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            result = runner.run(
+                fig1_dekker(), RelaxedPolicy, NET_NOCACHE, 5, 99
+            )
+        assert result.runs == 5
+
+    def test_litmus_runner_keyword_call_stays_silent(self):
+        runner = LitmusRunner()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            runner.run(fig1_dekker(), RelaxedPolicy, NET_NOCACHE, runs=3)
