@@ -29,6 +29,7 @@ call patterns (positional ``explore_program`` options, positional
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Iterable, List, Optional, Sequence, Set, Union
 
 from repro.analysis.figure3 import figure3_sweep
@@ -76,10 +77,12 @@ from repro.explore.explorer import (
     verify_weak_ordering,
 )
 from repro.faults import FaultPlan, parse_fault_plan
+from repro.cpu.core import core_names
 from repro.litmus.catalog import (
     catalog_by_name,
     fig1_dekker,
     fig1_dekker_all_sync,
+    forwarding_catalog,
     standard_catalog,
 )
 from repro.litmus.parse import parse_litmus
@@ -134,10 +137,26 @@ MachineLike = Union[str, MachineConfig, None]
 FaultsLike = Union[str, FaultPlan, None]
 
 
-def _coerce_policy(policy: PolicyLike) -> PolicySpec:
+def _coerce_policy(policy: PolicyLike, core: Optional[str] = None) -> PolicySpec:
     if isinstance(policy, str):
-        return PolicySpec.of(policy_by_name(policy))
-    return PolicySpec.of(policy)
+        spec = PolicySpec.of(policy_by_name(policy, core=core))
+        core = None  # already validated and stamped
+    else:
+        spec = PolicySpec.of(policy)
+    if core is not None and core != spec.core:
+        # Validate against the policy's declared capability before
+        # overriding whatever the PolicyLike form carried.
+        from repro.cpu.core import core_class_by_name
+
+        core_class_by_name(core)
+        probe = spec.build()
+        if core not in probe.supported_cores:
+            raise ValueError(
+                f"policy {spec.name} does not support core {core!r}; "
+                f"supported: {list(probe.supported_cores)}"
+            )
+        spec = replace(spec, core=core)
+    return spec
 
 
 def _coerce_machine(machine: MachineLike) -> MachineConfig:
@@ -159,6 +178,7 @@ def run(
     policy: PolicyLike,
     *,
     machine: MachineLike = None,
+    core: Optional[str] = None,
     seed: int = 0,
     max_cycles: int = 1_000_000,
     faults: FaultsLike = None,
@@ -169,11 +189,13 @@ def run(
 
     A thin veneer over :meth:`RunSpec.execute`: the call builds the
     picklable spec and runs it in-process, so anything :func:`run` can
-    do also batches verbatim through :func:`campaign`.
+    do also batches verbatim through :func:`campaign`.  ``core`` names
+    the processor-core shape (``"simple"``/``"pipelined"``); the default
+    keeps whatever the policy form carried (usually ``"simple"``).
     """
     spec = RunSpec(
         program=program,
-        policy=_coerce_policy(policy),
+        policy=_coerce_policy(policy, core=core),
         config=_coerce_machine(machine),
         seed=seed,
         max_cycles=max_cycles,
@@ -191,6 +213,7 @@ def explore(
     max_delays: int = 2,
     prune: bool = True,
     machine: MachineLike = None,
+    core: Optional[str] = None,
     max_runs: int = 20_000,
     max_cycles: int = 200_000,
     relaxed_request_channels: bool = False,
@@ -206,7 +229,7 @@ def explore(
     itself; ``prune`` skips delay decisions that provably commute
     (counted on the report, never changing the outcome set).
     """
-    policy_spec = _coerce_policy(policy)
+    policy_spec = _coerce_policy(policy, core=core)
     return explore_program(
         program,
         policy_spec,
@@ -352,6 +375,7 @@ __all__ = [
     "Def2RPolicy",
     "RelaxedPolicy",
     "SCPolicy",
+    "core_names",
     "policy_by_name",
     # Litmus and conformance.
     "LitmusResult",
@@ -360,6 +384,7 @@ __all__ = [
     "catalog_by_name",
     "fig1_dekker",
     "fig1_dekker_all_sync",
+    "forwarding_catalog",
     "parse_litmus",
     "standard_catalog",
     "ConformanceReport",

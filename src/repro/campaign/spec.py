@@ -46,15 +46,24 @@ class PolicySpec:
 
     ``name`` is the policy's report name (``"DEF2"``); ``params`` the
     constructor keyword arguments as a sorted tuple of pairs, so two
-    specs describing the same policy compare and hash equal.
+    specs describing the same policy compare and hash equal.  ``core``
+    names the processor-core shape the policy runs on (the second axis
+    of the model space, see :mod:`repro.cpu.core`); the default
+    ``"simple"`` keeps every pre-PR6 spec equal to its old form.
     """
 
     name: str
     params: Tuple[Tuple[str, Any], ...] = ()
+    core: str = "simple"
 
     @classmethod
     def of(cls, policy_or_factory) -> "PolicySpec":
-        """Coerce a policy instance, class, or zero-arg factory to a spec."""
+        """Coerce a policy instance, class, or zero-arg factory to a spec.
+
+        A policy instance stamped with a ``core`` attribute (see
+        :func:`repro.models.policies.policy_by_name`) carries that
+        choice into the spec.
+        """
         if isinstance(policy_or_factory, PolicySpec):
             return policy_or_factory
         policy = policy_or_factory
@@ -65,11 +74,18 @@ class PolicySpec:
                 f"expected an OrderingPolicy, factory, or PolicySpec; "
                 f"got {policy_or_factory!r}"
             )
-        return cls(name=policy.name, params=tuple(sorted(policy.spec_params())))
+        return cls(
+            name=policy.name,
+            params=tuple(sorted(policy.spec_params())),
+            core=getattr(policy, "core", "simple"),
+        )
 
     def build(self) -> OrderingPolicy:
         """Construct a fresh policy instance (one per run)."""
-        return policy_class_by_name(self.name)(**dict(self.params))
+        policy = policy_class_by_name(self.name)(**dict(self.params))
+        if self.core != "simple":
+            policy.core = self.core
+        return policy
 
 
 @dataclass(frozen=True)
@@ -273,6 +289,10 @@ class RunSpec:
             str(self.inval_virtual_channel),
             repr(self.faults),
         ]
+        if self.policy.core != "simple":
+            # Appended only for non-default cores, so every pre-PR6
+            # cached digest (which predates the core axis) stays valid.
+            parts.append(f"core={self.policy.core}")
         if self.trace is not None:
             # Appended only when tracing, so every pre-existing cached
             # digest of an untraced spec stays valid.

@@ -179,7 +179,7 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
     with _campaign_metrics(args), _executor_for(args) as executor:
         result = runner.run(
             test,
-            lambda: policy_by_name(args.policy),
+            lambda: policy_by_name(args.policy, core=args.core),
             config,
             runs=args.runs,
             base_seed=args.seed,
@@ -232,6 +232,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         report = api.explore(
             program,
             args.policy,
+            core=args.core,
             max_delays=args.delays,
             prune=not args.no_prune,
             max_runs=args.max_runs,
@@ -349,7 +350,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: bad --filter value: {exc}")
     system = api.System(
         test.executable_program(),
-        policy_by_name(args.policy),
+        policy_by_name(args.policy, core=args.core),
         config,
         seed=args.seed,
         trace=spec,
@@ -410,7 +411,9 @@ def _fuzz_program(family: str, seed: int):
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     config = config_by_name(args.machine)
-    policy_spec = api.PolicySpec.of(lambda: policy_by_name(args.policy))
+    policy_spec = api.PolicySpec.of(
+        lambda: policy_by_name(args.policy, core=args.core)
+    )
     faults = _parse_faults(args)
     specs = [
         api.RunSpec(
@@ -549,6 +552,16 @@ def build_parser() -> argparse.ArgumentParser:
             "first one (default off)",
         )
 
+    def add_core_option(cmd: argparse.ArgumentParser) -> None:
+        from repro.cpu.core import core_names
+
+        cmd.add_argument(
+            "--core", choices=tuple(core_names()), default=None,
+            help="processor-core shape: simple (one access at a time; "
+            "default) or pipelined (issue window with store-to-load "
+            "forwarding)",
+        )
+
     litmus = sub.add_parser("litmus", help="run a litmus campaign")
     litmus.add_argument("test", help="catalog name or .litmus file")
     litmus.add_argument("--policy", default="RELAXED")
@@ -563,6 +576,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_faults_option(litmus)
     add_trace_options(litmus)
     add_sanitize_option(litmus)
+    add_core_option(litmus)
     litmus.set_defaults(func=_cmd_litmus)
 
     drf = sub.add_parser("drf", help="check a program against DRF0")
@@ -593,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_campaign_options(explore)
     add_trace_options(explore)
     add_sanitize_option(explore)
+    add_core_option(explore)
     explore.set_defaults(func=_cmd_explore)
 
     fig1 = sub.add_parser("figure1", help="regenerate the Figure-1 matrix")
@@ -655,6 +670,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="show at most N timeline lines (pretty format)",
     )
     add_sanitize_option(trace)
+    add_core_option(trace)
     trace.set_defaults(func=_cmd_trace)
 
     fuzz = sub.add_parser(
@@ -686,6 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_campaign_options(fuzz)
     add_faults_option(fuzz)
     add_sanitize_option(fuzz)
+    add_core_option(fuzz)
     fuzz.set_defaults(func=_cmd_fuzz)
 
     replay = sub.add_parser(

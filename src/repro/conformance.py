@@ -202,7 +202,7 @@ def run_conformance(
         for policy_factory in policies:
             policy_spec = PolicySpec.of(policy_factory)
             try:
-                ensure_compatible(policy_spec.build(), config)
+                ensure_compatible(policy_spec.build(), config, policy_spec.core)
             except ConfigurationError:
                 cell_plans.append(
                     {"config": config, "policy": policy_spec, "blocks": None}

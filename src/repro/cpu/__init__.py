@@ -1,15 +1,27 @@
-"""Processor-side components: processors, accesses, counters, write buffers."""
+"""Processor-side components: cores, accesses, counters, write buffers."""
 
 from repro.cpu.access import MemoryAccess
+from repro.cpu.core import (
+    MemoryPort,
+    ProcessorCore,
+    core_class_by_name,
+    core_names,
+)
 from repro.cpu.counter import OutstandingCounter
-from repro.cpu.processor import MemoryPort, Processor
+from repro.cpu.pipelined import PipelinedCore
+from repro.cpu.processor import Processor, SimpleCore
 from repro.cpu.write_buffer import WriteBufferPort, port_endpoint
 
 __all__ = [
     "MemoryAccess",
     "MemoryPort",
     "OutstandingCounter",
+    "PipelinedCore",
     "Processor",
+    "ProcessorCore",
+    "SimpleCore",
     "WriteBufferPort",
+    "core_class_by_name",
+    "core_names",
     "port_endpoint",
 ]

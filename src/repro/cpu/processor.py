@@ -1,206 +1,62 @@
-"""The processor model.
+"""The simple processor core — the paper's original processor model.
 
-A processor executes its thread's instructions in program order.  Local
-instructions (arithmetic, branches) each take ``local_cycles``.  Memory
-instructions pass through two policy hooks (see
-:mod:`repro.models.base`): an *issue gate* deciding when the access may
-be generated at all, and a *block kind* deciding how far the access must
-progress (value / commit / global perform) before the processor moves
-past it.
+A :class:`SimpleCore` executes its thread's instructions in program
+order.  Local instructions (arithmetic, branches) each take
+``local_cycles``.  Memory instructions pass through two policy hooks
+(see :mod:`repro.models.base`): an *issue gate* deciding when the access
+may be generated at all, and a *block kind* deciding how far the access
+must progress (value / commit / global perform) before the processor
+moves past it.
 
-Intra-processor dependencies (condition 1 of Section 5.1) are enforced
-structurally:
+Beyond the shared conditions in :mod:`repro.cpu.core`, this core adds
+the two structural rules the original monolithic ``Processor`` enforced:
 
 * any instruction with a destination register blocks until its value
   arrives, so no later instruction can consume a stale register;
-* write values are computed from the register file at issue time, after
-  all producing reads have completed;
 * at most one access per location may be outstanding, preserving
   same-location program order through the memory system.
 
 Every stall is attributed to a :class:`StallReason`, which is the raw
 data behind the Figure 3 and quantitative-comparison experiments.
+
+``Processor`` remains as a deprecated alias so pre-PR6 imports and
+pickled repro bundles keep replaying; new code should construct cores
+via :func:`repro.cpu.core.core_class_by_name` (or let ``System`` do it).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Protocol
+import warnings
 
-from repro.core.instructions import (
-    Branch,
-    Fence,
-    Halt,
-    Jump,
-    MemInstruction,
-    RegInstruction,
-)
-from repro.core.operation import MemoryOp, OpKind
-from repro.core.program import Thread
-from repro.core.registers import RegisterFile
+from repro.core.instructions import MemInstruction
 from repro.cpu.access import MemoryAccess
-from repro.models.base import BlockKind, OrderingPolicy
-from repro.sim.engine import Component, Simulator
-from repro.sim.stats import StallReason, Stats
+from repro.cpu.core import MemoryPort, ProcessorCore
+from repro.models.base import BlockKind
+from repro.sim.stats import StallReason
+
+__all__ = ["MemoryPort", "Processor", "SimpleCore"]
 
 
-class MemoryPort(Protocol):
-    """Anything a processor can issue accesses to (cache or memory path)."""
+class SimpleCore(ProcessorCore):
+    """An in-order-issue processor with policy-controlled overlap only.
 
-    def submit(self, access: MemoryAccess) -> None:  # pragma: no cover
-        ...
+    The core itself never reorders: every access with a destination
+    register blocks the front end for its value, and a second access to
+    a location with an open transaction stalls.  Whatever overlap the
+    ordering policy permits (fire-and-forget writes under RELAXED,
+    commit-only sync waits under DEF2) is the *only* overlap — which is
+    exactly the processor model the paper's Section 5 hardware assumes.
+    """
 
-
-class Processor(Component):
-    """An in-order-issue processor with policy-controlled overlap."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        proc_id: int,
-        thread: Thread,
-        policy: OrderingPolicy,
-        port: MemoryPort,
-        stats: Stats,
-        local_cycles: int = 1,
-        cache=None,
-    ) -> None:
-        super().__init__(sim, f"proc{proc_id}")
-        self.proc_id = proc_id
-        #: The *thread* this processor currently runs.  Trace operations
-        #: and observables are keyed by this, so a migrated thread keeps
-        #: its identity while running on different physical processors.
-        self.logical_proc = proc_id
-        self.thread = thread
-        self.policy = policy
-        self.port = port
-        self.stats = stats
-        self.local_cycles = max(1, local_cycles)
-        self.cache = cache
-
-        self.regs = RegisterFile()
-        self.pc = 0
-        self.halted = False
-        self.halt_time: Optional[int] = None
-        #: Accesses generated but not yet globally performed.
-        self.pending_accesses: List[MemoryAccess] = []
-        #: Completed memory operations with commit timestamps, for traces.
-        self.trace: List[MemoryOp] = []
-        self._occurrences: dict = {}
-        self._issue_counter = 0
-        self._stall_reason: Optional[StallReason] = None
-        self._wake_scheduled = False
-        self._busy = False  # mid-instruction delay in flight
-        #: Set while a context switch is draining: no new issues.
-        self._migrating = False
-        self.tracer = sim.tracer
-        #: Whether the memory port is a bounded write buffer (hoisted out
-        #: of the issue path: a failed getattr per issue attempt costs
-        #: more than every other check in _try_memory combined).
-        self._port_is_bounded = hasattr(port, "write_full")
-        #: Location of the sync access this processor is commit-blocked
-        #: on, if any — the anchor for attributing remote reserve NACKs
-        #: (condition 5's DEF2_RESERVED_REMOTE stall) to this processor.
-        self._commit_wait_loc = None
-        #: The access the pipeline is hard-blocked on (value/commit/gp)
-        #: and which milestone it awaits — read by the deadlock
-        #: diagnosis to draw processor wait-for edges.
-        self.blocked_access: Optional[MemoryAccess] = None
-        self.blocked_until: Optional[str] = None
-        if cache is not None and hasattr(cache, "on_sync_nack"):
-            cache.on_sync_nack.append(self._on_sync_nack)
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    def start(self) -> None:
-        self.sim.call_soon(self._advance)
-
-    def wake(self) -> None:
-        """Re-evaluate stalls after the current event cascade settles."""
-        if self.halted or self._wake_scheduled:
-            return
-        self._wake_scheduled = True
-
-        def run() -> None:
-            self._wake_scheduled = False
-            if not self._busy:
-                self._advance()
-
-        self.sim.call_soon(run)
-
-    # ------------------------------------------------------------------
-    # Core loop
-    # ------------------------------------------------------------------
-    def _advance(self) -> None:
-        if self.halted or self._busy or self._migrating:
-            return
-        self._end_stall()
-        if self._at_end():
-            self._halt()
-            return
-        instr = self.thread.instructions[self.pc]
-        if isinstance(instr, MemInstruction):
-            self._try_memory(instr)
-        elif isinstance(instr, Fence):
-            # The RP3 fence: wait until every previous access has
-            # globally performed, regardless of the ordering policy.
-            if self.pending_accesses:
-                self._begin_stall(StallReason.FENCE_DRAIN)
-                return
-            self.pc += 1
-            self._after_delay(self.local_cycles)
-        elif isinstance(instr, RegInstruction):
-            instr.apply(self.regs)
-            self.pc += 1
-            self._after_delay(self.local_cycles)
-        elif isinstance(instr, Branch):
-            self.pc = (
-                self.thread.target_of(instr) if instr.taken(self.regs) else self.pc + 1
-            )
-            self._after_delay(self.local_cycles)
-        elif isinstance(instr, Jump):
-            self.pc = self.thread.target_of(instr)
-            self._after_delay(self.local_cycles)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown instruction {instr!r}")
-
-    def _at_end(self) -> bool:
-        return self.pc >= len(self.thread.instructions) or isinstance(
-            self.thread.instructions[self.pc], Halt
-        )
-
-    def _halt(self) -> None:
-        self.halted = True
-        self.halt_time = self.sim.now
-        if self.tracer.enabled:
-            self.tracer.emit("proc", "halt", track=f"P{self.logical_proc}")
-
-    def _after_delay(self, cycles: int) -> None:
-        self._busy = True
-
-        def resume() -> None:
-            self._busy = False
-            self._advance()
-
-        self.sim.schedule(cycles, resume)
+    core_name = "simple"
 
     # ------------------------------------------------------------------
     # Memory instructions
     # ------------------------------------------------------------------
     def _try_memory(self, instr: MemInstruction) -> None:
-        gate = self.policy.issue_gate(self, instr.kind)
+        gate = self._common_gate(instr)
         if gate is not None:
             self._begin_stall(gate)
-            return
-        # A bounded write buffer refuses new writes while full; the
-        # processor stalls until a buffered write globally performs (its
-        # MemWriteAck pops the buffer head and wakes us via retire).
-        if (
-            self._port_is_bounded
-            and instr.kind.writes_memory
-            and self.port.write_full
-        ):
-            self._begin_stall(StallReason.WRITE_BUFFER_FULL)
             return
         # Same-location accesses stay ordered through the memory system:
         # a new access may not start until the previous one to the same
@@ -215,59 +71,10 @@ class Processor(Component):
             return
         self._issue(instr)
 
-    def _issue(self, instr: MemInstruction) -> None:
-        pos = self.pc
-        occurrence = self._occurrences.get(pos, 0)
-        self._occurrences[pos] = occurrence + 1
-
-        compute_write = None
-        if instr.kind.writes_memory:
-            # Snapshot the register file now: the write's operands are an
-            # intra-processor dependency bound at issue, not at whatever
-            # later cycle the memory system performs the write.
-            regs_at_issue = self.regs.copy()
-
-            def compute_write(old, _instr=instr, _regs=regs_at_issue):
-                return _instr.compute_write(_regs, old)
-
-        access = MemoryAccess(
-            proc=self.logical_proc,
-            kind=instr.kind,
-            location=instr.location,
-            compute_write=compute_write,
-            sync_protocol=self.policy.sync_protocol(instr.kind),
-            needs_exclusive=self.policy.needs_exclusive(instr.kind),
-            thread_pos=pos,
-            occurrence=occurrence,
-        )
-        access.generate_time = self.sim.now
-        access.issue_index = self._issue_counter
-        self._issue_counter += 1
-        self.pending_accesses.append(access)
-        self.stats.bump(f"proc.{instr.kind.value}")
-        if self.tracer.enabled and self.tracer.wants("proc"):
-            self.tracer.emit(
-                "proc",
-                "issue",
-                track=f"P{self.logical_proc}",
-                args=(
-                    ("kind", instr.kind.value),
-                    ("location", instr.location),
-                    ("pos", pos),
-                    ("occurrence", occurrence),
-                    ("issue_index", access.issue_index),
-                ),
-            )
-
-        dest = instr.dest
-        if dest is not None:
-            access.on_value(lambda a: self.regs.write(dest, a.value))
-        access.on_commit(self._record_trace)
-        access.on_commit(lambda a: self.wake())
-        access.on_globally_performed(self._retire)
-
-        block = self.policy.block_kind(instr.kind)
-        if dest is not None and block in (BlockKind.NONE,):
+    def _complete_issue(
+        self, access: MemoryAccess, instr: MemInstruction, block: BlockKind
+    ) -> None:
+        if instr.dest is not None and block in (BlockKind.NONE,):
             # Destination registers are intra-processor dependencies: the
             # processor may not run ahead of the value.
             block = BlockKind.VALUE
@@ -276,188 +83,21 @@ class Processor(Component):
         self.port.submit(access)
         self._block_on(access, block)
 
-    def _block_on(self, access: MemoryAccess, block: BlockKind) -> None:
-        if block is BlockKind.NONE:
-            self._after_delay(self.local_cycles)
-            return
 
-        self._busy = True
-        started = self.sim.now
-        reason = {
-            BlockKind.VALUE: StallReason.READ_VALUE,
-            BlockKind.COMMIT: StallReason.DEF2_SYNC_COMMIT,
-            BlockKind.GP: StallReason.SC_PREVIOUS_GP,
-        }[block]
-        self.stats.stall_begin(self.proc_id, reason, started)
-        if block is BlockKind.COMMIT:
-            self._commit_wait_loc = access.location
-        self.blocked_access = access
-        self.blocked_until = {
-            BlockKind.VALUE: "value",
-            BlockKind.COMMIT: "commit",
-            BlockKind.GP: "global perform",
-        }[block]
+class Processor(SimpleCore):
+    """Deprecated alias of :class:`SimpleCore` (pre-PR6 name).
 
-        def resume(_a: MemoryAccess) -> None:
-            self.stats.stall_end(self.proc_id, reason, self.sim.now)
-            if block is BlockKind.COMMIT:
-                self._commit_wait_loc = None
-                # Close the remote-reserve overlay window, if a NACK
-                # opened one while we waited for the commit.
-                self.stats.stall_end(
-                    self.proc_id, StallReason.DEF2_RESERVED_REMOTE, self.sim.now
-                )
-            self.blocked_access = None
-            self.blocked_until = None
-            self._busy = False
-            self.sim.call_soon(self._advance)
+    Kept so external imports and the pickled repro bundles from PR 4
+    keep replaying; it is not a registered core (``core_name`` is
+    inherited, so the registry still maps ``"simple"`` to
+    :class:`SimpleCore` itself).
+    """
 
-        if block is BlockKind.VALUE:
-            access.on_value(resume)
-        elif block is BlockKind.COMMIT:
-            access.on_commit(resume)
-        else:
-            access.on_globally_performed(resume)
-
-    def _record_trace(self, access: MemoryAccess) -> None:
-        op = MemoryOp(
-            proc=access.proc,
-            kind=access.kind,
-            location=access.location,
-            thread_pos=access.thread_pos,
-            occurrence=access.occurrence,
-            value_read=access.value if access.kind.reads_memory else None,
-            value_written=access.value_written,
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "repro.cpu.Processor is deprecated; use repro.cpu.SimpleCore "
+            "(or construct cores via repro.cpu.core.core_class_by_name)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        op.commit_time = access.commit_time
-        op.issue_index = access.issue_index
-        self.trace.append(op)
-        if self.tracer.enabled and self.tracer.wants("proc"):
-            # Carries the op's full identity: the trace-based
-            # happens-before cross-check rebuilds the execution from
-            # exactly these events (see repro.trace.crosscheck).
-            self.tracer.emit(
-                "proc",
-                "commit",
-                track=f"P{op.proc}",
-                args=(
-                    ("proc", op.proc),
-                    ("kind", op.kind.value),
-                    ("location", op.location),
-                    ("pos", op.thread_pos),
-                    ("occurrence", op.occurrence),
-                    ("issue_index", op.issue_index),
-                    ("value_read", op.value_read),
-                    ("value_written", op.value_written),
-                ),
-            )
-
-    def _retire(self, access: MemoryAccess) -> None:
-        self.pending_accesses.remove(access)
-        if self.tracer.enabled and self.tracer.wants("proc"):
-            self.tracer.emit(
-                "proc",
-                "gp",
-                track=f"P{access.proc}",
-                args=(
-                    ("kind", access.kind.value),
-                    ("location", access.location),
-                    ("issue_index", access.issue_index),
-                ),
-            )
-        self.wake()
-
-    def _on_sync_nack(self, location) -> None:
-        """Cache observer: our sync request was NACKed because the line is
-        reserved at a remote owner — condition 5's distinct stall cause,
-        accounted as an overlay on the enclosing commit wait."""
-        if location == self._commit_wait_loc:
-            self.stats.stall_begin(
-                self.proc_id, StallReason.DEF2_RESERVED_REMOTE, self.sim.now
-            )
-
-    # ------------------------------------------------------------------
-    # Stall accounting
-    # ------------------------------------------------------------------
-    def _begin_stall(self, reason: StallReason) -> None:
-        if self._stall_reason is not None and self._stall_reason is not reason:
-            self.stats.stall_end(self.proc_id, self._stall_reason, self.sim.now)
-            self._stall_reason = None
-        if self._stall_reason is None:
-            self._stall_reason = reason
-            self.stats.stall_begin(self.proc_id, reason, self.sim.now)
-
-    def _end_stall(self) -> None:
-        if self._stall_reason is not None:
-            self.stats.stall_end(self.proc_id, self._stall_reason, self.sim.now)
-            self._stall_reason = None
-
-    @property
-    def stalled(self) -> bool:
-        return self._stall_reason is not None
-
-    # ------------------------------------------------------------------
-    # Process migration (Section 5.1's footnote)
-    # ------------------------------------------------------------------
-    @property
-    def idle_for_adoption(self) -> bool:
-        """True when this processor can take over another thread: its own
-        thread is empty (a dedicated idle slot) or it has already
-        migrated its thread away, and nothing is in flight."""
-        if self.pending_accesses or self._busy:
-            return False
-        # An empty thread is idle whether or not its (trivial) halt has
-        # been processed yet — early migrations may beat the start event.
-        return len(self.thread.instructions) == 0
-
-    def begin_migration(self) -> None:
-        """Stop issuing; in-flight accesses continue to completion."""
-        self._end_stall()
-        self._migrating = True
-
-    def export_context(self) -> dict:
-        """The thread context a context switch transfers."""
-        assert not self.pending_accesses, "export before drain completed"
-        return {
-            "logical_proc": self.logical_proc,
-            "thread": self.thread,
-            "regs": self.regs,
-            "pc": self.pc,
-            "occurrences": self._occurrences,
-            "issue_counter": self._issue_counter,
-        }
-
-    def adopt_context(self, context: dict) -> dict:
-        """Take over a thread; returns this processor's previous identity
-        (for the source to assume, keeping the identity set intact)."""
-        assert self.idle_for_adoption, f"{self.name} cannot adopt a thread"
-        previous = {
-            "logical_proc": self.logical_proc,
-            "thread": self.thread,
-            "regs": self.regs,
-            "pc": self.pc,
-            "occurrences": self._occurrences,
-            "issue_counter": self._issue_counter,
-        }
-        self.logical_proc = context["logical_proc"]
-        self.thread = context["thread"]
-        self.regs = context["regs"]
-        self.pc = context["pc"]
-        self._occurrences = context["occurrences"]
-        self._issue_counter = context["issue_counter"]
-        self.halted = False
-        self.halt_time = None
-        self._migrating = False
-        return previous
-
-    def become_idle(self, identity: dict) -> None:
-        """Assume the (already halted) identity handed back by the target."""
-        self.logical_proc = identity["logical_proc"]
-        self.thread = identity["thread"]
-        self.regs = identity["regs"]
-        self.pc = identity["pc"]
-        self._occurrences = identity["occurrences"]
-        self._issue_counter = identity["issue_counter"]
-        self._migrating = False
-        self.halted = True
-        self.halt_time = self.sim.now
+        super().__init__(*args, **kwargs)

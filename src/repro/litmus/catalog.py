@@ -257,6 +257,125 @@ def dekker_racy_on_weak() -> LitmusTest:
     return fig1_dekker(warm=True)
 
 
+# ----------------------------------------------------------------------
+# Core-originated reordering (PR 6): shapes that only become observable
+# when the *processor core* reorders — store-to-load forwarding and
+# overlapping in-flight reads on the pipelined core.  They live in their
+# own catalog: the standard battery's expectations are pinned by the
+# pre-refactor conformance snapshot, which predates these tests.
+# ----------------------------------------------------------------------
+
+def store_forward_dekker() -> LitmusTest:
+    """SB+rfi: each thread reads its own store before reading the other's.
+
+    ``W(x);R(x);R(y) || W(y);R(y);R(x)``.  SC forces the same-location
+    read to return the own store (r1=r3=1) and forbids both cross reads
+    returning 0.  A forwarding core satisfies r1/r3 from its pending
+    store while the store is still a miss in flight, so both cross reads
+    can race ahead and observe the pre-write state — the classic
+    store-buffer litmus with the buffer inside the core.
+    """
+    t0 = (
+        ThreadBuilder("P0")
+        .store("x", 1).load("r1", "x").load("r2", "y")
+        .build()
+    )
+    t1 = (
+        ThreadBuilder("P1")
+        .store("y", 1).load("r3", "y").load("r4", "x")
+        .build()
+    )
+    return LitmusTest(
+        name="store_forward_dekker",
+        program=Program([t0, t1], name="store_forward_dekker"),
+        projection=((0, "r1"), (0, "r2"), (1, "r3"), (1, "r4")),
+        forbidden=(1, 0, 1, 0),
+        description="SB with same-location reads; forwarding exposes (1,0,1,0)",
+    )
+
+
+def store_forward_chain() -> LitmusTest:
+    """Forwarding breaks write-to-read causality through a register chain.
+
+    ``W(x)=1; R(x)->r1; W(y)=r1  ||  R(y)->r2; R(x)->r3``.  Without
+    forwarding, r1 can only be read once ``x=1`` has committed, so any
+    observer that sees ``y=1`` also sees ``x=1``.  A forwarding core
+    hands r1 the value of the still-in-flight ``x=1``, letting the
+    dependent ``y=1`` reach memory first: (r1,r2,r3) = (1,1,0).
+    """
+    t0 = (
+        ThreadBuilder("P0")
+        .store("x", 1).load("r1", "x").store("y", "r1")
+        .build()
+    )
+    t1 = ThreadBuilder("P1").load("r2", "y").load("r3", "x").build()
+    return LitmusTest(
+        name="store_forward_chain",
+        program=Program([t0, t1], name="store_forward_chain"),
+        projection=((0, "r1"), (1, "r2"), (1, "r3")),
+        forbidden=(1, 1, 0),
+        description="forwarded value escapes via a dependent store before its source",
+    )
+
+
+def store_forward_coherence() -> LitmusTest:
+    """Forwarding must respect same-location program order.
+
+    ``W(x)=1; W(x)=2; R(x)->r1 || R(x)->r2``: the read must forward from
+    the *newest* pending write, so r1=2 always — r1=1 (stale forward)
+    and r1=0 (write skipped) are both coherence violations on every
+    policy and every core.  The observer thread keeps the location
+    contended so the window actually holds both writes.
+    """
+    t0 = (
+        ThreadBuilder("P0")
+        .store("x", 1).store("x", 2).load("r1", "x")
+        .build()
+    )
+    t1 = ThreadBuilder("P1").load("r2", "x").build()
+    return LitmusTest(
+        name="store_forward_coherence",
+        program=Program([t0, t1], name="store_forward_coherence"),
+        projection=((0, "r1"), (1, "r2")),
+        forbidden=(1, 0),
+        description="per-location order under forwarding: r1 must be 2",
+    )
+
+
+def mp_release_overlapping_reads() -> LitmusTest:
+    """Ordered sync writes vs. overlapping data reads.
+
+    ``Wsync(x)=42; Wsync(flag)=1 || R(flag)->r1; R(x)->r2``.  DEF1
+    orders the two sync stores (condition 3: the second issues only
+    after the first globally performs), so on a core that blocks each
+    read for its value, seeing flag=1 implies seeing x=42.  The
+    pipelined core issues both reads back-to-back into its window; the
+    x read can be satisfied *before* the flag read, observing (1, 0) —
+    reordering that originates entirely in the core.  (The program is
+    racy — data reads against sync writes — so DEF1's DRF0 promise does
+    not apply to it.)
+    """
+    t0 = ThreadBuilder("P0").sync_store("x", 42).sync_store("flag", 1).build()
+    t1 = ThreadBuilder("P1").load("r1", "flag").load("r2", "x").build()
+    return LitmusTest(
+        name="mp_release_overlapping_reads",
+        program=Program([t0, t1], name="mp_release_overlapping_reads"),
+        projection=((1, "r1"), (1, "r2")),
+        forbidden=(1, 0),
+        description="release-ordered writes, core-overlapped reads: (1,0) needs a pipelined core",
+    )
+
+
+def forwarding_catalog() -> List[LitmusTest]:
+    """The core-originated-reordering battery (PR 6)."""
+    return [
+        store_forward_dekker(),
+        store_forward_chain(),
+        store_forward_coherence(),
+        mp_release_overlapping_reads(),
+    ]
+
+
 def standard_catalog() -> List[LitmusTest]:
     """The full battery used by tests and benchmarks."""
     return [
@@ -285,4 +404,7 @@ def standard_catalog() -> List[LitmusTest]:
 
 
 def catalog_by_name() -> Dict[str, LitmusTest]:
-    return {test.name: test for test in standard_catalog()}
+    return {
+        test.name: test
+        for test in standard_catalog() + forwarding_catalog()
+    }

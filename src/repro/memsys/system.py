@@ -21,7 +21,7 @@ from repro.coherence.snooping import SnoopCoordinator, SnoopingCache
 from repro.core.execution import Execution, Observable
 from repro.core.operation import Location, Value
 from repro.core.program import Program
-from repro.cpu.processor import Processor
+from repro.cpu.core import ProcessorCore, core_class_by_name
 from repro.cpu.write_buffer import WriteBufferPort
 from repro.faults import FaultPlan, FaultyInterconnect
 from repro.interconnect.bus import Bus
@@ -42,11 +42,13 @@ class ConfigurationError(ValueError):
     """Policy and machine configuration are incompatible."""
 
 
-def ensure_compatible(policy: OrderingPolicy, config: MachineConfig) -> None:
-    """Raise :class:`ConfigurationError` if the pair cannot be built.
+def ensure_compatible(
+    policy: OrderingPolicy, config: MachineConfig, core: str = "simple"
+) -> None:
+    """Raise :class:`ConfigurationError` if the triple cannot be built.
 
     Shared by :class:`System` and the campaign layer, which pre-flights
-    (policy, config) cells before fanning specs out to workers.
+    (policy, config, core) cells before fanning specs out to workers.
     """
     if policy.requires_cache and not config.has_caches:
         raise ConfigurationError(
@@ -59,6 +61,12 @@ def ensure_compatible(policy: OrderingPolicy, config: MachineConfig) -> None:
         and config.interconnect is not InterconnectKind.BUS
     ):
         raise ConfigurationError("snooping coherence requires the atomic bus")
+    core_class_by_name(core)  # unknown core names fail loudly
+    if core not in policy.supported_cores:
+        raise ConfigurationError(
+            f"policy {policy.name} does not support core {core!r}; "
+            f"supported: {list(policy.supported_cores)}"
+        )
 
 
 @dataclass
@@ -116,6 +124,7 @@ class System:
         fault_plan: Optional[FaultPlan] = None,
         trace: Optional[TraceSpec] = None,
         sanitize: Optional[str] = None,
+        core: Optional[str] = None,
     ) -> None:
         """Build the machine.
 
@@ -136,11 +145,20 @@ class System:
         result, ``"strict"`` raises
         :class:`~repro.sanitizer.checker.SanitizerViolation` at the
         first one.  ``None``/``"off"`` costs one branch per cycle.
+
+        ``core`` names the processor-core shape (``"simple"`` /
+        ``"pipelined"``, see :mod:`repro.cpu.core`); ``None`` defers to
+        the ``core`` attribute :func:`~repro.models.policies.policy_by_name`
+        may have stamped on the policy, defaulting to ``"simple"``.
         """
-        ensure_compatible(policy, config)
+        if core is None:
+            core = getattr(policy, "core", "simple")
+        ensure_compatible(policy, config, core)
         self.program = program
         self.policy = policy
         self.config = config
+        self.core_name = core
+        self._core_cls = core_class_by_name(core)
         self.seed = seed
         self.fault_plan = fault_plan
         self.trace_spec = trace
@@ -207,7 +225,7 @@ class System:
         self.directory: Optional[Directory] = None
         self.snoop_coordinator: Optional[SnoopCoordinator] = None
         self.memory: Optional[MemoryModule] = None
-        self.processors: List[Processor] = []
+        self.processors: List[ProcessorCore] = []
 
         if not config.has_caches:
             self._build_cacheless()
@@ -239,7 +257,7 @@ class System:
                 nack_mode=self.policy.nack_mode,
             )
             self.caches.append(cache)
-            processor = Processor(
+            processor = self._core_cls(
                 self.sim,
                 proc_id,
                 thread,
@@ -271,7 +289,7 @@ class System:
                 reserve_enabled=self.policy.reserve_enabled,
             )
             self.caches.append(cache)
-            processor = Processor(
+            processor = self._core_cls(
                 self.sim,
                 proc_id,
                 thread,
@@ -300,7 +318,7 @@ class System:
                 drain_delay=self.config.write_buffer_drain_delay,
                 capacity=self.config.write_buffer_capacity,
             )
-            processor = Processor(
+            processor = self._core_cls(
                 self.sim,
                 proc_id,
                 thread,

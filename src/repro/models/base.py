@@ -2,7 +2,7 @@
 
 A policy encodes one side of the paper's comparison — how aggressively a
 processor may overlap its memory accesses — through two hooks consulted
-by :class:`repro.cpu.processor.Processor`:
+by :class:`repro.cpu.core.ProcessorCore`:
 
 * :meth:`issue_gate` — may the *next* memory access be generated now?
   Returning a :class:`StallReason` stalls the processor until its state
@@ -20,13 +20,13 @@ Policies also own the protocol treatment of synchronization accesses
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.core.operation import OpKind
 from repro.sim.stats import StallReason
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.cpu.processor import Processor
+    from repro.cpu.core import ProcessorCore
 
 
 class BlockKind(enum.Enum):
@@ -93,8 +93,20 @@ class OrderingPolicy:
     #: Section 6 refinement: read-only syncs are protocol data reads.
     sync_read_as_data = False
 
+    # -- core-shape capabilities -----------------------------------------
+    #: Processor-core shapes this policy is known to compose with (names
+    #: from :func:`repro.cpu.core.core_names`); ``System`` refuses other
+    #: pairings at construction time.
+    supported_cores: Tuple[str, ...] = ("simple", "pipelined")
+    #: Whether a pipelined core may satisfy a data read from its own
+    #: pending uncommitted data write (store-to-load forwarding).
+    #: Policies whose issue gates already forbid the overlap declare
+    #: False as defense-in-depth, so a core bug can never smuggle a
+    #: forward past a total-order guarantee.
+    allows_store_forwarding = True
+
     # -- issue control ---------------------------------------------------
-    def issue_gate(self, proc: "Processor", kind: OpKind) -> Optional[StallReason]:
+    def issue_gate(self, proc: "ProcessorCore", kind: OpKind) -> Optional[StallReason]:
         """Return a stall reason, or ``None`` to let the access generate."""
         return None
 

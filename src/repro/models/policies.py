@@ -34,7 +34,7 @@ from repro.models.base import BlockKind, OrderingPolicy
 from repro.sim.stats import StallReason
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.cpu.processor import Processor
+    from repro.cpu.core import ProcessorCore
 
 
 class RelaxedPolicy(OrderingPolicy):
@@ -61,8 +61,13 @@ class SCPolicy(OrderingPolicy):
     """Sequential consistency via the Scheurich-Dubois condition."""
 
     name = "SC"
+    #: The issue gate keeps at most one access in flight, so a forward
+    #: could never trigger anyway; declared off as defense-in-depth — SC
+    #: hardware must never bind a read to a write that has not globally
+    #: performed.
+    allows_store_forwarding = False
 
-    def issue_gate(self, proc: "Processor", kind: OpKind) -> Optional[StallReason]:
+    def issue_gate(self, proc: "ProcessorCore", kind: OpKind) -> Optional[StallReason]:
         if proc.pending_accesses:
             return StallReason.SC_PREVIOUS_GP
         return None
@@ -73,7 +78,7 @@ class Def1Policy(OrderingPolicy):
 
     name = "DEF1"
 
-    def issue_gate(self, proc: "Processor", kind: OpKind) -> Optional[StallReason]:
+    def issue_gate(self, proc: "ProcessorCore", kind: OpKind) -> Optional[StallReason]:
         # Condition (3): nothing issues until the previous sync op is
         # globally performed.
         if any(a.kind.is_sync for a in proc.pending_accesses):
@@ -119,7 +124,7 @@ class Def2Policy(OrderingPolicy):
         # operations by the cache coherence protocol." (Section 5.2)
         return True
 
-    def issue_gate(self, proc: "Processor", kind: OpKind) -> Optional[StallReason]:
+    def issue_gate(self, proc: "ProcessorCore", kind: OpKind) -> Optional[StallReason]:
         # Condition 4: no new access until previous sync ops committed.
         if any(a.kind.is_sync and not a.committed for a in proc.pending_accesses):
             return StallReason.DEF2_SYNC_COMMIT
@@ -174,6 +179,9 @@ class AllSyncPolicy(Def2Policy):
     """
 
     name = "ALL-SYNC"
+    #: Every access commit-blocks, so no write is ever pending when a
+    #: read issues; declared off as defense-in-depth, like SC.
+    allows_store_forwarding = False
 
     def sync_protocol(self, kind: OpKind) -> bool:
         return True
@@ -186,15 +194,23 @@ class AllSyncPolicy(Def2Policy):
         # before the processor proceeds.
         return BlockKind.COMMIT
 
-    def issue_gate(self, proc: "Processor", kind: OpKind) -> Optional[StallReason]:
+    def issue_gate(self, proc: "ProcessorCore", kind: OpKind) -> Optional[StallReason]:
         # Condition 4 with everything labelled sync: nothing new until
         # the previous access commits (enforced by block_kind); the
         # remaining DEF2 gates still apply.
         return super().issue_gate(proc, kind)
 
 
-def policy_by_name(name: str) -> OrderingPolicy:
-    """Construct a fresh policy instance from its report name."""
+def policy_by_name(name: str, core: Optional[str] = None) -> OrderingPolicy:
+    """Construct a fresh policy instance from its report name.
+
+    ``core`` optionally names the processor-core shape the policy should
+    run on (``"simple"``/``"pipelined"``, see
+    :func:`repro.cpu.core.core_names`); the choice is validated against
+    the policy's :attr:`~repro.models.base.OrderingPolicy.supported_cores`
+    and stamped on the instance, where ``PolicySpec.of`` and ``System``
+    pick it up.  ``None`` leaves the default (``"simple"``).
+    """
     table = {
         "RELAXED": RelaxedPolicy,
         "RP3-FENCE": RP3FencePolicy,
@@ -205,6 +221,17 @@ def policy_by_name(name: str) -> OrderingPolicy:
         "ALL-SYNC": AllSyncPolicy,
     }
     try:
-        return table[name.upper().replace("_", "-")]()
+        policy = table[name.upper().replace("_", "-")]()
     except KeyError:
         raise ValueError(f"unknown policy {name!r}; choose from {sorted(table)}")
+    if core is not None:
+        from repro.cpu.core import core_class_by_name
+
+        core_class_by_name(core)  # unknown names fail loudly here
+        if core not in policy.supported_cores:
+            raise ValueError(
+                f"policy {policy.name} does not support core {core!r}; "
+                f"supported: {list(policy.supported_cores)}"
+            )
+        policy.core = core
+    return policy

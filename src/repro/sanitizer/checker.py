@@ -487,3 +487,13 @@ class Sanitizer:
                     f"replies at quiescence",
                     component=port.name,
                 )
+            # A pipelined core must drain its scoreboard before it halts:
+            # a surviving entry means a register never received its value.
+            pending = getattr(processor, "pending_registers", None)
+            if processor.halted and pending:
+                self.record(
+                    "quiescence",
+                    f"halted core still awaits value(s) for "
+                    f"register(s) {sorted(pending)} at quiescence",
+                    component=processor.name,
+                )

@@ -141,11 +141,48 @@ class Simulator:
 
 
 class Component:
-    """Base class for simulated hardware components."""
+    """Base class for simulated hardware components.
+
+    Components that re-evaluate their state after an event cascade (a
+    processor core re-checking its stalls, for example) use the
+    coalesced :meth:`wake` facility: any number of ``wake()`` calls in
+    one cascade collapse into a single deferred :meth:`on_wake`.  With
+    multi-outstanding cores, one settled cascade can complete several
+    accesses at once — coalescing keeps that a single re-evaluation
+    instead of one per completion, and keeps the event schedule (and so
+    the deterministic ``(time, seq)`` order) independent of how many
+    completions happened to land together.
+    """
 
     def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
         self.name = name
+        self._wake_scheduled = False
+
+    def wake(self) -> None:
+        """Re-evaluate state after the current event cascade settles."""
+        if self.wake_suppressed() or self._wake_scheduled:
+            return
+        self._wake_scheduled = True
+
+        def run() -> None:
+            self._wake_scheduled = False
+            if self.wake_ready():
+                self.on_wake()
+
+        self.sim.call_soon(run)
+
+    # -- wake hooks, overridden by components that use the facility ------
+    def wake_suppressed(self) -> bool:
+        """Checked at ``wake()`` time: True drops the wake entirely."""
+        return False
+
+    def wake_ready(self) -> bool:
+        """Checked when the deferred wake fires: False skips ``on_wake``."""
+        return True
+
+    def on_wake(self) -> None:
+        """The component's re-evaluation; default is a no-op."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"

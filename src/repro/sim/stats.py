@@ -49,6 +49,9 @@ class StallReason(enum.Enum):
     DELAY_PAIR = "delay_pair"
     #: Processor drain before a context switch / migration.
     MIGRATION_DRAIN = "migration_drain"
+    #: A pipelined core's issue window is full (every slot holds an
+    #: access that has not yet globally performed).
+    CORE_WINDOW_FULL = "core_window_full"
 
 
 class Stats:

@@ -38,6 +38,7 @@ CATEGORIES: Tuple[str, ...] = (
     "dir",      # directory / snoop-coordinator decisions (queue, nack)
     "wbuf",     # write-buffer enqueue / forward (cache-less machines)
     "fault",    # injected fault decisions (jitter, reorder, duplicate)
+    "core",     # pipeline-stage spans (slot occupancy) and forwards
 )
 
 #: Phases, in the sense documented on :class:`TraceEvent`.

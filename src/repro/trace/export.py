@@ -199,21 +199,35 @@ _PHASE_GLYPH = {"I": "*", "B": "[", "E": "]", "S": ">", "F": "<"}
 def format_timeline(
     events: Sequence[TraceEvent], limit: Optional[int] = None
 ) -> str:
-    """An aligned, human-readable timeline of an event stream."""
+    """An aligned, human-readable timeline of an event stream.
+
+    Span closes (``]``) carry a ``+N`` duration suffix matched against
+    the opening ``[`` on the same track — on pipelined-core traces this
+    reads off each issue-slot occupancy (``P0.s1 ] core.read@x +14``)
+    without hunting for the opening line.
+    """
     shown = list(events[:limit]) if limit is not None else list(events)
     if not shown:
         return "(no events)"
     time_width = len(str(shown[-1].time))
     track_width = max(len(event.track) for event in shown)
+    open_spans: Dict[Tuple[str, str, str], int] = {}
     lines = []
     for event in shown:
         glyph = _PHASE_GLYPH.get(event.phase, "?")
         args = " ".join(f"{k}={v}" for k, v in event.args)
         flow = f" ~{event.flow_id}" if event.flow_id is not None else ""
+        span_key = (event.track, event.category, event.name)
+        duration = ""
+        if event.phase == "B":
+            open_spans[span_key] = event.time
+        elif event.phase == "E" and span_key in open_spans:
+            duration = f" +{event.time - open_spans.pop(span_key)}"
         lines.append(
             f"@{event.time:>{time_width}} {event.track:<{track_width}} "
             f"{glyph} {event.category}.{event.name}"
             + (f" {args}" if args else "")
+            + duration
             + flow
         )
     if limit is not None and len(events) > limit:

@@ -1,0 +1,167 @@
+"""Core-conformance suite: ``SimpleCore`` vs the pre-refactor snapshot.
+
+PR 6 split the monolithic ``Processor`` into a ``ProcessorCore``
+interface with two implementations.  The refactor's contract is that
+``SimpleCore`` (the default) is *observably identical* to the processor
+it was extracted from: litmus verdicts, stall totals, trace event
+counts, and campaign cache digests all byte-identical.
+
+The expectations live in ``tests/data/core_conformance_snapshot.json``,
+generated from the tree *before* the refactor landed.  Regenerate (only
+when intentionally changing simulated behaviour in a later PR) with::
+
+    PYTHONPATH=src python tests/cpu/test_core_conformance.py --regen
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.campaign import PolicySpec
+from repro.litmus.catalog import standard_catalog
+from repro.litmus.runner import LitmusRunner
+from repro.memsys.config import NET_CACHE
+from repro.models.policies import policy_by_name
+from repro.trace.tracer import TraceSpec
+
+SNAPSHOT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "data"
+    / "core_conformance_snapshot.json"
+)
+
+#: The five policies the acceptance criteria pin (ISSUE 6).
+POLICIES = ("RELAXED", "SC", "DEF1", "DEF2", "DEF2-R")
+RUNS = 4
+BASE_SEED = 20260808
+
+
+def observe_cell(runner: LitmusRunner, test, policy_name: str) -> dict:
+    """One snapshot entry: verdicts, stall totals, trace event counts.
+
+    Uses only APIs whose observable behaviour the refactor promises to
+    preserve, so the same code produced the snapshot pre-refactor and
+    checks ``SimpleCore`` against it post-refactor.
+    """
+    from repro.api import campaign
+
+    policy_spec = PolicySpec.of(lambda: policy_by_name(policy_name))
+    specs = runner.campaign_specs(
+        test,
+        policy_spec,
+        NET_CACHE,
+        RUNS,
+        BASE_SEED,
+        trace=TraceSpec(events=True, summary=False),
+    )
+    # Cache digests of the equivalent untraced specs: the result-cache
+    # keys that must not move, or every pre-PR6 on-disk cache invalidates.
+    untraced = runner.campaign_specs(
+        test, policy_spec, NET_CACHE, RUNS, BASE_SEED
+    )
+    digest_of_digests = hashlib.sha256(
+        "".join(spec.digest() for spec in untraced).encode()
+    ).hexdigest()
+
+    batch = campaign(
+        specs, label=f"conformance:{test.name}:{policy_name}"
+    )
+    litmus = runner.collect(test, policy_spec.name, NET_CACHE.name, batch.results)
+
+    stalls: dict = {}
+    by_category: dict = {}
+    total_events = 0
+    for result in batch.results:
+        for reason, cycles in result.timings.stall_by_reason:
+            stalls[reason.value] = stalls.get(reason.value, 0) + cycles
+        if result.trace_events:
+            total_events += len(result.trace_events)
+            for event in result.trace_events:
+                by_category[event.category] = (
+                    by_category.get(event.category, 0) + 1
+                )
+    return {
+        "histogram": sorted(
+            [list(outcome), count] for outcome, count in litmus.histogram.items()
+        ),
+        "sc_violations": sorted(
+            [list(outcome), count]
+            for outcome, count in litmus.sc_violations.items()
+        ),
+        "completed": litmus.completed_runs,
+        "failed": litmus.failed_runs,
+        "cycles": sum(r.cycles for r in batch.results),
+        "stalls": {key: stalls[key] for key in sorted(stalls)},
+        "trace_events": total_events,
+        "trace_by_category": {
+            key: by_category[key] for key in sorted(by_category)
+        },
+        "spec_digests": digest_of_digests,
+    }
+
+
+def _cells():
+    return [
+        (test, policy) for test in standard_catalog() for policy in POLICIES
+    ]
+
+
+def generate_snapshot() -> dict:
+    runner = LitmusRunner()
+    return {
+        "config": NET_CACHE.name,
+        "runs": RUNS,
+        "base_seed": BASE_SEED,
+        "entries": {
+            f"{test.name}|{policy}": observe_cell(runner, test, policy)
+            for test, policy in _cells()
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def snapshot() -> dict:
+    if not SNAPSHOT.exists():  # pragma: no cover - setup error
+        pytest.fail(f"missing snapshot {SNAPSHOT}; see module docstring")
+    return json.loads(SNAPSHOT.read_text())
+
+
+@pytest.fixture(scope="module")
+def runner() -> LitmusRunner:
+    return LitmusRunner()
+
+
+@pytest.mark.parametrize(
+    "test,policy",
+    _cells(),
+    ids=[f"{t.name}-{p}" for t, p in _cells()],
+)
+def test_simple_core_matches_pre_refactor_snapshot(
+    test, policy, snapshot, runner
+):
+    key = f"{test.name}|{policy}"
+    expected = snapshot["entries"].get(key)
+    assert expected is not None, f"snapshot has no entry for {key}"
+    observed = json.loads(json.dumps(observe_cell(runner, test, policy)))
+    assert observed == expected, (
+        f"SimpleCore diverged from the pre-refactor processor on {key}"
+    )
+
+
+def test_snapshot_covers_current_catalog(snapshot):
+    expected_keys = {f"{t.name}|{p}" for t, p in _cells()}
+    assert expected_keys == set(snapshot["entries"])
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("usage: python tests/cpu/test_core_conformance.py --regen")
+    SNAPSHOT.parent.mkdir(parents=True, exist_ok=True)
+    SNAPSHOT.write_text(json.dumps(generate_snapshot(), indent=1) + "\n")
+    print(f"wrote {SNAPSHOT}")

@@ -5,7 +5,7 @@ from typing import List
 from repro.core.operation import OpKind
 from repro.core.program import ThreadBuilder
 from repro.cpu.access import MemoryAccess
-from repro.cpu.processor import Processor
+from repro.cpu.processor import Processor, SimpleCore
 from repro.models.base import OrderingPolicy
 from repro.models.policies import RelaxedPolicy, SCPolicy
 from repro.sim.engine import Simulator
@@ -43,7 +43,7 @@ def run_thread(builder: ThreadBuilder, policy: OrderingPolicy = None, latency=5,
     sim = Simulator()
     stats = Stats()
     port = ScriptedPort(sim, latency=latency, memory=memory)
-    processor = Processor(
+    processor = SimpleCore(
         sim, 0, builder.build(), policy or RelaxedPolicy(), port, stats
     )
     processor.start()
@@ -162,3 +162,23 @@ class TestPolicyInteraction:
         builder = ThreadBuilder("P0").load("r", "x")
         _, _, _, stats = run_thread(builder, latency=30)
         assert stats.stall_cycles(reason=StallReason.READ_VALUE) >= 29
+
+
+class TestDeprecatedAlias:
+    def test_processor_warns_and_behaves_like_simple_core(self):
+        import pytest
+
+        sim = Simulator()
+        stats = Stats()
+        port = ScriptedPort(sim)
+        thread = ThreadBuilder("P0").store("x", 1).load("r", "x").build()
+        with pytest.warns(DeprecationWarning, match="SimpleCore"):
+            processor = Processor(
+                sim, 0, thread, RelaxedPolicy(), port, stats
+            )
+        assert isinstance(processor, SimpleCore)
+        assert processor.core_name == "simple"
+        processor.start()
+        sim.run()
+        assert processor.halted
+        assert processor.regs.read("r") == 1

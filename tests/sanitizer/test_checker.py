@@ -189,6 +189,26 @@ class TestEndOfRunChecks:
         violations = system.sim.sanitizer.violations
         assert any(v.rule == "quiescence" for v in violations)
 
+    def test_quiescence_flags_halted_core_scoreboard_entry(self):
+        system = System(
+            reserve_bug_program(),
+            Def2Policy(),
+            NET_CACHE,
+            core="pipelined",
+            sanitize="log",
+        )
+        run = system.run()
+        assert run.completed
+        system.sim.sanitizer.violations.clear()
+        core = system.processors[0]
+        assert core.halted
+        core._pending_regs["r9"] = object()
+        system.sim.sanitizer.finish(completed=True)
+        assert any(
+            v.rule == "quiescence" and "r9" in v.message
+            for v in system.sim.sanitizer.violations
+        )
+
     def test_msg_conservation_flags_lost_message(self):
         system = self._completed_system()
         system.stats.bump("network.sent")

@@ -195,6 +195,20 @@ class TestEveryReasonIsReachable:
         reasons = {r for (_, r) in run.stats.stall_breakdown()}
         assert StallReason.MIGRATION_DRAIN in reasons
 
+    def test_core_window_full(self):
+        wide = Program(
+            [
+                ThreadBuilder("P0")
+                .store("a", 1).store("b", 2).store("c", 3)
+                .store("d", 4).store("e", 5).store("f", 6)
+                .build()
+            ],
+            name="wide_stores",
+        )
+        assert StallReason.CORE_WINDOW_FULL in stall_reasons(
+            wide, RelaxedPolicy(), NET_CACHE, core="pipelined"
+        )
+
     def test_all_members_are_covered_here(self):
         """Force this file to grow with the enum: any new StallReason
         must add a scenario (or an explicit gate-level test) above."""
@@ -212,6 +226,7 @@ class TestEveryReasonIsReachable:
             StallReason.FENCE_DRAIN,
             StallReason.DELAY_PAIR,
             StallReason.MIGRATION_DRAIN,
+            StallReason.CORE_WINDOW_FULL,
         }
         assert covered == set(StallReason)
 

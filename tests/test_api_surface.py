@@ -39,6 +39,7 @@ FACADE_SHAPES = {
         ("program", "POSITIONAL_OR_KEYWORD", False),
         ("policy", "POSITIONAL_OR_KEYWORD", False),
         ("machine", "KEYWORD_ONLY", True),
+        ("core", "KEYWORD_ONLY", True),
         ("seed", "KEYWORD_ONLY", True),
         ("max_cycles", "KEYWORD_ONLY", True),
         ("faults", "KEYWORD_ONLY", True),
@@ -51,6 +52,7 @@ FACADE_SHAPES = {
         ("max_delays", "KEYWORD_ONLY", True),
         ("prune", "KEYWORD_ONLY", True),
         ("machine", "KEYWORD_ONLY", True),
+        ("core", "KEYWORD_ONLY", True),
         ("max_runs", "KEYWORD_ONLY", True),
         ("max_cycles", "KEYWORD_ONLY", True),
         ("relaxed_request_channels", "KEYWORD_ONLY", True),
@@ -101,10 +103,10 @@ EXPORTED_NAMES = frozenset(
         "MachineConfig", "NET_CACHE", "NET_CACHE_VC", "NET_NOCACHE",
         "System", "config_by_name",
         "Def1Policy", "Def2Policy", "Def2RPolicy", "RelaxedPolicy",
-        "SCPolicy", "policy_by_name",
+        "SCPolicy", "core_names", "policy_by_name",
         "LitmusResult", "LitmusRunner", "LitmusTest", "catalog_by_name",
-        "fig1_dekker", "fig1_dekker_all_sync", "parse_litmus",
-        "standard_catalog",
+        "fig1_dekker", "fig1_dekker_all_sync", "forwarding_catalog",
+        "parse_litmus", "standard_catalog",
         "ConformanceReport", "run_conformance", "VERDICT_BROKEN",
         "VERDICT_NA", "VERDICT_SC", "VERDICT_WEAK",
         "DRF0", "DRF0_R", "DRFReport", "ExplorationReport", "SCVerifier",
