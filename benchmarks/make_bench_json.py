@@ -4,9 +4,11 @@ The ROADMAP asks for a committed perf trajectory: one JSON per PR at the
 repo root recording the wall-clock of the three headline benchmarks
 (figure3, verify, explore) plus, from PR 6 on, the same litmus campaign
 timed on both processor cores and the disabled-tracing baseline that
-``bench_trace`` budgets against.  Run from the repo root::
+``bench_trace`` budgets against, and, from PR 7 on, the campaign-journal
+durability overhead measured by ``bench_journal``.  Run from the repo
+root::
 
-    PYTHONPATH=src python benchmarks/make_bench_json.py BENCH_pr6.json
+    PYTHONPATH=src python benchmarks/make_bench_json.py BENCH_pr7.json
 
 Numbers are best-of-N wall-clock on whatever box runs the script —
 comparable *along* the trajectory only when the box stays the same,
@@ -16,6 +18,7 @@ diffing against the committed one.
 
 import json
 import sys
+import tempfile
 import time
 
 from repro.analysis.figure3 import figure3_sweep
@@ -84,9 +87,17 @@ def main(out_path):
             "runs": sum(r.runs for r in results),
         }
 
+    from bench_journal import measure_journal_overhead
+
+    with tempfile.TemporaryDirectory(prefix="bench-journal-") as tmp:
+        journal = {
+            key: round(value, 4)
+            for key, value in measure_journal_overhead(tmp).items()
+        }
+
     snapshot = {
         "schema": "repro-bench/1",
-        "pr": 6,
+        "pr": 7,
         "bench_figure3": {"sweep_s": round(fig3_s, 4)},
         "bench_verify": {
             "dekker_sc_set_s": round(verify_s, 4),
@@ -97,6 +108,7 @@ def main(out_path):
             "runs": report.runs,
         },
         "cores": cores,
+        "bench_journal": journal,
         "trace_baseline_untraced_s": 0.028,
     }
     with open(out_path, "w") as handle:
@@ -106,4 +118,4 @@ def main(out_path):
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr6.json")
+    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr7.json")

@@ -30,23 +30,31 @@ call patterns (positional ``explore_program`` options, positional
 from __future__ import annotations
 
 from dataclasses import replace
+from pathlib import Path
 from typing import Callable, Iterable, List, Optional, Sequence, Set, Union
 
 from repro.analysis.figure3 import figure3_sweep
 from repro.analysis.report import format_table
 from repro.campaign import (
+    CampaignJournal,
     CampaignMetrics,
     CampaignResult,
     Executor,
+    JournalError,
     ParallelExecutor,
     PolicySpec,
+    PreemptionToken,
     ResultCache,
     RunFailure,
     RunResult,
     RunSpec,
     SerialExecutor,
+    current_token,
     default_executor,
     emit_metrics,
+    graceful_preemption,
+    open_journal,
+    preempted_result,
     program_fingerprint,
     register_metrics_hook,
     run_campaign,
@@ -222,12 +230,16 @@ def explore(
     jobs: int = 1,
     trace: Optional[TraceSpec] = None,
     sanitize: Optional[str] = None,
+    journal: Union[CampaignJournal, str, Path, None] = None,
+    resume: bool = False,
 ) -> ExplorationReport:
     """Systematically enumerate delay-bounded schedules of ``program``.
 
     See :func:`repro.explore.explorer.explore_program` for the search
     itself; ``prune`` skips delay decisions that provably commute
-    (counted on the report, never changing the outcome set).
+    (counted on the report, never changing the outcome set).  With
+    ``journal`` the search checkpoints its decision frontier durably;
+    ``resume=True`` continues a killed exploration from that journal.
     """
     policy_spec = _coerce_policy(policy, core=core)
     return explore_program(
@@ -244,6 +256,8 @@ def explore(
         trace=trace,
         sanitize=sanitize,
         prune=prune,
+        journal=journal,
+        resume=resume,
     )
 
 
@@ -301,13 +315,17 @@ def campaign(
     run_timeout: Optional[float] = None,
     retries: int = 2,
     triage: Optional[TriageConfig] = None,
+    journal: Union[CampaignJournal, str, Path, None] = None,
 ) -> CampaignResult:
     """Execute a batch of specs; results come back in spec order.
 
     ``cache`` may be a :class:`ResultCache` or a directory path;
     ``metrics`` is an optional callback receiving the campaign's
     :class:`CampaignMetrics` (registered only for the duration of this
-    call).  Everything else matches
+    call); ``journal`` is a :class:`CampaignJournal` or a path to one —
+    completed runs append durably as they finish and already-journaled
+    specs replay without execution, so re-running a killed campaign
+    against its journal resumes it.  Everything else matches
     :func:`repro.campaign.run_campaign`, the engine underneath.
     """
     if isinstance(cache, str):
@@ -324,6 +342,7 @@ def campaign(
             run_timeout=run_timeout,
             retries=retries,
             triage=triage,
+            journal=journal,
         )
     finally:
         if metrics is not None:
@@ -343,18 +362,25 @@ __all__ = [
     "Thread",
     "ThreadBuilder",
     # Campaign layer.
+    "CampaignJournal",
     "CampaignMetrics",
     "CampaignResult",
     "Executor",
+    "JournalError",
     "ParallelExecutor",
     "PolicySpec",
+    "PreemptionToken",
     "ResultCache",
     "RunFailure",
     "RunResult",
     "RunSpec",
     "SerialExecutor",
+    "current_token",
     "default_executor",
     "emit_metrics",
+    "graceful_preemption",
+    "open_journal",
+    "preempted_result",
     "program_fingerprint",
     "register_metrics_hook",
     "run_campaign",

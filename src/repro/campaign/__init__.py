@@ -25,6 +25,18 @@ from repro.campaign.executor import (
     ParallelExecutor,
     SerialExecutor,
     default_executor,
+    preempted_result,
+)
+from repro.campaign.journal import (
+    CampaignJournal,
+    JournalError,
+    campaign_digest,
+    open_journal,
+)
+from repro.campaign.preempt import (
+    PreemptionToken,
+    current_token,
+    graceful_preemption,
 )
 from repro.campaign.metrics import (
     CampaignMetrics,
@@ -45,22 +57,30 @@ from repro.campaign.spec import (
 )
 
 __all__ = [
+    "CampaignJournal",
     "CampaignMetrics",
     "CampaignResult",
     "DETERMINISTIC_FAILURES",
     "Executor",
     "FAILURE_KINDS",
+    "JournalError",
     "ParallelExecutor",
     "PolicySpec",
+    "PreemptionToken",
     "ResultCache",
     "RunFailure",
     "RunMetrics",
     "RunResult",
     "RunSpec",
     "SerialExecutor",
+    "campaign_digest",
+    "current_token",
     "default_executor",
     "emit_metrics",
     "execute_spec_guarded",
+    "graceful_preemption",
+    "open_journal",
+    "preempted_result",
     "program_fingerprint",
     "register_metrics_hook",
     "run_campaign",

@@ -17,13 +17,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.sanitizer.triage import TriageConfig, TriageReport
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.executor import Executor, default_executor
+from repro.campaign.journal import CampaignJournal, campaign_digest, open_journal
 from repro.campaign.metrics import CampaignMetrics, emit_metrics
 from repro.campaign.spec import (
     DETERMINISTIC_FAILURES,
@@ -63,12 +65,26 @@ class CampaignResult:
         """True when every run completed without a failure record."""
         return all(r.failure is None and r.completed for r in self.results)
 
+    @property
+    def preempted(self) -> bool:
+        """True when the campaign stopped early on SIGTERM/SIGINT."""
+        return self.metrics is not None and self.metrics.preempted
+
     def failure_report(self) -> str:
         """A human-readable summary of every failed run (empty if none)."""
         lines = [
             f"run #{i}: {failure.describe()}" for i, failure in self.failures
         ]
         return "\n".join(lines)
+
+
+def _journalable(result: RunResult) -> bool:
+    """Only results that are pure functions of their spec are recorded;
+    environment-dependent failures (timeouts, lost workers, preemption)
+    must be re-attempted by a resumed campaign."""
+    return result.failure is None or (
+        result.failure.kind in DETERMINISTIC_FAILURES
+    )
 
 
 def run_campaign(
@@ -80,6 +96,7 @@ def run_campaign(
     run_timeout: Optional[float] = None,
     retries: int = 2,
     triage: Optional["TriageConfig"] = None,
+    journal: Union[CampaignJournal, str, Path, None] = None,
 ) -> CampaignResult:
     """Execute every spec; results come back in spec order.
 
@@ -101,38 +118,92 @@ def run_campaign(
             signature, shrunk, and written as replayable repro bundles
             into the configured directory (see
             :func:`repro.sanitizer.triage.triage_failures`).
+        journal: optional durable progress journal — a
+            :class:`CampaignJournal` or a path.  Every completed run is
+            appended (fsync'd) as it finishes; specs whose digests the
+            journal already holds are *replayed* without execution, so
+            pointing a killed campaign at its journal resumes it with
+            byte-identical final results.  Caching rules mirror
+            ``cache``: only deterministic outcomes are journaled.
     """
     spec_list = list(specs)
     own_executor = executor is None
     executor = executor or default_executor(
         jobs, run_timeout=run_timeout, retries=retries
     )
+    own_journal = journal is not None and not isinstance(
+        journal, CampaignJournal
+    )
+    journal = open_journal(journal)
     started = time.perf_counter()
 
     results: List[Optional[RunResult]] = [None] * len(spec_list)
     cache_hits = 0
+    journal_replayed = 0
+    journal_appends = 0
+    digests: Optional[List[str]] = None
+
+    def record(index: int, result: RunResult) -> None:
+        nonlocal journal_appends
+        if journal is not None and _journalable(result):
+            if journal.record(digests[index], result):
+                journal_appends += 1
+
     try:
+        pending = list(range(len(spec_list)))
+        if journal is not None:
+            digests = [spec.digest() for spec in spec_list]
+            journal.begin_campaign(
+                label, campaign_digest(digests), len(spec_list)
+            )
+            remaining: List[int] = []
+            for i in pending:
+                replayed = journal.replayed.get(digests[i])
+                if replayed is not None:
+                    results[i] = replayed
+                    journal_replayed += 1
+                else:
+                    remaining.append(i)
+            pending = remaining
         if cache is not None:
-            misses: List[int] = []
-            for i, spec in enumerate(spec_list):
-                hit = cache.get(spec)
+            remaining = []
+            for i in pending:
+                hit = cache.get(spec_list[i])
                 if hit is not None:
                     results[i] = hit
                     cache_hits += 1
+                    record(i, hit)
                 else:
-                    misses.append(i)
-            fresh = executor.map([spec_list[i] for i in misses])
-            for i, result in zip(misses, fresh):
-                if result.failure is None or (
-                    result.failure.kind in DETERMINISTIC_FAILURES
-                ):
+                    remaining.append(i)
+            pending = remaining
+        if pending:
+            if journal is not None:
+                # Journal each result the moment it is final, so a kill
+                # mid-batch loses at most the in-flight runs.  The
+                # batch-end loop below re-records idempotently, which
+                # also covers custom executors that ignore the callback.
+                index_of = list(pending)
+                executor.result_callback = (
+                    lambda pos, result: record(index_of[pos], result)
+                )
+            try:
+                fresh = executor.map([spec_list[i] for i in pending])
+            finally:
+                executor.result_callback = None
+            for i, result in zip(pending, fresh):
+                if cache is not None and _journalable(result):
                     cache.put(spec_list[i], result)
+                record(i, result)
                 results[i] = result
-        else:
-            results = list(executor.map(spec_list))
     finally:
-        if own_executor:
-            executor.close()
+        try:
+            if journal is not None:
+                journal.sync()
+                if own_journal:
+                    journal.close()
+        finally:
+            if own_executor:
+                executor.close()
 
     wall = time.perf_counter() - started
     completed = sum(1 for r in results if r is not None and r.completed)
@@ -163,6 +234,12 @@ def run_campaign(
         retried_runs=getattr(executor, "retried_runs", 0),
         pool_rebuilds=getattr(executor, "pool_rebuilds", 0),
         degraded=getattr(executor, "degraded", False),
+        journal_replayed=journal_replayed,
+        journal_appends=journal_appends,
+        preempted_runs=sum(
+            1 for r in failed if r.failure.kind == "preempted"
+        ),
+        preempted=any(r.failure.kind == "preempted" for r in failed),
         triaged_failures=(
             triage_report.failures_seen if triage_report is not None else 0
         ),

@@ -74,19 +74,43 @@ class ResultCache:
             pass
 
     def put(self, spec: RunSpec, result: RunResult) -> None:
-        # Write-then-rename so an interrupted run or a concurrent
-        # campaign can never observe a half-written entry.
+        # Write-then-fsync-then-rename: the temp file lives in the same
+        # directory (os.replace must not cross filesystems) and is
+        # fsync'd before the rename, so a kill — even SIGKILL or power
+        # loss — at any instant leaves either the old entry, no entry,
+        # or the complete new entry under the digest's name.  A torn
+        # entry is unreachable by construction; _quarantine remains as
+        # defence against foreign writers only.
         path = self._path(spec)
         fd, tmp = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(result, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except (OSError, pickle.PicklingError):
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+
+    def sweep_stale(self) -> int:
+        """Remove temp files orphaned by killed writers; returns count.
+
+        Safe against concurrent campaigns only in the sense that a
+        racing put's temp file may be deleted under it (its ``replace``
+        then fails and that put is lost, never torn); call this from
+        campaign setup, not mid-flight.
+        """
+        removed = 0
+        for tmp in self.directory.glob("*.tmp"):
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.pkl"))

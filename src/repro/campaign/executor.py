@@ -24,14 +24,35 @@ failing:
   rebuild after ``BrokenProcessPool``, and graceful degradation to
   in-process serial execution after repeated pool failures — partial
   results are always returned, with failures reported in place.
+
+Both executors are also **preemptible**: ``map`` runs inside a
+:func:`~repro.campaign.preempt.graceful_preemption` region, so a
+SIGTERM/SIGINT stops dispatching, drains or cancels in-flight runs
+within ``preempt_drain`` seconds, and reports every unexecuted spec as
+a ``preempted`` failure instead of unwinding with a traceback (a second
+signal escalates to ``KeyboardInterrupt``).  And whenever ``map`` *is*
+unwound by an exception — including ``KeyboardInterrupt`` — the worker
+pool is shut down and its children reaped before the exception
+propagates, so an interrupted campaign never strands orphan processes.
+
+Completed results are additionally announced one-by-one through the
+optional ``result_callback`` attribute (``callback(index, result)`` in
+the order results become final), which is how the campaign layer
+journals progress incrementally instead of only at batch end.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
+from repro.campaign.preempt import (
+    PreemptionToken,
+    current_token,
+    graceful_preemption,
+)
 from repro.campaign.spec import (
     RunFailure,
     RunResult,
@@ -49,6 +70,17 @@ def _failure(kind: str, message: str, attempts: int = 1) -> RunResult:
     )
 
 
+def preempted_result(token: Optional[PreemptionToken] = None) -> RunResult:
+    """The failure result filled in for a spec preemption skipped."""
+    signum = token.signum if token is not None else None
+    via = f"signal {signum}" if signum is not None else "stop request"
+    return _failure(
+        "preempted",
+        f"campaign preempted ({via}) before this run completed; "
+        f"resume with the campaign journal to execute it",
+    )
+
+
 class Executor:
     """Execution strategy for a batch of independent runs."""
 
@@ -59,6 +91,17 @@ class Executor:
     retried_runs: int = 0
     pool_rebuilds: int = 0
     degraded: bool = False
+    #: Specs reported as ``preempted`` by the last ``map`` call.
+    preempted_runs: int = 0
+    #: Install SIGTERM/SIGINT graceful-stop handlers around ``map``.
+    preemptible: bool = True
+    #: Seconds to wait for in-flight runs after a preemption request.
+    preempt_drain: float = 5.0
+    #: Optional observer called as ``callback(index, result)`` the
+    #: moment a spec's result becomes final (indices are positions in
+    #: the ``map`` batch).  Exceptions propagate: the campaign journal
+    #: uses this, and a journaling failure must not be swallowed.
+    result_callback: Optional[Callable[[int, RunResult], None]] = None
 
     def map(self, specs: Iterable[RunSpec]) -> List[RunResult]:
         """Execute every spec, returning results in spec order."""
@@ -66,6 +109,10 @@ class Executor:
 
     def close(self) -> None:
         """Release any pooled resources (idempotent)."""
+
+    def _emit(self, index: int, result: RunResult) -> None:
+        if self.result_callback is not None:
+            self.result_callback(index, result)
 
     def __enter__(self) -> "Executor":
         return self
@@ -80,10 +127,34 @@ class SerialExecutor(Executor):
     Failures are still captured per spec (guarded execution); wall-clock
     timeouts need preemption and therefore only exist on the parallel
     executor — serial runs rely on the simulation's cycle watchdog.
+    A preemption request between two specs stops the batch: remaining
+    specs come back as ``preempted`` failures.
     """
 
     def map(self, specs: Iterable[RunSpec]) -> List[RunResult]:
-        return [execute_spec_guarded(spec) for spec in specs]
+        batch = list(specs)
+        self.preempted_runs = 0
+        results: List[RunResult] = []
+        with graceful_preemption() if self.preemptible else _noop_token() as token:
+            for i, spec in enumerate(batch):
+                if token is not None and token.requested():
+                    result = preempted_result(token)
+                    self.preempted_runs += 1
+                else:
+                    result = execute_spec_guarded(spec)
+                results.append(result)
+                self._emit(i, result)
+        return results
+
+
+class _noop_token:
+    """Context yielding no token (preemption disabled)."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
 
 
 class ParallelExecutor(Executor):
@@ -105,9 +176,12 @@ class ParallelExecutor(Executor):
     A dead worker (``BrokenProcessPool``) fails every in-flight future;
     finished results are kept, the pool is rebuilt after an exponential
     backoff (``backoff_base * 2**(failures-1)`` seconds), and unfinished
-    specs are resubmitted.  After ``max_pool_rebuilds`` pool failures
-    the executor degrades to in-process serial execution for the
-    remaining specs, so the batch always completes.
+    specs are resubmitted (counted in ``retried_runs``).  After
+    ``max_pool_rebuilds`` pool failures the executor degrades to
+    in-process serial execution for the remaining specs, so the batch
+    always completes.  ``RunFailure.attempts`` on environment-caused
+    failures reflects every launch the spec consumed, across both the
+    timeout-retry and pool-rebuild paths.
     """
 
     def __init__(
@@ -117,12 +191,16 @@ class ParallelExecutor(Executor):
         retries: int = 2,
         backoff_base: float = 0.25,
         max_pool_rebuilds: int = 3,
+        preemptible: bool = True,
+        preempt_drain: float = 5.0,
     ) -> None:
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
         self.run_timeout = run_timeout
         self.retries = max(0, retries)
         self.backoff_base = backoff_base
         self.max_pool_rebuilds = max(0, max_pool_rebuilds)
+        self.preemptible = preemptible
+        self.preempt_drain = preempt_drain
         self._pool = None
         self._pool_failures = 0
 
@@ -157,37 +235,79 @@ class ParallelExecutor(Executor):
     # Execution
     # ------------------------------------------------------------------
     def map(self, specs: Iterable[RunSpec]) -> List[RunResult]:
-        from concurrent.futures import BrokenExecutor
-        from concurrent.futures import TimeoutError as FutureTimeout
-
         batch: Sequence[RunSpec] = list(specs)
         self.retried_runs = 0
         self.pool_rebuilds = 0
         self.degraded = False
+        self.preempted_runs = 0
         self._pool_failures = 0
         if self.jobs <= 1 or len(batch) <= 1:
-            return [execute_spec_guarded(spec) for spec in batch]
+            results = []
+            for i, spec in enumerate(batch):
+                result = execute_spec_guarded(spec)
+                results.append(result)
+                self._emit(i, result)
+            return results
+        with graceful_preemption() if self.preemptible else _noop_token() as token:
+            try:
+                return self._map_batch(batch, token)
+            except BaseException:
+                # The interrupt path (KeyboardInterrupt, SystemExit, a
+                # callback raising) must never strand orphan workers:
+                # shut the pool down — reaping children — before the
+                # exception unwinds.  Running tasks are cancelled where
+                # possible; an in-flight run finishes, then its worker
+                # exits and is collected.
+                try:
+                    self.close()
+                except Exception:
+                    self._discard_pool()
+                raise
+
+    def _map_batch(
+        self, batch: Sequence[RunSpec], token: Optional[PreemptionToken]
+    ) -> List[RunResult]:
+        from concurrent.futures import BrokenExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
 
         results: List[Optional[RunResult]] = [None] * len(batch)
+        #: Executions launched per spec (submits + in-process fallbacks);
+        #: environment-caused failures report this as their attempts.
+        launches = [0] * len(batch)
         timeout_attempts = [0] * len(batch)
         pending: List[int] = list(range(len(batch)))
 
+        def finish(i: int, result: RunResult) -> None:
+            results[i] = result
+            self._emit(i, result)
+
         while pending:
+            if token is not None and token.requested():
+                self._preempt(pending, {}, results, token, finish)
+                break
             if self._pool_failures > self.max_pool_rebuilds:
                 # The pool keeps dying: finish the batch in-process so
                 # partial results never strand.
                 self.degraded = True
                 for i in pending:
-                    results[i] = execute_spec_guarded(batch[i])
+                    if token is not None and token.requested():
+                        finish(i, preempted_result(token))
+                        self.preempted_runs += 1
+                        continue
+                    launches[i] += 1
+                    result = execute_spec_guarded(batch[i])
+                    if result.failure is not None and launches[i] > 1:
+                        result = _stamp_attempts(result, launches[i])
+                    finish(i, result)
                 pending = []
                 break
 
             pool = self._ensure_pool()
             try:
-                futures = {
-                    i: pool.submit(execute_spec_guarded, batch[i])
-                    for i in pending
-                }
+                futures = {}
+                for i in pending:
+                    futures[i] = pool.submit(execute_spec_guarded, batch[i])
+                    launches[i] += 1
             except BrokenExecutor:
                 self._rebuild_pool()
                 continue
@@ -195,44 +315,62 @@ class ParallelExecutor(Executor):
             retry: List[int] = []
             pool_broke = False
             stuck_worker = False
-            for i in pending:
+            preempted = False
+            for pos, i in enumerate(pending):
                 future = futures[i]
+                if token is not None and token.requested():
+                    # Stop dispatching: resolve this index and the rest
+                    # of the wave by draining what already runs and
+                    # cancelling the rest, then stop retrying anything.
+                    self._preempt(
+                        pending[pos:], futures, results, token, finish
+                    )
+                    retry = []
+                    preempted = True
+                    break
                 if pool_broke:
                     # The pool died mid-batch; keep whatever already
                     # finished, queue the rest for the rebuilt pool.
                     if future.done():
                         try:
-                            results[i] = future.result()
+                            finish(i, future.result())
                             continue
                         except Exception:
                             pass
                     retry.append(i)
+                    self.retried_runs += 1
                     continue
                 try:
-                    results[i] = future.result(timeout=self.run_timeout)
+                    finish(i, future.result(timeout=self.run_timeout))
                 except FutureTimeout:
                     cancelled = future.cancel()
                     if not cancelled:
                         stuck_worker = True
                     timeout_attempts[i] += 1
                     if timeout_attempts[i] > self.retries:
-                        results[i] = _failure(
+                        finish(i, _failure(
                             "wall-timeout",
                             f"run exceeded its {self.run_timeout:.3g}s "
                             f"wall-clock budget",
                             attempts=timeout_attempts[i],
-                        )
+                        ))
                     else:
                         self.retried_runs += 1
                         retry.append(i)
                 except BrokenExecutor:
                     pool_broke = True
                     retry.append(i)
+                    self.retried_runs += 1
                 except Exception as exc:  # pragma: no cover - guarded
-                    results[i] = _failure(
-                        "worker-lost", f"{type(exc).__name__}: {exc}"
-                    )
+                    finish(i, _failure(
+                        "worker-lost",
+                        f"{type(exc).__name__}: {exc}",
+                        attempts=launches[i],
+                    ))
 
+            if preempted:
+                pending = []
+                break
             if pool_broke:
                 self._rebuild_pool()
             elif stuck_worker and retry:
@@ -244,16 +382,76 @@ class ParallelExecutor(Executor):
 
         # Every index is filled by the loop above; the fallback is pure
         # defence so a logic slip can never silently drop a slot.
-        return [
-            r if r is not None
-            else _failure("worker-lost", "run produced no result")
-            for r in results
-        ]
+        final: List[RunResult] = []
+        for i, r in enumerate(results):
+            if r is None:
+                r = _failure("worker-lost", "run produced no result")
+                self._emit(i, r)
+            final.append(r)
+        return final
+
+    def _preempt(
+        self,
+        indices: Sequence[int],
+        futures: dict,
+        results: List[Optional[RunResult]],
+        token: PreemptionToken,
+        finish: Callable[[int, RunResult], None],
+    ) -> None:
+        """Resolve every remaining index under a preemption request.
+
+        Futures that never started are cancelled; futures already done
+        keep their results; running futures get ``preempt_drain``
+        seconds to finish, after which their specs are reported as
+        preempted and the (possibly still busy) pool is discarded.
+        """
+        from concurrent.futures import wait as wait_futures
+
+        in_flight = []
+        for i in indices:
+            future = futures.get(i)
+            if future is None or future.cancel():
+                finish(i, preempted_result(token))
+                self.preempted_runs += 1
+            else:
+                in_flight.append((i, future))
+        if in_flight:
+            wait_futures(
+                [f for _, f in in_flight], timeout=self.preempt_drain
+            )
+        abandoned = False
+        for i, future in in_flight:
+            taken = False
+            if future.done():
+                try:
+                    finish(i, future.result())
+                    taken = True
+                except Exception:
+                    pass
+            if not taken:
+                finish(i, preempted_result(token))
+                self.preempted_runs += 1
+                abandoned = True
+        if abandoned:
+            # A worker is still grinding on an abandoned run; drop the
+            # pool so close() cannot block on it.
+            self._discard_pool()
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+
+
+def _stamp_attempts(result: RunResult, attempts: int) -> RunResult:
+    """Record how many launches an (environment-hit) spec consumed."""
+    assert result.failure is not None
+    if result.failure.attempts >= attempts:
+        return result
+    return dataclasses.replace(
+        result,
+        failure=dataclasses.replace(result.failure, attempts=attempts),
+    )
 
 
 def default_executor(

@@ -1,0 +1,253 @@
+"""Durable campaign journal: crash-safe progress, exact resume.
+
+A :class:`CampaignJournal` is an append-only JSONL file recording a
+campaign's progress as it happens: a ``campaign`` header per
+:func:`~repro.campaign.api.run_campaign` call (label, content digest of
+the spec batch, batch size), one ``result`` record per completed
+:class:`~repro.campaign.spec.RunSpec` (keyed by the spec's digest, the
+same content hash the :class:`~repro.campaign.cache.ResultCache` uses),
+periodic ``checkpoint`` markers, and arbitrary consumer checkpoints
+(the delay-bounded explorer snapshots its decision frontier here).
+
+Durability model:
+
+* **Append-only, fsync'd.**  Every record is one JSON line, flushed and
+  ``fsync``'d before :meth:`append` returns (tunable via
+  ``fsync_every``), so a ``SIGKILL`` at any instant loses at most the
+  record currently being written.
+* **Torn tails are expected, not fatal.**  A kill mid-write leaves a
+  truncated final line; :meth:`load` skips unparseable lines (counting
+  them in ``torn_records``) instead of refusing the journal, so a
+  crashed campaign is always resumable.
+* **Results are recorded at most once per digest.**  :meth:`record`
+  is idempotent — a digest already present (from this process or a
+  previous incarnation replayed at open) is never appended again.
+  Because a spec's digest determines its result exactly, this is what
+  gives resumed campaigns exactly-once semantics: every spec's result
+  appears in the journal exactly once, byte-identical to what an
+  uninterrupted campaign would have produced.
+
+Only results that are pure functions of their spec are worth
+journaling; environment-dependent failures (wall-clock timeouts, lost
+workers, preemption) are filtered by the campaign layer so a resume
+re-attempts them, mirroring the :class:`ResultCache` policy.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.campaign.spec import RunResult
+
+
+class JournalError(Exception):
+    """A journal cannot be used as requested (identity mismatch, ...)."""
+
+
+#: Journal format version, stamped on every ``campaign`` record.
+JOURNAL_VERSION = 1
+
+
+def campaign_digest(digests: Iterable[str]) -> str:
+    """A content hash of a whole spec batch (by digest), order-sensitive."""
+    joined = "\x1d".join(digests)
+    return hashlib.sha256(joined.encode()).hexdigest()
+
+
+def _encode_result(result: RunResult) -> str:
+    return base64.b64encode(pickle.dumps(result)).decode("ascii")
+
+
+def _decode_result(blob: str) -> RunResult:
+    result = pickle.loads(base64.b64decode(blob.encode("ascii")))
+    if not isinstance(result, RunResult):
+        raise JournalError(f"journal result decodes to {type(result).__name__}")
+    return result
+
+
+class CampaignJournal:
+    """An append-only, fsync'd JSONL record of campaign progress.
+
+    Opening a path that already holds a journal *replays* it: every
+    previously recorded result becomes available in :attr:`replayed`
+    (digest -> :class:`RunResult`), and subsequent appends continue the
+    same file.  The campaign layer consults :attr:`replayed` before the
+    result cache, which is what makes ``--resume`` skip completed work.
+
+    ``fsync_every=1`` (the default) makes every record durable before
+    the run that produced it can be considered complete; larger values
+    trade a bounded window of re-executable work for fewer syncs.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fsync_every: int = 1,
+        checkpoint_interval: int = 64,
+    ) -> None:
+        self.path = Path(path)
+        self.fsync_every = max(1, fsync_every)
+        self.checkpoint_interval = max(1, checkpoint_interval)
+        #: Digest -> result for every result record already on disk.
+        self.replayed: Dict[str, RunResult] = {}
+        #: Most recent consumer checkpoint per kind (last one wins).
+        self._checkpoints: Dict[str, dict] = {}
+        #: ``campaign`` header records seen on load, in file order.
+        self.campaigns: List[dict] = []
+        #: Unparseable lines tolerated on load (torn tails from kills).
+        self.torn_records = 0
+        #: Records appended by this instance.
+        self.appended = 0
+        self._unsynced = 0
+        self._since_checkpoint = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._load()
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Reading (replay)
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+                kind = record["type"]
+                if kind == "result":
+                    self.replayed[record["digest"]] = _decode_result(
+                        record["result"]
+                    )
+                elif kind == "campaign":
+                    self.campaigns.append(record)
+                elif kind == "checkpoint":
+                    if record.get("kind"):
+                        self._checkpoints[record["kind"]] = record
+            except Exception:
+                # A kill mid-append tears at most the line being
+                # written; anything unparseable is dropped, never
+                # trusted, and never blocks the resume.
+                self.torn_records += 1
+
+    def last_checkpoint(self, kind: str) -> Optional[dict]:
+        """The most recent checkpoint record of ``kind`` (or None)."""
+        return self._checkpoints.get(kind)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self.replayed
+
+    def __len__(self) -> int:
+        return len(self.replayed)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        if self._handle is None:
+            raise JournalError(f"journal {self.path} is closed")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.appended += 1
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_every:
+            self.sync()
+
+    def begin_campaign(self, label: str, digest: str, total: int) -> None:
+        """Stamp a campaign header: what batch this journal is serving."""
+        self._append(
+            {
+                "type": "campaign",
+                "version": JOURNAL_VERSION,
+                "label": label,
+                "digest": digest,
+                "total": total,
+                "already_completed": len(self.replayed),
+            }
+        )
+
+    def record(self, digest: str, result: RunResult) -> bool:
+        """Append one completed run; idempotent per digest.
+
+        Returns True when the record was appended, False when the digest
+        was already journaled (replayed or recorded earlier).
+        """
+        if digest in self.replayed:
+            return False
+        self.replayed[digest] = result
+        self._append(
+            {
+                "type": "result",
+                "digest": digest,
+                "result": _encode_result(result),
+            }
+        )
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.checkpoint_interval:
+            self._append(
+                {"type": "checkpoint", "kind": "", "completed": len(self.replayed)}
+            )
+            self._since_checkpoint = 0
+        return True
+
+    def checkpoint(self, kind: str, payload: Dict[str, Any]) -> None:
+        """Append a consumer checkpoint (e.g. an explorer frontier)."""
+        record = {
+            "type": "checkpoint",
+            "kind": kind,
+            "completed": len(self.replayed),
+            "payload": payload,
+        }
+        self._append(record)
+        self._checkpoints[kind] = record
+
+    def sync(self) -> None:
+        """Flush and fsync pending appends to disk."""
+        if self._handle is None or self._unsynced == 0:
+            return
+        self._handle.flush()
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError:  # pragma: no cover - exotic filesystems
+            pass
+        self._unsynced = 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.sync()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_journal(
+    journal: Union["CampaignJournal", str, Path, None],
+    resume: bool = False,
+) -> Optional[CampaignJournal]:
+    """Coerce a journal argument (object, path, or None) to a journal.
+
+    With ``resume=True`` the path must already exist — resuming from a
+    journal that was never written is almost certainly a typo, and
+    silently starting fresh would turn "continue my campaign" into
+    "redo everything".
+    """
+    if journal is None or isinstance(journal, CampaignJournal):
+        return journal
+    path = Path(journal)
+    if resume and not path.exists():
+        raise JournalError(f"cannot resume: journal {path} does not exist")
+    return CampaignJournal(path)

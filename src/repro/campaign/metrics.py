@@ -39,12 +39,22 @@ class CampaignMetrics:
     #: Failed runs whose failure was a timeout (simulation cycle
     #: watchdog or wall-clock budget).
     timed_out_runs: int = 0
-    #: Runs re-submitted after a transient executor failure.
+    #: Runs re-submitted after a transient executor failure (wall-clock
+    #: timeout retries and pool-rebuild resubmissions alike).
     retried_runs: int = 0
     #: Times the worker pool was torn down and rebuilt.
     pool_rebuilds: int = 0
     #: True when repeated pool failures forced in-process execution.
     degraded: bool = False
+    #: Results replayed from the campaign journal (resume) — skipped
+    #: execution entirely, before the result cache was even consulted.
+    journal_replayed: int = 0
+    #: Results durably appended to the campaign journal this run.
+    journal_appends: int = 0
+    #: Runs reported as ``preempted`` (SIGTERM/SIGINT graceful stop).
+    preempted_runs: int = 0
+    #: True when the campaign stopped early on a preemption request.
+    preempted: bool = False
     #: Failing runs examined by triage (0 when triage was off or clean).
     triaged_failures: int = 0
     #: Repro bundles triage wrote (<= distinct failure signatures).
@@ -83,6 +93,13 @@ class CampaignMetrics:
             )
         if self.degraded:
             text += " [degraded to serial]"
+        if self.journal_replayed or self.journal_appends:
+            text += (
+                f" [journal: {self.journal_replayed} replayed, "
+                f"{self.journal_appends} appended]"
+            )
+        if self.preempted:
+            text += f" [PREEMPTED: {self.preempted_runs} run(s) skipped]"
         if self.triaged_failures or self.bundles_written:
             text += (
                 f" [triaged {self.triaged_failures} -> "

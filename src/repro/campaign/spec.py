@@ -124,13 +124,17 @@ class RunMetrics:
 #: ``sanitizer``   — a protocol invariant check fired (deterministic);
 #: ``exception``   — spec execution raised (deterministic);
 #: ``wall-timeout``— the run exceeded its wall-clock budget (environment);
-#: ``worker-lost`` — the worker process died and retries were exhausted.
+#: ``worker-lost`` — the worker process died and retries were exhausted;
+#: ``preempted``   — the campaign was asked to stop (SIGTERM/SIGINT)
+#:                   before this spec ran; a resumed campaign will
+#:                   execute it (never cached or journaled).
 FAILURE_KINDS = (
     "sim-timeout",
     "sanitizer",
     "exception",
     "wall-timeout",
     "worker-lost",
+    "preempted",
 )
 
 #: Failure kinds that are pure functions of the spec — safe to memoise.
@@ -276,7 +280,16 @@ class RunSpec:
         )
 
     def digest(self) -> str:
-        """A stable content hash of the spec — the result-cache key."""
+        """A stable content hash of the spec — the result-cache key.
+
+        Memoised per instance (the spec is frozen): the journal replay
+        check, the result cache, and the incremental journal callback
+        all key on the digest, and hashing the program fingerprint is
+        the most expensive non-I/O step in a journaled campaign.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is not None:
+            return cached
         parts = [
             program_fingerprint(self.program),
             self.policy.name,
@@ -300,7 +313,9 @@ class RunSpec:
         if self.sanitize is not None:
             # Same append-when-set rule as ``trace`` above.
             parts.append(f"sanitize={self.sanitize}")
-        return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+        value = hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+        object.__setattr__(self, "_digest", value)
+        return value
 
 
 def _package(

@@ -15,12 +15,20 @@ Subcommands:
 ``delays``    print the Shasha-Snir delay set of a straight-line test;
 ``trace``     replay one litmus run with tracing and show its timeline;
 ``fuzz``      run random programs, triaging failures into repro bundles;
-``replay``    re-execute a repro bundle and check its failure signature.
+``replay``    re-execute a repro bundle and check its failure signature;
+``soak``      chaos-test crash safety: kill a journaled campaign at
+              seeded points, resume it, and prove exactly-once results.
 
 ``litmus``, ``explore``, and ``conformance`` accept ``--trace FILE``
 (with ``--trace-format`` and ``--trace-filter``) to record every run's
 event stream, and ``--sanitize {log,strict}`` to run the protocol
 sanitizer; ``-v``/``-q`` raise/lower progress logging on stderr.
+
+``litmus``, ``explore``, ``conformance``, and ``fuzz`` accept
+``--journal PATH`` (journal progress durably; reuse the path to resume)
+and ``--resume PATH`` (like ``--journal``, but the file must already
+exist).  A campaign stopped by SIGTERM/SIGINT flushes its journal and
+exits with status 75 (``EX_TEMPFAIL``): resume it with ``--resume``.
 
 Examples::
 
@@ -81,6 +89,10 @@ from repro.api import (
 )
 
 _log = get_logger("cli")
+
+#: Exit status of a campaign stopped by SIGTERM/SIGINT with its journal
+#: flushed — EX_TEMPFAIL: "try again", here via ``--resume``.
+EXIT_PREEMPTED = 75
 
 
 def _load_test(name_or_path: str, warm: bool = False) -> LitmusTest:
@@ -170,12 +182,41 @@ def _sanitize_mode(args: argparse.Namespace) -> Optional[str]:
     return None if mode in (None, "off") else mode
 
 
+def _journal_for(args: argparse.Namespace):
+    """The campaign journal a ``--journal``/``--resume`` pair asks for."""
+    from repro.api import JournalError, open_journal
+
+    journal = getattr(args, "journal", None)
+    resume = getattr(args, "resume", None)
+    if journal and resume:
+        raise SystemExit(
+            "error: --journal and --resume are mutually exclusive "
+            "(--resume PATH already continues the journal at PATH)"
+        )
+    try:
+        return open_journal(resume or journal, resume=bool(resume))
+    except JournalError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _finish_journal(journal, preempted: bool) -> None:
+    if journal is not None:
+        journal.close()
+        if preempted:
+            print(
+                f"preempted: progress saved; resume with "
+                f"--resume {journal.path}",
+                file=sys.stderr,
+            )
+
+
 def _cmd_litmus(args: argparse.Namespace) -> int:
     test = _load_test(args.test, warm=args.warm)
     runner = LitmusRunner()
     config = config_by_name(args.machine)
     faults = _parse_faults(args)
     trace = _trace_spec(args)
+    journal = _journal_for(args)
     with _campaign_metrics(args), _executor_for(args) as executor:
         result = runner.run(
             test,
@@ -187,13 +228,17 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
             faults=faults,
             trace=trace,
             sanitize=_sanitize_mode(args),
+            journal=journal,
         )
+    _finish_journal(journal, result.preempted)
     _write_traces(args, result.run_traces)
     if faults is not None:
         print(faults.describe())
     print(result.describe())
     if result.trace_summary is not None:
         print(result.trace_summary.describe())
+    if result.preempted:
+        return EXIT_PREEMPTED
     return 1 if result.violated_sc and args.expect_sc else 0
 
 
@@ -228,6 +273,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     test = _load_test(args.test, warm=args.warm)
     program = test.executable_program()
     trace = _trace_spec(args)
+    journal = _journal_for(args)
     with _campaign_metrics(args), _executor_for(args) as executor:
         report = api.explore(
             program,
@@ -239,9 +285,14 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             executor=executor,
             trace=trace,
             sanitize=_sanitize_mode(args),
+            journal=journal,
+            resume=bool(getattr(args, "resume", None)),
         )
+    _finish_journal(journal, report.preempted)
     _write_traces(args, report.run_traces)
     print(report.describe())
+    if report.preempted:
+        return EXIT_PREEMPTED
     violations = api.verify_sc(program, report.observables)
     if violations:
         print(f"\n{len(violations)} outcome(s) are NOT sequentially consistent:")
@@ -313,15 +364,19 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
 def _cmd_conformance(args: argparse.Namespace) -> int:
     faults = _parse_faults(args)
     trace = _trace_spec(args)
+    journal = _journal_for(args)
     with _campaign_metrics(args), _executor_for(args) as executor:
         report = api.run_conformance(
             runs_per_test=args.runs, executor=executor, faults=faults,
-            trace=trace, sanitize=_sanitize_mode(args),
+            trace=trace, sanitize=_sanitize_mode(args), journal=journal,
         )
+    _finish_journal(journal, report.preempted)
     _write_traces(args, report.run_traces)
     if faults is not None:
         print(faults.describe())
     print(report.describe())
+    if report.preempted:
+        return EXIT_PREEMPTED
     broken = [
         cell
         for cell in report.cells
@@ -434,13 +489,16 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             shrink=not args.no_shrink,
             max_bundles=args.max_bundles,
         )
+    journal = _journal_for(args)
     with _campaign_metrics(args), _executor_for(args) as executor:
         campaign = api.campaign(
             specs,
             executor=executor,
             label=f"fuzz:{args.family}",
             triage=triage,
+            journal=journal,
         )
+    _finish_journal(journal, campaign.preempted)
     print(campaign.metrics.describe())
     if campaign.triage is not None:
         print(campaign.triage.describe())
@@ -448,7 +506,32 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     if failures and not args.triage_dir:
         print(f"{len(failures)} failing run(s); re-run with --triage-dir "
               f"to shrink them into repro bundles")
-    return 0
+    return EXIT_PREEMPTED if campaign.preempted else 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.testing.chaos import soak
+
+    report = soak(
+        test=args.test,
+        policy=args.policy,
+        machine=args.machine,
+        runs=args.runs,
+        base_seed=args.seed,
+        kills=args.kills,
+        seed=args.chaos_seed,
+        workdir=args.workdir,
+        attempt_timeout=args.attempt_timeout,
+    )
+    print(report.describe())
+    if report.ok:
+        print(
+            "crash-safety holds: every result journaled exactly once, "
+            "byte-identical to an uninterrupted campaign"
+        )
+        return 0
+    print("CRASH-SAFETY VIOLATION: see the journal at", report.journal)
+    return 1
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -520,6 +603,19 @@ def build_parser() -> argparse.ArgumentParser:
             "(exponential backoff; default 2)",
         )
 
+    def add_journal_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--journal", metavar="PATH",
+            help="journal campaign progress durably to PATH (append-only "
+            "fsync'd JSONL); rerunning with the same path resumes, "
+            "executing only what is not yet journaled",
+        )
+        cmd.add_argument(
+            "--resume", metavar="PATH",
+            help="resume a killed or preempted campaign from its journal "
+            "at PATH (must exist; otherwise identical to --journal)",
+        )
+
     def add_trace_options(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument(
             "--trace", metavar="PATH",
@@ -573,6 +669,7 @@ def build_parser() -> argparse.ArgumentParser:
     litmus.add_argument("--expect-sc", action="store_true",
                         help="exit nonzero if any outcome violates SC")
     add_campaign_options(litmus)
+    add_journal_options(litmus)
     add_faults_option(litmus)
     add_trace_options(litmus)
     add_sanitize_option(litmus)
@@ -605,6 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explore.add_argument("--warm", action="store_true")
     add_campaign_options(explore)
+    add_journal_options(explore)
     add_trace_options(explore)
     add_sanitize_option(explore)
     add_core_option(explore)
@@ -630,6 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conformance.add_argument("--runs", type=int, default=30)
     add_campaign_options(conformance)
+    add_journal_options(conformance)
     add_faults_option(conformance)
     add_trace_options(conformance)
     add_sanitize_option(conformance)
@@ -700,6 +799,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="bundle failing specs without shrinking them")
     add_campaign_options(fuzz)
+    add_journal_options(fuzz)
     add_faults_option(fuzz)
     add_sanitize_option(fuzz)
     add_core_option(fuzz)
@@ -711,6 +811,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("bundle", help="path to a repro bundle JSON file")
     replay.set_defaults(func=_cmd_replay)
+
+    soak = sub.add_parser(
+        "soak",
+        help="chaos-test crash safety: kill a journaled campaign at "
+        "seeded points, resume it, and prove exactly-once results",
+    )
+    soak.add_argument("--test", default="fig1_dekker",
+                      help="catalog litmus test to campaign on")
+    soak.add_argument("--policy", default="RELAXED")
+    soak.add_argument("--machine", default="net_nocache")
+    soak.add_argument("--runs", type=int, default=24,
+                      help="seeds in the campaign under chaos")
+    soak.add_argument("--seed", type=int, default=12345,
+                      help="campaign base seed")
+    soak.add_argument("--kills", type=int, default=3, metavar="N",
+                      help="SIGKILL/SIGTERM strikes before the final "
+                      "unkilled attempt")
+    soak.add_argument("--chaos-seed", type=int, default=0, metavar="SEED",
+                      help="seed for drawing the kill points")
+    soak.add_argument("--workdir", metavar="DIR", default=None,
+                      help="directory for the journal (default: temp dir)")
+    soak.add_argument("--attempt-timeout", type=float, default=300.0,
+                      metavar="SECONDS",
+                      help="wall-clock budget per supervised attempt")
+    soak.set_defaults(func=_cmd_soak)
 
     return parser
 

@@ -95,6 +95,9 @@ class ConformanceReport:
     )
     #: Merged trace telemetry across the whole grid.
     trace_summary: Optional[TraceSummary] = None
+    #: The grid campaign stopped early on SIGTERM/SIGINT; verdicts may
+    #: rest on partial cells — resume from the journal to finish.
+    preempted: bool = False
 
     def cell(self, config_name: str, policy_name: str) -> Optional[CellResult]:
         for cell in self.cells:
@@ -169,6 +172,7 @@ def run_conformance(
     faults: Optional[FaultPlan] = None,
     trace: Optional[TraceSpec] = None,
     sanitize: Optional[str] = None,
+    journal=None,
 ) -> ConformanceReport:
     """Audit every (machine, policy) pair against the litmus battery.
 
@@ -189,6 +193,10 @@ def run_conformance(
     ``sanitize`` runs every cell under the protocol sanitizer
     (``"log"`` or ``"strict"``) — the conformance grid doubling as a
     protocol-invariant audit.
+
+    ``journal`` (a :class:`~repro.campaign.journal.CampaignJournal` or
+    a path) journals the whole grid durably; re-running a killed or
+    preempted audit against the same journal resumes it.
     """
     runner = runner or LitmusRunner()
     tests = list(tests) if tests is not None else standard_catalog()
@@ -223,7 +231,8 @@ def run_conformance(
     from repro.api import campaign as run_campaign
 
     campaign = run_campaign(
-        specs, executor=executor, jobs=jobs, cache=cache, label="conformance"
+        specs, executor=executor, jobs=jobs, cache=cache,
+        label="conformance", journal=journal,
     )
 
     cells: List[CellResult] = []
@@ -262,6 +271,7 @@ def run_conformance(
         trace_summary=(
             campaign.metrics.trace_summary if campaign.metrics else None
         ),
+        preempted=campaign.preempted,
     )
 
 

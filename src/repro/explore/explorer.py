@@ -25,11 +25,22 @@ program.
 
 from __future__ import annotations
 
+import base64
+import pickle
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
-from repro.campaign import Executor, PolicySpec, RunSpec
+from repro.campaign import (
+    CampaignJournal,
+    Executor,
+    JournalError,
+    PolicySpec,
+    RunSpec,
+    open_journal,
+    program_fingerprint,
+)
 from repro.core.execution import Observable
 from repro.core.program import Program
 from repro.explore.prune import (
@@ -58,6 +69,9 @@ class ExplorationReport:
     #: pessimistically False — a truncated or aborted search can never
     #: masquerade as a proof.
     exhausted: bool = False
+    #: True when the walk stopped early on a preemption request
+    #: (SIGTERM/SIGINT); resume from the journal to continue it.
+    preempted: bool = False
     incomplete_runs: int = 0
     #: Delay decisions skipped because the deviating message provably
     #: commutes with every message it would overtake; each one collapses
@@ -76,6 +90,8 @@ class ExplorationReport:
 
     def describe(self) -> str:
         status = "exhaustive" if self.exhausted else "TRUNCATED"
+        if self.preempted:
+            status = "PREEMPTED (resumable)"
         lines = [
             f"{self.program.name} / {self.policy_name}: {self.runs} schedules "
             f"(delay bound {self.max_delays}, {status}), "
@@ -93,6 +109,42 @@ class ExplorationReport:
         if self.incomplete_runs:
             lines.append(f"  ({self.incomplete_runs} schedules did not complete)")
         return "\n".join(lines)
+
+
+#: Checkpoint kind under which the explorer snapshots its state.
+FRONTIER_CHECKPOINT = "explore-frontier"
+
+
+def _snapshot_frontier(
+    report: ExplorationReport, frontier: List[Tuple[int, ...]]
+) -> str:
+    """Serialize the pending frontier + accumulated report state.
+
+    Pickled (observables are value objects, not JSON) and base64'd so
+    the whole snapshot rides inside one JSONL checkpoint record.
+    """
+    state = {
+        "frontier": list(frontier),
+        "runs": report.runs,
+        "outcomes": report.outcomes,
+        "incomplete_runs": report.incomplete_runs,
+        "pruned_decisions": report.pruned_decisions,
+        "run_traces": report.run_traces,
+    }
+    return base64.b64encode(pickle.dumps(state)).decode("ascii")
+
+
+def _restore_frontier(
+    blob: str, report: ExplorationReport
+) -> List[Tuple[int, ...]]:
+    """Inverse of :func:`_snapshot_frontier`; mutates ``report``."""
+    state = pickle.loads(base64.b64decode(blob.encode("ascii")))
+    report.runs = state["runs"]
+    report.outcomes = state["outcomes"]
+    report.incomplete_runs = state["incomplete_runs"]
+    report.pruned_decisions = state["pruned_decisions"]
+    report.run_traces = state["run_traces"]
+    return [tuple(prefix) for prefix in state["frontier"]]
 
 
 #: Legacy positional order of :func:`explore_program`'s optional
@@ -126,6 +178,8 @@ def explore_program(
     trace: Optional[TraceSpec] = None,
     sanitize: Optional[str] = None,
     prune: bool = True,
+    journal: Union[CampaignJournal, str, Path, None] = None,
+    resume: bool = False,
 ) -> ExplorationReport:
     """Enumerate all delay-bounded schedules of ``program``.
 
@@ -162,6 +216,16 @@ def explore_program(
             and skipped subtrees are counted on the report.  Pruning is
             automatically disabled on machines where message
             independence does not hold (bounded cache capacity).
+        journal: optional durable campaign journal.  Per-schedule
+            results append as they complete, and the pending decision
+            frontier plus accumulated report state snapshot into a
+            checkpoint at every wave boundary, so a killed exploration
+            resumes *mid-wave*: completed schedules replay from the
+            journal, only the remainder re-execute.
+        resume: continue from ``journal``'s latest frontier checkpoint
+            (the journal must exist and must describe the same
+            program/policy/budget — anything else raises
+            :class:`~repro.campaign.journal.JournalError`).
     """
     if legacy_args:
         warnings.warn(
@@ -206,12 +270,96 @@ def explore_program(
         max_delays=max_delays,
         runs=0,
     )
+
+    # Durable resume: the identity ties a journal to one search, so a
+    # frontier snapshot can never silently continue a different one.
+    journal_obj = open_journal(journal, resume=resume)
+    identity = {
+        "program": program_fingerprint(program),
+        "policy": policy_spec.name,
+        "params": repr(policy_spec.params),
+        "core": policy_spec.core,
+        "config": repr(config),
+        "max_delays": max_delays,
+        "max_cycles": max_cycles,
+        "relaxed_request_channels": relaxed_request_channels,
+        "inval_virtual_channel": inval_virtual_channel,
+        "sanitize": sanitize,
+        "prune": bool(message_pruning),
+    }
+
     # Work list of decision prefixes; each prefix's last entry is its
     # deviation point, so extending only *after* the prefix guarantees
     # each schedule runs exactly once.
     frontier: List[Tuple[int, ...]] = [()]
+    if journal_obj is not None and resume:
+        checkpoint = journal_obj.last_checkpoint(FRONTIER_CHECKPOINT)
+        if checkpoint is not None:
+            payload = checkpoint["payload"]
+            if payload.get("identity") != identity:
+                raise JournalError(
+                    "cannot resume: the journal's frontier checkpoint "
+                    "belongs to a different exploration (program, "
+                    "policy, budget, or machine changed)"
+                )
+            frontier = _restore_frontier(payload["state"], report)
+
+    truncated = False
+    try:
+        truncated = _explore_waves(
+            report, frontier, journal_obj, identity, run_campaign,
+            program, policy_spec, config, max_runs, max_cycles,
+            relaxed_request_channels, inval_virtual_channel, trace,
+            sanitize, executor, jobs, max_delays, message_pruning,
+            conflict_free,
+        )
+    finally:
+        if journal_obj is not None and not isinstance(
+            journal, CampaignJournal
+        ):
+            # We opened it from a path; close it even when a wave is
+            # unwound by an exception (the fsync'd records and the
+            # wave-top checkpoint are already durable).
+            journal_obj.close()
+    report.exhausted = not truncated and not report.preempted
+    return report
+
+
+def _explore_waves(
+    report: ExplorationReport,
+    frontier: List[Tuple[int, ...]],
+    journal_obj: Optional[CampaignJournal],
+    identity: dict,
+    run_campaign,
+    program: Program,
+    policy_spec: PolicySpec,
+    config: MachineConfig,
+    max_runs: int,
+    max_cycles: int,
+    relaxed_request_channels: bool,
+    inval_virtual_channel: bool,
+    trace,
+    sanitize: Optional[str],
+    executor,
+    jobs: int,
+    max_delays: int,
+    message_pruning: bool,
+    conflict_free,
+) -> bool:
+    """The wave loop of :func:`explore_program`; returns ``truncated``."""
     truncated = False
     while frontier:
+        if journal_obj is not None:
+            # Snapshot *before* popping the wave: the checkpoint plus
+            # the per-result journal records reconstruct any point
+            # inside the wave (completed schedules replay by digest).
+            journal_obj.checkpoint(
+                FRONTIER_CHECKPOINT,
+                {
+                    "identity": identity,
+                    "state": _snapshot_frontier(report, frontier),
+                },
+            )
         remaining = max_runs - report.runs
         if remaining <= 0:
             truncated = True
@@ -235,7 +383,16 @@ def explore_program(
         campaign = run_campaign(
             specs, executor=executor, jobs=jobs,
             label=f"explore:{program.name}:{policy_spec.name}",
+            journal=journal_obj,
         )
+        if campaign.preempted:
+            # Put the wave back: completed schedules are journaled (and
+            # will replay on resume); preempted slots carry no choice
+            # log and must re-execute, so none of this wave's results
+            # can be folded into the report yet.
+            frontier = batch + frontier
+            report.preempted = True
+            break
         for prefix, result in zip(batch, campaign.results):
             report.runs += 1
             if result.trace_events is not None:
@@ -273,8 +430,17 @@ def explore_program(
                         continue
                     padding = (0,) * (point - len(prefix))
                     frontier.append(prefix + padding + (decision,))
-    report.exhausted = not truncated
-    return report
+    if journal_obj is not None:
+        # Final checkpoint: an empty frontier marks the walk complete
+        # (a preempted walk re-checkpoints its reconstructed frontier).
+        journal_obj.checkpoint(
+            FRONTIER_CHECKPOINT,
+            {
+                "identity": identity,
+                "state": _snapshot_frontier(report, frontier),
+            },
+        )
+    return truncated
 
 
 def explore_to_fixpoint(

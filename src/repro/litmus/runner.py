@@ -65,6 +65,9 @@ class LitmusResult:
     )
     #: Merged trace telemetry across the campaign's runs.
     trace_summary: Optional[TraceSummary] = None
+    #: The campaign stopped early on SIGTERM/SIGINT; unexecuted seeds
+    #: are counted in ``failed_runs`` and re-run on a journal resume.
+    preempted: bool = False
 
     @property
     def violated_sc(self) -> bool:
@@ -129,6 +132,7 @@ class LitmusRunner:
         trace: Optional[TraceSpec] = None,
         sanitize: Optional[str] = None,
         triage=None,
+        journal=None,
     ) -> LitmusResult:
         """Run ``runs`` seeds of ``test`` and classify the outcomes.
 
@@ -147,6 +151,11 @@ class LitmusRunner:
         or ``"strict"``); ``triage`` is an optional
         :class:`~repro.sanitizer.triage.TriageConfig` directing failing
         runs into shrunk repro bundles.
+
+        ``journal`` (a :class:`~repro.campaign.journal.CampaignJournal`
+        or a path) makes the campaign durable: completed seeds append
+        as they finish and replay on the next run, so a killed or
+        preempted litmus campaign resumes where it left off.
         """
         if legacy_args:
             warnings.warn(
@@ -179,8 +188,13 @@ class LitmusRunner:
             cache=cache,
             label=f"litmus:{test.name}:{config.name}:{policy_spec.name}",
             triage=triage,
+            journal=journal,
         )
-        return self.collect(test, policy_spec.name, config.name, campaign.results)
+        result = self.collect(
+            test, policy_spec.name, config.name, campaign.results
+        )
+        result.preempted = campaign.preempted
+        return result
 
     def campaign_specs(
         self,

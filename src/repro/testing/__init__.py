@@ -1,0 +1,29 @@
+"""Public testing toolkit: property strategies and the chaos harness.
+
+``repro.testing.properties`` carries the hypothesis strategies and
+assertion helpers downstream users build property suites on (re-exported
+here, so ``from repro.testing import racy_programs`` keeps working).
+
+``repro.testing.chaos`` is the crash-safety harness: it runs a journaled
+campaign in a supervised subprocess, kills it at seeded points
+(SIGKILL/SIGTERM), resumes it repeatedly, and asserts exactly-once
+result semantics against an in-process clean baseline.
+"""
+
+from repro.testing.properties import (
+    assert_appears_sc,
+    assert_trace_invariants,
+    assert_weakly_ordered,
+    drf0_programs,
+    racy_programs,
+    straightline_programs,
+)
+
+__all__ = [
+    "assert_appears_sc",
+    "assert_trace_invariants",
+    "assert_weakly_ordered",
+    "drf0_programs",
+    "racy_programs",
+    "straightline_programs",
+]

@@ -1,6 +1,7 @@
 """On-disk result cache: hits, misses, corruption tolerance."""
 
 import pickle
+import sys
 
 from repro.campaign import PolicySpec, ResultCache, RunSpec, run_campaign
 from repro.litmus.catalog import fig1_dekker
@@ -65,6 +66,44 @@ class TestResultCache:
         for spec in _specs(3):
             cache.put(spec, spec.execute())
         assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_put_torn_mid_write_leaves_old_entry_intact(
+        self, tmp_path, monkeypatch
+    ):
+        # The torn-write regression: a crash inside put() (here: the
+        # pickler dying halfway through the temp file) must leave the
+        # digest's slot exactly as it was — the complete old entry, not
+        # a truncated new one — and clean up its temp file.
+        cache = ResultCache(tmp_path)
+        spec = _specs(1)[0]
+        result = spec.execute()
+        cache.put(spec, result)
+        before = (tmp_path / f"{spec.digest()}.pkl").read_bytes()
+
+        def torn_dump(obj, fh):
+            fh.write(pickle.dumps(obj)[: 10])
+            raise pickle.PicklingError("simulated crash mid-write")
+
+        cache_module = sys.modules[ResultCache.__module__]
+        monkeypatch.setattr(cache_module.pickle, "dump", torn_dump)
+        cache.put(spec, result)  # swallowed, never torn
+        monkeypatch.undo()
+
+        assert (tmp_path / f"{spec.digest()}.pkl").read_bytes() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert cache.get(spec) == result
+        assert cache.quarantined == 0
+
+    def test_sweep_stale_removes_orphaned_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _specs(1)[0]
+        cache.put(spec, spec.execute())
+        # A SIGKILLed writer leaves its temp file behind; sweep it.
+        (tmp_path / "orphan-1.tmp").write_bytes(b"partial")
+        (tmp_path / "orphan-2.tmp").write_bytes(b"")
+        assert cache.sweep_stale() == 2
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert cache.get(spec) is not None
 
     def test_len_counts_entries(self, tmp_path):
         cache = ResultCache(tmp_path)

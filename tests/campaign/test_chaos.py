@@ -1,0 +1,111 @@
+"""The chaos/soak harness proving crash-safety against real processes.
+
+The headline acceptance test for the resumable-campaign work: a real
+``python -m repro litmus`` subprocess is SIGKILLed/SIGTERMed at seeded
+journal record counts, resumed repeatedly, and the final journal must
+hold exactly one byte-exact record per spec — identical to a clean,
+uninterrupted in-process baseline.
+"""
+
+import pickle
+import signal
+
+import pytest
+
+from repro.campaign.spec import RunFailure, RunResult
+from repro.testing import chaos
+
+
+class TestChaosPlan:
+    def test_seeded_plan_is_deterministic(self):
+        a = chaos.ChaosPlan.seeded(7, total_runs=20, kills=3)
+        b = chaos.ChaosPlan.seeded(7, total_runs=20, kills=3)
+        assert a == b
+
+    def test_kill_points_strictly_increasing_within_campaign(self):
+        plan = chaos.ChaosPlan.seeded(0, total_runs=50, kills=5)
+        points = [k.after_records for k in plan.kills]
+        assert points == sorted(set(points))
+        assert all(1 <= p < 50 for p in points)
+
+    def test_signals_alternate(self):
+        plan = chaos.ChaosPlan.seeded(0, total_runs=50, kills=4)
+        assert [k.signum for k in plan.kills] == [
+            signal.SIGKILL, signal.SIGTERM, signal.SIGKILL, signal.SIGTERM,
+        ]
+
+    def test_tiny_campaign_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            chaos.ChaosPlan.seeded(0, total_runs=1)
+
+    def test_kill_point_describe(self):
+        point = chaos.KillPoint(after_records=7, signum=signal.SIGKILL)
+        assert point.describe() == "SIGKILL after 7 journaled result(s)"
+
+
+class TestExactlyOnce:
+    def _result(self, marker):
+        return RunResult(
+            observable=None, cycles=marker, completed=False,
+            failure=RunFailure(kind="sim-timeout", message="x"),
+        )
+
+    def _write(self, path, records):
+        import json
+
+        from repro.campaign.journal import _encode_result
+
+        with path.open("w") as fh:
+            for digest, result in records:
+                fh.write(json.dumps({
+                    "type": "result",
+                    "digest": digest,
+                    "result": _encode_result(result),
+                }) + "\n")
+
+    def test_accepts_exact_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        expected = {"aa": self._result(1), "bb": self._result(2)}
+        self._write(path, list(expected.items()))
+        chaos.assert_exactly_once(path, expected)
+
+    def test_rejects_duplicate_records(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        result = self._result(1)
+        self._write(path, [("aa", result), ("aa", result)])
+        with pytest.raises(AssertionError, match="more than once"):
+            chaos.assert_exactly_once(path, {"aa": result})
+
+    def test_rejects_missing_digest(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write(path, [("aa", self._result(1))])
+        with pytest.raises(AssertionError, match="missing"):
+            chaos.assert_exactly_once(
+                path, {"aa": self._result(1), "bb": self._result(2)}
+            )
+
+    def test_rejects_divergent_result_bytes(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write(path, [("aa", self._result(1))])
+        with pytest.raises(AssertionError, match="differs"):
+            chaos.assert_exactly_once(path, {"aa": self._result(99)})
+
+
+class TestSoak:
+    def test_soak_survives_seeded_kills(self, tmp_path):
+        # The acceptance criterion: SIGKILL/SIGTERM at 3 seeded points,
+        # resume after each, and the final journal is exactly-once and
+        # byte-identical to the clean baseline.
+        report = chaos.soak(
+            runs=12, kills=3, seed=0, workdir=tmp_path,
+        )
+        print(report.describe())
+        assert report.ok, report.describe()
+        assert report.journaled_results == 12
+        assert report.torn_records == 0
+        killed = [a for a in report.attempts if a.killed]
+        assert len(killed) >= 1, "campaign outran every kill point"
+        # The last attempt always completes the campaign cleanly.
+        assert report.attempts[-1].returncode == 0
+        assert not report.attempts[-1].killed
+        assert "exactly-once: PASS" in report.describe()

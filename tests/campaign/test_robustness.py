@@ -173,6 +173,47 @@ class TestBrokenPool:
             assert results[i].ok
 
 
+class TestAttemptAccounting:
+    """``RunFailure.attempts`` and CampaignMetrics must tell one story:
+    attempts on a failure = 1 + the retries the executor charged it."""
+
+    def test_wall_timeout_attempts_agree_with_metrics(self):
+        specs = _specs_with(_spec(SleepingSpec, seed=1))
+        executor = ParallelExecutor(
+            jobs=2, run_timeout=0.2, retries=1, backoff_base=0.01
+        )
+        campaign = run_campaign(specs, executor=executor, label="attempts")
+        failure = campaign.results[1].failure
+        assert failure is not None and failure.kind == "wall-timeout"
+        assert failure.attempts == 1 + campaign.metrics.retried_runs
+        assert campaign.metrics.retried_runs == executor.retried_runs == 1
+        executor.close()
+
+    def test_pool_rebuild_resubmissions_counted_as_retries(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        specs = _specs_with(_spec(WorkerKillingSpec, seed=1, marker=marker))
+        executor = ParallelExecutor(jobs=2, backoff_base=0.01)
+        campaign = run_campaign(specs, executor=executor, label="rebuild")
+        assert campaign.metrics.pool_rebuilds >= 1
+        # Every spec resubmitted to the rebuilt pool is a retry, and the
+        # metrics see exactly what the executor counted.
+        assert campaign.metrics.retried_runs == executor.retried_runs >= 1
+        assert all(r.ok for r in campaign.results)
+        executor.close()
+
+    def test_degraded_failure_attempts_count_every_launch(self):
+        specs = _specs_with(_spec(WorkerKillingSpec, seed=1))
+        with ParallelExecutor(jobs=2, backoff_base=0.01,
+                              max_pool_rebuilds=1) as executor:
+            results = executor.map(specs)
+        assert executor.degraded
+        failure = results[1].failure
+        assert failure is not None and failure.kind == "exception"
+        # The killer consumed one launch per pool incarnation plus the
+        # final in-process attempt.
+        assert failure.attempts >= 2
+
+
 class TestSimulationTimeout:
     def test_watchdog_trip_becomes_failure_outcome(self):
         spec = _spec(seed=1, max_cycles=20)

@@ -1,0 +1,182 @@
+"""Durable exploration: journaled waves, mid-wave resume, preemption.
+
+The explorer checkpoints its decision frontier (plus accumulated report
+state) into the campaign journal at every wave boundary, and each
+schedule's result is journaled as it completes.  Killing the search at
+any point and resuming must visit the identical schedule set and
+produce the identical outcome histogram.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.campaign import (
+    CampaignJournal,
+    JournalError,
+    SerialExecutor,
+    execute_spec_guarded,
+    graceful_preemption,
+    preempted_result,
+)
+from repro.explore.explorer import FRONTIER_CHECKPOINT, explore_program
+from repro.litmus.catalog import fig1_dekker
+from repro.models.policies import RelaxedPolicy
+
+
+class CountingExecutor(SerialExecutor):
+    """Counts real executions, so journal replays are observable."""
+
+    def __init__(self):
+        super().__init__()
+        self.executed = 0
+
+    def map(self, batch):
+        self.executed += len(batch)
+        return super().map(batch)
+
+
+class KillingExecutor(SerialExecutor):
+    """Dies (in-process stand-in for SIGKILL) after ``after`` runs."""
+
+    def __init__(self, after):
+        super().__init__()
+        self.after = after
+
+    def map(self, batch):
+        out = []
+        for i, spec in enumerate(batch):
+            if self.after == 0:
+                raise KeyboardInterrupt("simulated kill")
+            self.after -= 1
+            result = execute_spec_guarded(spec)
+            self._emit(i, result)
+            out.append(result)
+        return out
+
+
+class PreemptingExecutor(SerialExecutor):
+    """Completes ``budget`` runs, then marks the rest preempted."""
+
+    def __init__(self, budget):
+        super().__init__()
+        self.budget = budget
+
+    def map(self, batch):
+        with graceful_preemption() as token:
+            results = []
+            for i, spec in enumerate(batch):
+                if self.budget == 0:
+                    result = preempted_result(token)
+                    self.preempted_runs += 1
+                else:
+                    self.budget -= 1
+                    result = spec.execute()
+                self._emit(i, result)
+                results.append(result)
+            return results
+
+
+def _explore(**kwargs):
+    return explore_program(
+        fig1_dekker().program, RelaxedPolicy, max_delays=2, **kwargs
+    )
+
+
+class TestJournaledExploration:
+    def test_journaled_search_matches_plain_search(self, tmp_path):
+        plain = _explore()
+        journaled = _explore(journal=tmp_path / "j.jsonl")
+        assert journaled.outcomes == plain.outcomes
+        assert journaled.runs == plain.runs
+        assert journaled.exhausted
+
+    def test_resume_of_finished_search_executes_nothing(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first = _explore(journal=path)
+        counting = CountingExecutor()
+        again = _explore(journal=path, resume=True, executor=counting)
+        assert counting.executed == 0
+        assert again.outcomes == first.outcomes
+        assert again.runs == first.runs
+        assert again.exhausted
+
+    def test_finished_search_checkpoints_empty_frontier(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _explore(journal=path)
+        with CampaignJournal(path) as journal:
+            checkpoint = journal.last_checkpoint(FRONTIER_CHECKPOINT)
+        assert checkpoint is not None
+        blob = checkpoint["payload"]["state"]
+        import base64
+
+        state = pickle.loads(base64.b64decode(blob.encode("ascii")))
+        assert state["frontier"] == []
+
+
+class TestCrashResume:
+    def test_kill_mid_wave_then_resume_is_byte_identical(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            _explore(journal=path, executor=KillingExecutor(after=3))
+
+        # The journal survived the kill: it holds the wave-top frontier
+        # checkpoint plus one record per completed schedule.
+        raw = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert sum(1 for r in raw if r["type"] == "result") == 3
+        assert any(
+            r["type"] == "checkpoint" and r.get("kind") == FRONTIER_CHECKPOINT
+            for r in raw
+        )
+
+        counting = CountingExecutor()
+        resumed = _explore(journal=path, resume=True, executor=counting)
+        clean = _explore()
+        assert resumed.outcomes == clean.outcomes
+        assert resumed.runs == clean.runs
+        assert resumed.exhausted
+        # Only the remainder re-executed.
+        assert counting.executed == clean.runs - 3
+
+    def test_double_kill_then_resume(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        for after in (2, 4):
+            with pytest.raises(KeyboardInterrupt):
+                _explore(
+                    journal=path, resume=path.exists(),
+                    executor=KillingExecutor(after=after),
+                )
+        resumed = _explore(journal=path, resume=True)
+        clean = _explore()
+        assert resumed.outcomes == clean.outcomes
+        assert resumed.runs == clean.runs
+
+    def test_resume_rejects_changed_search_parameters(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _explore(journal=path)
+        with pytest.raises(JournalError, match="different exploration"):
+            explore_program(
+                fig1_dekker().program, RelaxedPolicy, max_delays=3,
+                journal=path, resume=True,
+            )
+
+
+class TestPreemptedExploration:
+    def test_preempted_wave_is_requeued_and_resumable(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        report = _explore(
+            journal=path, executor=PreemptingExecutor(budget=3)
+        )
+        assert report.preempted
+        assert not report.exhausted
+        assert "PREEMPTED" in report.describe()
+
+        resumed = _explore(journal=path, resume=True)
+        clean = _explore()
+        assert not resumed.preempted
+        assert resumed.outcomes == clean.outcomes
+        assert resumed.runs == clean.runs
+        assert resumed.exhausted

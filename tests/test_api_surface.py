@@ -61,6 +61,8 @@ FACADE_SHAPES = {
         ("jobs", "KEYWORD_ONLY", True),
         ("trace", "KEYWORD_ONLY", True),
         ("sanitize", "KEYWORD_ONLY", True),
+        ("journal", "KEYWORD_ONLY", True),
+        ("resume", "KEYWORD_ONLY", True),
     ),
     "verify_sc": (
         ("program", "POSITIONAL_OR_KEYWORD", False),
@@ -85,6 +87,7 @@ FACADE_SHAPES = {
         ("run_timeout", "KEYWORD_ONLY", True),
         ("retries", "KEYWORD_ONLY", True),
         ("triage", "KEYWORD_ONLY", True),
+        ("journal", "KEYWORD_ONLY", True),
     ),
 }
 
@@ -94,10 +97,13 @@ EXPORTED_NAMES = frozenset(
     {
         "run", "explore", "verify_sc", "check_drf0", "campaign",
         "Observable", "Program", "Thread", "ThreadBuilder",
-        "CampaignMetrics", "CampaignResult", "Executor",
-        "ParallelExecutor", "PolicySpec", "ResultCache", "RunFailure",
-        "RunResult", "RunSpec", "SerialExecutor", "default_executor",
-        "emit_metrics", "program_fingerprint", "register_metrics_hook",
+        "CampaignJournal", "CampaignMetrics", "CampaignResult",
+        "Executor", "JournalError", "ParallelExecutor", "PolicySpec",
+        "PreemptionToken", "ResultCache", "RunFailure",
+        "RunResult", "RunSpec", "SerialExecutor", "current_token",
+        "default_executor", "emit_metrics", "graceful_preemption",
+        "open_journal", "preempted_result",
+        "program_fingerprint", "register_metrics_hook",
         "run_campaign", "unregister_metrics_hook",
         "BUS_CACHE", "BUS_CACHE_SNOOP", "BUS_NOCACHE", "FIGURE1_CONFIGS",
         "MachineConfig", "NET_CACHE", "NET_CACHE_VC", "NET_NOCACHE",
