@@ -4,19 +4,27 @@ The ROADMAP asks for a committed perf trajectory: one JSON per PR at the
 repo root recording the wall-clock of the three headline benchmarks
 (figure3, verify, explore) plus, from PR 6 on, the same litmus campaign
 timed on both processor cores and the disabled-tracing baseline that
-``bench_trace`` budgets against, and, from PR 7 on, the campaign-journal
-durability overhead measured by ``bench_journal``.  Run from the repo
+``bench_trace`` budgets against, from PR 7 on, the campaign-journal
+durability overhead measured by ``bench_journal``, and, from PR 8 on,
+the metrics-registry overhead (the same campaign with the registry off
+and on) plus a ``host`` block stamping where the numbers came from.
+The PR number is derived from the output filename.  Run from the repo
 root::
 
-    PYTHONPATH=src python benchmarks/make_bench_json.py BENCH_pr7.json
+    PYTHONPATH=src python benchmarks/make_bench_json.py BENCH_pr8.json
 
 Numbers are best-of-N wall-clock on whatever box runs the script —
 comparable *along* the trajectory only when the box stays the same,
 which is why CI regenerates its own copy as an artifact instead of
-diffing against the committed one.
+diffing against the committed one, and why
+``benchmarks/bench_compare.py`` (which *does* diff two snapshots)
+applies generous tolerance bands to ``_s``-suffixed timings.
 """
 
 import json
+import os
+import platform
+import re
 import sys
 import tempfile
 import time
@@ -63,6 +71,60 @@ def core_campaign(core):
     return results
 
 
+def obs_overhead():
+    """The metrics registry's campaign-level cost, off and on.
+
+    The disabled number is the one the ≤5% budget protects (one
+    attribute load and one branch per site); the enabled number is
+    informational — turning observability on is allowed to cost more.
+    """
+    from repro.litmus.catalog import fig1_dekker as make_dekker
+    from repro.obs import METRICS
+
+    runner = LitmusRunner()
+
+    def campaign():
+        return runner.run(
+            make_dekker(), RelaxedPolicy, NET_CACHE,
+            runs=CAMPAIGN_RUNS, base_seed=11,
+        )
+
+    was_enabled = METRICS.enabled
+    try:
+        METRICS.disable()
+        disabled_s, _ = best_of(campaign)
+        METRICS.enable()
+        enabled_s, _ = best_of(campaign)
+    finally:
+        METRICS.enabled = was_enabled
+    return {
+        "campaign_disabled_s": round(disabled_s, 4),
+        "campaign_enabled_s": round(enabled_s, 4),
+        "overhead_enabled_pct": round(
+            (enabled_s - disabled_s) / disabled_s * 100, 4
+        ),
+        "runs": CAMPAIGN_RUNS,
+    }
+
+
+def pr_number(out_path):
+    """The PR number a ``BENCH_prN.json`` filename names (None if odd)."""
+    match = re.search(r"pr(\d+)", os.path.basename(str(out_path)))
+    return int(match.group(1)) if match else None
+
+
+def host_metadata():
+    """Where the numbers came from — the context that decides whether
+    two snapshots are comparable at all."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "platform": platform.system(),
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+    }
+
+
 def main(out_path):
     fig3_s, _ = best_of(
         lambda: figure3_sweep(latencies=[4, 16, 64], seeds=[1, 2])
@@ -95,9 +157,12 @@ def main(out_path):
             for key, value in measure_journal_overhead(tmp).items()
         }
 
+    obs = obs_overhead()
+
     snapshot = {
         "schema": "repro-bench/1",
-        "pr": 7,
+        "pr": pr_number(out_path),
+        "host": host_metadata(),
         "bench_figure3": {"sweep_s": round(fig3_s, 4)},
         "bench_verify": {
             "dekker_sc_set_s": round(verify_s, 4),
@@ -109,6 +174,7 @@ def main(out_path):
         },
         "cores": cores,
         "bench_journal": journal,
+        "bench_obs": obs,
         "trace_baseline_untraced_s": 0.028,
     }
     with open(out_path, "w") as handle:
@@ -118,4 +184,4 @@ def main(out_path):
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr7.json")
+    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr8.json")

@@ -97,6 +97,19 @@ from repro.litmus.parse import parse_litmus
 from repro.litmus.runner import LitmusResult, LitmusRunner
 from repro.litmus.test import LitmusTest
 from repro.log import configure_cli_logging, get_logger
+from repro.obs import (
+    METRICS,
+    FlightRecorder,
+    MetricsRegistry,
+    ProgressReporter,
+    Snapshot,
+    disable_metrics,
+    enable_metrics,
+    load_snapshot,
+    serve_metrics,
+    to_prometheus,
+    write_prometheus,
+)
 from repro.memsys.config import (
     BUS_CACHE,
     BUS_CACHE_SNOOP,
@@ -232,6 +245,7 @@ def explore(
     sanitize: Optional[str] = None,
     journal: Union[CampaignJournal, str, Path, None] = None,
     resume: bool = False,
+    progress: Union[bool, "ProgressReporter", None] = None,
 ) -> ExplorationReport:
     """Systematically enumerate delay-bounded schedules of ``program``.
 
@@ -239,7 +253,8 @@ def explore(
     itself; ``prune`` skips delay decisions that provably commute
     (counted on the report, never changing the outcome set).  With
     ``journal`` the search checkpoints its decision frontier durably;
-    ``resume=True`` continues a killed exploration from that journal.
+    ``resume=True`` continues a killed exploration from that journal;
+    ``progress`` prints a live heartbeat spanning every search wave.
     """
     policy_spec = _coerce_policy(policy, core=core)
     return explore_program(
@@ -258,6 +273,7 @@ def explore(
         prune=prune,
         journal=journal,
         resume=resume,
+        progress=progress,
     )
 
 
@@ -316,6 +332,7 @@ def campaign(
     retries: int = 2,
     triage: Optional[TriageConfig] = None,
     journal: Union[CampaignJournal, str, Path, None] = None,
+    progress: Union[bool, "ProgressReporter", None] = None,
 ) -> CampaignResult:
     """Execute a batch of specs; results come back in spec order.
 
@@ -325,8 +342,10 @@ def campaign(
     call); ``journal`` is a :class:`CampaignJournal` or a path to one —
     completed runs append durably as they finish and already-journaled
     specs replay without execution, so re-running a killed campaign
-    against its journal resumes it.  Everything else matches
-    :func:`repro.campaign.run_campaign`, the engine underneath.
+    against its journal resumes it; ``progress`` (``True`` or a
+    :class:`~repro.obs.ProgressReporter`) prints a live heartbeat.
+    Everything else matches :func:`repro.campaign.run_campaign`, the
+    engine underneath.
     """
     if isinstance(cache, str):
         cache = ResultCache(cache)
@@ -343,6 +362,7 @@ def campaign(
             retries=retries,
             triage=triage,
             journal=journal,
+            progress=progress,
         )
     finally:
         if metrics is not None:
@@ -461,4 +481,16 @@ __all__ = [
     "format_table",
     "configure_cli_logging",
     "get_logger",
+    # Observability.
+    "METRICS",
+    "MetricsRegistry",
+    "Snapshot",
+    "ProgressReporter",
+    "FlightRecorder",
+    "enable_metrics",
+    "disable_metrics",
+    "load_snapshot",
+    "serve_metrics",
+    "to_prometheus",
+    "write_prometheus",
 ]

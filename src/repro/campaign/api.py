@@ -33,6 +33,7 @@ from repro.campaign.spec import (
     RunResult,
     RunSpec,
 )
+from repro.obs import METRICS, ProgressReporter, coerce_progress
 from repro.trace.summary import TraceSummary
 
 
@@ -97,6 +98,7 @@ def run_campaign(
     retries: int = 2,
     triage: Optional["TriageConfig"] = None,
     journal: Union[CampaignJournal, str, Path, None] = None,
+    progress: Union[bool, ProgressReporter, None] = None,
 ) -> CampaignResult:
     """Execute every spec; results come back in spec order.
 
@@ -125,6 +127,11 @@ def run_campaign(
             pointing a killed campaign at its journal resumes it with
             byte-identical final results.  Caching rules mirror
             ``cache``: only deterministic outcomes are journaled.
+        progress: live heartbeat on stderr.  ``True`` builds a
+            :class:`~repro.obs.ProgressReporter` for this campaign; an
+            existing reporter is shared (the explorer reuses one across
+            waves) and left for its owner to ``finish``.  Progress
+            rides the same ``result_callback`` hook the journal uses.
     """
     spec_list = list(specs)
     own_executor = executor is None
@@ -135,6 +142,9 @@ def run_campaign(
         journal, CampaignJournal
     )
     journal = open_journal(journal)
+    reporter, own_reporter = coerce_progress(progress, label)
+    if reporter is not None:
+        reporter.add_total(len(spec_list))
     started = time.perf_counter()
 
     results: List[Optional[RunResult]] = [None] * len(spec_list)
@@ -142,6 +152,9 @@ def run_campaign(
     journal_replayed = 0
     journal_appends = 0
     digests: Optional[List[str]] = None
+    cache_before = (
+        (cache.misses, cache.evictions) if cache is not None else (0, 0)
+    )
 
     def record(index: int, result: RunResult) -> None:
         nonlocal journal_appends
@@ -176,16 +189,23 @@ def run_campaign(
                 else:
                     remaining.append(i)
             pending = remaining
+        if reporter is not None:
+            reporter.note_skipped(len(spec_list) - len(pending))
         if pending:
-            if journal is not None:
+            if journal is not None or reporter is not None:
                 # Journal each result the moment it is final, so a kill
                 # mid-batch loses at most the in-flight runs.  The
                 # batch-end loop below re-records idempotently, which
                 # also covers custom executors that ignore the callback.
+                # The progress heartbeat rides the same hook.
                 index_of = list(pending)
-                executor.result_callback = (
-                    lambda pos, result: record(index_of[pos], result)
-                )
+
+                def _on_result(pos: int, result: RunResult) -> None:
+                    record(index_of[pos], result)
+                    if reporter is not None:
+                        reporter.tick(result)
+
+                executor.result_callback = _on_result
             try:
                 fresh = executor.map([spec_list[i] for i in pending])
             finally:
@@ -226,6 +246,17 @@ def run_campaign(
         completion_rate=(completed / len(spec_list)) if spec_list else 1.0,
         jobs=executor.jobs,
         cache_hits=cache_hits,
+        cache_misses=(
+            cache.misses - cache_before[0] if cache is not None else 0
+        ),
+        cache_evictions=(
+            cache.evictions - cache_before[1] if cache is not None else 0
+        ),
+        cache_bytes=(
+            cache.bytes_on_disk()
+            if cache is not None and cache.max_bytes is not None
+            else 0
+        ),
         failed_runs=len(failed),
         timed_out_runs=sum(
             1 for r in failed
@@ -253,6 +284,40 @@ def run_campaign(
         ),
     )
     emit_metrics(metrics)
+    if METRICS.enabled:
+        _publish_campaign(metrics)
+    if reporter is not None and own_reporter:
+        reporter.finish(metrics)
     return CampaignResult(
         results=results, metrics=metrics, triage=triage_report
+    )
+
+
+def _publish_campaign(metrics: CampaignMetrics) -> None:
+    """Fold a finished campaign's totals into the metrics registry.
+
+    This is what makes the flight recorder's final sample agree with
+    the end-of-run :class:`CampaignMetrics` summary.
+    """
+    METRICS.inc("repro_campaign_total", help="Campaigns executed")
+    for name, amount, help_text in (
+        ("repro_campaign_runs_total", metrics.runs,
+         "Specs submitted to campaigns"),
+        ("repro_campaign_completed_total", metrics.completed_runs,
+         "Runs that completed"),
+        ("repro_campaign_failed_total", metrics.failed_runs,
+         "Runs that came back with a failure record"),
+        ("repro_campaign_cache_hits_total", metrics.cache_hits,
+         "Runs satisfied by the result cache"),
+        ("repro_campaign_journal_replayed_total", metrics.journal_replayed,
+         "Runs replayed from a campaign journal"),
+        ("repro_campaign_preempted_total", metrics.preempted_runs,
+         "Runs skipped by graceful preemption"),
+    ):
+        if amount:
+            METRICS.inc(name, amount, help=help_text)
+    METRICS.observe(
+        "repro_campaign_wall_seconds", metrics.wall_clock_seconds,
+        help="Campaign wall-clock durations",
+        buckets=(0.01, 0.1, 1.0, 10.0, 60.0, 600.0),
     )

@@ -10,6 +10,14 @@ never leave a truncated entry under a digest's name; and if a corrupt
 entry somehow appears anyway, reading it quarantines the file (renamed
 ``*.corrupt``) and reports a miss, so a cache directory can never poison
 a campaign, only fail to accelerate it.
+
+With ``max_bytes`` set the cache is additionally *size-bounded*: after
+each put that pushes the directory past the budget, the least recently
+used entries (hits refresh an entry's mtime) are evicted oldest-first
+until the budget holds again — the stepping stone toward the ROADMAP's
+content-addressed store.  Eviction is advisory, not transactional: a
+concurrent campaign may re-create an entry the moment it is evicted,
+which merely costs one re-run.
 """
 
 from __future__ import annotations
@@ -22,18 +30,33 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.campaign.spec import RunResult, RunSpec
+from repro.obs import METRICS
 
 
 class ResultCache:
     """A directory of pickled results, one file per spec digest."""
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        #: Size budget in bytes; None means unbounded.
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         #: Entries found unreadable and moved aside (``*.corrupt``).
         self.quarantined = 0
+        #: Entries removed by the LRU sweep to hold ``max_bytes``.
+        self.evictions = 0
+        self.bytes_evicted = 0
+        #: Running estimate of resident bytes; lazily seeded by a scan,
+        #: maintained incrementally, re-scanned on every eviction sweep.
+        self._approx_bytes: Optional[int] = None
 
     def _path(self, spec: RunSpec) -> Path:
         return self.directory / f"{spec.digest()}.pkl"
@@ -44,7 +67,7 @@ class ResultCache:
             with path.open("rb") as fh:
                 result = pickle.load(fh)
         except FileNotFoundError:
-            self.misses += 1
+            self._miss()
             return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, ValueError):
@@ -52,7 +75,7 @@ class ResultCache:
             # trusted; move it aside so it cannot shadow a future put
             # and is available for post-mortem.
             self._quarantine(path)
-            self.misses += 1
+            self._miss()
             return None
         if not isinstance(result, RunResult) or result.__dict__.keys() != {
             f.name for f in dataclasses.fields(RunResult)
@@ -61,15 +84,32 @@ class ResultCache:
             # RunResult layout (missing or extra fields) — re-run rather
             # than hand back an object whose attributes may not resolve.
             self._quarantine(path)
-            self.misses += 1
+            self._miss()
             return None
         self.hits += 1
+        if METRICS.enabled:
+            METRICS.inc("repro_cache_hits_total",
+                        help="Result-cache hits")
+        if self.max_bytes is not None:
+            try:
+                os.utime(path)  # a hit is a use: refresh LRU recency
+            except OSError:
+                pass
         return result
+
+    def _miss(self) -> None:
+        self.misses += 1
+        if METRICS.enabled:
+            METRICS.inc("repro_cache_misses_total",
+                        help="Result-cache misses")
 
     def _quarantine(self, path: Path) -> None:
         try:
             os.replace(path, path.with_suffix(".corrupt"))
             self.quarantined += 1
+            if METRICS.enabled:
+                METRICS.inc("repro_cache_quarantined_total",
+                            help="Corrupt cache entries moved aside")
         except OSError:
             pass
 
@@ -94,6 +134,72 @@ class ResultCache:
                 os.unlink(tmp)
             except OSError:
                 pass
+            return
+        if METRICS.enabled:
+            METRICS.inc("repro_cache_puts_total",
+                        help="Result-cache entries written")
+        if self.max_bytes is not None:
+            try:
+                written = path.stat().st_size
+            except OSError:
+                written = 0
+            if self._approx_bytes is None:
+                self._approx_bytes = self.bytes_on_disk()
+            else:
+                self._approx_bytes += written
+            if self._approx_bytes > self.max_bytes:
+                self.evict(self.max_bytes)
+
+    def bytes_on_disk(self) -> int:
+        """Actual resident entry bytes (a directory scan)."""
+        total = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def evict(self, budget: int) -> int:
+        """LRU-sweep entries oldest-first until ``budget`` bytes hold.
+
+        Returns the number of entries removed.  Recency is mtime: puts
+        create entries fresh and hits re-touch them (when the cache is
+        bounded), so the files deleted first are the ones neither
+        written nor read for longest.
+        """
+        entries = []
+        total = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        entries.sort(key=lambda e: e[0])
+        removed = 0
+        for _mtime, size, path in entries:
+            if total <= budget:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            self.evictions += 1
+            self.bytes_evicted += size
+            if METRICS.enabled:
+                METRICS.inc("repro_cache_evictions_total",
+                            help="Cache entries evicted by the LRU sweep")
+                METRICS.inc("repro_cache_evicted_bytes_total", size,
+                            help="Bytes reclaimed by the LRU sweep")
+        self._approx_bytes = total
+        if METRICS.enabled:
+            METRICS.set_gauge("repro_cache_bytes_on_disk", total,
+                              help="Resident cache bytes after last sweep")
+        return removed
 
     def sweep_stale(self) -> int:
         """Remove temp files orphaned by killed writers; returns count.

@@ -59,6 +59,35 @@ from repro.campaign.spec import (
     RunSpec,
     execute_spec_guarded,
 )
+from repro.obs import METRICS
+
+
+def execute_spec_observed(spec: RunSpec):
+    """Worker-side entry point: run a spec and ship its metrics home.
+
+    Returns ``(result, delta)`` where ``delta`` is the registry diff
+    produced by this run (or None when metrics are off in the worker).
+    The before/after snapshot diff cancels whatever counter baseline a
+    fork-inherited registry already held, so merging deltas in the
+    parent counts every observation exactly once.  Results themselves
+    never carry metrics — serial and parallel campaigns must stay
+    byte-identical.
+    """
+    if not METRICS.enabled:
+        return execute_spec_guarded(spec), None
+    before = METRICS.snapshot()
+    result = execute_spec_guarded(spec)
+    return result, METRICS.snapshot().diff(before)
+
+
+def _collect(value):
+    """Unwrap a worker return value, merging any shipped metrics delta."""
+    if type(value) is tuple:
+        result, delta = value
+        if delta is not None:
+            METRICS.merge(delta)
+        return result
+    return value
 
 
 def _failure(kind: str, message: str, attempts: int = 1) -> RunResult:
@@ -114,6 +143,28 @@ class Executor:
         if self.result_callback is not None:
             self.result_callback(index, result)
 
+    def _publish_counters(self, dispatched: int) -> None:
+        """Fold one ``map`` call's operational counters into METRICS."""
+        kind = type(self).__name__
+        METRICS.inc("repro_executor_dispatched_total", dispatched,
+                    help="Specs dispatched for execution", executor=kind)
+        if self.retried_runs:
+            METRICS.inc("repro_executor_retries_total", self.retried_runs,
+                        help="Runs retried after transient failures",
+                        executor=kind)
+        if self.pool_rebuilds:
+            METRICS.inc("repro_executor_pool_rebuilds_total",
+                        self.pool_rebuilds,
+                        help="Worker-pool rebuilds", executor=kind)
+        if self.degraded:
+            METRICS.inc("repro_executor_degraded_total",
+                        help="Batches finished in degraded serial mode",
+                        executor=kind)
+        if self.preempted_runs:
+            METRICS.inc("repro_executor_preempted_total",
+                        self.preempted_runs,
+                        help="Specs resolved as preempted", executor=kind)
+
     def __enter__(self) -> "Executor":
         return self
 
@@ -144,6 +195,8 @@ class SerialExecutor(Executor):
                     result = execute_spec_guarded(spec)
                 results.append(result)
                 self._emit(i, result)
+        if METRICS.enabled:
+            self._publish_counters(len(batch))
         return results
 
 
@@ -247,10 +300,15 @@ class ParallelExecutor(Executor):
                 result = execute_spec_guarded(spec)
                 results.append(result)
                 self._emit(i, result)
+            if METRICS.enabled:
+                self._publish_counters(len(batch))
             return results
         with graceful_preemption() if self.preemptible else _noop_token() as token:
             try:
-                return self._map_batch(batch, token)
+                results = self._map_batch(batch, token)
+                if METRICS.enabled:
+                    self._publish_counters(len(batch))
+                return results
             except BaseException:
                 # The interrupt path (KeyboardInterrupt, SystemExit, a
                 # callback raising) must never strand orphan workers:
@@ -303,10 +361,16 @@ class ParallelExecutor(Executor):
                 break
 
             pool = self._ensure_pool()
+            # When metrics are on, workers run the observed entry point
+            # and ship per-run registry deltas back with their results.
+            task = (
+                execute_spec_observed if METRICS.enabled
+                else execute_spec_guarded
+            )
             try:
                 futures = {}
                 for i in pending:
-                    futures[i] = pool.submit(execute_spec_guarded, batch[i])
+                    futures[i] = pool.submit(task, batch[i])
                     launches[i] += 1
             except BrokenExecutor:
                 self._rebuild_pool()
@@ -333,7 +397,7 @@ class ParallelExecutor(Executor):
                     # finished, queue the rest for the rebuilt pool.
                     if future.done():
                         try:
-                            finish(i, future.result())
+                            finish(i, _collect(future.result()))
                             continue
                         except Exception:
                             pass
@@ -341,7 +405,7 @@ class ParallelExecutor(Executor):
                     self.retried_runs += 1
                     continue
                 try:
-                    finish(i, future.result(timeout=self.run_timeout))
+                    finish(i, _collect(future.result(timeout=self.run_timeout)))
                 except FutureTimeout:
                     cancelled = future.cancel()
                     if not cancelled:
@@ -424,7 +488,7 @@ class ParallelExecutor(Executor):
             taken = False
             if future.done():
                 try:
-                    finish(i, future.result())
+                    finish(i, _collect(future.result()))
                     taken = True
                 except Exception:
                     pass

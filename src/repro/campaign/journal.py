@@ -40,10 +40,15 @@ import hashlib
 import json
 import os
 import pickle
+import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.campaign.spec import RunResult
+from repro.obs import METRICS
+
+#: Bucket bounds for journal I/O latencies: 10µs to ~0.6s.
+_IO_BUCKETS = tuple(1e-5 * 4 ** i for i in range(9))
 
 
 class JournalError(Exception):
@@ -155,10 +160,20 @@ class CampaignJournal:
     def _append(self, record: dict) -> None:
         if self._handle is None:
             raise JournalError(f"journal {self.path} is closed")
+        started = time.perf_counter() if METRICS.enabled else 0.0
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
         self.appended += 1
         self._unsynced += 1
+        if METRICS.enabled:
+            METRICS.inc("repro_journal_appends_total",
+                        help="Journal records appended")
+            METRICS.observe(
+                "repro_journal_append_seconds",
+                time.perf_counter() - started,
+                help="Journal append (write+flush) latency",
+                buckets=_IO_BUCKETS,
+            )
         if self._unsynced >= self.fsync_every:
             self.sync()
 
@@ -214,12 +229,22 @@ class CampaignJournal:
         """Flush and fsync pending appends to disk."""
         if self._handle is None or self._unsynced == 0:
             return
+        started = time.perf_counter() if METRICS.enabled else 0.0
         self._handle.flush()
         try:
             os.fsync(self._handle.fileno())
         except OSError:  # pragma: no cover - exotic filesystems
             pass
         self._unsynced = 0
+        if METRICS.enabled:
+            METRICS.inc("repro_journal_fsyncs_total",
+                        help="Journal fsync group commits")
+            METRICS.observe(
+                "repro_journal_fsync_seconds",
+                time.perf_counter() - started,
+                help="Journal fsync latency",
+                buckets=_IO_BUCKETS,
+            )
 
     def close(self) -> None:
         if self._handle is not None:

@@ -34,6 +34,13 @@ class CampaignMetrics:
     completion_rate: float
     jobs: int
     cache_hits: int = 0
+    #: Cache probes that missed during this campaign (0 without a cache).
+    cache_misses: int = 0
+    #: Entries the cache's LRU sweep evicted during this campaign.
+    cache_evictions: int = 0
+    #: Resident cache bytes when the campaign finished (size-bounded
+    #: caches only; 0 when the cache is unbounded or absent).
+    cache_bytes: int = 0
     #: Runs that came back with a :class:`RunFailure` attached.
     failed_runs: int = 0
     #: Failed runs whose failure was a timeout (simulation cycle
@@ -81,6 +88,14 @@ class CampaignMetrics:
             f"completion {self.completion_rate:.0%}, "
             f"cache hits {self.cache_hits})"
         )
+        if self.cache_misses or self.cache_evictions:
+            text += (
+                f" [cache: {self.cache_misses} missed, "
+                f"{self.cache_evictions} evicted"
+            )
+            if self.cache_bytes:
+                text += f", {self.cache_bytes} bytes resident"
+            text += "]"
         if self.failed_runs:
             text += (
                 f" [{self.failed_runs} failed, "

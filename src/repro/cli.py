@@ -17,7 +17,9 @@ Subcommands:
 ``fuzz``      run random programs, triaging failures into repro bundles;
 ``replay``    re-execute a repro bundle and check its failure signature;
 ``soak``      chaos-test crash safety: kill a journaled campaign at
-              seeded points, resume it, and prove exactly-once results.
+              seeded points, resume it, and prove exactly-once results;
+``metrics``   pretty-print, export, or diff runtime-metrics snapshots
+              (``.prom`` files, flight-recorder JSONL, snapshot JSON).
 
 ``litmus``, ``explore``, and ``conformance`` accept ``--trace FILE``
 (with ``--trace-format`` and ``--trace-filter``) to record every run's
@@ -29,6 +31,16 @@ sanitizer; ``-v``/``-q`` raise/lower progress logging on stderr.
 and ``--resume PATH`` (like ``--journal``, but the file must already
 exist).  A campaign stopped by SIGTERM/SIGINT flushes its journal and
 exits with status 75 (``EX_TEMPFAIL``): resume it with ``--resume``.
+
+``litmus``, ``explore``, ``conformance``, ``fuzz``, and ``soak``
+accept ``--progress`` (a live heartbeat on stderr: rate, ETA, cache
+hits, failures) and ``--metrics-out DIR``, which enables the runtime
+metrics registry and leaves ``DIR/metrics.prom`` (Prometheus text
+exposition) plus ``DIR/flight.jsonl`` (periodic samples) behind;
+``--metrics-port N`` additionally serves live ``/metrics`` over HTTP
+while the command runs.  ``litmus``, ``conformance``, and ``fuzz``
+also accept ``--cache DIR`` (an on-disk result cache keyed by spec
+digest) with ``--cache-max-bytes N`` for LRU size bounding.
 
 Examples::
 
@@ -44,6 +56,9 @@ Examples::
     python -m repro fuzz --family spin --seeds 20 --triage-dir bundles/
     python -m repro replay bundles/fuzz-spin-sim-timeout.json
     python -m repro figure1
+    python -m repro conformance --jobs 4 --progress --metrics-out obs/
+    python -m repro metrics show obs/metrics.prom
+    python -m repro metrics diff before.prom obs/metrics.prom
 """
 
 from __future__ import annotations
@@ -63,9 +78,12 @@ from repro.api import (
     CampaignMetrics,
     FIGURE1_CONFIGS,
     FORMATS,
+    FlightRecorder,
     LitmusRunner,
     LitmusTest,
+    METRICS,
     RelaxedPolicy,
+    ResultCache,
     SCPolicy,
     TraceEvent,
     TraceSpec,
@@ -75,16 +93,21 @@ from repro.api import (
     crosscheck_run,
     default_executor,
     emit_metrics,
+    enable_metrics,
     fig1_dekker,
     figure3_sweep,
     format_table,
     format_timeline,
     get_logger,
+    load_snapshot,
     parse_fault_plan,
     parse_litmus,
     policy_by_name,
     register_metrics_hook,
+    serve_metrics,
+    to_prometheus,
     unregister_metrics_hook,
+    write_prometheus,
     write_trace,
 )
 
@@ -210,6 +233,75 @@ def _finish_journal(journal, preempted: bool) -> None:
             )
 
 
+def _progress(args: argparse.Namespace):
+    """The ``progress=`` argument a ``--progress`` flag asks for."""
+    return True if getattr(args, "progress", False) else None
+
+
+def _cache_for(args: argparse.Namespace) -> Optional[ResultCache]:
+    """The result cache a ``--cache``/``--cache-max-bytes`` pair asks for."""
+    directory = getattr(args, "cache", None)
+    max_bytes = getattr(args, "cache_max_bytes", None)
+    if not directory:
+        if max_bytes is not None:
+            raise SystemExit("error: --cache-max-bytes requires --cache")
+        return None
+    try:
+        return ResultCache(directory, max_bytes=max_bytes)
+    except ValueError as exc:
+        raise SystemExit(f"error: bad --cache-max-bytes value: {exc}")
+
+
+@contextlib.contextmanager
+def _obs_session(args: argparse.Namespace):
+    """Turn the runtime metrics registry on for the command's lifetime.
+
+    ``--metrics-out DIR`` enables the registry (workers inherit the
+    flag through the environment), runs a flight recorder appending
+    periodic samples to ``DIR/flight.jsonl``, and writes the final
+    Prometheus snapshot to ``DIR/metrics.prom`` on exit.
+    ``--metrics-port N`` additionally serves live ``/metrics``.
+    """
+    out = getattr(args, "metrics_out", None)
+    port = getattr(args, "metrics_port", None)
+    if out is None and port is None:
+        yield
+        return
+    enable_metrics()
+    # The artifacts describe THIS command: drop whatever an earlier
+    # in-process command left in the process-wide registry.
+    METRICS.reset()
+    recorder = None
+    server = None
+    try:
+        if out is not None:
+            out_dir = Path(out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            recorder = FlightRecorder(out_dir / "flight.jsonl", METRICS)
+            recorder.start()
+        if port is not None:
+            server = serve_metrics(METRICS, port=port)
+            print(
+                f"metrics: serving "
+                f"http://127.0.0.1:{server.port}/metrics",
+                file=sys.stderr,
+            )
+        yield
+    finally:
+        if server is not None:
+            server.stop()
+        if recorder is not None:
+            recorder.stop()
+        if out is not None:
+            try:
+                write_prometheus(Path(out) / "metrics.prom", METRICS)
+            except OSError as exc:
+                print(
+                    f"repro: warning: cannot write metrics.prom: {exc}",
+                    file=sys.stderr,
+                )
+
+
 def _cmd_litmus(args: argparse.Namespace) -> int:
     test = _load_test(args.test, warm=args.warm)
     runner = LitmusRunner()
@@ -217,7 +309,9 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
     faults = _parse_faults(args)
     trace = _trace_spec(args)
     journal = _journal_for(args)
-    with _campaign_metrics(args), _executor_for(args) as executor:
+    cache = _cache_for(args)
+    with _campaign_metrics(args), _obs_session(args), \
+            _executor_for(args) as executor:
         result = runner.run(
             test,
             lambda: policy_by_name(args.policy, core=args.core),
@@ -225,10 +319,12 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
             runs=args.runs,
             base_seed=args.seed,
             executor=executor,
+            cache=cache,
             faults=faults,
             trace=trace,
             sanitize=_sanitize_mode(args),
             journal=journal,
+            progress=_progress(args),
         )
     _finish_journal(journal, result.preempted)
     _write_traces(args, result.run_traces)
@@ -274,7 +370,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     program = test.executable_program()
     trace = _trace_spec(args)
     journal = _journal_for(args)
-    with _campaign_metrics(args), _executor_for(args) as executor:
+    with _campaign_metrics(args), _obs_session(args), \
+            _executor_for(args) as executor:
         report = api.explore(
             program,
             args.policy,
@@ -287,6 +384,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             sanitize=_sanitize_mode(args),
             journal=journal,
             resume=bool(getattr(args, "resume", None)),
+            progress=_progress(args),
         )
     _finish_journal(journal, report.preempted)
     _write_traces(args, report.run_traces)
@@ -365,10 +463,13 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     faults = _parse_faults(args)
     trace = _trace_spec(args)
     journal = _journal_for(args)
-    with _campaign_metrics(args), _executor_for(args) as executor:
+    cache = _cache_for(args)
+    with _campaign_metrics(args), _obs_session(args), \
+            _executor_for(args) as executor:
         report = api.run_conformance(
-            runs_per_test=args.runs, executor=executor, faults=faults,
-            trace=trace, sanitize=_sanitize_mode(args), journal=journal,
+            runs_per_test=args.runs, executor=executor, cache=cache,
+            faults=faults, trace=trace, sanitize=_sanitize_mode(args),
+            journal=journal, progress=_progress(args),
         )
     _finish_journal(journal, report.preempted)
     _write_traces(args, report.run_traces)
@@ -490,13 +591,17 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             max_bundles=args.max_bundles,
         )
     journal = _journal_for(args)
-    with _campaign_metrics(args), _executor_for(args) as executor:
+    cache = _cache_for(args)
+    with _campaign_metrics(args), _obs_session(args), \
+            _executor_for(args) as executor:
         campaign = api.campaign(
             specs,
             executor=executor,
+            cache=cache,
             label=f"fuzz:{args.family}",
             triage=triage,
             journal=journal,
+            progress=_progress(args),
         )
     _finish_journal(journal, campaign.preempted)
     print(campaign.metrics.describe())
@@ -512,17 +617,20 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 def _cmd_soak(args: argparse.Namespace) -> int:
     from repro.testing.chaos import soak
 
-    report = soak(
-        test=args.test,
-        policy=args.policy,
-        machine=args.machine,
-        runs=args.runs,
-        base_seed=args.seed,
-        kills=args.kills,
-        seed=args.chaos_seed,
-        workdir=args.workdir,
-        attempt_timeout=args.attempt_timeout,
-    )
+    with _campaign_metrics(args), _obs_session(args):
+        report = soak(
+            test=args.test,
+            policy=args.policy,
+            machine=args.machine,
+            runs=args.runs,
+            base_seed=args.seed,
+            kills=args.kills,
+            seed=args.chaos_seed,
+            workdir=args.workdir,
+            attempt_timeout=args.attempt_timeout,
+            jobs=args.jobs,
+            progress=_progress(args),
+        )
     print(report.describe())
     if report.ok:
         print(
@@ -565,6 +673,79 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 1
 
 
+def _load_snapshot_arg(path: str):
+    try:
+        return load_snapshot(path)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read snapshot {path}: {exc}")
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(f"error: cannot parse snapshot {path}: {exc}")
+
+
+def _format_sample(value, signed: bool) -> str:
+    if isinstance(value, float) and value == int(value):
+        value = int(value)
+    if signed and isinstance(value, (int, float)) and value > 0:
+        return f"+{value}"
+    return str(value)
+
+
+def _format_snapshot(snap, signed: bool = False) -> str:
+    """A snapshot (or diff) as a terminal table.
+
+    ``signed`` prefixes positive counter/histogram deltas with ``+`` —
+    gauges always show their latest reading, never a delta.
+    """
+    rows = []
+    for name in snap.names():
+        metric = snap.data[name]
+        is_gauge = metric["type"] == "gauge"
+        for key, value in sorted(metric["samples"].items()):
+            if metric["type"] == "histogram":
+                mean = value["sum"] / value["count"] if value["count"] else 0.0
+                shown = (
+                    f"count={_format_sample(value['count'], signed)} "
+                    f"sum={value['sum']:.6g} mean={mean:.6g}"
+                )
+            else:
+                shown = _format_sample(value, signed and not is_gauge)
+            rows.append([name, key or "-", metric["type"], shown])
+    return format_table(["metric", "labels", "type", "value"], rows)
+
+
+def _cmd_metrics_show(args: argparse.Namespace) -> int:
+    snap = _load_snapshot_arg(args.snapshot)
+    if not snap:
+        print("(empty snapshot)")
+        return 0
+    print(_format_snapshot(snap))
+    return 0
+
+
+def _cmd_metrics_export(args: argparse.Namespace) -> int:
+    snap = _load_snapshot_arg(args.snapshot)
+    if args.format == "prom":
+        text = to_prometheus(snap)
+    else:
+        text = json.dumps(snap.to_dict(), indent=2, sort_keys=True) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_metrics_diff(args: argparse.Namespace) -> int:
+    before = _load_snapshot_arg(args.before)
+    after = _load_snapshot_arg(args.after)
+    delta = after.diff(before)
+    if not delta:
+        print("no change between snapshots")
+        return 0
+    print(_format_snapshot(delta, signed=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -601,6 +782,36 @@ def build_parser() -> argparse.ArgumentParser:
             "--retries", type=int, default=2, metavar="N",
             help="retry budget per run for transient worker failures "
             "(exponential backoff; default 2)",
+        )
+
+    def add_obs_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--progress", action="store_true",
+            help="print a live heartbeat on stderr while the campaign "
+            "runs: done/total, rate, ETA, cache hits, failures",
+        )
+        cmd.add_argument(
+            "--metrics-out", metavar="DIR",
+            help="enable the runtime metrics registry and write "
+            "DIR/metrics.prom (Prometheus text exposition) plus "
+            "DIR/flight.jsonl (periodic samples) for this command",
+        )
+        cmd.add_argument(
+            "--metrics-port", type=int, default=None, metavar="PORT",
+            help="also serve live metrics at "
+            "http://127.0.0.1:PORT/metrics while the command runs",
+        )
+
+    def add_cache_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--cache", metavar="DIR",
+            help="memoise run results on disk in DIR, keyed by spec "
+            "digest; reuse the directory to skip already-computed runs",
+        )
+        cmd.add_argument(
+            "--cache-max-bytes", type=int, default=None, metavar="N",
+            help="bound the --cache directory to about N bytes, "
+            "evicting least-recently-used entries",
         )
 
     def add_journal_options(cmd: argparse.ArgumentParser) -> None:
@@ -669,6 +880,8 @@ def build_parser() -> argparse.ArgumentParser:
     litmus.add_argument("--expect-sc", action="store_true",
                         help="exit nonzero if any outcome violates SC")
     add_campaign_options(litmus)
+    add_obs_options(litmus)
+    add_cache_options(litmus)
     add_journal_options(litmus)
     add_faults_option(litmus)
     add_trace_options(litmus)
@@ -702,6 +915,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explore.add_argument("--warm", action="store_true")
     add_campaign_options(explore)
+    add_obs_options(explore)
     add_journal_options(explore)
     add_trace_options(explore)
     add_sanitize_option(explore)
@@ -728,6 +942,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conformance.add_argument("--runs", type=int, default=30)
     add_campaign_options(conformance)
+    add_obs_options(conformance)
+    add_cache_options(conformance)
     add_journal_options(conformance)
     add_faults_option(conformance)
     add_trace_options(conformance)
@@ -799,6 +1015,8 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="bundle failing specs without shrinking them")
     add_campaign_options(fuzz)
+    add_obs_options(fuzz)
+    add_cache_options(fuzz)
     add_journal_options(fuzz)
     add_faults_option(fuzz)
     add_sanitize_option(fuzz)
@@ -835,7 +1053,49 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--attempt-timeout", type=float, default=300.0,
                       metavar="SECONDS",
                       help="wall-clock budget per supervised attempt")
+    soak.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run the baseline and the supervised campaign on N "
+        "worker processes (1 = serial)",
+    )
+    soak.add_argument(
+        "--metrics-json", metavar="PATH",
+        help="write the baseline campaign's metrics to PATH as JSON",
+    )
+    add_obs_options(soak)
     soak.set_defaults(func=_cmd_soak)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="pretty-print, export, or diff runtime-metrics snapshots",
+    )
+    msub = metrics.add_subparsers(dest="metrics_command", required=True)
+    snapshot_help = (
+        "a metrics artifact: .prom text exposition, flight-recorder "
+        "JSONL (last sample wins), or snapshot JSON"
+    )
+    mshow = msub.add_parser("show", help="pretty-print a snapshot")
+    mshow.add_argument("snapshot", help=snapshot_help)
+    mshow.set_defaults(func=_cmd_metrics_show)
+    mexport = msub.add_parser(
+        "export", help="convert a snapshot between formats"
+    )
+    mexport.add_argument("snapshot", help=snapshot_help)
+    mexport.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="output format (default prom)",
+    )
+    mexport.add_argument(
+        "--out", metavar="PATH",
+        help="write to PATH instead of stdout",
+    )
+    mexport.set_defaults(func=_cmd_metrics_export)
+    mdiff = msub.add_parser(
+        "diff", help="per-metric deltas between two snapshots"
+    )
+    mdiff.add_argument("before", help=snapshot_help)
+    mdiff.add_argument("after", help=snapshot_help)
+    mdiff.set_defaults(func=_cmd_metrics_diff)
 
     return parser
 

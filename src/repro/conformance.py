@@ -173,6 +173,7 @@ def run_conformance(
     trace: Optional[TraceSpec] = None,
     sanitize: Optional[str] = None,
     journal=None,
+    progress=None,
 ) -> ConformanceReport:
     """Audit every (machine, policy) pair against the litmus battery.
 
@@ -197,6 +198,9 @@ def run_conformance(
     ``journal`` (a :class:`~repro.campaign.journal.CampaignJournal` or
     a path) journals the whole grid durably; re-running a killed or
     preempted audit against the same journal resumes it.
+
+    ``progress`` (``True`` or a :class:`~repro.obs.ProgressReporter`)
+    prints a live heartbeat while the grid executes.
     """
     runner = runner or LitmusRunner()
     tests = list(tests) if tests is not None else standard_catalog()
@@ -232,7 +236,7 @@ def run_conformance(
 
     campaign = run_campaign(
         specs, executor=executor, jobs=jobs, cache=cache,
-        label="conformance", journal=journal,
+        label="conformance", journal=journal, progress=progress,
     )
 
     cells: List[CellResult] = []

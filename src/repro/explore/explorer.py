@@ -50,6 +50,7 @@ from repro.explore.prune import (
 )
 from repro.memsys.config import MachineConfig, NET_CACHE
 from repro.models.base import OrderingPolicy
+from repro.obs import METRICS, coerce_progress
 from repro.trace.events import TraceEvent
 from repro.trace.tracer import TraceSpec
 
@@ -180,6 +181,7 @@ def explore_program(
     prune: bool = True,
     journal: Union[CampaignJournal, str, Path, None] = None,
     resume: bool = False,
+    progress=None,
 ) -> ExplorationReport:
     """Enumerate all delay-bounded schedules of ``program``.
 
@@ -226,6 +228,10 @@ def explore_program(
             (the journal must exist and must describe the same
             program/policy/budget — anything else raises
             :class:`~repro.campaign.journal.JournalError`).
+        progress: live heartbeat on stderr (``True`` or a
+            :class:`~repro.obs.ProgressReporter`).  One reporter spans
+            every wave, so rate and counts reflect the whole
+            exploration rather than a single campaign.
     """
     if legacy_args:
         warnings.warn(
@@ -304,6 +310,9 @@ def explore_program(
                 )
             frontier = _restore_frontier(payload["state"], report)
 
+    reporter, own_reporter = coerce_progress(
+        progress, f"explore:{program.name}:{policy_spec.name}"
+    )
     truncated = False
     try:
         truncated = _explore_waves(
@@ -311,9 +320,11 @@ def explore_program(
             program, policy_spec, config, max_runs, max_cycles,
             relaxed_request_channels, inval_virtual_channel, trace,
             sanitize, executor, jobs, max_delays, message_pruning,
-            conflict_free,
+            conflict_free, reporter,
         )
     finally:
+        if reporter is not None and own_reporter:
+            reporter.finish()
         if journal_obj is not None and not isinstance(
             journal, CampaignJournal
         ):
@@ -345,9 +356,11 @@ def _explore_waves(
     max_delays: int,
     message_pruning: bool,
     conflict_free,
+    reporter=None,
 ) -> bool:
     """The wave loop of :func:`explore_program`; returns ``truncated``."""
     truncated = False
+    waves = 0
     while frontier:
         if journal_obj is not None:
             # Snapshot *before* popping the wave: the checkpoint plus
@@ -380,10 +393,18 @@ def _explore_waves(
             )
             for prefix in batch
         ]
+        waves += 1
+        if METRICS.enabled:
+            METRICS.inc("repro_explore_waves_total",
+                        help="Explorer waves executed")
+            METRICS.set_gauge("repro_explore_frontier_size",
+                              len(batch) + len(frontier),
+                              help="Pending schedule prefixes at wave start")
+        pruned_before = report.pruned_decisions
         campaign = run_campaign(
             specs, executor=executor, jobs=jobs,
             label=f"explore:{program.name}:{policy_spec.name}",
-            journal=journal_obj,
+            journal=journal_obj, progress=reporter,
         )
         if campaign.preempted:
             # Put the wave back: completed schedules are journaled (and
@@ -430,6 +451,14 @@ def _explore_waves(
                         continue
                     padding = (0,) * (point - len(prefix))
                     frontier.append(prefix + padding + (decision,))
+        if METRICS.enabled:
+            METRICS.inc("repro_explore_schedules_total", len(batch),
+                        help="Delay-bounded schedules executed")
+            pruned_delta = report.pruned_decisions - pruned_before
+            if pruned_delta:
+                METRICS.inc("repro_explore_pruned_decisions_total",
+                            pruned_delta,
+                            help="Delay decisions skipped as redundant")
     if journal_obj is not None:
         # Final checkpoint: an empty frontier marks the walk complete
         # (a preempted walk re-checkpoints its reconstructed frontier).

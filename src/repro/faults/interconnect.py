@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import Any, Dict, Tuple
 
 from repro.faults.plan import FaultPlan
+from repro.obs import METRICS
 from repro.interconnect.base import Handler, Interconnect, channel_key
 from repro.sim.engine import Simulator
 from repro.sim.rng import TimingRng
@@ -90,10 +91,10 @@ class FaultyInterconnect(Interconnect):
         if plan.reorder_pct and self.rng.randint(1, 100) <= plan.reorder_pct:
             reorder = self.rng.randint(1, plan.reorder_delay)
             extra += reorder
-            self.stats.bump("faults.reorders")
+            self._bump_fault("reorders")
             self._trace_fault("reorder", src, dst, payload, delay=reorder)
         if extra:
-            self.stats.bump("faults.delayed")
+            self._bump_fault("delayed")
             self._trace_fault("delayed", src, dst, payload, delay=extra)
 
         channel = channel_key(
@@ -108,16 +109,25 @@ class FaultyInterconnect(Interconnect):
 
         if plan.duplicate_pct and self.rng.randint(1, 100) <= plan.duplicate_pct:
             if not self.allow_duplicates:
-                self.stats.bump("faults.duplicates_suppressed")
+                self._bump_fault("duplicates_suppressed")
                 self._trace_fault("duplicate_suppressed", src, dst, payload)
                 return
             # The replay trails its original on the same channel.
             dup_at = release_at + 1 + self.rng.randint(0, plan.reorder_delay)
             self._release_floor[channel] = dup_at
             self._schedule_handoff(dup_at, src, dst, payload)
-            self.stats.bump("faults.duplicates")
+            self._bump_fault("duplicates")
             self._trace_fault(
                 "duplicate", src, dst, payload, delay=dup_at - release_at
+            )
+
+    def _bump_fault(self, kind: str) -> None:
+        self.stats.bump(f"faults.{kind}")
+        if METRICS.enabled:
+            METRICS.inc(
+                "repro_fault_activations_total",
+                help="Fault-injection activations by kind",
+                kind=kind,
             )
 
     def _schedule_handoff(

@@ -133,6 +133,7 @@ class LitmusRunner:
         sanitize: Optional[str] = None,
         triage=None,
         journal=None,
+        progress=None,
     ) -> LitmusResult:
         """Run ``runs`` seeds of ``test`` and classify the outcomes.
 
@@ -156,6 +157,10 @@ class LitmusRunner:
         or a path) makes the campaign durable: completed seeds append
         as they finish and replay on the next run, so a killed or
         preempted litmus campaign resumes where it left off.
+
+        ``progress`` (``True`` or a
+        :class:`~repro.obs.ProgressReporter`) prints a live heartbeat
+        while the campaign runs.
         """
         if legacy_args:
             warnings.warn(
@@ -189,6 +194,7 @@ class LitmusRunner:
             label=f"litmus:{test.name}:{config.name}:{policy_spec.name}",
             triage=triage,
             journal=journal,
+            progress=progress,
         )
         result = self.collect(
             test, policy_spec.name, config.name, campaign.results

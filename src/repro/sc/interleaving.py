@@ -44,11 +44,13 @@ suite compares the two over the full litmus catalog.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.core.execution import Execution, Observable
 from repro.core.program import Program
 from repro.delayset.analysis import AccessSummary, Footprint, static_footprints
+from repro.obs import METRICS
 from repro.sc.executor import IdealizedMachine, StateKey
 from repro.sc.independence import (
     SearchStats,
@@ -60,6 +62,50 @@ from repro.sc.independence import (
 
 class SearchBudgetExceeded(RuntimeError):
     """The interleaving search hit its configured state/path budget."""
+
+
+#: Sleep-set sizes are small integers; buckets 1..32 plus overflow.
+_SLEEP_BUCKETS = (1, 2, 4, 8, 16, 32)
+
+_STAT_COUNTERS = (
+    ("states", "repro_sc_states_total", "Machine states expanded"),
+    ("transitions", "repro_sc_transitions_total", "Transitions taken"),
+    ("terminals", "repro_sc_terminals_total", "Terminal states reached"),
+    ("pruned_transitions", "repro_sc_pruned_transitions_total",
+     "Transitions pruned by persistent sets"),
+    ("sleep_skips", "repro_sc_sleep_skips_total",
+     "Expansions skipped by sleep sets"),
+)
+
+
+def _search_obs(stats: Optional[SearchStats]):
+    """``(stats, base)`` for an observed search; base marks prior work.
+
+    When metrics are enabled a search always accounts its work in a
+    :class:`SearchStats` — the caller's, snapshotted so only *this*
+    search's delta is published, or a private one.
+    """
+    if not METRICS.enabled:
+        return stats, None
+    if stats is None:
+        return SearchStats(), None
+    return stats, dataclasses.replace(stats)
+
+
+def _publish_search(
+    kernel: str, stats: Optional[SearchStats], base: Optional[SearchStats]
+) -> None:
+    """Publish one search's SearchStats delta, labeled by kernel."""
+    if not METRICS.enabled or stats is None:
+        return
+    for field, name, help_text in _STAT_COUNTERS:
+        amount = getattr(stats, field)
+        if base is not None:
+            amount -= getattr(base, field)
+        if amount:
+            METRICS.inc(name, amount, help=help_text, kernel=kernel)
+    METRICS.inc("repro_sc_searches_total", help="Search invocations",
+                kernel=kernel)
 
 
 def enumerate_results(
@@ -81,6 +127,8 @@ def enumerate_results(
     ``prune=False`` restores.  Pass a :class:`SearchStats` to observe
     how much work the reduction saved.
     """
+    stats, stats_base = _search_obs(stats)
+    obs_on = METRICS.enabled  # hoisted: one local branch per state below
     results: Set[Observable] = set()
     footprints = static_footprints(program) if prune else None
     #: State -> sleep set it was (last) expanded with.  A revisit whose
@@ -95,6 +143,12 @@ def enumerate_results(
         machine, sleep = stack.pop()
         if stats:
             stats.states += 1
+        if obs_on and prune:
+            METRICS.observe(
+                "repro_sc_sleep_set_size", len(sleep),
+                help="Sleep-set size at each expanded state",
+                buckets=_SLEEP_BUCKETS, kernel="results",
+            )
         runnable = machine.runnable_threads()
         if not runnable:
             results.add(machine.observable())
@@ -155,6 +209,7 @@ def enumerate_results(
                     )
                 seen[key] = child_sleep
             stack.append((child, child_sleep))
+    _publish_search("results", stats, stats_base)
     return results
 
 
@@ -185,6 +240,7 @@ def enumerate_executions(
     ``max_depth`` bounds the length of any single path.
     """
     yielded = 0
+    stats, stats_base = _search_obs(stats)
     footprints = static_footprints(program) if prune else None
 
     def dfs(machine: IdealizedMachine, on_path: Set[StateKey], depth: int):
@@ -246,7 +302,12 @@ def enumerate_executions(
             yield execution
 
     root = IdealizedMachine(program)
-    yield from dfs(root, {root.state_key()}, 0)
+    try:
+        yield from dfs(root, {root.state_key()}, 0)
+    finally:
+        # Publishes on normal exhaustion and on early generator close,
+        # so an abandoned stream still reports the work it did.
+        _publish_search("executions", stats, stats_base)
 
 
 def count_reachable_states(program: Program, max_states: int = 2_000_000) -> int:

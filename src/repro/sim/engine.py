@@ -12,6 +12,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.obs import METRICS
 from repro.sanitizer.checker import Sanitizer
 from repro.trace.tracer import Tracer
 
@@ -78,6 +79,7 @@ class Simulator:
         """
         self._running = True
         sanitizer = self.sanitizer
+        entry_time, entry_seq = self._time, self._seq
         try:
             while self._queue:
                 time, _seq, callback = heapq.heappop(self._queue)
@@ -94,8 +96,30 @@ class Simulator:
                         sanitizer.on_cycle()
                     self._time = time
                 callback()
+        except SimulationTimeout:
+            if METRICS.enabled:
+                METRICS.inc(
+                    "repro_sim_timeouts_total",
+                    help="Runs that tripped the cycle-budget watchdog",
+                )
+            raise
         finally:
             self._running = False
+            if METRICS.enabled:
+                METRICS.inc(
+                    "repro_sim_runs_total",
+                    help="Simulator.run invocations",
+                )
+                METRICS.inc(
+                    "repro_sim_cycles_total",
+                    self._time - entry_time,
+                    help="Simulated cycles advanced",
+                )
+                METRICS.inc(
+                    "repro_sim_events_total",
+                    self._seq - entry_seq,
+                    help="Events scheduled while running",
+                )
         return self._time
 
     def run_for(self, cycles: int) -> int:

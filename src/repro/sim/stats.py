@@ -12,6 +12,8 @@ import enum
 from collections import defaultdict
 from typing import Dict, Optional, Tuple
 
+from repro.obs import METRICS
+
 
 class StallReason(enum.Enum):
     """Why a processor was unable to advance."""
@@ -93,6 +95,8 @@ class Stats:
             tracer = self.tracer
             if tracer is not None and tracer.enabled:
                 tracer.end("stall", reason.value, track=f"P{proc}")
+            if METRICS.enabled:
+                self._publish_stall(reason, now - start)
 
     def end_all_stalls(self, now: int) -> None:
         """Close any windows still open at the end of the run."""
@@ -107,6 +111,22 @@ class Stats:
                     track=f"P{proc}",
                     args=(("open_at_end", 1),),
                 )
+            if METRICS.enabled:
+                self._publish_stall(reason, now - start)
+
+    @staticmethod
+    def _publish_stall(reason: StallReason, cycles: int) -> None:
+        METRICS.inc(
+            "repro_cpu_stall_windows_total",
+            help="Closed stall windows by reason",
+            reason=reason.value,
+        )
+        METRICS.inc(
+            "repro_cpu_stall_cycles_total",
+            cycles,
+            help="Cycles spent stalled, by reason",
+            reason=reason.value,
+        )
 
     def stall_cycles(
         self, proc: Optional[int] = None, reason: Optional[StallReason] = None

@@ -310,15 +310,20 @@ def soak(
     workdir: Union[str, Path, None] = None,
     python: str = sys.executable,
     attempt_timeout: float = 300.0,
+    jobs: int = 1,
+    progress=None,
 ) -> SoakReport:
     """Soak one litmus campaign: seeded kills, resumes, exact-once proof.
 
-    Computes the clean baseline in-process (serially, no journal), then
+    Computes the clean baseline in-process (no journal; ``jobs``
+    parallelises it and is forwarded to the supervised child, which
+    exercises kill/resume under the parallel executor too), then
     drives ``python -m repro litmus ... --journal J`` through
     :func:`run_supervised` under a :class:`ChaosPlan`, and finally
     checks the journal against the baseline with
     :func:`assert_exactly_once` — reported, not raised, so callers can
     print :meth:`SoakReport.describe` before deciding to fail.
+    ``progress`` prints a heartbeat while the baseline runs.
     """
     import tempfile
 
@@ -344,7 +349,9 @@ def soak(
         runs,
         base_seed,
     )
-    baseline = run_campaign(specs, label="soak-baseline")
+    baseline = run_campaign(
+        specs, jobs=jobs, label="soak-baseline", progress=progress
+    )
     expected = {
         spec.digest(): result
         for spec, result in zip(specs, baseline.results)
@@ -359,6 +366,8 @@ def soak(
         "--seed", str(base_seed),
         "--journal", str(journal_path),
     ]
+    if jobs > 1:
+        argv += ["--jobs", str(jobs)]
     attempts = run_supervised(
         argv,
         journal_path,

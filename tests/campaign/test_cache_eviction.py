@@ -1,0 +1,108 @@
+"""Size-bounded ResultCache: LRU eviction, counters, metrics surface."""
+
+import os
+import time
+
+import pytest
+
+from repro.api import campaign as run_campaign
+from repro.campaign import PolicySpec, ResultCache
+from repro.litmus.catalog import fig1_dekker
+from repro.litmus.runner import LitmusRunner
+from repro.memsys.config import NET_NOCACHE
+from repro.models.policies import RelaxedPolicy
+
+
+def _specs(runs, base_seed=12345):
+    return LitmusRunner().campaign_specs(
+        fig1_dekker(), PolicySpec.of(RelaxedPolicy),
+        NET_NOCACHE, runs, base_seed,
+    )
+
+
+def _entry_size(tmp_path):
+    """Bytes one cached result occupies on this box."""
+    probe = ResultCache(tmp_path / "probe")
+    run_campaign(_specs(1), cache=probe)
+    return probe.bytes_on_disk()
+
+
+class TestBoundedCache:
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(tmp_path, max_bytes=0)
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        run_campaign(_specs(8), cache=cache)
+        assert cache.evictions == 0
+        assert len(cache) == 8
+
+    def test_eviction_holds_the_budget(self, tmp_path):
+        entry = _entry_size(tmp_path)
+        cache = ResultCache(tmp_path / "c", max_bytes=entry * 3)
+        run_campaign(_specs(8), cache=cache)
+        assert cache.evictions > 0
+        assert cache.bytes_on_disk() <= entry * 3
+        assert cache.bytes_evicted >= cache.evictions * (entry - 64)
+
+    def test_eviction_is_lru_hits_refresh_recency(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", max_bytes=10**9)
+        specs = _specs(4)
+        run_campaign(specs, cache=cache)
+        # Tighten the budget to exactly the resident set, age every
+        # entry, then touch the first spec via a hit.
+        cache.max_bytes = cache.bytes_on_disk()
+        old = time.time() - 3600
+        for path in (tmp_path / "c").glob("*.pkl"):
+            os.utime(path, (old, old))
+        assert cache.get(specs[0]) is not None
+        # Two more entries push the budget; the aged-but-hit entry must
+        # outlive the aged-and-untouched ones.
+        run_campaign(_specs(2, base_seed=999), cache=cache)
+        assert cache.evictions >= 2
+        assert cache.get(specs[0]) is not None
+
+    def test_explicit_evict_returns_removed_count(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", max_bytes=10**9)
+        run_campaign(_specs(5), cache=cache)
+        removed = cache.evict(0)
+        assert removed == 5
+        assert len(cache) == 0
+        assert cache.bytes_on_disk() == 0
+
+
+class TestCampaignMetricsSurface:
+    def test_misses_hits_and_bytes_reported(self, tmp_path):
+        entry = _entry_size(tmp_path)
+        cache = ResultCache(tmp_path / "c", max_bytes=entry * 100)
+        first = run_campaign(_specs(5), cache=cache)
+        assert first.metrics.cache_misses == 5
+        assert first.metrics.cache_hits == 0
+        assert first.metrics.cache_bytes == cache.bytes_on_disk()
+
+        second = run_campaign(_specs(5), cache=cache)
+        assert second.metrics.cache_hits == 5
+        assert second.metrics.cache_misses == 0
+
+    def test_evictions_reported_per_campaign(self, tmp_path):
+        entry = _entry_size(tmp_path)
+        cache = ResultCache(tmp_path / "c", max_bytes=entry * 2)
+        first = run_campaign(_specs(6), cache=cache)
+        assert first.metrics.cache_evictions == cache.evictions
+        assert first.metrics.cache_evictions > 0
+        # The delta is per-campaign, not cumulative.
+        second = run_campaign(_specs(2, base_seed=777), cache=cache)
+        assert second.metrics.cache_evictions <= first.metrics.cache_evictions
+
+    def test_unbounded_cache_reports_zero_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        campaign = run_campaign(_specs(3), cache=cache)
+        assert campaign.metrics.cache_bytes == 0
+        assert campaign.metrics.cache_misses == 3
+
+    def test_describe_mentions_cache_block(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", max_bytes=10**9)
+        campaign = run_campaign(_specs(3), cache=cache)
+        text = campaign.metrics.describe()
+        assert "missed" in text and "bytes resident" in text

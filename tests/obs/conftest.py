@@ -1,0 +1,22 @@
+"""Shared fixture: a clean, enabled process-wide registry per test.
+
+The registry is a process singleton, so every test that enables it must
+also restore the previous enablement and drop its samples — otherwise
+observability tests would leak counters into each other and into the
+rest of the suite.
+"""
+
+import pytest
+
+from repro.obs import METRICS, disable_metrics
+
+
+@pytest.fixture
+def metrics():
+    was_enabled = METRICS.enabled
+    METRICS.reset()
+    METRICS.enable()
+    yield METRICS
+    METRICS.reset()
+    disable_metrics()
+    METRICS.enabled = was_enabled

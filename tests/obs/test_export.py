@@ -1,0 +1,119 @@
+"""Exporters: Prometheus text round-trip, artifacts, flight recorder,
+and the live HTTP endpoint."""
+
+import json
+import urllib.request
+
+from repro.obs import (
+    FlightRecorder,
+    Snapshot,
+    load_snapshot,
+    parse_prometheus,
+    serve_metrics,
+    to_prometheus,
+    write_prometheus,
+)
+
+
+def _populate(metrics):
+    metrics.inc("repro_x_total", 3, help="Things")
+    metrics.inc("repro_y_total", 2, kind="a")
+    metrics.inc("repro_y_total", 5, kind="b")
+    metrics.set_gauge("repro_depth", 4.5, help="A level")
+    metrics.observe("repro_latency_seconds", 0.0005, buckets=(0.001, 0.01))
+    metrics.observe("repro_latency_seconds", 0.5, buckets=(0.001, 0.01))
+
+
+class TestPrometheusText:
+    def test_exposition_shape(self, metrics):
+        _populate(metrics)
+        text = to_prometheus(metrics)
+        assert "# TYPE repro_x_total counter" in text
+        assert "# HELP repro_x_total Things" in text
+        assert 'repro_y_total{kind="a"} 2' in text
+        assert "repro_depth 4.5" in text
+        # Histogram buckets are cumulative, with +Inf last.
+        assert 'repro_latency_seconds_bucket{le="0.001"} 1' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_latency_seconds_count 2" in text
+
+    def test_parse_round_trips_counters_and_labels(self, metrics):
+        _populate(metrics)
+        parsed = parse_prometheus(to_prometheus(metrics))
+        assert parsed.value("repro_x_total") == 3
+        assert parsed.value("repro_y_total", kind="b") == 5
+        assert parsed.value("repro_depth") == 4.5
+
+    def test_parse_decumulates_histogram_buckets(self, metrics):
+        _populate(metrics)
+        parsed = parse_prometheus(to_prometheus(metrics))
+        sample = parsed.value("repro_latency_seconds")
+        assert sample["count"] == 2
+        assert sample["buckets"] == {"0.001": 1, "0.01": 0, "+Inf": 1}
+
+
+class TestArtifacts:
+    def test_load_snapshot_accepts_prom_text(self, metrics, tmp_path):
+        _populate(metrics)
+        path = write_prometheus(tmp_path / "m.prom", metrics)
+        assert load_snapshot(path).value("repro_x_total") == 3
+
+    def test_load_snapshot_accepts_snapshot_json(self, metrics, tmp_path):
+        _populate(metrics)
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(metrics.snapshot().to_dict()))
+        assert load_snapshot(path) == metrics.snapshot()
+
+    def test_load_snapshot_accepts_flight_jsonl(self, metrics, tmp_path):
+        _populate(metrics)
+        recorder = FlightRecorder(
+            tmp_path / "flight.jsonl", metrics, interval=30.0
+        )
+        recorder.start()
+        recorder.stop()
+        assert load_snapshot(tmp_path / "flight.jsonl") == metrics.snapshot()
+
+    def test_empty_file_loads_as_empty_snapshot(self, tmp_path):
+        path = tmp_path / "empty.prom"
+        path.write_text("")
+        assert load_snapshot(path) == Snapshot()
+
+
+class TestFlightRecorder:
+    def test_final_sample_reflects_end_state(self, metrics, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        with FlightRecorder(path, metrics, interval=0.05) as recorder:
+            metrics.inc("repro_x_total", 7)
+        assert recorder.samples_written >= 1
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [record["seq"] for record in lines] == list(range(len(lines)))
+        final = Snapshot.from_dict(lines[-1]["sample"])
+        assert final.value("repro_x_total") == 7
+
+    def test_start_truncates_previous_flight(self, metrics, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        path.write_text("stale\n")
+        recorder = FlightRecorder(path, metrics, interval=30.0)
+        recorder.start()
+        recorder.stop()
+        assert "stale" not in path.read_text()
+
+
+class TestHttpEndpoint:
+    def test_scrape_and_404(self, metrics):
+        _populate(metrics)
+        server = serve_metrics(metrics, port=0)
+        try:
+            base = f"http://127.0.0.1:{server.port}"
+            body = urllib.request.urlopen(
+                f"{base}/metrics", timeout=5
+            ).read().decode()
+            assert parse_prometheus(body).value("repro_x_total") == 3
+            try:
+                urllib.request.urlopen(f"{base}/nope", timeout=5)
+                raised = False
+            except urllib.error.HTTPError as exc:
+                raised = exc.code == 404
+            assert raised
+        finally:
+            server.stop()

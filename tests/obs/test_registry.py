@@ -1,0 +1,131 @@
+"""Registry correctness: types, labels, snapshots, diff/merge algebra."""
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Snapshot,
+    exponential_buckets,
+)
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self, metrics):
+        metrics.inc("t_total")
+        metrics.inc("t_total", 4)
+        assert metrics.value("t_total") == 5
+
+    def test_labels_are_independent_children(self, metrics):
+        metrics.inc("t_total", kind="a")
+        metrics.inc("t_total", 2, kind="b")
+        assert metrics.value("t_total", kind="a") == 1
+        assert metrics.value("t_total", kind="b") == 2
+        assert metrics.value("t_total") is None
+
+    def test_label_order_is_canonical(self, metrics):
+        metrics.inc("t_total", b="2", a="1")
+        metrics.inc("t_total", a="1", b="2")
+        assert metrics.value("t_total", a="1", b="2") == 2
+
+    def test_gauge_last_write_wins(self, metrics):
+        metrics.set_gauge("g", 10)
+        metrics.set_gauge("g", 3)
+        assert metrics.value("g") == 3
+
+    def test_type_conflict_raises(self, metrics):
+        metrics.inc("t_total")
+        with pytest.raises(TypeError, match="is a counter"):
+            metrics.set_gauge("t_total", 1)
+
+    def test_disabled_registry_still_counts_when_called(self):
+        # The `enabled` flag is a contract for *call sites*, not a gate
+        # inside the registry: sites guard themselves, so the registry
+        # itself never has to branch.
+        registry = MetricsRegistry(enabled=False)
+        registry.inc("t_total")
+        assert registry.value("t_total") == 1
+
+
+class TestHistograms:
+    def test_observations_land_in_buckets(self, metrics):
+        metrics.observe("h", 0.5, buckets=(1, 2, 4))
+        metrics.observe("h", 3.0, buckets=(1, 2, 4))
+        metrics.observe("h", 99.0, buckets=(1, 2, 4))
+        sample = metrics.value("h")
+        assert sample["count"] == 3
+        assert sample["sum"] == pytest.approx(102.5)
+        assert sample["buckets"] == {"1": 1, "2": 0, "4": 1, "+Inf": 1}
+
+    def test_exponential_buckets(self):
+        assert exponential_buckets(1, 2, 4) == (1.0, 2.0, 4.0, 8.0)
+        with pytest.raises(ValueError):
+            exponential_buckets(0, 2, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(1, 1, 4)
+
+
+class TestSnapshotAlgebra:
+    def test_snapshot_is_a_deep_copy(self, metrics):
+        metrics.inc("t_total")
+        snap = metrics.snapshot()
+        metrics.inc("t_total")
+        assert snap.value("t_total") == 1
+        assert metrics.value("t_total") == 2
+
+    def test_snapshot_pickles(self, metrics):
+        metrics.inc("t_total", 3)
+        metrics.observe("h", 0.5)
+        clone = pickle.loads(pickle.dumps(metrics.snapshot()))
+        assert clone == metrics.snapshot()
+
+    def test_diff_subtracts_counters_and_drops_unchanged(self, metrics):
+        metrics.inc("a_total", 5)
+        metrics.inc("b_total", 1)
+        before = metrics.snapshot()
+        metrics.inc("a_total", 2)
+        delta = metrics.snapshot().diff(before)
+        assert delta.value("a_total") == 2
+        assert "b_total" not in delta.data
+
+    def test_diff_keeps_counter_values_integral(self, metrics):
+        metrics.inc("a_total", 5)
+        delta = metrics.snapshot().diff(Snapshot())
+        assert isinstance(delta.value("a_total"), int)
+
+    def test_diff_gauge_keeps_latest_reading(self, metrics):
+        metrics.set_gauge("g", 10)
+        before = metrics.snapshot()
+        metrics.set_gauge("g", 7)
+        delta = metrics.snapshot().diff(before)
+        assert delta.value("g") == 7
+
+    def test_merge_of_before_plus_delta_reproduces_after(self, metrics):
+        metrics.inc("a_total", 5)
+        metrics.observe("h", 0.5, buckets=(1, 2))
+        before = metrics.snapshot()
+        metrics.inc("a_total", 2)
+        metrics.inc("c_total", kind="x")
+        metrics.observe("h", 1.5, buckets=(1, 2))
+        after = metrics.snapshot()
+        delta = after.diff(before)
+
+        other = MetricsRegistry(enabled=True)
+        other.merge(before)
+        other.merge(delta)
+        assert other.snapshot() == after
+
+    def test_merge_rejects_disagreeing_bucket_bounds(self, metrics):
+        metrics.observe("h", 0.5, buckets=(1, 2))
+        delta = metrics.snapshot().diff(Snapshot())
+        other = MetricsRegistry(enabled=True)
+        other.observe("h", 0.5, buckets=(1, 2, 4))
+        with pytest.raises(ValueError, match="disagree"):
+            other.merge(delta)
+
+    def test_reset_drops_samples_keeps_enablement(self, metrics):
+        metrics.inc("t_total")
+        metrics.reset()
+        assert metrics.value("t_total") is None
+        assert metrics.enabled

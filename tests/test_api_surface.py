@@ -63,6 +63,7 @@ FACADE_SHAPES = {
         ("sanitize", "KEYWORD_ONLY", True),
         ("journal", "KEYWORD_ONLY", True),
         ("resume", "KEYWORD_ONLY", True),
+        ("progress", "KEYWORD_ONLY", True),
     ),
     "verify_sc": (
         ("program", "POSITIONAL_OR_KEYWORD", False),
@@ -88,6 +89,7 @@ FACADE_SHAPES = {
         ("retries", "KEYWORD_ONLY", True),
         ("triage", "KEYWORD_ONLY", True),
         ("journal", "KEYWORD_ONLY", True),
+        ("progress", "KEYWORD_ONLY", True),
     ),
 }
 
@@ -129,6 +131,10 @@ EXPORTED_NAMES = frozenset(
         "random_spin_program",
         "figure3_sweep", "format_table", "configure_cli_logging",
         "get_logger",
+        "METRICS", "MetricsRegistry", "Snapshot", "ProgressReporter",
+        "FlightRecorder", "enable_metrics", "disable_metrics",
+        "load_snapshot", "serve_metrics", "to_prometheus",
+        "write_prometheus",
     }
 )
 

@@ -1,0 +1,142 @@
+"""The bench-trajectory gate: tolerance bands, exact counts, exit codes."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    Path(__file__).resolve().parents[1] / "benchmarks" / "bench_compare.py",
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+BASE = {
+    "schema": "repro-bench/1",
+    "pr": 7,
+    "host": {"cpu_count": 8, "python": "3.11.7"},
+    "bench_verify": {"dekker_sc_set_s": 0.10, "sc_outcomes": 3},
+    "bench_journal": {"overhead_grouped_pct": 2.0},
+}
+
+
+def _candidate(**overrides):
+    snapshot = json.loads(json.dumps(BASE))
+    snapshot["pr"] = 8
+    for dotted, value in overrides.items():
+        node = snapshot
+        *parents, leaf = dotted.split(".")
+        for key in parents:
+            node = node[key]
+        node[leaf] = value
+    return snapshot
+
+
+class TestCompare:
+    def test_identical_snapshots_pass(self):
+        _, violations = bench_compare.compare(BASE, _candidate())
+        assert violations == []
+
+    def test_identity_keys_never_compared(self):
+        candidate = _candidate()
+        candidate["host"] = {"cpu_count": 1, "python": "3.12.0"}
+        _, violations = bench_compare.compare(BASE, candidate)
+        assert violations == []
+
+    def test_slowdown_within_tolerance_passes(self):
+        _, violations = bench_compare.compare(
+            BASE, _candidate(**{"bench_verify.dekker_sc_set_s": 0.14})
+        )
+        assert violations == []
+
+    def test_slowdown_beyond_tolerance_fails(self):
+        _, violations = bench_compare.compare(
+            BASE, _candidate(**{"bench_verify.dekker_sc_set_s": 0.16})
+        )
+        assert violations == ["bench_verify.dekker_sc_set_s"]
+
+    def test_speedup_always_passes(self):
+        _, violations = bench_compare.compare(
+            BASE, _candidate(**{"bench_verify.dekker_sc_set_s": 0.01})
+        )
+        assert violations == []
+
+    def test_count_mismatch_fails(self):
+        _, violations = bench_compare.compare(
+            BASE, _candidate(**{"bench_verify.sc_outcomes": 4})
+        )
+        assert violations == ["bench_verify.sc_outcomes"]
+
+    def test_pct_gets_absolute_grace(self):
+        # 2% -> 6.5%: over the 50% relative band but inside the
+        # +5-point grace band; tiny percentages must not gate.
+        _, violations = bench_compare.compare(
+            BASE, _candidate(**{"bench_journal.overhead_grouped_pct": 6.5})
+        )
+        assert violations == []
+        _, violations = bench_compare.compare(
+            BASE, _candidate(**{"bench_journal.overhead_grouped_pct": 7.5})
+        )
+        assert violations == ["bench_journal.overhead_grouped_pct"]
+
+    def test_added_and_removed_keys_reported_not_fatal(self):
+        candidate = _candidate()
+        candidate["bench_obs"] = {"campaign_disabled_s": 0.01}
+        del candidate["bench_journal"]
+        lines, violations = bench_compare.compare(BASE, candidate)
+        assert violations == []
+        text = "\n".join(lines)
+        assert "+ bench_obs.campaign_disabled_s: added" in text
+        assert "- bench_journal.overhead_grouped_pct: removed" in text
+
+    def test_ignore_excludes_keys_and_prefixes(self):
+        _, violations = bench_compare.compare(
+            BASE,
+            _candidate(**{"bench_verify.sc_outcomes": 4}),
+            ignore=("bench_verify",),
+        )
+        assert violations == []
+
+
+class TestMain:
+    def _write(self, tmp_path, name, snapshot):
+        path = tmp_path / name
+        path.write_text(json.dumps(snapshot))
+        return str(path)
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        code = bench_compare.main(
+            [self._write(tmp_path, "a.json", BASE),
+             self._write(tmp_path, "b.json", _candidate())]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        bad = _candidate(**{"bench_verify.dekker_sc_set_s": 99.0})
+        code = bench_compare.main(
+            [self._write(tmp_path, "a.json", BASE),
+             self._write(tmp_path, "b.json", bad)]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_tolerance_flag_widens_band(self, tmp_path):
+        slow = _candidate(**{"bench_verify.dekker_sc_set_s": 0.19})
+        argv = [self._write(tmp_path, "a.json", BASE),
+                self._write(tmp_path, "b.json", slow)]
+        assert bench_compare.main(argv) == 1
+        assert bench_compare.main(argv + ["--tolerance", "1.0"]) == 0
+
+    def test_committed_trajectory_passes(self, capsys):
+        # The repo's own gate: BENCH_pr7 -> BENCH_pr8 must be green.
+        root = Path(__file__).resolve().parents[1]
+        pr7 = root / "BENCH_pr7.json"
+        pr8 = root / "BENCH_pr8.json"
+        if not (pr7.exists() and pr8.exists()):
+            pytest.skip("trajectory snapshots not present")
+        assert bench_compare.main([str(pr7), str(pr8)]) == 0

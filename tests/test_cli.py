@@ -269,3 +269,162 @@ class TestLoggingFlags:
     def test_default_is_quiet_on_stderr(self, capsys):
         assert main(["litmus", "fig1_dekker", "--runs", "2"]) == 0
         assert capsys.readouterr().err == ""
+
+
+class TestObservabilityOptions:
+    def test_progress_heartbeat_on_stderr(self, capsys):
+        code = main(
+            ["litmus", "fig1_dekker", "--policy", "SC",
+             "--machine", "net_nocache", "--runs", "6", "--progress"]
+        )
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "[litmus:fig1_dekker" in err
+        assert "done in" in err
+
+    def test_metrics_out_writes_prom_and_flight(self, tmp_path, capsys):
+        out_dir = tmp_path / "obs"
+        code = main(
+            ["litmus", "fig1_dekker", "--policy", "SC",
+             "--machine", "net_nocache", "--runs", "6",
+             "--metrics-out", str(out_dir)]
+        )
+        assert code == 0
+        from repro.obs import load_snapshot
+
+        prom = load_snapshot(out_dir / "metrics.prom")
+        flight = load_snapshot(out_dir / "flight.jsonl")
+        assert prom.value("repro_sim_runs_total") == 6
+        assert prom.value("repro_campaign_runs_total") == 6
+        # The flight recorder's final sample is the end state.
+        assert flight == prom or flight.to_dict() == prom.to_dict()
+
+    def test_metrics_out_agrees_with_metrics_json(self, tmp_path, capsys):
+        out_dir = tmp_path / "obs"
+        metrics_json = tmp_path / "metrics.json"
+        code = main(
+            ["litmus", "fig1_dekker", "--policy", "SC",
+             "--machine", "net_nocache", "--runs", "5",
+             "--metrics-out", str(out_dir),
+             "--metrics-json", str(metrics_json)]
+        )
+        assert code == 0
+        from repro.obs import load_snapshot
+
+        record = json.loads(metrics_json.read_text())[0]
+        final = load_snapshot(out_dir / "flight.jsonl")
+        assert final.value("repro_campaign_runs_total") == record["runs"]
+        assert (
+            final.value("repro_campaign_completed_total")
+            == record["completed_runs"]
+        )
+
+    def test_cache_options_feed_campaign_metrics(self, tmp_path, capsys):
+        metrics_json = tmp_path / "metrics.json"
+        argv = ["litmus", "fig1_dekker", "--policy", "SC",
+                "--machine", "net_nocache", "--runs", "4",
+                "--cache", str(tmp_path / "cache"),
+                "--cache-max-bytes", "100000000",
+                "--metrics-json", str(metrics_json)]
+        assert main(argv) == 0
+        first = json.loads(metrics_json.read_text())[0]
+        assert first["cache_misses"] == 4
+        assert main(argv) == 0
+        second = json.loads(metrics_json.read_text())[0]
+        assert second["cache_hits"] == 4
+        assert second["cache_misses"] == 0
+
+    def test_cache_max_bytes_requires_cache(self):
+        with pytest.raises(SystemExit, match="requires --cache"):
+            main(["litmus", "fig1_dekker", "--runs", "2",
+                  "--cache-max-bytes", "1000"])
+
+    def test_registry_disabled_after_command(self, tmp_path, capsys):
+        from repro.obs import METRICS
+
+        # --metrics-out enables the registry for the command only in
+        # the sense that artifacts are scoped; the flag itself stays on
+        # for the process, so consecutive commands keep counting.  What
+        # must NOT leak is a half-written artifact directory.
+        out_dir = tmp_path / "obs"
+        assert main(
+            ["litmus", "fig1_dekker", "--runs", "2",
+             "--machine", "net_nocache", "--policy", "SC",
+             "--metrics-out", str(out_dir)]
+        ) == 0
+        assert (out_dir / "metrics.prom").exists()
+        assert (out_dir / "flight.jsonl").exists()
+        METRICS.reset()
+
+
+class TestMetricsSubcommand:
+    def _write_snapshots(self, tmp_path):
+        from repro.obs import MetricsRegistry, write_prometheus
+
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("repro_x_total", 3, help="Things")
+        before = tmp_path / "before.prom"
+        write_prometheus(before, registry)
+        registry.inc("repro_x_total", 4)
+        registry.set_gauge("repro_depth", 9)
+        after = tmp_path / "after.prom"
+        write_prometheus(after, registry)
+        return before, after
+
+    def test_show_renders_table(self, tmp_path, capsys):
+        before, _ = self._write_snapshots(tmp_path)
+        assert main(["metrics", "show", str(before)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_x_total" in out
+        assert "counter" in out
+
+    def test_diff_reports_signed_deltas(self, tmp_path, capsys):
+        before, after = self._write_snapshots(tmp_path)
+        assert main(["metrics", "diff", str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "+4" in out
+        assert "repro_depth" in out
+
+    def test_diff_of_identical_snapshots_is_quiet(self, tmp_path, capsys):
+        before, _ = self._write_snapshots(tmp_path)
+        assert main(["metrics", "diff", str(before), str(before)]) == 0
+        assert "no change" in capsys.readouterr().out
+
+    def test_export_json_round_trips(self, tmp_path, capsys):
+        before, _ = self._write_snapshots(tmp_path)
+        out_path = tmp_path / "snap.json"
+        assert main(["metrics", "export", str(before), "--format", "json",
+                     "--out", str(out_path)]) == 0
+        from repro.obs import load_snapshot
+
+        assert load_snapshot(out_path).value("repro_x_total") == 3
+
+    def test_missing_snapshot_errors(self):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["metrics", "show", "/no/such/file.prom"])
+
+
+class TestSoakUniformOptions:
+    def test_soak_parser_accepts_jobs_and_metrics(self, tmp_path, capsys):
+        # Parser-level check (a full soak run is covered in
+        # tests/campaign/test_chaos.py and too slow to repeat here).
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["soak", "--jobs", "2", "--metrics-json", "m.json",
+             "--progress", "--metrics-out", "obs/"]
+        )
+        assert args.jobs == 2
+        assert args.metrics_json == "m.json"
+        assert args.progress is True
+        assert args.metrics_out == "obs/"
+
+    def test_fuzz_parser_accepts_uniform_options(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["fuzz", "--jobs", "3", "--metrics-json", "m.json",
+             "--progress", "--cache", "c/"]
+        )
+        assert args.jobs == 3
+        assert args.metrics_json == "m.json"
