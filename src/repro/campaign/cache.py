@@ -18,6 +18,17 @@ until the budget holds again — the stepping stone toward the ROADMAP's
 content-addressed store.  Eviction is advisory, not transactional: a
 concurrent campaign may re-create an entry the moment it is evicted,
 which merely costs one re-run.
+
+Concurrent writers sharing one cache directory are expected (parallel
+campaigns, the service tier).  The sweep itself is guarded by a
+non-blocking ``.evict.lock`` file: whichever process creates it runs
+the sweep, everyone else skips theirs (the holder is already shrinking
+the directory), so two processes can never both act on the same stale
+size listing and evict twice as much as the budget demands.  A lock
+older than :data:`EVICT_LOCK_TTL` is presumed orphaned by a killed
+sweeper and broken.  Entries deleted under the sweeper by another
+process are counted as reclaimed space, not re-charged to further
+evictions.
 """
 
 from __future__ import annotations
@@ -26,11 +37,17 @@ import dataclasses
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.campaign.spec import RunResult, RunSpec
 from repro.obs import METRICS
+
+#: Age (seconds) past which an eviction lock is presumed orphaned by a
+#: killed sweeper and broken.  Sweeps take milliseconds; a minute is
+#: generous headroom even on a thrashing machine.
+EVICT_LOCK_TTL = 60.0
 
 
 class ResultCache:
@@ -160,6 +177,50 @@ class ResultCache:
                 pass
         return total
 
+    @property
+    def _evict_lock(self) -> Path:
+        return self.directory / ".evict.lock"
+
+    def _acquire_evict_lock(self) -> bool:
+        """Try to become the directory's sole sweeper (non-blocking).
+
+        ``O_CREAT | O_EXCL`` makes creation the atomic arbiter: exactly
+        one process wins.  A loser checks the holder's lock age and
+        breaks it only past :data:`EVICT_LOCK_TTL` (an orphan from a
+        killed sweep), then retries once; otherwise it reports the sweep
+        as already in other hands.
+        """
+        lock = self._evict_lock
+        for _ in range(2):
+            try:
+                fd = os.open(str(lock), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # holder just released; retry the create
+                if age <= EVICT_LOCK_TTL:
+                    return False
+                # Orphaned by a killed sweeper: break it and retry.  Two
+                # breakers may race here; the O_EXCL create on the next
+                # iteration still elects exactly one winner.
+                try:
+                    os.unlink(str(lock))
+                except OSError:
+                    pass
+                continue
+            except OSError:
+                return False
+            os.close(fd)
+            return True
+        return False
+
+    def _release_evict_lock(self) -> None:
+        try:
+            os.unlink(str(self._evict_lock))
+        except OSError:
+            pass
+
     def evict(self, budget: int) -> int:
         """LRU-sweep entries oldest-first until ``budget`` bytes hold.
 
@@ -167,7 +228,24 @@ class ResultCache:
         create entries fresh and hits re-touch them (when the cache is
         bounded), so the files deleted first are the ones neither
         written nor read for longest.
+
+        One sweeper at a time: if another process holds the eviction
+        lock, this call returns 0 immediately — the directory is
+        already being shrunk, and sweeping the same stale listing twice
+        would evict far below the budget.
         """
+        if not self._acquire_evict_lock():
+            if METRICS.enabled:
+                METRICS.inc("repro_cache_evict_skipped_total",
+                            help="Eviction sweeps skipped: lock held "
+                                 "by a concurrent sweeper")
+            return 0
+        try:
+            return self._evict_locked(budget)
+        finally:
+            self._release_evict_lock()
+
+    def _evict_locked(self, budget: int) -> int:
         entries = []
         total = 0
         for path in self.directory.glob("*.pkl"):
@@ -184,6 +262,13 @@ class ResultCache:
                 break
             try:
                 path.unlink()
+            except FileNotFoundError:
+                # Deleted under us by another process: the bytes are
+                # gone either way — count the space as reclaimed, or
+                # this sweep would delete extra entries to make up for
+                # files that no longer exist.
+                total -= size
+                continue
             except OSError:
                 continue
             total -= size

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import random
 import time
 from typing import Callable, Iterable, List, Optional, Sequence
 
@@ -227,14 +228,28 @@ class ParallelExecutor(Executor):
     failure.
 
     A dead worker (``BrokenProcessPool``) fails every in-flight future;
-    finished results are kept, the pool is rebuilt after an exponential
-    backoff (``backoff_base * 2**(failures-1)`` seconds), and unfinished
-    specs are resubmitted (counted in ``retried_runs``).  After
+    finished results are kept, the pool is rebuilt after a *full-jitter*
+    exponential backoff (uniform over ``[0, backoff_base *
+    2**(failures-1)]`` seconds) and unfinished specs are resubmitted
+    (counted in ``retried_runs``).  The jitter desynchronises
+    simultaneous rebuilds — many executors sharing a machine (the
+    service tier) would otherwise stampede the freshly rebuilt pools in
+    lock-step — while ``backoff_seed`` pins the draw sequence for
+    reproducible tests; ``backoff_jitter=False`` restores the
+    deterministic ceiling-valued sleep.  After
     ``max_pool_rebuilds`` pool failures the executor degrades to
     in-process serial execution for the remaining specs, so the batch
     always completes.  ``RunFailure.attempts`` on environment-caused
     failures reflects every launch the spec consumed, across both the
     timeout-retry and pool-rebuild paths.
+
+    ``mp_context`` names the :mod:`multiprocessing` start method for
+    pool workers (``None`` = platform default).  Multi-threaded hosts
+    (the service tier) must pass ``"spawn"``: a worker forked from a
+    process with live threads can inherit a lock some other thread held
+    at fork time and deadlock — harmless to the batch (its runs are
+    retried elsewhere) but fatal at shutdown, where joining the wedged
+    worker hangs interpreter exit.
     """
 
     def __init__(
@@ -246,6 +261,9 @@ class ParallelExecutor(Executor):
         max_pool_rebuilds: int = 3,
         preemptible: bool = True,
         preempt_drain: float = 5.0,
+        backoff_jitter: bool = True,
+        backoff_seed: Optional[int] = None,
+        mp_context: Optional[str] = None,
     ) -> None:
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
         self.run_timeout = run_timeout
@@ -254,6 +272,9 @@ class ParallelExecutor(Executor):
         self.max_pool_rebuilds = max(0, max_pool_rebuilds)
         self.preemptible = preemptible
         self.preempt_drain = preempt_drain
+        self.backoff_jitter = backoff_jitter
+        self._backoff_rng = random.Random(backoff_seed)
+        self.mp_context = mp_context
         self._pool = None
         self._pool_failures = 0
 
@@ -264,7 +285,14 @@ class ParallelExecutor(Executor):
         from concurrent.futures import ProcessPoolExecutor
 
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            context = None
+            if self.mp_context is not None:
+                import multiprocessing
+
+                context = multiprocessing.get_context(self.mp_context)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
         return self._pool
 
     def _discard_pool(self) -> None:
@@ -276,11 +304,26 @@ class ParallelExecutor(Executor):
                 pass
             self._pool = None
 
+    def _backoff_delay(self, failures: int) -> float:
+        """Seconds to wait before the ``failures``-th pool rebuild.
+
+        Full jitter: a uniform draw over ``[0, backoff_base *
+        2**(failures-1)]``.  The exponential ceiling still bounds load
+        on the rebuilt pool, but concurrent executors spread out inside
+        the window instead of retrying in lock-step.
+        """
+        cap = self.backoff_base * (2 ** (max(1, failures) - 1))
+        if cap <= 0:
+            return 0.0
+        if not self.backoff_jitter:
+            return cap
+        return self._backoff_rng.uniform(0.0, cap)
+
     def _rebuild_pool(self) -> None:
         self._discard_pool()
         self._pool_failures += 1
         self.pool_rebuilds += 1
-        backoff = self.backoff_base * (2 ** (self._pool_failures - 1))
+        backoff = self._backoff_delay(self._pool_failures)
         if backoff > 0:
             time.sleep(backoff)
 

@@ -26,6 +26,15 @@ Durability model:
   gives resumed campaigns exactly-once semantics: every spec's result
   appears in the journal exactly once, byte-identical to what an
   uninterrupted campaign would have produced.
+* **Appending to a torn tail never corrupts the successor.**  A journal
+  opened over a file whose final line is torn (the previous owner may
+  have died mid-write, or may even still be flushing) starts its own
+  appends on a fresh line, so the torn fragment stays confined to one
+  unparseable line instead of fusing with the first new record.
+* **Writes are thread-safe.**  The service tier runs several campaigns
+  against one shared journal from concurrent worker threads; every
+  mutating method takes the journal's lock, so records never interleave
+  mid-line and the idempotence check is atomic with the append.
 
 Only results that are pure functions of their spec are worth
 journaling; environment-dependent failures (wall-clock timeouts, lost
@@ -40,6 +49,7 @@ import hashlib
 import json
 import os
 import pickle
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
@@ -111,6 +121,12 @@ class CampaignJournal:
         self.appended = 0
         self._unsynced = 0
         self._since_checkpoint = 0
+        self._lock = threading.RLock()
+        #: True when the existing file ends mid-line (torn tail from a
+        #: killed — or still-flushing — previous owner); the first
+        #: append then starts on a fresh line so the new record cannot
+        #: fuse with the fragment.
+        self._tail_open = False
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._load()
         self._handle = self.path.open("a", encoding="utf-8")
@@ -123,6 +139,7 @@ class CampaignJournal:
             raw = self.path.read_bytes()
         except FileNotFoundError:
             return
+        self._tail_open = bool(raw) and not raw.endswith(b"\n")
         for line in raw.splitlines():
             if not line.strip():
                 continue
@@ -161,6 +178,12 @@ class CampaignJournal:
         if self._handle is None:
             raise JournalError(f"journal {self.path} is closed")
         started = time.perf_counter() if METRICS.enabled else 0.0
+        if self._tail_open:
+            # Seal the torn fragment off on its own line before the
+            # first new record; the fragment stays one unparseable
+            # (tolerated) line instead of swallowing this append.
+            self._handle.write("\n")
+            self._tail_open = False
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
         self.appended += 1
@@ -179,40 +202,46 @@ class CampaignJournal:
 
     def begin_campaign(self, label: str, digest: str, total: int) -> None:
         """Stamp a campaign header: what batch this journal is serving."""
-        self._append(
-            {
-                "type": "campaign",
-                "version": JOURNAL_VERSION,
-                "label": label,
-                "digest": digest,
-                "total": total,
-                "already_completed": len(self.replayed),
-            }
-        )
+        with self._lock:
+            self._append(
+                {
+                    "type": "campaign",
+                    "version": JOURNAL_VERSION,
+                    "label": label,
+                    "digest": digest,
+                    "total": total,
+                    "already_completed": len(self.replayed),
+                }
+            )
 
     def record(self, digest: str, result: RunResult) -> bool:
         """Append one completed run; idempotent per digest.
 
         Returns True when the record was appended, False when the digest
-        was already journaled (replayed or recorded earlier).
+        was already journaled (replayed or recorded earlier).  The
+        membership check and the append happen under the journal lock,
+        so concurrent campaigns sharing one journal (the service tier)
+        still record each digest at most once.
         """
-        if digest in self.replayed:
-            return False
-        self.replayed[digest] = result
-        self._append(
-            {
-                "type": "result",
-                "digest": digest,
-                "result": _encode_result(result),
-            }
-        )
-        self._since_checkpoint += 1
-        if self._since_checkpoint >= self.checkpoint_interval:
+        with self._lock:
+            if digest in self.replayed:
+                return False
+            self.replayed[digest] = result
             self._append(
-                {"type": "checkpoint", "kind": "", "completed": len(self.replayed)}
+                {
+                    "type": "result",
+                    "digest": digest,
+                    "result": _encode_result(result),
+                }
             )
-            self._since_checkpoint = 0
-        return True
+            self._since_checkpoint += 1
+            if self._since_checkpoint >= self.checkpoint_interval:
+                self._append(
+                    {"type": "checkpoint", "kind": "",
+                     "completed": len(self.replayed)}
+                )
+                self._since_checkpoint = 0
+            return True
 
     def checkpoint(self, kind: str, payload: Dict[str, Any]) -> None:
         """Append a consumer checkpoint (e.g. an explorer frontier)."""
@@ -222,20 +251,22 @@ class CampaignJournal:
             "completed": len(self.replayed),
             "payload": payload,
         }
-        self._append(record)
-        self._checkpoints[kind] = record
+        with self._lock:
+            self._append(record)
+            self._checkpoints[kind] = record
 
     def sync(self) -> None:
         """Flush and fsync pending appends to disk."""
-        if self._handle is None or self._unsynced == 0:
-            return
-        started = time.perf_counter() if METRICS.enabled else 0.0
-        self._handle.flush()
-        try:
-            os.fsync(self._handle.fileno())
-        except OSError:  # pragma: no cover - exotic filesystems
-            pass
-        self._unsynced = 0
+        with self._lock:
+            if self._handle is None or self._unsynced == 0:
+                return
+            started = time.perf_counter() if METRICS.enabled else 0.0
+            self._handle.flush()
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError:  # pragma: no cover - exotic filesystems
+                pass
+            self._unsynced = 0
         if METRICS.enabled:
             METRICS.inc("repro_journal_fsyncs_total",
                         help="Journal fsync group commits")
@@ -247,10 +278,11 @@ class CampaignJournal:
             )
 
     def close(self) -> None:
-        if self._handle is not None:
-            self.sync()
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self.sync()
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "CampaignJournal":
         return self

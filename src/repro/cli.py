@@ -19,7 +19,12 @@ Subcommands:
 ``soak``      chaos-test crash safety: kill a journaled campaign at
               seeded points, resume it, and prove exactly-once results;
 ``metrics``   pretty-print, export, or diff runtime-metrics snapshots
-              (``.prom`` files, flight-recorder JSONL, snapshot JSON).
+              (``.prom`` files, flight-recorder JSONL, snapshot JSON);
+``serve``     run the verification job service over HTTP (durable
+              state dir, graceful drain on SIGTERM, exit 0);
+``submit``    submit a job to a running service (429 shed → exit 75);
+``status``    list service jobs or long-poll one;
+``result``    fetch a finished service job's result document.
 
 ``litmus``, ``explore``, and ``conformance`` accept ``--trace FILE``
 (with ``--trace-format`` and ``--trace-filter``) to record every run's
@@ -746,6 +751,172 @@ def _cmd_metrics_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_client(args: argparse.Namespace):
+    """Build a ServiceClient from --state (endpoint file) or host/port."""
+    from repro.service import ServiceClient
+
+    if getattr(args, "state", None):
+        try:
+            return ServiceClient.from_state_dir(args.state)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(
+                f"repro: no serving endpoint under {args.state}: {exc}"
+            )
+    return ServiceClient(host=args.host, port=args.port)
+
+
+def _parse_job_params(pairs: Optional[Sequence[str]]) -> dict:
+    """``-p key=value`` pairs; values parse as JSON, else stay strings."""
+    params = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"repro: bad --param {pair!r} (expected key=value)"
+            )
+        try:
+            params[key] = json.loads(value)
+        except ValueError:
+            params[key] = value
+    return params
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import VerificationService, serve_blocking
+
+    # The service always runs with the registry on: its own counters
+    # (queue depth, breaker state, dedup hits) back /metrics and
+    # /readyz, and campaign workers inherit the flag.
+    enable_metrics()
+    engine = VerificationService(
+        args.state,
+        capacity=args.capacity,
+        per_client=args.per_client,
+        workers=args.workers,
+        campaign_jobs=args.campaign_jobs,
+        run_timeout=args.run_timeout,
+        retries=args.retries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        max_done=args.max_done,
+        cache_max_bytes=args.cache_max_bytes,
+    )
+
+    def ready(host: str, port: int) -> None:
+        print(
+            f"repro serve: http://{host}:{port} (state: {args.state})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    with _obs_session(args):
+        code = serve_blocking(
+            engine, host=args.host, port=args.port, ready_message=ready
+        )
+    if code == 0:
+        print("repro serve: drained cleanly", file=sys.stderr)
+    return code
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import Rejected, ServiceError, Unavailable
+
+    client = _service_client(args)
+    params = _parse_job_params(args.param)
+    try:
+        doc = client.submit(
+            args.kind, params,
+            client=args.client_id, deadline_s=args.deadline,
+        )
+    except Rejected as exc:
+        print(
+            f"repro submit: shed (429): {exc}; "
+            f"retry after {exc.retry_after:.3g}s",
+            file=sys.stderr,
+        )
+        return EXIT_PREEMPTED
+    except Unavailable as exc:
+        print(f"repro submit: draining (503): {exc}", file=sys.stderr)
+        return EXIT_PREEMPTED
+    except ServiceError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 1
+    job = doc["job"]
+    print(
+        f"job {job['id']}: {doc.get('verdict')} (state {job['state']})",
+        file=sys.stderr,
+    )
+    if not args.wait:
+        print(job["id"])
+        return 0
+    try:
+        job = client.wait_done(job["id"], timeout=args.wait)
+    except ServiceError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 1
+    if job["state"] != "done":
+        print(
+            f"repro submit: job {job['id']} {job['state']}: "
+            f"{job.get('error')}",
+            file=sys.stderr,
+        )
+        return 1
+    print(json.dumps(client.result(job["id"])["result"], indent=2,
+                     sort_keys=True))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.job_id:
+            job = client.status(args.job_id, wait=args.wait)
+            print(json.dumps(job, indent=2, sort_keys=True))
+        else:
+            jobs = client.jobs()
+            for job in jobs:
+                flags = []
+                if job.get("degraded"):
+                    flags.append("degraded")
+                if job.get("recovered"):
+                    flags.append("recovered")
+                suffix = f" [{', '.join(flags)}]" if flags else ""
+                print(f"{job['id']}  {job['kind']:<12} {job['state']}"
+                      f"{suffix}")
+            if not jobs:
+                print("(no jobs)")
+    except ServiceError as exc:
+        print(f"repro status: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        doc = client.result(args.job_id)
+    except ServiceError as exc:
+        if exc.status == 409:
+            print(f"repro result: {exc}", file=sys.stderr)
+            return 2
+        print(f"repro result: {exc}", file=sys.stderr)
+        return 1
+    job = doc["job"]
+    if job["state"] != "done":
+        print(
+            f"repro result: job {job['id']} {job['state']}: "
+            f"{job.get('error')}",
+            file=sys.stderr,
+        )
+        return 1
+    print(json.dumps(doc["result"], indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1064,6 +1235,100 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_obs_options(soak)
     soak.set_defaults(func=_cmd_soak)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the verification job service over HTTP "
+        "(drain on SIGTERM, exit 0)",
+    )
+    serve.add_argument("--state", required=True, metavar="DIR",
+                       help="durable state directory: job log, campaign "
+                       "journal, result cache, endpoint file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 = ephemeral; the bound port "
+                       "lands in DIR/endpoint)")
+    serve.add_argument("--capacity", type=int, default=32,
+                       help="admission queue bound; beyond it submissions "
+                       "shed with 429")
+    serve.add_argument("--per-client", type=int, default=None, metavar="N",
+                       help="fairness cap: at most N queued/running jobs "
+                       "per client id")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent jobs (engine worker threads)")
+    serve.add_argument("--campaign-jobs", type=int, default=2, metavar="N",
+                       help="worker processes per campaign (1 = serial)")
+    serve.add_argument("--run-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per run (deadlines may "
+                       "shrink it further)")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="environmental-failure retries per run")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive pool failures before the circuit "
+                       "breaker opens (degraded serial execution)")
+    serve.add_argument("--breaker-reset", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="open-state dwell before a half-open probe")
+    serve.add_argument("--max-done", type=int, default=256,
+                       help="terminal jobs kept in memory (LRU; results "
+                       "stay durable in the job log)")
+    serve.add_argument("--cache-max-bytes", type=int, default=None,
+                       metavar="N", help="LRU bound for the result cache")
+    add_obs_options(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    def add_conn_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--state", metavar="DIR", default=None,
+            help="server state dir; connect via its endpoint file",
+        )
+        cmd.add_argument("--host", default="127.0.0.1")
+        cmd.add_argument("--port", type=int, default=8787)
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running verification service"
+    )
+    add_conn_options(submit)
+    submit.add_argument("kind",
+                        help="job kind: litmus, explore, verify, "
+                        "or conformance")
+    submit.add_argument(
+        "-p", "--param", action="append", metavar="KEY=VALUE",
+        help="job parameter; VALUE parses as JSON when it can "
+        "(repeatable), e.g. -p test=fig1_dekker -p runs=50",
+    )
+    submit.add_argument("--client", dest="client_id", default="",
+                        metavar="ID",
+                        help="client id for per-client fairness caps")
+    submit.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="end-to-end budget; queue wait counts "
+                        "against it")
+    submit.add_argument("--wait", type=float, default=None,
+                        metavar="SECONDS", nargs="?", const=600.0,
+                        help="block until the job is terminal and print "
+                        "its result (default budget 600s)")
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="show service job status (all jobs, or one)"
+    )
+    add_conn_options(status)
+    status.add_argument("job_id", nargs="?", default="",
+                        help="job id; omit to list every known job")
+    status.add_argument("--wait", type=float, default=None,
+                        metavar="SECONDS", nargs="?", const=600.0,
+                        help="long-poll until the job is terminal "
+                        "(default budget 600s)")
+    status.set_defaults(func=_cmd_status)
+
+    result = sub.add_parser(
+        "result", help="fetch a finished service job's result document"
+    )
+    add_conn_options(result)
+    result.add_argument("job_id")
+    result.set_defaults(func=_cmd_result)
 
     metrics = sub.add_parser(
         "metrics",

@@ -159,6 +159,117 @@ def _conforms(test: LitmusTest, model, cache: Dict[tuple, bool]) -> bool:
     return cache[key]
 
 
+@dataclass
+class ConformancePlan:
+    """The flat campaign a conformance grid runs, plus its layout.
+
+    Splitting planning from judging lets a consumer know the complete
+    :class:`RunSpec` list — and therefore the campaign's content digest
+    — *before* running anything: the service tier dedups and journals
+    conformance jobs by exactly this layout, so a planned-then-run grid
+    and :func:`run_conformance` produce byte-identical campaigns.
+    """
+
+    specs: List[RunSpec]
+    cell_plans: List[dict]
+    runs_per_test: int
+    runner: LitmusRunner
+
+
+def plan_conformance(
+    configs: Sequence[MachineConfig] = DEFAULT_CONFIGS,
+    policies: Sequence[Callable[[], OrderingPolicy]] = DEFAULT_POLICIES,
+    tests: Optional[Sequence[LitmusTest]] = None,
+    runs_per_test: int = 30,
+    base_seed: int = 2024,
+    runner: Optional[LitmusRunner] = None,
+    faults: Optional[FaultPlan] = None,
+    trace: Optional[TraceSpec] = None,
+    sanitize: Optional[str] = None,
+) -> ConformancePlan:
+    """Lay out the grid's flat campaign without executing it.
+
+    Per compatible (machine, policy) cell, per test, one contiguous
+    block of seed specs; each block's slice is remembered so
+    :func:`judge_conformance` can classify cells from the flat result
+    list.
+    """
+    runner = runner or LitmusRunner()
+    tests = list(tests) if tests is not None else standard_catalog()
+    specs: List[RunSpec] = []
+    cell_plans: List[dict] = []
+    for config in configs:
+        for policy_factory in policies:
+            policy_spec = PolicySpec.of(policy_factory)
+            try:
+                ensure_compatible(policy_spec.build(), config, policy_spec.core)
+            except ConfigurationError:
+                cell_plans.append(
+                    {"config": config, "policy": policy_spec, "blocks": None}
+                )
+                continue
+            blocks = []
+            for test in tests:
+                test_specs = runner.campaign_specs(
+                    test, policy_spec, config, runs_per_test, base_seed,
+                    faults=faults, trace=trace, sanitize=sanitize,
+                )
+                blocks.append((test, len(specs), len(test_specs)))
+                specs.extend(test_specs)
+            cell_plans.append(
+                {"config": config, "policy": policy_spec, "blocks": blocks}
+            )
+    return ConformancePlan(
+        specs=specs,
+        cell_plans=cell_plans,
+        runs_per_test=runs_per_test,
+        runner=runner,
+    )
+
+
+def judge_conformance(plan: ConformancePlan, campaign) -> ConformanceReport:
+    """Classify every planned cell from its slice of the campaign."""
+    conformance_cache: Dict[tuple, bool] = {}
+    cells: List[CellResult] = []
+    run_traces: List[Tuple[str, Tuple[TraceEvent, ...]]] = []
+    for cell_plan in plan.cell_plans:
+        config, policy_spec = cell_plan["config"], cell_plan["policy"]
+        if cell_plan["blocks"] is None:
+            cells.append(
+                CellResult(
+                    config_name=config.name,
+                    policy_name=policy_spec.name,
+                    verdict=VERDICT_NA,
+                )
+            )
+            continue
+        for test, start, count in cell_plan["blocks"]:
+            for i, result in enumerate(campaign.results[start : start + count]):
+                if result.trace_events is not None:
+                    run_traces.append(
+                        (
+                            f"{config.name}/{policy_spec.name}/"
+                            f"{test.name}/run{i}",
+                            result.trace_events,
+                        )
+                    )
+        cells.append(
+            _judge_cell(
+                plan.runner, config, policy_spec, cell_plan["blocks"],
+                campaign.results, conformance_cache,
+            )
+        )
+    return ConformanceReport(
+        cells=cells,
+        runs_per_test=plan.runs_per_test,
+        run_traces=run_traces,
+        trace_summary=(
+            campaign.metrics.trace_summary if campaign.metrics else None
+        ),
+        preempted=campaign.preempted,
+    )
+
+
 def run_conformance(
     configs: Sequence[MachineConfig] = DEFAULT_CONFIGS,
     policies: Sequence[Callable[[], OrderingPolicy]] = DEFAULT_POLICIES,
@@ -202,81 +313,19 @@ def run_conformance(
     ``progress`` (``True`` or a :class:`~repro.obs.ProgressReporter`)
     prints a live heartbeat while the grid executes.
     """
-    runner = runner or LitmusRunner()
-    tests = list(tests) if tests is not None else standard_catalog()
-    conformance_cache: Dict[tuple, bool] = {}
-
-    # Lay out the flat campaign: per compatible cell, per test, one
-    # contiguous block of seed specs; remember each block's slice.
-    specs: List[RunSpec] = []
-    cell_plans: List[dict] = []
-    for config in configs:
-        for policy_factory in policies:
-            policy_spec = PolicySpec.of(policy_factory)
-            try:
-                ensure_compatible(policy_spec.build(), config, policy_spec.core)
-            except ConfigurationError:
-                cell_plans.append(
-                    {"config": config, "policy": policy_spec, "blocks": None}
-                )
-                continue
-            blocks = []
-            for test in tests:
-                test_specs = runner.campaign_specs(
-                    test, policy_spec, config, runs_per_test, base_seed,
-                    faults=faults, trace=trace, sanitize=sanitize,
-                )
-                blocks.append((test, len(specs), len(test_specs)))
-                specs.extend(test_specs)
-            cell_plans.append(
-                {"config": config, "policy": policy_spec, "blocks": blocks}
-            )
+    plan = plan_conformance(
+        configs=configs, policies=policies, tests=tests,
+        runs_per_test=runs_per_test, base_seed=base_seed, runner=runner,
+        faults=faults, trace=trace, sanitize=sanitize,
+    )
 
     from repro.api import campaign as run_campaign
 
     campaign = run_campaign(
-        specs, executor=executor, jobs=jobs, cache=cache,
+        plan.specs, executor=executor, jobs=jobs, cache=cache,
         label="conformance", journal=journal, progress=progress,
     )
-
-    cells: List[CellResult] = []
-    run_traces: List[Tuple[str, Tuple[TraceEvent, ...]]] = []
-    for plan in cell_plans:
-        config, policy_spec = plan["config"], plan["policy"]
-        if plan["blocks"] is None:
-            cells.append(
-                CellResult(
-                    config_name=config.name,
-                    policy_name=policy_spec.name,
-                    verdict=VERDICT_NA,
-                )
-            )
-            continue
-        for test, start, count in plan["blocks"]:
-            for i, result in enumerate(campaign.results[start : start + count]):
-                if result.trace_events is not None:
-                    run_traces.append(
-                        (
-                            f"{config.name}/{policy_spec.name}/"
-                            f"{test.name}/run{i}",
-                            result.trace_events,
-                        )
-                    )
-        cells.append(
-            _judge_cell(
-                runner, config, policy_spec, plan["blocks"],
-                campaign.results, conformance_cache,
-            )
-        )
-    return ConformanceReport(
-        cells=cells,
-        runs_per_test=runs_per_test,
-        run_traces=run_traces,
-        trace_summary=(
-            campaign.metrics.trace_summary if campaign.metrics else None
-        ),
-        preempted=campaign.preempted,
-    )
+    return judge_conformance(plan, campaign)
 
 
 def _judge_cell(

@@ -1,0 +1,58 @@
+"""The service tier: verification as a robust, long-running job server.
+
+``repro.service`` promotes the campaign runtime's fault tolerance —
+retries, journals, caches, preemption, the failure taxonomy — to a
+network boundary.  The package splits along the admission pipeline:
+
+* :mod:`repro.service.jobs`    — job kinds, normalization, content digests;
+* :mod:`repro.service.queue`   — bounded admission with backpressure;
+* :mod:`repro.service.breaker` — the worker-pool circuit breaker;
+* :mod:`repro.service.engine`  — dedup, scheduling, deadlines, degrade,
+  durable accept/done journaling, crash recovery, graceful drain;
+* :mod:`repro.service.http`    — the asyncio HTTP surface;
+* :mod:`repro.service.client`  — a stdlib client (used by the CLI);
+* :mod:`repro.service.chaos`   — kill-the-server chaos harness.
+"""
+
+from repro.service.breaker import CircuitBreaker
+from repro.service.client import (
+    Rejected,
+    ServiceClient,
+    ServiceError,
+    Unavailable,
+    read_endpoint,
+)
+from repro.service.engine import (
+    ACCEPTED,
+    COMPLETED,
+    DRAINING,
+    DUPLICATE,
+    Job,
+    VerificationService,
+)
+from repro.service.http import ServiceServer, serve_blocking
+from repro.service.jobs import JOB_KINDS, JobError, JobWork, build_job
+from repro.service.queue import Admission, AdmissionQueue
+
+__all__ = [
+    "ACCEPTED",
+    "Admission",
+    "AdmissionQueue",
+    "COMPLETED",
+    "CircuitBreaker",
+    "DRAINING",
+    "DUPLICATE",
+    "JOB_KINDS",
+    "Job",
+    "JobError",
+    "JobWork",
+    "Rejected",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "Unavailable",
+    "VerificationService",
+    "build_job",
+    "read_endpoint",
+    "serve_blocking",
+]

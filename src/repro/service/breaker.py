@@ -1,0 +1,151 @@
+"""A circuit breaker over the worker-pool execution path.
+
+The service runs campaigns on process pools.  When the pool layer is
+sick — workers dying faster than they can be rebuilt, every batch
+burning its rebuild budget — continuing to throw jobs at it multiplies
+the damage: each job pays the full rebuild-and-timeout tax before
+degrading, and the rebuild stampede keeps the machine saturated.  The
+breaker converts that pattern into an explicit mode: after
+``failure_threshold`` consecutive pool-path failures it *opens*, and
+jobs bypass the pool entirely (in-process serial execution, flagged
+``degraded=true`` — slower, never wrong, because serial and parallel
+campaigns are byte-identical).  After ``reset_timeout`` seconds the
+breaker goes *half-open*: one probe job is allowed back onto the pool;
+its success closes the breaker, its failure re-opens it for another
+full timeout.
+
+States follow the classic taxonomy:
+
+* ``CLOSED``    — healthy; jobs use the pool; failures are counted.
+* ``OPEN``      — pool path suspended; everything degrades to serial.
+* ``HALF_OPEN`` — one probe in flight; outcome decides the next state.
+
+The breaker is deliberately time-injectable (``clock``) so tests can
+walk it through its states without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.obs import METRICS
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding for the exporter: monotone in badness.
+_STATE_GAUGE = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe.
+
+    Thread-safe: the engine's worker threads report outcomes while the
+    event loop asks :meth:`allow`.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_inflight = False
+        #: Times the breaker tripped open (cumulative).
+        self.opens = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            self._probe_inflight = False
+            self._publish()
+
+    def allow(self) -> bool:
+        """May the next job take the pool path?
+
+        ``True`` while closed; while half-open, true exactly once (the
+        probe) until its outcome is reported; ``False`` while open.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            return False
+
+    # ------------------------------------------------------------------
+    # Outcome reports
+    # ------------------------------------------------------------------
+    def record_success(self) -> None:
+        """A pool-path job finished without pool-layer failures."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self._opened_at = None
+            self._publish()
+
+    def record_failure(self) -> None:
+        """A pool-path job hit the pool layer (rebuilds, worker-lost)."""
+        with self._lock:
+            self._probe_inflight = False
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open, fresh timer.
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+            else:
+                self._publish()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self.opens += 1
+        if METRICS.enabled:
+            METRICS.inc("repro_service_breaker_opens_total",
+                        help="Circuit-breaker trips to open")
+        self._publish()
+
+    def _publish(self) -> None:
+        if METRICS.enabled:
+            METRICS.set_gauge(
+                "repro_service_breaker_state",
+                _STATE_GAUGE[self._state],
+                help="Breaker state (0 closed, 1 half-open, 2 open)",
+            )

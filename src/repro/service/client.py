@@ -1,0 +1,152 @@
+"""A small stdlib client for the verification service.
+
+:class:`ServiceClient` wraps the HTTP API with the same vocabulary the
+engine uses (submit / status / result / wait), raising typed errors for
+the taxonomy the service promises: :class:`Rejected` carries the 429's
+``retry_after``; :class:`Unavailable` is the draining 503; plain
+:class:`ServiceError` covers 400s and transport failures.  The CLI's
+``repro submit``/``status``/``result`` commands are thin shells over
+this class, and tests drive the real server through it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+
+class ServiceError(Exception):
+    """The service refused or the transport failed."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class Rejected(ServiceError):
+    """Shed with 429: over capacity or over the per-client cap."""
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message, status=429)
+        self.retry_after = retry_after
+
+
+class Unavailable(ServiceError):
+    """503: the server is draining; retry against its successor."""
+
+    def __init__(self, message: str):
+        super().__init__(message, status=503)
+
+
+def read_endpoint(state_dir: Union[str, Path]) -> Tuple[str, int]:
+    """The ``host port`` a ``repro serve`` wrote into its state dir."""
+    text = (Path(state_dir) / "endpoint").read_text().strip()
+    host, port = text.split()
+    return host, int(port)
+
+
+class ServiceClient:
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout: float = 30.0) -> None:
+        self.base = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    @classmethod
+    def from_state_dir(cls, state_dir: Union[str, Path],
+                       timeout: float = 30.0) -> "ServiceClient":
+        host, port = read_endpoint(state_dir)
+        return cls(host=host, port=port, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> Dict[str, Any]:
+        body = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            self.base + path, data=body, method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", "replace")
+            try:
+                doc = json.loads(raw)
+            except ValueError:
+                doc = {"error": raw}
+            message = doc.get("error", f"HTTP {exc.code}")
+            if exc.code == 429:
+                retry = doc.get("retry_after")
+                if retry is None:
+                    retry = float(exc.headers.get("Retry-After", 1))
+                raise Rejected(message, retry_after=float(retry))
+            if exc.code == 503:
+                raise Unavailable(message)
+            raise ServiceError(message, status=exc.code)
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError(f"cannot reach {self.base}: {exc}")
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        params: Optional[Dict[str, Any]] = None,
+        client: str = "",
+        deadline_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit a job; returns the response document (202 or 200)."""
+        payload: Dict[str, Any] = {"kind": kind, "params": params or {}}
+        if client:
+            payload["client"] = client
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        return self._request("POST", "/v1/jobs", payload)
+
+    def status(self, job_id: str, wait: Optional[float] = None) -> dict:
+        path = f"/v1/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait}"
+        return self._request("GET", path)["job"]
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def jobs(self) -> list:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def wait_done(self, job_id: str, timeout: float = 120.0) -> dict:
+        """Long-poll (in bounded slices) until the job is terminal."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(f"timed out waiting for {job_id}")
+            job = self.status(job_id, wait=min(30.0, remaining))
+            if job["state"] in ("done", "failed"):
+                return job
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> Dict[str, Any]:
+        return self._request("GET", "/readyz")
+
+    def metrics_text(self) -> str:
+        request = urllib.request.Request(self.base + "/metrics")
+        with urllib.request.urlopen(
+            request, timeout=self.timeout
+        ) as response:
+            return response.read().decode("utf-8")
+
+    def drain(self) -> Dict[str, Any]:
+        return self._request("POST", "/v1/drain", {})

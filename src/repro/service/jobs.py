@@ -1,0 +1,382 @@
+"""Job kinds: from wire parameters to executable, digestable work.
+
+A service job is a *request for verification work*, named by content:
+every job normalizes its parameters, derives the exact work it stands
+for, and hashes that into a **digest** — for campaign-shaped kinds
+(``litmus``, ``conformance``) the digest is the
+:func:`~repro.campaign.journal.campaign_digest` over the batch's
+:class:`RunSpec` digests, i.e. the same content hash the journal and
+cache key on; for search-shaped kinds (``explore``, ``verify``) it is a
+hash of the canonical parameters.  Two submissions asking for the same
+work therefore collide on the digest no matter how their JSON was
+spelled, which is what makes service-level dedup sound: coalescing two
+jobs with equal digests can never conflate different work.
+
+Only catalog-named litmus tests are accepted over the wire — the
+service runs *named* verification workloads, it does not execute
+arbitrary uploaded programs.
+
+Job results are plain JSON-ready dicts (summaries, not pickled
+internals), so any HTTP client can consume them without this package.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.campaign import PolicySpec, RunSpec
+from repro.campaign.journal import campaign_digest
+from repro.conformance import plan_conformance, judge_conformance
+from repro.litmus.catalog import catalog_by_name, standard_catalog
+from repro.litmus.runner import LitmusRunner
+from repro.memsys.config import config_by_name
+from repro.models.policies import policy_by_name
+
+#: Supported job kinds, in documentation order.
+JOB_KINDS = ("litmus", "explore", "verify", "conformance")
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+class JobError(ValueError):
+    """A submission is malformed: unknown kind, bad parameter, ..."""
+
+
+def _require_int(params: Dict[str, Any], key: str, default: int,
+                 low: int, high: int) -> int:
+    value = params.get(key, default)
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise JobError(f"{key} must be an integer, got {value!r}")
+    if not low <= value <= high:
+        raise JobError(f"{key} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def _lookup_test(name: str):
+    try:
+        return catalog_by_name()[name]
+    except KeyError:
+        raise JobError(f"unknown litmus test {name!r}")
+
+
+def _require_test(params: Dict[str, Any]) -> str:
+    name = str(params.get("test", "fig1_dekker"))
+    _lookup_test(name)
+    return name
+
+
+def _require_policy(params: Dict[str, Any]) -> str:
+    name = str(params.get("policy", "DEF2"))
+    try:
+        policy_by_name(name)
+    except ValueError as exc:
+        raise JobError(str(exc))
+    return name
+
+
+def _require_machine(params: Dict[str, Any]) -> str:
+    name = str(params.get("machine", "net_cache"))
+    try:
+        config_by_name(name)
+    except ValueError as exc:
+        raise JobError(str(exc))
+    return name
+
+
+def _obs_key(observable) -> str:
+    """A canonical JSON string for an Observable (dict-key friendly)."""
+    return json.dumps(
+        {"registers": observable.registers, "memory": observable.memory},
+        default=list,
+        separators=(",", ":"),
+    )
+
+
+def _params_digest(kind: str, params: Dict[str, Any]) -> str:
+    canon = json.dumps({"kind": kind, "params": params}, sort_keys=True)
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+@dataclass
+class JobWork:
+    """A normalized job: its identity and how to execute it.
+
+    ``specs`` is the campaign batch for campaign-shaped kinds (empty
+    for search-shaped kinds, which run via ``direct``).  Exactly one of
+    ``collect`` (summarise a finished campaign) and ``direct`` (execute
+    in-process and summarise) is set.
+    """
+
+    kind: str
+    params: Dict[str, Any]
+    digest: str
+    specs: List[RunSpec] = field(default_factory=list)
+    collect: Optional[Callable[[Any], Dict[str, Any]]] = None
+    direct: Optional[Callable[[], Dict[str, Any]]] = None
+
+    @property
+    def total_runs(self) -> int:
+        return len(self.specs)
+
+
+# ----------------------------------------------------------------------
+# Kind builders
+# ----------------------------------------------------------------------
+def _build_litmus(params: Dict[str, Any]) -> JobWork:
+    test_name = _require_test(params)
+    policy = _require_policy(params)
+    machine = _require_machine(params)
+    runs = _require_int(params, "runs", 50, 1, 10_000)
+    base_seed = _require_int(params, "base_seed", 12345, 0, 2**31)
+    max_cycles = _require_int(params, "max_cycles", 1_000_000, 1, 10**8)
+    norm = {
+        "test": test_name, "policy": policy, "machine": machine,
+        "runs": runs, "base_seed": base_seed, "max_cycles": max_cycles,
+    }
+    runner = LitmusRunner()
+    test = _lookup_test(test_name)
+    policy_spec = PolicySpec.of(policy_by_name(policy))
+    config = config_by_name(machine)
+    specs = runner.campaign_specs(
+        test, policy_spec, config, runs, base_seed, max_cycles=max_cycles,
+    )
+
+    def collect(campaign) -> Dict[str, Any]:
+        result = runner.collect(
+            test, policy_spec.name, config.name, campaign.results
+        )
+        return {
+            "test": test_name,
+            "policy": result.policy_name,
+            "machine": result.config_name,
+            "runs": result.runs,
+            "completed_runs": result.completed_runs,
+            "failed_runs": result.failed_runs,
+            "histogram": {
+                ",".join(map(str, outcome)): count
+                for outcome, count in sorted(result.histogram.items())
+            },
+            "sc_violations": {
+                ",".join(map(str, outcome)): count
+                for outcome, count in sorted(result.sc_violations.items())
+            },
+            "violated_sc": result.violated_sc,
+            "mean_cycles": result.mean_cycles,
+            "preempted": result.preempted,
+        }
+
+    return JobWork(
+        kind="litmus",
+        params=norm,
+        digest=campaign_digest(s.digest() for s in specs),
+        specs=specs,
+        collect=collect,
+    )
+
+
+def _build_conformance(params: Dict[str, Any]) -> JobWork:
+    machines = params.get("machines")
+    policies = params.get("policies")
+    tests = params.get("tests")
+    runs_per_test = _require_int(params, "runs_per_test", 30, 1, 1_000)
+    base_seed = _require_int(params, "base_seed", 2024, 0, 2**31)
+    if machines is not None:
+        if not isinstance(machines, (list, tuple)) or not machines:
+            raise JobError("machines must be a non-empty list of names")
+        configs = []
+        for name in machines:
+            try:
+                configs.append(config_by_name(str(name)))
+            except ValueError as exc:
+                raise JobError(str(exc))
+    else:
+        configs = None
+    if policies is not None:
+        if not isinstance(policies, (list, tuple)) or not policies:
+            raise JobError("policies must be a non-empty list of names")
+        factories = []
+        for name in policies:
+            try:
+                factories.append(policy_by_name(str(name)))
+            except ValueError as exc:
+                raise JobError(str(exc))
+    else:
+        factories = None
+    if tests is not None:
+        if not isinstance(tests, (list, tuple)) or not tests:
+            raise JobError("tests must be a non-empty list of names")
+        battery = [_lookup_test(str(name)) for name in tests]
+    else:
+        battery = None
+
+    kwargs: Dict[str, Any] = {
+        "runs_per_test": runs_per_test, "base_seed": base_seed,
+    }
+    if configs is not None:
+        kwargs["configs"] = configs
+    if factories is not None:
+        kwargs["policies"] = factories
+    if battery is not None:
+        kwargs["tests"] = battery
+    plan = plan_conformance(**kwargs)
+    norm = {
+        "machines": [c.name for c in (configs or [])] or None,
+        "policies": (list(map(str, policies)) if policies else None),
+        "tests": [t.name for t in (battery or standard_catalog())],
+        "runs_per_test": runs_per_test,
+        "base_seed": base_seed,
+    }
+
+    def collect(campaign) -> Dict[str, Any]:
+        report = judge_conformance(plan, campaign)
+        return {
+            "runs_per_test": report.runs_per_test,
+            "preempted": report.preempted,
+            "cells": [
+                {
+                    "machine": cell.config_name,
+                    "policy": cell.policy_name,
+                    "verdict": cell.verdict,
+                    "violated_tests": cell.violated_tests,
+                    "incomplete": cell.incomplete,
+                }
+                for cell in report.cells
+            ],
+            "table": report.describe(),
+        }
+
+    return JobWork(
+        kind="conformance",
+        params=norm,
+        digest=campaign_digest(s.digest() for s in plan.specs),
+        specs=plan.specs,
+        collect=collect,
+    )
+
+
+def _build_explore(params: Dict[str, Any]) -> JobWork:
+    test_name = _require_test(params)
+    policy = _require_policy(params)
+    machine = _require_machine(params)
+    max_delays = _require_int(params, "max_delays", 2, 0, 16)
+    max_runs = _require_int(params, "max_runs", 5_000, 1, 200_000)
+    max_cycles = _require_int(params, "max_cycles", 200_000, 1, 10**8)
+    norm = {
+        "test": test_name, "policy": policy, "machine": machine,
+        "max_delays": max_delays, "max_runs": max_runs,
+        "max_cycles": max_cycles,
+    }
+
+    def direct() -> Dict[str, Any]:
+        from repro.api import explore
+
+        report = explore(
+            _lookup_test(test_name).program,
+            policy,
+            machine=machine,
+            max_delays=max_delays,
+            max_runs=max_runs,
+            max_cycles=max_cycles,
+        )
+        return {
+            "test": test_name,
+            "policy": report.policy_name,
+            "machine": machine,
+            "max_delays": report.max_delays,
+            "runs": report.runs,
+            "exhausted": report.exhausted,
+            "preempted": report.preempted,
+            "pruned_decisions": report.pruned_decisions,
+            "outcomes": {
+                _obs_key(outcome): count
+                for outcome, count in report.outcomes.items()
+            },
+        }
+
+    return JobWork(
+        kind="explore",
+        params=norm,
+        digest=_params_digest("explore", norm),
+        direct=direct,
+    )
+
+
+def _build_verify(params: Dict[str, Any]) -> JobWork:
+    test_name = _require_test(params)
+    max_states = _require_int(params, "max_states", 2_000_000, 1, 10**8)
+    norm = {"test": test_name, "max_states": max_states}
+
+    def direct() -> Dict[str, Any]:
+        from repro.api import verify_sc
+
+        test = _lookup_test(test_name)
+        sc_set = verify_sc(test.program, max_states=max_states)
+        forbidden = test.forbidden
+        projected = {test.project(obs) for obs in sc_set}
+        return {
+            "test": test_name,
+            "sc_outcomes": sorted(_obs_key(obs) for obs in sc_set),
+            "forbidden": (
+                ",".join(map(str, forbidden))
+                if forbidden is not None else None
+            ),
+            "forbidden_is_sc": (
+                tuple(forbidden) in projected
+                if forbidden is not None else None
+            ),
+        }
+
+    return JobWork(
+        kind="verify",
+        params=norm,
+        digest=_params_digest("verify", norm),
+        direct=direct,
+    )
+
+
+_BUILDERS = {
+    "litmus": _build_litmus,
+    "conformance": _build_conformance,
+    "explore": _build_explore,
+    "verify": _build_verify,
+}
+
+
+def build_job(kind: str, params: Optional[Dict[str, Any]] = None) -> JobWork:
+    """Normalize and validate a submission into executable work.
+
+    Raises :class:`JobError` for anything malformed; the HTTP layer
+    maps that to a 400 with the message as the body, so every rejection
+    says exactly which parameter was wrong.
+    """
+    if kind not in _BUILDERS:
+        raise JobError(
+            f"unknown job kind {kind!r}; expected one of {JOB_KINDS}"
+        )
+    params = dict(params or {})
+    unknown = set(params) - _ALLOWED_PARAMS[kind]
+    if unknown:
+        raise JobError(
+            f"unknown parameter(s) for {kind}: {sorted(unknown)}"
+        )
+    return _BUILDERS[kind](params)
+
+
+_ALLOWED_PARAMS = {
+    "litmus": {"test", "policy", "machine", "runs", "base_seed",
+               "max_cycles"},
+    "conformance": {"machines", "policies", "tests", "runs_per_test",
+                    "base_seed"},
+    "explore": {"test", "policy", "machine", "max_delays", "max_runs",
+                "max_cycles"},
+    "verify": {"test", "max_states"},
+}

@@ -1,0 +1,138 @@
+"""Bounded admission with backpressure and per-client fairness.
+
+The service's first robustness decision happens before any work does:
+*should this job be admitted at all?*  An unbounded queue converts
+overload into memory growth and unbounded latency — every queued job is
+state the server must hold and a promise it probably cannot keep.  The
+:class:`AdmissionQueue` instead keeps a hard capacity on jobs that are
+admitted-but-unfinished; past it, submissions are *shed* with an HTTP
+429 and a ``Retry-After`` estimate, so clients back off instead of
+piling on.  A per-client cap (keyed by the caller-supplied client id)
+stops one chatty client from occupying the whole queue while others
+starve.
+
+The queue tracks occupancy, not job payloads — the engine owns job
+state; this class owns only the counting, which keeps the admission
+decision O(1) and trivially auditable.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.obs import METRICS
+
+#: Admission verdicts.
+ADMITTED = "admitted"
+REJECTED_FULL = "queue-full"
+REJECTED_CLIENT = "client-cap"
+
+
+@dataclass(frozen=True)
+class Admission:
+    """The outcome of one admission attempt."""
+
+    verdict: str
+    #: Suggested client back-off in seconds (None when admitted).
+    retry_after: Optional[float] = None
+
+    @property
+    def admitted(self) -> bool:
+        return self.verdict == ADMITTED
+
+
+class AdmissionQueue:
+    """Counted admission: a capacity, a per-client cap, a 429 estimate.
+
+    ``retry_after_base`` scales the Retry-After hint: the estimate is
+    the base times the number of jobs that must finish before a slot
+    frees for the caller, so a deeply saturated service tells clients
+    to stay away longer than a briefly full one.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 32,
+        per_client: Optional[int] = None,
+        retry_after_base: float = 1.0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if per_client is not None and per_client < 1:
+            raise ValueError(f"per_client must be >= 1, got {per_client}")
+        self.capacity = capacity
+        self.per_client = per_client
+        self.retry_after_base = retry_after_base
+        self._lock = threading.Lock()
+        self._held: Dict[str, int] = {}
+        self._depth = 0
+        #: Cumulative sheds, by verdict.
+        self.rejections: Dict[str, int] = {REJECTED_FULL: 0,
+                                           REJECTED_CLIENT: 0}
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def try_admit(self, client: str = "") -> Admission:
+        """Claim a slot for ``client``, or say when to retry."""
+        with self._lock:
+            if self._depth >= self.capacity:
+                self.rejections[REJECTED_FULL] += 1
+                self._shed_metrics(REJECTED_FULL)
+                return Admission(
+                    REJECTED_FULL,
+                    retry_after=self.retry_after_base
+                    * (self._depth - self.capacity + 1),
+                )
+            if (
+                self.per_client is not None
+                and self._held.get(client, 0) >= self.per_client
+            ):
+                self.rejections[REJECTED_CLIENT] += 1
+                self._shed_metrics(REJECTED_CLIENT)
+                return Admission(
+                    REJECTED_CLIENT, retry_after=self.retry_after_base
+                )
+            self._depth += 1
+            self._held[client] = self._held.get(client, 0) + 1
+            self._publish_depth()
+            return Admission(ADMITTED)
+
+    def admit_unchecked(self, client: str = "") -> None:
+        """Claim a slot without judging capacity.
+
+        Crash recovery only: a job the previous incarnation already
+        admitted was promised; it re-claims its slot even if the
+        capacity was lowered since — the bound re-establishes itself as
+        recovered jobs finish.
+        """
+        with self._lock:
+            self._depth += 1
+            self._held[client] = self._held.get(client, 0) + 1
+            self._publish_depth()
+
+    def release(self, client: str = "") -> None:
+        """Return a slot claimed by :meth:`try_admit` (idempotent-safe)."""
+        with self._lock:
+            if self._depth > 0:
+                self._depth -= 1
+            held = self._held.get(client, 0)
+            if held <= 1:
+                self._held.pop(client, None)
+            else:
+                self._held[client] = held - 1
+            self._publish_depth()
+
+    def _publish_depth(self) -> None:
+        if METRICS.enabled:
+            METRICS.set_gauge("repro_service_queue_depth", self._depth,
+                              help="Admitted-but-unfinished jobs")
+
+    def _shed_metrics(self, verdict: str) -> None:
+        if METRICS.enabled:
+            METRICS.inc("repro_service_admission_rejected_total",
+                        help="Submissions shed with 429",
+                        reason=verdict)

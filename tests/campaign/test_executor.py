@@ -69,6 +69,18 @@ class TestParallelExecutor:
         executor.close()
         executor.close()
 
+    def test_spawn_context_byte_identical(self):
+        # Multi-threaded hosts (the service tier) run with
+        # mp_context="spawn"; results must not depend on it.
+        specs = _specs(4)
+        serial = SerialExecutor().map(specs)
+        with ParallelExecutor(jobs=2, mp_context="spawn") as executor:
+            spawned = executor.map(specs)
+            assert executor._pool is not None
+        assert [pickle.dumps(r) for r in serial] == [
+            pickle.dumps(r) for r in spawned
+        ]
+
 
 class TestDefaultExecutor:
     def test_serial_for_one_job(self):

@@ -1,0 +1,90 @@
+"""Service-tier counters: emitted, exported, parsed back, shown.
+
+The breaker / queue / dedup counters must round-trip through the
+Prometheus text exposition (the service's ``/metrics`` body and the
+``.prom`` snapshot files) and render in ``repro metrics show``.
+"""
+
+import pytest
+
+from repro.obs import parse_prometheus, to_prometheus
+from repro.service.breaker import CircuitBreaker
+from repro.service.engine import VerificationService
+from repro.service.queue import AdmissionQueue
+
+
+@pytest.fixture
+def engine(tmp_path, metrics):
+    service = VerificationService(
+        tmp_path / "state", workers=1, campaign_jobs=1, capacity=2
+    )
+    service.start()
+    yield service
+    service.stop(timeout=10)
+
+
+def roundtrip(registry):
+    return parse_prometheus(to_prometheus(registry))
+
+
+class TestCountersEmitted:
+    def test_submission_lifecycle_counters(self, engine, metrics):
+        job, _, _ = engine.submit("verify", {"test": "fig1_dekker"})
+        engine.wait(job.id, timeout=60)
+        engine.submit("verify", {"test": "fig1_dekker"})  # dedup hit
+        snap = roundtrip(metrics)
+        assert snap.value("repro_service_jobs_submitted_total",
+                          kind="verify") == 2
+        assert snap.value("repro_service_jobs_completed_total",
+                          kind="verify") == 1
+        assert snap.value("repro_service_dedup_hits_total") == 1
+
+    def test_queue_counters(self, metrics):
+        queue = AdmissionQueue(capacity=1, per_client=1)
+        queue.try_admit("a")
+        queue.try_admit("b")  # shed: full
+        snap = roundtrip(metrics)
+        assert snap.value("repro_service_queue_depth") == 1
+        assert snap.value("repro_service_admission_rejected_total",
+                          reason="queue-full") == 1
+        queue.release("a")
+        snap = roundtrip(metrics)
+        assert snap.value("repro_service_queue_depth") == 0
+
+    def test_breaker_counters(self, metrics):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()
+        snap = roundtrip(metrics)
+        assert snap.value("repro_service_breaker_opens_total") == 1
+        assert snap.value("repro_service_breaker_state") == 2.0
+
+    def test_degraded_and_deadline_counters(self, engine, metrics):
+        # Deadline already spent: the job fails before starting.
+        job, _, _ = engine.submit(
+            "litmus", {"test": "fig1_dekker", "runs": 2},
+            deadline_s=0.000001,
+        )
+        done = engine.wait(job.id, timeout=30)
+        assert done.error == "deadline-exceeded"
+        snap = roundtrip(metrics)
+        assert snap.value("repro_service_deadline_exceeded_total") == 1
+        assert snap.value("repro_service_jobs_failed_total",
+                          kind="litmus") == 1
+
+
+class TestMetricsShow:
+    def test_show_renders_service_counters(
+        self, engine, metrics, tmp_path, capsys
+    ):
+        from repro.cli import main
+        from repro.obs import write_prometheus
+
+        job, _, _ = engine.submit("verify", {"test": "fig1_dekker"})
+        engine.wait(job.id, timeout=60)
+        out = tmp_path / "metrics.prom"
+        write_prometheus(out, metrics)
+        assert main(["metrics", "show", str(out)]) == 0
+        shown = capsys.readouterr().out
+        assert "repro_service_jobs_submitted_total" in shown
+        assert "repro_service_jobs_completed_total" in shown
+        assert "repro_service_queue_depth" in shown

@@ -1,0 +1,116 @@
+"""Circuit breaker: closed → open → half-open → probe outcome."""
+
+from repro.service.breaker import CLOSED, CircuitBreaker, HALF_OPEN, OPEN
+
+import pytest
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = CircuitBreaker(clock=clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_the_failure_count(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_threshold_must_be_positive(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+
+
+class TestTrip:
+    def test_consecutive_failures_open_it(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_open_denies_until_reset_timeout(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=10.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+
+class TestHalfOpen:
+    def _opened(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        return breaker
+
+    def test_exactly_one_probe(self, clock):
+        breaker = self._opened(clock)
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone else keeps degrading
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self, clock):
+        breaker = self._opened(clock)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_fresh_timer(self, clock):
+        breaker = self._opened(clock)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+        # The timer restarted: still open just before the new deadline.
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+
+
+class TestMetrics:
+    def test_opens_counter_and_state_gauge(self, clock):
+        from repro.obs import METRICS, disable_metrics
+
+        was = METRICS.enabled
+        METRICS.reset()
+        METRICS.enable()
+        try:
+            breaker = CircuitBreaker(failure_threshold=1, clock=clock)
+            breaker.record_failure()
+            assert METRICS.value("repro_service_breaker_opens_total") == 1
+            assert METRICS.value("repro_service_breaker_state") == 2.0
+            breaker.record_success()
+            assert METRICS.value("repro_service_breaker_state") == 0.0
+        finally:
+            METRICS.reset()
+            disable_metrics()
+            METRICS.enabled = was

@@ -1,0 +1,106 @@
+"""Job building: validation, normalization, content digests."""
+
+import pytest
+
+from repro.campaign.journal import campaign_digest
+from repro.service.jobs import JOB_KINDS, JobError, build_job
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(JobError, match="unknown job kind"):
+            build_job("frobnicate", {})
+
+    @pytest.mark.parametrize("kind", JOB_KINDS)
+    def test_unknown_parameter_named_in_error(self, kind):
+        with pytest.raises(JobError, match="bogus_param"):
+            build_job(kind, {"bogus_param": 1})
+
+    def test_unknown_test_name(self):
+        with pytest.raises(JobError, match="unknown litmus test"):
+            build_job("litmus", {"test": "no_such_test"})
+
+    def test_unknown_policy(self):
+        with pytest.raises(JobError):
+            build_job("litmus", {"test": "fig1_dekker",
+                                 "policy": "NO_SUCH"})
+
+    def test_unknown_machine(self):
+        with pytest.raises(JobError):
+            build_job("litmus", {"test": "fig1_dekker",
+                                 "machine": "no_such"})
+
+    def test_runs_bounds(self):
+        with pytest.raises(JobError, match="runs"):
+            build_job("litmus", {"test": "fig1_dekker", "runs": 0})
+        with pytest.raises(JobError, match="runs"):
+            build_job("litmus", {"test": "fig1_dekker", "runs": "many"})
+
+    def test_conformance_list_params_must_be_lists(self):
+        with pytest.raises(JobError, match="machines"):
+            build_job("conformance", {"machines": "net_cache"})
+        with pytest.raises(JobError, match="tests"):
+            build_job("conformance", {"tests": []})
+
+
+class TestNormalization:
+    def test_defaults_are_materialized(self):
+        work = build_job("litmus", {})
+        assert work.params["test"] == "fig1_dekker"
+        assert work.params["runs"] == 50
+        assert work.kind == "litmus"
+
+    def test_equivalent_spellings_share_a_digest(self):
+        # Same work, differently spelled: int vs str, explicit default.
+        a = build_job("litmus", {"test": "fig1_dekker", "runs": 10})
+        b = build_job("litmus", {"runs": "10", "test": "fig1_dekker",
+                                 "base_seed": 12345})
+        assert a.digest == b.digest
+
+    def test_different_work_different_digest(self):
+        a = build_job("litmus", {"test": "fig1_dekker", "runs": 10})
+        b = build_job("litmus", {"test": "fig1_dekker", "runs": 11})
+        assert a.digest != b.digest
+
+
+class TestCampaignShapedKinds:
+    def test_litmus_digest_is_the_campaign_digest(self):
+        work = build_job("litmus", {"test": "fig1_dekker", "runs": 5})
+        assert work.total_runs == 5
+        assert work.digest == campaign_digest(
+            s.digest() for s in work.specs
+        )
+        assert work.collect is not None
+        assert work.direct is None
+
+    def test_conformance_slice_builds_specs(self):
+        work = build_job("conformance", {
+            "machines": ["net_nocache"],
+            "policies": ["SC"],
+            "tests": ["fig1_dekker"],
+            "runs_per_test": 3,
+        })
+        assert work.total_runs == 3
+        assert work.params["tests"] == ["fig1_dekker"]
+        assert work.digest == campaign_digest(
+            s.digest() for s in work.specs
+        )
+
+
+class TestSearchShapedKinds:
+    def test_verify_runs_direct(self):
+        work = build_job("verify", {"test": "fig1_dekker"})
+        assert work.direct is not None
+        assert work.collect is None
+        assert work.specs == []
+        summary = work.direct()
+        assert summary["test"] == "fig1_dekker"
+        # Dekker's forbidden outcome (0,0) is not an SC outcome.
+        assert summary["forbidden_is_sc"] is False
+
+    def test_explore_normalizes_and_digests(self):
+        a = build_job("explore", {"test": "fig1_dekker", "max_delays": 1})
+        b = build_job("explore", {"max_delays": "1",
+                                  "test": "fig1_dekker"})
+        assert a.digest == b.digest
+        assert a.direct is not None

@@ -1,0 +1,139 @@
+"""Admission queue: the bound, the fairness cap, the Retry-After hint."""
+
+import threading
+
+import pytest
+
+from repro.service.queue import (
+    ADMITTED,
+    Admission,
+    AdmissionQueue,
+    REJECTED_CLIENT,
+    REJECTED_FULL,
+)
+
+
+class TestCapacity:
+    def test_admits_up_to_capacity(self):
+        queue = AdmissionQueue(capacity=3)
+        verdicts = [queue.try_admit().verdict for _ in range(3)]
+        assert verdicts == [ADMITTED] * 3
+        assert queue.depth == 3
+
+    def test_sheds_past_capacity(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.try_admit()
+        queue.try_admit()
+        shed = queue.try_admit()
+        assert shed.verdict == REJECTED_FULL
+        assert not shed.admitted
+        assert shed.retry_after is not None
+        # The shed claimed nothing.
+        assert queue.depth == 2
+
+    def test_release_frees_a_slot(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.try_admit("a")
+        assert not queue.try_admit("b").admitted
+        queue.release("a")
+        assert queue.try_admit("b").admitted
+
+    def test_rejections_counted_by_verdict(self):
+        queue = AdmissionQueue(capacity=2, per_client=1)
+        queue.try_admit("a")
+        queue.try_admit("a")  # client cap (capacity remains)
+        assert queue.rejections[REJECTED_CLIENT] == 1
+        queue.try_admit("b")
+        queue.try_admit("c")  # full
+        assert queue.rejections[REJECTED_FULL] == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=4, per_client=0)
+
+
+class TestRetryAfter:
+    def test_hint_scales_with_overload(self):
+        queue = AdmissionQueue(capacity=2, retry_after_base=1.0)
+        queue.try_admit()
+        queue.try_admit()
+        first = queue.try_admit()
+        # Overload the bound further via unchecked admits (the
+        # recovery path), as a saturated restart would.
+        queue.admit_unchecked()
+        queue.admit_unchecked()
+        later = queue.try_admit()
+        assert later.retry_after > first.retry_after
+
+    def test_client_cap_hint_is_base(self):
+        queue = AdmissionQueue(capacity=10, per_client=1,
+                               retry_after_base=2.5)
+        queue.try_admit("chatty")
+        shed = queue.try_admit("chatty")
+        assert shed.verdict == REJECTED_CLIENT
+        assert shed.retry_after == 2.5
+
+
+class TestPerClientFairness:
+    def test_one_client_cannot_fill_the_queue(self):
+        queue = AdmissionQueue(capacity=8, per_client=2)
+        assert queue.try_admit("hog").admitted
+        assert queue.try_admit("hog").admitted
+        assert queue.try_admit("hog").verdict == REJECTED_CLIENT
+        # Capacity remains for everyone else.
+        assert queue.try_admit("other").admitted
+
+    def test_release_restores_client_budget(self):
+        queue = AdmissionQueue(capacity=8, per_client=1)
+        queue.try_admit("a")
+        assert not queue.try_admit("a").admitted
+        queue.release("a")
+        assert queue.try_admit("a").admitted
+
+
+class TestUncheckedAdmission:
+    def test_unchecked_bypasses_capacity(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.try_admit()
+        queue.admit_unchecked()  # the recovery path must not shed
+        assert queue.depth == 2
+        # The bound re-establishes itself as work finishes.
+        queue.release()
+        queue.release()
+        assert queue.depth == 0
+        assert queue.try_admit().admitted
+
+    def test_release_never_goes_negative(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.release()
+        queue.release("ghost")
+        assert queue.depth == 0
+
+
+class TestConcurrency:
+    def test_admissions_never_exceed_capacity_under_contention(self):
+        queue = AdmissionQueue(capacity=16)
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(20):
+                if queue.try_admit().admitted:
+                    admitted.append(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 16
+        assert queue.depth == 16
+
+
+class TestAdmissionValue:
+    def test_admitted_property(self):
+        assert Admission(ADMITTED).admitted
+        assert not Admission(REJECTED_FULL, retry_after=1.0).admitted

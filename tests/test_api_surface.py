@@ -115,7 +115,8 @@ EXPORTED_NAMES = frozenset(
         "LitmusResult", "LitmusRunner", "LitmusTest", "catalog_by_name",
         "fig1_dekker", "fig1_dekker_all_sync", "forwarding_catalog",
         "parse_litmus", "standard_catalog",
-        "ConformanceReport", "run_conformance", "VERDICT_BROKEN",
+        "ConformancePlan", "ConformanceReport", "judge_conformance",
+        "plan_conformance", "run_conformance", "VERDICT_BROKEN",
         "VERDICT_NA", "VERDICT_SC", "VERDICT_WEAK",
         "DRF0", "DRF0_R", "DRFReport", "ExplorationReport", "SCVerifier",
         "SCViolation", "SearchStats", "SynchronizationModel",
@@ -135,6 +136,11 @@ EXPORTED_NAMES = frozenset(
         "FlightRecorder", "enable_metrics", "disable_metrics",
         "load_snapshot", "serve_metrics", "to_prometheus",
         "write_prometheus",
+        # Service tier (lazy, PEP 562).
+        "AdmissionQueue", "CircuitBreaker", "JobError", "Rejected",
+        "ServiceClient", "ServiceError", "ServiceServer", "Unavailable",
+        "VerificationService", "build_job", "read_endpoint",
+        "serve_blocking",
     }
 )
 
