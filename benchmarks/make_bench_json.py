@@ -5,9 +5,11 @@ repo root recording the wall-clock of the three headline benchmarks
 (figure3, verify, explore) plus, from PR 6 on, the same litmus campaign
 timed on both processor cores and the disabled-tracing baseline that
 ``bench_trace`` budgets against, from PR 7 on, the campaign-journal
-durability overhead measured by ``bench_journal``, and, from PR 8 on,
+durability overhead measured by ``bench_journal``, from PR 8 on,
 the metrics-registry overhead (the same campaign with the registry off
-and on) plus a ``host`` block stamping where the numbers came from.
+and on) plus a ``host`` block stamping where the numbers came from,
+and, from PR 10 on, the axiomatic checker's candidate-enumeration
+kernel (Dekker across every model, warm IRIW's 4096 candidates).
 The PR number is derived from the output filename.  Run from the repo
 root::
 
@@ -107,6 +109,34 @@ def obs_overhead():
     }
 
 
+def axiomatic_kernel():
+    """The cross-checker's unit of work, on its bounding shapes."""
+    from repro.axiomatic import enumerate_candidates, model_by_name
+    from repro.axiomatic.crosscheck import allowed_outcomes
+    from repro.litmus.catalog import iriw
+
+    runner = LitmusRunner()
+    dekker = runner.executable(fig1_dekker())
+    iriw_program = runner.executable(iriw(warm=True))
+    models = ("SC", "TSO", "PSO", "WO", "RELAXED")
+
+    dekker_s, sets = best_of(
+        lambda: {
+            name: allowed_outcomes(dekker, model_by_name(name))
+            for name in models
+        }
+    )
+    iriw_s, candidates = best_of(
+        lambda: sum(1 for _ in enumerate_candidates(iriw_program))
+    )
+    return {
+        "dekker_all_models_s": round(dekker_s, 4),
+        "iriw_enumerate_s": round(iriw_s, 4),
+        "iriw_candidates": candidates,
+        "sc_outcomes": len(sets["SC"]),
+    }
+
+
 def pr_number(out_path):
     """The PR number a ``BENCH_prN.json`` filename names (None if odd)."""
     match = re.search(r"pr(\d+)", os.path.basename(str(out_path)))
@@ -173,6 +203,7 @@ def main(out_path):
             "runs": report.runs,
         },
         "cores": cores,
+        "bench_axiomatic": axiomatic_kernel(),
         "bench_journal": journal,
         "bench_obs": obs,
         "trace_baseline_untraced_s": 0.028,
@@ -184,4 +215,4 @@ def main(out_path):
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr8.json")
+    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr10.json")

@@ -19,8 +19,11 @@ This package makes every piece of that story executable:
   :mod:`repro.coherence` / :mod:`repro.cpu` / :mod:`repro.memsys` —
   the hardware simulator (buses, networks, directory coherence,
   counters, reserve bits, write buffers);
-* :mod:`repro.models` — the ordering policies: RELAXED, SC, DEF1,
-  DEF2, DEF2-R;
+* :mod:`repro.models` — the ordering policies (RELAXED, SC, TSO, PSO,
+  DEF1, DEF2, DEF2-R, ...; see ``repro.models.policy_names()``);
+* :mod:`repro.axiomatic` — the declarative side of each model:
+  po/rf/co/fr relations and herd-style acyclicity axioms, plus the
+  operational-vs-axiomatic cross-checker;
 * :mod:`repro.litmus` / :mod:`repro.workloads` /
   :mod:`repro.analysis` — litmus campaigns, workload generators, and
   the Figure-3 / quantitative analyses;
@@ -33,11 +36,13 @@ This package makes every piece of that story executable:
   Definition-2 contract under adversarial message timings
   (``--faults`` on the CLI, ``RunSpec.faults`` in campaigns).
 
-The supported entry point for all of it is :mod:`repro.api` — five
+The supported entry point for all of it is :mod:`repro.api` — seven
 keyword-only functions (:func:`~repro.api.run`,
 :func:`~repro.api.explore`, :func:`~repro.api.verify_sc`,
-:func:`~repro.api.check_drf0`, :func:`~repro.api.campaign`) re-exported
-here.
+:func:`~repro.api.check_drf0`, :func:`~repro.api.campaign`,
+:func:`~repro.api.models`, :func:`~repro.api.crosscheck`) re-exported
+here.  Every ``policy=`` argument has a model-centric alias
+``model=``.
 
 Quickstart::
 
@@ -89,32 +94,45 @@ from repro.memsys import (
     System,
     run_program,
 )
-from repro.models import (
+from repro.models import policy_by_name
+from repro.models.policies import (
     Def1Policy,
     Def2Policy,
     Def2RPolicy,
+    PSOPolicy,
     RP3FencePolicy,
     RelaxedPolicy,
     SCPolicy,
-    policy_by_name,
+    TSOPolicy,
 )
 from repro.sc import SCVerifier, enumerate_executions, enumerate_results
 
 # The stable facade.  Imported last: repro.api pulls in the modules
 # above and must find the package already initialised.  Note that
-# ``repro.explore`` / ``repro.campaign`` as *attributes* of this package
-# now name the facade functions; the subpackages stay importable as
-# ``repro.explore.*`` / ``repro.campaign.*`` as always.
+# ``repro.explore`` / ``repro.campaign`` / ``repro.models`` as
+# *attributes* of this package now name the facade functions; the
+# subpackages stay importable as ``repro.explore.*`` /
+# ``repro.campaign.*`` / ``repro.models.*`` as always.
 from repro import api
-from repro.api import campaign, check_drf0, explore, run, verify_sc
+from repro.api import (
+    campaign,
+    check_drf0,
+    crosscheck,
+    explore,
+    models,
+    run,
+    verify_sc,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "api",
     "campaign",
     "check_drf0",
+    "crosscheck",
     "explore",
+    "models",
     "run",
     "verify_sc",
     "BUS_CACHE",
@@ -136,11 +154,13 @@ __all__ = [
     "NET_NOCACHE",
     "Observable",
     "OpKind",
+    "PSOPolicy",
     "Program",
     "RP3FencePolicy",
     "RelaxedPolicy",
     "SCPolicy",
     "SCVerifier",
+    "TSOPolicy",
     "System",
     "Thread",
     "ThreadBuilder",

@@ -1,22 +1,29 @@
 """The stable public facade of the reproduction.
 
-Every workflow the repo supports is reachable through five keyword-only,
-picklable-spec-based functions:
+Every workflow the repo supports is reachable through seven
+keyword-only, picklable-spec-based functions:
 
 * :func:`run` — execute one program on simulated hardware;
 * :func:`explore` — delay-bounded systematic exploration (with
   conflict-aware pruning);
-* :func:`verify_sc` — the appears-SC check of Definition 2;
+* :func:`verify_sc` — the appears-SC check of Definition 2 (or, with
+  ``model=``, classification against an axiomatic model);
 * :func:`check_drf0` — the DRF0 program check of Definition 3;
 * :func:`campaign` — a batch of :class:`~repro.campaign.spec.RunSpec`
-  through the (serial or parallel, optionally cached) campaign layer.
+  through the (serial or parallel, optionally cached) campaign layer;
+* :func:`models` — introspection over every registered memory model:
+  summaries, supported cores, and the axiomatic counterpart;
+* :func:`crosscheck` — the operational-vs-axiomatic agreement check
+  over the litmus catalog.
 
 Arguments accept friendly forms everywhere: a policy may be a name
 (``"DEF2"``), a :class:`~repro.campaign.spec.PolicySpec`, a policy
-class, a zero-argument factory, or an instance; a machine may be a name
-(``"net_cache"``) or a :class:`~repro.memsys.config.MachineConfig`; a
-fault plan may be a spec string (``"jitter=12,reorder=20"``) or a
-:class:`~repro.faults.FaultPlan`.
+class, a zero-argument factory, or an instance; every ``policy=``
+parameter has a model-centric alias ``model=`` (pass exactly one); a
+machine may be a name (``"net_cache"``) or a
+:class:`~repro.memsys.config.MachineConfig`; a fault plan may be a spec
+string (``"jitter=12,reorder=20"``) or a :class:`~repro.faults.
+FaultPlan`.
 
 The module also re-exports the curated surface the CLI and downstream
 tools build on, so ``from repro.api import ...`` is the only import a
@@ -125,14 +132,29 @@ from repro.memsys.config import (
     config_by_name,
 )
 from repro.memsys.system import System
+from repro.models.base import policy_names, registered_policies
 from repro.models.policies import (
     Def1Policy,
     Def2Policy,
     Def2RPolicy,
+    PSOPolicy,
     RelaxedPolicy,
     SCPolicy,
+    TSOPolicy,
     policy_by_name,
 )
+from repro.axiomatic import (
+    AxiomaticModel,
+    CrosscheckCell,
+    CrosscheckReport,
+    allowed_outcomes,
+    axiomatic_model_names,
+    crosscheck_models,
+    is_straightline,
+    model_by_name,
+    model_for_policy,
+)
+from repro.axiomatic.candidates import DEFAULT_MAX_CANDIDATES
 from repro.sanitizer.bundle import ReproBundle
 from repro.sanitizer.triage import TriageConfig
 from repro.sc.independence import SearchStats
@@ -161,7 +183,18 @@ MachineLike = Union[str, MachineConfig, None]
 FaultsLike = Union[str, FaultPlan, None]
 
 
-def _coerce_policy(policy: PolicyLike, core: Optional[str] = None) -> PolicySpec:
+def _coerce_policy(
+    policy: Optional[PolicyLike] = None,
+    core: Optional[str] = None,
+    model: Optional[PolicyLike] = None,
+) -> PolicySpec:
+    if (policy is None) == (model is None):
+        raise TypeError(
+            "pass exactly one of policy= or model= (they are aliases: "
+            "model= is the model-centric spelling of the same argument)"
+        )
+    if policy is None:
+        policy = model
     if isinstance(policy, str):
         spec = PolicySpec.of(policy_by_name(policy, core=core))
         core = None  # already validated and stamped
@@ -199,8 +232,9 @@ def _coerce_faults(faults: FaultsLike, seed: int) -> Optional[FaultPlan]:
 
 def run(
     program: Program,
-    policy: PolicyLike,
+    policy: Optional[PolicyLike] = None,
     *,
+    model: Optional[PolicyLike] = None,
     machine: MachineLike = None,
     core: Optional[str] = None,
     seed: int = 0,
@@ -213,13 +247,15 @@ def run(
 
     A thin veneer over :meth:`RunSpec.execute`: the call builds the
     picklable spec and runs it in-process, so anything :func:`run` can
-    do also batches verbatim through :func:`campaign`.  ``core`` names
-    the processor-core shape (``"simple"``/``"pipelined"``); the default
-    keeps whatever the policy form carried (usually ``"simple"``).
+    do also batches verbatim through :func:`campaign`.  ``model`` is
+    the model-centric alias of ``policy`` (pass exactly one).  ``core``
+    names the processor-core shape (``"simple"``/``"pipelined"``); the
+    default keeps whatever the policy form carried (usually
+    ``"simple"``).
     """
     spec = RunSpec(
         program=program,
-        policy=_coerce_policy(policy, core=core),
+        policy=_coerce_policy(policy, core=core, model=model),
         config=_coerce_machine(machine),
         seed=seed,
         max_cycles=max_cycles,
@@ -232,8 +268,9 @@ def run(
 
 def explore(
     program: Program,
-    policy: PolicyLike,
+    policy: Optional[PolicyLike] = None,
     *,
+    model: Optional[PolicyLike] = None,
     max_delays: int = 2,
     prune: bool = True,
     machine: MachineLike = None,
@@ -258,8 +295,9 @@ def explore(
     ``journal`` the search checkpoints its decision frontier durably;
     ``resume=True`` continues a killed exploration from that journal;
     ``progress`` prints a live heartbeat spanning every search wave.
+    ``model`` is the model-centric alias of ``policy``.
     """
-    policy_spec = _coerce_policy(policy, core=core)
+    policy_spec = _coerce_policy(policy, core=core, model=model)
     return explore_program(
         program,
         policy_spec,
@@ -284,24 +322,41 @@ def verify_sc(
     program: Program,
     outcomes: Optional[Iterable[Observable]] = None,
     *,
+    model: Optional[str] = None,
     max_states: int = 2_000_000,
     prune: bool = True,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
 ) -> Union[Set[Observable], List[SCViolation]]:
-    """Definition 2's appears-SC check.
+    """Definition 2's appears-SC check (or any model's allowed set).
 
     With ``outcomes``: classify each observed outcome against the
-    exhaustive SC result set and return one :class:`SCViolation` per
-    outcome no sequentially consistent execution can produce (empty
-    list = all outcomes appear SC).  Without ``outcomes``: return the
-    SC result set itself.
+    reference set and return one :class:`SCViolation` per outcome the
+    reference cannot produce (empty list = all outcomes conform).
+    Without ``outcomes``: return the reference set itself.
+
+    The reference defaults to the exhaustive SC interleaving set; with
+    ``model=`` (an axiomatic model name, see
+    :func:`~repro.axiomatic.model.axiomatic_model_names`) it is instead
+    the set of outcomes that model's axioms allow — ``model="SC"``
+    provably coincides with the default for straight-line programs,
+    weaker models accept more.
     """
-    sc_set = enumerate_results(program, max_states=max_states, prune=prune)
+    if model is not None:
+        reference: Set[Observable] = set(
+            allowed_outcomes(
+                program, model_by_name(model), max_candidates=max_candidates
+            )
+        )
+    else:
+        reference = enumerate_results(
+            program, max_states=max_states, prune=prune
+        )
     if outcomes is None:
-        return sc_set
+        return reference
     return [
         SCViolation(program=program, observed=outcome)
         for outcome in outcomes
-        if outcome not in sc_set
+        if outcome not in reference
     ]
 
 
@@ -326,6 +381,7 @@ def check_drf0(
 def campaign(
     specs: Iterable[RunSpec],
     *,
+    model: Optional[PolicyLike] = None,
     executor: Optional[Executor] = None,
     jobs: int = 1,
     cache: Union[ResultCache, str, None] = None,
@@ -347,9 +403,20 @@ def campaign(
     specs replay without execution, so re-running a killed campaign
     against its journal resumes it; ``progress`` (``True`` or a
     :class:`~repro.obs.ProgressReporter`) prints a live heartbeat.
+    ``model`` re-targets the whole batch: every spec's policy is
+    replaced by the given model (each spec keeps its own core), so one
+    spec list can be replayed under a different memory model verbatim.
     Everything else matches :func:`repro.campaign.run_campaign`, the
     engine underneath.
     """
+    if model is not None:
+        specs = [
+            replace(
+                spec,
+                policy=_coerce_policy(model=model, core=spec.policy.core),
+            )
+            for spec in specs
+        ]
     if isinstance(cache, str):
         cache = ResultCache(cache)
     if metrics is not None:
@@ -372,6 +439,96 @@ def campaign(
             unregister_metrics_hook(metrics)
 
 
+def models() -> List[dict]:
+    """Introspection over every registered memory model.
+
+    One row per name-constructible policy, sorted by name::
+
+        {"name": "TSO",
+         "summary": "...",
+         "cores": ("simple", "pipelined"),
+         "requires_cache": False,
+         "axiomatic_model": "TSO",
+         "axiomatic_summary": "po minus write-to-read: ..."}
+
+    ``axiomatic_model`` names the declarative counterpart the
+    cross-checker holds the policy against
+    (:func:`~repro.axiomatic.model.model_for_policy`).  The rows derive
+    entirely from the policy registry — registering a new policy class
+    makes it appear here, in ``policy_by_name``, and in the CLI
+    ``--policy`` choices at once.
+    """
+    rows: List[dict] = []
+    for name, cls in sorted(registered_policies().items()):
+        axiomatic = model_for_policy(name)
+        rows.append(
+            {
+                "name": name,
+                "summary": cls.summary,
+                "cores": tuple(cls.supported_cores),
+                "requires_cache": cls.requires_cache,
+                "axiomatic_model": axiomatic.name,
+                "axiomatic_summary": axiomatic.summary,
+            }
+        )
+    return rows
+
+
+def crosscheck(
+    *,
+    tests: Optional[Iterable[Union[str, LitmusTest]]] = None,
+    policies: Optional[Sequence[PolicyLike]] = None,
+    configs: Optional[Sequence[MachineLike]] = None,
+    runs_per_test: int = 12,
+    base_seed: int = 2026,
+    max_cycles: int = 1_000_000,
+    executor: Optional[Executor] = None,
+    jobs: int = 1,
+    cache: Union[ResultCache, str, None] = None,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    progress: Union[bool, "ProgressReporter", None] = None,
+) -> CrosscheckReport:
+    """Assert operational/axiomatic agreement over the litmus catalog.
+
+    The facade form of
+    :func:`~repro.axiomatic.crosscheck.crosscheck_models` with friendly
+    coercions: ``tests`` accepts catalog names or
+    :class:`~repro.litmus.test.LitmusTest` objects (default: the whole
+    standard catalog), ``policies`` accepts names or factories
+    (default: every registered policy), ``configs`` accepts machine
+    names or configs.  See the module docstring of
+    :mod:`repro.axiomatic.crosscheck` for the per-cell agreement
+    contract.
+    """
+    coerced_tests = None
+    if tests is not None:
+        by_name = catalog_by_name()
+        coerced_tests = [
+            by_name[t] if isinstance(t, str) else t for t in tests
+        ]
+    coerced_configs = None
+    if configs is not None:
+        coerced_configs = [_coerce_machine(c) for c in configs]
+    if isinstance(cache, str):
+        cache = ResultCache(cache)
+    kwargs = {}
+    if coerced_configs is not None:
+        kwargs["configs"] = coerced_configs
+    return crosscheck_models(
+        tests=coerced_tests,
+        policies=policies,
+        runs_per_test=runs_per_test,
+        base_seed=base_seed,
+        max_cycles=max_cycles,
+        executor=executor,
+        jobs=jobs,
+        cache=cache,
+        max_candidates=max_candidates,
+        progress=progress,
+        **kwargs,
+    )
+
+
 __all__ = [
     # The facade.
     "run",
@@ -379,6 +536,8 @@ __all__ = [
     "verify_sc",
     "check_drf0",
     "campaign",
+    "models",
+    "crosscheck",
     # Core vocabulary.
     "Observable",
     "Program",
@@ -422,10 +581,25 @@ __all__ = [
     "Def1Policy",
     "Def2Policy",
     "Def2RPolicy",
+    "PSOPolicy",
     "RelaxedPolicy",
     "SCPolicy",
+    "TSOPolicy",
     "core_names",
     "policy_by_name",
+    "policy_names",
+    "registered_policies",
+    # Axiomatic models and the cross-checker.
+    "AxiomaticModel",
+    "CrosscheckCell",
+    "CrosscheckReport",
+    "DEFAULT_MAX_CANDIDATES",
+    "allowed_outcomes",
+    "axiomatic_model_names",
+    "crosscheck_models",
+    "is_straightline",
+    "model_by_name",
+    "model_for_policy",
     # Litmus and conformance.
     "LitmusResult",
     "LitmusRunner",

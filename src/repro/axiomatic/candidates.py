@@ -1,0 +1,273 @@
+"""Enumerating the candidate executions of a straight-line program.
+
+A herd-style checker does not interleave anything: it generates every
+*candidate* execution — a free choice of reads-from and coherence order
+— resolves the values that choice implies, and lets the model's axioms
+reject the inconsistent ones.  This module produces the candidates; the
+axioms live in :mod:`repro.axiomatic.model`.
+
+The enumerator handles **straight-line** programs only (no ``Branch`` /
+``Jump``): with control flow fixed, each thread contributes one static
+sequence of operations and the candidate space is finite.  Spinning
+litmus tests are out of scope and reported as skipped by the
+cross-checker rather than silently mis-modelled.
+
+Value resolution is a fixpoint: register files are replayed per thread
+with each read returning its chosen writer's value, until the write
+values stabilise.  A choice whose values never stabilise has no
+consistent assignment and is discarded.  Read-modify-writes are kept
+atomic structurally — the RMW's write must coherence-follow its
+reads-from source immediately.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.execution import Observable
+from repro.core.instructions import (
+    Branch,
+    Halt,
+    Instruction,
+    Jump,
+    MemInstruction,
+    RegInstruction,
+)
+from repro.core.operation import Location, MemoryOp, OpKind
+from repro.core.program import Program
+from repro.core.registers import RegisterFile
+from repro.axiomatic.relations import (
+    Relations,
+    fence_separated_pairs,
+    program_order_pairs,
+)
+
+#: Default ceiling on generated candidates; litmus-sized programs stay
+#: in the hundreds, so hitting this means the program is out of scope.
+DEFAULT_MAX_CANDIDATES = 250_000
+
+
+class CandidateBudgetExceeded(RuntimeError):
+    """The candidate space outgrew the caller's budget."""
+
+
+class NotStraightLine(ValueError):
+    """The program has control flow; candidates cannot be enumerated."""
+
+
+def is_straightline(program: Program) -> bool:
+    """Whether every thread is branch-free (``Halt`` is permitted)."""
+    return not any(
+        isinstance(instr, (Branch, Jump))
+        for thread in program.threads
+        for instr in thread.instructions
+    )
+
+
+@dataclass
+class Candidate:
+    """One candidate execution with its resolved observable outcome."""
+
+    relations: Relations
+    observable: Observable
+
+
+@dataclass
+class _Step:
+    """A thread-body step: the instruction plus its op, if it has one."""
+
+    instr: Instruction
+    op: Optional[MemoryOp]
+
+
+def _thread_steps(program: Program) -> List[List[_Step]]:
+    """Static per-thread step sequences (truncated at the first Halt)."""
+    threads: List[List[_Step]] = []
+    for proc, thread in enumerate(program.threads):
+        steps: List[_Step] = []
+        occurrences: Dict[tuple, int] = {}
+        for pos, instr in enumerate(thread.instructions):
+            if isinstance(instr, Halt):
+                break
+            op = None
+            if isinstance(instr, MemInstruction):
+                key = (instr.kind, instr.location, pos)
+                occurrence = occurrences.get(key, 0)
+                occurrences[key] = occurrence + 1
+                op = MemoryOp(
+                    proc=proc,
+                    kind=instr.kind,
+                    location=instr.location,
+                    thread_pos=pos,
+                    occurrence=occurrence,
+                    issue_index=len(steps),
+                )
+            steps.append(_Step(instr, op))
+        threads.append(steps)
+    return threads
+
+
+def _resolve_values(
+    program: Program,
+    threads: Sequence[Sequence[_Step]],
+    rf: Dict[MemoryOp, Optional[MemoryOp]],
+) -> Optional[Tuple[Dict[MemoryOp, int], Dict[MemoryOp, int], List[Dict[str, int]]]]:
+    """Fixpoint value resolution for one reads-from choice.
+
+    Returns ``(read_values, write_values, final_registers)`` or ``None``
+    when the choice admits no stable value assignment (an unresolvable
+    value cycle).
+    """
+    ops = [step.op for steps in threads for step in steps if step.op is not None]
+    read_values: Dict[MemoryOp, int] = {
+        op: 0 for op in ops if op.reads_memory
+    }
+    write_values: Dict[MemoryOp, int] = {
+        op: 0 for op in ops if op.writes_memory
+    }
+
+    def source_value(read: MemoryOp) -> int:
+        writer = rf[read]
+        if writer is None:
+            return program.initial_value(read.location)
+        return write_values[writer]
+
+    registers: List[RegisterFile] = []
+    # Each full replay propagates values one rf-hop further; len(ops)+1
+    # rounds therefore suffice for any acyclic value dependence.  A
+    # choice still changing after that has a genuine value cycle.
+    for _ in range(len(ops) + 2):
+        changed = False
+        registers = []
+        for steps in threads:
+            regs = RegisterFile()
+            for step in steps:
+                instr, op = step.instr, step.op
+                if op is None:
+                    if isinstance(instr, RegInstruction):
+                        instr.apply(regs)
+                    continue  # Fence: no register effect
+                if op.reads_memory:
+                    value = source_value(op)
+                    if read_values[op] != value:
+                        read_values[op] = value
+                        changed = True
+                    if instr.dest is not None:
+                        regs.write(instr.dest, value)
+                if op.writes_memory:
+                    old = read_values.get(op, 0)
+                    value = instr.compute_write(regs, old)
+                    if write_values[op] != value:
+                        write_values[op] = value
+                        changed = True
+            registers.append(regs)
+        if not changed:
+            return (
+                read_values,
+                write_values,
+                [regs.as_dict() for regs in registers],
+            )
+    return None
+
+
+def _rmw_atomic(
+    rf: Dict[MemoryOp, Optional[MemoryOp]],
+    co: Dict[Location, Tuple[MemoryOp, ...]],
+) -> bool:
+    """Architectural RMW atomicity: no write between source and RMW."""
+    for read, writer in rf.items():
+        if not read.writes_memory:  # only RMWs read and write
+            continue
+        order = co[read.location]
+        position = order.index(read)
+        if writer is None:
+            if position != 0:
+                return False
+        elif order.index(writer) != position - 1:
+            return False
+    return True
+
+
+def enumerate_candidates(
+    program: Program,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    drf0: Optional[bool] = None,
+    drf0_r: Optional[bool] = None,
+) -> Iterator[Candidate]:
+    """Yield every value-consistent candidate execution of ``program``.
+
+    The yielded candidates are *raw*: no memory-model axiom has been
+    applied yet (beyond value consistency and RMW atomicity, which are
+    architectural).  ``drf0``/``drf0_r`` are threaded into every
+    candidate's :class:`Relations` for the conditional models.
+
+    Raises :class:`NotStraightLine` on programs with control flow and
+    :class:`CandidateBudgetExceeded` past ``max_candidates``.
+    """
+    if not is_straightline(program):
+        raise NotStraightLine(
+            f"program {program.name!r} has branches; candidate enumeration "
+            f"handles straight-line programs only"
+        )
+    threads = _thread_steps(program)
+    ops_by_proc = {
+        proc: [step.op for step in steps if step.op is not None]
+        for proc, steps in enumerate(threads)
+    }
+    po = program_order_pairs(ops_by_proc)
+    fenced = fence_separated_pairs(program, ops_by_proc)
+    all_ops = tuple(op for ops in ops_by_proc.values() for op in ops)
+    reads = [op for op in all_ops if op.reads_memory]
+    writes_by_loc: Dict[Location, List[MemoryOp]] = {}
+    for op in all_ops:
+        if op.writes_memory:
+            writes_by_loc.setdefault(op.location, []).append(op)
+
+    rf_choices = [
+        [None] + writes_by_loc.get(read.location, []) for read in reads
+    ]
+    co_orders = [
+        list(itertools.permutations(writes))
+        for writes in writes_by_loc.values()
+    ]
+    locations = list(writes_by_loc)
+
+    produced = 0
+    for rf_pick in itertools.product(*rf_choices):
+        rf = dict(zip(reads, rf_pick))
+        resolved = _resolve_values(program, threads, rf)
+        if resolved is None:
+            continue
+        read_values, write_values, final_registers = resolved
+        for co_pick in itertools.product(*co_orders):
+            produced += 1
+            if produced > max_candidates:
+                raise CandidateBudgetExceeded(
+                    f"program {program.name!r} exceeds "
+                    f"{max_candidates} candidate executions"
+                )
+            co = dict(zip(locations, co_pick))
+            if not _rmw_atomic(rf, co):
+                continue
+            memory = {
+                loc: (
+                    write_values[co[loc][-1]]
+                    if co.get(loc)
+                    else program.initial_value(loc)
+                )
+                for loc in program.locations()
+            }
+            yield Candidate(
+                relations=Relations(
+                    ops=all_ops,
+                    po=po,
+                    fenced=fenced,
+                    rf=rf,
+                    co=co,
+                    drf0=drf0,
+                    drf0_r=drf0_r,
+                ),
+                observable=Observable.create(final_registers, memory),
+            )

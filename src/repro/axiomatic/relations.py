@@ -1,0 +1,272 @@
+"""The relational vocabulary of axiomatic memory models: po, rf, co, fr.
+
+The operational half of the library produces *executions* — totally
+ordered traces out of a simulator.  Axiomatic models (herd-style) speak
+about *candidate executions* instead: a set of memory operations plus a
+handful of relations over them —
+
+* ``po``  — program order (same processor, earlier-to-later pairs),
+* ``rf``  — reads-from (each read names the write it observed, or the
+  initial memory value),
+* ``co``  — coherence order (a total order over the writes to each
+  location),
+* ``fr``  — from-reads, the derived relation ``rf⁻¹ ; co`` (a read is
+  ordered before every write that coherence-follows the one it read).
+
+:class:`Relations` packages exactly that, together with the
+``fenced`` po-pairs (pairs separated by a :class:`~repro.core.
+instructions.Fence`, which every core drains on regardless of policy).
+It can be *derived* from an operational execution
+(:func:`relations_from_execution`) or *chosen* freely by the candidate
+enumerator (:mod:`repro.axiomatic.candidates`); the axioms in
+:mod:`repro.axiomatic.model` consume either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.execution import Execution
+from repro.core.instructions import Fence
+from repro.core.operation import Location, MemoryOp
+from repro.core.program import Program
+
+#: An ordered pair of operations — one edge of a relation.
+Edge = Tuple[MemoryOp, MemoryOp]
+
+
+def acyclic(edges: Iterable[Edge]) -> bool:
+    """Whether the directed graph formed by ``edges`` has no cycle.
+
+    Iterative three-colour depth-first search; the op graphs here are a
+    handful of nodes, so no cleverness is warranted.
+    """
+    adjacency: Dict[MemoryOp, List[MemoryOp]] = {}
+    for src, dst in edges:
+        adjacency.setdefault(src, []).append(dst)
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[MemoryOp, int] = {}
+    for root in adjacency:
+        if colour.get(root, WHITE) is not WHITE:
+            continue
+        stack: List[Tuple[MemoryOp, int]] = [(root, 0)]
+        colour[root] = GREY
+        while stack:
+            node, child_index = stack[-1]
+            children = adjacency.get(node, ())
+            if child_index < len(children):
+                stack[-1] = (node, child_index + 1)
+                child = children[child_index]
+                state = colour.get(child, WHITE)
+                if state == GREY:
+                    return False
+                if state == WHITE:
+                    colour[child] = GREY
+                    stack.append((child, 0))
+            else:
+                colour[node] = BLACK
+                stack.pop()
+    return True
+
+
+@dataclass
+class Relations:
+    """A candidate execution: operations plus the relations over them.
+
+    ``rf`` maps every read(-component) op to the write it reads from, or
+    ``None`` for the initial memory value.  ``co`` gives, per location,
+    the coherence order of that location's writes (initial write
+    implicit, coherence-first).  ``po`` and ``fenced`` are *transitive*
+    pair sets — more edges than the covering relation, identical cycles.
+
+    ``drf0``/``drf0_r`` record whether the originating *program* obeys
+    DRF0 / DRF0-R (``None`` when not computed); the conditional
+    Definition-2 models consult them.
+    """
+
+    ops: Tuple[MemoryOp, ...]
+    po: FrozenSet[Edge]
+    fenced: FrozenSet[Edge]
+    rf: Mapping[MemoryOp, Optional[MemoryOp]]
+    co: Mapping[Location, Tuple[MemoryOp, ...]]
+    drf0: Optional[bool] = None
+    drf0_r: Optional[bool] = None
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    # -- derived edge sets ------------------------------------------------
+    def rf_edges(self) -> FrozenSet[Edge]:
+        """Write-to-read edges (initial-value reads contribute none)."""
+        return self._derived(
+            "rf",
+            lambda: frozenset(
+                (writer, read)
+                for read, writer in self.rf.items()
+                if writer is not None
+            ),
+        )
+
+    def rfe_edges(self) -> FrozenSet[Edge]:
+        """External reads-from: the writer is on another processor."""
+        return self._derived(
+            "rfe",
+            lambda: frozenset(
+                (w, r) for w, r in self.rf_edges() if w.proc != r.proc
+            ),
+        )
+
+    def co_edges(self) -> FrozenSet[Edge]:
+        """All earlier-to-later pairs of each location's coherence order."""
+
+        def build() -> FrozenSet[Edge]:
+            edges: Set[Edge] = set()
+            for order in self.co.values():
+                for i, earlier in enumerate(order):
+                    for later in order[i + 1:]:
+                        edges.add((earlier, later))
+            return frozenset(edges)
+
+        return self._derived("co", build)
+
+    def fr_edges(self) -> FrozenSet[Edge]:
+        """From-reads: read -> every write coherence-after its source."""
+
+        def build() -> FrozenSet[Edge]:
+            edges: Set[Edge] = set()
+            for read, writer in self.rf.items():
+                order = self.co.get(read.location, ())
+                start = 0 if writer is None else order.index(writer) + 1
+                for later in order[start:]:
+                    if later is not read:
+                        edges.add((read, later))
+            return frozenset(edges)
+
+        return self._derived("fr", build)
+
+    def com_edges(self) -> FrozenSet[Edge]:
+        """Communication: ``rf ∪ co ∪ fr``."""
+        return self._derived(
+            "com",
+            lambda: self.rf_edges() | self.co_edges() | self.fr_edges(),
+        )
+
+    def po_loc_edges(self) -> FrozenSet[Edge]:
+        """Program-order pairs over the same location."""
+        return self._derived(
+            "po_loc",
+            lambda: frozenset(
+                (a, b) for a, b in self.po if a.location == b.location
+            ),
+        )
+
+    def reads(self) -> Tuple[MemoryOp, ...]:
+        return tuple(op for op in self.ops if op.reads_memory)
+
+    def writes(self) -> Tuple[MemoryOp, ...]:
+        return tuple(op for op in self.ops if op.writes_memory)
+
+    def _derived(self, key: str, build):
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]
+
+
+def program_order_pairs(
+    ops_by_proc: Mapping[int, Sequence[MemoryOp]]
+) -> FrozenSet[Edge]:
+    """All transitive program-order pairs of per-processor op sequences."""
+    edges: Set[Edge] = set()
+    for ops in ops_by_proc.values():
+        for i, earlier in enumerate(ops):
+            for later in ops[i + 1:]:
+                edges.add((earlier, later))
+    return frozenset(edges)
+
+
+def fence_separated_pairs(
+    program: Program, ops_by_proc: Mapping[int, Sequence[MemoryOp]]
+) -> FrozenSet[Edge]:
+    """Po-pairs with a ``Fence`` instruction strictly between them.
+
+    Positions come from ``thread_pos``, so the program handed in must be
+    the one the operations were generated from (for litmus tests, the
+    *executable* program — warm-up loads shift every position).
+    """
+    fence_positions: List[Tuple[int, ...]] = [
+        tuple(
+            pos
+            for pos, instr in enumerate(thread.instructions)
+            if isinstance(instr, Fence)
+        )
+        for thread in program.threads
+    ]
+    edges: Set[Edge] = set()
+    for proc, ops in ops_by_proc.items():
+        fences = fence_positions[proc] if 0 <= proc < len(fence_positions) else ()
+        if not fences:
+            continue
+        for i, earlier in enumerate(ops):
+            for later in ops[i + 1:]:
+                if any(
+                    earlier.thread_pos < pos < later.thread_pos
+                    for pos in fences
+                ):
+                    edges.add((earlier, later))
+    return frozenset(edges)
+
+
+def relations_from_execution(
+    execution: Execution,
+    program: Optional[Program] = None,
+    drf0: Optional[bool] = None,
+    drf0_r: Optional[bool] = None,
+) -> Relations:
+    """Derive the candidate relations an operational execution witnesses.
+
+    The execution's trace order serves as the serialization: ``rf``
+    binds each read to the last same-location write before it in trace
+    order (the idealized architecture's semantics), ``co`` is the trace
+    order of each location's writes.  ``fenced`` pairs need the program
+    the trace came from; without one they are empty.
+    """
+    real_ops = tuple(op for op in execution.ops if not op.is_hypothetical)
+    by_proc: Dict[int, List[MemoryOp]] = {}
+    for op in real_ops:
+        by_proc.setdefault(op.proc, []).append(op)
+    for proc, ops in by_proc.items():
+        if all(op.issue_index is not None for op in ops):
+            ops.sort(key=lambda op: op.issue_index)
+
+    rf: Dict[MemoryOp, Optional[MemoryOp]] = {}
+    co: Dict[Location, List[MemoryOp]] = {}
+    last_write: Dict[Location, MemoryOp] = {}
+    for op in real_ops:
+        if op.reads_memory:
+            rf[op] = last_write.get(op.location)
+        if op.writes_memory:
+            co.setdefault(op.location, []).append(op)
+            last_write[op.location] = op
+
+    fenced: FrozenSet[Edge] = frozenset()
+    if program is not None:
+        fenced = fence_separated_pairs(program, by_proc)
+
+    return Relations(
+        ops=real_ops,
+        po=program_order_pairs(by_proc),
+        fenced=fenced,
+        rf=rf,
+        co={loc: tuple(order) for loc, order in co.items()},
+        drf0=drf0,
+        drf0_r=drf0_r,
+    )

@@ -8,6 +8,8 @@ Subcommands:
 ``drf``       check a litmus program against DRF0 (Definition 3);
 ``conformance`` audit every (machine, policy) pair in the zoo
               (``--faults`` audits under an adversarial interconnect);
+``crosscheck`` hold every policy accountable to its axiomatic model
+              (po/rf/co/fr acyclicity) cell-by-cell over the catalog;
 ``explore``   systematic (delay-bounded) exploration of a test;
 ``figure1``   regenerate the Figure-1 violation matrix;
 ``figure3``   regenerate the Figure-3 release-stall sweep;
@@ -55,6 +57,7 @@ Examples::
     python -m repro litmus fig1_dekker --trace out.json --trace-format chrome
     python -m repro litmus fig1_dekker_sync --policy DEF2 --sanitize strict
     python -m repro conformance --faults jitter=12,reorder=20 --jobs 4
+    python -m repro crosscheck --policy TSO --policy PSO --jobs 4
     python -m repro drf fig1_dekker --jobs 4
     python -m repro explore fig1_dekker_sync_warm --policy DEF2 --delays 3
     python -m repro trace fig1_dekker_sync --policy DEF2 --filter stall,msg
@@ -81,15 +84,14 @@ from typing import List, Optional, Sequence, Tuple
 import repro.api as api
 from repro.api import (
     CampaignMetrics,
+    DEFAULT_MAX_CANDIDATES,
     FIGURE1_CONFIGS,
     FORMATS,
     FlightRecorder,
     LitmusRunner,
     LitmusTest,
     METRICS,
-    RelaxedPolicy,
     ResultCache,
-    SCPolicy,
     TraceEvent,
     TraceSpec,
     catalog_by_name,
@@ -108,6 +110,7 @@ from repro.api import (
     parse_fault_plan,
     parse_litmus,
     policy_by_name,
+    policy_names,
     register_metrics_hook,
     serve_metrics,
     to_prometheus,
@@ -414,10 +417,10 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
         for config in FIGURE1_CONFIGS:
             warm = config.has_caches
             test = fig1_dekker(warm=warm)
-            for policy_factory in (RelaxedPolicy, SCPolicy):
+            for policy_name in ("RELAXED", "SC"):
                 result = runner.run(
-                    test, policy_factory, config, runs=args.runs,
-                    executor=executor,
+                    test, lambda name=policy_name: policy_by_name(name),
+                    config, runs=args.runs, executor=executor,
                 )
                 rows.append(
                     [
@@ -494,6 +497,32 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
             f"{', '.join(cell.violated_tests)}"
         )
     return 1 if broken else 0
+
+
+def _cmd_crosscheck(args: argparse.Namespace) -> int:
+    catalog = catalog_by_name()
+    for name in args.tests:
+        if name not in catalog:
+            raise SystemExit(
+                f"error: {name!r} is not a catalog test "
+                f"({', '.join(sorted(catalog))})"
+            )
+    cache = _cache_for(args)
+    with _campaign_metrics(args), _obs_session(args), \
+            _executor_for(args) as executor:
+        report = api.crosscheck(
+            tests=args.tests or None,
+            policies=args.policies or None,
+            configs=args.machines or None,
+            runs_per_test=args.runs,
+            base_seed=args.seed,
+            max_candidates=args.max_candidates,
+            executor=executor,
+            cache=cache,
+            progress=_progress(args),
+        )
+    print(report.describe())
+    return 0 if report.ok else 1
 
 
 def _cmd_delays(args: argparse.Namespace) -> int:
@@ -1030,6 +1059,18 @@ def build_parser() -> argparse.ArgumentParser:
             "first one (default off)",
         )
 
+    def add_policy_option(
+        cmd: argparse.ArgumentParser, default: str
+    ) -> None:
+        # Choices come from the policy registry, so a policy registered
+        # in repro.models is immediately a legal --policy value here.
+        cmd.add_argument(
+            "--policy", choices=policy_names(), default=default,
+            metavar="POLICY",
+            help="ordering policy, one of "
+            f"{', '.join(policy_names())} (default {default})",
+        )
+
     def add_core_option(cmd: argparse.ArgumentParser) -> None:
         from repro.cpu.core import core_names
 
@@ -1042,7 +1083,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     litmus = sub.add_parser("litmus", help="run a litmus campaign")
     litmus.add_argument("test", help="catalog name or .litmus file")
-    litmus.add_argument("--policy", default="RELAXED")
+    add_policy_option(litmus, "RELAXED")
     litmus.add_argument("--machine", default="net_cache")
     litmus.add_argument("--runs", type=int, default=100)
     litmus.add_argument("--seed", type=int, default=12345)
@@ -1075,7 +1116,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     explore = sub.add_parser("explore", help="systematic schedule exploration")
     explore.add_argument("test")
-    explore.add_argument("--policy", default="DEF2")
+    add_policy_option(explore, "DEF2")
     explore.add_argument("--delays", type=int, default=2)
     explore.add_argument("--max-runs", type=int, default=20_000)
     explore.add_argument(
@@ -1121,6 +1162,43 @@ def build_parser() -> argparse.ArgumentParser:
     add_sanitize_option(conformance)
     conformance.set_defaults(func=_cmd_conformance)
 
+    crosscheck = sub.add_parser(
+        "crosscheck",
+        help="check every policy against its axiomatic model "
+        "over the litmus catalog",
+    )
+    crosscheck.add_argument(
+        "tests", nargs="*", metavar="TEST",
+        help="catalog tests to check (default: the whole catalog; "
+        "control-flow tests are reported as skipped)",
+    )
+    crosscheck.add_argument(
+        "--policy", action="append", dest="policies",
+        choices=policy_names(), metavar="POLICY", default=None,
+        help="check only this policy (repeatable; default all of "
+        f"{', '.join(policy_names())})",
+    )
+    crosscheck.add_argument(
+        "--machine", action="append", dest="machines", metavar="NAME",
+        default=None,
+        help="run on this machine configuration (repeatable; default "
+        "net_nocache and net_cache)",
+    )
+    crosscheck.add_argument("--runs", type=int, default=12,
+                            help="hardware runs per (test, policy, "
+                            "machine) cell (default 12)")
+    crosscheck.add_argument("--seed", type=int, default=2026)
+    crosscheck.add_argument(
+        "--max-candidates", type=int, default=DEFAULT_MAX_CANDIDATES,
+        metavar="N",
+        help="abort a test whose axiomatic candidate space exceeds N "
+        f"executions (default {DEFAULT_MAX_CANDIDATES})",
+    )
+    add_campaign_options(crosscheck)
+    add_obs_options(crosscheck)
+    add_cache_options(crosscheck)
+    crosscheck.set_defaults(func=_cmd_crosscheck)
+
     delays = sub.add_parser("delays", help="Shasha-Snir delay set of a test")
     delays.add_argument("test")
     delays.set_defaults(func=_cmd_delays)
@@ -1130,7 +1208,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay one litmus run with tracing and show its timeline",
     )
     trace.add_argument("test", help="catalog name or .litmus file")
-    trace.add_argument("--policy", default="DEF2")
+    add_policy_option(trace, "DEF2")
     trace.add_argument("--machine", default="net_cache")
     trace.add_argument("--seed", type=int, default=7)
     trace.add_argument("--warm", action="store_true",
@@ -1172,7 +1250,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="number of random programs to generate")
     fuzz.add_argument("--seed", type=int, default=0,
                       help="base timing seed (program seed is added)")
-    fuzz.add_argument("--policy", default="DEF2")
+    add_policy_option(fuzz, "DEF2")
     fuzz.add_argument("--machine", default="net_cache")
     fuzz.add_argument("--max-cycles", type=int, default=60_000,
                       help="cycle watchdog budget per run")
@@ -1208,7 +1286,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     soak.add_argument("--test", default="fig1_dekker",
                       help="catalog litmus test to campaign on")
-    soak.add_argument("--policy", default="RELAXED")
+    add_policy_option(soak, "RELAXED")
     soak.add_argument("--machine", default="net_nocache")
     soak.add_argument("--runs", type=int, default=24,
                       help="seeds in the campaign under chaos")

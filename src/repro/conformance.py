@@ -53,8 +53,10 @@ from repro.models.policies import (
     Def1Policy,
     Def2Policy,
     Def2RPolicy,
+    PSOPolicy,
     RelaxedPolicy,
     SCPolicy,
+    TSOPolicy,
 )
 
 #: Conformance verdicts, strongest first.
@@ -144,6 +146,9 @@ DEFAULT_POLICIES: Tuple[Callable[[], OrderingPolicy], ...] = (
     Def1Policy,
     Def2Policy,
     Def2RPolicy,
+    # TSO/PSO ride at the end: grid rows keep their historical order.
+    TSOPolicy,
+    PSOPolicy,
 )
 
 

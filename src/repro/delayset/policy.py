@@ -30,6 +30,10 @@ class DelayPolicy(OrderingPolicy):
     """
 
     name = "DELAY-SET"
+    summary = ("software-directed Shasha-Snir delay-pair enforcement "
+               "(program-specific; not name-constructible)")
+    #: The constructor needs the program: a bare name cannot build one.
+    constructible_by_name = False
 
     def __init__(
         self,

@@ -282,10 +282,18 @@ class LitmusRunner:
         program = self._executable(test)
         return {test.project(obs) for obs in self.verifier.sc_result_set(program)}
 
-    def _executable(self, test: LitmusTest):
-        # The executable (possibly warmed) program must be the same
-        # object across runs so the verifier's per-program cache hits.
+    def executable(self, test: LitmusTest):
+        """The test's executable program, cached by content.
+
+        The executable (possibly warmed) program must be the same object
+        across runs so the verifier's per-program cache hits; consumers
+        that enumerate over the same program (the axiomatic
+        cross-checker) share the cache through this accessor.
+        """
         key = f"{program_fingerprint(test.program)}:warm={test.warm_caches}"
         if key not in self._program_cache:
             self._program_cache[key] = test.executable_program()
         return self._program_cache[key]
+
+    # Backwards-compatible alias for the pre-1.2 private name.
+    _executable = executable

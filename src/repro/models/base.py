@@ -54,11 +54,42 @@ def policy_class_by_name(name: str):
         )
 
 
+def registered_policies() -> dict:
+    """Report name -> policy class for every name-constructible policy.
+
+    The single source of truth the ``repro.models`` docstring,
+    :func:`repro.models.policies.policy_by_name`, and the CLI
+    ``--policy`` choices all derive from — registering a policy class
+    (by declaring a ``name``) makes it appear everywhere at once.
+    Program-specific policies that cannot be built from a bare name
+    (:class:`repro.delayset.policy.DelayPolicy`) opt out via
+    ``constructible_by_name`` and stay reachable only through
+    :func:`policy_class_by_name`.
+    """
+    return {
+        name: cls
+        for name, cls in _POLICY_REGISTRY.items()
+        if cls.constructible_by_name
+    }
+
+
+def policy_names() -> Tuple[str, ...]:
+    """Sorted report names of every name-constructible policy."""
+    return tuple(sorted(registered_policies()))
+
+
 class OrderingPolicy:
     """Base policy: fully relaxed semantics, overridden by the models."""
 
     #: Human-readable identifier used in reports.
     name = "base"
+    #: One-line description rendered into the registry-derived policy
+    #: table (``repro.models`` docstring, ``repro.api.models()``).
+    summary = "fully relaxed base semantics"
+    #: Whether a bare report name is enough to construct the policy
+    #: (``policy_by_name``, CLI ``--policy``); program-specific policies
+    #: override to False.
+    constructible_by_name = True
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)

@@ -1,28 +1,10 @@
-"""The concrete ordering policies compared in the paper.
+"""The concrete ordering policies: the paper's models plus TSO/PSO.
 
-=============  ==========================================================
-``RELAXED``    No cross-access ordering beyond intra-processor data
-               dependencies — the violation-producing baseline of
-               Figure 1.  Writes are fire-and-forget; reads overtake
-               pending writes.
-``SC``         The Scheurich-Dubois sufficient condition for sequential
-               consistency (Section 2.1): accesses issue in program
-               order and none issues until the previous access is
-               globally performed.
-``DEF1``       Weak ordering per Dubois/Scheurich/Briggs Definition 1:
-               (2) no sync issues until all previous accesses are
-               globally performed; (3) no access issues until the
-               previous sync is globally performed.
-``DEF2``       The paper's new implementation (Section 5.3): counters +
-               reserve bits; a sync op only needs to *commit* (procure
-               the line exclusive and perform on it) before the issuing
-               processor proceeds — the stall moves to the *next*
-               processor synchronizing on the same location.
-``DEF2_R``     Section 6's refinement of DEF2: read-only synchronization
-               operations are treated as data reads by the protocol (no
-               serialization through exclusive ownership, no reserve),
-               fixing the Test-and-TestAndSet spinning pathology.
-=============  ==========================================================
+Each policy class declares a report ``name`` (which registers it — see
+:func:`repro.models.base.registered_policies`) and a one-line
+``summary``; the ``repro.models`` docstring, :func:`policy_by_name`,
+and the CLI ``--policy`` choices are all derived from that registry, so
+the per-class docstrings below are the canonical documentation.
 """
 
 from __future__ import annotations
@@ -30,7 +12,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.operation import OpKind
-from repro.models.base import BlockKind, OrderingPolicy
+from repro.models.base import (
+    BlockKind,
+    OrderingPolicy,
+    policy_names,
+    registered_policies,
+)
 from repro.sim.stats import StallReason
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -38,9 +25,15 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class RelaxedPolicy(OrderingPolicy):
-    """No ordering constraints beyond intra-processor dependencies."""
+    """No ordering constraints beyond intra-processor dependencies.
+
+    The violation-producing baseline of Figure 1: writes are
+    fire-and-forget and reads overtake pending writes.
+    """
 
     name = "RELAXED"
+    summary = ("no cross-access ordering beyond intra-processor "
+               "dependencies (Figure 1 baseline)")
 
 
 class RP3FencePolicy(RelaxedPolicy):
@@ -55,12 +48,15 @@ class RP3FencePolicy(RelaxedPolicy):
     """
 
     name = "RP3-FENCE"
+    summary = "relaxed issue; ordering only at explicit Fence instructions"
 
 
 class SCPolicy(OrderingPolicy):
     """Sequential consistency via the Scheurich-Dubois condition."""
 
     name = "SC"
+    summary = ("sequential consistency: nothing issues until the "
+               "previous access globally performs (Section 2.1)")
     #: The issue gate keeps at most one access in flight, so a forward
     #: could never trigger anyway; declared off as defense-in-depth — SC
     #: hardware must never bind a read to a write that has not globally
@@ -77,6 +73,8 @@ class Def1Policy(OrderingPolicy):
     """Weak ordering, old definition (Definition 1)."""
 
     name = "DEF1"
+    summary = ("weak ordering per Definition 1: syncs wait for all "
+               "previous accesses, everything waits for pending syncs")
 
     def issue_gate(self, proc: "ProcessorCore", kind: OpKind) -> Optional[StallReason]:
         # Condition (3): nothing issues until the previous sync op is
@@ -102,6 +100,8 @@ class Def2Policy(OrderingPolicy):
     """
 
     name = "DEF2"
+    summary = ("the paper's counters + reserve bits (Section 5.3): "
+               "syncs block to commit, not global perform")
     requires_cache = True
     reserve_enabled = True
 
@@ -154,6 +154,8 @@ class Def2RPolicy(Def2Policy):
     """DEF2 with Section 6's read-only-synchronization refinement."""
 
     name = "DEF2-R"
+    summary = ("DEF2 with Section 6's refinement: read-only syncs are "
+               "protocol data reads (contracts against DRF0-R)")
     model_name = "DRF0-R"
     sync_read_as_data = True
 
@@ -179,6 +181,8 @@ class AllSyncPolicy(Def2Policy):
     """
 
     name = "ALL-SYNC"
+    summary = ("every access gets the full DEF2 synchronization "
+               "treatment (Section 3's no-labels alternative)")
     #: Every access commit-blocks, so no write is ever pending when a
     #: read issues; declared off as defense-in-depth, like SC.
     allows_store_forwarding = False
@@ -201,29 +205,96 @@ class AllSyncPolicy(Def2Policy):
         return super().issue_gate(proc, kind)
 
 
+class TSOPolicy(OrderingPolicy):
+    """Total store order: the SPARC-V8/x86-style store-buffer model.
+
+    The one relaxation over SC is write-to-read: a load may issue (and
+    bind its value, forwarding from the processor's own buffered store
+    when the locations match) while earlier stores are still draining.
+    Everything else stays in program order — loads never pass loads,
+    stores never pass loads or other stores — and atomic (sync)
+    operations act as full fences.
+
+    On write-buffer machines (no caches) the FIFO buffer already drains
+    stores one at a time in order, so store-store order holds by
+    construction and any number of stores may be buffered; cache-based
+    machines can globally perform two in-flight writes to different
+    lines out of order, so the gate keeps at most one store in flight
+    there.
+    """
+
+    name = "TSO"
+    summary = ("total store order: loads overtake buffered stores "
+               "(with forwarding); atomics are full fences")
+
+    def _serialize_stores(self, proc: "ProcessorCore") -> bool:
+        """Whether store-store order needs an explicit issue gate."""
+        return proc.cache is not None
+
+    def issue_gate(self, proc: "ProcessorCore", kind: OpKind) -> Optional[StallReason]:
+        pending = proc.pending_accesses
+        if not pending:
+            return None
+        # Atomics are fences: they wait for everything outstanding, and
+        # everything waits for an outstanding atomic.
+        if kind.is_sync or any(a.kind.is_sync for a in pending):
+            return StallReason.TSO_ATOMIC_FENCE
+        if kind.writes_memory:
+            # Stores never overtake earlier loads ...
+            if any(a.kind.reads_memory for a in pending):
+                return StallReason.TSO_STORE_ORDER
+            # ... nor earlier stores, where the machine could reorder.
+            if self._serialize_stores(proc) and any(
+                a.kind.writes_memory for a in pending
+            ):
+                return StallReason.TSO_STORE_ORDER
+        elif any(a.kind.reads_memory for a in pending):
+            # Loads overtake buffered stores — the TSO relaxation — but
+            # never earlier loads.
+            return StallReason.TSO_LOAD_ORDER
+        return None
+
+
+class PSOPolicy(TSOPolicy):
+    """Partial store order: TSO with store-store order also relaxed.
+
+    Stores to *different* locations may globally perform out of program
+    order (same-location order survives through cache coherence and the
+    one-transaction-per-location core rule); loads keep TSO's load-load
+    and load-store ordering, and atomics remain full fences.  This is
+    the SPARC-V8 PSO shape, observable on cache-based machines where
+    two in-flight writes race through the directory.
+    """
+
+    name = "PSO"
+    summary = ("partial store order: TSO with store-store order to "
+               "different locations also relaxed")
+
+    def _serialize_stores(self, proc: "ProcessorCore") -> bool:
+        return False
+
+
 def policy_by_name(name: str, core: Optional[str] = None) -> OrderingPolicy:
     """Construct a fresh policy instance from its report name.
 
-    ``core`` optionally names the processor-core shape the policy should
-    run on (``"simple"``/``"pipelined"``, see
+    The canonical, warning-free path from a name to a policy: lookup is
+    backed by the class registry
+    (:func:`repro.models.base.registered_policies`), so any policy that
+    declares a report ``name`` is constructible here with no table to
+    update.  ``core`` optionally names the processor-core shape the
+    policy should run on (``"simple"``/``"pipelined"``, see
     :func:`repro.cpu.core.core_names`); the choice is validated against
     the policy's :attr:`~repro.models.base.OrderingPolicy.supported_cores`
     and stamped on the instance, where ``PolicySpec.of`` and ``System``
     pick it up.  ``None`` leaves the default (``"simple"``).
     """
-    table = {
-        "RELAXED": RelaxedPolicy,
-        "RP3-FENCE": RP3FencePolicy,
-        "SC": SCPolicy,
-        "DEF1": Def1Policy,
-        "DEF2": Def2Policy,
-        "DEF2-R": Def2RPolicy,
-        "ALL-SYNC": AllSyncPolicy,
-    }
+    registry = registered_policies()
     try:
-        policy = table[name.upper().replace("_", "-")]()
+        policy = registry[name.upper().replace("_", "-")]()
     except KeyError:
-        raise ValueError(f"unknown policy {name!r}; choose from {sorted(table)}")
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(registry)}"
+        )
     if core is not None:
         from repro.cpu.core import core_class_by_name
 

@@ -38,6 +38,16 @@ class StallReason(enum.Enum):
     DEF2_FLUSH_RESERVED = "def2_flush_reserved"
     #: Optional bound on outstanding misses while a line is reserved.
     DEF2_MISS_BOUND = "def2_miss_bound"
+    #: TSO: a load waits for earlier loads (no load-load reordering);
+    #: it may still overtake pending stores in the write buffer.
+    TSO_LOAD_ORDER = "tso_load_order"
+    #: TSO: a store waits for earlier accesses that must stay ahead of
+    #: it (earlier loads; on cached machines also earlier stores, which
+    #: the FIFO write buffer serializes by construction).
+    TSO_STORE_ORDER = "tso_store_order"
+    #: TSO/PSO: an atomic (sync) op acts as a full fence — it waits for
+    #: everything pending, and everything waits for it.
+    TSO_ATOMIC_FENCE = "tso_atomic_fence"
     #: Waiting for a same-location access to finish (one outstanding
     #: transaction per processor per location).
     SAME_LOCATION = "same_location"

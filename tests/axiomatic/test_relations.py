@@ -1,0 +1,100 @@
+"""Relation derivation: po/rf/co/fr over candidates and executions."""
+
+import pytest
+
+from repro.axiomatic import (
+    acyclic,
+    enumerate_candidates,
+    model_by_name,
+    relations_from_execution,
+)
+from repro.litmus.catalog import fig1_dekker, message_passing
+from repro.litmus.runner import LitmusRunner
+from repro.sc.interleaving import enumerate_executions
+
+
+class TestAcyclic:
+    def test_empty_and_chain(self):
+        assert acyclic([])
+        assert acyclic([(1, 2), (2, 3), (1, 3)])
+
+    def test_self_loop_and_cycle(self):
+        assert not acyclic([(1, 1)])
+        assert not acyclic([(1, 2), (2, 3), (3, 1)])
+
+    def test_disconnected_cycle_is_found(self):
+        assert not acyclic([(1, 2), (10, 11), (11, 10)])
+
+
+@pytest.fixture(scope="module")
+def dekker_candidates():
+    program = LitmusRunner().executable(fig1_dekker())
+    return list(enumerate_candidates(program))
+
+
+class TestCandidateRelations:
+    def test_reads_and_writes_partition_ops(self, dekker_candidates):
+        for candidate in dekker_candidates:
+            rel = candidate.relations
+            assert set(rel.reads()) | set(rel.writes()) <= set(rel.ops)
+            assert not set(rel.reads()) & set(rel.writes())
+
+    def test_po_is_intra_thread_and_acyclic(self, dekker_candidates):
+        rel = dekker_candidates[0].relations
+        assert rel.po
+        for a, b in rel.po:
+            assert a.proc == b.proc
+            assert a.issue_index < b.issue_index
+        assert acyclic(rel.po)
+
+    def test_rf_sources_write_the_read_location(self, dekker_candidates):
+        for candidate in dekker_candidates:
+            # rf edges point write -> read.
+            for write, read in candidate.relations.rf_edges():
+                assert write.writes_memory
+                assert read.reads_memory
+                assert write.location == read.location
+
+    def test_co_is_a_per_location_total_order(self, dekker_candidates):
+        rel = dekker_candidates[0].relations
+        writes = [op for op in rel.writes()]
+        by_loc = {}
+        for w in writes:
+            by_loc.setdefault(w.location, []).append(w)
+        co = rel.co_edges()
+        for loc, ws in by_loc.items():
+            # n writes to a location -> n*(n-1)/2 ordered pairs.
+            pairs = [(a, b) for a, b in co if a.location == loc]
+            assert len(pairs) == len(ws) * (len(ws) - 1) // 2
+        assert acyclic(co)
+
+    def test_fr_follows_rf_through_co(self, dekker_candidates):
+        for candidate in dekker_candidates:
+            rel = candidate.relations
+            rf = {read: write for write, read in rel.rf_edges()}
+            for read, write in rel.fr_edges():
+                assert write.writes_memory
+                assert write.location == read.location
+                source = rf.get(read)
+                assert source is not write
+                if source is not None:
+                    assert (source, write) in set(rel.co_edges())
+
+
+class TestRelationsFromExecution:
+    """Every idealized SC execution must satisfy the SC axioms."""
+
+    def test_sc_executions_pass_sc_axioms(self):
+        test = message_passing()
+        program = LitmusRunner().executable(test)
+        sc = model_by_name("SC")
+        checked = 0
+        for execution in enumerate_executions(program):
+            rel = relations_from_execution(execution, program=program)
+            assert sc.violated_axiom(rel) is None, (
+                f"SC execution flagged by {sc.name} axioms"
+            )
+            checked += 1
+            if checked >= 200:
+                break
+        assert checked > 0

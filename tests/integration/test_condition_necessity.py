@@ -39,6 +39,9 @@ class NoCommitGateDef2(Def2Policy):
     """Condition 4 disabled: synchronization ops are fire-and-forget."""
 
     name = "DEF2-no-cond4"
+    # Registered for report naming only — keep the broken variant out of
+    # policy_names()/--policy choices.
+    constructible_by_name = False
 
     def issue_gate(self, proc, kind):
         return None
@@ -51,6 +54,7 @@ class NoReserveDef2(Def2Policy):
     """Condition 5 disabled: no reserve bits."""
 
     name = "DEF2-no-cond5"
+    constructible_by_name = False
     reserve_enabled = False
 
 

@@ -5,12 +5,15 @@ import pytest
 from repro.core.operation import OpKind
 from repro.cpu.access import MemoryAccess
 from repro.models.base import BlockKind
+from repro.models.base import policy_names
 from repro.models.policies import (
     Def1Policy,
     Def2Policy,
     Def2RPolicy,
+    PSOPolicy,
     RelaxedPolicy,
     SCPolicy,
+    TSOPolicy,
     policy_by_name,
 )
 from repro.sim.stats import StallReason
@@ -155,6 +158,88 @@ class TestDef2R:
         assert policy.sync_protocol(OpKind.SYNC_RMW)
 
 
+class TestTSO:
+    def test_loads_pass_buffered_stores(self):
+        """The one TSO relaxation: a read overtakes pending writes."""
+        policy = TSOPolicy()
+        proc = FakeProc(pending=[access(OpKind.WRITE)])
+        assert policy.issue_gate(proc, OpKind.READ) is None
+
+    def test_load_load_order_kept(self):
+        policy = TSOPolicy()
+        proc = FakeProc(pending=[access(OpKind.READ)])
+        assert (
+            policy.issue_gate(proc, OpKind.READ)
+            is StallReason.TSO_LOAD_ORDER
+        )
+
+    def test_stores_never_pass_loads(self):
+        policy = TSOPolicy()
+        proc = FakeProc(pending=[access(OpKind.READ)])
+        assert (
+            policy.issue_gate(proc, OpKind.WRITE)
+            is StallReason.TSO_STORE_ORDER
+        )
+
+    def test_store_store_serialized_only_on_cached_machines(self):
+        policy = TSOPolicy()
+        buffered = FakeProc(pending=[access(OpKind.WRITE)])
+        assert policy.issue_gate(buffered, OpKind.WRITE) is None
+        cached = FakeProc(pending=[access(OpKind.WRITE)], cache=FakeCache())
+        assert (
+            policy.issue_gate(cached, OpKind.WRITE)
+            is StallReason.TSO_STORE_ORDER
+        )
+
+    def test_atomics_are_full_fences(self):
+        policy = TSOPolicy()
+        proc = FakeProc(pending=[access(OpKind.WRITE)])
+        assert (
+            policy.issue_gate(proc, OpKind.SYNC_RMW)
+            is StallReason.TSO_ATOMIC_FENCE
+        )
+        pending_sync = FakeProc(pending=[access(OpKind.SYNC_WRITE)])
+        assert (
+            policy.issue_gate(pending_sync, OpKind.READ)
+            is StallReason.TSO_ATOMIC_FENCE
+        )
+
+    def test_clear_when_nothing_pending(self):
+        policy = TSOPolicy()
+        for kind in OpKind:
+            assert policy.issue_gate(FakeProc(), kind) is None
+
+    def test_forwarding_allowed(self):
+        assert TSOPolicy.allows_store_forwarding
+
+
+class TestPSO:
+    def test_store_store_relaxed_even_with_caches(self):
+        policy = PSOPolicy()
+        cached = FakeProc(pending=[access(OpKind.WRITE)], cache=FakeCache())
+        assert policy.issue_gate(cached, OpKind.WRITE) is None
+
+    def test_load_ordering_stays_tso(self):
+        policy = PSOPolicy()
+        proc = FakeProc(pending=[access(OpKind.READ)])
+        assert (
+            policy.issue_gate(proc, OpKind.READ)
+            is StallReason.TSO_LOAD_ORDER
+        )
+        assert (
+            policy.issue_gate(proc, OpKind.WRITE)
+            is StallReason.TSO_STORE_ORDER
+        )
+
+    def test_atomics_still_fence(self):
+        policy = PSOPolicy()
+        proc = FakeProc(pending=[access(OpKind.WRITE)], cache=FakeCache())
+        assert (
+            policy.issue_gate(proc, OpKind.SYNC_WRITE)
+            is StallReason.TSO_ATOMIC_FENCE
+        )
+
+
 class TestProtocolTreatment:
     def test_data_ops_never_sync_protocol(self):
         for policy in (RelaxedPolicy(), SCPolicy(), Def1Policy(), Def2Policy()):
@@ -181,6 +266,8 @@ class TestPolicyByName:
             ("DEF2", Def2Policy),
             ("def2-r", Def2RPolicy),
             ("DEF2_R", Def2RPolicy),
+            ("tso", TSOPolicy),
+            ("PSO", PSOPolicy),
         ],
     )
     def test_lookup(self, name, cls):
@@ -188,4 +275,15 @@ class TestPolicyByName:
 
     def test_unknown_rejected(self):
         with pytest.raises(ValueError):
-            policy_by_name("tso")
+            policy_by_name("release-consistency")
+
+    def test_program_specific_policies_not_name_constructible(self):
+        from repro.delayset.policy import DelayPolicy  # registers it
+
+        assert DelayPolicy.name not in policy_names()
+        with pytest.raises(ValueError):
+            policy_by_name(DelayPolicy.name)
+
+    def test_registry_drives_the_lookup(self):
+        for name in policy_names():
+            assert policy_by_name(name).name == name

@@ -23,6 +23,7 @@ from repro.models.policies import (
     Def2Policy,
     RelaxedPolicy,
     SCPolicy,
+    policy_by_name,
 )
 from repro.sim.stats import StallReason, Stats
 from repro.workloads.locks import release_overlap_program
@@ -139,6 +140,41 @@ class TestEveryReasonIsReachable:
             is StallReason.DEF2_MISS_BOUND
         )
 
+    def test_tso_load_and_store_order(self):
+        # The load-load and load/store-store gates need accesses pending
+        # at issue time, which takes the pipelined core's non-blocking
+        # loads — the simple core waits for each read's value, so no
+        # earlier load is ever still outstanding.
+        t0 = (
+            ThreadBuilder("P0")
+            .load("r1", "x").load("r2", "y")
+            .store("z", 1).store("w", 2)
+            .build()
+        )
+        t1 = ThreadBuilder("P1").store("x", 7).build()
+        program = Program([t0, t1], name="tso_order")
+        reasons = stall_reasons(
+            program, policy_by_name("TSO", core="pipelined"), NET_CACHE,
+            seed=0, core="pipelined",
+        )
+        assert StallReason.TSO_LOAD_ORDER in reasons
+        assert StallReason.TSO_STORE_ORDER in reasons
+
+    def test_tso_atomic_fence(self):
+        # A buffered store is still pending when the atomic issues (a
+        # blocking load would have drained before the sync reached the
+        # gate on the simple core).
+        t0 = (
+            ThreadBuilder("P0")
+            .store("z", 1).sync_store("l", 1)
+            .build()
+        )
+        t1 = ThreadBuilder("P1").store("x", 7).build()
+        program = Program([t0, t1], name="tso_fence")
+        assert StallReason.TSO_ATOMIC_FENCE in stall_reasons(
+            program, policy_by_name("TSO"), NET_NOCACHE
+        )
+
     def test_same_location(self):
         t0 = (
             ThreadBuilder("P0")
@@ -221,6 +257,9 @@ class TestEveryReasonIsReachable:
             StallReason.DEF2_RESERVED_REMOTE,
             StallReason.DEF2_FLUSH_RESERVED,
             StallReason.DEF2_MISS_BOUND,
+            StallReason.TSO_LOAD_ORDER,
+            StallReason.TSO_STORE_ORDER,
+            StallReason.TSO_ATOMIC_FENCE,
             StallReason.SAME_LOCATION,
             StallReason.WRITE_BUFFER_FULL,
             StallReason.FENCE_DRAIN,

@@ -9,6 +9,7 @@ The second half checks the deprecation shims: the legacy call patterns
 must still *work* — and must warn.
 """
 
+import importlib
 import inspect
 import warnings
 
@@ -37,7 +38,8 @@ def _shape(fn):
 FACADE_SHAPES = {
     "run": (
         ("program", "POSITIONAL_OR_KEYWORD", False),
-        ("policy", "POSITIONAL_OR_KEYWORD", False),
+        ("policy", "POSITIONAL_OR_KEYWORD", True),
+        ("model", "KEYWORD_ONLY", True),
         ("machine", "KEYWORD_ONLY", True),
         ("core", "KEYWORD_ONLY", True),
         ("seed", "KEYWORD_ONLY", True),
@@ -48,7 +50,8 @@ FACADE_SHAPES = {
     ),
     "explore": (
         ("program", "POSITIONAL_OR_KEYWORD", False),
-        ("policy", "POSITIONAL_OR_KEYWORD", False),
+        ("policy", "POSITIONAL_OR_KEYWORD", True),
+        ("model", "KEYWORD_ONLY", True),
         ("max_delays", "KEYWORD_ONLY", True),
         ("prune", "KEYWORD_ONLY", True),
         ("machine", "KEYWORD_ONLY", True),
@@ -68,8 +71,10 @@ FACADE_SHAPES = {
     "verify_sc": (
         ("program", "POSITIONAL_OR_KEYWORD", False),
         ("outcomes", "POSITIONAL_OR_KEYWORD", True),
+        ("model", "KEYWORD_ONLY", True),
         ("max_states", "KEYWORD_ONLY", True),
         ("prune", "KEYWORD_ONLY", True),
+        ("max_candidates", "KEYWORD_ONLY", True),
     ),
     "check_drf0": (
         ("program", "POSITIONAL_OR_KEYWORD", False),
@@ -80,6 +85,7 @@ FACADE_SHAPES = {
     ),
     "campaign": (
         ("specs", "POSITIONAL_OR_KEYWORD", False),
+        ("model", "KEYWORD_ONLY", True),
         ("executor", "KEYWORD_ONLY", True),
         ("jobs", "KEYWORD_ONLY", True),
         ("cache", "KEYWORD_ONLY", True),
@@ -91,6 +97,20 @@ FACADE_SHAPES = {
         ("journal", "KEYWORD_ONLY", True),
         ("progress", "KEYWORD_ONLY", True),
     ),
+    "models": (),
+    "crosscheck": (
+        ("tests", "KEYWORD_ONLY", True),
+        ("policies", "KEYWORD_ONLY", True),
+        ("configs", "KEYWORD_ONLY", True),
+        ("runs_per_test", "KEYWORD_ONLY", True),
+        ("base_seed", "KEYWORD_ONLY", True),
+        ("max_cycles", "KEYWORD_ONLY", True),
+        ("executor", "KEYWORD_ONLY", True),
+        ("jobs", "KEYWORD_ONLY", True),
+        ("cache", "KEYWORD_ONLY", True),
+        ("max_candidates", "KEYWORD_ONLY", True),
+        ("progress", "KEYWORD_ONLY", True),
+    ),
 }
 
 #: Every name ``repro.api`` exports.  Additions are fine but deliberate:
@@ -98,6 +118,7 @@ FACADE_SHAPES = {
 EXPORTED_NAMES = frozenset(
     {
         "run", "explore", "verify_sc", "check_drf0", "campaign",
+        "models", "crosscheck",
         "Observable", "Program", "Thread", "ThreadBuilder",
         "CampaignJournal", "CampaignMetrics", "CampaignResult",
         "Executor", "JournalError", "ParallelExecutor", "PolicySpec",
@@ -110,8 +131,13 @@ EXPORTED_NAMES = frozenset(
         "BUS_CACHE", "BUS_CACHE_SNOOP", "BUS_NOCACHE", "FIGURE1_CONFIGS",
         "MachineConfig", "NET_CACHE", "NET_CACHE_VC", "NET_NOCACHE",
         "System", "config_by_name",
-        "Def1Policy", "Def2Policy", "Def2RPolicy", "RelaxedPolicy",
-        "SCPolicy", "core_names", "policy_by_name",
+        "Def1Policy", "Def2Policy", "Def2RPolicy", "PSOPolicy",
+        "RelaxedPolicy", "SCPolicy", "TSOPolicy", "core_names",
+        "policy_by_name", "policy_names", "registered_policies",
+        "AxiomaticModel", "CrosscheckCell", "CrosscheckReport",
+        "DEFAULT_MAX_CANDIDATES",
+        "allowed_outcomes", "axiomatic_model_names", "crosscheck_models",
+        "is_straightline", "model_by_name", "model_for_policy",
         "LitmusResult", "LitmusRunner", "LitmusTest", "catalog_by_name",
         "fig1_dekker", "fig1_dekker_all_sync", "forwarding_catalog",
         "parse_litmus", "standard_catalog",
@@ -158,9 +184,18 @@ class TestApiSurface:
             assert getattr(api, name) is not None
 
     def test_facade_reexported_from_package_root(self):
-        for name in ("run", "explore", "verify_sc", "check_drf0", "campaign"):
+        for name in (
+            "run", "explore", "verify_sc", "check_drf0", "campaign",
+            "models", "crosscheck",
+        ):
             assert getattr(repro, name) is getattr(api, name)
             assert name in repro.__all__
+
+    def test_models_subpackage_still_importable(self):
+        # Like campaign/explore: the facade function shadows the
+        # subpackage attribute, the subpackage itself stays importable.
+        from repro.models import policy_by_name  # noqa: F401
+        from repro.models.policies import TSOPolicy  # noqa: F401
 
     def test_campaign_subpackage_still_importable(self):
         # The facade function shadows the subpackage *attribute*; the
@@ -206,7 +241,88 @@ class TestFacadeBehaviour:
         assert len(seen) == 1
 
 
+class TestModelCentricSurface:
+    def test_run_accepts_model_alias(self):
+        program = fig1_dekker().executable_program()
+        result = api.run(program, model="TSO", machine="net_nocache", seed=3)
+        assert result.completed
+        assert result.observable is not None
+
+    def test_policy_and_model_are_exclusive(self):
+        program = fig1_dekker().executable_program()
+        with pytest.raises(TypeError, match="exactly one"):
+            api.run(program, "SC", model="TSO")
+        with pytest.raises(TypeError, match="exactly one"):
+            api.run(program)
+
+    def test_campaign_model_retargets_specs(self):
+        program = fig1_dekker().executable_program()
+        spec = api.RunSpec(
+            program=program,
+            policy=api.PolicySpec.of(RelaxedPolicy),
+            config=NET_NOCACHE,
+            seed=1,
+            max_cycles=100_000,
+        )
+        result = api.campaign([spec], model="SC")
+        assert result.results[0].completed
+        # The original spec list is untouched (retarget copies).
+        assert spec.policy.name == "RELAXED"
+
+    def test_verify_sc_model_keyword_matches_enumeration_for_sc(self):
+        program = fig1_dekker().executable_program()
+        assert api.verify_sc(program, model="SC") == api.verify_sc(program)
+
+    def test_verify_sc_weak_model_accepts_more(self):
+        program = fig1_dekker().executable_program()
+        sc_set = api.verify_sc(program)
+        tso_set = api.verify_sc(program, model="TSO")
+        assert sc_set < tso_set
+
+    def test_models_lists_every_registered_policy(self):
+        rows = api.models()
+        names = [row["name"] for row in rows]
+        assert names == sorted(api.policy_names())
+        assert "TSO" in names and "PSO" in names
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["TSO"]["axiomatic_model"] == "TSO"
+        assert by_name["DEF2"]["axiomatic_model"] == "WO-DRF0"
+        for row in rows:
+            assert row["summary"]
+            assert row["cores"]
+
+    def test_crosscheck_facade_coerces_names(self):
+        report = api.crosscheck(
+            tests=["fig1_dekker"],
+            policies=["SC", "TSO"],
+            configs=["net_nocache"],
+            runs_per_test=4,
+        )
+        assert report.ok
+        assert {c.policy_name for c in report.cells} == {"SC", "TSO"}
+
+
 class TestDeprecationShims:
+    def test_models_package_class_import_warns_and_works(self):
+        # importlib, not ``import repro.models``: the package attribute
+        # ``repro.models`` names the facade function (like campaign/
+        # explore); the module itself lives in sys.modules.
+        models_pkg = importlib.import_module("repro.models")
+
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            cls = models_pkg.SCPolicy
+        from repro.models.policies import SCPolicy
+
+        assert cls is SCPolicy
+
+    def test_models_package_registry_path_stays_silent(self):
+        models_pkg = importlib.import_module("repro.models")
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            models_pkg.policy_by_name("TSO")
+            models_pkg.policy_names()
+
     def test_scverifier_positional_max_states_warns_and_works(self):
         with pytest.warns(DeprecationWarning, match="positional"):
             verifier = SCVerifier(500_000)
